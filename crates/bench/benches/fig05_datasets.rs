@@ -1,0 +1,49 @@
+//! Figure 5: effectiveness (a) and efficiency (b) over the five datasets,
+//! all six methods, default parameters.
+//!
+//! Paper's reading: (a) TER-iDS has the highest F-score (94.6%–97.3%),
+//! then DD+ER, then er+ER, then con+ER (Ij+GER and CDD+ER share TER-iDS's
+//! score by construction). (b) TER-iDS is fastest; CDD+ER/DD+ER/er+ER are
+//! 3–4 orders of magnitude slower, con+ER 1–2; EBooks is the slowest
+//! dataset for everyone (largest token sets).
+
+use ter_bench::{
+    header, prepare, print_fscore_row, print_method_header, print_time_row, run_methods,
+    BenchScale, Method,
+};
+use ter_datasets::{GenOptions, Preset};
+use ter_ids::Params;
+
+fn main() {
+    let scale = BenchScale::default();
+    let methods = Method::all();
+    let mut rows = Vec::new();
+    for p in Preset::all() {
+        let prepared = prepare(
+            p,
+            GenOptions {
+                scale: scale.for_preset(p),
+                ..GenOptions::default()
+            },
+            Params {
+                window: scale.window,
+                ..Params::default()
+            },
+        );
+        rows.push((p.name(), run_methods(&prepared, &methods)));
+    }
+
+    header("Figure 5(a)", "F-score (%) vs dataset");
+    print_method_header("dataset", &methods);
+    for (name, results) in &rows {
+        print_fscore_row(name, results);
+    }
+    println!("(paper: TER-iDS 94.6–97.3; DD+ER second; er+ER next; con+ER worst)");
+
+    header("Figure 5(b)", "avg wall-clock per arrival vs dataset");
+    print_method_header("dataset", &methods);
+    for (name, results) in &rows {
+        print_time_row(name, results);
+    }
+    println!("(paper: TER-iDS fastest; CDD/DD/er+ER 3–4 orders slower; con+ER 1–2; EBooks slowest)");
+}

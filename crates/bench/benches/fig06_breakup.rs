@@ -1,0 +1,45 @@
+//! Figure 6: break-up of TER-iDS's per-arrival cost into online CDD
+//! selection, online imputation, and online ER.
+//!
+//! Paper's reading: ER dominates everywhere except Songs (whose large
+//! repository makes rule selection + sample retrieval relatively more
+//! expensive); EBooks has the highest ER cost (large token sets).
+
+use ter_bench::{header, prepare, run_method, BenchScale, Method};
+use ter_datasets::{GenOptions, Preset};
+use ter_ids::Params;
+
+fn main() {
+    let scale = BenchScale::default();
+    header(
+        "Figure 6",
+        "TER-iDS break-up cost per arrival (seconds)",
+    );
+    println!(
+        "{:<11} {:>14} {:>14} {:>14}",
+        "dataset", "CDD-selection", "imputation", "ER"
+    );
+    for p in Preset::all() {
+        let prepared = prepare(
+            p,
+            GenOptions {
+                scale: scale.for_preset(p),
+                ..GenOptions::default()
+            },
+            Params {
+                window: scale.window,
+                ..Params::default()
+            },
+        );
+        let r = run_method(&prepared, Method::TerIds);
+        let n = r.timing.arrivals.max(1) as f64;
+        println!(
+            "{:<11} {:>14.6} {:>14.6} {:>14.6}",
+            p.name(),
+            r.timing.rule_selection.as_secs_f64() / n,
+            r.timing.imputation.as_secs_f64() / n,
+            r.timing.er.as_secs_f64() / n,
+        );
+    }
+    println!("(paper: ER dominates except on Songs; EBooks' ER cost highest)");
+}

@@ -1,0 +1,27 @@
+//! Figure 7: efficiency vs probabilistic threshold α ∈ {0.1, 0.2, 0.5,
+//! 0.8, 0.9}, per dataset, all six methods.
+//!
+//! Paper's reading: time decreases as α grows (fewer candidates survive);
+//! TER-iDS is lowest across the board (0.0008s–0.0175s on their testbed).
+
+use ter_bench::{sweep, BenchScale, Method, Metric};
+use ter_datasets::GenOptions;
+use ter_ids::Params;
+
+fn main() {
+    let scale = BenchScale::default();
+    sweep(
+        "Figure 7",
+        "avg wall-clock per arrival vs alpha",
+        &[0.1, 0.2, 0.5, 0.8, 0.9],
+        &Method::all(),
+        Metric::Time,
+        |p, alpha| {
+            (
+                GenOptions { scale: scale.for_preset(p), ..GenOptions::default() },
+                Params { alpha, window: scale.window, ..Params::default() },
+            )
+        },
+    );
+    println!("\n(paper: time decreases with alpha; TER-iDS lowest everywhere)");
+}

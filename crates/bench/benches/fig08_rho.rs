@@ -1,0 +1,27 @@
+//! Figure 8: efficiency vs the similarity-threshold ratio ρ = γ/d
+//! ∈ {0.3, 0.4, 0.5, 0.6, 0.7}, per dataset, all six methods.
+//!
+//! Paper's reading: time decreases smoothly as ρ grows (fewer candidate
+//! pairs); TER-iDS lowest (0.0007s–0.007s on their testbed).
+
+use ter_bench::{sweep, BenchScale, Method, Metric};
+use ter_datasets::GenOptions;
+use ter_ids::Params;
+
+fn main() {
+    let scale = BenchScale::default();
+    sweep(
+        "Figure 8",
+        "avg wall-clock per arrival vs rho = gamma/d",
+        &[0.3, 0.4, 0.5, 0.6, 0.7],
+        &Method::all(),
+        Metric::Time,
+        |p, rho| {
+            (
+                GenOptions { scale: scale.for_preset(p), ..GenOptions::default() },
+                Params { rho, window: scale.window, ..Params::default() },
+            )
+        },
+    );
+    println!("\n(paper: time decreases with rho; TER-iDS lowest everywhere)");
+}

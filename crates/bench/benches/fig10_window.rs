@@ -1,0 +1,34 @@
+//! Figure 10: efficiency vs the sliding-window size w (paper:
+//! 500–3000; here scaled proportionally), per dataset, all six methods.
+//!
+//! Paper's reading: time increases with w (more tuples to compare);
+//! TER-iDS lowest (0.0006s–0.0093s on their testbed).
+
+use ter_bench::{sweep, BenchScale, Method, Metric};
+use ter_datasets::GenOptions;
+use ter_ids::Params;
+
+fn main() {
+    let scale = BenchScale::default();
+    // Paper sweeps 500, 800, 1000, 2000, 3000 with default 1000; we keep
+    // the same ratios around the scaled default window.
+    let w0 = scale.window as f64;
+    let windows: Vec<usize> = [0.5, 0.8, 1.0, 2.0, 3.0]
+        .iter()
+        .map(|r| ((w0 * r) as usize).max(10))
+        .collect();
+    sweep(
+        "Figure 10",
+        "avg wall-clock per arrival vs window size w",
+        &windows,
+        &Method::all(),
+        Metric::Time,
+        |p, w| {
+            (
+                GenOptions { scale: scale.for_preset(p), ..GenOptions::default() },
+                Params { window: w, ..Params::default() },
+            )
+        },
+    );
+    println!("\n(paper: time increases with w; TER-iDS lowest everywhere)");
+}

@@ -1,0 +1,77 @@
+//! Figure 11 (Appendix C.1): cost of the cost-model-based pivot-selection
+//! algorithm, (a) vs repository ratio η and (b) vs `cntMax`.
+//!
+//! Paper's reading: (a) selection time grows with η (more samples to
+//! histogram) and with dataset size; (b) time grows smoothly with
+//! `cntMax` and plateaus once the entropy target `eMin` is met.
+
+use std::time::Instant;
+
+use ter_bench::{header, BenchScale};
+use ter_datasets::{preset, GenOptions, Preset};
+use ter_repo::{PivotConfig, PivotTable};
+
+fn main() {
+    let scale = BenchScale::default();
+
+    header("Figure 11(a)", "pivot selection time (s) vs repository ratio eta");
+    print!("{:<11}", "dataset");
+    for eta in [0.1, 0.2, 0.3, 0.4, 0.5] {
+        print!(" {eta:>9}");
+    }
+    println!();
+    for p in Preset::all() {
+        print!("{:<11}", p.name());
+        for eta in [0.1, 0.2, 0.3, 0.4, 0.5] {
+            let ds = preset(
+                p,
+                &GenOptions {
+                    scale: scale.for_preset(p),
+                    repo_ratio: eta,
+                    ..GenOptions::default()
+                },
+            );
+            let cfg = PivotConfig {
+                buckets: 10,
+                e_min: 1.5,
+                ..PivotConfig::default()
+            };
+            let t = Instant::now();
+            let _ = PivotTable::select(&ds.repo, &cfg);
+            print!(" {:>9.4}", t.elapsed().as_secs_f64());
+        }
+        println!();
+    }
+    println!("(paper: grows with eta and dataset size; offline, 10^1–10^5 s at full scale)");
+
+    header("Figure 11(b)", "pivot selection time (s) vs cntMax");
+    print!("{:<11}", "dataset");
+    for cnt in 1..=5usize {
+        print!(" {cnt:>9}");
+    }
+    println!();
+    for p in Preset::all() {
+        let ds = preset(
+            p,
+            &GenOptions {
+                scale: scale.for_preset(p),
+                ..GenOptions::default()
+            },
+        );
+        print!("{:<11}", p.name());
+        for cnt in 1..=5usize {
+            let cfg = PivotConfig {
+                buckets: 10,
+                e_min: 1.5,
+                cnt_max: cnt,
+                ..PivotConfig::default()
+            };
+            let t = Instant::now();
+            let table = PivotTable::select(&ds.repo, &cfg);
+            let _ = table;
+            print!(" {:>9.4}", t.elapsed().as_secs_f64());
+        }
+        println!();
+    }
+    println!("(paper: grows with cntMax, plateaus once eMin=1.5 is reached)");
+}

@@ -1,0 +1,31 @@
+//! Figure 14: F-score vs the repository size ratio η ∈ {0.1 .. 0.5}.
+//!
+//! Paper's reading: more repository ⇒ better imputation ⇒ higher F-score
+//! for the rule-based methods; con+ER is flat (it never touches R);
+//! TER-iDS highest (87.5%–98.9%).
+
+use ter_bench::{sweep, BenchScale, Method, Metric};
+use ter_datasets::GenOptions;
+use ter_ids::Params;
+
+fn main() {
+    let scale = BenchScale::default();
+    sweep(
+        "Figure 14",
+        "F-score vs repository ratio eta",
+        &[0.1, 0.2, 0.3, 0.4, 0.5],
+        &Method::accuracy_set(),
+        Metric::FScore,
+        |p, eta| {
+            (
+                GenOptions {
+                    scale: scale.for_preset(p),
+                    repo_ratio: eta,
+                    ..GenOptions::default()
+                },
+                Params { window: scale.window, ..Params::default() },
+            )
+        },
+    );
+    println!("\n(paper: rule-based F-scores grow with eta; con+ER flat; TER-iDS highest)");
+}

@@ -1,0 +1,31 @@
+//! Figure 16: efficiency vs the repository size ratio η ∈ {0.1 .. 0.5}.
+//!
+//! Paper's reading: time grows with η for every repository-based method
+//! (more samples to retrieve); con+ER is flat; TER-iDS lowest
+//! (0.0004s–0.01s on their testbed).
+
+use ter_bench::{sweep, BenchScale, Method, Metric};
+use ter_datasets::GenOptions;
+use ter_ids::Params;
+
+fn main() {
+    let scale = BenchScale::default();
+    sweep(
+        "Figure 16",
+        "avg wall-clock per arrival vs repository ratio eta",
+        &[0.1, 0.2, 0.3, 0.4, 0.5],
+        &Method::all(),
+        Metric::Time,
+        |p, eta| {
+            (
+                GenOptions {
+                    scale: scale.for_preset(p),
+                    repo_ratio: eta,
+                    ..GenOptions::default()
+                },
+                Params { window: scale.window, ..Params::default() },
+            )
+        },
+    );
+    println!("\n(paper: time grows with eta except con+ER (flat); TER-iDS lowest)");
+}

@@ -1,0 +1,31 @@
+//! Figure 17: efficiency vs the number of missing attributes m ∈ {1,2,3}.
+//!
+//! Paper's reading: time grows with m (more imputed candidates) except
+//! for con+ER (window-based, insensitive); TER-iDS lowest
+//! (0.0013s–0.0635s on their testbed).
+
+use ter_bench::{sweep, BenchScale, Method, Metric};
+use ter_datasets::GenOptions;
+use ter_ids::Params;
+
+fn main() {
+    let scale = BenchScale::default();
+    sweep(
+        "Figure 17",
+        "avg wall-clock per arrival vs missing attributes m",
+        &[1usize, 2, 3],
+        &Method::all(),
+        Metric::Time,
+        |p, m| {
+            (
+                GenOptions {
+                    scale: scale.for_preset(p),
+                    missing_attrs: m,
+                    ..GenOptions::default()
+                },
+                Params { window: scale.window, ..Params::default() },
+            )
+        },
+    );
+    println!("\n(paper: time grows with m except con+ER; TER-iDS lowest)");
+}

@@ -1,0 +1,608 @@
+//! The TER-iDS processing engine (Algorithms 1 and 2).
+//!
+//! Per arriving tuple:
+//!
+//! 1. **Expiry** — the tuple leaving the window is evicted from the
+//!    ER-grid and its pairs removed from the result set (lines 2–7).
+//! 2. **Imputation** — applicable CDD rules are selected through the
+//!    CDD-indexes, matching samples retrieved through the DR-index, and
+//!    the imputed probabilistic tuple assembled (line 9's
+//!    `I_j ⋈ I_R` side; both phases timed separately for Figure 6).
+//! 3. **Candidate retrieval** — the ER-grid is traversed with cell-level
+//!    topic/similarity pruning (the `⋈ G_ER` side of the 3-way join);
+//!    surviving cells surface candidate tuples (lines 9, 14–25).
+//! 4. **Pair pruning & refinement** — Theorems 4.1 → 4.2 → 4.3 in order,
+//!    then Theorem 4.4 early-terminated exact refinement; survivors enter
+//!    the result set (lines 15–26).
+
+use std::time::Instant;
+
+use ter_impute::{RuleImputer, RuleRetrieval};
+use ter_index::RegionGrid;
+use ter_repo::{DrIndex, PivotConfig, PivotTable, Repository};
+use ter_rules::{
+    detect_cdds, detect_dds, detect_editing_rules, Cdd, CddIndex, DiscoveryConfig,
+};
+use ter_stream::{Arrival, ProbTuple, SlidingWindow};
+use ter_text::fxhash::{FxHashMap, FxHashSet};
+use ter_text::KeywordSet;
+
+use crate::meta::{AuxLayout, ErAggregate, TupleMeta};
+use crate::metrics::{PhaseTiming, PruneStats};
+use crate::params::Params;
+use crate::pruning;
+use crate::refine::{refine_pair, Refinement};
+use crate::results::{norm_pair, ResultSet};
+use crate::ErProcessor;
+
+/// Everything built in the offline pre-computation phase (Algorithm 1
+/// lines 1–4): pivots, rules (CDD + the baselines' DD/editing rules),
+/// CDD-indexes, and the DR-index. Engines borrow from one context, so one
+/// dataset's pre-computation is shared across all compared methods.
+pub struct TerContext {
+    /// The static complete repository `R`.
+    pub repo: Repository,
+    /// Selected pivots (§5.4).
+    pub pivots: PivotTable,
+    /// Auxiliary-pivot slot layout.
+    pub layout: AuxLayout,
+    /// Auxiliary-pivot counts per attribute (pruning input).
+    pub aux_counts: Vec<usize>,
+    /// Discovered CDD rules.
+    pub cdds: Vec<Cdd>,
+    /// Discovered DD rules (for the `DD+ER` baseline).
+    pub dds: Vec<Cdd>,
+    /// Discovered editing rules (for the `er+ER` baseline).
+    pub editing_rules: Vec<Cdd>,
+    /// One CDD-index `I_j` per attribute.
+    pub cdd_indexes: Vec<CddIndex>,
+    /// The DR-index `I_R`.
+    pub dr_index: DrIndex,
+    /// Query topic keywords `K`.
+    pub keywords: KeywordSet,
+}
+
+impl TerContext {
+    /// Runs the offline pre-computation phase.
+    pub fn build(
+        repo: Repository,
+        keywords: KeywordSet,
+        pivot_cfg: &PivotConfig,
+        discovery_cfg: &DiscoveryConfig,
+        fanout: usize,
+    ) -> Self {
+        let pivots = PivotTable::select(&repo, pivot_cfg);
+        let layout = AuxLayout::new(&pivots);
+        let aux_counts = (0..pivots.arity()).map(|j| pivots.aux_count(j)).collect();
+        let cdds = detect_cdds(&repo, discovery_cfg);
+        let dds = detect_dds(&repo, discovery_cfg);
+        let editing_rules = detect_editing_rules(&repo, discovery_cfg);
+        let d = repo.schema().arity();
+        let cdd_indexes = (0..d).map(|j| CddIndex::build(j, &cdds, &pivots)).collect();
+        let dr_index = DrIndex::build(&repo, &pivots, &keywords, fanout);
+        Self {
+            repo,
+            pivots,
+            layout,
+            aux_counts,
+            cdds,
+            dds,
+            editing_rules,
+            cdd_indexes,
+            dr_index,
+            keywords,
+        }
+    }
+
+    /// Arity `d` of the schema.
+    pub fn arity(&self) -> usize {
+        self.repo.schema().arity()
+    }
+}
+
+/// How much of the §4 pruning arsenal the engine applies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PruningMode {
+    /// Cell-level + all four pair-level prunings + early-terminated
+    /// refinement — the full TER-iDS method.
+    Full,
+    /// Only grid (cell-level) retrieval; surfaced candidates are refined
+    /// by full exact probability. This is the `I_j+G_ER` baseline:
+    /// indexes applied, but no join-time pair pruning.
+    GridOnly,
+}
+
+/// Output of processing one arrival.
+#[derive(Debug, Clone, Default)]
+pub struct StepOutput {
+    /// Pairs newly reported at this timestamp.
+    pub new_matches: Vec<(u64, u64)>,
+    /// Phase timing of this step.
+    pub timing: PhaseTiming,
+}
+
+/// The TER-iDS engine. See the [module docs](self).
+pub struct TerIdsEngine<'a> {
+    ctx: &'a TerContext,
+    params: Params,
+    mode: PruningMode,
+    gamma: f64,
+    imputer: RuleImputer<'a>,
+    grid: RegionGrid<u64, ErAggregate>,
+    window: SlidingWindow<u64>,
+    metas: FxHashMap<u64, TupleMeta>,
+    /// Live tuple count per stream (for O(1) candidate-pair accounting).
+    stream_counts: Vec<usize>,
+    /// Live tuples with `possibly_topical = true` — the inverted list
+    /// realizing Theorem 4.1: a non-topical arrival can only match a
+    /// topical counterpart, so only this (small) set is ever examined.
+    topical_ids: FxHashSet<u64>,
+    results: ResultSet,
+    reported: FxHashSet<(u64, u64)>,
+    stats: PruneStats,
+    timing: PhaseTiming,
+    name: &'static str,
+}
+
+impl<'a> TerIdsEngine<'a> {
+    /// Creates an engine over a prebuilt context.
+    pub fn new(ctx: &'a TerContext, params: Params, mode: PruningMode) -> Self {
+        params.validate().expect("invalid parameters");
+        let d = ctx.arity();
+        let imputer = RuleImputer::new(
+            "CDD-indexed",
+            &ctx.repo,
+            &ctx.pivots,
+            &ctx.cdds,
+            RuleRetrieval::Indexed {
+                cdd_indexes: &ctx.cdd_indexes,
+                dr_index: &ctx.dr_index,
+            },
+            params.impute,
+        );
+        Self {
+            ctx,
+            params,
+            mode,
+            gamma: params.gamma(d),
+            imputer,
+            grid: RegionGrid::new(d, params.grid_cells),
+            window: SlidingWindow::new(params.window),
+            metas: FxHashMap::default(),
+            stream_counts: Vec::new(),
+            topical_ids: FxHashSet::default(),
+            results: ResultSet::new(),
+            reported: FxHashSet::default(),
+            stats: PruneStats::default(),
+            timing: PhaseTiming::default(),
+            name: match mode {
+                PruningMode::Full => "TER-iDS",
+                PruningMode::GridOnly => "Ij+GER",
+            },
+        }
+    }
+
+    /// The similarity threshold `γ = ρ · d` in use.
+    pub fn gamma(&self) -> f64 {
+        self.gamma
+    }
+
+    /// Number of unexpired tuples.
+    pub fn window_len(&self) -> usize {
+        self.window.len()
+    }
+
+    /// Metadata of a live tuple.
+    pub fn meta(&self, id: u64) -> Option<&TupleMeta> {
+        self.metas.get(&id)
+    }
+
+    /// Evicts the expired tuple from grid, metadata, and result set.
+    fn expire(&mut self, old_id: u64) {
+        if let Some(meta) = self.metas.remove(&old_id) {
+            self.grid.evict(&meta.region(), &old_id);
+            self.results.remove_involving(old_id);
+            self.stream_counts[meta.stream_id] -= 1;
+            self.topical_ids.remove(&old_id);
+        }
+    }
+
+    /// Cell-level pruning visitor: Theorem 4.1 and 4.2 evaluated on cell
+    /// aggregates. Cell aggregates are supersets of per-tuple bounds, so a
+    /// pruned cell can only contain pair-level-prunable tuples (soundness
+    /// is preserved).
+    #[allow(clippy::needless_range_loop)] // k indexes four parallel arrays
+    fn cell_survives(meta: &TupleMeta, agg: &ErAggregate, gamma: f64, aux_counts: &[usize]) -> bool {
+        // Topic: if the new tuple can't be topical and nothing in the cell
+        // can be either, no pair from this cell can qualify.
+        if !meta.possibly_topical && !agg.topics.any() {
+            return false;
+        }
+        // Similarity UB via pivot gaps + token sizes against the cell.
+        let d = meta.arity() as f64;
+        let mut gap_sum = 0.0;
+        let mut size_ub = 0.0;
+        let mut aux_off = 0;
+        for k in 0..meta.arity() {
+            let mut gap = meta.main_bounds[k].min_gap(&agg.main[k]);
+            for s in 0..aux_counts[k] {
+                let slot = aux_off + s;
+                gap = gap.max(meta.aux_bounds[slot].min_gap(&agg.aux[slot]));
+            }
+            aux_off += aux_counts[k];
+            gap_sum += gap;
+            size_ub += pruning::ub_sim_attr_size(&meta.size_bounds[k], &agg.sizes[k]);
+        }
+        (d - gap_sum).min(size_ub) > gamma
+    }
+}
+
+impl ErProcessor for TerIdsEngine<'_> {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn process(&mut self, arrival: &Arrival) -> StepOutput {
+        let mut step_timing = PhaseTiming {
+            arrivals: 1,
+            ..PhaseTiming::default()
+        };
+
+        // ---- expiry (Algorithm 2 lines 2–7) ----
+        let er_start = Instant::now();
+        if let Some((_, old_id)) = self.window.push(arrival.timestamp, arrival.record.id) {
+            self.expire(old_id);
+        }
+        step_timing.er += er_start.elapsed();
+
+        // ---- imputation (line 9, the I_j ⋈ I_R side) ----
+        let pt = if arrival.record.is_complete() {
+            ProbTuple::certain(arrival.record.clone())
+        } else {
+            let t = Instant::now();
+            let selected = self.imputer.select_rules(&arrival.record);
+            step_timing.rule_selection += t.elapsed();
+            let t = Instant::now();
+            let pt = self.imputer.impute_with_rules(&arrival.record, &selected);
+            step_timing.imputation += t.elapsed();
+            pt
+        };
+        let t = Instant::now();
+        let meta = TupleMeta::build(
+            arrival.record.id,
+            arrival.stream_id,
+            arrival.timestamp,
+            pt,
+            &self.ctx.pivots,
+            &self.ctx.layout,
+            &self.ctx.keywords,
+        );
+
+        // ---- candidate retrieval through the ER-grid ----
+        let gamma = self.gamma;
+        let aux_counts = &self.ctx.aux_counts;
+        let mut surfaced: FxHashSet<u64> = FxHashSet::default();
+        self.grid.traverse(
+            |_rect, agg| Self::cell_survives(&meta, agg, gamma, aux_counts),
+            |entry| {
+                surfaced.insert(entry.payload);
+            },
+        );
+
+        // ---- pair-level pruning + refinement ----
+        // Candidate pairs = live tuples of *other* streams (the problem
+        // statement pairs tuples "from two of n data streams"). Tuples in
+        // pruned-out cells never surface; they are accounted in bulk —
+        // when the new tuple can be topical, a cell can only have been
+        // pruned by the similarity bound; otherwise topic pruning is the
+        // (dominant) first rule to fire.
+        let eligible: u64 = self
+            .stream_counts
+            .iter()
+            .enumerate()
+            .filter(|(sid, _)| *sid != meta.stream_id)
+            .map(|(_, &c)| c as u64)
+            .sum();
+        self.stats.total_pairs += eligible;
+        let mut examined: u64 = 0;
+
+        // Theorem 4.1, realized as an inverted list: when the new tuple
+        // cannot be topical, only *topical* live tuples can pair with it —
+        // examine `topical ∩ surfaced` instead of all surfaced candidates.
+        let candidate_ids: Vec<u64> = if meta.possibly_topical {
+            surfaced.iter().copied().collect()
+        } else {
+            self.topical_ids
+                .iter()
+                .copied()
+                .filter(|id| surfaced.contains(id))
+                .collect()
+        };
+
+        let mut new_matches = Vec::new();
+        for other_id in candidate_ids {
+            if other_id == meta.id {
+                continue;
+            }
+            let Some(other) = self.metas.get(&other_id) else {
+                continue;
+            };
+            if other.stream_id == meta.stream_id {
+                continue;
+            }
+            examined += 1;
+
+            match self.mode {
+                PruningMode::Full => {
+                    // Theorem 4.1 cannot fire here: either the new tuple is
+                    // possibly topical, or the candidate came from the
+                    // topical inverted list.
+                    debug_assert!(!pruning::topic_prunable(&meta, other));
+                    if pruning::ub_sim(&meta, other, aux_counts) <= gamma {
+                        self.stats.sim += 1;
+                        continue;
+                    }
+                    if pruning::prob_prunable(&meta, other, gamma, self.params.alpha) {
+                        self.stats.prob += 1;
+                        continue;
+                    }
+                    match refine_pair(&meta, other, &self.ctx.keywords, gamma, self.params.alpha)
+                    {
+                        Refinement::Match(_) => {
+                            self.stats.matches += 1;
+                            new_matches.push(norm_pair(meta.id, other_id));
+                        }
+                        Refinement::PrunedEarly { .. } | Refinement::NoMatch(_) => {
+                            self.stats.instance += 1;
+                        }
+                    }
+                }
+                PruningMode::GridOnly => {
+                    let pr = crate::refine::exact_probability(
+                        &meta,
+                        other,
+                        &self.ctx.keywords,
+                        gamma,
+                    );
+                    if pr > self.params.alpha {
+                        self.stats.matches += 1;
+                        new_matches.push(norm_pair(meta.id, other_id));
+                    } else {
+                        self.stats.instance += 1;
+                    }
+                }
+            }
+        }
+        // Bulk attribution of pairs never examined:
+        // * topical new tuple — everything skipped was cell-pruned, and a
+        //   cell visited for a topical tuple can only fail the similarity
+        //   check → `sim`;
+        // * non-topical new tuple — skipped tuples are the non-topical
+        //   ones (Theorem 4.1, `topic`) plus cell-pruned topical ones
+        //   (`sim`).
+        if meta.possibly_topical {
+            self.stats.sim += eligible - examined;
+        } else {
+            let topical_eligible: u64 = self
+                .topical_ids
+                .iter()
+                .filter(|id| {
+                    self.metas
+                        .get(id)
+                        .is_some_and(|m| m.stream_id != meta.stream_id)
+                })
+                .count() as u64;
+            self.stats.topic += eligible - topical_eligible;
+            self.stats.sim += topical_eligible - examined;
+        }
+        for &(a, b) in &new_matches {
+            self.results.insert(a, b);
+            self.reported.insert((a, b));
+        }
+
+        // ---- register the new tuple (lines 11–13) ----
+        self.grid.insert(meta.region(), meta.id, meta.aggregate());
+        if self.stream_counts.len() <= meta.stream_id {
+            self.stream_counts.resize(meta.stream_id + 1, 0);
+        }
+        self.stream_counts[meta.stream_id] += 1;
+        if meta.possibly_topical {
+            self.topical_ids.insert(meta.id);
+        }
+        let prev = self.metas.insert(meta.id, meta);
+        assert!(prev.is_none(), "duplicate tuple id {}", arrival.record.id);
+        step_timing.er += t.elapsed();
+
+        self.timing.accumulate(&step_timing);
+        StepOutput {
+            new_matches,
+            timing: step_timing,
+        }
+    }
+
+    fn results(&self) -> &ResultSet {
+        &self.results
+    }
+
+    fn reported(&self) -> &FxHashSet<(u64, u64)> {
+        &self.reported
+    }
+
+    fn prune_stats(&self) -> PruneStats {
+        self.stats
+    }
+
+    fn timing(&self) -> PhaseTiming {
+        self.timing
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ter_repo::{Record, Schema};
+    use ter_stream::StreamSet;
+    use ter_text::Dictionary;
+
+    /// Builds a small 2-stream scenario with an obvious match.
+    fn scenario() -> (TerContext, StreamSet, Dictionary) {
+        let schema = Schema::new(vec!["title", "tags"]);
+        let mut dict = Dictionary::new();
+        let mut repo_recs = Vec::new();
+        // Near-duplicate repository pairs so that discovery finds a tight
+        // title→tags rule (close titles ⇒ identical tags).
+        let repo_rows = [
+            ("space cowboy adventure", "scifi western"),
+            ("space cowboy adventure saga", "scifi western"),
+            ("high school romance", "drama comedy"),
+            ("high school romance club", "drama comedy"),
+            ("cooking master", "comedy food"),
+            ("idol music live", "music idol"),
+        ];
+        for (i, (a, b)) in repo_rows.iter().enumerate() {
+            repo_recs.push(Record::from_texts(
+                &schema,
+                1000 + i as u64,
+                &[Some(a), Some(b)],
+                &mut dict,
+            ));
+        }
+        let repo = Repository::from_records(schema.clone(), repo_recs);
+        let keywords = KeywordSet::parse("scifi", &dict);
+        let ctx = TerContext::build(
+            repo,
+            keywords,
+            &PivotConfig::default(),
+            &DiscoveryConfig {
+                min_support: 2,
+                min_constant_support: 2,
+                ..DiscoveryConfig::default()
+            },
+            16,
+        );
+
+        // Stream A and stream B share one entity ("space cowboy adventure").
+        let s0 = vec![
+            Record::from_texts(&schema, 1, &[Some("space cowboy adventure"), Some("scifi western")], &mut dict),
+            Record::from_texts(&schema, 3, &[Some("cooking master"), Some("comedy food")], &mut dict),
+        ];
+        let s1 = vec![
+            Record::from_texts(&schema, 2, &[Some("space cowboy adventure"), Some("scifi western")], &mut dict),
+            Record::from_texts(&schema, 4, &[Some("idol music live"), Some("music idol")], &mut dict),
+        ];
+        (ctx, StreamSet::new(vec![s0, s1]), dict)
+    }
+
+    #[test]
+    fn finds_the_obvious_cross_stream_match() {
+        let (ctx, streams, _) = scenario();
+        let mut engine = TerIdsEngine::new(&ctx, Params::default(), PruningMode::Full);
+        let mut all = Vec::new();
+        for a in streams.arrivals() {
+            all.extend(engine.process(&a).new_matches);
+        }
+        assert!(all.contains(&(1, 2)), "matches: {all:?}");
+        // The non-topical cooking/idol tuples must not match anything.
+        assert_eq!(all.len(), 1);
+        assert!(engine.results().contains(1, 2));
+    }
+
+    #[test]
+    fn grid_only_mode_agrees_on_results() {
+        let (ctx, streams, _) = scenario();
+        let mut full = TerIdsEngine::new(&ctx, Params::default(), PruningMode::Full);
+        let mut grid_only = TerIdsEngine::new(&ctx, Params::default(), PruningMode::GridOnly);
+        for a in streams.arrivals() {
+            full.process(&a);
+            grid_only.process(&a);
+        }
+        let mut r1: Vec<_> = full.reported().iter().copied().collect();
+        let mut r2: Vec<_> = grid_only.reported().iter().copied().collect();
+        r1.sort_unstable();
+        r2.sort_unstable();
+        assert_eq!(r1, r2);
+    }
+
+    #[test]
+    fn expiry_removes_results() {
+        let (ctx, streams, _) = scenario();
+        let params = Params {
+            window: 2,
+            ..Params::default()
+        };
+        let mut engine = TerIdsEngine::new(&ctx, params, PruningMode::Full);
+        let arrivals = streams.arrivals();
+        // t0: tuple 1 (s0), t1: tuple 2 (s1) → match (1,2) with w=2.
+        engine.process(&arrivals[0]);
+        engine.process(&arrivals[1]);
+        assert!(engine.results().contains(1, 2));
+        // t2: tuple 3 arrives, tuple 1 expires → pair (1,2) leaves ES.
+        engine.process(&arrivals[2]);
+        assert!(!engine.results().contains(1, 2));
+        // But it stays in the reported history.
+        assert!(engine.reported().contains(&(1, 2)));
+        assert_eq!(engine.window_len(), 2);
+    }
+
+    #[test]
+    fn incomplete_tuple_is_imputed_and_matched() {
+        let (ctx, _, mut dict) = scenario();
+        let schema = Schema::new(vec!["title", "tags"]);
+        // Tags missing — imputation from the repository should still let it
+        // match its complete twin (repo contains the same entity).
+        let s0 = vec![Record::from_texts(
+            &schema,
+            1,
+            &[Some("space cowboy adventure"), Some("scifi western")],
+            &mut dict,
+        )];
+        let s1 = vec![Record::from_texts(
+            &schema,
+            2,
+            &[Some("space cowboy adventure"), None],
+            &mut dict,
+        )];
+        let streams = StreamSet::new(vec![s0, s1]);
+        let params = Params {
+            rho: 0.55, // γ = 1.1: title match alone (1.0) is not enough
+            ..Params::default()
+        };
+        let mut engine = TerIdsEngine::new(&ctx, params, PruningMode::Full);
+        let mut all = Vec::new();
+        for a in streams.arrivals() {
+            all.extend(engine.process(&a).new_matches);
+        }
+        assert!(
+            all.contains(&(1, 2)),
+            "imputed tuple failed to match: {all:?}"
+        );
+    }
+
+    #[test]
+    fn stats_account_for_every_pair() {
+        let (ctx, streams, _) = scenario();
+        let mut engine = TerIdsEngine::new(&ctx, Params::default(), PruningMode::Full);
+        for a in streams.arrivals() {
+            engine.process(&a);
+        }
+        let s = engine.prune_stats();
+        assert_eq!(
+            s.topic + s.sim + s.prob + s.instance + s.matches,
+            s.total_pairs,
+            "stats must partition the candidate pairs: {s:?}"
+        );
+        assert!(s.total_pairs > 0);
+    }
+
+    #[test]
+    fn timing_is_recorded() {
+        let (ctx, streams, _) = scenario();
+        let mut engine = TerIdsEngine::new(&ctx, Params::default(), PruningMode::Full);
+        for a in streams.arrivals() {
+            engine.process(&a);
+        }
+        let t = engine.timing();
+        assert_eq!(t.arrivals, 4);
+        assert!(t.total().as_nanos() > 0);
+    }
+}

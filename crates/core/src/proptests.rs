@@ -1,0 +1,187 @@
+//! Property tests: the pruning rules of §4 must be *sound* — an upper
+//! bound below the threshold must imply the exact quantity is too —
+//! verified against exhaustive instance enumeration on random imputed
+//! tuples.
+
+use proptest::prelude::*;
+
+use ter_repo::{PivotConfig, PivotTable, Record, Repository, Schema};
+use ter_stream::{AttrCandidates, ProbTuple};
+use ter_text::{Dictionary, KeywordSet, Token, TokenSet};
+
+use crate::meta::{AuxLayout, TupleMeta};
+use crate::pruning;
+use crate::refine::{exact_probability, refine_pair, Refinement};
+
+/// A compact fixture: vocabulary of 40 tokens, 2-attribute schema,
+/// repository of token-set samples to select pivots from.
+struct Fx {
+    pivots: PivotTable,
+    layout: AuxLayout,
+}
+
+fn fixture() -> Fx {
+    let schema = Schema::new(vec!["a", "b"]);
+    let mut dict = Dictionary::new();
+    let recs: Vec<Record> = (0..12u64)
+        .map(|i| {
+            let t1 = format!("w{} w{} w{}", i % 7, (i * 3) % 11, (i * 5) % 13);
+            let t2 = format!("w{} w{}", (i * 2) % 9, (i * 7) % 11);
+            Record::from_texts(&schema, i, &[Some(&t1), Some(&t2)], &mut dict)
+        })
+        .collect();
+    let repo = Repository::from_records(schema, recs);
+    let pivots = PivotTable::select(&repo, &PivotConfig::default());
+    let layout = AuxLayout::new(&pivots);
+    Fx { pivots, layout }
+}
+
+fn arb_tokenset() -> impl Strategy<Value = TokenSet> {
+    proptest::collection::vec(0u32..40, 1..6)
+        .prop_map(|v| TokenSet::new(v.into_iter().map(Token).collect()))
+}
+
+/// A random imputed tuple over the 2-attribute schema: attribute 0 is
+/// always present; attribute 1 is either present or imputed with 1–3
+/// candidates.
+fn arb_prob_tuple(id: u64) -> impl Strategy<Value = (TokenSet, Vec<(TokenSet, f64)>)> {
+    (
+        arb_tokenset(),
+        proptest::collection::vec((arb_tokenset(), 1u32..5), 1..4),
+    )
+        .prop_map(|(a0, cands)| {
+            (
+                a0,
+                cands
+                    .into_iter()
+                    .map(|(ts, w)| (ts, w as f64))
+                    .collect::<Vec<_>>(),
+            )
+        })
+        .prop_map(move |x| {
+            let _ = id;
+            x
+        })
+}
+
+fn build_meta(fx: &Fx, id: u64, a0: TokenSet, cands: Vec<(TokenSet, f64)>) -> TupleMeta {
+    let schema = Schema::new(vec!["a", "b"]);
+    let base = Record::new(&schema, id, vec![Some(a0), None]);
+    let pt = ProbTuple::new(base, vec![AttrCandidates::normalized(1, cands)]);
+    TupleMeta::build(id, (id % 2) as usize, id, pt, &fx.pivots, &fx.layout, &KeywordSet::universe())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Lemma 4.1 + Lemma 4.2 (`ub_sim`): never below any instance pair's
+    /// true similarity.
+    #[test]
+    fn similarity_upper_bound_is_sound(
+        ta in arb_prob_tuple(1),
+        tb in arb_prob_tuple(2),
+    ) {
+        let fx = fixture();
+        let a = build_meta(&fx, 1, ta.0, ta.1);
+        let b = build_meta(&fx, 2, tb.0, tb.1);
+        let aux_counts: Vec<usize> =
+            (0..fx.pivots.arity()).map(|j| fx.pivots.aux_count(j)).collect();
+        let ub = pruning::ub_sim(&a, &b, &aux_counts);
+        for ia in a.tuple.instances() {
+            for ib in b.tuple.instances() {
+                let s = ia.similarity(&ib);
+                prop_assert!(ub >= s - 1e-9, "ub {ub} < instance sim {s}");
+            }
+        }
+    }
+
+    /// Lemma 4.3: the Paley–Zygmund bound dominates the exact probability
+    /// for every γ.
+    #[test]
+    fn probability_upper_bound_is_sound(
+        ta in arb_prob_tuple(1),
+        tb in arb_prob_tuple(2),
+        gamma_pct in 5u32..95,
+    ) {
+        let fx = fixture();
+        let a = build_meta(&fx, 1, ta.0, ta.1);
+        let b = build_meta(&fx, 2, tb.0, tb.1);
+        let gamma = 2.0 * gamma_pct as f64 / 100.0;
+        let kw = KeywordSet::universe();
+        let exact = exact_probability(&a, &b, &kw, gamma);
+        let ub = pruning::prob_upper_bound(&a, &b, gamma);
+        prop_assert!(ub >= exact - 1e-9, "ub {ub} < exact {exact} at γ={gamma}");
+    }
+
+    /// Theorem 4.4 refinement decides exactly like full enumeration.
+    #[test]
+    fn refinement_decision_is_exact(
+        ta in arb_prob_tuple(1),
+        tb in arb_prob_tuple(2),
+        alpha_pct in 0u32..100,
+        gamma_pct in 5u32..95,
+    ) {
+        let fx = fixture();
+        let a = build_meta(&fx, 1, ta.0, ta.1);
+        let b = build_meta(&fx, 2, tb.0, tb.1);
+        let alpha = alpha_pct as f64 / 100.0;
+        let gamma = 2.0 * gamma_pct as f64 / 100.0;
+        let kw = KeywordSet::universe();
+        let exact = exact_probability(&a, &b, &kw, gamma);
+        let decision = refine_pair(&a, &b, &kw, gamma, alpha);
+        let is_match = matches!(decision, Refinement::Match(_));
+        prop_assert_eq!(is_match, exact > alpha,
+            "exact={} alpha={} decision={:?}", exact, alpha, decision);
+    }
+
+    /// A pruned pair (any of the three cheap rules) must have exact
+    /// probability ≤ α — pruning soundness end to end.
+    #[test]
+    fn cheap_prunes_never_lose_matches(
+        ta in arb_prob_tuple(1),
+        tb in arb_prob_tuple(2),
+        alpha_pct in 5u32..95,
+    ) {
+        let fx = fixture();
+        let a = build_meta(&fx, 1, ta.0, ta.1);
+        let b = build_meta(&fx, 2, tb.0, tb.1);
+        let gamma = 1.0;
+        let alpha = alpha_pct as f64 / 100.0;
+        let kw = KeywordSet::universe();
+        let aux_counts: Vec<usize> =
+            (0..fx.pivots.arity()).map(|j| fx.pivots.aux_count(j)).collect();
+        let exact = exact_probability(&a, &b, &kw, gamma);
+        if pruning::sim_prunable(&a, &b, gamma, &aux_counts) {
+            prop_assert!(exact <= 1e-12, "sim-pruned pair has Pr={exact}");
+        }
+        if pruning::prob_prunable(&a, &b, gamma, alpha) {
+            prop_assert!(exact <= alpha + 1e-9, "prob-pruned pair has Pr={exact} > α={alpha}");
+        }
+    }
+
+    /// Topic pruning soundness: if `topic_prunable`, no instance pair can
+    /// satisfy the keyword predicate.
+    #[test]
+    fn topic_prune_is_sound(
+        ta in arb_prob_tuple(1),
+        tb in arb_prob_tuple(2),
+        kw_tokens in proptest::collection::vec(0u32..40, 1..4),
+    ) {
+        let fx = fixture();
+        let schema = Schema::new(vec!["a", "b"]);
+        let kw = KeywordSet::new(TokenSet::new(
+            kw_tokens.into_iter().map(Token).collect(),
+        ));
+        let mk = |id: u64, t: &(TokenSet, Vec<(TokenSet, f64)>)| {
+            let base = Record::new(&schema, id, vec![Some(t.0.clone()), None]);
+            let pt = ProbTuple::new(base, vec![AttrCandidates::normalized(1, t.1.clone())]);
+            TupleMeta::build(id, (id % 2) as usize, id, pt, &fx.pivots, &fx.layout, &kw)
+        };
+        let a = mk(1, &ta);
+        let b = mk(2, &tb);
+        if pruning::topic_prunable(&a, &b) {
+            let exact = exact_probability(&a, &b, &kw, 0.0);
+            prop_assert!(exact <= 1e-12, "topic-pruned pair has Pr={exact}");
+        }
+    }
+}

@@ -1,0 +1,244 @@
+//! Exact `Pr_TER-iDS` computation (Equation 2) and the instance-pair-level
+//! pruning / early termination of Theorem 4.4.
+//!
+//! Refinement enumerates instance pairs `(r_{i,m}, r_{j,m'})` in
+//! probability-mass order is not required for correctness; Theorem 4.4 only
+//! needs the running sums: after processing a set `S` of pairs,
+//!
+//! ```text
+//! Pr ≤ Σ_{S} Pr(pair) + (1 − Σ_{S} p_i·p_j)      (prune when ≤ α)
+//! Pr ≥ Σ_{S} Pr(pair)                            (accept when > α)
+//! ```
+//!
+//! so the loop stops as soon as either bound decides the pair.
+
+use ter_text::KeywordSet;
+
+use crate::meta::TupleMeta;
+
+/// Outcome of refining one tuple pair.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Refinement {
+    /// The pair matches (`Pr_TER-iDS > α`); carries the accumulated
+    /// qualifying probability at decision time (a lower bound on the exact
+    /// probability when early-accepted).
+    Match(f64),
+    /// Rejected by the Theorem 4.4 upper bound before exhausting pairs.
+    PrunedEarly {
+        /// Instance pairs examined before the bound dropped below `α`.
+        pairs_examined: usize,
+    },
+    /// Rejected after full enumeration (`Pr_TER-iDS ≤ α` exactly).
+    NoMatch(f64),
+}
+
+/// Exact probability (Equation 2), no early termination. Exposed for
+/// tests, the oracle, and the no-pruning baselines.
+pub fn exact_probability(
+    a: &TupleMeta,
+    b: &TupleMeta,
+    keywords: &KeywordSet,
+    gamma: f64,
+) -> f64 {
+    let a_insts: Vec<_> = a.tuple.instances().collect();
+    let b_insts: Vec<_> = b.tuple.instances().collect();
+    let mut pr = 0.0;
+    for ia in &a_insts {
+        let a_topical = keywords.is_universe() || ia.contains_any_token(keywords.tokens());
+        for ib in &b_insts {
+            let topical = a_topical
+                || keywords.is_universe()
+                || ib.contains_any_token(keywords.tokens());
+            if topical && ia.similarity(ib) > gamma {
+                pr += ia.prob * ib.prob;
+            }
+        }
+    }
+    pr
+}
+
+/// Refines a tuple pair with Theorem 4.4 early termination.
+pub fn refine_pair(
+    a: &TupleMeta,
+    b: &TupleMeta,
+    keywords: &KeywordSet,
+    gamma: f64,
+    alpha: f64,
+) -> Refinement {
+    let a_insts: Vec<_> = a.tuple.instances().collect();
+    let b_insts: Vec<_> = b.tuple.instances().collect();
+    let mut qualifying = 0.0; // Σ_S Pr(pair)
+    let mut processed = 0.0; // Σ_S p_i · p_j
+    let mut examined = 0usize;
+    for ia in &a_insts {
+        let a_topical = keywords.is_universe() || ia.contains_any_token(keywords.tokens());
+        for ib in &b_insts {
+            let mass = ia.prob * ib.prob;
+            let topical = a_topical || ib.contains_any_token(keywords.tokens());
+            if topical && ia.similarity(ib) > gamma {
+                qualifying += mass;
+            }
+            processed += mass;
+            examined += 1;
+            if qualifying > alpha {
+                return Refinement::Match(qualifying);
+            }
+            // Theorem 4.4: optimistic mass of unprocessed pairs.
+            if qualifying + (1.0 - processed) <= alpha {
+                return Refinement::PrunedEarly {
+                    pairs_examined: examined,
+                };
+            }
+        }
+    }
+    // Exhausted: exact probability is `qualifying`.
+    if qualifying > alpha {
+        Refinement::Match(qualifying)
+    } else {
+        Refinement::NoMatch(qualifying)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::meta::{AuxLayout, TupleMeta};
+    use ter_repo::{PivotConfig, PivotTable, Record, Repository, Schema};
+    use ter_stream::{AttrCandidates, ProbTuple};
+    use ter_text::Dictionary;
+
+    struct Fx {
+        pivots: PivotTable,
+        layout: AuxLayout,
+        dict: Dictionary,
+        schema: Schema,
+    }
+
+    fn fx() -> Fx {
+        let schema = Schema::new(vec!["a", "b"]);
+        let mut dict = Dictionary::new();
+        let rows = [
+            ("alpha beta", "red green"),
+            ("gamma delta", "blue yellow"),
+            ("alpha gamma", "red blue"),
+            ("beta delta", "green yellow"),
+        ];
+        let recs = rows
+            .iter()
+            .enumerate()
+            .map(|(i, (x, y))| Record::from_texts(&schema, i as u64, &[Some(x), Some(y)], &mut dict))
+            .collect();
+        let repo = Repository::from_records(schema.clone(), recs);
+        let pivots = PivotTable::select(&repo, &PivotConfig::default());
+        let layout = AuxLayout::new(&pivots);
+        Fx {
+            pivots,
+            layout,
+            dict,
+            schema,
+        }
+    }
+
+    fn certain(fxt: &mut Fx, id: u64, a: &str, b: &str, kw: &KeywordSet) -> TupleMeta {
+        let r = Record::from_texts(&fxt.schema, id, &[Some(a), Some(b)], &mut fxt.dict);
+        TupleMeta::build(id, 0, 0, ProbTuple::certain(r), &fxt.pivots, &fxt.layout, kw)
+    }
+
+    #[test]
+    fn exact_probability_certain_pair() {
+        let mut f = fx();
+        let kw = KeywordSet::universe();
+        let a = certain(&mut f, 1, "alpha beta", "red green", &kw);
+        let b = certain(&mut f, 2, "alpha beta", "red green", &kw);
+        // Identical: sim = 2 > γ for γ < 2.
+        assert_eq!(exact_probability(&a, &b, &kw, 1.5), 1.0);
+        assert_eq!(exact_probability(&a, &b, &kw, 2.0), 0.0); // strict >
+    }
+
+    #[test]
+    fn exact_probability_respects_topic() {
+        let mut f = fx();
+        let kw_match = KeywordSet::parse("alpha", &f.dict);
+        let kw_miss = KeywordSet::parse("zeta", &f.dict); // not in dict → empty
+        let a = certain(&mut f, 1, "alpha beta", "red green", &kw_match);
+        let b = certain(&mut f, 2, "alpha beta", "red green", &kw_match);
+        assert_eq!(exact_probability(&a, &b, &kw_match, 1.5), 1.0);
+        assert_eq!(exact_probability(&a, &b, &kw_miss, 1.5), 0.0);
+    }
+
+    #[test]
+    fn probabilistic_pair_prob_is_mass_of_matching_instances() {
+        let mut f = fx();
+        let kw = KeywordSet::universe();
+        let base = Record::from_texts(&f.schema, 1, &[Some("alpha beta"), None], &mut f.dict);
+        let close = ter_text::tokenize("red green", &mut f.dict);
+        let far = ter_text::tokenize("purple orange", &mut f.dict);
+        let pt = ProbTuple::new(
+            base,
+            vec![AttrCandidates::normalized(1, vec![(close, 3.0), (far, 1.0)])],
+        );
+        let a = TupleMeta::build(1, 0, 0, pt, &f.pivots, &f.layout, &kw);
+        let b = certain(&mut f, 2, "alpha beta", "red green", &kw);
+        // Matching instance: candidate "red green" (p=0.75) → sim=2 > 1.5.
+        // Other candidate: sim = 1 + 0 < 1.5.
+        let pr = exact_probability(&a, &b, &kw, 1.5);
+        assert!((pr - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn refine_matches_exact_decision() {
+        let mut f = fx();
+        let kw = KeywordSet::universe();
+        let base = Record::from_texts(&f.schema, 1, &[Some("alpha beta"), None], &mut f.dict);
+        let c1 = ter_text::tokenize("red green", &mut f.dict);
+        let c2 = ter_text::tokenize("purple orange", &mut f.dict);
+        let pt = ProbTuple::new(
+            base,
+            vec![AttrCandidates::normalized(1, vec![(c1, 1.0), (c2, 1.0)])],
+        );
+        let a = TupleMeta::build(1, 0, 0, pt, &f.pivots, &f.layout, &kw);
+        let b = certain(&mut f, 2, "alpha beta", "red green", &kw);
+        let exact = exact_probability(&a, &b, &kw, 1.5);
+        for alpha in [0.1, 0.4, 0.49, 0.51, 0.9] {
+            let r = refine_pair(&a, &b, &kw, 1.5, alpha);
+            let is_match = matches!(r, Refinement::Match(_));
+            assert_eq!(is_match, exact > alpha, "alpha={alpha}, refine={r:?}");
+        }
+    }
+
+    #[test]
+    fn early_accept_stops_before_exhaustion() {
+        let mut f = fx();
+        let kw = KeywordSet::universe();
+        let a = certain(&mut f, 1, "alpha beta", "red green", &kw);
+        let b = certain(&mut f, 2, "alpha beta", "red green", &kw);
+        // Identical certain tuples, α=0.5: first instance pair qualifies
+        // with mass 1 > 0.5 → Match(1.0).
+        assert_eq!(refine_pair(&a, &b, &kw, 1.5, 0.5), Refinement::Match(1.0));
+    }
+
+    #[test]
+    fn early_prune_reports_examined_pairs() {
+        let mut f = fx();
+        let kw = KeywordSet::universe();
+        let a = certain(&mut f, 1, "alpha beta", "red green", &kw);
+        let b = certain(&mut f, 2, "gamma delta", "blue yellow", &kw);
+        // Disjoint: first pair disqualifies, remaining mass 0 ≤ α.
+        match refine_pair(&a, &b, &kw, 1.0, 0.3) {
+            Refinement::PrunedEarly { pairs_examined } => assert_eq!(pairs_examined, 1),
+            other => panic!("expected early prune, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn alpha_zero_requires_positive_probability() {
+        let mut f = fx();
+        let kw = KeywordSet::universe();
+        let a = certain(&mut f, 1, "alpha beta", "red green", &kw);
+        let b = certain(&mut f, 2, "alpha gamma", "red blue", &kw);
+        // sim = 1/3 + 1/3 ≈ 0.67; with γ=0.5 it matches; α=0 means any
+        // positive probability qualifies.
+        let r = refine_pair(&a, &b, &kw, 0.5, 0.0);
+        assert!(matches!(r, Refinement::Match(_)));
+    }
+}

@@ -1,0 +1,139 @@
+//! The maintained entity result set `ES` (Algorithm 1/2).
+//!
+//! Stores currently-valid matching pairs with per-tuple adjacency so that
+//! a tuple's expiry removes all its pairs in O(degree) (Algorithm 2
+//! lines 4–5).
+
+use ter_text::fxhash::{FxHashMap, FxHashSet};
+
+/// Normalizes a pair to `(min, max)` id order.
+#[inline]
+pub fn norm_pair(a: u64, b: u64) -> (u64, u64) {
+    if a <= b {
+        (a, b)
+    } else {
+        (b, a)
+    }
+}
+
+/// The live entity result set.
+#[derive(Debug, Default, Clone)]
+pub struct ResultSet {
+    pairs: FxHashSet<(u64, u64)>,
+    adj: FxHashMap<u64, FxHashSet<u64>>,
+}
+
+impl ResultSet {
+    /// Creates an empty result set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Inserts a matching pair; returns `false` if already present.
+    pub fn insert(&mut self, a: u64, b: u64) -> bool {
+        assert_ne!(a, b, "a tuple cannot match itself");
+        let pair = norm_pair(a, b);
+        if !self.pairs.insert(pair) {
+            return false;
+        }
+        self.adj.entry(a).or_default().insert(b);
+        self.adj.entry(b).or_default().insert(a);
+        true
+    }
+
+    /// Whether the pair is currently a result.
+    pub fn contains(&self, a: u64, b: u64) -> bool {
+        self.pairs.contains(&norm_pair(a, b))
+    }
+
+    /// Number of live pairs.
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// Whether there are no live pairs.
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+
+    /// Removes every pair involving `id` (tuple expiry); returns how many
+    /// pairs were dropped.
+    pub fn remove_involving(&mut self, id: u64) -> usize {
+        let Some(partners) = self.adj.remove(&id) else {
+            return 0;
+        };
+        let mut removed = 0;
+        for p in partners {
+            if self.pairs.remove(&norm_pair(id, p)) {
+                removed += 1;
+            }
+            if let Some(back) = self.adj.get_mut(&p) {
+                back.remove(&id);
+                if back.is_empty() {
+                    self.adj.remove(&p);
+                }
+            }
+        }
+        removed
+    }
+
+    /// Iterates over live pairs in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.pairs.iter().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_and_contains_are_order_insensitive() {
+        let mut es = ResultSet::new();
+        assert!(es.insert(5, 2));
+        assert!(es.contains(2, 5));
+        assert!(es.contains(5, 2));
+        assert!(!es.insert(2, 5)); // duplicate
+        assert_eq!(es.len(), 1);
+    }
+
+    #[test]
+    fn remove_involving_drops_all_pairs_of_a_tuple() {
+        let mut es = ResultSet::new();
+        es.insert(1, 2);
+        es.insert(1, 3);
+        es.insert(2, 3);
+        assert_eq!(es.remove_involving(1), 2);
+        assert_eq!(es.len(), 1);
+        assert!(es.contains(2, 3));
+        assert!(!es.contains(1, 2));
+        // Removing again is a no-op.
+        assert_eq!(es.remove_involving(1), 0);
+    }
+
+    #[test]
+    fn adjacency_cleanup_after_partner_expiry() {
+        let mut es = ResultSet::new();
+        es.insert(1, 2);
+        es.remove_involving(2);
+        assert!(es.is_empty());
+        // 1's adjacency must be cleaned so re-insertion works.
+        assert!(es.insert(1, 2));
+        assert_eq!(es.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot match itself")]
+    fn self_pair_panics() {
+        let mut es = ResultSet::new();
+        es.insert(7, 7);
+    }
+
+    #[test]
+    fn iter_yields_normalized_pairs() {
+        let mut es = ResultSet::new();
+        es.insert(9, 4);
+        let pairs: Vec<_> = es.iter().collect();
+        assert_eq!(pairs, vec![(4, 9)]);
+    }
+}

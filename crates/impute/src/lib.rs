@@ -1,0 +1,62 @@
+//! Imputation engines (§3 of the paper, plus the baseline imputers of §6).
+//!
+//! The paper's approach imputes a missing `r[A_j]` from CDD rules and a
+//! complete repository `R` (Equations 3–4); the experimental section
+//! compares against DD-rule, editing-rule, and constraint-based imputation.
+//! All engines produce a [`ProbTuple`] — the imputed probabilistic tuple of
+//! Definition 4.
+//!
+//! * [`RuleImputer`] — rule-driven imputation shared by CDD, DD, and
+//!   editing rules. It can retrieve matching samples either through the
+//!   CDD-index + DR-index pair (the paper's `I_j ⋈ I_R` side of the index
+//!   join) or by linear scans (the `CDD+ER` / `DD+ER` / `er+ER` baselines);
+//! * [`ConstraintImputer`] — the `con+ER` baseline (reference \[43\]):
+//!   imputes from the most similar complete tuples in the *current window*
+//!   without touching `R`;
+//! * [`Imputer`] — the common interface used by the engine and baselines.
+
+pub mod constraint;
+pub mod rule_imputer;
+
+pub use constraint::ConstraintImputer;
+pub use rule_imputer::{RuleImputer, RuleRetrieval};
+
+use ter_repo::Record;
+use ter_stream::ProbTuple;
+
+/// Extra context available at imputation time. The constraint-based
+/// baseline imputes from the sliding window's complete tuples; rule-based
+/// imputers ignore it.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ImputeContext<'a> {
+    /// Complete (or previously imputed most-likely) tuples currently in
+    /// the window.
+    pub window: &'a [Record],
+}
+
+/// Common imputation interface.
+pub trait Imputer {
+    /// Display name (matches the paper's method labels).
+    fn name(&self) -> &'static str;
+
+    /// Imputes every missing attribute of `record`, returning the
+    /// probabilistic tuple. Complete records pass through unchanged.
+    fn impute(&self, record: &Record, ctx: &ImputeContext<'_>) -> ProbTuple;
+}
+
+/// Shared tunables.
+#[derive(Debug, Clone, Copy)]
+pub struct ImputeConfig {
+    /// Keep at most this many candidate values per missing attribute
+    /// (top-k by probability, renormalized). Bounds the instance product;
+    /// see DESIGN.md §3.
+    pub max_candidates_per_attr: usize,
+}
+
+impl Default for ImputeConfig {
+    fn default() -> Self {
+        Self {
+            max_candidates_per_attr: 8,
+        }
+    }
+}

@@ -1,0 +1,555 @@
+//! Equi-width grid synopsis over `[0,1]^d`.
+//!
+//! The ER-grid `G_ER` of §5.2 divides the pivot-converted data space into
+//! same-size cells; each cell stores the tuples whose converted points fall
+//! into it plus merged aggregates used for pruning. The grid supports the
+//! sliding-window maintenance of §5.2: O(1) insert of arriving tuples and
+//! O(cell) eviction of expired tuples with aggregate recomputation.
+//!
+//! This module is generic over the aggregate and payload; the TER-iDS
+//! engine instantiates it with the paper's 4-part tuple aggregates.
+
+use std::collections::hash_map;
+
+use ter_text::fxhash::FxHashMap;
+use ter_text::Interval;
+
+use crate::rect::Rect;
+use crate::Aggregate;
+
+/// Integer coordinates of a grid cell.
+pub type CellKey = Box<[u16]>;
+
+/// One stored item: an opaque id, its converted point, and its aggregate.
+#[derive(Debug, Clone)]
+pub struct GridEntry<P, A> {
+    /// Caller-owned identifier (tuple id).
+    pub payload: P,
+    /// Point in the converted space.
+    pub point: Box<[f64]>,
+    /// Per-item aggregate.
+    pub agg: A,
+}
+
+#[derive(Debug, Clone)]
+struct Cell<P, A> {
+    entries: Vec<GridEntry<P, A>>,
+    /// Merge of `entries`' aggregates; `None` only transiently.
+    agg: Option<A>,
+}
+
+/// The grid synopsis. See the [module docs](self).
+#[derive(Debug, Clone)]
+pub struct Grid<P, A: Aggregate> {
+    dim: usize,
+    cells_per_dim: u16,
+    cells: FxHashMap<CellKey, Cell<P, A>>,
+    len: usize,
+}
+
+impl<P, A: Aggregate> Grid<P, A> {
+    /// Creates a grid with `cells_per_dim` cells along each of `dim` axes
+    /// (cell width `1 / cells_per_dim`).
+    pub fn new(dim: usize, cells_per_dim: u16) -> Self {
+        assert!(dim > 0 && cells_per_dim > 0);
+        Self {
+            dim,
+            cells_per_dim,
+            cells: FxHashMap::default(),
+            len: 0,
+        }
+    }
+
+    /// Number of stored entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the grid holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of non-empty cells.
+    pub fn occupied_cells(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Maps a coordinate to its cell index, clamping to the last cell so
+    /// that the boundary value `1.0` is representable.
+    #[inline]
+    fn coord_to_cell(&self, v: f64) -> u16 {
+        let clamped = v.clamp(0.0, 1.0);
+        let idx = (clamped * self.cells_per_dim as f64) as u16;
+        idx.min(self.cells_per_dim - 1)
+    }
+
+    /// The cell key of `point`.
+    pub fn key_of(&self, point: &[f64]) -> CellKey {
+        debug_assert_eq!(point.len(), self.dim);
+        point
+            .iter()
+            .map(|&v| self.coord_to_cell(v))
+            .collect::<Vec<_>>()
+            .into_boxed_slice()
+    }
+
+    /// The spatial extent of cell `key`.
+    pub fn cell_rect(&self, key: &[u16]) -> Rect {
+        let w = 1.0 / self.cells_per_dim as f64;
+        Rect::new(
+            key.iter()
+                .map(|&k| Interval::new(k as f64 * w, (k as f64 + 1.0) * w))
+                .collect(),
+        )
+    }
+
+    /// Inserts an item (O(1): one merge into the cell aggregate).
+    pub fn insert(&mut self, point: Vec<f64>, payload: P, agg: A) {
+        assert_eq!(point.len(), self.dim, "point dimensionality mismatch");
+        let key = self.key_of(&point);
+        let cell = self.cells.entry(key).or_insert_with(|| Cell {
+            entries: Vec::new(),
+            agg: None,
+        });
+        match &mut cell.agg {
+            None => cell.agg = Some(agg.clone()),
+            Some(a) => a.merge(&agg),
+        }
+        cell.entries.push(GridEntry {
+            payload,
+            point: point.into_boxed_slice(),
+            agg,
+        });
+        self.len += 1;
+    }
+
+    /// Visits cells and their entries with aggregate-based pruning.
+    ///
+    /// `visit_cell` receives each non-empty cell's rectangle and merged
+    /// aggregate; returning `false` skips the cell. Surviving entries are
+    /// handed to `on_entry`.
+    pub fn traverse<'a>(
+        &'a self,
+        mut visit_cell: impl FnMut(&Rect, &A) -> bool,
+        mut on_entry: impl FnMut(&'a GridEntry<P, A>),
+    ) {
+        for (key, cell) in &self.cells {
+            let agg = match &cell.agg {
+                Some(a) => a,
+                None => continue,
+            };
+            if !visit_cell(&self.cell_rect(key), agg) {
+                continue;
+            }
+            for e in &cell.entries {
+                on_entry(e);
+            }
+        }
+    }
+
+    /// All entries whose point lies inside `range`.
+    pub fn range_query(&self, range: &Rect) -> Vec<&GridEntry<P, A>> {
+        let mut out = Vec::new();
+        self.traverse(
+            |rect, _| range.intersects(rect),
+            |e| {
+                if range.contains_point(&e.point) {
+                    out.push(e);
+                }
+            },
+        );
+        out
+    }
+
+    /// Iterates over every stored entry.
+    pub fn iter(&self) -> impl Iterator<Item = &GridEntry<P, A>> {
+        self.cells.values().flat_map(|c| c.entries.iter())
+    }
+
+    /// Checks invariants: cell membership of points and the length counter.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        let mut total = 0;
+        for (key, cell) in &self.cells {
+            if cell.entries.is_empty() {
+                return Err("empty cell retained".into());
+            }
+            for e in &cell.entries {
+                if self.key_of(&e.point) != *key {
+                    return Err(format!("entry in wrong cell {key:?}"));
+                }
+            }
+            total += cell.entries.len();
+        }
+        if total != self.len {
+            return Err(format!("len {} but counted {}", self.len, total));
+        }
+        Ok(())
+    }
+}
+
+impl<P: PartialEq, A: Aggregate> Grid<P, A> {
+    /// Evicts the item with the given payload located at `point`
+    /// (the sliding-window expiry of §5.2). Recomputes the cell aggregate
+    /// from the survivors and drops the cell if it became empty.
+    ///
+    /// Returns `true` if an item was removed.
+    pub fn evict(&mut self, point: &[f64], payload: &P) -> bool {
+        let key = self.key_of(point);
+        let hash_map::Entry::Occupied(mut occ) = self.cells.entry(key) else {
+            return false;
+        };
+        let cell = occ.get_mut();
+        let Some(pos) = cell.entries.iter().position(|e| &e.payload == payload) else {
+            return false;
+        };
+        cell.entries.swap_remove(pos);
+        self.len -= 1;
+        if cell.entries.is_empty() {
+            occ.remove();
+        } else {
+            // Exact aggregate recomputation ("update the aggregate
+            // information of cells", Algorithm 2 lines 6–7).
+            let mut agg = cell.entries[0].agg.clone();
+            for e in &cell.entries[1..] {
+                agg.merge(&e.agg);
+            }
+            cell.agg = Some(agg);
+        }
+        true
+    }
+}
+
+/// A grid storing *regions* (rectangles) instead of points.
+///
+/// §5.2: "we insert the converted data point of r into cells c such that the
+/// imputed tuples r^p of r fall into cells c" — an imputed tuple's possible
+/// main-pivot distances form an interval per attribute, so the tuple
+/// occupies a rectangle and is registered in every intersecting cell. The
+/// ER-grid `G_ER` is an instance of this structure.
+///
+/// Entries duplicated across cells share a payload id; range queries return
+/// duplicates, which callers deduplicate (the engine keys candidates by
+/// tuple id).
+#[derive(Debug, Clone)]
+pub struct RegionGrid<P, A: Aggregate> {
+    inner: Grid<P, A>,
+}
+
+impl<P: Clone + PartialEq, A: Aggregate> RegionGrid<P, A> {
+    /// Creates a region grid with `cells_per_dim` cells per axis.
+    pub fn new(dim: usize, cells_per_dim: u16) -> Self {
+        Self {
+            inner: Grid::new(dim, cells_per_dim),
+        }
+    }
+
+    /// Dimensionality.
+    pub fn dim(&self) -> usize {
+        self.inner.dim()
+    }
+
+    /// Number of stored *regions* is not tracked (entries are duplicated);
+    /// this returns the number of cell entries.
+    pub fn cell_entry_count(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// Number of non-empty cells.
+    pub fn occupied_cells(&self) -> usize {
+        self.inner.occupied_cells()
+    }
+
+    /// Cell keys a region intersects.
+    fn keys_of_rect(&self, rect: &Rect) -> Vec<CellKey> {
+        let d = self.inner.dim;
+        let mut lo = Vec::with_capacity(d);
+        let mut hi = Vec::with_capacity(d);
+        for k in 0..d {
+            let iv = rect.dim_interval(k);
+            lo.push(self.inner.coord_to_cell(iv.lo));
+            hi.push(self.inner.coord_to_cell(iv.hi));
+        }
+        // Odometer over the cell ranges.
+        let mut keys = Vec::new();
+        let mut cur = lo.clone();
+        loop {
+            keys.push(cur.clone().into_boxed_slice());
+            let mut dim = 0;
+            loop {
+                if dim == d {
+                    return keys;
+                }
+                if cur[dim] < hi[dim] {
+                    cur[dim] += 1;
+                    // Reset lower dims back to their low cell.
+                    for (i, c) in cur.iter_mut().enumerate().take(dim) {
+                        *c = lo[i];
+                    }
+                    break;
+                }
+                dim += 1;
+            }
+        }
+    }
+
+    /// Registers a region in every cell it intersects.
+    pub fn insert(&mut self, rect: Rect, payload: P, agg: A) {
+        assert_eq!(rect.dim(), self.inner.dim);
+        for key in self.keys_of_rect(&rect) {
+            let cell = self.inner.cells.entry(key).or_insert_with(|| Cell {
+                entries: Vec::new(),
+                agg: None,
+            });
+            match &mut cell.agg {
+                None => cell.agg = Some(agg.clone()),
+                Some(a) => a.merge(&agg),
+            }
+            // Reuse GridEntry's point slot for the rect's low corner; the
+            // rect itself is recoverable from the payload owner. To keep
+            // eviction exact we store the rect per entry via the aggregate
+            // pairing below.
+            cell.entries.push(GridEntry {
+                payload: payload.clone(),
+                point: rect
+                    .dims()
+                    .iter()
+                    .map(|iv| iv.lo)
+                    .collect::<Vec<_>>()
+                    .into_boxed_slice(),
+                agg: agg.clone(),
+            });
+            self.inner.len += 1;
+        }
+    }
+
+    /// Removes a region (must pass the same rect used at insert).
+    /// Returns `true` if at least one cell entry was removed.
+    pub fn evict(&mut self, rect: &Rect, payload: &P) -> bool {
+        let mut removed_any = false;
+        for key in self.keys_of_rect(rect) {
+            let hash_map::Entry::Occupied(mut occ) = self.inner.cells.entry(key) else {
+                continue;
+            };
+            let cell = occ.get_mut();
+            if let Some(pos) = cell.entries.iter().position(|e| &e.payload == payload) {
+                cell.entries.swap_remove(pos);
+                self.inner.len -= 1;
+                removed_any = true;
+                if cell.entries.is_empty() {
+                    occ.remove();
+                } else {
+                    let mut agg = cell.entries[0].agg.clone();
+                    for e in &cell.entries[1..] {
+                        agg.merge(&e.agg);
+                    }
+                    cell.agg = Some(agg);
+                }
+            }
+        }
+        removed_any
+    }
+
+    /// Visits cells (with aggregate pruning) and their entries. Entries of
+    /// regions spanning several visited cells are reported once per cell —
+    /// deduplicate by payload.
+    pub fn traverse<'a>(
+        &'a self,
+        visit_cell: impl FnMut(&Rect, &A) -> bool,
+        on_entry: impl FnMut(&'a GridEntry<P, A>),
+    ) {
+        self.inner.traverse(visit_cell, on_entry);
+    }
+
+    /// Payloads of regions stored in cells intersecting `range`
+    /// (deduplicated via the provided closure-visible ordering — callers
+    /// typically collect into a set).
+    pub fn candidates_in(&self, range: &Rect) -> Vec<&P> {
+        let mut out = Vec::new();
+        self.traverse(
+            |rect, _| range.intersects(rect),
+            |e| out.push(&e.payload),
+        );
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, Clone, PartialEq)]
+    struct Count(usize);
+    impl Aggregate for Count {
+        fn merge(&mut self, o: &Self) {
+            self.0 += o.0;
+        }
+    }
+
+    #[test]
+    fn insert_and_len() {
+        let mut g: Grid<u32, Count> = Grid::new(2, 10);
+        g.insert(vec![0.15, 0.95], 1, Count(1));
+        g.insert(vec![0.18, 0.99], 2, Count(1));
+        g.insert(vec![0.85, 0.05], 3, Count(1));
+        assert_eq!(g.len(), 3);
+        assert_eq!(g.occupied_cells(), 2);
+        g.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn boundary_one_maps_to_last_cell() {
+        let g: Grid<u32, Count> = Grid::new(1, 4);
+        assert_eq!(g.key_of(&[1.0]).as_ref(), &[3]);
+        assert_eq!(g.key_of(&[0.0]).as_ref(), &[0]);
+        assert_eq!(g.key_of(&[0.999]).as_ref(), &[3]);
+        // Out-of-range values clamp instead of panicking.
+        assert_eq!(g.key_of(&[1.5]).as_ref(), &[3]);
+        assert_eq!(g.key_of(&[-0.5]).as_ref(), &[0]);
+    }
+
+    #[test]
+    fn range_query_matches_linear_scan() {
+        let mut g: Grid<u32, Count> = Grid::new(2, 8);
+        let pts: Vec<(f64, f64)> = (0..100)
+            .map(|i| ((i as f64 * 0.31) % 1.0, (i as f64 * 0.57) % 1.0))
+            .collect();
+        for (i, &(x, y)) in pts.iter().enumerate() {
+            g.insert(vec![x, y], i as u32, Count(1));
+        }
+        let range = Rect::new(vec![Interval::new(0.2, 0.6), Interval::new(0.1, 0.4)]);
+        let mut got: Vec<u32> = g.range_query(&range).iter().map(|e| e.payload).collect();
+        let mut expect: Vec<u32> = pts
+            .iter()
+            .enumerate()
+            .filter(|(_, &(x, y))| (0.2..=0.6).contains(&x) && (0.1..=0.4).contains(&y))
+            .map(|(i, _)| i as u32)
+            .collect();
+        got.sort_unstable();
+        expect.sort_unstable();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn evict_updates_aggregate() {
+        let mut g: Grid<u32, Count> = Grid::new(1, 4);
+        g.insert(vec![0.1], 1, Count(1));
+        g.insert(vec![0.12], 2, Count(1));
+        assert!(g.evict(&[0.1], &1));
+        assert_eq!(g.len(), 1);
+        let mut agg = None;
+        g.traverse(
+            |_, a| {
+                agg = Some(a.clone());
+                true
+            },
+            |_| {},
+        );
+        assert_eq!(agg, Some(Count(1)));
+    }
+
+    #[test]
+    fn evict_last_entry_removes_cell() {
+        let mut g: Grid<u32, Count> = Grid::new(2, 4);
+        g.insert(vec![0.3, 0.3], 7, Count(1));
+        assert!(g.evict(&[0.3, 0.3], &7));
+        assert_eq!(g.occupied_cells(), 0);
+        assert!(g.is_empty());
+        g.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn evict_missing_returns_false() {
+        let mut g: Grid<u32, Count> = Grid::new(1, 4);
+        g.insert(vec![0.5], 1, Count(1));
+        assert!(!g.evict(&[0.5], &2));
+        assert!(!g.evict(&[0.9], &1)); // wrong cell
+        assert_eq!(g.len(), 1);
+    }
+
+    #[test]
+    fn cell_pruning_skips_entries() {
+        let mut g: Grid<u32, Count> = Grid::new(1, 10);
+        for i in 0..100u32 {
+            g.insert(vec![i as f64 / 100.0], i, Count(1));
+        }
+        let mut seen = 0;
+        let range = Rect::new(vec![Interval::new(0.0, 0.15)]);
+        g.traverse(|rect, _| rect.intersects(&range), |_| seen += 1);
+        assert!(seen <= 20, "visited {seen} of 100");
+    }
+
+    #[test]
+    fn region_grid_insert_query_evict() {
+        let mut g: RegionGrid<u64, Count> = RegionGrid::new(2, 4);
+        let r1 = Rect::new(vec![
+            ter_text::Interval::new(0.1, 0.6), // spans cells 0-2
+            ter_text::Interval::new(0.1, 0.2), // cell 0
+        ]);
+        let r2 = Rect::new(vec![
+            ter_text::Interval::point(0.9),
+            ter_text::Interval::point(0.9),
+        ]);
+        g.insert(r1.clone(), 1, Count(1));
+        g.insert(r2.clone(), 2, Count(1));
+        assert_eq!(g.cell_entry_count(), 4); // region 1 in 3 cells + region 2 in 1
+        let q = Rect::new(vec![
+            ter_text::Interval::new(0.0, 0.3),
+            ter_text::Interval::new(0.0, 0.3),
+        ]);
+        let mut cands: Vec<u64> = g.candidates_in(&q).into_iter().copied().collect();
+        cands.sort_unstable();
+        cands.dedup();
+        assert_eq!(cands, vec![1]);
+        assert!(g.evict(&r1, &1));
+        assert_eq!(g.cell_entry_count(), 1);
+        assert!(!g.evict(&r1, &1));
+        assert!(g.evict(&r2, &2));
+        assert_eq!(g.occupied_cells(), 0);
+    }
+
+    #[test]
+    fn region_grid_degenerate_point_region() {
+        let mut g: RegionGrid<u64, Count> = RegionGrid::new(3, 5);
+        let r = Rect::point(&[0.5, 0.5, 0.5]);
+        g.insert(r.clone(), 7, Count(1));
+        assert_eq!(g.cell_entry_count(), 1);
+        let cands = g.candidates_in(&Rect::unit(3));
+        assert_eq!(cands.len(), 1);
+    }
+
+    #[test]
+    fn region_grid_full_space_region() {
+        let mut g: RegionGrid<u64, Count> = RegionGrid::new(2, 3);
+        g.insert(Rect::unit(2), 1, Count(1));
+        assert_eq!(g.cell_entry_count(), 9);
+        // Every cell sees the entry; candidates are duplicated.
+        let cands = g.candidates_in(&Rect::unit(2));
+        assert_eq!(cands.len(), 9);
+        assert!(g.evict(&Rect::unit(2), &1));
+        assert_eq!(g.cell_entry_count(), 0);
+    }
+
+    #[test]
+    fn sliding_window_churn() {
+        // Simulates window maintenance: insert w, then evict-oldest/insert.
+        let mut g: Grid<u64, Count> = Grid::new(2, 6);
+        let point_of = |i: u64| vec![(i as f64 * 0.17) % 1.0, (i as f64 * 0.29) % 1.0];
+        let w = 50u64;
+        for i in 0..w {
+            g.insert(point_of(i), i, Count(1));
+        }
+        for i in w..200 {
+            let old = i - w;
+            assert!(g.evict(&point_of(old), &old), "evict {old}");
+            g.insert(point_of(i), i, Count(1));
+            assert_eq!(g.len(), w as usize);
+        }
+        g.check_invariants().unwrap();
+    }
+}

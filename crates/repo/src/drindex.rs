@@ -1,0 +1,288 @@
+//! The DR-index `I_R` (§5.1): an aR-tree over pivot-converted repository
+//! samples.
+//!
+//! Each sample `s ∈ R` becomes the `d`-dimensional point
+//! `(dist(s[A_1], piv_1[A_1]), …, dist(s[A_d], piv_1[A_d]))`. Leaf entries
+//! carry the paper's three aggregate kinds, and inner nodes their merge:
+//!
+//! 1. a Boolean keyword vector `V_s`;
+//! 2. intervals bounding the distances to the *auxiliary* pivots
+//!    `dist(s[A_x], piv_a[A_x])`, `a ≥ 2`;
+//! 3. intervals bounding the token-set sizes `|T(s[A_x])|`.
+//!
+//! During imputation the engine range-queries the tree with per-attribute
+//! main-pivot distance bounds derived from the CDD constraints, pruning
+//! subtrees by aggregate before verifying samples exactly.
+
+use ter_index::{ArTree, Entry, Rect};
+use ter_text::{Interval, KeywordSet, TopicVector};
+
+use crate::pivot::PivotTable;
+use crate::repository::Repository;
+
+/// Node/leaf aggregate of the DR-index (see the [module docs](self)).
+#[derive(Debug, Clone)]
+pub struct DrAggregate {
+    /// OR of keyword vectors of all samples beneath.
+    pub topics: TopicVector,
+    /// Minimal bounding intervals of auxiliary-pivot distances, flattened
+    /// in the layout given by [`DrIndex::aux_offset`].
+    pub aux: Vec<Interval>,
+    /// Minimal bounding intervals of token-set sizes, one per attribute.
+    pub token_sizes: Vec<Interval>,
+}
+
+impl ter_index::Aggregate for DrAggregate {
+    fn merge(&mut self, other: &Self) {
+        self.topics.or_assign(&other.topics);
+        for (a, b) in self.aux.iter_mut().zip(&other.aux) {
+            a.expand_interval(b);
+        }
+        for (a, b) in self.token_sizes.iter_mut().zip(&other.token_sizes) {
+            a.expand_interval(b);
+        }
+    }
+}
+
+/// The DR-index over a repository. Payloads are sample positions in `R`.
+#[derive(Debug, Clone)]
+pub struct DrIndex {
+    tree: ArTree<usize, DrAggregate>,
+    /// `aux_offsets[j]` = start of attribute `j`'s auxiliary intervals in
+    /// [`DrAggregate::aux`]; `aux_offsets[d]` = total length.
+    aux_offsets: Vec<usize>,
+}
+
+impl DrIndex {
+    /// Bulk-builds the index over every sample of `repo`.
+    ///
+    /// `keywords` fixes the keyword universe for the Boolean vectors; use
+    /// [`KeywordSet::universe`] when topics are unconstrained.
+    pub fn build(
+        repo: &Repository,
+        pivots: &PivotTable,
+        keywords: &KeywordSet,
+        max_fanout: usize,
+    ) -> Self {
+        let d = repo.schema().arity();
+        let mut aux_offsets = Vec::with_capacity(d + 1);
+        let mut off = 0;
+        for j in 0..d {
+            aux_offsets.push(off);
+            off += pivots.aux_count(j);
+        }
+        aux_offsets.push(off);
+
+        let entries: Vec<Entry<usize, DrAggregate>> = (0..repo.len())
+            .map(|i| {
+                let s = repo.sample(i);
+                let point = pivots.convert_complete(&s.attrs).into_boxed_slice();
+                Entry {
+                    point,
+                    payload: i,
+                    agg: leaf_aggregate(repo, pivots, keywords, &aux_offsets, i),
+                }
+            })
+            .collect();
+        Self {
+            tree: ArTree::bulk_load(d, max_fanout, entries),
+            aux_offsets,
+        }
+    }
+
+    /// Inserts one more sample (dynamic repository, §5.5). `pos` must be
+    /// the sample's position in the repository.
+    pub fn insert_sample(
+        &mut self,
+        repo: &Repository,
+        pivots: &PivotTable,
+        keywords: &KeywordSet,
+        pos: usize,
+    ) {
+        let s = repo.sample(pos);
+        let point = pivots.convert_complete(&s.attrs);
+        let agg = leaf_aggregate(repo, pivots, keywords, &self.aux_offsets, pos);
+        self.tree.insert(point, pos, agg);
+    }
+
+    /// The underlying aR-tree (for the engine's 3-way index join).
+    pub fn tree(&self) -> &ArTree<usize, DrAggregate> {
+        &self.tree
+    }
+
+    /// Start of attribute `j`'s auxiliary-interval block in the aggregate.
+    pub fn aux_offset(&self, j: usize) -> usize {
+        self.aux_offsets[j]
+    }
+
+    /// Sample positions whose converted point falls inside the given
+    /// per-attribute main-pivot distance bounds (`None` = unconstrained).
+    /// This is the coarse candidate retrieval of the index join; callers
+    /// verify exact CDD constraints on the returned samples.
+    pub fn candidate_samples(&self, bounds: &[Option<Interval>]) -> Vec<usize> {
+        let rect = Rect::new(
+            bounds
+                .iter()
+                .map(|b| clamp_unit(b.unwrap_or_else(Interval::unit)))
+                .collect(),
+        );
+        self.tree
+            .range_query(&rect)
+            .into_iter()
+            .map(|e| e.payload)
+            .collect()
+    }
+}
+
+/// Clamps a query interval to the valid distance range `[0,1]`.
+fn clamp_unit(i: Interval) -> Interval {
+    Interval::new(i.lo.clamp(0.0, 1.0), i.hi.clamp(0.0, 1.0).max(i.lo.clamp(0.0, 1.0)))
+}
+
+fn leaf_aggregate(
+    repo: &Repository,
+    pivots: &PivotTable,
+    keywords: &KeywordSet,
+    aux_offsets: &[usize],
+    pos: usize,
+) -> DrAggregate {
+    let d = repo.schema().arity();
+    let s = repo.sample(pos);
+    let mut aux = vec![Interval::empty(); aux_offsets[d]];
+    let mut token_sizes = Vec::with_capacity(d);
+    for j in 0..d {
+        let v = s.attr(j).unwrap();
+        for a in 0..pivots.aux_count(j) {
+            aux[aux_offsets[j] + a] = Interval::point(pivots.aux_distance(j, a, v));
+        }
+        token_sizes.push(Interval::point(v.len() as f64));
+    }
+    DrAggregate {
+        topics: keywords.topic_vector(&s.all_tokens()),
+        aux,
+        token_sizes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pivot::PivotConfig;
+    use crate::record::{Record, Schema};
+    use ter_text::Dictionary;
+
+    fn setup() -> (Repository, PivotTable, Dictionary) {
+        let schema = Schema::new(vec!["title", "venue"]);
+        let mut dict = Dictionary::new();
+        let texts = [
+            ("entity resolution over streams", "sigmod"),
+            ("approximate joins on data streams", "sigmod"),
+            ("skyline queries incomplete streams", "vldb"),
+            ("topic aware entity matching", "vldb"),
+            ("record linkage web databases", "icde"),
+            ("probabilistic entity linking networks", "sigmod"),
+            ("temporal record linking profiles", "icde"),
+            ("meta blocking entity resolution", "tkde"),
+        ];
+        let recs = texts
+            .iter()
+            .enumerate()
+            .map(|(i, (a, b))| {
+                Record::from_texts(&schema, i as u64, &[Some(a), Some(b)], &mut dict)
+            })
+            .collect();
+        let repo = Repository::from_records(schema, recs);
+        let pivots = PivotTable::select(&repo, &PivotConfig::default());
+        (repo, pivots, dict)
+    }
+
+    #[test]
+    fn build_indexes_all_samples() {
+        let (repo, pivots, dict) = setup();
+        let kw = KeywordSet::parse("entity", &dict);
+        let idx = DrIndex::build(&repo, &pivots, &kw, 4);
+        assert_eq!(idx.tree().len(), repo.len());
+        // Unconstrained query returns everything.
+        let all = idx.candidate_samples(&[None, None]);
+        assert_eq!(all.len(), repo.len());
+    }
+
+    #[test]
+    fn candidate_query_matches_linear_scan() {
+        let (repo, pivots, dict) = setup();
+        let kw = KeywordSet::parse("entity", &dict);
+        let idx = DrIndex::build(&repo, &pivots, &kw, 4);
+        let bound = Interval::new(0.0, 0.4);
+        let mut got = idx.candidate_samples(&[Some(bound), None]);
+        got.sort_unstable();
+        let expect: Vec<usize> = (0..repo.len())
+            .filter(|&i| {
+                let v = repo.sample(i).attr(0).unwrap();
+                bound.contains(pivots.convert_value(0, v))
+            })
+            .collect();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn root_aggregate_covers_all_topics() {
+        let (repo, pivots, dict) = setup();
+        let kw = KeywordSet::parse("entity skyline", &dict);
+        let idx = DrIndex::build(&repo, &pivots, &kw, 4);
+        let root = idx.tree().root_agg().unwrap();
+        assert_eq!(root.topics.count_ones(), 2); // both keywords occur in R
+        // Token-size aggregate covers each sample's sizes.
+        for i in 0..repo.len() {
+            for j in 0..2 {
+                let sz = repo.sample(i).attr(j).unwrap().len() as f64;
+                assert!(root.token_sizes[j].contains(sz));
+            }
+        }
+    }
+
+    #[test]
+    fn aux_intervals_bound_every_sample() {
+        let (repo, pivots, dict) = setup();
+        let kw = KeywordSet::universe();
+        let idx = DrIndex::build(&repo, &pivots, &kw, 4);
+        let root = idx.tree().root_agg().unwrap();
+        let _ = dict;
+        for i in 0..repo.len() {
+            for j in 0..2 {
+                for a in 0..pivots.aux_count(j) {
+                    let d = pivots.aux_distance(j, a, repo.sample(i).attr(j).unwrap());
+                    assert!(root.aux[idx.aux_offset(j) + a].contains(d));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dynamic_insert_is_queryable() {
+        let (mut repo, pivots, mut dict) = setup();
+        let kw = KeywordSet::universe();
+        let mut idx = DrIndex::build(&repo, &pivots, &kw, 4);
+        let schema = repo.schema().clone();
+        repo.insert(Record::from_texts(
+            &schema,
+            99,
+            &[Some("crowdsourced entity matching oracle"), Some("vldb")],
+            &mut dict,
+        ));
+        idx.insert_sample(&repo, &pivots, &kw, repo.len() - 1);
+        assert_eq!(idx.tree().len(), repo.len());
+        let all = idx.candidate_samples(&[None, None]);
+        assert!(all.contains(&(repo.len() - 1)));
+    }
+
+    #[test]
+    fn out_of_range_bounds_are_clamped() {
+        let (repo, pivots, dict) = setup();
+        let kw = KeywordSet::universe();
+        let _ = dict;
+        let idx = DrIndex::build(&repo, &pivots, &kw, 4);
+        // Triangle-inequality-derived bounds can exceed [0,1]; must clamp.
+        let got = idx.candidate_samples(&[Some(Interval::new(-0.5, 1.5)), None]);
+        assert_eq!(got.len(), repo.len());
+    }
+}

@@ -1,0 +1,244 @@
+//! The `d`-attribute textual tuple model (Definition 1).
+//!
+//! Every record carries a unique id and `d` attribute values, each a
+//! [`TokenSet`] or missing (`None`, the paper's "−"). Repository samples
+//! are always complete; stream tuples may be incomplete.
+
+use ter_text::{tokenize, Dictionary, TokenSet};
+
+/// Unique record/profile identifier (`rid` in Definition 1).
+pub type RecordId = u64;
+
+/// The attribute layout shared by a repository and its streams.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schema {
+    attrs: Vec<String>,
+}
+
+impl Schema {
+    /// Builds a schema from attribute names.
+    ///
+    /// # Panics
+    /// Panics if `attrs` is empty (the similarity function needs `d ≥ 1`).
+    pub fn new<S: Into<String>>(attrs: Vec<S>) -> Self {
+        let attrs: Vec<String> = attrs.into_iter().map(Into::into).collect();
+        assert!(!attrs.is_empty(), "schema needs at least one attribute");
+        Self { attrs }
+    }
+
+    /// Dimensionality `d`.
+    #[inline]
+    pub fn arity(&self) -> usize {
+        self.attrs.len()
+    }
+
+    /// Attribute names in order.
+    pub fn attr_names(&self) -> &[String] {
+        &self.attrs
+    }
+
+    /// Index of the attribute called `name`.
+    pub fn attr_index(&self, name: &str) -> Option<usize> {
+        self.attrs.iter().position(|a| a == name)
+    }
+}
+
+/// One record: id plus `d` optional token-set values.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Record {
+    /// Unique profile identifier.
+    pub id: RecordId,
+    /// `attrs[j]` is `T(r[A_j])`, or `None` when `r[A_j] = "−"`.
+    pub attrs: Vec<Option<TokenSet>>,
+}
+
+impl Record {
+    /// Builds a record, checking the arity against `schema`.
+    pub fn new(schema: &Schema, id: RecordId, attrs: Vec<Option<TokenSet>>) -> Self {
+        assert_eq!(
+            attrs.len(),
+            schema.arity(),
+            "record arity does not match schema"
+        );
+        Self { id, attrs }
+    }
+
+    /// Convenience constructor from raw attribute strings
+    /// (`None` = missing), tokenizing into `dict`.
+    pub fn from_texts(
+        schema: &Schema,
+        id: RecordId,
+        texts: &[Option<&str>],
+        dict: &mut Dictionary,
+    ) -> Self {
+        assert_eq!(texts.len(), schema.arity());
+        let attrs = texts
+            .iter()
+            .map(|t| t.map(|s| tokenize(s, dict)))
+            .collect();
+        Self { id, attrs }
+    }
+
+    /// Value of attribute `j`, or `None` when missing.
+    #[inline]
+    pub fn attr(&self, j: usize) -> Option<&TokenSet> {
+        self.attrs[j].as_ref()
+    }
+
+    /// Whether attribute `j` is missing.
+    #[inline]
+    pub fn is_missing(&self, j: usize) -> bool {
+        self.attrs[j].is_none()
+    }
+
+    /// Indices of missing attributes.
+    pub fn missing_attrs(&self) -> Vec<usize> {
+        (0..self.attrs.len())
+            .filter(|&j| self.is_missing(j))
+            .collect()
+    }
+
+    /// Whether every attribute is present.
+    pub fn is_complete(&self) -> bool {
+        self.attrs.iter().all(|a| a.is_some())
+    }
+
+    /// Summed per-attribute similarity (Definition 5).
+    ///
+    /// Defined on complete records; a missing attribute contributes 0
+    /// (no shared evidence — including when *both* sides are missing), so
+    /// the function stays total. Callers that need the paper's exact
+    /// semantics impute first.
+    pub fn similarity(&self, other: &Record) -> f64 {
+        let empty = TokenSet::empty();
+        self.attrs
+            .iter()
+            .zip(&other.attrs)
+            .map(|(a, b)| {
+                let a = a.as_ref().unwrap_or(&empty);
+                let b = b.as_ref().unwrap_or(&empty);
+                a.er_similarity(b)
+            })
+            .sum()
+    }
+
+    /// Summed per-attribute Jaccard distance; `similarity + distance = d`.
+    pub fn distance(&self, other: &Record) -> f64 {
+        self.attrs.len() as f64 - self.similarity(other)
+    }
+
+    /// Union of all attribute token sets — the token set used by the topic
+    /// test `ϖ(r, K)` ("the token set of r contains at least one keyword").
+    pub fn all_tokens(&self) -> TokenSet {
+        let mut acc = TokenSet::empty();
+        for a in self.attrs.iter().flatten() {
+            acc = acc.union(a);
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema4() -> Schema {
+        Schema::new(vec!["gender", "symptom", "diagnosis", "treatment"])
+    }
+
+    #[test]
+    fn schema_lookup() {
+        let s = schema4();
+        assert_eq!(s.arity(), 4);
+        assert_eq!(s.attr_index("diagnosis"), Some(2));
+        assert_eq!(s.attr_index("nope"), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one attribute")]
+    fn empty_schema_panics() {
+        let _ = Schema::new(Vec::<String>::new());
+    }
+
+    #[test]
+    fn from_texts_marks_missing() {
+        let s = schema4();
+        let mut d = Dictionary::new();
+        // Tuple a2 from Table 1 of the paper.
+        let r = Record::from_texts(
+            &s,
+            2,
+            &[Some("male"), Some("loss of weight, blurred vision"), None, None],
+            &mut d,
+        );
+        assert!(!r.is_complete());
+        assert_eq!(r.missing_attrs(), vec![2, 3]);
+        assert!(r.attr(1).unwrap().len() == 5);
+    }
+
+    #[test]
+    fn similarity_sums_over_attributes() {
+        let s = schema4();
+        let mut d = Dictionary::new();
+        let a = Record::from_texts(
+            &s,
+            1,
+            &[Some("male"), Some("loss of weight"), Some("diabetes"), Some("drug therapy")],
+            &mut d,
+        );
+        let b = Record::from_texts(
+            &s,
+            2,
+            &[Some("male"), Some("blurred vision"), Some("diabetes"), Some("drug therapy")],
+            &mut d,
+        );
+        // gender 1.0 + symptom 0.0 + diagnosis 1.0 + treatment 1.0
+        assert!((a.similarity(&b) - 3.0).abs() < 1e-12);
+        assert!((a.distance(&b) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn similarity_identity_is_arity() {
+        let s = schema4();
+        let mut d = Dictionary::new();
+        let a = Record::from_texts(
+            &s,
+            1,
+            &[Some("female"), Some("fever cough"), Some("pneumonia"), Some("rest")],
+            &mut d,
+        );
+        assert!((a.similarity(&a) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn all_tokens_unions_attributes() {
+        let s = schema4();
+        let mut d = Dictionary::new();
+        let r = Record::from_texts(
+            &s,
+            1,
+            &[Some("male"), Some("fever"), None, Some("rest fever")],
+            &mut d,
+        );
+        let all = r.all_tokens();
+        assert_eq!(all.len(), 3); // male, fever, rest
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn wrong_arity_panics() {
+        let s = schema4();
+        let _ = Record::new(&s, 1, vec![None, None]);
+    }
+
+    #[test]
+    fn missing_vs_missing_carries_no_evidence() {
+        let s = Schema::new(vec!["a", "b"]);
+        let mut d = Dictionary::new();
+        let x = Record::from_texts(&s, 1, &[Some("t"), None], &mut d);
+        let y = Record::from_texts(&s, 2, &[Some("t"), None], &mut d);
+        // A both-missing attribute contributes nothing (two extraction
+        // failures are not an agreement).
+        assert!((x.similarity(&y) - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,319 @@
+//! The CDD rule model (Definition 3) and its matching semantics.
+
+use ter_repo::Record;
+use ter_text::{Interval, TokenSet};
+
+/// One determinant constraint `φ[A_x]` of a CDD.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Constraint {
+    /// Distance constraint: `ε.min ≤ |r_1[A_x] − r_2[A_x]| ≤ ε.max`
+    /// (Jaccard distance between the token sets). The paper relaxes
+    /// `ε.min` to any non-negative value below `ε.max`.
+    Interval(Interval),
+    /// Constant constraint: `r_1[A_x] = r_2[A_x] = v` (editing-rule style).
+    Constant(TokenSet),
+}
+
+impl Constraint {
+    /// Whether a pair of present values satisfies the constraint
+    /// (`(r_1, r_2) ≍ φ[A_x]` in the paper's notation).
+    pub fn pair_satisfies(&self, a: &TokenSet, b: &TokenSet) -> bool {
+        match self {
+            Constraint::Interval(i) => i.contains(a.jaccard_distance(b)),
+            Constraint::Constant(v) => a == v && b == v,
+        }
+    }
+
+    /// Whether a single tuple's value is *compatible* with the constraint —
+    /// i.e. some counterpart could still satisfy it. Interval constraints
+    /// are always compatible; constant constraints require the value itself
+    /// to equal `v`.
+    pub fn value_compatible(&self, value: &TokenSet) -> bool {
+        match self {
+            Constraint::Interval(_) => true,
+            Constraint::Constant(v) => value == v,
+        }
+    }
+}
+
+/// A conditional differential dependency `(X → A_j, φ[X A_j])`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cdd {
+    /// Determinant attributes with their constraints, sorted by attribute
+    /// index and deduplicated (one constraint per attribute).
+    determinants: Vec<(usize, Constraint)>,
+    /// The dependent attribute `A_j ∉ X`.
+    pub dependent: usize,
+    /// The dependent distance constraint `A_j.I`.
+    pub dependent_interval: Interval,
+}
+
+impl Cdd {
+    /// Builds a rule; sorts determinants and validates `A_j ∉ X`.
+    ///
+    /// # Panics
+    /// Panics if a determinant repeats, equals the dependent, or the
+    /// interval endpoints leave `[0, 1]`.
+    pub fn new(
+        mut determinants: Vec<(usize, Constraint)>,
+        dependent: usize,
+        dependent_interval: Interval,
+    ) -> Self {
+        assert!(!determinants.is_empty(), "CDD needs at least one determinant");
+        determinants.sort_by_key(|(a, _)| *a);
+        assert!(
+            determinants.windows(2).all(|w| w[0].0 != w[1].0),
+            "duplicate determinant attribute"
+        );
+        assert!(
+            determinants.iter().all(|(a, _)| *a != dependent),
+            "dependent attribute cannot be a determinant"
+        );
+        assert!(
+            (0.0..=1.0).contains(&dependent_interval.lo)
+                && (0.0..=1.0).contains(&dependent_interval.hi),
+            "dependent interval outside [0,1]"
+        );
+        Self {
+            determinants,
+            dependent,
+            dependent_interval,
+        }
+    }
+
+    /// Determinant `(attribute, constraint)` pairs, sorted by attribute.
+    pub fn determinants(&self) -> &[(usize, Constraint)] {
+        &self.determinants
+    }
+
+    /// Sorted determinant attribute indices (the set `X`).
+    pub fn determinant_attrs(&self) -> impl Iterator<Item = usize> + '_ {
+        self.determinants.iter().map(|(a, _)| *a)
+    }
+
+    /// Whether every determinant is an interval constraint (a plain DD).
+    pub fn is_dd(&self) -> bool {
+        self.determinants
+            .iter()
+            .all(|(_, c)| matches!(c, Constraint::Interval(_)))
+    }
+
+    /// Whether this is an editing rule: all-constant determinants and an
+    /// exact-copy dependent (`A_j.I = [0, 0]`).
+    pub fn is_editing_rule(&self) -> bool {
+        self.dependent_interval == Interval::point(0.0)
+            && self
+                .determinants
+                .iter()
+                .all(|(_, c)| matches!(c, Constraint::Constant(_)))
+    }
+
+    /// Whether the rule can be used to impute `record`'s missing
+    /// `dependent` attribute: every determinant must be present in the
+    /// record and compatible with constant constraints.
+    pub fn applicable_to(&self, record: &Record) -> bool {
+        self.determinants.iter().all(|(a, c)| {
+            record
+                .attr(*a)
+                .is_some_and(|v| c.value_compatible(v))
+        })
+    }
+
+    /// Whether repository sample `sample` matches `record` under the
+    /// determinant constraints (the retrieval step of §3: "retrieve all
+    /// sample tuples s from R that satisfy distance constraints on X").
+    ///
+    /// `record`'s determinants must all be present (use
+    /// [`Cdd::applicable_to`] first).
+    pub fn sample_matches(&self, record: &Record, sample: &Record) -> bool {
+        self.determinants.iter().all(|(a, c)| {
+            match (record.attr(*a), sample.attr(*a)) {
+                (Some(rv), Some(sv)) => c.pair_satisfies(rv, sv),
+                _ => false,
+            }
+        })
+    }
+
+    /// Whether a pair of complete records obeys the rule (either some
+    /// determinant constraint fails, or the dependent constraint holds).
+    /// Used to validate discovered rules on held-out data.
+    pub fn holds_on(&self, a: &Record, b: &Record) -> bool {
+        let lhs = self.determinants.iter().all(|(x, c)| {
+            match (a.attr(*x), b.attr(*x)) {
+                (Some(av), Some(bv)) => c.pair_satisfies(av, bv),
+                _ => false,
+            }
+        });
+        if !lhs {
+            return true;
+        }
+        match (a.attr(self.dependent), b.attr(self.dependent)) {
+            (Some(av), Some(bv)) => self
+                .dependent_interval
+                .contains(av.jaccard_distance(bv)),
+            _ => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ter_repo::{Record, Schema};
+    use ter_text::Dictionary;
+
+    fn schema() -> Schema {
+        Schema::new(vec!["gender", "symptom", "diagnosis"])
+    }
+
+    fn rec(dict: &mut Dictionary, id: u64, g: Option<&str>, s: Option<&str>, dx: Option<&str>) -> Record {
+        Record::from_texts(&schema(), id, &[g, s, dx], dict)
+    }
+
+    /// The paper's running example: CDD (Gender, Symptom → Diagnosis,
+    /// {male, [0, 0.3], [0, 0.2]}) imputing tuple a2 from tuple p1.
+    #[test]
+    fn paper_example_2_2_matches() {
+        let mut d = Dictionary::new();
+        let male = ter_text::tokenize("male", &mut d);
+        let rule = Cdd::new(
+            vec![
+                (0, Constraint::Constant(male)),
+                (1, Constraint::Interval(Interval::new(0.0, 0.4))),
+            ],
+            2,
+            Interval::new(0.0, 0.2),
+        );
+        let p1 = rec(&mut d, 1, Some("male"), Some("weight loss blurred vision"), Some("diabetes"));
+        let a2 = rec(&mut d, 2, Some("male"), Some("loss of weight blurred vision"), None);
+        assert!(rule.applicable_to(&a2));
+        // symptom distance: |{weight,loss,blurred,vision} ∩ {loss,of,weight,blurred,vision}| = 4, union 5 → dist 0.2
+        assert!(rule.sample_matches(&a2, &p1));
+    }
+
+    #[test]
+    fn constant_constraint_requires_equality_on_both() {
+        let mut d = Dictionary::new();
+        let male = ter_text::tokenize("male", &mut d);
+        let c = Constraint::Constant(male.clone());
+        let female = ter_text::tokenize("female", &mut d);
+        assert!(c.pair_satisfies(&male, &male));
+        assert!(!c.pair_satisfies(&male, &female));
+        assert!(!c.pair_satisfies(&female, &female));
+    }
+
+    #[test]
+    fn interval_constraint_uses_jaccard_distance() {
+        let mut d = Dictionary::new();
+        let a = ter_text::tokenize("fever cough", &mut d);
+        let b = ter_text::tokenize("fever headache", &mut d);
+        // dist = 1 - 1/3 = 2/3
+        assert!(Constraint::Interval(Interval::new(0.5, 0.8)).pair_satisfies(&a, &b));
+        assert!(!Constraint::Interval(Interval::new(0.0, 0.5)).pair_satisfies(&a, &b));
+    }
+
+    #[test]
+    fn applicable_requires_present_determinants() {
+        let mut d = Dictionary::new();
+        let rule = Cdd::new(
+            vec![(1, Constraint::Interval(Interval::new(0.0, 0.5)))],
+            2,
+            Interval::new(0.0, 0.2),
+        );
+        let missing_sym = rec(&mut d, 1, Some("male"), None, None);
+        let with_sym = rec(&mut d, 2, Some("male"), Some("fever"), None);
+        assert!(!rule.applicable_to(&missing_sym));
+        assert!(rule.applicable_to(&with_sym));
+    }
+
+    #[test]
+    fn applicable_respects_constant_value() {
+        let mut d = Dictionary::new();
+        let male = ter_text::tokenize("male", &mut d);
+        let rule = Cdd::new(
+            vec![(0, Constraint::Constant(male))],
+            2,
+            Interval::new(0.0, 0.2),
+        );
+        let m = rec(&mut d, 1, Some("male"), None, None);
+        let f = rec(&mut d, 2, Some("female"), None, None);
+        assert!(rule.applicable_to(&m));
+        assert!(!rule.applicable_to(&f));
+    }
+
+    #[test]
+    fn holds_on_vacuous_when_lhs_fails() {
+        let mut d = Dictionary::new();
+        let rule = Cdd::new(
+            vec![(0, Constraint::Interval(Interval::new(0.0, 0.0)))],
+            2,
+            Interval::new(0.0, 0.0),
+        );
+        let a = rec(&mut d, 1, Some("male"), Some("x"), Some("flu"));
+        let b = rec(&mut d, 2, Some("female"), Some("x"), Some("diabetes"));
+        // genders differ → distance 1.0 ∉ [0,0] → LHS fails → rule holds.
+        assert!(rule.holds_on(&a, &b));
+        let c = rec(&mut d, 3, Some("male"), Some("y"), Some("pneumonia"));
+        // LHS holds (same gender) but diagnoses differ → violated.
+        assert!(!rule.holds_on(&a, &c));
+    }
+
+    #[test]
+    fn classification_helpers() {
+        let mut d = Dictionary::new();
+        let v = ter_text::tokenize("male", &mut d);
+        let dd = Cdd::new(
+            vec![(0, Constraint::Interval(Interval::new(0.0, 0.3)))],
+            1,
+            Interval::new(0.0, 0.2),
+        );
+        assert!(dd.is_dd());
+        assert!(!dd.is_editing_rule());
+        let er = Cdd::new(
+            vec![(0, Constraint::Constant(v))],
+            1,
+            Interval::point(0.0),
+        );
+        assert!(er.is_editing_rule());
+        assert!(!er.is_dd());
+    }
+
+    #[test]
+    #[should_panic(expected = "dependent attribute cannot be a determinant")]
+    fn dependent_in_lhs_panics() {
+        let _ = Cdd::new(
+            vec![(1, Constraint::Interval(Interval::new(0.0, 0.1)))],
+            1,
+            Interval::new(0.0, 0.1),
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate determinant")]
+    fn duplicate_determinant_panics() {
+        let _ = Cdd::new(
+            vec![
+                (0, Constraint::Interval(Interval::new(0.0, 0.1))),
+                (0, Constraint::Interval(Interval::new(0.0, 0.2))),
+            ],
+            1,
+            Interval::new(0.0, 0.1),
+        );
+    }
+
+    #[test]
+    fn determinants_are_sorted() {
+        let mut d = Dictionary::new();
+        let v = ter_text::tokenize("x", &mut d);
+        let rule = Cdd::new(
+            vec![
+                (2, Constraint::Constant(v)),
+                (0, Constraint::Interval(Interval::new(0.0, 0.1))),
+            ],
+            1,
+            Interval::new(0.0, 0.1),
+        );
+        let attrs: Vec<usize> = rule.determinant_attrs().collect();
+        assert_eq!(attrs, vec![0, 2]);
+    }
+}

@@ -1,0 +1,134 @@
+//! Stream substrate: incomplete data streams, sliding windows, and imputed
+//! probabilistic tuples (Definitions 1, 2, and 4 of the paper).
+//!
+//! * [`StreamSet`] — `n ≥ 2` incomplete data streams merged into one
+//!   arrival order (one tuple per timestamp, round-robin across streams,
+//!   matching the paper's count-based model);
+//! * [`SlidingWindow`] — the count-based window `W_t` of the `w` most
+//!   recent tuples (Definition 2), plus the time-based variant the paper
+//!   sketches as an extension;
+//! * [`ProbTuple`] — the imputed probabilistic tuple `r^p` (Definition 4):
+//!   mutually exclusive instances `r_{i,m}`, each with an existence
+//!   probability, represented as per-missing-attribute candidate
+//!   distributions whose product enumerates the instances.
+
+pub mod prob;
+pub mod window;
+
+pub use prob::{AttrCandidates, Instance, ProbTuple};
+pub use window::{SlidingWindow, TimeWindow};
+
+use ter_repo::Record;
+
+/// A tuple tagged with its source stream and arrival timestamp.
+#[derive(Debug, Clone)]
+pub struct Arrival {
+    /// Which of the `n` streams produced the tuple.
+    pub stream_id: usize,
+    /// Global arrival timestamp (one tuple per timestamp).
+    pub timestamp: u64,
+    /// The (possibly incomplete) tuple.
+    pub record: Record,
+}
+
+/// `n` incomplete data streams with a deterministic merged arrival order.
+#[derive(Debug, Clone, Default)]
+pub struct StreamSet {
+    streams: Vec<Vec<Record>>,
+}
+
+impl StreamSet {
+    /// Creates a stream set from per-stream tuple sequences.
+    pub fn new(streams: Vec<Vec<Record>>) -> Self {
+        Self { streams }
+    }
+
+    /// Number of streams `n`.
+    pub fn stream_count(&self) -> usize {
+        self.streams.len()
+    }
+
+    /// Total number of tuples across all streams.
+    pub fn total_len(&self) -> usize {
+        self.streams.iter().map(Vec::len).sum()
+    }
+
+    /// The tuples of stream `i`.
+    pub fn stream(&self, i: usize) -> &[Record] {
+        &self.streams[i]
+    }
+
+    /// Merges the streams round-robin into a single arrival sequence:
+    /// timestamp `t` carries the `⌈t/n⌉`-th tuple of stream `t mod n`
+    /// (skipping exhausted streams). This realizes the paper's "each record
+    /// r_i arrives at time i" over multiple sources.
+    pub fn arrivals(&self) -> Vec<Arrival> {
+        let mut out = Vec::with_capacity(self.total_len());
+        let mut cursors = vec![0usize; self.streams.len()];
+        let mut timestamp = 0u64;
+        loop {
+            let mut progressed = false;
+            for (sid, cursor) in cursors.iter_mut().enumerate() {
+                if *cursor < self.streams[sid].len() {
+                    out.push(Arrival {
+                        stream_id: sid,
+                        timestamp,
+                        record: self.streams[sid][*cursor].clone(),
+                    });
+                    *cursor += 1;
+                    timestamp += 1;
+                    progressed = true;
+                }
+            }
+            if !progressed {
+                break;
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ter_repo::Schema;
+    use ter_text::Dictionary;
+
+    fn rec(dict: &mut Dictionary, id: u64, text: &str) -> Record {
+        let schema = Schema::new(vec!["a"]);
+        Record::from_texts(&schema, id, &[Some(text)], dict)
+    }
+
+    #[test]
+    fn arrivals_round_robin() {
+        let mut d = Dictionary::new();
+        let s = StreamSet::new(vec![
+            vec![rec(&mut d, 1, "x"), rec(&mut d, 3, "y")],
+            vec![rec(&mut d, 2, "z")],
+        ]);
+        let arr = s.arrivals();
+        assert_eq!(arr.len(), 3);
+        let ids: Vec<u64> = arr.iter().map(|a| a.record.id).collect();
+        assert_eq!(ids, vec![1, 2, 3]);
+        let streams: Vec<usize> = arr.iter().map(|a| a.stream_id).collect();
+        assert_eq!(streams, vec![0, 1, 0]);
+        let ts: Vec<u64> = arr.iter().map(|a| a.timestamp).collect();
+        assert_eq!(ts, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn empty_streams_are_skipped() {
+        let mut d = Dictionary::new();
+        let s = StreamSet::new(vec![vec![], vec![rec(&mut d, 1, "x")], vec![]]);
+        let arr = s.arrivals();
+        assert_eq!(arr.len(), 1);
+        assert_eq!(arr[0].stream_id, 1);
+    }
+
+    #[test]
+    fn no_streams() {
+        let s = StreamSet::new(vec![]);
+        assert!(s.arrivals().is_empty());
+        assert_eq!(s.stream_count(), 0);
+    }
+}

@@ -1,0 +1,145 @@
+//! String interning: maps token strings to dense `u32` ids.
+//!
+//! A single [`Dictionary`] is shared by a dataset's repository, streams, and
+//! query keywords so that equal strings always intern to the same [`Token`]
+//! and the similarity hot loops never touch string data.
+
+use crate::fxhash::FxHashMap;
+
+/// An interned token id. Dense, starting at 0, unique per [`Dictionary`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Token(pub u32);
+
+impl Token {
+    /// The raw id, usable as a dense array index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Bidirectional string ↔ [`Token`] interner.
+///
+/// ```
+/// use ter_text::Dictionary;
+/// let mut dict = Dictionary::new();
+/// let a = dict.intern("diabetes");
+/// let b = dict.intern("diabetes");
+/// assert_eq!(a, b);
+/// assert_eq!(dict.resolve(a), "diabetes");
+/// ```
+#[derive(Debug, Default, Clone)]
+pub struct Dictionary {
+    by_str: FxHashMap<Box<str>, Token>,
+    by_id: Vec<Box<str>>,
+}
+
+impl Dictionary {
+    /// Creates an empty dictionary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `s`, returning its token (existing or freshly assigned).
+    pub fn intern(&mut self, s: &str) -> Token {
+        if let Some(&tok) = self.by_str.get(s) {
+            return tok;
+        }
+        let tok = Token(
+            u32::try_from(self.by_id.len()).expect("dictionary exceeded u32::MAX entries"),
+        );
+        let boxed: Box<str> = s.into();
+        self.by_id.push(boxed.clone());
+        self.by_str.insert(boxed, tok);
+        tok
+    }
+
+    /// Looks up an already-interned string without inserting.
+    pub fn lookup(&self, s: &str) -> Option<Token> {
+        self.by_str.get(s).copied()
+    }
+
+    /// Resolves a token back to its string.
+    ///
+    /// # Panics
+    /// Panics if `tok` was not produced by this dictionary.
+    pub fn resolve(&self, tok: Token) -> &str {
+        &self.by_id[tok.index()]
+    }
+
+    /// Number of distinct interned strings.
+    pub fn len(&self) -> usize {
+        self.by_id.len()
+    }
+
+    /// Whether the dictionary is empty.
+    pub fn is_empty(&self) -> bool {
+        self.by_id.is_empty()
+    }
+
+    /// Iterates over `(Token, &str)` pairs in interning order.
+    pub fn iter(&self) -> impl Iterator<Item = (Token, &str)> {
+        self.by_id
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (Token(i as u32), s.as_ref()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut d = Dictionary::new();
+        let t1 = d.intern("fever");
+        let t2 = d.intern("fever");
+        assert_eq!(t1, t2);
+        assert_eq!(d.len(), 1);
+    }
+
+    #[test]
+    fn tokens_are_dense() {
+        let mut d = Dictionary::new();
+        let a = d.intern("a");
+        let b = d.intern("b");
+        let c = d.intern("c");
+        assert_eq!((a.0, b.0, c.0), (0, 1, 2));
+    }
+
+    #[test]
+    fn resolve_roundtrips() {
+        let mut d = Dictionary::new();
+        let words = ["loss", "of", "weight", "blurred", "vision"];
+        let toks: Vec<_> = words.iter().map(|w| d.intern(w)).collect();
+        for (w, t) in words.iter().zip(&toks) {
+            assert_eq!(d.resolve(*t), *w);
+        }
+    }
+
+    #[test]
+    fn lookup_does_not_insert() {
+        let mut d = Dictionary::new();
+        assert_eq!(d.lookup("absent"), None);
+        assert_eq!(d.len(), 0);
+        let t = d.intern("present");
+        assert_eq!(d.lookup("present"), Some(t));
+    }
+
+    #[test]
+    fn iter_preserves_order() {
+        let mut d = Dictionary::new();
+        d.intern("x");
+        d.intern("y");
+        let collected: Vec<_> = d.iter().map(|(t, s)| (t.0, s.to_owned())).collect();
+        assert_eq!(collected, vec![(0, "x".to_owned()), (1, "y".to_owned())]);
+    }
+
+    #[test]
+    fn empty_dictionary() {
+        let d = Dictionary::new();
+        assert!(d.is_empty());
+        assert_eq!(d.iter().count(), 0);
+    }
+}

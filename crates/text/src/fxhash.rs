@@ -1,0 +1,119 @@
+//! A minimal FxHash-style hasher.
+//!
+//! The interning dictionary and several id-keyed maps in the system hash
+//! small keys (short strings, `u32` tokens, tuple ids) on hot paths. SipHash's
+//! HashDoS protection buys nothing here — all keys originate from our own
+//! generators — so we use the multiply-xor scheme popularized by rustc's
+//! `FxHasher`. Hand-rolled (≈20 lines) to keep the dependency set within the
+//! allowed list (see DESIGN.md §6).
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiplicative constant from rustc's FxHasher (64-bit).
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// Multiply-xor hasher; not DoS-resistant, very fast for short keys.
+#[derive(Default, Clone)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.add(u64::from_le_bytes(chunk.try_into().unwrap()));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rem.len()].copy_from_slice(rem);
+            self.add(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.add(v as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.add(v);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.add(v as u64);
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`].
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// `HashMap` keyed with [`FxHasher`].
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, FxBuildHasher>;
+
+/// `HashSet` keyed with [`FxHasher`].
+pub type FxHashSet<T> = std::collections::HashSet<T, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hashes_are_deterministic() {
+        let mut a = FxHasher::default();
+        let mut b = FxHasher::default();
+        a.write(b"hello world");
+        b.write(b"hello world");
+        assert_eq!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn different_inputs_differ() {
+        let mut a = FxHasher::default();
+        let mut b = FxHasher::default();
+        a.write(b"hello");
+        b.write(b"world");
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn map_roundtrip() {
+        let mut m: FxHashMap<String, u32> = FxHashMap::default();
+        for i in 0..1000u32 {
+            m.insert(format!("key-{i}"), i);
+        }
+        for i in 0..1000u32 {
+            assert_eq!(m.get(&format!("key-{i}")), Some(&i));
+        }
+    }
+
+    #[test]
+    fn unaligned_tail_bytes_hash() {
+        // Exercise the remainder path (lengths not divisible by 8).
+        for len in 0..=17 {
+            let bytes: Vec<u8> = (0..len as u8).collect();
+            let mut h = FxHasher::default();
+            h.write(&bytes);
+            let v1 = h.finish();
+            let mut h2 = FxHasher::default();
+            h2.write(&bytes);
+            assert_eq!(v1, h2.finish(), "len={len}");
+        }
+    }
+}

@@ -1,0 +1,101 @@
+//! Property-based tests for the text substrate.
+//!
+//! The pivot-based pruning of Lemma 4.2 and the metric-space conversion of
+//! §5 are only sound if Jaccard distance is a genuine metric; these tests
+//! check the metric axioms (and the other set-algebra identities) on random
+//! token sets.
+
+use proptest::prelude::*;
+
+use crate::dict::Token;
+use crate::interval::Interval;
+use crate::tokenset::TokenSet;
+
+fn arb_tokenset() -> impl Strategy<Value = TokenSet> {
+    proptest::collection::vec(0u32..64, 0..24)
+        .prop_map(|v| TokenSet::new(v.into_iter().map(Token).collect()))
+}
+
+proptest! {
+    #[test]
+    fn jaccard_is_symmetric(a in arb_tokenset(), b in arb_tokenset()) {
+        prop_assert!((a.jaccard(&b) - b.jaccard(&a)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn jaccard_in_unit_range(a in arb_tokenset(), b in arb_tokenset()) {
+        let s = a.jaccard(&b);
+        prop_assert!((0.0..=1.0).contains(&s));
+    }
+
+    #[test]
+    fn jaccard_self_is_one(a in arb_tokenset()) {
+        prop_assert_eq!(a.jaccard(&a), 1.0);
+    }
+
+    /// Triangle inequality for Jaccard distance — the property Lemma 4.2
+    /// (pivot-based similarity upper bound) depends on.
+    #[test]
+    fn jaccard_distance_triangle(
+        a in arb_tokenset(), b in arb_tokenset(), c in arb_tokenset()
+    ) {
+        let ab = a.jaccard_distance(&b);
+        let bc = b.jaccard_distance(&c);
+        let ac = a.jaccard_distance(&c);
+        prop_assert!(ac <= ab + bc + 1e-12, "ac={ac} ab={ab} bc={bc}");
+    }
+
+    #[test]
+    fn inclusion_exclusion(a in arb_tokenset(), b in arb_tokenset()) {
+        prop_assert_eq!(
+            a.union(&b).len(),
+            a.len() + b.len() - a.intersection_size(&b)
+        );
+    }
+
+    #[test]
+    fn intersects_iff_nonzero_intersection(a in arb_tokenset(), b in arb_tokenset()) {
+        prop_assert_eq!(a.intersects(&b), a.intersection_size(&b) > 0);
+    }
+
+    #[test]
+    fn union_contains_both(a in arb_tokenset(), b in arb_tokenset()) {
+        let u = a.union(&b);
+        for &t in a.tokens().iter().chain(b.tokens()) {
+            prop_assert!(u.contains(t));
+        }
+    }
+
+    #[test]
+    fn tokenset_is_sorted_dedup(v in proptest::collection::vec(0u32..1000, 0..64)) {
+        let s = TokenSet::new(v.into_iter().map(Token).collect());
+        prop_assert!(s.tokens().windows(2).all(|w| w[0] < w[1]));
+    }
+
+    /// `min_gap` is the true minimum |x−y| over the two intervals —
+    /// the case analysis in Lemma 4.2 must never overestimate.
+    #[test]
+    fn interval_min_gap_is_lower_bound(
+        a in 0.0f64..1.0, wa in 0.0f64..0.5,
+        b in 0.0f64..1.0, wb in 0.0f64..0.5,
+        ta in 0.0f64..=1.0, tb in 0.0f64..=1.0,
+    ) {
+        let ia = Interval::new(a, a + wa);
+        let ib = Interval::new(b, b + wb);
+        // Arbitrary points inside each interval.
+        let x = ia.lo + ta * (ia.hi - ia.lo);
+        let y = ib.lo + tb * (ib.hi - ib.lo);
+        prop_assert!(ia.min_gap(&ib) <= (x - y).abs() + 1e-12);
+    }
+
+    #[test]
+    fn interval_expand_contains(vs in proptest::collection::vec(0.0f64..1.0, 1..16)) {
+        let mut acc = Interval::empty();
+        for &v in &vs {
+            acc.expand(v);
+        }
+        for &v in &vs {
+            prop_assert!(acc.contains(v));
+        }
+    }
+}

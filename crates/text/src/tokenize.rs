@@ -1,0 +1,118 @@
+//! The tokenizer applied to every textual attribute value.
+//!
+//! The paper treats attribute values as bags of word tokens extracted from
+//! unstructured text (Example 1 extracts "loss of weight" etc. from posts).
+//! We normalize to ASCII-lowercase and split on any non-alphanumeric
+//! character, dropping empty fragments. Tokens are interned into the shared
+//! [`Dictionary`] and returned as a [`TokenSet`].
+
+use crate::dict::Dictionary;
+use crate::tokenset::TokenSet;
+
+/// Tokenizes `text` into a [`TokenSet`], interning new words into `dict`.
+///
+/// ```
+/// use ter_text::{tokenize, Dictionary};
+/// let mut dict = Dictionary::new();
+/// let ts = tokenize("Loss of weight, blurred-vision", &mut dict);
+/// assert_eq!(ts.len(), 5); // loss, of, weight, blurred, vision
+/// ```
+pub fn tokenize(text: &str, dict: &mut Dictionary) -> TokenSet {
+    let mut toks = Vec::new();
+    let mut word = String::new();
+    for ch in text.chars() {
+        if ch.is_alphanumeric() {
+            // Lowercase may expand to multiple chars for some scripts.
+            for lc in ch.to_lowercase() {
+                word.push(lc);
+            }
+        } else if !word.is_empty() {
+            toks.push(dict.intern(&word));
+            word.clear();
+        }
+    }
+    if !word.is_empty() {
+        toks.push(dict.intern(&word));
+    }
+    TokenSet::new(toks)
+}
+
+/// Tokenizes without interning: looks up existing tokens only and silently
+/// drops unknown words. Used when matching user keywords against a frozen
+/// dictionary (querying must not mutate shared state).
+pub fn tokenize_readonly(text: &str, dict: &Dictionary) -> TokenSet {
+    let mut toks = Vec::new();
+    for raw in text.split(|c: char| !c.is_alphanumeric()) {
+        if raw.is_empty() {
+            continue;
+        }
+        let lowered = raw.to_lowercase();
+        if let Some(tok) = dict.lookup(&lowered) {
+            toks.push(tok);
+        }
+    }
+    TokenSet::new(toks)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splits_on_punctuation_and_whitespace() {
+        let mut d = Dictionary::new();
+        let ts = tokenize("fever, low-spirit  cough!", &mut d);
+        assert_eq!(ts.len(), 4);
+        assert!(d.lookup("fever").is_some());
+        assert!(d.lookup("spirit").is_some());
+    }
+
+    #[test]
+    fn lowercases() {
+        let mut d = Dictionary::new();
+        let a = tokenize("Diabetes", &mut d);
+        let b = tokenize("diabetes", &mut d);
+        assert_eq!(a, b);
+        assert_eq!(d.len(), 1);
+    }
+
+    #[test]
+    fn duplicate_words_collapse() {
+        let mut d = Dictionary::new();
+        let ts = tokenize("drink more, sleep more", &mut d);
+        assert_eq!(ts.len(), 3); // drink, more, sleep
+    }
+
+    #[test]
+    fn empty_and_symbol_only_input() {
+        let mut d = Dictionary::new();
+        assert!(tokenize("", &mut d).is_empty());
+        assert!(tokenize("--- !!! ,,,", &mut d).is_empty());
+        assert_eq!(d.len(), 0);
+    }
+
+    #[test]
+    fn numbers_are_tokens() {
+        let mut d = Dictionary::new();
+        let ts = tokenize("honda cb350 1972", &mut d);
+        assert_eq!(ts.len(), 3);
+        assert!(d.lookup("cb350").is_some());
+    }
+
+    #[test]
+    fn readonly_drops_unknown_words() {
+        let mut d = Dictionary::new();
+        tokenize("known words here", &mut d);
+        let ts = tokenize_readonly("known UNKNOWN here", &d);
+        assert_eq!(ts.len(), 2);
+        assert_eq!(d.len(), 3); // unchanged
+    }
+
+    #[test]
+    fn readonly_matches_interned_tokens() {
+        let mut d = Dictionary::new();
+        let full = tokenize("red eye itchy", &mut d);
+        let ro = tokenize_readonly("red eye itchy", &d);
+        assert_eq!(full, ro);
+    }
+}

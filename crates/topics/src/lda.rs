@@ -1,0 +1,318 @@
+//! Collapsed Gibbs sampling for LDA.
+//!
+//! Documents are bags of interned tokens. The sampler maintains the usual
+//! count matrices (`n_{t,w}`, `n_t`, `n_{d,t}`) and resamples every token's
+//! topic assignment from the collapsed conditional
+//!
+//! ```text
+//! p(z = t | ·) ∝ (n_{d,t} + α) · (n_{t,w} + β) / (n_t + Vβ)
+//! ```
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use ter_text::{Dictionary, Token};
+
+/// LDA hyper-parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct LdaConfig {
+    /// Number of topics `T`.
+    pub topics: usize,
+    /// Symmetric document–topic prior `α`.
+    pub alpha: f64,
+    /// Symmetric topic–word prior `β`.
+    pub beta: f64,
+    /// Gibbs sweeps over the whole corpus.
+    pub iterations: usize,
+    /// RNG seed (the sampler is fully deterministic given the seed).
+    pub seed: u64,
+}
+
+impl Default for LdaConfig {
+    fn default() -> Self {
+        Self {
+            topics: 4,
+            alpha: 0.1,
+            beta: 0.01,
+            iterations: 200,
+            seed: 42,
+        }
+    }
+}
+
+/// A fitted LDA model.
+#[derive(Debug, Clone)]
+pub struct LdaModel {
+    cfg: LdaConfig,
+    vocab: usize,
+    /// `topic_word[t * vocab + w]` = count of word `w` assigned to `t`.
+    topic_word: Vec<u32>,
+    /// `topic_total[t]` = total tokens assigned to `t`.
+    topic_total: Vec<u32>,
+    /// `doc_topic[d][t]` = tokens of document `d` assigned to `t`.
+    doc_topic: Vec<Vec<u32>>,
+    /// Document lengths.
+    doc_len: Vec<u32>,
+}
+
+impl LdaModel {
+    /// Fits LDA over `docs` (bags of tokens; duplicates meaningful).
+    ///
+    /// # Panics
+    /// Panics if `cfg.topics == 0` or `vocab_size == 0` with non-empty docs.
+    pub fn fit(docs: &[Vec<Token>], vocab_size: usize, cfg: LdaConfig) -> Self {
+        assert!(cfg.topics > 0, "need at least one topic");
+        let t = cfg.topics;
+        let v = vocab_size;
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+
+        let mut topic_word = vec![0u32; t * v];
+        let mut topic_total = vec![0u32; t];
+        let mut doc_topic: Vec<Vec<u32>> = docs.iter().map(|_| vec![0u32; t]).collect();
+        let doc_len: Vec<u32> = docs.iter().map(|d| d.len() as u32).collect();
+
+        // Random initial assignments.
+        let mut assignments: Vec<Vec<usize>> = docs
+            .iter()
+            .enumerate()
+            .map(|(d, doc)| {
+                doc.iter()
+                    .map(|&w| {
+                        assert!(w.index() < v, "token outside vocabulary");
+                        let z = rng.gen_range(0..t);
+                        topic_word[z * v + w.index()] += 1;
+                        topic_total[z] += 1;
+                        doc_topic[d][z] += 1;
+                        z
+                    })
+                    .collect()
+            })
+            .collect();
+
+        let mut weights = vec![0.0f64; t];
+        for _sweep in 0..cfg.iterations {
+            for (d, doc) in docs.iter().enumerate() {
+                for (i, &w) in doc.iter().enumerate() {
+                    let old = assignments[d][i];
+                    // Remove the token from the counts.
+                    topic_word[old * v + w.index()] -= 1;
+                    topic_total[old] -= 1;
+                    doc_topic[d][old] -= 1;
+
+                    // Collapsed conditional.
+                    let mut total = 0.0;
+                    for (z, wz) in weights.iter_mut().enumerate() {
+                        let p = (doc_topic[d][z] as f64 + cfg.alpha)
+                            * (topic_word[z * v + w.index()] as f64 + cfg.beta)
+                            / (topic_total[z] as f64 + v as f64 * cfg.beta);
+                        *wz = p;
+                        total += p;
+                    }
+                    let mut u = rng.gen_range(0.0..total);
+                    let mut new = t - 1;
+                    for (z, &wz) in weights.iter().enumerate() {
+                        if u < wz {
+                            new = z;
+                            break;
+                        }
+                        u -= wz;
+                    }
+
+                    assignments[d][i] = new;
+                    topic_word[new * v + w.index()] += 1;
+                    topic_total[new] += 1;
+                    doc_topic[d][new] += 1;
+                }
+            }
+        }
+
+        Self {
+            cfg,
+            vocab: v,
+            topic_word,
+            topic_total,
+            doc_topic,
+            doc_len,
+        }
+    }
+
+    /// Number of topics.
+    pub fn topics(&self) -> usize {
+        self.cfg.topics
+    }
+
+    /// Vocabulary size.
+    pub fn vocab(&self) -> usize {
+        self.vocab
+    }
+
+    /// Posterior word distribution `φ_t(w)` of topic `t`.
+    pub fn word_prob(&self, topic: usize, word: Token) -> f64 {
+        (self.topic_word[topic * self.vocab + word.index()] as f64 + self.cfg.beta)
+            / (self.topic_total[topic] as f64 + self.vocab as f64 * self.cfg.beta)
+    }
+
+    /// The `k` most probable words of `topic`, most probable first.
+    pub fn top_words(&self, topic: usize, k: usize) -> Vec<(Token, f64)> {
+        let mut scored: Vec<(Token, f64)> = (0..self.vocab)
+            .map(|w| (Token(w as u32), self.word_prob(topic, Token(w as u32))))
+            .collect();
+        scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+        scored.truncate(k);
+        scored
+    }
+
+    /// The `k` most probable words rendered as text.
+    pub fn top_words_text(&self, topic: usize, k: usize, dict: &Dictionary) -> Vec<String> {
+        self.top_words(topic, k)
+            .into_iter()
+            .map(|(tok, _)| dict.resolve(tok).to_owned())
+            .collect()
+    }
+
+    /// Posterior topic mixture `θ_d` of document `d`.
+    pub fn doc_topics(&self, d: usize) -> Vec<f64> {
+        let t = self.cfg.topics;
+        let len = self.doc_len[d] as f64;
+        (0..t)
+            .map(|z| {
+                (self.doc_topic[d][z] as f64 + self.cfg.alpha) / (len + t as f64 * self.cfg.alpha)
+            })
+            .collect()
+    }
+
+    /// Dominant topic of document `d`.
+    pub fn dominant_topic(&self, d: usize) -> usize {
+        let probs = self.doc_topics(d);
+        probs
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .map(|(z, _)| z)
+            .unwrap()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ter_text::Dictionary;
+
+    /// Corpus with two cleanly separated vocabularies.
+    fn two_topic_corpus() -> (Vec<Vec<Token>>, Dictionary) {
+        let mut dict = Dictionary::new();
+        let medical = ["fever", "cough", "diagnosis", "treatment", "symptom"];
+        let cycling = ["bike", "wheel", "gear", "saddle", "pedal"];
+        let mut docs = Vec::new();
+        for d in 0..20 {
+            let vocabulary: &[&str] = if d % 2 == 0 { &medical } else { &cycling };
+            let doc: Vec<Token> = (0..30)
+                .map(|i| dict.intern(vocabulary[(i * 7 + d) % vocabulary.len()]))
+                .collect();
+            docs.push(doc);
+        }
+        (docs, dict)
+    }
+
+    #[test]
+    fn recovers_two_separated_topics() {
+        let (docs, dict) = two_topic_corpus();
+        let cfg = LdaConfig {
+            topics: 2,
+            iterations: 100,
+            seed: 7,
+            ..LdaConfig::default()
+        };
+        let model = LdaModel::fit(&docs, dict.len(), cfg);
+        // Every even doc shares a dominant topic; every odd doc the other.
+        let t_even = model.dominant_topic(0);
+        let t_odd = model.dominant_topic(1);
+        assert_ne!(t_even, t_odd);
+        for d in 0..docs.len() {
+            let expect = if d % 2 == 0 { t_even } else { t_odd };
+            assert_eq!(model.dominant_topic(d), expect, "doc {d}");
+        }
+        // Top words of the medical topic come from the medical vocabulary.
+        let top = model.top_words_text(t_even, 3, &dict);
+        for w in &top {
+            assert!(
+                ["fever", "cough", "diagnosis", "treatment", "symptom"].contains(&w.as_str()),
+                "unexpected top word {w}"
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (docs, dict) = two_topic_corpus();
+        let cfg = LdaConfig {
+            topics: 2,
+            iterations: 30,
+            seed: 11,
+            ..LdaConfig::default()
+        };
+        let m1 = LdaModel::fit(&docs, dict.len(), cfg);
+        let m2 = LdaModel::fit(&docs, dict.len(), cfg);
+        for d in 0..docs.len() {
+            assert_eq!(m1.doc_topics(d), m2.doc_topics(d));
+        }
+    }
+
+    #[test]
+    fn word_probs_sum_to_one_per_topic() {
+        let (docs, dict) = two_topic_corpus();
+        let model = LdaModel::fit(
+            &docs,
+            dict.len(),
+            LdaConfig {
+                topics: 3,
+                iterations: 20,
+                ..LdaConfig::default()
+            },
+        );
+        for t in 0..3 {
+            let total: f64 = (0..dict.len())
+                .map(|w| model.word_prob(t, Token(w as u32)))
+                .sum();
+            assert!((total - 1.0).abs() < 1e-9, "topic {t} sums to {total}");
+        }
+    }
+
+    #[test]
+    fn doc_topics_sum_to_one() {
+        let (docs, dict) = two_topic_corpus();
+        let model = LdaModel::fit(&docs, dict.len(), LdaConfig::default());
+        for d in 0..docs.len() {
+            let total: f64 = model.doc_topics(d).iter().sum();
+            assert!((total - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn empty_documents_are_tolerated() {
+        let mut dict = Dictionary::new();
+        let w = dict.intern("solo");
+        let docs = vec![vec![], vec![w], vec![]];
+        let model = LdaModel::fit(&docs, dict.len(), LdaConfig::default());
+        // Empty docs get the uniform prior mixture.
+        let probs = model.doc_topics(0);
+        let uniform = 1.0 / probs.len() as f64;
+        for p in probs {
+            assert!((p - uniform).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn top_words_are_sorted_desc() {
+        let (docs, dict) = two_topic_corpus();
+        let model = LdaModel::fit(&docs, dict.len(), LdaConfig::default());
+        let top = model.top_words(0, 5);
+        assert!(top.windows(2).all(|w| w[0].1 >= w[1].1));
+    }
+
+    #[test]
+    #[should_panic(expected = "outside vocabulary")]
+    fn out_of_vocab_token_panics() {
+        let docs = vec![vec![Token(5)]];
+        let _ = LdaModel::fit(&docs, 2, LdaConfig::default());
+    }
+}

@@ -1,0 +1,17 @@
+//! Topic modeling: hand-rolled latent Dirichlet allocation (LDA) via
+//! collapsed Gibbs sampling.
+//!
+//! The paper assumes users specify the query topic-keyword set `K`
+//! ("each medical professional needs to specify one's expertise or disease
+//! topics"). In practice those keyword sets come from a topic model fitted
+//! over the corpus; this crate closes that loop: fit LDA over the textual
+//! tuples, take each topic's top words as a candidate `K`, and feed it to
+//! the TER-iDS engine (see `examples/topic_discovery.rs`).
+//!
+//! Implementation: the standard collapsed Gibbs sampler (Griffiths &
+//! Steyvers 2004) with symmetric Dirichlet priors — no external ML
+//! dependencies, seeded and fully deterministic.
+
+pub mod lda;
+
+pub use lda::{LdaConfig, LdaModel};

@@ -1,0 +1,99 @@
+//! Quickstart: topic-aware entity resolution over two incomplete streams.
+//!
+//! ```bash
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Builds a small complete repository, discovers CDD rules from it, then
+//! feeds two streams (one tuple carries a missing attribute) through the
+//! TER-iDS engine and prints the matching pairs.
+
+use ter_ids::{ErProcessor, Params, PruningMode, TerContext, TerIdsEngine};
+use ter_repo::{PivotConfig, Record, Repository, Schema};
+use ter_rules::DiscoveryConfig;
+use ter_stream::StreamSet;
+use ter_text::{Dictionary, KeywordSet};
+
+fn main() {
+    let schema = Schema::new(vec!["title", "tags"]);
+    let mut dict = Dictionary::new();
+
+    // 1. A complete historical repository R (would normally be collected
+    //    from past stream data). Near-duplicate rows let rule discovery
+    //    learn "close titles ⇒ identical tags".
+    let repo_rows = [
+        ("space cowboy adventure", "scifi western"),
+        ("space cowboy adventure saga", "scifi western"),
+        ("high school romance", "drama comedy"),
+        ("high school romance club", "drama comedy"),
+        ("cooking master", "comedy food"),
+        ("idol music live", "music idol"),
+    ];
+    let repo = Repository::from_records(
+        schema.clone(),
+        repo_rows
+            .iter()
+            .enumerate()
+            .map(|(i, (t, g))| {
+                Record::from_texts(&schema, 1000 + i as u64, &[Some(t), Some(g)], &mut dict)
+            })
+            .collect(),
+    );
+
+    // 2. The user's topic of interest.
+    let keywords = KeywordSet::parse("scifi", &dict);
+
+    // 3. Offline pre-computation: pivots, CDD rules, CDD-indexes, DR-index.
+    let ctx = TerContext::build(
+        repo,
+        keywords,
+        &PivotConfig::default(),
+        &DiscoveryConfig {
+            min_support: 2,
+            min_constant_support: 2,
+            ..DiscoveryConfig::default()
+        },
+        16,
+    );
+    println!(
+        "pre-computation: {} CDD rules, DR-index over {} samples",
+        ctx.cdds.len(),
+        ctx.repo.len()
+    );
+
+    // 4. Two streams; tuple 2's tags are missing ("−") and get imputed.
+    let s0 = vec![
+        Record::from_texts(&schema, 1, &[Some("space cowboy adventure"), Some("scifi western")], &mut dict),
+        Record::from_texts(&schema, 3, &[Some("cooking master"), Some("comedy food")], &mut dict),
+    ];
+    let s1 = vec![
+        Record::from_texts(&schema, 2, &[Some("space cowboy adventure"), None], &mut dict),
+        Record::from_texts(&schema, 4, &[Some("idol music live"), Some("music idol")], &mut dict),
+    ];
+    let streams = StreamSet::new(vec![s0, s1]);
+
+    // 5. Online processing.
+    let params = Params {
+        rho: 0.55, // similarity threshold γ = 0.55 · d = 1.1
+        alpha: 0.5,
+        window: 100,
+        ..Params::default()
+    };
+    let mut engine = TerIdsEngine::new(&ctx, params, PruningMode::Full);
+    for arrival in streams.arrivals() {
+        let out = engine.process(&arrival);
+        for (a, b) in out.new_matches {
+            println!("t={}: match ({a}, {b})", arrival.timestamp);
+        }
+    }
+
+    let stats = engine.prune_stats();
+    println!(
+        "candidate pairs: {}, pruned: {:.1}%, matches: {}",
+        stats.total_pairs,
+        stats.total_pruned_pct(),
+        stats.matches
+    );
+    assert!(engine.results().contains(1, 2), "expected (1,2) to match");
+    println!("done — tuple 2's missing tags were imputed and it matched tuple 1.");
+}

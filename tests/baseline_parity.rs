@@ -1,0 +1,121 @@
+//! Accuracy relationships the paper reports (Figure 5(a) and §6.3):
+//! the three CDD-based methods share one F-score; CDD-based imputation is
+//! at least as accurate as the weaker baselines on rule-friendly data.
+
+use ter_datasets::{co_window_pairs, preset, GenOptions, Preset};
+use ter_ids::{
+    evaluate, ErProcessor, NaiveEngine, Params, PruningMode, TerContext, TerIdsEngine,
+};
+use ter_repo::PivotConfig;
+use ter_rules::DiscoveryConfig;
+
+struct Run {
+    name: &'static str,
+    f_score: f64,
+    reported: usize,
+}
+
+fn run_all(preset_kind: Preset, scale: f64) -> Vec<Run> {
+    let ds = preset(
+        preset_kind,
+        &GenOptions {
+            scale,
+            missing_rate: 0.3,
+            missing_attrs: 1,
+            ..GenOptions::default()
+        },
+    );
+    let keywords = ds.keywords();
+    let ctx = TerContext::build(
+        ds.repo.clone(),
+        keywords.clone(),
+        &PivotConfig::default(),
+        &DiscoveryConfig::default(),
+        16,
+    );
+    let params = Params {
+        window: 100,
+        ..Params::default()
+    };
+    let arrivals = ds.streams.arrivals();
+    let gt = co_window_pairs(&ds.topical_entity_pairs(&keywords), &arrivals, params.window);
+    assert!(!gt.is_empty(), "no topical ground truth");
+
+    let mut out = Vec::new();
+    {
+        let mut e = TerIdsEngine::new(&ctx, params, PruningMode::Full);
+        for a in &arrivals {
+            e.process(a);
+        }
+        out.push(Run {
+            name: "TER-iDS",
+            f_score: evaluate(e.reported(), &gt).f_score,
+            reported: e.reported().len(),
+        });
+    }
+    {
+        let mut e = TerIdsEngine::new(&ctx, params, PruningMode::GridOnly);
+        for a in &arrivals {
+            e.process(a);
+        }
+        out.push(Run {
+            name: "Ij+GER",
+            f_score: evaluate(e.reported(), &gt).f_score,
+            reported: e.reported().len(),
+        });
+    }
+    for (name, mut e) in [
+        ("CDD+ER", NaiveEngine::cdd_er(&ctx, params)),
+        ("DD+ER", NaiveEngine::dd_er(&ctx, params)),
+        ("er+ER", NaiveEngine::er_er(&ctx, params)),
+        ("con+ER", NaiveEngine::con_er(&ctx, params)),
+    ] {
+        for a in &arrivals {
+            e.process(a);
+        }
+        out.push(Run {
+            name,
+            f_score: evaluate(e.reported(), &gt).f_score,
+            reported: e.reported().len(),
+        });
+    }
+    out
+}
+
+#[test]
+fn cdd_methods_share_identical_fscore() {
+    let runs = run_all(Preset::Citations, 0.25);
+    let ter = runs.iter().find(|r| r.name == "TER-iDS").unwrap();
+    let ij = runs.iter().find(|r| r.name == "Ij+GER").unwrap();
+    let cdd = runs.iter().find(|r| r.name == "CDD+ER").unwrap();
+    assert_eq!(ter.reported, ij.reported);
+    assert_eq!(ter.reported, cdd.reported);
+    assert!((ter.f_score - ij.f_score).abs() < 1e-12);
+    assert!((ter.f_score - cdd.f_score).abs() < 1e-12);
+}
+
+#[test]
+fn ter_ids_accuracy_is_competitive() {
+    let runs = run_all(Preset::Anime, 0.2);
+    let ter = runs.iter().find(|r| r.name == "TER-iDS").unwrap().f_score;
+    for r in &runs {
+        // At small scales the weaker baselines can tie within noise; the
+        // paper-level gap is exercised by the bench harness at full scale.
+        assert!(
+            ter >= r.f_score - 0.08,
+            "{} beat TER-iDS by a wide margin ({:.3} vs {:.3})",
+            r.name,
+            r.f_score,
+            ter
+        );
+    }
+    assert!(ter > 0.6, "TER-iDS F-score too low: {ter:.3}");
+}
+
+#[test]
+fn all_methods_report_something_on_bikes() {
+    let runs = run_all(Preset::Bikes, 0.2);
+    for r in &runs {
+        assert!(r.reported > 0, "{} reported nothing", r.name);
+    }
+}

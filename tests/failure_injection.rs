@@ -1,0 +1,204 @@
+//! Failure injection: degenerate inputs the engine must survive without
+//! panicking and with sensible semantics.
+
+use ter_datasets::{generate, preset, AttrKind, AttrSpec, DatasetSpec, GenOptions, Preset};
+use ter_ids::{ErProcessor, NaiveEngine, Params, PruningMode, TerContext, TerIdsEngine};
+use ter_repo::{PivotConfig, Record, Repository, Schema};
+use ter_rules::DiscoveryConfig;
+use ter_stream::StreamSet;
+use ter_text::{Dictionary, KeywordSet};
+
+fn tiny_ctx(keywords: KeywordSet) -> (TerContext, Schema, Dictionary) {
+    let schema = Schema::new(vec!["a", "b"]);
+    let mut dict = Dictionary::new();
+    let recs = vec![
+        Record::from_texts(&schema, 100, &[Some("alpha beta"), Some("red")], &mut dict),
+        Record::from_texts(&schema, 101, &[Some("gamma delta"), Some("blue")], &mut dict),
+    ];
+    let repo = Repository::from_records(schema.clone(), recs);
+    let ctx = TerContext::build(
+        repo,
+        keywords,
+        &PivotConfig::default(),
+        &DiscoveryConfig::default(),
+        16,
+    );
+    (ctx, schema, dict)
+}
+
+#[test]
+fn empty_keyword_set_reports_nothing() {
+    let (ctx, schema, mut dict) = {
+        let d = Dictionary::new();
+        let kw = KeywordSet::parse("", &d); // empty, not universe
+        tiny_ctx(kw)
+    };
+    let s0 = vec![Record::from_texts(&schema, 1, &[Some("alpha beta"), Some("red")], &mut dict)];
+    let s1 = vec![Record::from_texts(&schema, 2, &[Some("alpha beta"), Some("red")], &mut dict)];
+    let mut e = TerIdsEngine::new(&ctx, Params::default(), PruningMode::Full);
+    for a in StreamSet::new(vec![s0, s1]).arrivals() {
+        e.process(&a);
+    }
+    // Identical tuples, but no keyword can ever match → empty result.
+    assert!(e.reported().is_empty());
+    // Everything must have been pruned by the topic rule.
+    let st = e.prune_stats();
+    assert_eq!(st.topic, st.total_pairs);
+}
+
+#[test]
+fn unknown_keywords_behave_like_empty() {
+    let d = Dictionary::new();
+    let kw = KeywordSet::parse("entirely unknown words", &d);
+    assert!(kw.is_empty());
+}
+
+#[test]
+fn all_attributes_missing_tuple_is_survivable() {
+    let (ctx, schema, mut dict) = tiny_ctx(KeywordSet::universe());
+    let s0 = vec![Record::from_texts(&schema, 1, &[None, None], &mut dict)];
+    let s1 = vec![Record::from_texts(&schema, 2, &[Some("alpha beta"), Some("red")], &mut dict)];
+    let mut e = TerIdsEngine::new(&ctx, Params::default(), PruningMode::Full);
+    for a in StreamSet::new(vec![s0, s1]).arrivals() {
+        e.process(&a); // must not panic
+    }
+    // No rule can fire with zero present determinants → tuple 1 imputes to
+    // empty values and cannot reach γ = 1.0.
+    assert!(e.reported().is_empty());
+}
+
+#[test]
+fn empty_repository_rules_disable_imputation_but_not_er() {
+    // A repository with a single record yields no rules at all; complete
+    // tuples must still match each other.
+    let schema = Schema::new(vec!["a", "b"]);
+    let mut dict = Dictionary::new();
+    let repo = Repository::from_records(
+        schema.clone(),
+        vec![Record::from_texts(&schema, 100, &[Some("x"), Some("y")], &mut dict)],
+    );
+    let ctx = TerContext::build(
+        repo,
+        KeywordSet::universe(),
+        &PivotConfig::default(),
+        &DiscoveryConfig::default(),
+        16,
+    );
+    assert!(ctx.cdds.is_empty());
+    let s0 = vec![Record::from_texts(&schema, 1, &[Some("same thing"), Some("here")], &mut dict)];
+    let s1 = vec![Record::from_texts(&schema, 2, &[Some("same thing"), Some("here")], &mut dict)];
+    let mut e = TerIdsEngine::new(&ctx, Params::default(), PruningMode::Full);
+    for a in StreamSet::new(vec![s0, s1]).arrivals() {
+        e.process(&a);
+    }
+    assert!(e.reported().contains(&(1, 2)));
+}
+
+#[test]
+fn window_of_one_never_pairs() {
+    let (ctx, schema, mut dict) = tiny_ctx(KeywordSet::universe());
+    let s0 = vec![Record::from_texts(&schema, 1, &[Some("alpha"), Some("red")], &mut dict)];
+    let s1 = vec![Record::from_texts(&schema, 2, &[Some("alpha"), Some("red")], &mut dict)];
+    let params = Params {
+        window: 1,
+        ..Params::default()
+    };
+    let mut e = TerIdsEngine::new(&ctx, params, PruningMode::Full);
+    for a in StreamSet::new(vec![s0, s1]).arrivals() {
+        e.process(&a);
+    }
+    // With w = 1 the previous tuple always expires before the next arrives.
+    assert!(e.reported().is_empty());
+}
+
+#[test]
+fn single_stream_yields_no_cross_stream_pairs() {
+    let (ctx, schema, mut dict) = tiny_ctx(KeywordSet::universe());
+    let s0 = vec![
+        Record::from_texts(&schema, 1, &[Some("alpha"), Some("red")], &mut dict),
+        Record::from_texts(&schema, 2, &[Some("alpha"), Some("red")], &mut dict),
+    ];
+    let mut e = TerIdsEngine::new(&ctx, Params::default(), PruningMode::Full);
+    for a in StreamSet::new(vec![s0]).arrivals() {
+        e.process(&a);
+    }
+    // Identical tuples but the same stream → out of scope by definition.
+    assert!(e.reported().is_empty());
+}
+
+#[test]
+fn extreme_missing_rate_all_methods_survive() {
+    let spec = DatasetSpec {
+        name: "extreme",
+        attrs: vec![
+            AttrSpec { name: "category", kind: AttrKind::Category },
+            AttrSpec { name: "name", kind: AttrKind::EntityName { tokens: 3 } },
+            AttrSpec { name: "tags", kind: AttrKind::TopicPhrase { base: 3, noise: 1 } },
+        ],
+        topics: 2,
+        vocab_per_topic: 10,
+        size_a: 30,
+        size_b: 30,
+        match_fraction: 0.5,
+        perturbation: 0.1,
+    };
+    let ds = generate(
+        &spec,
+        &GenOptions {
+            missing_rate: 0.8, // the paper's hardest ξ
+            missing_attrs: 2,  // m = d − 1
+            ..GenOptions::default()
+        },
+    );
+    let ctx = TerContext::build(
+        ds.repo.clone(),
+        KeywordSet::universe(),
+        &PivotConfig::default(),
+        &DiscoveryConfig {
+            min_support: 2,
+            min_constant_support: 2,
+            ..DiscoveryConfig::default()
+        },
+        8,
+    );
+    let params = Params {
+        window: 20,
+        ..Params::default()
+    };
+    let mut full = TerIdsEngine::new(&ctx, params, PruningMode::Full);
+    let mut oracle = NaiveEngine::cdd_er(&ctx, params);
+    for a in ds.streams.arrivals() {
+        full.process(&a);
+        oracle.process(&a);
+    }
+    let mut x: Vec<_> = full.reported().iter().copied().collect();
+    let mut y: Vec<_> = oracle.reported().iter().copied().collect();
+    x.sort_unstable();
+    y.sort_unstable();
+    assert_eq!(x, y, "engine diverged from oracle under ξ=0.8, m=2");
+}
+
+#[test]
+fn songs_scale_smoke() {
+    // Largest preset at reduced scale: only the indexed engine (a full
+    // baseline sweep at this size belongs to the bench harness).
+    let ds = preset(
+        Preset::Songs,
+        &GenOptions {
+            scale: 0.1,
+            ..GenOptions::default()
+        },
+    );
+    let ctx = TerContext::build(
+        ds.repo.clone(),
+        ds.keywords(),
+        &PivotConfig::default(),
+        &DiscoveryConfig::default(),
+        16,
+    );
+    let mut e = TerIdsEngine::new(&ctx, Params { window: 100, ..Params::default() }, PruningMode::Full);
+    for a in ds.streams.arrivals() {
+        e.process(&a);
+    }
+    assert!(e.prune_stats().total_pairs > 0);
+}
