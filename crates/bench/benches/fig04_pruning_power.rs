@@ -40,5 +40,7 @@ fn main() {
             r.stats.total_pruned_pct()
         );
     }
-    println!("(paper: topic 77.5–86.5, simUB 5.6–14.2, probUB 2.2–3.6, inst 1.5–4.4; total 98.3–99.4)");
+    println!(
+        "(paper: topic 77.5–86.5, simUB 5.6–14.2, probUB 2.2–3.6, inst 1.5–4.4; total 98.3–99.4)"
+    );
 }

@@ -45,5 +45,7 @@ fn main() {
     for (name, results) in &rows {
         print_time_row(name, results);
     }
-    println!("(paper: TER-iDS fastest; CDD/DD/er+ER 3–4 orders slower; con+ER 1–2; EBooks slowest)");
+    println!(
+        "(paper: TER-iDS fastest; CDD/DD/er+ER 3–4 orders slower; con+ER 1–2; EBooks slowest)"
+    );
 }

@@ -11,10 +11,7 @@ use ter_ids::Params;
 
 fn main() {
     let scale = BenchScale::default();
-    header(
-        "Figure 6",
-        "TER-iDS break-up cost per arrival (seconds)",
-    );
+    header("Figure 6", "TER-iDS break-up cost per arrival (seconds)");
     println!(
         "{:<11} {:>14} {:>14} {:>14}",
         "dataset", "CDD-selection", "imputation", "ER"

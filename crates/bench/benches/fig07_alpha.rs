@@ -18,8 +18,15 @@ fn main() {
         Metric::Time,
         |p, alpha| {
             (
-                GenOptions { scale: scale.for_preset(p), ..GenOptions::default() },
-                Params { alpha, window: scale.window, ..Params::default() },
+                GenOptions {
+                    scale: scale.for_preset(p),
+                    ..GenOptions::default()
+                },
+                Params {
+                    alpha,
+                    window: scale.window,
+                    ..Params::default()
+                },
             )
         },
     );

@@ -18,8 +18,15 @@ fn main() {
         Metric::Time,
         |p, rho| {
             (
-                GenOptions { scale: scale.for_preset(p), ..GenOptions::default() },
-                Params { rho, window: scale.window, ..Params::default() },
+                GenOptions {
+                    scale: scale.for_preset(p),
+                    ..GenOptions::default()
+                },
+                Params {
+                    rho,
+                    window: scale.window,
+                    ..Params::default()
+                },
             )
         },
     );

@@ -25,8 +25,14 @@ fn main() {
         Metric::Time,
         |p, w| {
             (
-                GenOptions { scale: scale.for_preset(p), ..GenOptions::default() },
-                Params { window: w, ..Params::default() },
+                GenOptions {
+                    scale: scale.for_preset(p),
+                    ..GenOptions::default()
+                },
+                Params {
+                    window: w,
+                    ..Params::default()
+                },
             )
         },
     );

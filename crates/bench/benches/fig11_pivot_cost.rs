@@ -14,7 +14,10 @@ use ter_repo::{PivotConfig, PivotTable};
 fn main() {
     let scale = BenchScale::default();
 
-    header("Figure 11(a)", "pivot selection time (s) vs repository ratio eta");
+    header(
+        "Figure 11(a)",
+        "pivot selection time (s) vs repository ratio eta",
+    );
     print!("{:<11}", "dataset");
     for eta in [0.1, 0.2, 0.3, 0.4, 0.5] {
         print!(" {eta:>9}");

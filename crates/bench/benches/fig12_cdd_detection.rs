@@ -13,7 +13,10 @@ use ter_rules::{detect_cdds, DiscoveryConfig};
 fn main() {
     let scale = BenchScale::default();
     header("Figure 12", "offline CDD detection time per dataset");
-    println!("{:<11} {:>10} {:>12} {:>10}", "dataset", "|R|", "time (s)", "#CDDs");
+    println!(
+        "{:<11} {:>10} {:>12} {:>10}",
+        "dataset", "|R|", "time (s)", "#CDDs"
+    );
     for p in Preset::all() {
         let ds = preset(
             p,

@@ -24,7 +24,10 @@ fn main() {
                     missing_rate: xi,
                     ..GenOptions::default()
                 },
-                Params { window: scale.window, ..Params::default() },
+                Params {
+                    window: scale.window,
+                    ..Params::default()
+                },
             )
         },
     );

@@ -23,7 +23,10 @@ fn main() {
                     repo_ratio: eta,
                     ..GenOptions::default()
                 },
-                Params { window: scale.window, ..Params::default() },
+                Params {
+                    window: scale.window,
+                    ..Params::default()
+                },
             )
         },
     );

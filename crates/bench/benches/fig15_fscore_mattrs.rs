@@ -22,7 +22,10 @@ fn main() {
                     missing_attrs: m,
                     ..GenOptions::default()
                 },
-                Params { window: scale.window, ..Params::default() },
+                Params {
+                    window: scale.window,
+                    ..Params::default()
+                },
             )
         },
     );

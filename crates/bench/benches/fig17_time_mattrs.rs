@@ -23,7 +23,10 @@ fn main() {
                     missing_attrs: m,
                     ..GenOptions::default()
                 },
-                Params { window: scale.window, ..Params::default() },
+                Params {
+                    window: scale.window,
+                    ..Params::default()
+                },
             )
         },
     );

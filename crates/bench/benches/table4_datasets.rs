@@ -46,10 +46,19 @@ fn main() {
 
     let params = Params::default();
     println!("\n=== Table 5: parameter settings (defaults in use) ===");
-    println!("probabilistic threshold alpha      : 0.1 0.2 [0.5] 0.8 0.9 -> {}", params.alpha);
-    println!("similarity ratio rho = gamma/d     : 0.3 0.4 [0.5] 0.6 0.7 -> {}", params.rho);
+    println!(
+        "probabilistic threshold alpha      : 0.1 0.2 [0.5] 0.8 0.9 -> {}",
+        params.alpha
+    );
+    println!(
+        "similarity ratio rho = gamma/d     : 0.3 0.4 [0.5] 0.6 0.7 -> {}",
+        params.rho
+    );
     println!("missing rate xi                    : 0.1 0.2 [0.3] 0.4 0.5 0.8");
-    println!("window size w (paper 500..3000)    : scaled -> {}", scale.window);
+    println!(
+        "window size w (paper 500..3000)    : scaled -> {}",
+        scale.window
+    );
     println!("repo ratio eta                     : 0.1 0.2 [0.3] 0.4 0.5");
     println!("missing attributes m               : [1] 2 3");
 }

@@ -13,8 +13,8 @@ use std::time::Instant;
 
 use ter_datasets::{co_window_pairs, preset, Dataset, GenOptions, Preset};
 use ter_ids::{
-    evaluate, ErProcessor, NaiveEngine, Params, PhaseTiming, PruneStats, PruningMode,
-    TerContext, TerIdsEngine,
+    evaluate, ErProcessor, NaiveEngine, Params, PhaseTiming, PruneStats, PruningMode, TerContext,
+    TerIdsEngine,
 };
 use ter_repo::PivotConfig;
 use ter_rules::DiscoveryConfig;

@@ -14,9 +14,7 @@
 
 use std::time::Instant;
 
-use ter_impute::{
-    ConstraintImputer, ImputeContext, Imputer, RuleImputer, RuleRetrieval,
-};
+use ter_impute::{ConstraintImputer, ImputeContext, Imputer, RuleImputer, RuleRetrieval};
 use ter_repo::Record;
 use ter_stream::{Arrival, ProbTuple, SlidingWindow};
 use ter_text::fxhash::{FxHashMap, FxHashSet};
@@ -52,7 +50,12 @@ pub struct NaiveEngine<'a> {
 }
 
 impl<'a> NaiveEngine<'a> {
-    fn new(name: &'static str, ctx: &'a TerContext, params: Params, imputer: BaselineImputer<'a>) -> Self {
+    fn new(
+        name: &'static str,
+        ctx: &'a TerContext,
+        params: Params,
+        imputer: BaselineImputer<'a>,
+    ) -> Self {
         params.validate().expect("invalid parameters");
         Self {
             name,
@@ -246,7 +249,12 @@ mod tests {
             .iter()
             .enumerate()
             .map(|(i, (a, b))| {
-                ter_repo::Record::from_texts(&schema, 1000 + i as u64, &[Some(a), Some(b)], &mut dict)
+                ter_repo::Record::from_texts(
+                    &schema,
+                    1000 + i as u64,
+                    &[Some(a), Some(b)],
+                    &mut dict,
+                )
             })
             .collect();
         let repo = Repository::from_records(schema.clone(), recs);
@@ -263,12 +271,32 @@ mod tests {
             16,
         );
         let s0 = vec![
-            Record::from_texts(&schema, 1, &[Some("space cowboy adventure"), Some("scifi western")], &mut dict),
-            Record::from_texts(&schema, 3, &[Some("cooking master"), Some("comedy food")], &mut dict),
+            Record::from_texts(
+                &schema,
+                1,
+                &[Some("space cowboy adventure"), Some("scifi western")],
+                &mut dict,
+            ),
+            Record::from_texts(
+                &schema,
+                3,
+                &[Some("cooking master"), Some("comedy food")],
+                &mut dict,
+            ),
         ];
         let s1 = vec![
-            Record::from_texts(&schema, 2, &[Some("space cowboy adventure"), Some("scifi western")], &mut dict),
-            Record::from_texts(&schema, 4, &[Some("idol music live"), Some("music idol")], &mut dict),
+            Record::from_texts(
+                &schema,
+                2,
+                &[Some("space cowboy adventure"), Some("scifi western")],
+                &mut dict,
+            ),
+            Record::from_texts(
+                &schema,
+                4,
+                &[Some("idol music live"), Some("music idol")],
+                &mut dict,
+            ),
         ];
         (ctx, StreamSet::new(vec![s0, s1]))
     }

@@ -20,9 +20,7 @@ use std::time::Instant;
 use ter_impute::{RuleImputer, RuleRetrieval};
 use ter_index::RegionGrid;
 use ter_repo::{DrIndex, PivotConfig, PivotTable, Repository};
-use ter_rules::{
-    detect_cdds, detect_dds, detect_editing_rules, Cdd, CddIndex, DiscoveryConfig,
-};
+use ter_rules::{detect_cdds, detect_dds, detect_editing_rules, Cdd, CddIndex, DiscoveryConfig};
 use ter_stream::{Arrival, ProbTuple, SlidingWindow};
 use ter_text::fxhash::{FxHashMap, FxHashSet};
 use ter_text::KeywordSet;
@@ -212,7 +210,12 @@ impl<'a> TerIdsEngine<'a> {
     /// pruned cell can only contain pair-level-prunable tuples (soundness
     /// is preserved).
     #[allow(clippy::needless_range_loop)] // k indexes four parallel arrays
-    fn cell_survives(meta: &TupleMeta, agg: &ErAggregate, gamma: f64, aux_counts: &[usize]) -> bool {
+    fn cell_survives(
+        meta: &TupleMeta,
+        agg: &ErAggregate,
+        gamma: f64,
+        aux_counts: &[usize],
+    ) -> bool {
         // Topic: if the new tuple can't be topical and nothing in the cell
         // can be either, no pair from this cell can qualify.
         if !meta.possibly_topical && !agg.topics.any() {
@@ -346,8 +349,7 @@ impl ErProcessor for TerIdsEngine<'_> {
                         self.stats.prob += 1;
                         continue;
                     }
-                    match refine_pair(&meta, other, &self.ctx.keywords, gamma, self.params.alpha)
-                    {
+                    match refine_pair(&meta, other, &self.ctx.keywords, gamma, self.params.alpha) {
                         Refinement::Match(_) => {
                             self.stats.matches += 1;
                             new_matches.push(norm_pair(meta.id, other_id));
@@ -358,12 +360,8 @@ impl ErProcessor for TerIdsEngine<'_> {
                     }
                 }
                 PruningMode::GridOnly => {
-                    let pr = crate::refine::exact_probability(
-                        &meta,
-                        other,
-                        &self.ctx.keywords,
-                        gamma,
-                    );
+                    let pr =
+                        crate::refine::exact_probability(&meta, other, &self.ctx.keywords, gamma);
                     if pr > self.params.alpha {
                         self.stats.matches += 1;
                         new_matches.push(norm_pair(meta.id, other_id));
@@ -483,12 +481,32 @@ mod tests {
 
         // Stream A and stream B share one entity ("space cowboy adventure").
         let s0 = vec![
-            Record::from_texts(&schema, 1, &[Some("space cowboy adventure"), Some("scifi western")], &mut dict),
-            Record::from_texts(&schema, 3, &[Some("cooking master"), Some("comedy food")], &mut dict),
+            Record::from_texts(
+                &schema,
+                1,
+                &[Some("space cowboy adventure"), Some("scifi western")],
+                &mut dict,
+            ),
+            Record::from_texts(
+                &schema,
+                3,
+                &[Some("cooking master"), Some("comedy food")],
+                &mut dict,
+            ),
         ];
         let s1 = vec![
-            Record::from_texts(&schema, 2, &[Some("space cowboy adventure"), Some("scifi western")], &mut dict),
-            Record::from_texts(&schema, 4, &[Some("idol music live"), Some("music idol")], &mut dict),
+            Record::from_texts(
+                &schema,
+                2,
+                &[Some("space cowboy adventure"), Some("scifi western")],
+                &mut dict,
+            ),
+            Record::from_texts(
+                &schema,
+                4,
+                &[Some("idol music live"), Some("music idol")],
+                &mut dict,
+            ),
         ];
         (ctx, StreamSet::new(vec![s0, s1]), dict)
     }

@@ -224,7 +224,12 @@ mod tests {
         let (_, pivots, mut dict, schema) = setup();
         let layout = AuxLayout::new(&pivots);
         let kw = KeywordSet::parse("scifi", &dict);
-        let r = Record::from_texts(&schema, 10, &[Some("space cowboy"), Some("scifi")], &mut dict);
+        let r = Record::from_texts(
+            &schema,
+            10,
+            &[Some("space cowboy"), Some("scifi")],
+            &mut dict,
+        );
         let meta = TupleMeta::build(10, 0, 0, ProbTuple::certain(r), &pivots, &layout, &kw);
         for j in 0..2 {
             assert_eq!(meta.main_bounds[j].width(), 0.0);
@@ -273,7 +278,12 @@ mod tests {
     fn non_topical_tuple() {
         let (_, pivots, mut dict, schema) = setup();
         let layout = AuxLayout::new(&pivots);
-        let r = Record::from_texts(&schema, 13, &[Some("cooking show"), Some("food")], &mut dict);
+        let r = Record::from_texts(
+            &schema,
+            13,
+            &[Some("cooking show"), Some("food")],
+            &mut dict,
+        );
         let kw = KeywordSet::parse("scifi", &dict);
         let meta = TupleMeta::build(13, 0, 0, ProbTuple::certain(r), &pivots, &layout, &kw);
         assert!(!meta.possibly_topical);
@@ -284,8 +294,18 @@ mod tests {
         let (_, pivots, mut dict, schema) = setup();
         let layout = AuxLayout::new(&pivots);
         let kw = KeywordSet::universe();
-        let r1 = Record::from_texts(&schema, 1, &[Some("space cowboy"), Some("scifi")], &mut dict);
-        let r2 = Record::from_texts(&schema, 2, &[Some("romance"), Some("drama comedy long tags here")], &mut dict);
+        let r1 = Record::from_texts(
+            &schema,
+            1,
+            &[Some("space cowboy"), Some("scifi")],
+            &mut dict,
+        );
+        let r2 = Record::from_texts(
+            &schema,
+            2,
+            &[Some("romance"), Some("drama comedy long tags here")],
+            &mut dict,
+        );
         let m1 = TupleMeta::build(1, 0, 0, ProbTuple::certain(r1), &pivots, &layout, &kw);
         let m2 = TupleMeta::build(2, 0, 1, ProbTuple::certain(r2), &pivots, &layout, &kw);
         let mut agg = m1.aggregate();
@@ -302,7 +322,12 @@ mod tests {
         let (_, pivots, mut dict, schema) = setup();
         let layout = AuxLayout::new(&pivots);
         let kw = KeywordSet::universe();
-        let r = Record::from_texts(&schema, 3, &[Some("mecha battle"), Some("action")], &mut dict);
+        let r = Record::from_texts(
+            &schema,
+            3,
+            &[Some("mecha battle"), Some("action")],
+            &mut dict,
+        );
         let meta = TupleMeta::build(3, 0, 0, ProbTuple::certain(r), &pivots, &layout, &kw);
         let region = meta.region();
         assert_eq!(region.dim(), 2);
@@ -316,7 +341,12 @@ mod tests {
         let (_, pivots, mut dict, schema) = setup();
         let layout = AuxLayout::new(&pivots);
         let kw = KeywordSet::universe();
-        let r = Record::from_texts(&schema, 4, &[Some("space cowboy"), Some("scifi western")], &mut dict);
+        let r = Record::from_texts(
+            &schema,
+            4,
+            &[Some("space cowboy"), Some("scifi western")],
+            &mut dict,
+        );
         let meta = TupleMeta::build(4, 0, 0, ProbTuple::certain(r), &pivots, &layout, &kw);
         let t = meta.total_main_bounds();
         let sum_lo: f64 = meta.main_bounds.iter().map(|i| i.lo).sum();

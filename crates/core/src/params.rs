@@ -88,8 +88,10 @@ mod tests {
 
     #[test]
     fn validation_rejects_bad_ranges() {
-        let mut p = Params::default();
-        p.alpha = 1.0;
+        let mut p = Params {
+            alpha: 1.0,
+            ..Params::default()
+        };
         assert!(p.validate().is_err());
         p.alpha = 0.5;
         p.rho = 0.0;

@@ -68,7 +68,15 @@ fn build_meta(fx: &Fx, id: u64, a0: TokenSet, cands: Vec<(TokenSet, f64)>) -> Tu
     let schema = Schema::new(vec!["a", "b"]);
     let base = Record::new(&schema, id, vec![Some(a0), None]);
     let pt = ProbTuple::new(base, vec![AttrCandidates::normalized(1, cands)]);
-    TupleMeta::build(id, (id % 2) as usize, id, pt, &fx.pivots, &fx.layout, &KeywordSet::universe())
+    TupleMeta::build(
+        id,
+        (id % 2) as usize,
+        id,
+        pt,
+        &fx.pivots,
+        &fx.layout,
+        &KeywordSet::universe(),
+    )
 }
 
 proptest! {

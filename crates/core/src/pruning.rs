@@ -146,7 +146,11 @@ mod tests {
             ("high school romance story", "drama comedy school", "kyoani"),
             ("mecha battle future war", "scifi action mecha", "sunrise"),
             ("cooking master challenge", "comedy food contest", "shaft"),
-            ("detective mystery case files", "mystery crime noir", "production ig"),
+            (
+                "detective mystery case files",
+                "mystery crime noir",
+                "production ig",
+            ),
             ("idol band music live", "music idol slice", "aniplex"),
         ];
         let recs = rows
@@ -174,14 +178,21 @@ mod tests {
     }
 
     fn aux_counts(fx: &Fixture) -> Vec<usize> {
-        (0..fx.pivots.arity()).map(|j| fx.pivots.aux_count(j)).collect()
+        (0..fx.pivots.arity())
+            .map(|j| fx.pivots.aux_count(j))
+            .collect()
     }
 
     #[test]
     fn topic_pruning_requires_both_non_topical() {
         let mut fx = fixture();
         let kw = KeywordSet::parse("scifi", &fx.dict);
-        let a = meta_of(&mut fx, 1, &["space cowboy", "scifi western", "sunrise"], &kw);
+        let a = meta_of(
+            &mut fx,
+            1,
+            &["space cowboy", "scifi western", "sunrise"],
+            &kw,
+        );
         let b = meta_of(&mut fx, 2, &["cooking", "comedy food", "shaft"], &kw);
         let c = meta_of(&mut fx, 3, &["romance", "drama", "kyoani"], &kw);
         assert!(!topic_prunable(&a, &b)); // a is topical
@@ -213,8 +224,18 @@ mod tests {
     fn ub_sim_dominates_true_similarity_for_certain_tuples() {
         let mut fx = fixture();
         let kw = KeywordSet::universe();
-        let a = meta_of(&mut fx, 1, &["space cowboy adventure", "scifi western", "sunrise"], &kw);
-        let b = meta_of(&mut fx, 2, &["space cowboy story", "scifi western", "sunrise"], &kw);
+        let a = meta_of(
+            &mut fx,
+            1,
+            &["space cowboy adventure", "scifi western", "sunrise"],
+            &kw,
+        );
+        let b = meta_of(
+            &mut fx,
+            2,
+            &["space cowboy story", "scifi western", "sunrise"],
+            &kw,
+        );
         let counts = aux_counts(&fx);
         let true_sim = a.tuple.base.similarity(&b.tuple.base);
         let ub = ub_sim(&a, &b, &counts);
@@ -228,8 +249,18 @@ mod tests {
     fn identical_tuples_not_sim_prunable() {
         let mut fx = fixture();
         let kw = KeywordSet::universe();
-        let a = meta_of(&mut fx, 1, &["mecha battle", "scifi action", "sunrise"], &kw);
-        let b = meta_of(&mut fx, 2, &["mecha battle", "scifi action", "sunrise"], &kw);
+        let a = meta_of(
+            &mut fx,
+            1,
+            &["mecha battle", "scifi action", "sunrise"],
+            &kw,
+        );
+        let b = meta_of(
+            &mut fx,
+            2,
+            &["mecha battle", "scifi action", "sunrise"],
+            &kw,
+        );
         let counts = aux_counts(&fx);
         // identical tuples: similarity = 3 = d; any γ < d must not prune.
         assert!(!sim_prunable(&a, &b, 2.9, &counts));
@@ -250,8 +281,18 @@ mod tests {
     fn prob_upper_bound_is_one_without_separation() {
         let mut fx = fixture();
         let kw = KeywordSet::universe();
-        let a = meta_of(&mut fx, 1, &["mecha battle", "scifi action", "sunrise"], &kw);
-        let b = meta_of(&mut fx, 2, &["mecha battle", "scifi action", "sunrise"], &kw);
+        let a = meta_of(
+            &mut fx,
+            1,
+            &["mecha battle", "scifi action", "sunrise"],
+            &kw,
+        );
+        let b = meta_of(
+            &mut fx,
+            2,
+            &["mecha battle", "scifi action", "sunrise"],
+            &kw,
+        );
         // Identical tuples: bounds coincide; lemma conditions require strict
         // separation, so the bound degrades to 1 (no pruning).
         assert_eq!(prob_upper_bound(&a, &b, 1.5), 1.0);
@@ -275,7 +316,12 @@ mod tests {
             vec![AttrCandidates::normalized(1, vec![(c1, 1.0), (c2, 1.0)])],
         );
         let a = TupleMeta::build(7, 0, 0, pt, &fx.pivots, &fx.layout, &kw);
-        let b = meta_of(&mut fx, 8, &["space cowboy adventure", "scifi western bounty", "sunrise"], &kw);
+        let b = meta_of(
+            &mut fx,
+            8,
+            &["space cowboy adventure", "scifi western bounty", "sunrise"],
+            &kw,
+        );
         for gamma in [1.0, 1.5, 2.0, 2.5, 2.9] {
             let exact: f64 = a
                 .tuple
@@ -299,8 +345,18 @@ mod tests {
     fn disjoint_far_tuples_are_sim_prunable_for_high_gamma() {
         let mut fx = fixture();
         let kw = KeywordSet::universe();
-        let a = meta_of(&mut fx, 1, &["space cowboy adventure", "scifi western bounty", "sunrise"], &kw);
-        let b = meta_of(&mut fx, 2, &["idol band music live", "music idol slice", "aniplex"], &kw);
+        let a = meta_of(
+            &mut fx,
+            1,
+            &["space cowboy adventure", "scifi western bounty", "sunrise"],
+            &kw,
+        );
+        let b = meta_of(
+            &mut fx,
+            2,
+            &["idol band music live", "music idol slice", "aniplex"],
+            &kw,
+        );
         let counts = aux_counts(&fx);
         // Completely disjoint tuples: true similarity 0; a tight γ close to
         // d should allow pruning via at least one bound.

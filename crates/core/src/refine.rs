@@ -34,21 +34,15 @@ pub enum Refinement {
 
 /// Exact probability (Equation 2), no early termination. Exposed for
 /// tests, the oracle, and the no-pruning baselines.
-pub fn exact_probability(
-    a: &TupleMeta,
-    b: &TupleMeta,
-    keywords: &KeywordSet,
-    gamma: f64,
-) -> f64 {
+pub fn exact_probability(a: &TupleMeta, b: &TupleMeta, keywords: &KeywordSet, gamma: f64) -> f64 {
     let a_insts: Vec<_> = a.tuple.instances().collect();
     let b_insts: Vec<_> = b.tuple.instances().collect();
     let mut pr = 0.0;
     for ia in &a_insts {
         let a_topical = keywords.is_universe() || ia.contains_any_token(keywords.tokens());
         for ib in &b_insts {
-            let topical = a_topical
-                || keywords.is_universe()
-                || ib.contains_any_token(keywords.tokens());
+            let topical =
+                a_topical || keywords.is_universe() || ib.contains_any_token(keywords.tokens());
             if topical && ia.similarity(ib) > gamma {
                 pr += ia.prob * ib.prob;
             }
@@ -126,7 +120,9 @@ mod tests {
         let recs = rows
             .iter()
             .enumerate()
-            .map(|(i, (x, y))| Record::from_texts(&schema, i as u64, &[Some(x), Some(y)], &mut dict))
+            .map(|(i, (x, y))| {
+                Record::from_texts(&schema, i as u64, &[Some(x), Some(y)], &mut dict)
+            })
             .collect();
         let repo = Repository::from_records(schema.clone(), recs);
         let pivots = PivotTable::select(&repo, &PivotConfig::default());
@@ -141,7 +137,15 @@ mod tests {
 
     fn certain(fxt: &mut Fx, id: u64, a: &str, b: &str, kw: &KeywordSet) -> TupleMeta {
         let r = Record::from_texts(&fxt.schema, id, &[Some(a), Some(b)], &mut fxt.dict);
-        TupleMeta::build(id, 0, 0, ProbTuple::certain(r), &fxt.pivots, &fxt.layout, kw)
+        TupleMeta::build(
+            id,
+            0,
+            0,
+            ProbTuple::certain(r),
+            &fxt.pivots,
+            &fxt.layout,
+            kw,
+        )
     }
 
     #[test]
@@ -175,7 +179,10 @@ mod tests {
         let far = ter_text::tokenize("purple orange", &mut f.dict);
         let pt = ProbTuple::new(
             base,
-            vec![AttrCandidates::normalized(1, vec![(close, 3.0), (far, 1.0)])],
+            vec![AttrCandidates::normalized(
+                1,
+                vec![(close, 3.0), (far, 1.0)],
+            )],
         );
         let a = TupleMeta::build(1, 0, 0, pt, &f.pivots, &f.layout, &kw);
         let b = certain(&mut f, 2, "alpha beta", "red green", &kw);

@@ -161,11 +161,7 @@ impl Dataset {
     /// ship "actual groundtruth" (here: same-entity pairs), while for
     /// Anime, Bikes, and EBooks "the groundtruth of matching pairs is
     /// based on Equation (2)" (here: the similarity-threshold pairs).
-    pub fn paper_groundtruth(
-        &self,
-        rho: f64,
-        keywords: &KeywordSet,
-    ) -> FxHashSet<(u64, u64)> {
+    pub fn paper_groundtruth(&self, rho: f64, keywords: &KeywordSet) -> FxHashSet<(u64, u64)> {
         match self.name {
             "Citations" | "Songs" => self.topical_entity_pairs(keywords),
             _ => self.groundtruth_by_threshold(rho, keywords),
@@ -208,7 +204,12 @@ pub fn generate(spec: &DatasetSpec, opts: &GenOptions) -> Dataset {
     );
     let mut rng = StdRng::seed_from_u64(opts.seed);
     let mut dict = Dictionary::new();
-    let schema = Schema::new(spec.attrs.iter().map(|a| a.name.to_owned()).collect::<Vec<_>>());
+    let schema = Schema::new(
+        spec.attrs
+            .iter()
+            .map(|a| a.name.to_owned())
+            .collect::<Vec<_>>(),
+    );
 
     // ---- vocabularies ----
     // Topic vocabularies + per-topic category label.
@@ -227,7 +228,9 @@ pub fn generate(spec: &DatasetSpec, opts: &GenOptions) -> Dataset {
     let size_b = ((spec.size_b as f64) * opts.scale).round().max(4.0) as usize;
     let matched = ((size_b as f64) * spec.match_fraction).round() as usize;
     let n_entities = size_a + (size_b - matched.min(size_b));
-    let repo_size = (((size_a + size_b) as f64) * opts.repo_ratio).round().max(8.0) as usize;
+    let repo_size = (((size_a + size_b) as f64) * opts.repo_ratio)
+        .round()
+        .max(8.0) as usize;
 
     // ---- entities ----
     let mut next_entity_word = 0u64;
@@ -261,7 +264,8 @@ pub fn generate(spec: &DatasetSpec, opts: &GenOptions) -> Dataset {
                     toks
                 }
                 AttrKind::Description { tokens } => {
-                    let n = rng.gen_range(tokens.saturating_sub(tokens / 3).max(2)..=tokens + tokens / 3);
+                    let n = rng
+                        .gen_range(tokens.saturating_sub(tokens / 3).max(2)..=tokens + tokens / 3);
                     let mut toks = Vec::with_capacity(n);
                     for i in 0..n {
                         if i % 3 == 0 {
@@ -443,9 +447,18 @@ mod tests {
         DatasetSpec {
             name: "test",
             attrs: vec![
-                AttrSpec { name: "category", kind: AttrKind::Category },
-                AttrSpec { name: "name", kind: AttrKind::EntityName { tokens: 3 } },
-                AttrSpec { name: "tags", kind: AttrKind::TopicPhrase { base: 3, noise: 1 } },
+                AttrSpec {
+                    name: "category",
+                    kind: AttrKind::Category,
+                },
+                AttrSpec {
+                    name: "name",
+                    kind: AttrKind::EntityName { tokens: 3 },
+                },
+                AttrSpec {
+                    name: "tags",
+                    kind: AttrKind::TopicPhrase { base: 3, noise: 1 },
+                },
             ],
             topics: 3,
             vocab_per_topic: 12,

@@ -36,11 +36,9 @@ pub fn co_window_pairs(
     }
     groundtruth
         .iter()
-        .filter(|(a, b)| {
-            match (position.get(a), position.get(b)) {
-                (Some(&ta), Some(&tb)) => ta.abs_diff(tb) < w as u64,
-                _ => false,
-            }
+        .filter(|(a, b)| match (position.get(a), position.get(b)) {
+            (Some(&ta), Some(&tb)) => ta.abs_diff(tb) < w as u64,
+            _ => false,
         })
         .copied()
         .collect()
@@ -63,8 +61,7 @@ mod tests {
         let s0: Vec<Record> = (1..=4).map(|i| mk(i, &mut dict)).collect();
         let s1: Vec<Record> = (11..=14).map(|i| mk(i, &mut dict)).collect();
         let arrivals = StreamSet::new(vec![s0, s1]).arrivals();
-        let gt: FxHashSet<(u64, u64)> =
-            [(1, 11), (1, 14), (4, 11)].into_iter().collect();
+        let gt: FxHashSet<(u64, u64)> = [(1, 11), (1, 14), (4, 11)].into_iter().collect();
         // (1,11): ts 0 vs 1 → within any window ≥ 2.
         // (1,14): ts 0 vs 7 → needs w > 7.
         // (4,11): ts 6 vs 1 → needs w > 5.

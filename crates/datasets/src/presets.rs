@@ -59,10 +59,22 @@ impl Preset {
             Preset::Citations => DatasetSpec {
                 name: "Citations",
                 attrs: vec![
-                    AttrSpec { name: "venue", kind: AttrKind::Category },
-                    AttrSpec { name: "title", kind: AttrKind::EntityName { tokens: 5 } },
-                    AttrSpec { name: "authors", kind: AttrKind::EntityName { tokens: 3 } },
-                    AttrSpec { name: "keywords", kind: AttrKind::TopicPhrase { base: 2, noise: 3 } },
+                    AttrSpec {
+                        name: "venue",
+                        kind: AttrKind::Category,
+                    },
+                    AttrSpec {
+                        name: "title",
+                        kind: AttrKind::EntityName { tokens: 5 },
+                    },
+                    AttrSpec {
+                        name: "authors",
+                        kind: AttrKind::EntityName { tokens: 3 },
+                    },
+                    AttrSpec {
+                        name: "keywords",
+                        kind: AttrKind::TopicPhrase { base: 2, noise: 3 },
+                    },
                 ],
                 topics: 8,
                 vocab_per_topic: 24,
@@ -74,10 +86,22 @@ impl Preset {
             Preset::Anime => DatasetSpec {
                 name: "Anime",
                 attrs: vec![
-                    AttrSpec { name: "type", kind: AttrKind::Category },
-                    AttrSpec { name: "title", kind: AttrKind::EntityName { tokens: 4 } },
-                    AttrSpec { name: "genres", kind: AttrKind::TopicPhrase { base: 2, noise: 2 } },
-                    AttrSpec { name: "studio", kind: AttrKind::EntityName { tokens: 2 } },
+                    AttrSpec {
+                        name: "type",
+                        kind: AttrKind::Category,
+                    },
+                    AttrSpec {
+                        name: "title",
+                        kind: AttrKind::EntityName { tokens: 4 },
+                    },
+                    AttrSpec {
+                        name: "genres",
+                        kind: AttrKind::TopicPhrase { base: 2, noise: 2 },
+                    },
+                    AttrSpec {
+                        name: "studio",
+                        kind: AttrKind::EntityName { tokens: 2 },
+                    },
                 ],
                 topics: 8,
                 vocab_per_topic: 20,
@@ -89,10 +113,22 @@ impl Preset {
             Preset::Bikes => DatasetSpec {
                 name: "Bikes",
                 attrs: vec![
-                    AttrSpec { name: "segment", kind: AttrKind::Category },
-                    AttrSpec { name: "model", kind: AttrKind::EntityName { tokens: 4 } },
-                    AttrSpec { name: "brand", kind: AttrKind::EntityName { tokens: 2 } },
-                    AttrSpec { name: "specs", kind: AttrKind::TopicPhrase { base: 2, noise: 4 } },
+                    AttrSpec {
+                        name: "segment",
+                        kind: AttrKind::Category,
+                    },
+                    AttrSpec {
+                        name: "model",
+                        kind: AttrKind::EntityName { tokens: 4 },
+                    },
+                    AttrSpec {
+                        name: "brand",
+                        kind: AttrKind::EntityName { tokens: 2 },
+                    },
+                    AttrSpec {
+                        name: "specs",
+                        kind: AttrKind::TopicPhrase { base: 2, noise: 4 },
+                    },
                 ],
                 topics: 8,
                 vocab_per_topic: 28,
@@ -104,12 +140,24 @@ impl Preset {
             Preset::EBooks => DatasetSpec {
                 name: "EBooks",
                 attrs: vec![
-                    AttrSpec { name: "genre", kind: AttrKind::Category },
-                    AttrSpec { name: "title", kind: AttrKind::EntityName { tokens: 4 } },
-                    AttrSpec { name: "author", kind: AttrKind::EntityName { tokens: 2 } },
+                    AttrSpec {
+                        name: "genre",
+                        kind: AttrKind::Category,
+                    },
+                    AttrSpec {
+                        name: "title",
+                        kind: AttrKind::EntityName { tokens: 4 },
+                    },
+                    AttrSpec {
+                        name: "author",
+                        kind: AttrKind::EntityName { tokens: 2 },
+                    },
                     // The paper: "EBooks has significantly larger token
                     // sizes on some attributes (e.g., description)".
-                    AttrSpec { name: "description", kind: AttrKind::Description { tokens: 36 } },
+                    AttrSpec {
+                        name: "description",
+                        kind: AttrKind::Description { tokens: 36 },
+                    },
                 ],
                 topics: 8,
                 vocab_per_topic: 40,
@@ -121,10 +169,22 @@ impl Preset {
             Preset::Songs => DatasetSpec {
                 name: "Songs",
                 attrs: vec![
-                    AttrSpec { name: "era", kind: AttrKind::Category },
-                    AttrSpec { name: "title", kind: AttrKind::EntityName { tokens: 4 } },
-                    AttrSpec { name: "artist", kind: AttrKind::EntityName { tokens: 2 } },
-                    AttrSpec { name: "album", kind: AttrKind::TopicPhrase { base: 1, noise: 3 } },
+                    AttrSpec {
+                        name: "era",
+                        kind: AttrKind::Category,
+                    },
+                    AttrSpec {
+                        name: "title",
+                        kind: AttrKind::EntityName { tokens: 4 },
+                    },
+                    AttrSpec {
+                        name: "artist",
+                        kind: AttrKind::EntityName { tokens: 2 },
+                    },
+                    AttrSpec {
+                        name: "album",
+                        kind: AttrKind::TopicPhrase { base: 1, noise: 3 },
+                    },
                 ],
                 topics: 10,
                 vocab_per_topic: 24,
@@ -154,7 +214,7 @@ mod tests {
         };
         for p in Preset::all() {
             let ds = preset(p, &opts);
-            assert!(ds.streams.stream(0).len() > 0, "{}", p.name());
+            assert!(!ds.streams.stream(0).is_empty(), "{}", p.name());
             assert!(!ds.entity_pairs.is_empty(), "{}", p.name());
             assert!(!ds.repo.is_empty(), "{}", p.name());
         }
@@ -182,7 +242,12 @@ mod tests {
             total as f64 / recs.len() as f64
         };
         let ebooks = avg_max_tokens(Preset::EBooks);
-        for p in [Preset::Citations, Preset::Anime, Preset::Bikes, Preset::Songs] {
+        for p in [
+            Preset::Citations,
+            Preset::Anime,
+            Preset::Bikes,
+            Preset::Songs,
+        ] {
             assert!(
                 ebooks > 1.5 * avg_max_tokens(p),
                 "EBooks should dominate {}",

@@ -105,7 +105,13 @@ mod tests {
         Schema::new(vec!["title", "genre", "studio"])
     }
 
-    fn rec(d: &mut Dictionary, id: u64, t: Option<&str>, g: Option<&str>, s: Option<&str>) -> Record {
+    fn rec(
+        d: &mut Dictionary,
+        id: u64,
+        t: Option<&str>,
+        g: Option<&str>,
+        s: Option<&str>,
+    ) -> Record {
         Record::from_texts(&schema(), id, &[t, g, s], d)
     }
 
@@ -113,8 +119,20 @@ mod tests {
     fn imputes_from_nearest_window_tuple() {
         let mut d = Dictionary::new();
         let window = vec![
-            rec(&mut d, 1, Some("cowboy space drama"), Some("scifi"), Some("sunrise")),
-            rec(&mut d, 2, Some("cooking romance"), Some("slice of life"), Some("ghibli")),
+            rec(
+                &mut d,
+                1,
+                Some("cowboy space drama"),
+                Some("scifi"),
+                Some("sunrise"),
+            ),
+            rec(
+                &mut d,
+                2,
+                Some("cooking romance"),
+                Some("slice of life"),
+                Some("ghibli"),
+            ),
         ];
         let incomplete = rec(&mut d, 3, Some("cowboy space drama"), Some("scifi"), None);
         let imputer = ConstraintImputer::new(2, ImputeConfig::default());
@@ -177,7 +195,10 @@ mod tests {
         let imputer = ConstraintImputer::new(2, ImputeConfig::default());
         let pt = imputer.impute(&incomplete, &ImputeContext { window: &window });
         let toei = d.lookup("toei").unwrap();
-        assert!(pt.imputed[0].candidates.iter().any(|(v, _)| v.contains(toei)));
+        assert!(pt.imputed[0]
+            .candidates
+            .iter()
+            .any(|(v, _)| v.contains(toei)));
     }
 
     #[test]

@@ -291,8 +291,9 @@ mod tests {
         let (repo, pivots, mut dict) = setup();
         let rules = detect_cdds(&repo, &DiscoveryConfig::default());
         let d = repo.schema().arity();
-        let cdd_indexes: Vec<CddIndex> =
-            (0..d).map(|j| CddIndex::build(j, &rules, &pivots)).collect();
+        let cdd_indexes: Vec<CddIndex> = (0..d)
+            .map(|j| CddIndex::build(j, &rules, &pivots))
+            .collect();
         let dr = DrIndex::build(&repo, &pivots, &KeywordSet::universe(), 8);
 
         let linear = RuleImputer::new(
@@ -402,8 +403,7 @@ mod tests {
         let cfg = ImputeConfig {
             max_candidates_per_attr: 2,
         };
-        let imputer =
-            RuleImputer::new("CDD", &repo, &pivots, &rules, RuleRetrieval::Linear, cfg);
+        let imputer = RuleImputer::new("CDD", &repo, &pivots, &rules, RuleRetrieval::Linear, cfg);
         let r = incomplete(&mut dict);
         let pt = imputer.impute(&r, &ImputeContext::default());
         assert!(pt.imputed[0].candidates.len() <= 2);

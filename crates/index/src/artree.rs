@@ -637,7 +637,9 @@ mod tests {
     #[test]
     fn delete_everything_then_reinsert() {
         let mut t: ArTree<u32, Sum> = ArTree::new(2, 4);
-        let pts: Vec<(f64, f64)> = (0..30).map(|i| (i as f64 / 30.0, 1.0 - i as f64 / 30.0)).collect();
+        let pts: Vec<(f64, f64)> = (0..30)
+            .map(|i| (i as f64 / 30.0, 1.0 - i as f64 / 30.0))
+            .collect();
         for (i, &(x, y)) in pts.iter().enumerate() {
             t.insert(vec![x, y], i as u32, Sum(1.0));
         }
@@ -697,7 +699,10 @@ mod tests {
         for i in 0..8u32 {
             t.insert(vec![0.5], i, ());
         }
-        assert_eq!(t.range_query(&Rect::new(vec![Interval::point(0.5)])).len(), 8);
+        assert_eq!(
+            t.range_query(&Rect::new(vec![Interval::point(0.5)])).len(),
+            8
+        );
         assert!(t.delete(&[0.5], &5));
         assert_eq!(t.len(), 7);
     }

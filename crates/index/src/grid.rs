@@ -371,10 +371,7 @@ impl<P: Clone + PartialEq, A: Aggregate> RegionGrid<P, A> {
     /// typically collect into a set).
     pub fn candidates_in(&self, range: &Rect) -> Vec<&P> {
         let mut out = Vec::new();
-        self.traverse(
-            |rect, _| range.intersects(rect),
-            |e| out.push(&e.payload),
-        );
+        self.traverse(|rect, _| range.intersects(rect), |e| out.push(&e.payload));
         out
     }
 }

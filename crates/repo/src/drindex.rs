@@ -136,7 +136,10 @@ impl DrIndex {
 
 /// Clamps a query interval to the valid distance range `[0,1]`.
 fn clamp_unit(i: Interval) -> Interval {
-    Interval::new(i.lo.clamp(0.0, 1.0), i.hi.clamp(0.0, 1.0).max(i.lo.clamp(0.0, 1.0)))
+    Interval::new(
+        i.lo.clamp(0.0, 1.0),
+        i.hi.clamp(0.0, 1.0).max(i.lo.clamp(0.0, 1.0)),
+    )
 }
 
 fn leaf_aggregate(
@@ -231,7 +234,7 @@ mod tests {
         let idx = DrIndex::build(&repo, &pivots, &kw, 4);
         let root = idx.tree().root_agg().unwrap();
         assert_eq!(root.topics.count_ones(), 2); // both keywords occur in R
-        // Token-size aggregate covers each sample's sizes.
+                                                 // Token-size aggregate covers each sample's sizes.
         for i in 0..repo.len() {
             for j in 0..2 {
                 let sz = repo.sample(i).attr(j).unwrap().len() as f64;

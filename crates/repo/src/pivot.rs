@@ -91,7 +91,10 @@ impl PivotTable {
     /// # Panics
     /// Panics if the repository is empty (there is nothing to pivot on).
     pub fn select(repo: &Repository, cfg: &PivotConfig) -> Self {
-        assert!(!repo.is_empty(), "cannot select pivots from an empty repository");
+        assert!(
+            !repo.is_empty(),
+            "cannot select pivots from an empty repository"
+        );
         let d = repo.schema().arity();
         let per_attr = (0..d).map(|j| select_for_attr(repo, j, cfg)).collect();
         Self { per_attr }
@@ -140,7 +143,10 @@ impl PivotTable {
             .iter()
             .enumerate()
             .map(|(j, v)| {
-                self.convert_value(j, v.as_ref().expect("attribute missing in convert_complete"))
+                self.convert_value(
+                    j,
+                    v.as_ref().expect("attribute missing in convert_complete"),
+                )
             })
             .collect()
     }
@@ -218,7 +224,10 @@ fn select_for_attr(repo: &Repository, j: usize, cfg: &PivotConfig) -> AttributeP
         .iter()
         .map(|&cid| {
             let piv = domain.value(cid as u32);
-            sample_values.iter().map(|v| piv.jaccard_distance(v)).collect()
+            sample_values
+                .iter()
+                .map(|v| piv.jaccard_distance(v))
+                .collect()
         })
         .collect();
 
@@ -310,7 +319,7 @@ mod tests {
     fn joint_entropy_monotone_in_pivots() {
         let d1: Vec<f64> = (0..64).map(|i| (i % 4) as f64 / 4.0).collect();
         let d2: Vec<f64> = (0..64).map(|i| (i % 8) as f64 / 8.0).collect();
-        let single = joint_entropy(&[d1.clone()], 10);
+        let single = joint_entropy(std::slice::from_ref(&d1), 10);
         let joint = joint_entropy(&[d1, d2], 10);
         assert!(joint >= single - 1e-12);
     }
@@ -318,8 +327,14 @@ mod tests {
     #[test]
     fn select_picks_a_pivot_per_attribute() {
         let (repo, _) = repo_with_values(&[
-            "alpha beta", "alpha gamma", "beta gamma delta", "delta epsilon",
-            "epsilon zeta", "zeta alpha", "gamma delta", "beta epsilon",
+            "alpha beta",
+            "alpha gamma",
+            "beta gamma delta",
+            "delta epsilon",
+            "epsilon zeta",
+            "zeta alpha",
+            "gamma delta",
+            "beta epsilon",
         ]);
         let table = PivotTable::select(&repo, &PivotConfig::default());
         assert_eq!(table.arity(), 1);

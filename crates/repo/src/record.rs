@@ -72,10 +72,7 @@ impl Record {
         dict: &mut Dictionary,
     ) -> Self {
         assert_eq!(texts.len(), schema.arity());
-        let attrs = texts
-            .iter()
-            .map(|t| t.map(|s| tokenize(s, dict)))
-            .collect();
+        let attrs = texts.iter().map(|t| t.map(|s| tokenize(s, dict))).collect();
         Self { id, attrs }
     }
 
@@ -168,7 +165,12 @@ mod tests {
         let r = Record::from_texts(
             &s,
             2,
-            &[Some("male"), Some("loss of weight, blurred vision"), None, None],
+            &[
+                Some("male"),
+                Some("loss of weight, blurred vision"),
+                None,
+                None,
+            ],
             &mut d,
         );
         assert!(!r.is_complete());
@@ -183,13 +185,23 @@ mod tests {
         let a = Record::from_texts(
             &s,
             1,
-            &[Some("male"), Some("loss of weight"), Some("diabetes"), Some("drug therapy")],
+            &[
+                Some("male"),
+                Some("loss of weight"),
+                Some("diabetes"),
+                Some("drug therapy"),
+            ],
             &mut d,
         );
         let b = Record::from_texts(
             &s,
             2,
-            &[Some("male"), Some("blurred vision"), Some("diabetes"), Some("drug therapy")],
+            &[
+                Some("male"),
+                Some("blurred vision"),
+                Some("diabetes"),
+                Some("drug therapy"),
+            ],
             &mut d,
         );
         // gender 1.0 + symptom 0.0 + diagnosis 1.0 + treatment 1.0
@@ -204,7 +216,12 @@ mod tests {
         let a = Record::from_texts(
             &s,
             1,
-            &[Some("female"), Some("fever cough"), Some("pneumonia"), Some("rest")],
+            &[
+                Some("female"),
+                Some("fever cough"),
+                Some("pneumonia"),
+                Some("rest"),
+            ],
             &mut d,
         );
         assert!((a.similarity(&a) - 4.0).abs() < 1e-12);

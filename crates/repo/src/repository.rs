@@ -164,7 +164,11 @@ mod tests {
             Record::from_texts(
                 &schema,
                 1,
-                &[Some("male"), Some("weight loss blurred vision"), Some("diabetes")],
+                &[
+                    Some("male"),
+                    Some("weight loss blurred vision"),
+                    Some("diabetes"),
+                ],
                 &mut dict,
             ),
             Record::from_texts(
@@ -218,7 +222,11 @@ mod tests {
         repo.insert(Record::from_texts(
             &schema,
             4,
-            &[Some("female"), Some("red eye itchy"), Some("conjunctivitis")],
+            &[
+                Some("female"),
+                Some("red eye itchy"),
+                Some("conjunctivitis"),
+            ],
             &mut dict,
         ));
         assert_eq!(repo.len(), n + 1);

@@ -138,11 +138,7 @@ impl CddIndex {
     /// Retrieval descends each compatible lattice group's aR-tree with the
     /// 2^k boxes covering {constant-match, interval-sentinel} per dimension
     /// and verifies candidates exactly.
-    pub fn applicable_rules<'a>(
-        &'a self,
-        record: &Record,
-        pivots: &PivotTable,
-    ) -> Vec<&'a Cdd> {
+    pub fn applicable_rules<'a>(&'a self, record: &Record, pivots: &PivotTable) -> Vec<&'a Cdd> {
         let mut out = Vec::new();
         for group in &self.groups {
             // Lattice-level filter: X must be fully present in the record.
@@ -246,10 +242,30 @@ mod tests {
         let mut dict = Dictionary::new();
         let s = schema();
         let recs = vec![
-            Record::from_texts(&s, 1, &[Some("male"), Some("weight loss"), Some("diabetes")], &mut dict),
-            Record::from_texts(&s, 2, &[Some("female"), Some("fever cough"), Some("flu")], &mut dict),
-            Record::from_texts(&s, 3, &[Some("male"), Some("blurred vision"), Some("diabetes")], &mut dict),
-            Record::from_texts(&s, 4, &[Some("female"), Some("red eye"), Some("conjunctivitis")], &mut dict),
+            Record::from_texts(
+                &s,
+                1,
+                &[Some("male"), Some("weight loss"), Some("diabetes")],
+                &mut dict,
+            ),
+            Record::from_texts(
+                &s,
+                2,
+                &[Some("female"), Some("fever cough"), Some("flu")],
+                &mut dict,
+            ),
+            Record::from_texts(
+                &s,
+                3,
+                &[Some("male"), Some("blurred vision"), Some("diabetes")],
+                &mut dict,
+            ),
+            Record::from_texts(
+                &s,
+                4,
+                &[Some("female"), Some("red eye"), Some("conjunctivitis")],
+                &mut dict,
+            ),
         ];
         let repo = Repository::from_records(s, recs);
         let pivots = PivotTable::select(&repo, &PivotConfig::default());
@@ -309,7 +325,12 @@ mod tests {
         let idx = CddIndex::build(2, &rules, &pivots);
         let s = schema();
         let cases = [
-            Record::from_texts(&s, 10, &[Some("male"), Some("weight loss"), None], &mut dict),
+            Record::from_texts(
+                &s,
+                10,
+                &[Some("male"), Some("weight loss"), None],
+                &mut dict,
+            ),
             Record::from_texts(&s, 11, &[Some("female"), Some("fever"), None], &mut dict),
             Record::from_texts(&s, 12, &[Some("male"), None, None], &mut dict),
             Record::from_texts(&s, 13, &[None, None, None], &mut dict),
@@ -339,8 +360,12 @@ mod tests {
         let rules = test_rules(&mut dict);
         let idx = CddIndex::build(2, &rules, &pivots);
         let s = schema();
-        let female_rec =
-            Record::from_texts(&s, 20, &[Some("female"), Some("weight loss"), None], &mut dict);
+        let female_rec = Record::from_texts(
+            &s,
+            20,
+            &[Some("female"), Some("weight loss"), None],
+            &mut dict,
+        );
         let applicable = idx.applicable_rules(&female_rec, &pivots);
         // Only the pure interval rule applies (constants demand "male").
         assert_eq!(applicable.len(), 1);
@@ -353,7 +378,12 @@ mod tests {
         let rules = test_rules(&mut dict);
         let idx = CddIndex::build(2, &rules, &pivots);
         let s = schema();
-        let rec = Record::from_texts(&s, 30, &[Some("male"), Some("weight loss"), None], &mut dict);
+        let rec = Record::from_texts(
+            &s,
+            30,
+            &[Some("male"), Some("weight loss"), None],
+            &mut dict,
+        );
         let bound = idx.dependent_bound(&rec, &pivots).unwrap();
         for r in idx.applicable_rules(&rec, &pivots) {
             assert!(bound.contains_interval(&r.dependent_interval));

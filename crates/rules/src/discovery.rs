@@ -330,14 +330,13 @@ pub fn detect_editing_rules(repo: &Repository, cfg: &DiscoveryConfig) -> Vec<Cdd
 
 /// Groups repository rows by their value id on `attr`, keeping groups with
 /// at least `min_support` members. Deterministic order (by value id).
-fn constant_groups(
-    repo: &Repository,
-    attr: usize,
-    min_support: usize,
-) -> Vec<(u32, Vec<usize>)> {
+fn constant_groups(repo: &Repository, attr: usize, min_support: usize) -> Vec<(u32, Vec<usize>)> {
     let mut groups: FxHashMap<u32, Vec<usize>> = FxHashMap::default();
     for row in 0..repo.len() {
-        groups.entry(repo.value_id(row, attr)).or_default().push(row);
+        groups
+            .entry(repo.value_id(row, attr))
+            .or_default()
+            .push(row);
     }
     let mut out: Vec<(u32, Vec<usize>)> = groups
         .into_iter()
@@ -365,7 +364,12 @@ mod tests {
             } else {
                 ("female", "fever cough aches", "seasonal flu")
             };
-            recs.push(Record::from_texts(&schema, i, &[Some(g), Some(s), Some(dx)], &mut dict));
+            recs.push(Record::from_texts(
+                &schema,
+                i,
+                &[Some(g), Some(s), Some(dx)],
+                &mut dict,
+            ));
         }
         Repository::from_records(schema, recs)
     }
@@ -456,7 +460,12 @@ mod tests {
     fn tiny_repository_yields_no_rules() {
         let schema = Schema::new(vec!["a", "b"]);
         let mut dict = Dictionary::new();
-        let recs = vec![Record::from_texts(&schema, 1, &[Some("x"), Some("y")], &mut dict)];
+        let recs = vec![Record::from_texts(
+            &schema,
+            1,
+            &[Some("x"), Some("y")],
+            &mut dict,
+        )];
         let repo = Repository::from_records(schema, recs);
         assert!(detect_cdds(&repo, &DiscoveryConfig::default()).is_empty());
         assert!(detect_dds(&repo, &DiscoveryConfig::default()).is_empty());

@@ -59,7 +59,10 @@ impl Cdd {
         dependent: usize,
         dependent_interval: Interval,
     ) -> Self {
-        assert!(!determinants.is_empty(), "CDD needs at least one determinant");
+        assert!(
+            !determinants.is_empty(),
+            "CDD needs at least one determinant"
+        );
         determinants.sort_by_key(|(a, _)| *a);
         assert!(
             determinants.windows(2).all(|w| w[0].0 != w[1].0),
@@ -112,11 +115,9 @@ impl Cdd {
     /// `dependent` attribute: every determinant must be present in the
     /// record and compatible with constant constraints.
     pub fn applicable_to(&self, record: &Record) -> bool {
-        self.determinants.iter().all(|(a, c)| {
-            record
-                .attr(*a)
-                .is_some_and(|v| c.value_compatible(v))
-        })
+        self.determinants
+            .iter()
+            .all(|(a, c)| record.attr(*a).is_some_and(|v| c.value_compatible(v)))
     }
 
     /// Whether repository sample `sample` matches `record` under the
@@ -126,31 +127,30 @@ impl Cdd {
     /// `record`'s determinants must all be present (use
     /// [`Cdd::applicable_to`] first).
     pub fn sample_matches(&self, record: &Record, sample: &Record) -> bool {
-        self.determinants.iter().all(|(a, c)| {
-            match (record.attr(*a), sample.attr(*a)) {
+        self.determinants
+            .iter()
+            .all(|(a, c)| match (record.attr(*a), sample.attr(*a)) {
                 (Some(rv), Some(sv)) => c.pair_satisfies(rv, sv),
                 _ => false,
-            }
-        })
+            })
     }
 
     /// Whether a pair of complete records obeys the rule (either some
     /// determinant constraint fails, or the dependent constraint holds).
     /// Used to validate discovered rules on held-out data.
     pub fn holds_on(&self, a: &Record, b: &Record) -> bool {
-        let lhs = self.determinants.iter().all(|(x, c)| {
-            match (a.attr(*x), b.attr(*x)) {
+        let lhs = self
+            .determinants
+            .iter()
+            .all(|(x, c)| match (a.attr(*x), b.attr(*x)) {
                 (Some(av), Some(bv)) => c.pair_satisfies(av, bv),
                 _ => false,
-            }
-        });
+            });
         if !lhs {
             return true;
         }
         match (a.attr(self.dependent), b.attr(self.dependent)) {
-            (Some(av), Some(bv)) => self
-                .dependent_interval
-                .contains(av.jaccard_distance(bv)),
+            (Some(av), Some(bv)) => self.dependent_interval.contains(av.jaccard_distance(bv)),
             _ => false,
         }
     }
@@ -166,7 +166,13 @@ mod tests {
         Schema::new(vec!["gender", "symptom", "diagnosis"])
     }
 
-    fn rec(dict: &mut Dictionary, id: u64, g: Option<&str>, s: Option<&str>, dx: Option<&str>) -> Record {
+    fn rec(
+        dict: &mut Dictionary,
+        id: u64,
+        g: Option<&str>,
+        s: Option<&str>,
+        dx: Option<&str>,
+    ) -> Record {
         Record::from_texts(&schema(), id, &[g, s, dx], dict)
     }
 
@@ -184,8 +190,20 @@ mod tests {
             2,
             Interval::new(0.0, 0.2),
         );
-        let p1 = rec(&mut d, 1, Some("male"), Some("weight loss blurred vision"), Some("diabetes"));
-        let a2 = rec(&mut d, 2, Some("male"), Some("loss of weight blurred vision"), None);
+        let p1 = rec(
+            &mut d,
+            1,
+            Some("male"),
+            Some("weight loss blurred vision"),
+            Some("diabetes"),
+        );
+        let a2 = rec(
+            &mut d,
+            2,
+            Some("male"),
+            Some("loss of weight blurred vision"),
+            None,
+        );
         assert!(rule.applicable_to(&a2));
         // symptom distance: |{weight,loss,blurred,vision} ∩ {loss,of,weight,blurred,vision}| = 4, union 5 → dist 0.2
         assert!(rule.sample_matches(&a2, &p1));
@@ -269,11 +287,7 @@ mod tests {
         );
         assert!(dd.is_dd());
         assert!(!dd.is_editing_rule());
-        let er = Cdd::new(
-            vec![(0, Constraint::Constant(v))],
-            1,
-            Interval::point(0.0),
-        );
+        let er = Cdd::new(vec![(0, Constraint::Constant(v))], 1, Interval::point(0.0));
         assert!(er.is_editing_rule());
         assert!(!er.is_dd());
     }

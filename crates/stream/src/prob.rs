@@ -80,7 +80,10 @@ impl ProbTuple {
     pub fn new(base: Record, imputed: Vec<AttrCandidates>) -> Self {
         let missing = base.missing_attrs();
         let covered: Vec<usize> = imputed.iter().map(|c| c.attr).collect();
-        assert_eq!(covered, missing, "imputation must cover exactly the missing attributes");
+        assert_eq!(
+            covered, missing,
+            "imputation must cover exactly the missing attributes"
+        );
         assert!(imputed.iter().all(|c| !c.candidates.is_empty()));
         Self { base, imputed }
     }
@@ -191,7 +194,9 @@ impl<'a> Instance<'a> {
     pub fn similarity(&self, other: &Instance<'_>) -> f64 {
         let d = self.tuple.base.attrs.len();
         debug_assert_eq!(d, other.tuple.base.attrs.len());
-        (0..d).map(|j| self.attr(j).er_similarity(other.attr(j))).sum()
+        (0..d)
+            .map(|j| self.attr(j).er_similarity(other.attr(j)))
+            .sum()
     }
 
     /// Whether any attribute of the instance contains a token of `ts`.
@@ -263,13 +268,15 @@ mod tests {
 
     fn sample_tuple(d: &mut Dictionary) -> ProbTuple {
         let base = Record::from_texts(&schema(), 1, &[Some("x y"), None, None], d);
-        let cand_b = AttrCandidates::normalized(
-            1,
-            vec![(tset(d, "p q"), 2.0), (tset(d, "p r"), 2.0)],
-        );
+        let cand_b =
+            AttrCandidates::normalized(1, vec![(tset(d, "p q"), 2.0), (tset(d, "p r"), 2.0)]);
         let cand_c = AttrCandidates::normalized(
             2,
-            vec![(tset(d, "u"), 3.0), (tset(d, "v"), 1.0), (tset(d, "w"), 0.0)],
+            vec![
+                (tset(d, "u"), 3.0),
+                (tset(d, "v"), 1.0),
+                (tset(d, "w"), 0.0),
+            ],
         );
         ProbTuple::new(base, vec![cand_b, cand_c])
     }
@@ -357,7 +364,10 @@ mod tests {
         let base = Record::from_texts(&schema(), 9, &[Some("x"), Some("y"), None], &mut d);
         let cand = AttrCandidates::normalized(
             2,
-            vec![(tset(&mut d, "one"), 1.0), (tset(&mut d, "two three four"), 1.0)],
+            vec![
+                (tset(&mut d, "one"), 1.0),
+                (tset(&mut d, "two three four"), 1.0),
+            ],
         );
         let t = ProbTuple::new(base, vec![cand]);
         assert_eq!(t.token_size_bounds(2), Interval::new(1.0, 3.0));
@@ -379,10 +389,16 @@ mod tests {
         let mut d = Dictionary::new();
         let s = schema();
         let a = ProbTuple::certain(Record::from_texts(
-            &s, 1, &[Some("x y"), Some("p q"), Some("u")], &mut d,
+            &s,
+            1,
+            &[Some("x y"), Some("p q"), Some("u")],
+            &mut d,
         ));
         let b = ProbTuple::certain(Record::from_texts(
-            &s, 2, &[Some("x y"), Some("p r"), Some("v")], &mut d,
+            &s,
+            2,
+            &[Some("x y"), Some("p r"), Some("v")],
+            &mut d,
         ));
         let ia = a.instances().next().unwrap();
         let ib = b.instances().next().unwrap();
@@ -398,7 +414,10 @@ mod tests {
         // Covers attr 2 (present) instead of attr 1 (missing).
         let _ = ProbTuple::new(
             base,
-            vec![AttrCandidates::normalized(2, vec![(tset(&mut d, "q"), 1.0)])],
+            vec![AttrCandidates::normalized(
+                2,
+                vec![(tset(&mut d, "q"), 1.0)],
+            )],
         );
     }
 

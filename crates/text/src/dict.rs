@@ -45,9 +45,8 @@ impl Dictionary {
         if let Some(&tok) = self.by_str.get(s) {
             return tok;
         }
-        let tok = Token(
-            u32::try_from(self.by_id.len()).expect("dictionary exceeded u32::MAX entries"),
-        );
+        let tok =
+            Token(u32::try_from(self.by_id.len()).expect("dictionary exceeded u32::MAX entries"));
         let boxed: Box<str> = s.into();
         self.by_id.push(boxed.clone());
         self.by_str.insert(boxed, tok);

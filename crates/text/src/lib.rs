@@ -23,8 +23,8 @@ pub mod dict;
 pub mod fxhash;
 pub mod interval;
 pub mod keywords;
-pub mod tokenset;
 pub mod tokenize;
+pub mod tokenset;
 
 pub use dict::{Dictionary, Token};
 pub use interval::Interval;

@@ -30,7 +30,10 @@ impl TokenSet {
     /// # Panics
     /// Panics (debug builds) if the invariant does not hold.
     pub fn from_sorted(tokens: Vec<Token>) -> Self {
-        debug_assert!(tokens.windows(2).all(|w| w[0] < w[1]), "not strictly sorted");
+        debug_assert!(
+            tokens.windows(2).all(|w| w[0] < w[1]),
+            "not strictly sorted"
+        );
         Self {
             tokens: tokens.into_boxed_slice(),
         }

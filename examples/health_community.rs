@@ -26,16 +26,66 @@ fn main() {
     // correlate with diagnosis/treatment, which is what CDD discovery
     // exploits.
     let history = [
-        ("male", "loss of weight blurred vision", "type two diabetes", "dietary therapy drug therapy"),
-        ("male", "loss of weight thirst", "type two diabetes", "dietary therapy drug therapy"),
-        ("male", "blurred vision thirst fatigue", "type one diabetes", "insulin drug therapy"),
-        ("male", "loss of weight fatigue", "type two diabetes", "dietary therapy drug therapy"),
-        ("female", "fever low spirit cough", "viral pneumonia", "antibiotics rest"),
-        ("female", "fever cough chest pain", "viral pneumonia", "antibiotics rest"),
-        ("male", "fever poor appetite cough", "seasonal flu", "drink more sleep more"),
-        ("male", "fever aches cough", "seasonal flu", "drink more sleep more"),
-        ("female", "red eye eye itchy shed tears", "acute conjunctivitis", "eye drop"),
-        ("female", "red eye shed tears", "acute conjunctivitis", "eye drop"),
+        (
+            "male",
+            "loss of weight blurred vision",
+            "type two diabetes",
+            "dietary therapy drug therapy",
+        ),
+        (
+            "male",
+            "loss of weight thirst",
+            "type two diabetes",
+            "dietary therapy drug therapy",
+        ),
+        (
+            "male",
+            "blurred vision thirst fatigue",
+            "type one diabetes",
+            "insulin drug therapy",
+        ),
+        (
+            "male",
+            "loss of weight fatigue",
+            "type two diabetes",
+            "dietary therapy drug therapy",
+        ),
+        (
+            "female",
+            "fever low spirit cough",
+            "viral pneumonia",
+            "antibiotics rest",
+        ),
+        (
+            "female",
+            "fever cough chest pain",
+            "viral pneumonia",
+            "antibiotics rest",
+        ),
+        (
+            "male",
+            "fever poor appetite cough",
+            "seasonal flu",
+            "drink more sleep more",
+        ),
+        (
+            "male",
+            "fever aches cough",
+            "seasonal flu",
+            "drink more sleep more",
+        ),
+        (
+            "female",
+            "red eye eye itchy shed tears",
+            "acute conjunctivitis",
+            "eye drop",
+        ),
+        (
+            "female",
+            "red eye shed tears",
+            "acute conjunctivitis",
+            "eye drop",
+        ),
     ];
     let repo = Repository::from_records(
         schema.clone(),
@@ -66,31 +116,83 @@ fn main() {
         },
         16,
     );
-    println!("discovered {} CDD rules from {} historical posts", ctx.cdds.len(), ctx.repo.len());
+    println!(
+        "discovered {} CDD rules from {} historical posts",
+        ctx.cdds.len(),
+        ctx.repo.len()
+    );
 
     // Live posts from two health groups (Table 1). Post a2's diagnosis and
     // treatment were not extracted ("−"); c2 comes from another group.
     let group_a = vec![
-        Record::from_texts(&schema, 1, // a1
-            &[Some("male"), Some("loss of weight"), Some("type two diabetes"), Some("dietary therapy drug therapy")],
-            &mut dict),
-        Record::from_texts(&schema, 2, // a2 — incomplete
-            &[Some("male"), Some("loss of weight blurred vision"), None, None],
-            &mut dict),
-        Record::from_texts(&schema, 3, // b2
-            &[Some("male"), Some("fever poor appetite cough"), Some("seasonal flu"), Some("drink more sleep more")],
-            &mut dict),
+        Record::from_texts(
+            &schema,
+            1, // a1
+            &[
+                Some("male"),
+                Some("loss of weight"),
+                Some("type two diabetes"),
+                Some("dietary therapy drug therapy"),
+            ],
+            &mut dict,
+        ),
+        Record::from_texts(
+            &schema,
+            2, // a2 — incomplete
+            &[
+                Some("male"),
+                Some("loss of weight blurred vision"),
+                None,
+                None,
+            ],
+            &mut dict,
+        ),
+        Record::from_texts(
+            &schema,
+            3, // b2
+            &[
+                Some("male"),
+                Some("fever poor appetite cough"),
+                Some("seasonal flu"),
+                Some("drink more sleep more"),
+            ],
+            &mut dict,
+        ),
     ];
     let group_c = vec![
-        Record::from_texts(&schema, 11, // c1
-            &[Some("female"), Some("red eye eye itchy shed tears"), Some("acute conjunctivitis"), Some("eye drop")],
-            &mut dict),
-        Record::from_texts(&schema, 12, // c2
-            &[Some("male"), Some("blurred vision loss of weight"), Some("type two diabetes"), Some("drug therapy dietary therapy")],
-            &mut dict),
-        Record::from_texts(&schema, 13,
-            &[Some("female"), Some("fever low spirit cough"), Some("viral pneumonia"), None],
-            &mut dict),
+        Record::from_texts(
+            &schema,
+            11, // c1
+            &[
+                Some("female"),
+                Some("red eye eye itchy shed tears"),
+                Some("acute conjunctivitis"),
+                Some("eye drop"),
+            ],
+            &mut dict,
+        ),
+        Record::from_texts(
+            &schema,
+            12, // c2
+            &[
+                Some("male"),
+                Some("blurred vision loss of weight"),
+                Some("type two diabetes"),
+                Some("drug therapy dietary therapy"),
+            ],
+            &mut dict,
+        ),
+        Record::from_texts(
+            &schema,
+            13,
+            &[
+                Some("female"),
+                Some("fever low spirit cough"),
+                Some("viral pneumonia"),
+                None,
+            ],
+            &mut dict,
+        ),
     ];
     let streams = StreamSet::new(vec![group_a, group_c]);
 
@@ -104,16 +206,17 @@ fn main() {
     for arrival in streams.arrivals() {
         let out = engine.process(&arrival);
         for (a, b) in out.new_matches {
-            println!(
-                "alert: diabetes-related posts ({a}, {b}) describe the same case"
-            );
+            println!("alert: diabetes-related posts ({a}, {b}) describe the same case");
         }
     }
 
     // The diabetes posts a1/a2 (group A) and c2 (group C) must be linked;
     // the pneumonia/conjunctivitis posts are off-topic and never reported.
     assert!(engine.results().contains(1, 12), "(a1, c2) should match");
-    assert!(engine.results().contains(2, 12), "(a2, c2) should match after imputation");
+    assert!(
+        engine.results().contains(2, 12),
+        "(a2, c2) should match after imputation"
+    );
     assert!(!engine.results().contains(11, 13));
     println!(
         "pruning: {:.1}% of {} candidate pairs discarded before refinement",

@@ -63,12 +63,32 @@ fn main() {
 
     // 4. Two streams; tuple 2's tags are missing ("−") and get imputed.
     let s0 = vec![
-        Record::from_texts(&schema, 1, &[Some("space cowboy adventure"), Some("scifi western")], &mut dict),
-        Record::from_texts(&schema, 3, &[Some("cooking master"), Some("comedy food")], &mut dict),
+        Record::from_texts(
+            &schema,
+            1,
+            &[Some("space cowboy adventure"), Some("scifi western")],
+            &mut dict,
+        ),
+        Record::from_texts(
+            &schema,
+            3,
+            &[Some("cooking master"), Some("comedy food")],
+            &mut dict,
+        ),
     ];
     let s1 = vec![
-        Record::from_texts(&schema, 2, &[Some("space cowboy adventure"), None], &mut dict),
-        Record::from_texts(&schema, 4, &[Some("idol music live"), Some("music idol")], &mut dict),
+        Record::from_texts(
+            &schema,
+            2,
+            &[Some("space cowboy adventure"), None],
+            &mut dict,
+        ),
+        Record::from_texts(
+            &schema,
+            4,
+            &[Some("idol music live"), Some("music idol")],
+            &mut dict,
+        ),
     ];
     let streams = StreamSet::new(vec![s0, s1]);
 

@@ -60,7 +60,10 @@ fn main() {
         },
     );
     for t in 0..lda.topics() {
-        println!("topic {t}: {}", lda.top_words_text(t, 6, &ds.dict).join(" "));
+        println!(
+            "topic {t}: {}",
+            lda.top_words_text(t, 6, &ds.dict).join(" ")
+        );
     }
 
     // 2. Use topic 0's top words as the query keyword set K.

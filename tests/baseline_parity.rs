@@ -3,9 +3,7 @@
 //! at least as accurate as the weaker baselines on rule-friendly data.
 
 use ter_datasets::{co_window_pairs, preset, GenOptions, Preset};
-use ter_ids::{
-    evaluate, ErProcessor, NaiveEngine, Params, PruningMode, TerContext, TerIdsEngine,
-};
+use ter_ids::{evaluate, ErProcessor, NaiveEngine, Params, PruningMode, TerContext, TerIdsEngine};
 use ter_repo::PivotConfig;
 use ter_rules::DiscoveryConfig;
 
@@ -38,7 +36,11 @@ fn run_all(preset_kind: Preset, scale: f64) -> Vec<Run> {
         ..Params::default()
     };
     let arrivals = ds.streams.arrivals();
-    let gt = co_window_pairs(&ds.topical_entity_pairs(&keywords), &arrivals, params.window);
+    let gt = co_window_pairs(
+        &ds.topical_entity_pairs(&keywords),
+        &arrivals,
+        params.window,
+    );
     assert!(!gt.is_empty(), "no topical ground truth");
 
     let mut out = Vec::new();

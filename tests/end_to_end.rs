@@ -3,9 +3,7 @@
 //! extension (§5.5).
 
 use ter_datasets::{co_window_pairs, preset, GenOptions, Preset};
-use ter_ids::{
-    evaluate, ErProcessor, Params, PruningMode, TerContext, TerIdsEngine,
-};
+use ter_ids::{evaluate, ErProcessor, Params, PruningMode, TerContext, TerIdsEngine};
 use ter_repo::{DrIndex, PivotConfig};
 use ter_rules::DiscoveryConfig;
 use ter_text::KeywordSet;
@@ -38,7 +36,11 @@ fn citations_accuracy_and_pruning_power() {
     for a in &arrivals {
         engine.process(a);
     }
-    let gt = co_window_pairs(&ds.topical_entity_pairs(&keywords), &arrivals, params.window);
+    let gt = co_window_pairs(
+        &ds.topical_entity_pairs(&keywords),
+        &arrivals,
+        params.window,
+    );
     let eval = evaluate(engine.reported(), &gt);
     assert!(
         eval.f_score > 0.7,

@@ -13,7 +13,12 @@ fn tiny_ctx(keywords: KeywordSet) -> (TerContext, Schema, Dictionary) {
     let mut dict = Dictionary::new();
     let recs = vec![
         Record::from_texts(&schema, 100, &[Some("alpha beta"), Some("red")], &mut dict),
-        Record::from_texts(&schema, 101, &[Some("gamma delta"), Some("blue")], &mut dict),
+        Record::from_texts(
+            &schema,
+            101,
+            &[Some("gamma delta"), Some("blue")],
+            &mut dict,
+        ),
     ];
     let repo = Repository::from_records(schema.clone(), recs);
     let ctx = TerContext::build(
@@ -33,8 +38,18 @@ fn empty_keyword_set_reports_nothing() {
         let kw = KeywordSet::parse("", &d); // empty, not universe
         tiny_ctx(kw)
     };
-    let s0 = vec![Record::from_texts(&schema, 1, &[Some("alpha beta"), Some("red")], &mut dict)];
-    let s1 = vec![Record::from_texts(&schema, 2, &[Some("alpha beta"), Some("red")], &mut dict)];
+    let s0 = vec![Record::from_texts(
+        &schema,
+        1,
+        &[Some("alpha beta"), Some("red")],
+        &mut dict,
+    )];
+    let s1 = vec![Record::from_texts(
+        &schema,
+        2,
+        &[Some("alpha beta"), Some("red")],
+        &mut dict,
+    )];
     let mut e = TerIdsEngine::new(&ctx, Params::default(), PruningMode::Full);
     for a in StreamSet::new(vec![s0, s1]).arrivals() {
         e.process(&a);
@@ -57,7 +72,12 @@ fn unknown_keywords_behave_like_empty() {
 fn all_attributes_missing_tuple_is_survivable() {
     let (ctx, schema, mut dict) = tiny_ctx(KeywordSet::universe());
     let s0 = vec![Record::from_texts(&schema, 1, &[None, None], &mut dict)];
-    let s1 = vec![Record::from_texts(&schema, 2, &[Some("alpha beta"), Some("red")], &mut dict)];
+    let s1 = vec![Record::from_texts(
+        &schema,
+        2,
+        &[Some("alpha beta"), Some("red")],
+        &mut dict,
+    )];
     let mut e = TerIdsEngine::new(&ctx, Params::default(), PruningMode::Full);
     for a in StreamSet::new(vec![s0, s1]).arrivals() {
         e.process(&a); // must not panic
@@ -75,7 +95,12 @@ fn empty_repository_rules_disable_imputation_but_not_er() {
     let mut dict = Dictionary::new();
     let repo = Repository::from_records(
         schema.clone(),
-        vec![Record::from_texts(&schema, 100, &[Some("x"), Some("y")], &mut dict)],
+        vec![Record::from_texts(
+            &schema,
+            100,
+            &[Some("x"), Some("y")],
+            &mut dict,
+        )],
     );
     let ctx = TerContext::build(
         repo,
@@ -85,8 +110,18 @@ fn empty_repository_rules_disable_imputation_but_not_er() {
         16,
     );
     assert!(ctx.cdds.is_empty());
-    let s0 = vec![Record::from_texts(&schema, 1, &[Some("same thing"), Some("here")], &mut dict)];
-    let s1 = vec![Record::from_texts(&schema, 2, &[Some("same thing"), Some("here")], &mut dict)];
+    let s0 = vec![Record::from_texts(
+        &schema,
+        1,
+        &[Some("same thing"), Some("here")],
+        &mut dict,
+    )];
+    let s1 = vec![Record::from_texts(
+        &schema,
+        2,
+        &[Some("same thing"), Some("here")],
+        &mut dict,
+    )];
     let mut e = TerIdsEngine::new(&ctx, Params::default(), PruningMode::Full);
     for a in StreamSet::new(vec![s0, s1]).arrivals() {
         e.process(&a);
@@ -97,8 +132,18 @@ fn empty_repository_rules_disable_imputation_but_not_er() {
 #[test]
 fn window_of_one_never_pairs() {
     let (ctx, schema, mut dict) = tiny_ctx(KeywordSet::universe());
-    let s0 = vec![Record::from_texts(&schema, 1, &[Some("alpha"), Some("red")], &mut dict)];
-    let s1 = vec![Record::from_texts(&schema, 2, &[Some("alpha"), Some("red")], &mut dict)];
+    let s0 = vec![Record::from_texts(
+        &schema,
+        1,
+        &[Some("alpha"), Some("red")],
+        &mut dict,
+    )];
+    let s1 = vec![Record::from_texts(
+        &schema,
+        2,
+        &[Some("alpha"), Some("red")],
+        &mut dict,
+    )];
     let params = Params {
         window: 1,
         ..Params::default()
@@ -131,9 +176,18 @@ fn extreme_missing_rate_all_methods_survive() {
     let spec = DatasetSpec {
         name: "extreme",
         attrs: vec![
-            AttrSpec { name: "category", kind: AttrKind::Category },
-            AttrSpec { name: "name", kind: AttrKind::EntityName { tokens: 3 } },
-            AttrSpec { name: "tags", kind: AttrKind::TopicPhrase { base: 3, noise: 1 } },
+            AttrSpec {
+                name: "category",
+                kind: AttrKind::Category,
+            },
+            AttrSpec {
+                name: "name",
+                kind: AttrKind::EntityName { tokens: 3 },
+            },
+            AttrSpec {
+                name: "tags",
+                kind: AttrKind::TopicPhrase { base: 3, noise: 1 },
+            },
         ],
         topics: 2,
         vocab_per_topic: 10,
@@ -196,7 +250,14 @@ fn songs_scale_smoke() {
         &DiscoveryConfig::default(),
         16,
     );
-    let mut e = TerIdsEngine::new(&ctx, Params { window: 100, ..Params::default() }, PruningMode::Full);
+    let mut e = TerIdsEngine::new(
+        &ctx,
+        Params {
+            window: 100,
+            ..Params::default()
+        },
+        PruningMode::Full,
+    );
     for a in ds.streams.arrivals() {
         e.process(&a);
     }

@@ -16,9 +16,18 @@ fn spec(seedish: usize) -> DatasetSpec {
     DatasetSpec {
         name: "oracle",
         attrs: vec![
-            AttrSpec { name: "category", kind: AttrKind::Category },
-            AttrSpec { name: "name", kind: AttrKind::EntityName { tokens: 3 } },
-            AttrSpec { name: "tags", kind: AttrKind::TopicPhrase { base: 3, noise: 1 } },
+            AttrSpec {
+                name: "category",
+                kind: AttrKind::Category,
+            },
+            AttrSpec {
+                name: "name",
+                kind: AttrKind::EntityName { tokens: 3 },
+            },
+            AttrSpec {
+                name: "tags",
+                kind: AttrKind::TopicPhrase { base: 3, noise: 1 },
+            },
         ],
         topics: 2 + seedish % 3,
         vocab_per_topic: 10 + 2 * seedish,
@@ -85,21 +94,45 @@ fn run_and_compare(seed: u64, missing_rate: f64, missing_attrs: usize, params: P
 #[test]
 fn engine_equals_oracle_complete_data() {
     for seed in [1, 2, 3] {
-        run_and_compare(seed, 0.0, 1, Params { window: 30, ..Params::default() });
+        run_and_compare(
+            seed,
+            0.0,
+            1,
+            Params {
+                window: 30,
+                ..Params::default()
+            },
+        );
     }
 }
 
 #[test]
 fn engine_equals_oracle_with_missing_values() {
     for seed in [4, 5, 6] {
-        run_and_compare(seed, 0.3, 1, Params { window: 30, ..Params::default() });
+        run_and_compare(
+            seed,
+            0.3,
+            1,
+            Params {
+                window: 30,
+                ..Params::default()
+            },
+        );
     }
 }
 
 #[test]
 fn engine_equals_oracle_two_missing_attrs() {
     for seed in [7, 8] {
-        run_and_compare(seed, 0.4, 2, Params { window: 25, ..Params::default() });
+        run_and_compare(
+            seed,
+            0.4,
+            2,
+            Params {
+                window: 25,
+                ..Params::default()
+            },
+        );
     }
 }
 
@@ -137,7 +170,15 @@ fn engine_equals_oracle_varied_gamma() {
 
 #[test]
 fn engine_equals_oracle_tiny_window() {
-    run_and_compare(11, 0.3, 1, Params { window: 4, ..Params::default() });
+    run_and_compare(
+        11,
+        0.3,
+        1,
+        Params {
+            window: 4,
+            ..Params::default()
+        },
+    );
 }
 
 #[test]

