@@ -1,0 +1,164 @@
+//! Figure 18 (beyond the paper): sharded-engine throughput vs worker
+//! threads on the scale-1 preset, seeding the repo's perf trajectory.
+//!
+//! Sweeps threads ∈ {1, 2, 4, 8} over the batch-parallel engine
+//! (`ter_exec`), with the sequential `TerIdsEngine` as the reference, and
+//! writes the measured curve to `BENCH_throughput.json` at the repo root.
+//! Every parallel run is parity-checked against the sequential reported
+//! set before its numbers are accepted — a throughput figure from a
+//! diverging engine would be meaningless.
+//!
+//! Defaults match the acceptance setup (EBooks — the heaviest preset per
+//! Figures 5(b)/6 — at generator scale 1.0); `TER_FIG18_SCALE` and
+//! `TER_FIG18_BATCH` override for quick local runs.
+
+use std::time::Instant;
+
+use ter_bench::{header, prepare, Prepared};
+use ter_datasets::{GenOptions, Preset};
+use ter_exec::{ExecConfig, ShardedTerIdsEngine};
+use ter_ids::{ErProcessor, Params, PruningMode, TerIdsEngine};
+
+struct Measured {
+    threads: usize,
+    secs: f64,
+    tuples_per_sec: f64,
+    /// The timed run's reported pairs, sorted — parity-checked against the
+    /// sequential oracle (timing only the grid-mutation side of the engine
+    /// would be pointless if its answers drifted).
+    reported: Vec<(u64, u64)>,
+}
+
+fn run_sharded(prepared: &Prepared, threads: usize, shards: usize, batch: usize) -> Measured {
+    let mut engine = ShardedTerIdsEngine::new(
+        &prepared.ctx,
+        prepared.params,
+        PruningMode::Full,
+        ExecConfig { shards, threads },
+    );
+    let start = Instant::now();
+    for chunk in prepared.arrivals.chunks(batch) {
+        engine.step_batch(chunk);
+    }
+    let secs = start.elapsed().as_secs_f64();
+    let mut reported: Vec<(u64, u64)> = engine.reported().iter().copied().collect();
+    reported.sort_unstable();
+    Measured {
+        threads,
+        secs,
+        tuples_per_sec: prepared.arrivals.len() as f64 / secs,
+        reported,
+    }
+}
+
+fn main() {
+    let scale: f64 = std::env::var("TER_FIG18_SCALE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1.0);
+    let batch: usize = std::env::var("TER_FIG18_BATCH")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(256)
+        .max(1); // chunks(0) panics
+    let shards = 8;
+    let preset = Preset::EBooks;
+    let params = Params::default();
+    let host_cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+
+    header(
+        "Figure 18",
+        "sharded-engine throughput (tuples/s) vs worker threads",
+    );
+    println!(
+        "preset={} scale={scale} window={} shards={shards} batch={batch} host_cpus={host_cpus}",
+        preset.name(),
+        params.window
+    );
+    if host_cpus < 4 {
+        println!(
+            "NOTE: only {host_cpus} CPU(s) visible — thread counts beyond that \
+             time-slice one core and cannot speed up; interpret the curve accordingly"
+        );
+    }
+
+    let prepared = prepare(
+        preset,
+        GenOptions {
+            scale,
+            ..GenOptions::default()
+        },
+        params,
+    );
+
+    // Sequential reference (and the parity oracle for every parallel run).
+    let mut seq = TerIdsEngine::new(&prepared.ctx, prepared.params, PruningMode::Full);
+    let start = Instant::now();
+    for a in &prepared.arrivals {
+        seq.process(a);
+    }
+    let seq_secs = start.elapsed().as_secs_f64();
+    let seq_tps = prepared.arrivals.len() as f64 / seq_secs;
+    println!(
+        "{:<16} {:>9.2}s {:>12.1} tuples/s",
+        "sequential", seq_secs, seq_tps
+    );
+    let mut seq_reported: Vec<(u64, u64)> = seq.reported().iter().copied().collect();
+    seq_reported.sort_unstable();
+
+    let mut series = Vec::new();
+    for threads in [1usize, 2, 4, 8] {
+        let m = run_sharded(&prepared, threads, shards, batch);
+        // Parity gate: throughput of a wrong answer is not throughput.
+        assert_eq!(
+            m.reported, seq_reported,
+            "sharded engine (T={threads}) diverged from sequential"
+        );
+        println!(
+            "{:<16} {:>9.2}s {:>12.1} tuples/s",
+            format!("threads={}", m.threads),
+            m.secs,
+            m.tuples_per_sec
+        );
+        series.push(m);
+    }
+
+    let t1 = series[0].tuples_per_sec;
+    let speedup_at_4 = series
+        .iter()
+        .find(|m| m.threads == 4)
+        .map(|m| m.tuples_per_sec / t1)
+        .unwrap_or(0.0);
+    println!("\nspeedup at 4 threads vs 1 thread: {speedup_at_4:.2}x");
+
+    // JSON trajectory record (repo root, next to the sources).
+    let rows: Vec<String> = series
+        .iter()
+        .map(|m| {
+            format!(
+                "    {{\"threads\": {}, \"secs\": {:.4}, \"tuples_per_sec\": {:.1}, \"speedup_vs_1t\": {:.3}}}",
+                m.threads,
+                m.secs,
+                m.tuples_per_sec,
+                m.tuples_per_sec / t1
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"bench\": \"fig18_throughput\",\n  \"preset\": \"{}\",\n  \"scale\": {},\n  \"window\": {},\n  \"shards\": {},\n  \"batch\": {},\n  \"arrivals\": {},\n  \"host_cpus\": {},\n  \"sequential_tuples_per_sec\": {:.1},\n  \"series\": [\n{}\n  ]\n}}\n",
+        preset.name(),
+        scale,
+        params.window,
+        shards,
+        batch,
+        prepared.arrivals.len(),
+        host_cpus,
+        seq_tps,
+        rows.join(",\n")
+    );
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_throughput.json");
+    std::fs::write(out, &json).expect("write BENCH_throughput.json");
+    println!("wrote {out}");
+}

@@ -1,0 +1,91 @@
+//! Candidate selection and pair accounting, shared by the sequential
+//! engine and the sharded batch-parallel engine (`ter_exec`).
+//!
+//! Both engines must take identical decisions about *which* surfaced
+//! tuples are examined (Theorem 4.1's topical inverted list, self/stream
+//! filtering) and how never-examined pairs are attributed in the pruning
+//! statistics — any divergence breaks the bit-identical-stats contract
+//! their differential tests enforce. Generic over the meta storage so the
+//! sequential engine's `TupleMeta` map and the sharded engine's
+//! `Arc<TupleMeta>` map use the same code path.
+
+use std::borrow::Borrow;
+
+use ter_text::fxhash::{FxHashMap, FxHashSet};
+
+use crate::meta::TupleMeta;
+use crate::metrics::PruneStats;
+
+/// The candidates the pair-level cascade must examine for `probe`:
+/// surfaced live tuples (restricted to the topical inverted list when the
+/// probe cannot be topical — Theorem 4.1), excluding the probe itself and
+/// same-stream tuples, in ascending-id order so any partition of the
+/// returned slice is deterministic.
+pub fn examined_candidates<'m, M: Borrow<TupleMeta>>(
+    probe: &TupleMeta,
+    surfaced: &FxHashSet<u64>,
+    topical_ids: &FxHashSet<u64>,
+    metas: &'m FxHashMap<u64, M>,
+) -> Vec<&'m M> {
+    let mut ids: Vec<u64> = if probe.possibly_topical {
+        surfaced.iter().copied().collect()
+    } else {
+        topical_ids
+            .iter()
+            .copied()
+            .filter(|id| surfaced.contains(id))
+            .collect()
+    };
+    ids.sort_unstable();
+    ids.into_iter()
+        .filter(|&id| id != probe.id)
+        .filter_map(|id| metas.get(&id))
+        .filter(|m| {
+            let m: &TupleMeta = (*m).borrow();
+            m.stream_id != probe.stream_id
+        })
+        .collect()
+}
+
+/// Counts this arrival's candidate pairs into `stats`: `eligible` total
+/// pairs (live tuples of other streams), plus bulk attribution of the
+/// pairs never examined —
+///
+/// * topical probe: everything skipped was cell-pruned, and a cell
+///   visited for a topical tuple can only fail the similarity check →
+///   `sim`;
+/// * non-topical probe: skipped tuples are the non-topical ones
+///   (Theorem 4.1, `topic`) plus cell-pruned topical ones (`sim`).
+///
+/// Call after the examined candidates were decided (their outcomes are
+/// tallied by the caller).
+pub fn account_pairs<M: Borrow<TupleMeta>>(
+    probe: &TupleMeta,
+    examined: u64,
+    stream_counts: &[usize],
+    topical_ids: &FxHashSet<u64>,
+    metas: &FxHashMap<u64, M>,
+    stats: &mut PruneStats,
+) {
+    let eligible: u64 = stream_counts
+        .iter()
+        .enumerate()
+        .filter(|(sid, _)| *sid != probe.stream_id)
+        .map(|(_, &c)| c as u64)
+        .sum();
+    stats.total_pairs += eligible;
+    if probe.possibly_topical {
+        stats.sim += eligible - examined;
+    } else {
+        let topical_eligible: u64 = topical_ids
+            .iter()
+            .filter(|id| {
+                metas
+                    .get(id)
+                    .is_some_and(|m| m.borrow().stream_id != probe.stream_id)
+            })
+            .count() as u64;
+        stats.topic += eligible - topical_eligible;
+        stats.sim += topical_eligible - examined;
+    }
+}

@@ -17,7 +17,7 @@
 
 use std::time::Instant;
 
-use ter_impute::{RuleImputer, RuleRetrieval};
+use ter_impute::{ImputeConfig, RuleImputer, RuleRetrieval};
 use ter_index::RegionGrid;
 use ter_repo::{DrIndex, PivotConfig, PivotTable, Repository};
 use ter_rules::{detect_cdds, detect_dds, detect_editing_rules, Cdd, CddIndex, DiscoveryConfig};
@@ -25,11 +25,13 @@ use ter_stream::{Arrival, ProbTuple, SlidingWindow};
 use ter_text::fxhash::{FxHashMap, FxHashSet};
 use ter_text::KeywordSet;
 
+use crate::candidates;
 use crate::meta::{AuxLayout, ErAggregate, TupleMeta};
 use crate::metrics::{PhaseTiming, PruneStats};
 use crate::params::Params;
+pub use crate::params::PruningMode;
 use crate::pruning;
-use crate::refine::{refine_pair, Refinement};
+use crate::refine::{decide_pair, PairContext, PairDecision};
 use crate::results::{norm_pair, ResultSet};
 use crate::ErProcessor;
 
@@ -96,24 +98,32 @@ impl TerContext {
     pub fn arity(&self) -> usize {
         self.repo.schema().arity()
     }
-}
 
-/// How much of the §4 pruning arsenal the engine applies.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum PruningMode {
-    /// Cell-level + all four pair-level prunings + early-terminated
-    /// refinement — the full TER-iDS method.
-    Full,
-    /// Only grid (cell-level) retrieval; surfaced candidates are refined
-    /// by full exact probability. This is the `I_j+G_ER` baseline:
-    /// indexes applied, but no join-time pair pruning.
-    GridOnly,
+    /// Builds the CDD-indexed rule imputer that every TER-iDS engine
+    /// (sequential or sharded) drives over this context. Imputation is a
+    /// pure function of the context and the arriving record, which is what
+    /// lets the batch-parallel engine impute a whole batch concurrently
+    /// while staying bit-identical to the sequential engine.
+    pub fn indexed_imputer(&self, cfg: ImputeConfig) -> RuleImputer<'_> {
+        RuleImputer::new(
+            "CDD-indexed",
+            &self.repo,
+            &self.pivots,
+            &self.cdds,
+            RuleRetrieval::Indexed {
+                cdd_indexes: &self.cdd_indexes,
+                dr_index: &self.dr_index,
+            },
+            cfg,
+        )
+    }
 }
 
 /// Output of processing one arrival.
 #[derive(Debug, Clone, Default)]
 pub struct StepOutput {
-    /// Pairs newly reported at this timestamp.
+    /// Pairs newly reported at this timestamp, `(min, max)`-normalized and
+    /// sorted — identical across the sequential and sharded engines.
     pub new_matches: Vec<(u64, u64)>,
     /// Phase timing of this step.
     pub timing: PhaseTiming,
@@ -147,17 +157,7 @@ impl<'a> TerIdsEngine<'a> {
     pub fn new(ctx: &'a TerContext, params: Params, mode: PruningMode) -> Self {
         params.validate().expect("invalid parameters");
         let d = ctx.arity();
-        let imputer = RuleImputer::new(
-            "CDD-indexed",
-            &ctx.repo,
-            &ctx.pivots,
-            &ctx.cdds,
-            RuleRetrieval::Indexed {
-                cdd_indexes: &ctx.cdd_indexes,
-                dr_index: &ctx.dr_index,
-            },
-            params.impute,
-        );
+        let imputer = ctx.indexed_imputer(params.impute);
         Self {
             ctx,
             params,
@@ -195,6 +195,14 @@ impl<'a> TerIdsEngine<'a> {
         self.metas.get(&id)
     }
 
+    /// Ids of the unexpired tuples, ascending (for differential tests
+    /// against the batch-parallel engine).
+    pub fn live_ids(&self) -> Vec<u64> {
+        let mut ids: Vec<u64> = self.metas.keys().copied().collect();
+        ids.sort_unstable();
+        ids
+    }
+
     /// Evicts the expired tuple from grid, metadata, and result set.
     fn expire(&mut self, old_id: u64) {
         if let Some(meta) = self.metas.remove(&old_id) {
@@ -203,40 +211,6 @@ impl<'a> TerIdsEngine<'a> {
             self.stream_counts[meta.stream_id] -= 1;
             self.topical_ids.remove(&old_id);
         }
-    }
-
-    /// Cell-level pruning visitor: Theorem 4.1 and 4.2 evaluated on cell
-    /// aggregates. Cell aggregates are supersets of per-tuple bounds, so a
-    /// pruned cell can only contain pair-level-prunable tuples (soundness
-    /// is preserved).
-    #[allow(clippy::needless_range_loop)] // k indexes four parallel arrays
-    fn cell_survives(
-        meta: &TupleMeta,
-        agg: &ErAggregate,
-        gamma: f64,
-        aux_counts: &[usize],
-    ) -> bool {
-        // Topic: if the new tuple can't be topical and nothing in the cell
-        // can be either, no pair from this cell can qualify.
-        if !meta.possibly_topical && !agg.topics.any() {
-            return false;
-        }
-        // Similarity UB via pivot gaps + token sizes against the cell.
-        let d = meta.arity() as f64;
-        let mut gap_sum = 0.0;
-        let mut size_ub = 0.0;
-        let mut aux_off = 0;
-        for k in 0..meta.arity() {
-            let mut gap = meta.main_bounds[k].min_gap(&agg.main[k]);
-            for s in 0..aux_counts[k] {
-                let slot = aux_off + s;
-                gap = gap.max(meta.aux_bounds[slot].min_gap(&agg.aux[slot]));
-            }
-            aux_off += aux_counts[k];
-            gap_sum += gap;
-            size_ub += pruning::ub_sim_attr_size(&meta.size_bounds[k], &agg.sizes[k]);
-        }
-        (d - gap_sum).min(size_ub) > gamma
     }
 }
 
@@ -286,7 +260,7 @@ impl ErProcessor for TerIdsEngine<'_> {
         let aux_counts = &self.ctx.aux_counts;
         let mut surfaced: FxHashSet<u64> = FxHashSet::default();
         self.grid.traverse(
-            |_rect, agg| Self::cell_survives(&meta, agg, gamma, aux_counts),
+            |_rect, agg| pruning::cell_survives(&meta, agg, gamma, aux_counts),
             |entry| {
                 surfaced.insert(entry.payload);
             },
@@ -294,105 +268,46 @@ impl ErProcessor for TerIdsEngine<'_> {
 
         // ---- pair-level pruning + refinement ----
         // Candidate pairs = live tuples of *other* streams (the problem
-        // statement pairs tuples "from two of n data streams"). Tuples in
-        // pruned-out cells never surface; they are accounted in bulk —
-        // when the new tuple can be topical, a cell can only have been
-        // pruned by the similarity bound; otherwise topic pruning is the
-        // (dominant) first rule to fire.
-        let eligible: u64 = self
-            .stream_counts
-            .iter()
-            .enumerate()
-            .filter(|(sid, _)| *sid != meta.stream_id)
-            .map(|(_, &c)| c as u64)
-            .sum();
-        self.stats.total_pairs += eligible;
-        let mut examined: u64 = 0;
+        // statement pairs tuples "from two of n data streams"); selection,
+        // Theorem 4.1's inverted list, and the bulk attribution of pairs
+        // in pruned-out cells live in [`candidates`], shared with the
+        // sharded engine.
+        let cands =
+            candidates::examined_candidates(&meta, &surfaced, &self.topical_ids, &self.metas);
+        let examined = cands.len() as u64;
 
-        // Theorem 4.1, realized as an inverted list: when the new tuple
-        // cannot be topical, only *topical* live tuples can pair with it —
-        // examine `topical ∩ surfaced` instead of all surfaced candidates.
-        let candidate_ids: Vec<u64> = if meta.possibly_topical {
-            surfaced.iter().copied().collect()
-        } else {
-            self.topical_ids
-                .iter()
-                .copied()
-                .filter(|id| surfaced.contains(id))
-                .collect()
+        let pair_ctx = PairContext {
+            keywords: &self.ctx.keywords,
+            gamma,
+            alpha: self.params.alpha,
+            aux_counts,
+            mode: self.mode,
         };
-
         let mut new_matches = Vec::new();
-        for other_id in candidate_ids {
-            if other_id == meta.id {
-                continue;
-            }
-            let Some(other) = self.metas.get(&other_id) else {
-                continue;
-            };
-            if other.stream_id == meta.stream_id {
-                continue;
-            }
-            examined += 1;
-
-            match self.mode {
-                PruningMode::Full => {
-                    // Theorem 4.1 cannot fire here: either the new tuple is
-                    // possibly topical, or the candidate came from the
-                    // topical inverted list.
-                    debug_assert!(!pruning::topic_prunable(&meta, other));
-                    if pruning::ub_sim(&meta, other, aux_counts) <= gamma {
-                        self.stats.sim += 1;
-                        continue;
-                    }
-                    if pruning::prob_prunable(&meta, other, gamma, self.params.alpha) {
-                        self.stats.prob += 1;
-                        continue;
-                    }
-                    match refine_pair(&meta, other, &self.ctx.keywords, gamma, self.params.alpha) {
-                        Refinement::Match(_) => {
-                            self.stats.matches += 1;
-                            new_matches.push(norm_pair(meta.id, other_id));
-                        }
-                        Refinement::PrunedEarly { .. } | Refinement::NoMatch(_) => {
-                            self.stats.instance += 1;
-                        }
-                    }
-                }
-                PruningMode::GridOnly => {
-                    let pr =
-                        crate::refine::exact_probability(&meta, other, &self.ctx.keywords, gamma);
-                    if pr > self.params.alpha {
-                        self.stats.matches += 1;
-                        new_matches.push(norm_pair(meta.id, other_id));
-                    } else {
-                        self.stats.instance += 1;
-                    }
+        for other in cands {
+            match decide_pair(&meta, other, &pair_ctx) {
+                PairDecision::SimPruned => self.stats.sim += 1,
+                PairDecision::ProbPruned => self.stats.prob += 1,
+                PairDecision::InstancePruned => self.stats.instance += 1,
+                PairDecision::Match => {
+                    self.stats.matches += 1;
+                    new_matches.push(norm_pair(meta.id, other.id));
                 }
             }
         }
-        // Bulk attribution of pairs never examined:
-        // * topical new tuple — everything skipped was cell-pruned, and a
-        //   cell visited for a topical tuple can only fail the similarity
-        //   check → `sim`;
-        // * non-topical new tuple — skipped tuples are the non-topical
-        //   ones (Theorem 4.1, `topic`) plus cell-pruned topical ones
-        //   (`sim`).
-        if meta.possibly_topical {
-            self.stats.sim += eligible - examined;
-        } else {
-            let topical_eligible: u64 = self
-                .topical_ids
-                .iter()
-                .filter(|id| {
-                    self.metas
-                        .get(id)
-                        .is_some_and(|m| m.stream_id != meta.stream_id)
-                })
-                .count() as u64;
-            self.stats.topic += eligible - topical_eligible;
-            self.stats.sim += topical_eligible - examined;
-        }
+        candidates::account_pairs(
+            &meta,
+            examined,
+            &self.stream_counts,
+            &self.topical_ids,
+            &self.metas,
+            &mut self.stats,
+        );
+        // Candidates are examined in ascending-id order and pairs are
+        // normalized, so a step's match list is a deterministic function
+        // of the arrival order — directly comparable with the sharded
+        // engine's merged output.
+        new_matches.sort_unstable();
         for &(a, b) in &new_matches {
             self.results.insert(a, b);
             self.reported.insert((a, b));

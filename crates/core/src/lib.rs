@@ -26,6 +26,7 @@
 //! * [`results`] — the maintained entity result set `ES` with expiry.
 
 pub mod baselines;
+pub mod candidates;
 pub mod engine;
 pub mod meta;
 pub mod metrics;
@@ -42,6 +43,7 @@ pub use engine::{PruningMode, StepOutput, TerContext, TerIdsEngine};
 pub use meta::{ErAggregate, TupleMeta};
 pub use metrics::{evaluate, Evaluation, PhaseTiming, PruneStats};
 pub use params::Params;
+pub use refine::{decide_pair, PairContext, PairDecision};
 pub use results::ResultSet;
 
 use ter_stream::Arrival;
@@ -55,6 +57,16 @@ pub trait ErProcessor {
     /// Consumes one arriving tuple, returning newly reported matches and
     /// per-phase timings for this step.
     fn process(&mut self, arrival: &Arrival) -> StepOutput;
+
+    /// Consumes a batch of arrivals, returning one [`StepOutput`] per
+    /// arrival in arrival order. The default processes the batch one
+    /// tuple at a time, so every engine and baseline can be driven with
+    /// the same batched loop; batch-parallel engines override this with
+    /// an implementation that fans the batch out to worker threads while
+    /// producing identical outputs.
+    fn step_batch(&mut self, batch: &[Arrival]) -> Vec<StepOutput> {
+        batch.iter().map(|a| self.process(a)).collect()
+    }
 
     /// Matches currently alive (both tuples unexpired) — the set `ES`.
     fn results(&self) -> &ResultSet;

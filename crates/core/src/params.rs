@@ -2,6 +2,20 @@
 
 use ter_impute::ImputeConfig;
 
+/// How much of the §4 pruning arsenal an engine applies. Shared by the
+/// sequential engine and the sharded batch-parallel engine (`ter_exec`),
+/// which must agree bit-for-bit under either mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PruningMode {
+    /// Cell-level + all four pair-level prunings + early-terminated
+    /// refinement — the full TER-iDS method.
+    Full,
+    /// Only grid (cell-level) retrieval; surfaced candidates are refined
+    /// by full exact probability. This is the `I_j+G_ER` baseline:
+    /// indexes applied, but no join-time pair pruning.
+    GridOnly,
+}
+
 /// TER-iDS runtime parameters. Paper defaults (Table 5, bold): `α = 0.5`,
 /// `ρ = 0.5`, `w = 1000`; the reproduction's harness scales `w` down (see
 /// DESIGN.md §5) but keeps the same ratios.

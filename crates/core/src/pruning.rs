@@ -6,7 +6,43 @@
 
 use ter_text::Interval;
 
-use crate::meta::TupleMeta;
+use crate::meta::{ErAggregate, TupleMeta};
+
+/// Cell-level pruning predicate: Theorems 4.1 and 4.2 evaluated on a grid
+/// cell's merged aggregate. Cell aggregates are supersets of per-tuple
+/// bounds, so a pruned cell can only contain pair-level-prunable tuples
+/// (soundness is preserved). Shared by the sequential engine and the
+/// per-shard traversal of the batch-parallel engine (`ter_exec`): both
+/// must take identical cell-level decisions for bit-identical statistics.
+#[allow(clippy::needless_range_loop)] // k indexes four parallel arrays
+pub fn cell_survives(
+    meta: &TupleMeta,
+    agg: &ErAggregate,
+    gamma: f64,
+    aux_counts: &[usize],
+) -> bool {
+    // Topic: if the new tuple can't be topical and nothing in the cell
+    // can be either, no pair from this cell can qualify.
+    if !meta.possibly_topical && !agg.topics.any() {
+        return false;
+    }
+    // Similarity UB via pivot gaps + token sizes against the cell.
+    let d = meta.arity() as f64;
+    let mut gap_sum = 0.0;
+    let mut size_ub = 0.0;
+    let mut aux_off = 0;
+    for k in 0..meta.arity() {
+        let mut gap = meta.main_bounds[k].min_gap(&agg.main[k]);
+        for s in 0..aux_counts[k] {
+            let slot = aux_off + s;
+            gap = gap.max(meta.aux_bounds[slot].min_gap(&agg.aux[slot]));
+        }
+        aux_off += aux_counts[k];
+        gap_sum += gap;
+        size_ub += ub_sim_attr_size(&meta.size_bounds[k], &agg.sizes[k]);
+    }
+    (d - gap_sum).min(size_ub) > gamma
+}
 
 /// Theorem 4.1 (topic keyword pruning): the pair can be pruned iff *no*
 /// instance of either imputed tuple can contain a query keyword.

@@ -15,6 +15,8 @@
 use ter_text::KeywordSet;
 
 use crate::meta::TupleMeta;
+use crate::params::PruningMode;
+use crate::pruning;
 
 /// Outcome of refining one tuple pair.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -30,6 +32,74 @@ pub enum Refinement {
     },
     /// Rejected after full enumeration (`Pr_TER-iDS ≤ α` exactly).
     NoMatch(f64),
+}
+
+/// Shared inputs of the pair-decision cascade — identical for every pair
+/// examined on behalf of one probe tuple, so engines build it once per
+/// arrival and hand it to [`decide_pair`].
+#[derive(Debug, Clone, Copy)]
+pub struct PairContext<'a> {
+    /// Query topic keywords `K`.
+    pub keywords: &'a KeywordSet,
+    /// Similarity threshold `γ = ρ · d`.
+    pub gamma: f64,
+    /// Probabilistic threshold `α`.
+    pub alpha: f64,
+    /// Auxiliary-pivot counts per attribute.
+    pub aux_counts: &'a [usize],
+    /// Which prunings to apply.
+    pub mode: PruningMode,
+}
+
+/// Outcome of the pair-level cascade for one *examined* candidate pair,
+/// i.e. one that survived Theorem 4.1 and cell-level pruning.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PairDecision {
+    /// Pruned by Theorem 4.2 (similarity upper bound).
+    SimPruned,
+    /// Pruned by Theorem 4.3 (probability upper bound).
+    ProbPruned,
+    /// Rejected at the instance-pair level (Theorem 4.4 early termination
+    /// or full refinement concluding `Pr ≤ α`).
+    InstancePruned,
+    /// `Pr_TER-iDS > α`: report the pair.
+    Match,
+}
+
+/// The pair-level pruning → refinement cascade (Theorems 4.2 → 4.3 → 4.4,
+/// in the paper's order) for one examined pair. A pure function of its
+/// inputs: the sequential engine and every shard worker of the
+/// batch-parallel engine route examined pairs through this single code
+/// path, which is what makes their per-pair decisions — and therefore the
+/// merged prune-statistics — bit-identical.
+pub fn decide_pair(a: &TupleMeta, b: &TupleMeta, ctx: &PairContext<'_>) -> PairDecision {
+    match ctx.mode {
+        PruningMode::Full => {
+            // Theorem 4.1 cannot fire here: callers only examine pairs
+            // where one side is possibly topical (the probe, or a
+            // candidate drawn from the topical inverted list).
+            debug_assert!(!pruning::topic_prunable(a, b));
+            if pruning::ub_sim(a, b, ctx.aux_counts) <= ctx.gamma {
+                return PairDecision::SimPruned;
+            }
+            if pruning::prob_prunable(a, b, ctx.gamma, ctx.alpha) {
+                return PairDecision::ProbPruned;
+            }
+            match refine_pair(a, b, ctx.keywords, ctx.gamma, ctx.alpha) {
+                Refinement::Match(_) => PairDecision::Match,
+                Refinement::PrunedEarly { .. } | Refinement::NoMatch(_) => {
+                    PairDecision::InstancePruned
+                }
+            }
+        }
+        PruningMode::GridOnly => {
+            if exact_probability(a, b, ctx.keywords, ctx.gamma) > ctx.alpha {
+                PairDecision::Match
+            } else {
+                PairDecision::InstancePruned
+            }
+        }
+    }
 }
 
 /// Exact probability (Equation 2), no early termination. Exposed for

@@ -1,0 +1,868 @@
+//! The sharded, batch-parallel TER-iDS engine.
+//!
+//! [`ShardedTerIdsEngine`] processes arrivals in batches
+//! ([`ter_ids::ErProcessor::step_batch`]) and produces output
+//! **bit-identical** to the sequential [`ter_ids::TerIdsEngine`] for any
+//! shard count, thread count, and batch size. The per-arrival pipeline is
+//! decomposed into phases by what they may touch:
+//!
+//! 1. **Batch-parallel imputation** — rule selection, imputation, and
+//!    [`TupleMeta`] derivation read only the static [`TerContext`], so the
+//!    whole batch is imputed concurrently (contiguous chunks across
+//!    workers) with per-arrival results equal to the sequential engine's.
+//! 2. **Shard-parallel candidate retrieval** — the ER-grid is partitioned
+//!    into `S` shards by cell-key hash ([`ShardRouter`]); each worker owns
+//!    a disjoint shard group for the whole batch and traverses it with the
+//!    shared cell-level predicate ([`ter_ids::pruning::cell_survives`]).
+//!    Grid mutations (the previous arrival's insert, this arrival's
+//!    expiry) are applied by the owning worker in arrival order, so every
+//!    cell sees exactly the op sequence the monolithic grid would.
+//! 3. **Candidate-parallel pruning & refinement** — the surfaced union is
+//!    filtered and partitioned; each worker routes its slice through the
+//!    shared cascade ([`ter_ids::decide_pair`]). Small candidate sets are
+//!    refined on the driving thread instead — a synchronization barrier
+//!    is not worth a handful of pairs.
+//! 4. **Sequential merge** — window maintenance, expiry, result-set and
+//!    statistics updates happen on the driving thread in arrival order
+//!    (per-worker tallies merged deterministically, matches ordered by
+//!    `(arrival_seq, norm_pair)`), so window semantics are unchanged.
+//!
+//! With `threads == 1` the same pipeline runs inline on the driving
+//! thread — no pool, no channels — so the single-thread configuration is
+//! a fair baseline rather than a message-passing straw man. Workers are
+//! spawned once per batch (scoped threads, no external deps) and
+//! coordinate over mpsc channels; at most two synchronization points per
+//! arrival (traverse, refine).
+
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::Arc;
+use std::time::Instant;
+
+use ter_ids::candidates;
+use ter_ids::meta::TupleMeta;
+use ter_ids::pruning::cell_survives;
+use ter_ids::results::norm_pair;
+use ter_ids::{
+    decide_pair, ErAggregate, ErProcessor, PairContext, PairDecision, Params, PhaseTiming,
+    PruneStats, PruningMode, ResultSet, StepOutput, TerContext,
+};
+use ter_impute::RuleImputer;
+use ter_index::RegionGrid;
+use ter_stream::{Arrival, ProbTuple, SlidingWindow};
+use ter_text::fxhash::{FxHashMap, FxHashSet};
+
+use crate::merge::{merge_outcomes, merge_surfaced, RefineOutcome};
+use crate::router::ShardRouter;
+
+/// One shard of the partitioned ER-grid.
+type ShardGrid = RegionGrid<u64, ErAggregate>;
+
+/// Candidate sets smaller than this are refined on the driving thread:
+/// the per-arrival fan-out barrier costs more than deciding a few pairs.
+/// Result-invariant — both paths run the same [`decide_pair`] cascade.
+const REFINE_FANOUT_MIN: usize = 16;
+
+/// Parallel execution knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct ExecConfig {
+    /// Number of ER-grid shards `S` (cells are hash-partitioned across
+    /// them). Result-invariant; more shards than threads lets the router
+    /// balance cell load across workers.
+    pub shards: usize,
+    /// Worker threads `T` driving imputation, traversal, and refinement.
+    /// Result-invariant; `1` runs the whole pipeline inline.
+    pub threads: usize,
+}
+
+impl Default for ExecConfig {
+    fn default() -> Self {
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4);
+        Self { shards: 8, threads }
+    }
+}
+
+/// Inputs shared by every ER worker for the duration of one batch.
+#[derive(Clone, Copy)]
+struct WorkerCtx<'a> {
+    router: ShardRouter,
+    pair: PairContext<'a>,
+}
+
+/// One per-arrival instruction to an ER worker.
+enum Req {
+    /// Apply the previous arrival's grid insert and this arrival's expiry
+    /// to the owned shards (in that order — exactly the monolithic grid's
+    /// op sequence), then traverse them with cell-level pruning for
+    /// `probe` and report the surfaced candidate ids.
+    Step {
+        insert: Option<Arc<TupleMeta>>,
+        evict: Option<Arc<TupleMeta>>,
+        probe: Arc<TupleMeta>,
+    },
+    /// Run the pair-decision cascade over a slice of examined candidates.
+    Refine {
+        probe: Arc<TupleMeta>,
+        cands: Vec<Arc<TupleMeta>>,
+    },
+    /// End of batch: apply the final pending insert and return the shards.
+    Finish { insert: Option<Arc<TupleMeta>> },
+}
+
+/// A worker's answer to one [`Req`].
+enum Resp {
+    Surfaced(Vec<u64>),
+    Refined(RefineOutcome),
+}
+
+/// Applies one tuple's grid insert to a worker's shard group: the
+/// region's cells are enumerated and routed once, then each shard grid
+/// receives exactly its owned subset.
+fn apply_insert(shards: &mut [(usize, ShardGrid)], router: ShardRouter, meta: &TupleMeta) {
+    let Some((_, first)) = shards.first() else {
+        return;
+    };
+    let region = meta.region();
+    // All shard grids share dimensions, so any of them enumerates the keys.
+    let keys = first.cell_keys_of(&region);
+    let owners: Vec<usize> = keys.iter().map(|k| router.shard_of(k)).collect();
+    let agg = meta.aggregate();
+    for (sid, grid) in shards.iter_mut() {
+        let mut owned = keys
+            .iter()
+            .zip(&owners)
+            .filter(|(_, owner)| **owner == *sid)
+            .map(|(k, _)| k.clone())
+            .peekable();
+        if owned.peek().is_some() {
+            grid.insert_at(owned, &region, meta.id, agg.clone());
+        }
+    }
+}
+
+/// Evicts one tuple from a worker's shard group. Cells the group does not
+/// own are simply absent and no-op.
+fn apply_evict(shards: &mut [(usize, ShardGrid)], meta: &TupleMeta) {
+    for (_, grid) in shards.iter_mut() {
+        grid.evict(&meta.region(), &meta.id);
+    }
+}
+
+/// Traverses a worker's shard group with cell-level pruning for `probe`.
+fn traverse_shards(
+    shards: &[(usize, ShardGrid)],
+    ctx: &WorkerCtx<'_>,
+    probe: &TupleMeta,
+    surfaced: &mut FxHashSet<u64>,
+) {
+    for (_, grid) in shards.iter() {
+        grid.traverse(
+            |_rect, agg| cell_survives(probe, agg, ctx.pair.gamma, ctx.pair.aux_counts),
+            |entry| {
+                surfaced.insert(entry.payload);
+            },
+        );
+    }
+}
+
+/// Runs the pair-decision cascade over a candidate slice.
+fn refine_slice(ctx: &WorkerCtx<'_>, probe: &TupleMeta, cands: &[Arc<TupleMeta>]) -> RefineOutcome {
+    let mut out = RefineOutcome::default();
+    for other in cands {
+        match decide_pair(probe, other, &ctx.pair) {
+            PairDecision::SimPruned => out.sim += 1,
+            PairDecision::ProbPruned => out.prob += 1,
+            PairDecision::InstancePruned => out.instance += 1,
+            PairDecision::Match => out.matches.push(norm_pair(probe.id, other.id)),
+        }
+    }
+    out
+}
+
+/// An ER worker: owns its shard group for the batch, applies grid
+/// mutations in arrival order, and answers traverse/refine requests.
+fn worker_loop(
+    mut shards: Vec<(usize, ShardGrid)>,
+    ctx: WorkerCtx<'_>,
+    req_rx: Receiver<Req>,
+    resp_tx: Sender<Resp>,
+) -> Vec<(usize, ShardGrid)> {
+    while let Ok(req) = req_rx.recv() {
+        match req {
+            Req::Step {
+                insert,
+                evict,
+                probe,
+            } => {
+                if let Some(meta) = insert {
+                    apply_insert(&mut shards, ctx.router, &meta);
+                }
+                if let Some(meta) = evict {
+                    apply_evict(&mut shards, &meta);
+                }
+                let mut surfaced: FxHashSet<u64> = FxHashSet::default();
+                traverse_shards(&shards, &ctx, &probe, &mut surfaced);
+                let _ = resp_tx.send(Resp::Surfaced(surfaced.into_iter().collect()));
+            }
+            Req::Refine { probe, cands } => {
+                let _ = resp_tx.send(Resp::Refined(refine_slice(&ctx, &probe, &cands)));
+            }
+            Req::Finish { insert } => {
+                if let Some(meta) = insert {
+                    apply_insert(&mut shards, ctx.router, &meta);
+                }
+                break;
+            }
+        }
+    }
+    shards
+}
+
+/// How one batch executes phases 2–3: inline on the driving thread
+/// (`threads == 1`) or against a pool of channel-driven workers. Both
+/// variants apply the same ops in the same order; the driving merge loop
+/// ([`ShardedTerIdsEngine::drive_batch`]) is shared.
+enum BatchWorkers<'env> {
+    Inline {
+        shards: Vec<(usize, ShardGrid)>,
+        ctx: WorkerCtx<'env>,
+    },
+    Pool {
+        req_txs: Vec<Sender<Req>>,
+        resp_rxs: Vec<Receiver<Resp>>,
+        ctx: WorkerCtx<'env>,
+    },
+}
+
+impl BatchWorkers<'_> {
+    /// Phase 2 for one arrival: grid maintenance + shard traversal.
+    fn step(
+        &mut self,
+        insert: Option<&Arc<TupleMeta>>,
+        evict: Option<&Arc<TupleMeta>>,
+        probe: &Arc<TupleMeta>,
+    ) -> FxHashSet<u64> {
+        match self {
+            BatchWorkers::Inline { shards, ctx } => {
+                if let Some(meta) = insert {
+                    apply_insert(shards, ctx.router, meta);
+                }
+                if let Some(meta) = evict {
+                    apply_evict(shards, meta);
+                }
+                let mut surfaced = FxHashSet::default();
+                traverse_shards(shards, ctx, probe, &mut surfaced);
+                surfaced
+            }
+            BatchWorkers::Pool {
+                req_txs, resp_rxs, ..
+            } => {
+                for tx in req_txs.iter() {
+                    tx.send(Req::Step {
+                        insert: insert.cloned(),
+                        evict: evict.cloned(),
+                        probe: Arc::clone(probe),
+                    })
+                    .expect("ER worker hung up");
+                }
+                let mut parts = Vec::with_capacity(resp_rxs.len());
+                for rx in resp_rxs.iter() {
+                    match rx.recv().expect("ER worker hung up") {
+                        Resp::Surfaced(ids) => parts.push(ids),
+                        Resp::Refined(_) => unreachable!("protocol violation"),
+                    }
+                }
+                merge_surfaced(&parts)
+            }
+        }
+    }
+
+    /// Phase 3 for one arrival: the pair-decision cascade over the
+    /// examined candidates, fanned out when it is worth a barrier.
+    fn refine(&mut self, probe: &Arc<TupleMeta>, cands: &[Arc<TupleMeta>]) -> RefineOutcome {
+        match self {
+            BatchWorkers::Inline { ctx, .. } => merge_outcomes([refine_slice(ctx, probe, cands)]),
+            BatchWorkers::Pool {
+                req_txs,
+                resp_rxs,
+                ctx,
+            } => {
+                if cands.len() < REFINE_FANOUT_MIN {
+                    return merge_outcomes([refine_slice(ctx, probe, cands)]);
+                }
+                let per = cands.len().div_ceil(req_txs.len()).max(1);
+                let mut chunks = cands.chunks(per);
+                let mut sent = 0;
+                for tx in req_txs.iter() {
+                    let Some(slice) = chunks.next() else { break };
+                    tx.send(Req::Refine {
+                        probe: Arc::clone(probe),
+                        cands: slice.to_vec(),
+                    })
+                    .expect("ER worker hung up");
+                    sent += 1;
+                }
+                merge_outcomes(resp_rxs.iter().take(sent).map(|rx| {
+                    match rx.recv().expect("ER worker hung up") {
+                        Resp::Refined(o) => o,
+                        Resp::Surfaced(_) => unreachable!("protocol violation"),
+                    }
+                }))
+            }
+        }
+    }
+
+    /// End of batch: apply the final pending insert. For pool mode the
+    /// shard grids travel back through the workers' join handles.
+    fn finish(self, insert: Option<Arc<TupleMeta>>) -> Option<Vec<(usize, ShardGrid)>> {
+        match self {
+            BatchWorkers::Inline {
+                mut shards, ctx, ..
+            } => {
+                if let Some(meta) = insert {
+                    apply_insert(&mut shards, ctx.router, &meta);
+                }
+                Some(shards)
+            }
+            BatchWorkers::Pool { req_txs, .. } => {
+                for tx in req_txs.iter() {
+                    tx.send(Req::Finish {
+                        insert: insert.clone(),
+                    })
+                    .expect("ER worker hung up");
+                }
+                None
+            }
+        }
+    }
+}
+
+/// The sharded, batch-parallel TER-iDS engine. See the [module docs](self).
+pub struct ShardedTerIdsEngine<'a> {
+    ctx: &'a TerContext,
+    params: Params,
+    mode: PruningMode,
+    exec: ExecConfig,
+    gamma: f64,
+    router: ShardRouter,
+    imputer: RuleImputer<'a>,
+    /// The partitioned ER-grid; shard `s` holds exactly the cells with
+    /// `router.shard_of(key) == s`. Moved into the workers for the
+    /// duration of a batch and reassembled afterwards.
+    shards: Vec<ShardGrid>,
+    window: SlidingWindow<u64>,
+    metas: FxHashMap<u64, Arc<TupleMeta>>,
+    stream_counts: Vec<usize>,
+    topical_ids: FxHashSet<u64>,
+    results: ResultSet,
+    reported: FxHashSet<(u64, u64)>,
+    stats: PruneStats,
+    timing: PhaseTiming,
+    name: &'static str,
+}
+
+impl<'a> ShardedTerIdsEngine<'a> {
+    /// Creates a sharded engine over a prebuilt context.
+    pub fn new(ctx: &'a TerContext, params: Params, mode: PruningMode, exec: ExecConfig) -> Self {
+        params.validate().expect("invalid parameters");
+        assert!(exec.shards > 0, "at least one shard");
+        assert!(exec.threads > 0, "at least one worker thread");
+        let d = ctx.arity();
+        Self {
+            ctx,
+            params,
+            mode,
+            exec,
+            gamma: params.gamma(d),
+            router: ShardRouter::new(exec.shards),
+            imputer: ctx.indexed_imputer(params.impute),
+            shards: (0..exec.shards)
+                .map(|_| RegionGrid::new(d, params.grid_cells))
+                .collect(),
+            window: SlidingWindow::new(params.window),
+            metas: FxHashMap::default(),
+            stream_counts: Vec::new(),
+            topical_ids: FxHashSet::default(),
+            results: ResultSet::new(),
+            reported: FxHashSet::default(),
+            stats: PruneStats::default(),
+            timing: PhaseTiming::default(),
+            name: match mode {
+                PruningMode::Full => "TER-iDS(shard)",
+                PruningMode::GridOnly => "Ij+GER(shard)",
+            },
+        }
+    }
+
+    /// The similarity threshold `γ = ρ · d` in use.
+    pub fn gamma(&self) -> f64 {
+        self.gamma
+    }
+
+    /// Shard count `S`.
+    pub fn shard_count(&self) -> usize {
+        self.exec.shards
+    }
+
+    /// Worker thread count `T`.
+    pub fn thread_count(&self) -> usize {
+        self.exec.threads
+    }
+
+    /// Number of unexpired tuples.
+    pub fn window_len(&self) -> usize {
+        self.window.len()
+    }
+
+    /// Metadata (including the imputed probabilistic tuple) of a live
+    /// tuple.
+    pub fn meta(&self, id: u64) -> Option<&TupleMeta> {
+        self.metas.get(&id).map(Arc::as_ref)
+    }
+
+    /// Ids of the unexpired tuples, ascending (for differential tests
+    /// against the sequential engine).
+    pub fn live_ids(&self) -> Vec<u64> {
+        let mut ids: Vec<u64> = self.metas.keys().copied().collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    /// Cell-entry count per shard (diagnostics: shows how the router
+    /// spreads grid load).
+    pub fn shard_entry_counts(&self) -> Vec<usize> {
+        self.shards
+            .iter()
+            .map(ShardGrid::cell_entry_count)
+            .collect()
+    }
+
+    /// Removes the expired tuple from the merge-level maps and returns its
+    /// metadata so the workers can evict it from their shards.
+    fn expire(&mut self, old_id: u64) -> Option<Arc<TupleMeta>> {
+        let meta = self.metas.remove(&old_id)?;
+        self.results.remove_involving(old_id);
+        self.stream_counts[meta.stream_id] -= 1;
+        self.topical_ids.remove(&old_id);
+        Some(meta)
+    }
+
+    /// Imputes the whole batch (phase 1). Pure per arrival, so chunks run
+    /// concurrently; outputs are in arrival order.
+    fn impute_batch(&self, batch: &[Arrival]) -> Vec<(Arc<TupleMeta>, PhaseTiming)> {
+        let imputer = &self.imputer;
+        let ctx = self.ctx;
+        if self.exec.threads == 1 || batch.len() == 1 {
+            return batch.iter().map(|a| impute_one(imputer, ctx, a)).collect();
+        }
+        let chunk = batch.len().div_ceil(self.exec.threads);
+        let mut out = Vec::with_capacity(batch.len());
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = batch
+                .chunks(chunk)
+                .map(|slice| {
+                    scope.spawn(move || {
+                        slice
+                            .iter()
+                            .map(|a| impute_one(imputer, ctx, a))
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            for h in handles {
+                out.extend(h.join().expect("imputation worker panicked"));
+            }
+        });
+        out
+    }
+
+    /// The shared per-arrival merge loop (phase 4), driving phases 2–3
+    /// through `workers`. Identical for inline and pooled execution.
+    fn drive_batch(
+        &mut self,
+        batch: &[Arrival],
+        per_arrival: &[(Arc<TupleMeta>, PhaseTiming)],
+        workers: &mut BatchWorkers<'_>,
+    ) -> (Vec<StepOutput>, Option<Arc<TupleMeta>>) {
+        let mut outputs = Vec::with_capacity(batch.len());
+        // The previous arrival's tuple; inserted into the grid by the
+        // workers at the start of the *next* step, preserving the
+        // sequential op order insert(i) → evict(i+1) → traverse(i+1).
+        let mut pending_insert: Option<Arc<TupleMeta>> = None;
+        for (arrival, (meta, imp_timing)) in batch.iter().zip(per_arrival) {
+            let er_start = Instant::now();
+
+            // ---- expiry (merge phase: window semantics unchanged) ----
+            let evicted = self
+                .window
+                .push(arrival.timestamp, arrival.record.id)
+                .and_then(|(_, old_id)| self.expire(old_id));
+
+            // ---- shard-parallel candidate retrieval ----
+            let surfaced = workers.step(pending_insert.as_ref(), evicted.as_ref(), meta);
+
+            // ---- candidate selection (shared with the sequential
+            // engine: Theorem 4.1 inverted list, ascending-id order so the
+            // slice partition across workers is deterministic) ----
+            let cands: Vec<Arc<TupleMeta>> =
+                candidates::examined_candidates(meta, &surfaced, &self.topical_ids, &self.metas)
+                    .into_iter()
+                    .map(Arc::clone)
+                    .collect();
+            let examined = cands.len() as u64;
+
+            // ---- candidate-parallel pruning + refinement ----
+            let outcome = workers.refine(meta, &cands);
+
+            // ---- sequential merge: stats, results, registration ----
+            self.stats.sim += outcome.sim;
+            self.stats.prob += outcome.prob;
+            self.stats.instance += outcome.instance;
+            self.stats.matches += outcome.matches.len() as u64;
+            candidates::account_pairs(
+                meta,
+                examined,
+                &self.stream_counts,
+                &self.topical_ids,
+                &self.metas,
+                &mut self.stats,
+            );
+            let new_matches = outcome.matches; // sorted by norm_pair
+            for &(a, b) in &new_matches {
+                self.results.insert(a, b);
+                self.reported.insert((a, b));
+            }
+
+            if self.stream_counts.len() <= meta.stream_id {
+                self.stream_counts.resize(meta.stream_id + 1, 0);
+            }
+            self.stream_counts[meta.stream_id] += 1;
+            if meta.possibly_topical {
+                self.topical_ids.insert(meta.id);
+            }
+            let prev = self.metas.insert(meta.id, Arc::clone(meta));
+            assert!(prev.is_none(), "duplicate tuple id {}", meta.id);
+            pending_insert = Some(Arc::clone(meta));
+
+            let mut step_timing = *imp_timing;
+            step_timing.er += er_start.elapsed();
+            self.timing.accumulate(&step_timing);
+            outputs.push(StepOutput {
+                new_matches,
+                timing: step_timing,
+            });
+        }
+        (outputs, pending_insert)
+    }
+
+    /// Phases 2–4 for one batch: shard workers + sequential merge.
+    fn step_batch_impl(&mut self, batch: &[Arrival]) -> Vec<StepOutput> {
+        if batch.is_empty() {
+            return Vec::new();
+        }
+        let per_arrival = self.impute_batch(batch);
+
+        let threads = self.exec.threads;
+        let shard_count = self.shards.len();
+        let worker_ctx = WorkerCtx {
+            router: self.router,
+            pair: PairContext {
+                keywords: &self.ctx.keywords,
+                gamma: self.gamma,
+                alpha: self.params.alpha,
+                aux_counts: &self.ctx.aux_counts,
+                mode: self.mode,
+            },
+        };
+        let owned: Vec<(usize, ShardGrid)> = self.shards.drain(..).enumerate().collect();
+
+        if threads == 1 {
+            // Inline fast path: same ops, same order, no pool.
+            let mut workers = BatchWorkers::Inline {
+                shards: owned,
+                ctx: worker_ctx,
+            };
+            let (outputs, pending) = self.drive_batch(batch, &per_arrival, &mut workers);
+            let shards = workers.finish(pending).expect("inline mode returns shards");
+            self.shards = shards.into_iter().map(|(_, g)| g).collect();
+            return outputs;
+        }
+
+        // Workers own disjoint shard groups for the whole batch (shard s →
+        // worker s mod T), so each cell's op sequence is applied by exactly
+        // one worker, in arrival order — identical to the monolithic grid.
+        let mut groups: Vec<Vec<(usize, ShardGrid)>> = (0..threads).map(|_| Vec::new()).collect();
+        for (sid, grid) in owned {
+            groups[sid % threads].push((sid, grid));
+        }
+
+        let mut outputs = Vec::with_capacity(batch.len());
+        std::thread::scope(|scope| {
+            let mut req_txs = Vec::with_capacity(threads);
+            let mut resp_rxs = Vec::with_capacity(threads);
+            let mut handles = Vec::with_capacity(threads);
+            for group in groups.drain(..) {
+                let (req_tx, req_rx) = channel::<Req>();
+                let (resp_tx, resp_rx) = channel::<Resp>();
+                req_txs.push(req_tx);
+                resp_rxs.push(resp_rx);
+                handles.push(scope.spawn(move || worker_loop(group, worker_ctx, req_rx, resp_tx)));
+            }
+            let mut workers = BatchWorkers::Pool {
+                req_txs,
+                resp_rxs,
+                ctx: worker_ctx,
+            };
+            let (outs, pending) = self.drive_batch(batch, &per_arrival, &mut workers);
+            outputs = outs;
+            workers.finish(pending);
+            let mut returned: Vec<(usize, ShardGrid)> = Vec::with_capacity(shard_count);
+            for h in handles {
+                returned.extend(h.join().expect("ER worker panicked"));
+            }
+            returned.sort_by_key(|(sid, _)| *sid);
+            self.shards = returned.into_iter().map(|(_, g)| g).collect();
+        });
+        debug_assert_eq!(self.shards.len(), shard_count);
+        outputs
+    }
+}
+
+/// Phase-1 work for one arrival: imputation + metadata derivation. A pure
+/// function of the static context and the arriving record — mirrors the
+/// sequential engine's imputation block including its phase timings.
+fn impute_one(
+    imputer: &RuleImputer<'_>,
+    ctx: &TerContext,
+    arrival: &Arrival,
+) -> (Arc<TupleMeta>, PhaseTiming) {
+    let mut timing = PhaseTiming {
+        arrivals: 1,
+        ..PhaseTiming::default()
+    };
+    let pt = if arrival.record.is_complete() {
+        ProbTuple::certain(arrival.record.clone())
+    } else {
+        let t = Instant::now();
+        let selected = imputer.select_rules(&arrival.record);
+        timing.rule_selection += t.elapsed();
+        let t = Instant::now();
+        let pt = imputer.impute_with_rules(&arrival.record, &selected);
+        timing.imputation += t.elapsed();
+        pt
+    };
+    let meta = TupleMeta::build(
+        arrival.record.id,
+        arrival.stream_id,
+        arrival.timestamp,
+        pt,
+        &ctx.pivots,
+        &ctx.layout,
+        &ctx.keywords,
+    );
+    (Arc::new(meta), timing)
+}
+
+impl ErProcessor for ShardedTerIdsEngine<'_> {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn process(&mut self, arrival: &Arrival) -> StepOutput {
+        self.step_batch_impl(std::slice::from_ref(arrival))
+            .pop()
+            .expect("one output per arrival")
+    }
+
+    fn step_batch(&mut self, batch: &[Arrival]) -> Vec<StepOutput> {
+        self.step_batch_impl(batch)
+    }
+
+    fn results(&self) -> &ResultSet {
+        &self.results
+    }
+
+    fn reported(&self) -> &FxHashSet<(u64, u64)> {
+        &self.reported
+    }
+
+    fn prune_stats(&self) -> PruneStats {
+        self.stats
+    }
+
+    fn timing(&self) -> PhaseTiming {
+        self.timing
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ter_ids::TerIdsEngine;
+    use ter_repo::{PivotConfig, Record, Repository, Schema};
+    use ter_rules::DiscoveryConfig;
+    use ter_stream::StreamSet;
+    use ter_text::{Dictionary, KeywordSet};
+
+    /// The same 2-stream scenario as the sequential engine's unit tests.
+    fn scenario() -> (TerContext, StreamSet) {
+        let schema = Schema::new(vec!["title", "tags"]);
+        let mut dict = Dictionary::new();
+        let repo_rows = [
+            ("space cowboy adventure", "scifi western"),
+            ("space cowboy adventure saga", "scifi western"),
+            ("high school romance", "drama comedy"),
+            ("high school romance club", "drama comedy"),
+            ("cooking master", "comedy food"),
+            ("idol music live", "music idol"),
+        ];
+        let repo_recs = repo_rows
+            .iter()
+            .enumerate()
+            .map(|(i, (a, b))| {
+                Record::from_texts(&schema, 1000 + i as u64, &[Some(a), Some(b)], &mut dict)
+            })
+            .collect();
+        let repo = Repository::from_records(schema.clone(), repo_recs);
+        let keywords = KeywordSet::parse("scifi", &dict);
+        let ctx = TerContext::build(
+            repo,
+            keywords,
+            &PivotConfig::default(),
+            &DiscoveryConfig {
+                min_support: 2,
+                min_constant_support: 2,
+                ..DiscoveryConfig::default()
+            },
+            16,
+        );
+        let s0 = vec![
+            Record::from_texts(
+                &schema,
+                1,
+                &[Some("space cowboy adventure"), Some("scifi western")],
+                &mut dict,
+            ),
+            Record::from_texts(
+                &schema,
+                3,
+                &[Some("cooking master"), Some("comedy food")],
+                &mut dict,
+            ),
+        ];
+        let s1 = vec![
+            Record::from_texts(
+                &schema,
+                2,
+                &[Some("space cowboy adventure"), Some("scifi western")],
+                &mut dict,
+            ),
+            Record::from_texts(
+                &schema,
+                4,
+                &[Some("idol music live"), Some("music idol")],
+                &mut dict,
+            ),
+        ];
+        (ctx, StreamSet::new(vec![s0, s1]))
+    }
+
+    #[test]
+    fn finds_the_obvious_match_in_one_batch() {
+        let (ctx, streams) = scenario();
+        let exec = ExecConfig {
+            shards: 4,
+            threads: 2,
+        };
+        let mut e = ShardedTerIdsEngine::new(&ctx, Params::default(), PruningMode::Full, exec);
+        let outs = e.step_batch(&streams.arrivals());
+        let all: Vec<(u64, u64)> = outs.iter().flat_map(|o| o.new_matches.clone()).collect();
+        assert_eq!(all, vec![(1, 2)]);
+        assert!(e.results().contains(1, 2));
+        assert_eq!(e.window_len(), 4);
+    }
+
+    #[test]
+    fn agrees_with_sequential_engine_across_batch_sizes() {
+        let (ctx, streams) = scenario();
+        let mut seq = TerIdsEngine::new(&ctx, Params::default(), PruningMode::Full);
+        let mut seq_steps = Vec::new();
+        for a in streams.arrivals() {
+            let mut m = seq.process(&a).new_matches;
+            m.sort_unstable();
+            seq_steps.push(m);
+        }
+        for batch in 1..=5 {
+            for threads in [1usize, 2] {
+                let exec = ExecConfig { shards: 3, threads };
+                let mut par =
+                    ShardedTerIdsEngine::new(&ctx, Params::default(), PruningMode::Full, exec);
+                let mut par_steps = Vec::new();
+                for chunk in streams.arrival_batches(batch) {
+                    par_steps.extend(par.step_batch(&chunk).into_iter().map(|o| o.new_matches));
+                }
+                assert_eq!(par_steps, seq_steps, "batch {batch}, threads {threads}");
+                assert_eq!(
+                    par.prune_stats(),
+                    seq.prune_stats(),
+                    "batch {batch}, threads {threads}"
+                );
+                assert_eq!(
+                    par.live_ids(),
+                    seq.live_ids(),
+                    "batch {batch}, threads {threads}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn expiry_matches_sequential_semantics() {
+        let (ctx, streams) = scenario();
+        let params = Params {
+            window: 2,
+            ..Params::default()
+        };
+        let exec = ExecConfig {
+            shards: 2,
+            threads: 2,
+        };
+        let mut e = ShardedTerIdsEngine::new(&ctx, params, PruningMode::Full, exec);
+        let arrivals = streams.arrivals();
+        e.step_batch(&arrivals[..2]);
+        assert!(e.results().contains(1, 2));
+        e.step_batch(&arrivals[2..3]);
+        assert!(!e.results().contains(1, 2), "pair must expire with tuple 1");
+        assert!(e.reported().contains(&(1, 2)));
+        assert_eq!(e.window_len(), 2);
+    }
+
+    #[test]
+    fn timing_is_recorded() {
+        let (ctx, streams) = scenario();
+        let exec = ExecConfig {
+            shards: 2,
+            threads: 2,
+        };
+        let mut e = ShardedTerIdsEngine::new(&ctx, Params::default(), PruningMode::Full, exec);
+        e.step_batch(&streams.arrivals());
+        let t = e.timing();
+        assert_eq!(t.arrivals, 4);
+        assert!(t.total().as_nanos() > 0);
+    }
+
+    #[test]
+    fn grid_load_is_spread_across_shards() {
+        let (ctx, streams) = scenario();
+        let exec = ExecConfig {
+            shards: 8,
+            threads: 2,
+        };
+        let mut e = ShardedTerIdsEngine::new(&ctx, Params::default(), PruningMode::Full, exec);
+        e.step_batch(&streams.arrivals());
+        let counts = e.shard_entry_counts();
+        assert_eq!(counts.len(), 8);
+        assert!(counts.iter().sum::<usize>() > 0);
+    }
+}

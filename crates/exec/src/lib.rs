@@ -1,0 +1,31 @@
+//! Sharded, batch-parallel execution layer for TER-iDS.
+//!
+//! The sequential [`ter_ids::TerIdsEngine`] processes one arrival at a
+//! time on one core. This crate scales that pipeline out without changing
+//! a single reported pair or statistic:
+//!
+//! * [`ShardRouter`] hash-partitions the ER-grid's cells into `S` shards;
+//! * [`ShardedTerIdsEngine`] accepts arrival batches
+//!   ([`ter_ids::ErProcessor::step_batch`]), imputes them in parallel,
+//!   fans candidate retrieval and Theorem 4.1–4.4 pruning/refinement out
+//!   to a `std::thread` worker pool, and
+//! * [`merge`] deterministically folds the per-shard partial results back
+//!   together (stable `(arrival_seq, norm_pair)` ordering), with expiry
+//!   and result-set maintenance in the sequential merge phase so window
+//!   semantics are unchanged.
+//!
+//! The contract — output **bit-identical** to the sequential engine for
+//! every shard count, thread count, and batch size — is enforced by the
+//! differential suite in `tests/parallel_parity.rs` and the property
+//! tests in `proptests.rs`.
+
+pub mod engine;
+pub mod merge;
+pub mod router;
+
+#[cfg(test)]
+mod proptests;
+
+pub use engine::{ExecConfig, ShardedTerIdsEngine};
+pub use merge::{merge_outcomes, merge_surfaced, RefineOutcome};
+pub use router::ShardRouter;

@@ -1,0 +1,96 @@
+//! Deterministic merges of per-shard / per-worker step results.
+//!
+//! Workers race; merges must not. Every function here maps the *contents*
+//! of the per-worker partial results to one canonical value — the output
+//! never depends on which worker finished first or how the work was
+//! partitioned, which is what makes the batch-parallel engine's output a
+//! deterministic function of the arrival order alone (property-tested in
+//! `proptests.rs`).
+
+use ter_text::fxhash::FxHashSet;
+
+/// Union of per-shard surfaced candidate ids. A region spanning cells in
+/// several shards surfaces once per shard; the union deduplicates exactly
+/// like the sequential engine's surfaced set.
+pub fn merge_surfaced(per_shard: &[Vec<u64>]) -> FxHashSet<u64> {
+    let mut out = FxHashSet::default();
+    for part in per_shard {
+        out.extend(part.iter().copied());
+    }
+    out
+}
+
+/// One worker's pair-decision tallies over its candidate slice.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RefineOutcome {
+    /// Pairs pruned by Theorem 4.2 (similarity upper bound).
+    pub sim: u64,
+    /// Pairs pruned by Theorem 4.3 (probability upper bound).
+    pub prob: u64,
+    /// Pairs rejected at the instance-pair level (Theorem 4.4).
+    pub instance: u64,
+    /// Matching pairs, already `(min, max)`-normalized.
+    pub matches: Vec<(u64, u64)>,
+}
+
+impl RefineOutcome {
+    /// Folds another worker's tallies into this one.
+    pub fn absorb(&mut self, other: RefineOutcome) {
+        self.sim += other.sim;
+        self.prob += other.prob;
+        self.instance += other.instance;
+        self.matches.extend(other.matches);
+    }
+}
+
+/// Merges per-worker outcomes into one arrival-level outcome. Counters
+/// are summed; matches are sorted by normalized pair, so the merged match
+/// order is a deterministic function of the match *set* — independent of
+/// worker count, slice boundaries, and completion order.
+pub fn merge_outcomes(parts: impl IntoIterator<Item = RefineOutcome>) -> RefineOutcome {
+    let mut out = RefineOutcome::default();
+    for p in parts {
+        out.absorb(p);
+    }
+    out.matches.sort_unstable();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn surfaced_union_deduplicates() {
+        let merged = merge_surfaced(&[vec![1, 2, 3], vec![3, 4], vec![], vec![2]]);
+        let mut ids: Vec<u64> = merged.into_iter().collect();
+        ids.sort_unstable();
+        assert_eq!(ids, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn outcome_merge_sums_and_sorts() {
+        let a = RefineOutcome {
+            sim: 2,
+            prob: 1,
+            instance: 0,
+            matches: vec![(5, 9), (1, 2)],
+        };
+        let b = RefineOutcome {
+            sim: 1,
+            prob: 0,
+            instance: 3,
+            matches: vec![(3, 4)],
+        };
+        let m = merge_outcomes([a.clone(), b.clone()]);
+        assert_eq!((m.sim, m.prob, m.instance), (3, 1, 3));
+        assert_eq!(m.matches, vec![(1, 2), (3, 4), (5, 9)]);
+        // Partition order must not matter.
+        assert_eq!(m, merge_outcomes([b, a]));
+    }
+
+    #[test]
+    fn empty_merge_is_default() {
+        assert_eq!(merge_outcomes([]), RefineOutcome::default());
+    }
+}

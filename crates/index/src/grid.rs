@@ -298,10 +298,51 @@ impl<P: Clone + PartialEq, A: Aggregate> RegionGrid<P, A> {
         }
     }
 
+    /// The keys of every cell `rect` intersects — the grid's partitioning
+    /// unit, exposed so shard routers can assign cells to shards.
+    pub fn cell_keys_of(&self, rect: &Rect) -> Vec<CellKey> {
+        self.keys_of_rect(rect)
+    }
+
     /// Registers a region in every cell it intersects.
     pub fn insert(&mut self, rect: Rect, payload: P, agg: A) {
+        self.insert_where(rect, payload, agg, |_| true);
+    }
+
+    /// Registers a region in every intersecting cell accepted by `owns`.
+    ///
+    /// This is the sharding primitive: a hash-partitioned ER-grid keeps one
+    /// `RegionGrid` per shard and passes each shard's cell-ownership
+    /// predicate here, so every cell of the logical grid is materialized by
+    /// exactly one shard and the per-cell entry/aggregate history is
+    /// identical to the monolithic grid's.
+    pub fn insert_where(
+        &mut self,
+        rect: Rect,
+        payload: P,
+        agg: A,
+        mut owns: impl FnMut(&[u16]) -> bool,
+    ) {
         assert_eq!(rect.dim(), self.inner.dim);
-        for key in self.keys_of_rect(&rect) {
+        let keys = self.keys_of_rect(&rect).into_iter().filter(|k| owns(k));
+        self.insert_at(keys, &rect, payload, agg);
+    }
+
+    /// Registers a region in exactly the given cells. `keys` must be a
+    /// subset of [`RegionGrid::cell_keys_of`]`(rect)` — callers that fan
+    /// one insert out to several shard grids enumerate and route the keys
+    /// once instead of once per shard, then hand each shard its owned
+    /// subset. Eviction with the same `rect` removes the entries.
+    pub fn insert_at(
+        &mut self,
+        keys: impl IntoIterator<Item = CellKey>,
+        rect: &Rect,
+        payload: P,
+        agg: A,
+    ) {
+        assert_eq!(rect.dim(), self.inner.dim);
+        for key in keys {
+            debug_assert_eq!(key.len(), self.inner.dim);
             let cell = self.inner.cells.entry(key).or_insert_with(|| Cell {
                 entries: Vec::new(),
                 agg: None,
@@ -373,6 +414,16 @@ impl<P: Clone + PartialEq, A: Aggregate> RegionGrid<P, A> {
         let mut out = Vec::new();
         self.traverse(|rect, _| range.intersects(rect), |e| out.push(&e.payload));
         out
+    }
+
+    /// Iterates over non-empty cells as `(cell key, entries)` pairs, in
+    /// unspecified order — lets differential tests compare a set of shard
+    /// grids cell-by-cell against a monolithic grid.
+    pub fn iter_cells(&self) -> impl Iterator<Item = (&CellKey, &[GridEntry<P, A>])> {
+        self.inner
+            .cells
+            .iter()
+            .map(|(k, c)| (k, c.entries.as_slice()))
     }
 }
 
@@ -530,6 +581,40 @@ mod tests {
         assert_eq!(cands.len(), 9);
         assert!(g.evict(&Rect::unit(2), &1));
         assert_eq!(g.cell_entry_count(), 0);
+    }
+
+    #[test]
+    fn insert_where_partitions_cells_across_grids() {
+        // Two "shards" splitting cells by parity of the first coordinate
+        // must together hold exactly the cells of a monolithic grid.
+        let r = Rect::new(vec![
+            ter_text::Interval::new(0.1, 0.9), // spans cells 0–3 of 4
+            ter_text::Interval::new(0.1, 0.2),
+        ]);
+        let mut mono: RegionGrid<u64, Count> = RegionGrid::new(2, 4);
+        mono.insert(r.clone(), 1, Count(1));
+        let mut even: RegionGrid<u64, Count> = RegionGrid::new(2, 4);
+        let mut odd: RegionGrid<u64, Count> = RegionGrid::new(2, 4);
+        even.insert_where(r.clone(), 1, Count(1), |k| k[0] % 2 == 0);
+        odd.insert_where(r.clone(), 1, Count(1), |k| k[0] % 2 == 1);
+        assert_eq!(
+            even.cell_entry_count() + odd.cell_entry_count(),
+            mono.cell_entry_count()
+        );
+        let mut mono_keys: Vec<_> = mono.iter_cells().map(|(k, _)| k.clone()).collect();
+        let mut shard_keys: Vec<_> = even
+            .iter_cells()
+            .chain(odd.iter_cells())
+            .map(|(k, _)| k.clone())
+            .collect();
+        mono_keys.sort();
+        shard_keys.sort();
+        assert_eq!(mono_keys, shard_keys);
+        // Eviction through the plain API no-ops on cells a shard does not
+        // own, so both shards can be driven with the full region.
+        assert!(even.evict(&r, &1));
+        assert!(odd.evict(&r, &1));
+        assert_eq!(even.cell_entry_count() + odd.cell_entry_count(), 0);
     }
 
     #[test]

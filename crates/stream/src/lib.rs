@@ -86,6 +86,22 @@ impl StreamSet {
         }
         out
     }
+
+    /// Splits the merged arrival order into contiguous batches of at most
+    /// `batch` arrivals — the unit consumed by batch-parallel processors
+    /// (`ErProcessor::step_batch`). The concatenation of the batches is
+    /// exactly [`StreamSet::arrivals`], so any batching preserves window
+    /// semantics and result sets.
+    ///
+    /// # Panics
+    /// Panics if `batch == 0`.
+    pub fn arrival_batches(&self, batch: usize) -> Vec<Vec<Arrival>> {
+        assert!(batch > 0, "batch size must be positive");
+        self.arrivals()
+            .chunks(batch)
+            .map(<[Arrival]>::to_vec)
+            .collect()
+    }
 }
 
 #[cfg(test)]
@@ -123,6 +139,26 @@ mod tests {
         let arr = s.arrivals();
         assert_eq!(arr.len(), 1);
         assert_eq!(arr[0].stream_id, 1);
+    }
+
+    #[test]
+    fn batches_concatenate_to_arrivals() {
+        let mut d = Dictionary::new();
+        let s = StreamSet::new(vec![
+            vec![
+                rec(&mut d, 1, "x"),
+                rec(&mut d, 3, "y"),
+                rec(&mut d, 5, "z"),
+            ],
+            vec![rec(&mut d, 2, "u"), rec(&mut d, 4, "v")],
+        ]);
+        let flat: Vec<u64> = s.arrivals().iter().map(|a| a.record.id).collect();
+        for batch in 1..=6 {
+            let batches = s.arrival_batches(batch);
+            assert!(batches.iter().all(|b| b.len() <= batch && !b.is_empty()));
+            let rejoined: Vec<u64> = batches.iter().flatten().map(|a| a.record.id).collect();
+            assert_eq!(rejoined, flat, "batch size {batch}");
+        }
     }
 
     #[test]

@@ -2,6 +2,7 @@
 //! panicking and with sensible semantics.
 
 use ter_datasets::{generate, preset, AttrKind, AttrSpec, DatasetSpec, GenOptions, Preset};
+use ter_exec::{ExecConfig, ShardedTerIdsEngine};
 use ter_ids::{ErProcessor, NaiveEngine, Params, PruningMode, TerContext, TerIdsEngine};
 use ter_repo::{PivotConfig, Record, Repository, Schema};
 use ter_rules::DiscoveryConfig;
@@ -85,6 +86,74 @@ fn all_attributes_missing_tuple_is_survivable() {
     // No rule can fire with zero present determinants → tuple 1 imputes to
     // empty values and cannot reach γ = 1.0.
     assert!(e.reported().is_empty());
+}
+
+#[test]
+fn all_attributes_missing_mid_window_is_skipped_with_count_not_fatal() {
+    // Previously only tested as the *first* arrival; here the fully-missing
+    // tuple lands mid-window, with live tuples on both streams, for both
+    // the sequential and the sharded engine. Contract: the arrival is
+    // *skipped with count* — it enters the window and is accounted as a
+    // candidate pair for later arrivals (no silent drop), but with zero
+    // present determinants no rule fires, its imputation is empty, and it
+    // can never reach γ — and the engine must not panic.
+    let (ctx, schema, mut dict) = tiny_ctx(KeywordSet::universe());
+    let s0 = vec![
+        Record::from_texts(&schema, 1, &[Some("alpha beta"), Some("red")], &mut dict),
+        Record::from_texts(&schema, 3, &[None, None], &mut dict), // mid-window
+        Record::from_texts(&schema, 5, &[Some("alpha beta"), Some("red")], &mut dict),
+    ];
+    let s1 = vec![
+        Record::from_texts(&schema, 2, &[Some("alpha beta"), Some("red")], &mut dict),
+        Record::from_texts(&schema, 4, &[Some("gamma delta"), Some("blue")], &mut dict),
+    ];
+    let streams = StreamSet::new(vec![s0, s1]);
+    let arrivals = streams.arrivals();
+
+    let mut seq = TerIdsEngine::new(&ctx, Params::default(), PruningMode::Full);
+    let mut missing_step_matches = None;
+    let mut pairs_counted_by_missing = 0;
+    for a in &arrivals {
+        let pairs_before = seq.prune_stats().total_pairs;
+        let out = seq.process(a); // must not panic on the all-missing tuple
+        if a.record.id == 3 {
+            missing_step_matches = Some(out.new_matches);
+            pairs_counted_by_missing = seq.prune_stats().total_pairs - pairs_before;
+        }
+    }
+    // Skip-with-count: the fully-missing arrival reports nothing itself …
+    assert_eq!(missing_step_matches, Some(vec![]));
+    // … but its candidate pairs were counted, not silently dropped (one
+    // other-stream tuple, id 2, was live when it arrived).
+    assert_eq!(pairs_counted_by_missing, 1);
+    // It stays live in the window like any other tuple …
+    assert!(seq.live_ids().contains(&3));
+    assert_eq!(seq.window_len(), 5);
+    // … its imputation is the empty-candidate placeholder, not absent …
+    let meta = seq.meta(3).expect("fully-missing tuple must have metadata");
+    assert_eq!(meta.tuple.instance_count(), 1);
+    // … and no pair involving it is ever reported.
+    assert!(seq.reported().iter().all(|&(a, b)| a != 3 && b != 3));
+    assert!(seq.reported().contains(&(1, 2)));
+
+    // The sharded engine must take the identical decisions, batched.
+    let mut par = ShardedTerIdsEngine::new(
+        &ctx,
+        Params::default(),
+        PruningMode::Full,
+        ExecConfig {
+            shards: 2,
+            threads: 2,
+        },
+    );
+    par.step_batch(&arrivals); // must not panic either
+    let mut seq_rep: Vec<_> = seq.reported().iter().copied().collect();
+    let mut par_rep: Vec<_> = par.reported().iter().copied().collect();
+    seq_rep.sort_unstable();
+    par_rep.sort_unstable();
+    assert_eq!(par_rep, seq_rep);
+    assert_eq!(par.prune_stats(), seq.prune_stats());
+    assert_eq!(par.live_ids(), seq.live_ids());
 }
 
 #[test]

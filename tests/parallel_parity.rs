@@ -1,0 +1,227 @@
+//! Differential parity: the sharded, batch-parallel engine must be
+//! **bit-identical** to the sequential `TerIdsEngine` — same reported
+//! pairs at the same arrivals, same live result set, same prune-statistic
+//! totals, and same imputed probabilistic tuples — for every
+//! `ter_datasets` preset × shard count {1, 2, 4} × thread count {1, 2, 4},
+//! regardless of batch size.
+//!
+//! Exact float equality is intentional: both engines route every pair
+//! through the same `decide_pair` cascade and every cell through the same
+//! `cell_survives` predicate, so any divergence — numeric, ordering, or
+//! accounting — is a bug, not noise.
+
+use ter_datasets::{preset, GenOptions, Preset};
+use ter_exec::{ExecConfig, ShardedTerIdsEngine};
+use ter_ids::{ErProcessor, Params, PruneStats, PruningMode, TerContext, TerIdsEngine};
+use ter_repo::PivotConfig;
+use ter_rules::DiscoveryConfig;
+use ter_stream::Arrival;
+
+/// Everything the parity check compares.
+#[derive(Debug, PartialEq)]
+struct RunTrace {
+    /// Per-arrival reported matches, each step sorted by normalized pair.
+    step_matches: Vec<Vec<(u64, u64)>>,
+    /// Every pair ever reported, sorted.
+    reported: Vec<(u64, u64)>,
+    /// The live result set `ES` at end of stream, sorted.
+    results: Vec<(u64, u64)>,
+    /// Cumulative prune-statistic totals.
+    stats: PruneStats,
+    /// `(id, imputed probabilistic tuple)` of every unexpired tuple. The
+    /// debug rendering includes every instance and its probability with
+    /// full `f64` round-trip precision, so equality here is bit-equality
+    /// of the imputation output.
+    live_tuples: Vec<(u64, String)>,
+}
+
+fn sorted_pairs(iter: impl IntoIterator<Item = (u64, u64)>) -> Vec<(u64, u64)> {
+    let mut v: Vec<(u64, u64)> = iter.into_iter().collect();
+    v.sort_unstable();
+    v
+}
+
+fn trace_sequential(ctx: &TerContext, arrivals: &[Arrival], params: Params) -> RunTrace {
+    let mut e = TerIdsEngine::new(ctx, params, PruningMode::Full);
+    let mut step_matches = Vec::with_capacity(arrivals.len());
+    for a in arrivals {
+        let mut m = e.process(a).new_matches;
+        m.sort_unstable();
+        step_matches.push(m);
+    }
+    RunTrace {
+        step_matches,
+        reported: sorted_pairs(e.reported().iter().copied()),
+        results: sorted_pairs(e.results().iter()),
+        stats: e.prune_stats(),
+        live_tuples: e
+            .live_ids()
+            .into_iter()
+            .map(|id| (id, format!("{:?}", e.meta(id).unwrap().tuple)))
+            .collect(),
+    }
+}
+
+fn trace_sharded(
+    ctx: &TerContext,
+    arrivals: &[Arrival],
+    params: Params,
+    exec: ExecConfig,
+    batch: usize,
+) -> RunTrace {
+    let mut e = ShardedTerIdsEngine::new(ctx, params, PruningMode::Full, exec);
+    let mut step_matches = Vec::with_capacity(arrivals.len());
+    for chunk in arrivals.chunks(batch) {
+        // Sharded step outputs are already sorted by (arrival_seq, norm_pair).
+        step_matches.extend(e.step_batch(chunk).into_iter().map(|o| o.new_matches));
+    }
+    RunTrace {
+        step_matches,
+        reported: sorted_pairs(e.reported().iter().copied()),
+        results: sorted_pairs(e.results().iter()),
+        stats: e.prune_stats(),
+        live_tuples: e
+            .live_ids()
+            .into_iter()
+            .map(|id| (id, format!("{:?}", e.meta(id).unwrap().tuple)))
+            .collect(),
+    }
+}
+
+/// Runs the full shard × thread sweep for one preset and asserts every
+/// configuration reproduces the sequential trace exactly.
+fn assert_parity(p: Preset, scale: f64) {
+    let ds = preset(
+        p,
+        &GenOptions {
+            scale,
+            missing_rate: 0.3,
+            missing_attrs: 1,
+            ..GenOptions::default()
+        },
+    );
+    let ctx = TerContext::build(
+        ds.repo.clone(),
+        ds.keywords(),
+        &PivotConfig::default(),
+        &DiscoveryConfig::default(),
+        16,
+    );
+    let params = Params {
+        window: 60,
+        ..Params::default()
+    };
+    let arrivals = ds.streams.arrivals();
+    assert!(
+        arrivals.len() > 60,
+        "{}: stream too small to churn",
+        p.name()
+    );
+    let seq = trace_sequential(&ctx, &arrivals, params);
+    assert!(
+        seq.stats.total_pairs > 0,
+        "{}: degenerate run, nothing compared",
+        p.name()
+    );
+
+    for shards in [1usize, 2, 4] {
+        for threads in [1usize, 2, 4] {
+            // A batch size that is neither 1 nor a divisor of the stream
+            // length, so batch boundaries and a final partial batch are
+            // exercised.
+            let par = trace_sharded(&ctx, &arrivals, params, ExecConfig { shards, threads }, 17);
+            assert_eq!(
+                par,
+                seq,
+                "{}: sharded(S={shards}, T={threads}) diverged from sequential",
+                p.name()
+            );
+        }
+    }
+
+    // Degenerate batching (batch = 1, the `process` path) must agree too.
+    let single = trace_sharded(
+        &ctx,
+        &arrivals,
+        params,
+        ExecConfig {
+            shards: 2,
+            threads: 2,
+        },
+        1,
+    );
+    assert_eq!(single, seq, "{}: per-arrival batching diverged", p.name());
+}
+
+#[test]
+fn citations_parity() {
+    assert_parity(Preset::Citations, 0.16);
+}
+
+#[test]
+fn anime_parity() {
+    assert_parity(Preset::Anime, 0.14);
+}
+
+#[test]
+fn bikes_parity() {
+    assert_parity(Preset::Bikes, 0.12);
+}
+
+#[test]
+fn ebooks_parity() {
+    assert_parity(Preset::EBooks, 0.12);
+}
+
+#[test]
+fn songs_parity() {
+    assert_parity(Preset::Songs, 0.06);
+}
+
+/// The GridOnly (`I_j+G_ER`) mode must shard identically as well — it
+/// shares candidate retrieval but refines by full exact probability.
+#[test]
+fn grid_only_mode_parity() {
+    let ds = preset(
+        Preset::Citations,
+        &GenOptions {
+            scale: 0.12,
+            missing_rate: 0.3,
+            missing_attrs: 1,
+            ..GenOptions::default()
+        },
+    );
+    let ctx = TerContext::build(
+        ds.repo.clone(),
+        ds.keywords(),
+        &PivotConfig::default(),
+        &DiscoveryConfig::default(),
+        16,
+    );
+    let params = Params {
+        window: 50,
+        ..Params::default()
+    };
+    let arrivals = ds.streams.arrivals();
+    let mut seq = TerIdsEngine::new(&ctx, params, PruningMode::GridOnly);
+    for a in &arrivals {
+        seq.process(a);
+    }
+    let mut par = ShardedTerIdsEngine::new(
+        &ctx,
+        params,
+        PruningMode::GridOnly,
+        ExecConfig {
+            shards: 4,
+            threads: 4,
+        },
+    );
+    for chunk in arrivals.chunks(23) {
+        par.step_batch(chunk);
+    }
+    assert_eq!(
+        sorted_pairs(par.reported().iter().copied()),
+        sorted_pairs(seq.reported().iter().copied())
+    );
+    assert_eq!(par.prune_stats(), seq.prune_stats());
+}
