@@ -14,7 +14,7 @@
 
 use std::time::Instant;
 
-use ter_bench::{header, prepare, Prepared};
+use ter_bench::{header, prepare, Prepared, RunStamp};
 use ter_datasets::{GenOptions, Preset};
 use ter_exec::{ExecConfig, ShardedTerIdsEngine};
 use ter_ids::{ErProcessor, Params, PruningMode, TerIdsEngine};
@@ -147,7 +147,8 @@ fn main() {
         })
         .collect();
     let json = format!(
-        "{{\n  \"bench\": \"fig18_throughput\",\n  \"preset\": \"{}\",\n  \"scale\": {},\n  \"window\": {},\n  \"shards\": {},\n  \"batch\": {},\n  \"arrivals\": {},\n  \"host_cpus\": {},\n  \"sequential_tuples_per_sec\": {:.1},\n  \"series\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"bench\": \"fig18_throughput\",\n{}\n  \"preset\": \"{}\",\n  \"scale\": {},\n  \"window\": {},\n  \"shards\": {},\n  \"batch\": {},\n  \"arrivals\": {},\n  \"host_cpus\": {},\n  \"sequential_tuples_per_sec\": {:.1},\n  \"series\": [\n{}\n  ]\n}}\n",
+        RunStamp::capture().json_fields(),
         preset.name(),
         scale,
         params.window,

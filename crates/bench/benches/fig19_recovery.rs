@@ -1,0 +1,204 @@
+//! Figure 19 (beyond the paper): persistence-layer throughput — what
+//! durability costs on the write path and how fast a crashed service is
+//! back at its stream position.
+//!
+//! Three measurements, written to `BENCH_recovery.json`:
+//!
+//! * **checkpoint write MB/s** — encode + atomic write + fsync of the
+//!   full `EngineState` at a steady-state window;
+//! * **WAL append tuples/s** — arrival batches appended with
+//!   fsync-on-commit (the per-batch durability tax on ingest);
+//! * **recovery replay tuples/s** — checkpoint load + import + WAL-suffix
+//!   replay at suffix lengths {0, 100, 1000} arrivals, timed end to end
+//!   from `TerStore::open` to a caught-up engine.
+//!
+//! Every recovered engine is parity-gated against the uninterrupted
+//! oracle (`export_state` bit-equality) before its numbers are accepted.
+//!
+//! Defaults use the EBooks preset at generator scale 1.2 (enough stream
+//! for a full window *and* a 1000-arrival suffix); `TER_FIG19_SCALE`
+//! overrides for quick local runs (suffixes clamp to the stream).
+
+use std::fs;
+use std::path::PathBuf;
+use std::time::Instant;
+
+use ter_bench::{header, prepare, RunStamp};
+use ter_datasets::{GenOptions, Preset};
+use ter_ids::{ErProcessor, Params, PruningMode, TerIdsEngine};
+use ter_store::{context_fingerprint, TerStore};
+
+const BATCH: usize = 100;
+
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(tag: &str) -> Self {
+        let p = std::env::temp_dir().join(format!("ter_fig19_{}_{tag}", std::process::id()));
+        let _ = fs::remove_dir_all(&p);
+        Self(p)
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = fs::remove_dir_all(&self.0);
+    }
+}
+
+fn main() {
+    let scale: f64 = std::env::var("TER_FIG19_SCALE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1.2);
+    let preset = Preset::EBooks;
+    let params = Params::default();
+
+    header(
+        "Figure 19",
+        "WAL/checkpoint write cost and recovery replay throughput",
+    );
+    println!(
+        "preset={} scale={scale} window={} batch={BATCH}",
+        preset.name(),
+        params.window
+    );
+
+    let prepared = prepare(
+        preset,
+        GenOptions {
+            scale,
+            ..GenOptions::default()
+        },
+        params,
+    );
+    let arrivals = &prepared.arrivals;
+    let fp = context_fingerprint(&prepared.ctx, &prepared.params);
+    // Base position: window full (400) plus churn, so the checkpoint is a
+    // steady-state snapshot; the largest suffix takes whatever remains.
+    let min_base = (params.window + 200).min(arrivals.len() / 2);
+    let max_suffix = 1000usize.min(arrivals.len().saturating_sub(min_base));
+    let base = (arrivals.len() - max_suffix) / BATCH * BATCH;
+
+    // ---- WAL append throughput (fsync per batch) ----
+    let wal_dir = TempDir::new("wal");
+    let mut store = TerStore::open(&wal_dir.0, fp).expect("open store");
+    let start = Instant::now();
+    for batch in arrivals.chunks(BATCH) {
+        store.log_batch(batch).expect("append");
+    }
+    let wal_secs = start.elapsed().as_secs_f64();
+    let wal_tps = arrivals.len() as f64 / wal_secs;
+    let wal_mb = store.wal_len_bytes() as f64 / (1024.0 * 1024.0);
+    println!(
+        "WAL append      {:>9.2}s {:>12.1} tuples/s ({:.1} MiB, fsync/batch)",
+        wal_secs, wal_tps, wal_mb
+    );
+
+    // ---- engine warm-up to the base position ----
+    let mut engine = TerIdsEngine::new(&prepared.ctx, prepared.params, PruningMode::Full);
+    for batch in arrivals[..base].chunks(BATCH) {
+        engine.step_batch(batch);
+    }
+
+    // ---- checkpoint write throughput ----
+    let ck_dir = TempDir::new("ckpt");
+    let mut ck_store = TerStore::open(&ck_dir.0, fp).expect("open store");
+    let state = engine.export_state();
+    let reps = 5;
+    let mut ck_bytes = 0u64;
+    let start = Instant::now();
+    for _ in 0..reps {
+        ck_bytes = ck_store.checkpoint(&state).expect("checkpoint");
+    }
+    let ck_secs = start.elapsed().as_secs_f64() / reps as f64;
+    let ck_mb = ck_bytes as f64 / (1024.0 * 1024.0);
+    let ck_mbps = ck_mb / ck_secs;
+    println!(
+        "checkpoint      {:>9.4}s {:>12.1} MB/s ({:.2} MiB state, {} live tuples)",
+        ck_secs,
+        ck_mbps,
+        ck_mb,
+        state.live_count()
+    );
+
+    // ---- recovery replay throughput at suffix lengths {0, 100, 1000} ----
+    let mut series = Vec::new();
+    for suffix_len in [0usize, 100, 1000] {
+        let suffix_len = suffix_len.min(max_suffix);
+        let dir = TempDir::new(&format!("rec{suffix_len}"));
+        {
+            let mut store = TerStore::open(&dir.0, fp).expect("open store");
+            // WAL carries the suffix only; the checkpoint owns the prefix.
+            let mut crashed = TerIdsEngine::new(&prepared.ctx, prepared.params, PruningMode::Full);
+            for batch in arrivals[..base].chunks(BATCH) {
+                crashed.step_batch(batch);
+            }
+            store
+                .checkpoint(&crashed.export_state())
+                .expect("checkpoint");
+            for batch in arrivals[base..base + suffix_len].chunks(BATCH) {
+                store.log_batch(batch).expect("append");
+                crashed.step_batch(batch);
+            }
+        }
+        // Oracle at the crash position, for the parity gate.
+        let mut oracle = TerIdsEngine::new(&prepared.ctx, prepared.params, PruningMode::Full);
+        for batch in arrivals[..base + suffix_len].chunks(BATCH) {
+            oracle.step_batch(batch);
+        }
+
+        let start = Instant::now();
+        let store = TerStore::open(&dir.0, fp).expect("reopen");
+        let rec = store.recover().expect("recover");
+        let mut recovered = TerIdsEngine::new(&prepared.ctx, prepared.params, PruningMode::Full);
+        recovered
+            .import_state(rec.state.as_ref().expect("state"))
+            .expect("import");
+        let replayed = rec.replay_into(&mut recovered);
+        let secs = start.elapsed().as_secs_f64();
+        assert_eq!(replayed, suffix_len, "suffix length mismatch");
+        // Parity gate: recovery throughput of a wrong state is meaningless.
+        assert_eq!(
+            recovered.export_state(),
+            oracle.export_state(),
+            "recovered engine diverged at suffix {suffix_len}"
+        );
+        let replay_tps = if secs > 0.0 {
+            suffix_len as f64 / secs
+        } else {
+            0.0
+        };
+        println!(
+            "recover+{suffix_len:<6} {:>9.4}s {:>12.1} replay tuples/s",
+            secs, replay_tps
+        );
+        series.push((suffix_len, secs, replay_tps));
+    }
+
+    let rows: Vec<String> = series
+        .iter()
+        .map(|(suffix, secs, tps)| {
+            format!(
+                "    {{\"wal_suffix\": {suffix}, \"recover_secs\": {secs:.5}, \"replay_tuples_per_sec\": {tps:.1}}}"
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"bench\": \"fig19_recovery\",\n{}\n  \"preset\": \"{}\",\n  \"scale\": {},\n  \"window\": {},\n  \"batch\": {},\n  \"arrivals\": {},\n  \"live_tuples\": {},\n  \"checkpoint_bytes\": {},\n  \"checkpoint_write_mb_per_sec\": {:.1},\n  \"wal_append_tuples_per_sec\": {:.1},\n  \"recovery\": [\n{}\n  ]\n}}\n",
+        RunStamp::capture().json_fields(),
+        preset.name(),
+        scale,
+        params.window,
+        BATCH,
+        arrivals.len(),
+        state.live_count(),
+        ck_bytes,
+        ck_mbps,
+        wal_tps,
+        rows.join(",\n")
+    );
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_recovery.json");
+    fs::write(out, &json).expect("write BENCH_recovery.json");
+    println!("wrote {out}");
+}

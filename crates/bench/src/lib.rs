@@ -202,6 +202,89 @@ pub fn run_methods(prepared: &Prepared, methods: &[Method]) -> Vec<MethodResult>
     methods.iter().map(|&m| run_method(prepared, m)).collect()
 }
 
+/// Provenance stamp for `BENCH_*.json` trajectory records: the git commit
+/// the numbers were measured at and an ISO-8601 UTC timestamp, so the
+/// perf trajectory in ROADMAP stays traceable to exact code states.
+#[derive(Debug, Clone)]
+pub struct RunStamp {
+    /// `git rev-parse HEAD` of the working tree, or `"unknown"` outside a
+    /// repository.
+    pub git_commit: String,
+    /// `YYYY-MM-DDTHH:MM:SSZ` at measurement time.
+    pub generated_at: String,
+}
+
+impl RunStamp {
+    /// Captures the current commit and time. A working tree with
+    /// uncommitted changes gets a `-dirty` suffix — numbers measured
+    /// mid-change must not masquerade as the parent commit's.
+    pub fn capture() -> Self {
+        let git = |args: &[&str]| {
+            std::process::Command::new("git")
+                .args(args)
+                .current_dir(env!("CARGO_MANIFEST_DIR"))
+                .output()
+                .ok()
+                .filter(|o| o.status.success())
+                .and_then(|o| String::from_utf8(o.stdout).ok())
+        };
+        let mut git_commit = git(&["rev-parse", "HEAD"])
+            .map(|s| s.trim().to_string())
+            .filter(|s| !s.is_empty())
+            .unwrap_or_else(|| "unknown".to_string());
+        if git_commit != "unknown"
+            && git(&["status", "--porcelain"]).is_some_and(|s| !s.trim().is_empty())
+        {
+            git_commit.push_str("-dirty");
+        }
+        Self {
+            git_commit,
+            generated_at: iso8601_utc_now(),
+        }
+    }
+
+    /// The stamp as JSON object fields (no surrounding braces), indented
+    /// two spaces to slot into the `BENCH_*.json` layout.
+    pub fn json_fields(&self) -> String {
+        format!(
+            "  \"git_commit\": \"{}\",\n  \"generated_at\": \"{}\",",
+            self.git_commit, self.generated_at
+        )
+    }
+}
+
+/// Current UTC time as `YYYY-MM-DDTHH:MM:SSZ` (no chrono in this offline
+/// workspace; civil-date conversion per Howard Hinnant's algorithm).
+pub fn iso8601_utc_now() -> String {
+    let secs = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let (days, rem) = (secs / 86_400, secs % 86_400);
+    let (y, m, d) = civil_from_days(days as i64);
+    format!(
+        "{y:04}-{m:02}-{d:02}T{:02}:{:02}:{:02}Z",
+        rem / 3600,
+        (rem % 3600) / 60,
+        rem % 60
+    )
+}
+
+/// Days-since-epoch → (year, month, day) in the proleptic Gregorian
+/// calendar.
+fn civil_from_days(z: i64) -> (i64, u32, u32) {
+    let z = z + 719_468;
+    let era = if z >= 0 { z } else { z - 146_096 } / 146_097;
+    let doe = (z - era * 146_097) as u64;
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+    let y = yoe as i64 + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = (doy - (153 * mp + 2) / 5 + 1) as u32;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 } as u32;
+    (if m <= 2 { y + 1 } else { y }, m, d)
+}
+
 /// Prints a figure header (and flushes).
 pub fn header(figure: &str, description: &str) {
     println!("\n=== {figure}: {description} ===");
@@ -299,6 +382,27 @@ mod tests {
         assert_eq!(results.len(), 2);
         assert!(results[0].avg_secs > 0.0);
         assert!(results[0].f_score >= 0.0);
+    }
+
+    #[test]
+    fn civil_date_conversion() {
+        assert_eq!(civil_from_days(0), (1970, 1, 1));
+        assert_eq!(civil_from_days(19_723), (2024, 1, 1)); // leap year start
+        assert_eq!(civil_from_days(19_782), (2024, 2, 29)); // leap day
+        assert_eq!(civil_from_days(20_662), (2026, 7, 28));
+    }
+
+    #[test]
+    fn stamp_shape() {
+        let s = RunStamp::capture();
+        assert!(!s.git_commit.is_empty());
+        // ISO-8601: 2026-07-28T12:34:56Z
+        assert_eq!(s.generated_at.len(), 20);
+        assert!(s.generated_at.ends_with('Z'));
+        assert_eq!(&s.generated_at[4..5], "-");
+        assert_eq!(&s.generated_at[10..11], "T");
+        assert!(s.json_fields().contains("\"git_commit\""));
+        assert!(s.json_fields().contains("\"generated_at\""));
     }
 
     #[test]

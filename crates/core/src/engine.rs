@@ -33,6 +33,7 @@ pub use crate::params::PruningMode;
 use crate::pruning;
 use crate::refine::{decide_pair, PairContext, PairDecision};
 use crate::results::{norm_pair, ResultSet};
+use crate::state::EngineState;
 use crate::ErProcessor;
 
 /// Everything built in the offline pre-computation phase (Algorithm 1
@@ -201,6 +202,85 @@ impl<'a> TerIdsEngine<'a> {
         let mut ids: Vec<u64> = self.metas.keys().copied().collect();
         ids.sort_unstable();
         ids
+    }
+
+    /// Snapshots the engine's dynamic state in the canonical
+    /// [`EngineState`] representation (window order, sorted pairs, sorted
+    /// cell keys). The sharded engine exports an *equal* state at the same
+    /// stream position, so checkpoints are portable across engines.
+    pub fn export_state(&self) -> EngineState {
+        let window: Vec<(u64, u64)> = self.window.iter().map(|(t, id)| (t, *id)).collect();
+        let metas = window
+            .iter()
+            .map(|(_, id)| self.metas[id].clone())
+            .collect();
+        let mut results: Vec<(u64, u64)> = self.results.iter().collect();
+        results.sort_unstable();
+        let mut reported: Vec<(u64, u64)> = self.reported.iter().copied().collect();
+        reported.sort_unstable();
+        let mut cells: Vec<(ter_index::CellKey, Vec<u64>)> = self
+            .grid
+            .iter_cells()
+            .map(|(k, entries)| (k.clone(), entries.iter().map(|e| e.payload).collect()))
+            .collect();
+        cells.sort_by(|(a, _), (b, _)| a.cmp(b));
+        EngineState {
+            window_capacity: self.params.window,
+            grid_cells: self.params.grid_cells,
+            window,
+            metas,
+            stream_counts: self.stream_counts.clone(),
+            results,
+            reported,
+            stats: self.stats,
+            cells,
+        }
+    }
+
+    /// Replaces the engine's dynamic state with a validated snapshot
+    /// (recovery: load the newest checkpoint, then replay the WAL suffix
+    /// through [`ErProcessor::step_batch`]). The static context, params,
+    /// and pruning mode stay as constructed; phase timings restart at zero
+    /// (wall clock is not recoverable state). On `Err` the engine is left
+    /// untouched — the recovery path must never panic or half-apply.
+    pub fn import_state(&mut self, state: &EngineState) -> Result<(), String> {
+        let d = self.ctx.arity();
+        state.validate(d, self.params.window, self.params.grid_cells)?;
+        let mut metas: FxHashMap<u64, TupleMeta> = FxHashMap::default();
+        let mut topical_ids: FxHashSet<u64> = FxHashSet::default();
+        for meta in &state.metas {
+            if meta.possibly_topical {
+                topical_ids.insert(meta.id);
+            }
+            metas.insert(meta.id, meta.clone());
+        }
+        let mut grid = RegionGrid::new(d, self.params.grid_cells);
+        for (key, ids) in &state.cells {
+            for id in ids {
+                let meta = &metas[id];
+                grid.insert_at([key.clone()], &meta.region(), *id, meta.aggregate());
+            }
+        }
+        let mut window = SlidingWindow::new(self.params.window);
+        for &(ts, id) in &state.window {
+            // validate() bounds the length by the capacity and checks
+            // monotonic timestamps, so no push can evict or assert.
+            window.push(ts, id);
+        }
+        let mut results = ResultSet::new();
+        for &(a, b) in &state.results {
+            results.insert(a, b);
+        }
+        self.grid = grid;
+        self.window = window;
+        self.metas = metas;
+        self.stream_counts = state.stream_counts.clone();
+        self.topical_ids = topical_ids;
+        self.results = results;
+        self.reported = state.reported.iter().copied().collect();
+        self.stats = state.stats;
+        self.timing = PhaseTiming::default();
+        Ok(())
     }
 
     /// Evicts the expired tuple from grid, metadata, and result set.
@@ -537,5 +617,77 @@ mod tests {
         let t = engine.timing();
         assert_eq!(t.arrivals, 4);
         assert!(t.total().as_nanos() > 0);
+    }
+
+    /// Export at every prefix, import into a fresh engine, continue — the
+    /// restored run must be bit-identical to the uninterrupted one.
+    #[test]
+    fn state_round_trip_resumes_identically() {
+        let (ctx, streams, _) = scenario();
+        let params = Params {
+            window: 2, // small window so cuts straddle eviction boundaries
+            ..Params::default()
+        };
+        let arrivals = streams.arrivals();
+        let mut oracle = TerIdsEngine::new(&ctx, params, PruningMode::Full);
+        let oracle_steps: Vec<Vec<(u64, u64)>> = arrivals
+            .iter()
+            .map(|a| oracle.process(a).new_matches)
+            .collect();
+        for cut in 0..arrivals.len() {
+            let mut first = TerIdsEngine::new(&ctx, params, PruningMode::Full);
+            for a in &arrivals[..cut] {
+                first.process(a);
+            }
+            let state = first.export_state();
+            let mut second = TerIdsEngine::new(&ctx, params, PruningMode::Full);
+            second.import_state(&state).unwrap();
+            assert_eq!(second.export_state(), state, "cut {cut}: re-export drifted");
+            for (i, a) in arrivals[cut..].iter().enumerate() {
+                assert_eq!(
+                    second.process(a).new_matches,
+                    oracle_steps[cut + i],
+                    "cut {cut}: step {} diverged",
+                    cut + i
+                );
+            }
+            assert_eq!(second.export_state(), oracle.export_state(), "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn import_rejects_mismatched_window() {
+        let (ctx, streams, _) = scenario();
+        let mut engine = TerIdsEngine::new(&ctx, Params::default(), PruningMode::Full);
+        for a in streams.arrivals() {
+            engine.process(&a);
+        }
+        let state = engine.export_state();
+        let mut other = TerIdsEngine::new(
+            &ctx,
+            Params {
+                window: 7,
+                ..Params::default()
+            },
+            PruningMode::Full,
+        );
+        assert!(other.import_state(&state).is_err());
+        // A different grid resolution is refused too — the persisted cell
+        // keys would land in wrong rectangles.
+        let mut coarse = TerIdsEngine::new(
+            &ctx,
+            Params {
+                grid_cells: 11,
+                ..Params::default()
+            },
+            PruningMode::Full,
+        );
+        assert!(coarse.import_state(&state).is_err());
+        // The failed import must leave the engine untouched and usable.
+        assert_eq!(other.window_len(), 0);
+        for a in streams.arrivals() {
+            other.process(&a);
+        }
+        assert!(other.results().contains(1, 2));
     }
 }

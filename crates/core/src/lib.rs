@@ -23,7 +23,9 @@
 //!   `er+ER`, `con+ER`);
 //! * [`metrics`] — precision/recall/F-score (Equation 6) and pruning-power
 //!   accounting (Figure 4);
-//! * [`results`] — the maintained entity result set `ES` with expiry.
+//! * [`results`] — the maintained entity result set `ES` with expiry;
+//! * [`state`] — the engine-agnostic dynamic-state snapshot
+//!   ([`EngineState`]) behind the `ter_store` checkpoint/recovery layer.
 
 pub mod baselines;
 pub mod candidates;
@@ -34,6 +36,7 @@ pub mod params;
 pub mod pruning;
 pub mod refine;
 pub mod results;
+pub mod state;
 
 #[cfg(test)]
 mod proptests;
@@ -45,6 +48,7 @@ pub use metrics::{evaluate, Evaluation, PhaseTiming, PruneStats};
 pub use params::Params;
 pub use refine::{decide_pair, PairContext, PairDecision};
 pub use results::ResultSet;
+pub use state::EngineState;
 
 use ter_stream::Arrival;
 

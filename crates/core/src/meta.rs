@@ -49,7 +49,10 @@ impl AuxLayout {
 }
 
 /// Everything the pruning rules need to know about one (imputed) tuple.
-#[derive(Debug, Clone)]
+///
+/// `PartialEq` is exact (every `f64` compared bitwise) — checkpoint
+/// round-trips and recovery parity are asserted as bit-identity.
+#[derive(Debug, Clone, PartialEq)]
 pub struct TupleMeta {
     /// Tuple id (unique across all streams).
     pub id: u64,

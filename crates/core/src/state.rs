@@ -1,0 +1,288 @@
+//! Engine-agnostic snapshot of a TER-iDS engine's dynamic state.
+//!
+//! [`EngineState`] captures everything that changes as arrivals are
+//! consumed — the sliding window, per-tuple metadata (including the
+//! imputed probabilistic tuples), per-stream live counts, the live result
+//! set `ES`, the reported-pair history, cumulative prune statistics, and
+//! the ER-grid's per-cell entry lists. Everything an engine derives from
+//! the static [`TerContext`](crate::TerContext) (pivots, rules, indexes,
+//! keywords) is deliberately *not* here: the offline pre-computation is a
+//! deterministic function of the repository, so a restarted service
+//! rebuilds it and grafts this state on top.
+//!
+//! The representation is canonical — window entries in arrival order,
+//! result/reported pairs sorted, grid cells sorted by key with entries in
+//! insertion order — so the sequential `TerIdsEngine` and the sharded
+//! `ShardedTerIdsEngine` export *equal* states at the same stream
+//! position (their per-cell op histories are identical by the PR 2
+//! sharding invariant), and a checkpoint taken from one engine restores
+//! into the other.
+//!
+//! Import is validating, not trusting: [`EngineState::validate`] checks
+//! every cross-field invariant (window/meta agreement, timestamp
+//! monotonicity, id uniqueness, stream-count consistency, pair liveness,
+//! cell-key shape) and returns `Err` instead of panicking, because the
+//! recovery path must survive arbitrary on-disk corruption that slipped
+//! past the frame CRCs.
+
+use ter_index::CellKey;
+use ter_text::fxhash::FxHashSet;
+
+use crate::meta::TupleMeta;
+use crate::metrics::PruneStats;
+
+/// A snapshot of one engine's dynamic state. See the [module docs](self).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct EngineState {
+    /// Window capacity `w` the snapshot was taken under (import into an
+    /// engine with a different `w` is refused — the result set would not
+    /// be comparable).
+    pub window_capacity: usize,
+    /// ER-grid resolution (cells per dimension) the cell keys were
+    /// computed under. Import into a grid of a different resolution is
+    /// refused — the keys would land in wrong rectangles and evictions
+    /// would miss them.
+    pub grid_cells: u16,
+    /// `(timestamp, tuple id)` of every unexpired tuple, oldest first.
+    pub window: Vec<(u64, u64)>,
+    /// Metadata of the unexpired tuples, in window (arrival) order.
+    pub metas: Vec<TupleMeta>,
+    /// Live tuple count per stream. Kept verbatim (not re-derived) because
+    /// trailing zero entries from fully-expired streams are part of the
+    /// engine's observable accounting state.
+    pub stream_counts: Vec<usize>,
+    /// The live result set `ES`, `(min, max)`-normalized and sorted.
+    pub results: Vec<(u64, u64)>,
+    /// Every pair ever reported, `(min, max)`-normalized and sorted.
+    pub reported: Vec<(u64, u64)>,
+    /// Cumulative pruning counters.
+    pub stats: PruneStats,
+    /// ER-grid cells: `(cell key, payload ids in entry order)`, sorted by
+    /// key. Entry order is preserved exactly so the restored grid is
+    /// indistinguishable from the crashed one (cell aggregates are left
+    /// folds over the entry sequence; same sequence ⇒ same bits).
+    pub cells: Vec<(CellKey, Vec<u64>)>,
+}
+
+impl EngineState {
+    /// Checks every invariant an importing engine relies on, against the
+    /// engine's schema arity, configured window capacity, and grid
+    /// resolution. Returns a description of the first violation.
+    pub fn validate(
+        &self,
+        arity: usize,
+        window_capacity: usize,
+        grid_cells: u16,
+    ) -> Result<(), String> {
+        if self.window_capacity != window_capacity {
+            return Err(format!(
+                "state window capacity {} != engine window {}",
+                self.window_capacity, window_capacity
+            ));
+        }
+        if self.grid_cells != grid_cells {
+            return Err(format!(
+                "state grid resolution {} != engine grid_cells {}",
+                self.grid_cells, grid_cells
+            ));
+        }
+        if self.window.len() > window_capacity {
+            return Err(format!(
+                "{} window entries exceed capacity {}",
+                self.window.len(),
+                window_capacity
+            ));
+        }
+        if self.metas.len() != self.window.len() {
+            return Err(format!(
+                "{} metas for {} window entries",
+                self.metas.len(),
+                self.window.len()
+            ));
+        }
+        let mut ids: FxHashSet<u64> = FxHashSet::default();
+        let mut prev_ts: Option<u64> = None;
+        for ((ts, id), meta) in self.window.iter().zip(&self.metas) {
+            if prev_ts.is_some_and(|p| p >= *ts) {
+                return Err(format!("window timestamps not strictly increasing at {ts}"));
+            }
+            prev_ts = Some(*ts);
+            if meta.id != *id || meta.timestamp != *ts {
+                return Err(format!(
+                    "meta ({}, t={}) does not match window entry ({id}, t={ts})",
+                    meta.id, meta.timestamp
+                ));
+            }
+            if meta.arity() != arity {
+                return Err(format!(
+                    "meta {id} has arity {} but engine schema has {arity}",
+                    meta.arity()
+                ));
+            }
+            if !ids.insert(*id) {
+                return Err(format!("duplicate tuple id {id}"));
+            }
+        }
+        // Stream counts must agree with the live metas: each live stream's
+        // count exact, extra (historical) entries zero.
+        let mut derived: Vec<usize> = Vec::new();
+        for meta in &self.metas {
+            if derived.len() <= meta.stream_id {
+                derived.resize(meta.stream_id + 1, 0);
+            }
+            derived[meta.stream_id] += 1;
+        }
+        if self.stream_counts.len() < derived.len() {
+            return Err(format!(
+                "stream_counts has {} entries but live tuples span {} streams",
+                self.stream_counts.len(),
+                derived.len()
+            ));
+        }
+        for (sid, &count) in self.stream_counts.iter().enumerate() {
+            let expect = derived.get(sid).copied().unwrap_or(0);
+            if count != expect {
+                return Err(format!(
+                    "stream {sid} count {count} but {expect} live tuples"
+                ));
+            }
+        }
+        for &(a, b) in &self.results {
+            if a >= b {
+                return Err(format!("result pair ({a}, {b}) not normalized"));
+            }
+            if !ids.contains(&a) || !ids.contains(&b) {
+                return Err(format!("result pair ({a}, {b}) references expired tuples"));
+            }
+        }
+        for &(a, b) in &self.reported {
+            if a >= b {
+                return Err(format!("reported pair ({a}, {b}) not normalized"));
+            }
+        }
+        let mut prev_key: Option<&CellKey> = None;
+        for (key, entries) in &self.cells {
+            if key.len() != arity {
+                return Err(format!(
+                    "cell key of {} dims in a {arity}-dim grid",
+                    key.len()
+                ));
+            }
+            if key.iter().any(|&k| k >= grid_cells) {
+                return Err(format!("cell key {key:?} outside a {grid_cells}-cell grid"));
+            }
+            if prev_key.is_some_and(|p| p >= key) {
+                return Err("cell keys not strictly sorted".into());
+            }
+            prev_key = Some(key);
+            if entries.is_empty() {
+                return Err("empty grid cell persisted".into());
+            }
+            for id in entries {
+                if !ids.contains(id) {
+                    return Err(format!("cell entry {id} is not a live tuple"));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Number of live tuples in the snapshot.
+    pub fn live_count(&self) -> usize {
+        self.window.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ter_repo::{Record, Schema};
+    use ter_stream::ProbTuple;
+    use ter_text::{Dictionary, TokenSet, TopicVector};
+
+    /// A minimal hand-built meta (field-literal; validation only looks at
+    /// id/stream/timestamp/arity).
+    fn meta(id: u64, stream_id: usize, timestamp: u64) -> TupleMeta {
+        let schema = Schema::new(vec!["a", "b"]);
+        let mut dict = Dictionary::new();
+        let rec = Record::from_texts(&schema, id, &[Some("x"), Some("y")], &mut dict);
+        TupleMeta {
+            id,
+            stream_id,
+            timestamp,
+            tuple: ProbTuple::certain(rec),
+            main_bounds: vec![ter_text::Interval::point(0.1); 2],
+            main_expect: vec![0.1; 2],
+            aux_bounds: vec![],
+            size_bounds: vec![ter_text::Interval::point(1.0); 2],
+            topics: TopicVector::zeros(1),
+            possibly_topical: false,
+            possible_tokens: TokenSet::empty(),
+        }
+    }
+
+    fn valid_state() -> EngineState {
+        EngineState {
+            window_capacity: 4,
+            grid_cells: 5,
+            window: vec![(0, 10), (1, 11)],
+            metas: vec![meta(10, 0, 0), meta(11, 1, 1)],
+            stream_counts: vec![1, 1],
+            results: vec![(10, 11)],
+            reported: vec![(10, 11)],
+            stats: PruneStats::default(),
+            cells: vec![(vec![0, 0].into_boxed_slice(), vec![10, 11])],
+        }
+    }
+
+    #[test]
+    fn valid_state_passes() {
+        valid_state().validate(2, 4, 5).unwrap();
+    }
+
+    type Mutation = Box<dyn Fn(&mut EngineState)>;
+
+    #[test]
+    fn rejections() {
+        let cases: Vec<(&str, Mutation)> = vec![
+            ("capacity", Box::new(|s| s.window_capacity = 8)),
+            ("grid resolution", Box::new(|s| s.grid_cells = 9)),
+            (
+                "cell key range",
+                Box::new(|s| s.cells[0].0 = vec![0, 5].into_boxed_slice()),
+            ),
+            ("meta count", Box::new(|s| s.metas.truncate(1))),
+            ("timestamps", Box::new(|s| s.window[1].0 = 0)),
+            ("id mismatch", Box::new(|s| s.window[1].1 = 99)),
+            ("stream counts", Box::new(|s| s.stream_counts = vec![2, 0])),
+            ("result liveness", Box::new(|s| s.results = vec![(10, 99)])),
+            (
+                "result normalization",
+                Box::new(|s| s.results = vec![(11, 10)]),
+            ),
+            ("cell entry liveness", Box::new(|s| s.cells[0].1.push(99))),
+            (
+                "cell key dims",
+                Box::new(|s| s.cells[0].0 = vec![0].into_boxed_slice()),
+            ),
+            (
+                "cell key order",
+                Box::new(|s| {
+                    let c = s.cells[0].clone();
+                    s.cells.push(c);
+                }),
+            ),
+        ];
+        for (label, mutate) in cases {
+            let mut s = valid_state();
+            mutate(&mut s);
+            assert!(s.validate(2, 4, 5).is_err(), "{label} accepted");
+        }
+    }
+
+    #[test]
+    fn window_overflow_rejected() {
+        let s = valid_state();
+        assert!(s.validate(2, 1, 5).is_err());
+    }
+}

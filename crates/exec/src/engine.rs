@@ -43,8 +43,8 @@ use ter_ids::meta::TupleMeta;
 use ter_ids::pruning::cell_survives;
 use ter_ids::results::norm_pair;
 use ter_ids::{
-    decide_pair, ErAggregate, ErProcessor, PairContext, PairDecision, Params, PhaseTiming,
-    PruneStats, PruningMode, ResultSet, StepOutput, TerContext,
+    decide_pair, EngineState, ErAggregate, ErProcessor, PairContext, PairDecision, Params,
+    PhaseTiming, PruneStats, PruningMode, ResultSet, StepOutput, TerContext,
 };
 use ter_impute::RuleImputer;
 use ter_index::RegionGrid;
@@ -436,6 +436,88 @@ impl<'a> ShardedTerIdsEngine<'a> {
             .iter()
             .map(ShardGrid::cell_entry_count)
             .collect()
+    }
+
+    /// Snapshots the engine's dynamic state. The representation is the
+    /// canonical engine-agnostic [`EngineState`]: shard grids are merged
+    /// back into one sorted logical cell list (the router partitions
+    /// cells, so the union is disjoint), and per-cell entry order is the
+    /// monolithic grid's by the sharding invariant — the exported state is
+    /// *equal* to the sequential engine's at the same stream position.
+    pub fn export_state(&self) -> EngineState {
+        let window: Vec<(u64, u64)> = self.window.iter().map(|(t, id)| (t, *id)).collect();
+        let metas = window
+            .iter()
+            .map(|(_, id)| self.metas[id].as_ref().clone())
+            .collect();
+        let mut results: Vec<(u64, u64)> = self.results.iter().collect();
+        results.sort_unstable();
+        let mut reported: Vec<(u64, u64)> = self.reported.iter().copied().collect();
+        reported.sort_unstable();
+        let mut cells: Vec<(ter_index::CellKey, Vec<u64>)> = self
+            .shards
+            .iter()
+            .flat_map(|g| g.iter_cells())
+            .map(|(k, entries)| (k.clone(), entries.iter().map(|e| e.payload).collect()))
+            .collect();
+        cells.sort_by(|(a, _), (b, _)| a.cmp(b));
+        EngineState {
+            window_capacity: self.params.window,
+            grid_cells: self.params.grid_cells,
+            window,
+            metas,
+            stream_counts: self.stream_counts.clone(),
+            results,
+            reported,
+            stats: self.stats,
+            cells,
+        }
+    }
+
+    /// Replaces the engine's dynamic state with a validated snapshot,
+    /// routing each persisted cell to its owning shard. Accepts snapshots
+    /// exported by either engine (the representation is shard-agnostic),
+    /// so a sequential checkpoint restores into a sharded engine and vice
+    /// versa. On `Err` the engine is left untouched.
+    pub fn import_state(&mut self, state: &EngineState) -> Result<(), String> {
+        let d = self.ctx.arity();
+        state.validate(d, self.params.window, self.params.grid_cells)?;
+        let mut metas: FxHashMap<u64, Arc<TupleMeta>> = FxHashMap::default();
+        let mut topical_ids: FxHashSet<u64> = FxHashSet::default();
+        for meta in &state.metas {
+            if meta.possibly_topical {
+                topical_ids.insert(meta.id);
+            }
+            metas.insert(meta.id, Arc::new(meta.clone()));
+        }
+        let mut shards: Vec<ShardGrid> = (0..self.exec.shards)
+            .map(|_| RegionGrid::new(d, self.params.grid_cells))
+            .collect();
+        for (key, ids) in &state.cells {
+            let shard = &mut shards[self.router.shard_of(key)];
+            for id in ids {
+                let meta = &metas[id];
+                shard.insert_at([key.clone()], &meta.region(), *id, meta.aggregate());
+            }
+        }
+        let mut window = SlidingWindow::new(self.params.window);
+        for &(ts, id) in &state.window {
+            window.push(ts, id);
+        }
+        let mut results = ResultSet::new();
+        for &(a, b) in &state.results {
+            results.insert(a, b);
+        }
+        self.shards = shards;
+        self.window = window;
+        self.metas = metas;
+        self.stream_counts = state.stream_counts.clone();
+        self.topical_ids = topical_ids;
+        self.results = results;
+        self.reported = state.reported.iter().copied().collect();
+        self.stats = state.stats;
+        self.timing = PhaseTiming::default();
+        Ok(())
     }
 
     /// Removes the expired tuple from the merge-level maps and returns its
@@ -850,6 +932,73 @@ mod tests {
         let t = e.timing();
         assert_eq!(t.arrivals, 4);
         assert!(t.total().as_nanos() > 0);
+    }
+
+    /// The sharded engine's exported state must be byte-for-byte the
+    /// sequential engine's (same canonical representation, same per-cell
+    /// entry order), and checkpoints must restore across engine kinds.
+    #[test]
+    fn state_is_engine_agnostic() {
+        let (ctx, streams) = scenario();
+        let params = Params {
+            window: 3, // forces an eviction across the 4 arrivals
+            ..Params::default()
+        };
+        let arrivals = streams.arrivals();
+        let mut seq = TerIdsEngine::new(&ctx, params, PruningMode::Full);
+        for a in &arrivals {
+            seq.process(a);
+        }
+        let exec = ExecConfig {
+            shards: 4,
+            threads: 2,
+        };
+        let mut par = ShardedTerIdsEngine::new(&ctx, params, PruningMode::Full, exec);
+        par.step_batch(&arrivals);
+        let state = seq.export_state();
+        assert_eq!(par.export_state(), state, "export representations differ");
+
+        // Sequential checkpoint → sharded engine (different shard count).
+        let mut restored = ShardedTerIdsEngine::new(
+            &ctx,
+            params,
+            PruningMode::Full,
+            ExecConfig {
+                shards: 3,
+                threads: 1,
+            },
+        );
+        restored.import_state(&state).unwrap();
+        assert_eq!(restored.export_state(), state);
+        assert_eq!(restored.live_ids(), seq.live_ids());
+
+        // Sharded checkpoint → sequential engine.
+        let mut back = TerIdsEngine::new(&ctx, params, PruningMode::Full);
+        back.import_state(&par.export_state()).unwrap();
+        assert_eq!(back.export_state(), state);
+    }
+
+    #[test]
+    fn import_rejects_mismatched_window() {
+        let (ctx, streams) = scenario();
+        let exec = ExecConfig {
+            shards: 2,
+            threads: 1,
+        };
+        let mut e = ShardedTerIdsEngine::new(&ctx, Params::default(), PruningMode::Full, exec);
+        e.step_batch(&streams.arrivals());
+        let state = e.export_state();
+        let mut other = ShardedTerIdsEngine::new(
+            &ctx,
+            Params {
+                window: 9,
+                ..Params::default()
+            },
+            PruningMode::Full,
+            exec,
+        );
+        assert!(other.import_state(&state).is_err());
+        assert_eq!(other.window_len(), 0);
     }
 
     #[test]

@@ -24,7 +24,7 @@ pub mod grid;
 pub mod rect;
 
 pub use artree::{ArTree, Entry};
-pub use grid::{Grid, RegionGrid};
+pub use grid::{CellKey, Grid, RegionGrid};
 pub use rect::Rect;
 
 /// A merge-able aggregate summary.

@@ -1,0 +1,191 @@
+//! The frame grammar shared by every `ter_store` file.
+//!
+//! A frame is `[len: u32 LE][crc: u32 LE][payload; len bytes]` with
+//! `crc = CRC-32/IEEE(payload)`. The two readers differ in what they
+//! guarantee:
+//!
+//! * [`read_frame`] — sequential reader for multi-frame files (the WAL).
+//!   Distinguishes a *torn* tail (fewer bytes than the header promises —
+//!   the crash interrupted an append; truncate and continue) from a
+//!   *corrupt* frame (CRC mismatch — truncate to the preceding frame).
+//! * [`decode_single_frame`] — exact-consume reader for one-frame files
+//!   (manifest, checkpoint). Requiring the frame to consume the entire
+//!   buffer closes the length-field loophole: *any* single-byte change to
+//!   such a file is guaranteed to be rejected, because a shrunken length
+//!   leaves trailing bytes, a grown length runs past the buffer, and a
+//!   payload/CRC change is a ≤8-bit burst error that CRC-32 always
+//!   detects.
+
+/// Byte cost of a frame header (`len` + `crc`).
+pub const FRAME_HEADER_LEN: usize = 8;
+
+/// Largest payload a frame may carry (1 GiB) — a sanity bound so corrupt
+/// length fields cannot drive pathological allocations.
+pub const MAX_FRAME_LEN: usize = 1 << 30;
+
+/// Why a frame could not be read.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameError {
+    /// Fewer bytes remain than a complete frame needs — a torn append.
+    Torn,
+    /// The stored CRC does not match the payload.
+    BadCrc,
+    /// The length field exceeds [`MAX_FRAME_LEN`].
+    Oversized,
+    /// A single-frame file had bytes after its frame.
+    TrailingBytes,
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Torn => write!(f, "torn frame (truncated tail)"),
+            FrameError::BadCrc => write!(f, "frame CRC mismatch"),
+            FrameError::Oversized => write!(f, "frame length exceeds the sanity bound"),
+            FrameError::TrailingBytes => write!(f, "trailing bytes after a single-frame file"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+const fn crc_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+static CRC_TABLE: [u32; 256] = crc_table();
+
+/// CRC-32/IEEE (the zlib/PNG polynomial) of `data`.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut c = !0u32;
+    for &b in data {
+        c = CRC_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    !c
+}
+
+/// Appends one frame wrapping `payload` to `out`.
+///
+/// # Panics
+/// Panics if `payload` exceeds [`MAX_FRAME_LEN`] (a writer bug, not an
+/// input condition).
+pub fn write_frame(out: &mut Vec<u8>, payload: &[u8]) {
+    assert!(payload.len() <= MAX_FRAME_LEN, "frame payload too large");
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&crc32(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+}
+
+/// Reads the frame starting at `*pos`, advancing `*pos` past it on
+/// success. Never panics on malformed input.
+pub fn read_frame<'a>(buf: &'a [u8], pos: &mut usize) -> Result<&'a [u8], FrameError> {
+    let rest = &buf[(*pos).min(buf.len())..];
+    if rest.len() < FRAME_HEADER_LEN {
+        return Err(FrameError::Torn);
+    }
+    let len = u32::from_le_bytes(rest[0..4].try_into().unwrap()) as usize;
+    if len > MAX_FRAME_LEN {
+        return Err(FrameError::Oversized);
+    }
+    let crc = u32::from_le_bytes(rest[4..8].try_into().unwrap());
+    if rest.len() - FRAME_HEADER_LEN < len {
+        return Err(FrameError::Torn);
+    }
+    let payload = &rest[FRAME_HEADER_LEN..FRAME_HEADER_LEN + len];
+    if crc32(payload) != crc {
+        return Err(FrameError::BadCrc);
+    }
+    *pos += FRAME_HEADER_LEN + len;
+    Ok(payload)
+}
+
+/// Reads a buffer that must contain exactly one frame (see module docs
+/// for the rejection guarantee this buys).
+pub fn decode_single_frame(buf: &[u8]) -> Result<&[u8], FrameError> {
+    let mut pos = 0;
+    let payload = read_frame(buf, &mut pos)?;
+    if pos != buf.len() {
+        return Err(FrameError::TrailingBytes);
+    }
+    Ok(payload)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_check_value() {
+        // The CRC-32/IEEE reference check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn frame_round_trip() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello");
+        write_frame(&mut buf, b"");
+        write_frame(&mut buf, b"world!");
+        let mut pos = 0;
+        assert_eq!(read_frame(&buf, &mut pos).unwrap(), b"hello");
+        assert_eq!(read_frame(&buf, &mut pos).unwrap(), b"");
+        assert_eq!(read_frame(&buf, &mut pos).unwrap(), b"world!");
+        assert_eq!(pos, buf.len());
+        assert_eq!(read_frame(&buf, &mut pos), Err(FrameError::Torn));
+    }
+
+    #[test]
+    fn torn_tail_detected_at_every_cut() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"payload bytes");
+        for cut in 0..buf.len() {
+            let mut pos = 0;
+            assert_eq!(
+                read_frame(&buf[..cut], &mut pos),
+                Err(FrameError::Torn),
+                "cut at {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn every_single_byte_mutation_is_rejected() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"some payload worth protecting");
+        for i in 0..buf.len() {
+            for flip in [0x01u8, 0x80, 0xFF] {
+                let mut bad = buf.clone();
+                bad[i] ^= flip;
+                assert!(
+                    decode_single_frame(&bad).is_err(),
+                    "mutation {flip:#x} at byte {i} accepted"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn oversized_length_rejected_without_allocation() {
+        let mut buf = vec![0xFF, 0xFF, 0xFF, 0xFF]; // len = u32::MAX
+        buf.extend_from_slice(&[0; 12]);
+        let mut pos = 0;
+        assert_eq!(read_frame(&buf, &mut pos), Err(FrameError::Oversized));
+    }
+}

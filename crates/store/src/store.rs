@@ -1,0 +1,501 @@
+//! The durable store: one directory tying WAL, checkpoints, and manifest
+//! together, plus the recovery path.
+//!
+//! ```text
+//! <dir>/
+//!   wal.log                  append-only arrival batches (crate::wal)
+//!   ckpt-<seq>.bin           EngineState snapshots (crate::checkpoint)
+//!   MANIFEST                 newest durable (checkpoint, WAL seq) pair
+//! ```
+//!
+//! Write protocol per arrival batch: `log_batch` (append + fsync) →
+//! `step_batch` on the engine. Periodically: `checkpoint(engine state)`,
+//! which writes `ckpt-<seq>.bin` atomically, flips the manifest to it,
+//! and then deletes older checkpoints (in that order — the old pair
+//! stays recoverable until the new one is durable).
+//!
+//! Recovery ([`TerStore::recover`]) never panics and degrades gracefully:
+//!
+//! 1. manifest valid + named checkpoint valid → restore its state, replay
+//!    the WAL suffix `wal_seq..`;
+//! 2. checkpoint newer than the (truncated) WAL → the checkpoint alone is
+//!    the newest consistent state, empty suffix;
+//! 3. manifest missing/corrupt or checkpoint damaged → fall back to any
+//!    other on-disk checkpoint (newest first), else the empty state plus
+//!    a full WAL replay.
+
+use std::fs;
+use std::hash::Hasher;
+use std::path::{Path, PathBuf};
+
+use ter_ids::{EngineState, ErProcessor, Params, TerContext};
+use ter_stream::Arrival;
+use ter_text::fxhash::FxHasher;
+use ter_text::Token;
+
+use crate::checkpoint::{checkpoint_file_name, Checkpoint, Manifest};
+use crate::wal::Wal;
+use crate::StoreError;
+
+/// File name of the WAL inside a store directory.
+pub const WAL_FILE: &str = "wal.log";
+/// File name of the manifest inside a store directory.
+pub const MANIFEST_FILE: &str = "MANIFEST";
+
+/// Identity of the (context, params) a store's bytes belong to. Token ids
+/// are dictionary-relative, so state is only meaningful against the same
+/// deterministic offline pre-computation; and WAL replay is only
+/// bit-identical under the same engine parameters (a changed imputation
+/// cap, say, would impute the replayed suffix differently than the
+/// checkpointed prefix). The fingerprint covers *every* [`Params`] field
+/// plus the context identity, turning a silent mix-up into a refused
+/// open / ignored checkpoint.
+pub fn context_fingerprint(ctx: &TerContext, params: &Params) -> u64 {
+    let mut h = FxHasher::default();
+    h.write_u64(ctx.arity() as u64);
+    h.write_u64(params.window as u64);
+    h.write_u64(params.grid_cells as u64);
+    h.write_u64(params.alpha.to_bits());
+    h.write_u64(params.rho.to_bits());
+    h.write_u64(params.fanout as u64);
+    h.write_u64(params.impute.max_candidates_per_attr as u64);
+    h.write_u64(params.donors as u64);
+    h.write_u64(ctx.repo.len() as u64);
+    for &Token(t) in ctx.keywords.tokens().tokens() {
+        h.write_u32(t);
+    }
+    h.finish()
+}
+
+/// What [`TerStore::recover`] reconstructed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Recovery {
+    /// The newest consistent checkpoint state, if any survived.
+    pub state: Option<EngineState>,
+    /// WAL batches already folded into `state` (0 without a checkpoint).
+    pub checkpoint_seq: u64,
+    /// WAL batches after the checkpoint, in sequence order — replay these
+    /// through `step_batch` to reach the newest consistent stream position.
+    pub suffix: Vec<Vec<Arrival>>,
+}
+
+impl Recovery {
+    /// The stream position (in committed batches) recovery reaches once
+    /// the suffix is replayed.
+    pub fn resume_seq(&self) -> u64 {
+        self.checkpoint_seq + self.suffix.len() as u64
+    }
+
+    /// Replays the WAL suffix through an engine that already imported the
+    /// checkpoint state (or started fresh when there was none). Returns
+    /// the number of replayed arrivals.
+    pub fn replay_into(&self, engine: &mut impl ErProcessor) -> usize {
+        let mut replayed = 0;
+        for batch in &self.suffix {
+            engine.step_batch(batch);
+            replayed += batch.len();
+        }
+        replayed
+    }
+}
+
+/// The open store. See the [module docs](self).
+#[derive(Debug)]
+pub struct TerStore {
+    dir: PathBuf,
+    wal: Wal,
+    fingerprint: u64,
+}
+
+impl TerStore {
+    /// Opens (creating if needed) the store in `dir` for the engine
+    /// identity `fingerprint` (see [`context_fingerprint`]). Scans and
+    /// truncates the WAL's torn tail; if the (possibly reset) log ends
+    /// before a valid durable checkpoint, the log's stale frames are
+    /// dropped and its sequence base moved to the checkpoint, so batch
+    /// numbering — and with it every later checkpoint and resume
+    /// position — keeps counting the logical stream instead of restarting
+    /// at 0.
+    pub fn open(dir: impl Into<PathBuf>, fingerprint: u64) -> Result<Self, StoreError> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        let mut wal = Wal::open(dir.join(WAL_FILE), fingerprint)?;
+        if let Ok(m) = Manifest::load(&dir.join(MANIFEST_FILE), fingerprint) {
+            if m.wal_seq > wal.next_seq()
+                && Checkpoint::load(&dir.join(&m.checkpoint), fingerprint).is_ok()
+            {
+                wal.reset_to(m.wal_seq)?;
+            }
+        }
+        Ok(Self {
+            dir,
+            wal,
+            fingerprint,
+        })
+    }
+
+    /// The store directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Committed WAL batches so far.
+    pub fn wal_seq(&self) -> u64 {
+        self.wal.next_seq()
+    }
+
+    /// Committed WAL size in bytes.
+    pub fn wal_len_bytes(&self) -> u64 {
+        self.wal.len_bytes()
+    }
+
+    /// Durably appends one arrival batch (fsync-on-commit) and returns
+    /// its sequence number. Call *before* feeding the batch to the engine
+    /// — write-ahead means the log is never behind the state.
+    pub fn log_batch(&mut self, batch: &[Arrival]) -> Result<u64, StoreError> {
+        self.wal.append(batch)
+    }
+
+    /// Atomically installs `state` as the checkpoint at the current WAL
+    /// position, flips the manifest, and prunes older checkpoints.
+    /// Returns the checkpoint's byte size.
+    pub fn checkpoint(&mut self, state: &EngineState) -> Result<u64, StoreError> {
+        let wal_seq = self.wal.next_seq();
+        let name = checkpoint_file_name(wal_seq);
+        let bytes = Checkpoint {
+            fingerprint: self.fingerprint,
+            wal_seq,
+            state: state.clone(),
+        }
+        .write(&self.dir.join(&name))?;
+        Manifest {
+            fingerprint: self.fingerprint,
+            wal_seq,
+            checkpoint: name.clone(),
+        }
+        .write(&self.dir.join(MANIFEST_FILE))?;
+        // Only after the manifest durably points at the new checkpoint is
+        // it safe to drop older ones.
+        for old in self.checkpoint_files()? {
+            if old != name {
+                let _ = fs::remove_file(self.dir.join(old));
+            }
+        }
+        Ok(bytes)
+    }
+
+    /// `ckpt-*.bin` files present in the directory, newest (highest seq)
+    /// first.
+    fn checkpoint_files(&self) -> Result<Vec<String>, StoreError> {
+        let mut names: Vec<String> = fs::read_dir(&self.dir)?
+            .filter_map(|e| e.ok())
+            .filter_map(|e| e.file_name().into_string().ok())
+            .filter(|n| n.starts_with("ckpt-") && n.ends_with(".bin"))
+            .collect();
+        names.sort();
+        names.reverse();
+        Ok(names)
+    }
+
+    /// Reconstructs the newest consistent (state, WAL suffix) pair. Never
+    /// panics: damaged manifests or checkpoints degrade to older
+    /// checkpoints and ultimately to a full WAL replay from the empty
+    /// state (see the [module docs](self) for the ladder).
+    pub fn recover(&self) -> Result<Recovery, StoreError> {
+        // Candidate checkpoints: the manifest's first, then any others on
+        // disk, newest first.
+        let mut candidates: Vec<String> = Vec::new();
+        if let Ok(m) = Manifest::load(&self.dir.join(MANIFEST_FILE), self.fingerprint) {
+            candidates.push(m.checkpoint);
+        }
+        for name in self.checkpoint_files()? {
+            if !candidates.contains(&name) {
+                candidates.push(name);
+            }
+        }
+        let mut state = None;
+        let mut checkpoint_seq = 0;
+        for name in candidates {
+            if let Ok(ck) = Checkpoint::load(&self.dir.join(&name), self.fingerprint) {
+                state = Some(ck.state);
+                checkpoint_seq = ck.wal_seq;
+                break;
+            }
+        }
+        // The log covers `[base_seq, next_seq)`. A newest-consistent
+        // checkpoint older than the base means the store lost both the
+        // checkpoint the base was advanced for *and* the frames that led
+        // up to it — there is no consistent way to bridge the gap, and
+        // pretending otherwise would silently skip batches. Refuse.
+        if checkpoint_seq < self.wal.base_seq() {
+            return Err(StoreError::Mismatch(format!(
+                "newest consistent checkpoint is at batch {checkpoint_seq} but the WAL \
+                 starts at {} — state beneath the log base was lost",
+                self.wal.base_seq()
+            )));
+        }
+        // A checkpoint "newer than the WAL" (the log was truncated by tail
+        // corruption) simply has nothing to replay — the checkpoint alone
+        // is the newest consistent state.
+        let suffix = if checkpoint_seq >= self.wal.next_seq() {
+            Vec::new()
+        } else {
+            self.wal
+                .read_batches(checkpoint_seq)?
+                .into_iter()
+                .map(|(_, b)| b)
+                .collect()
+        };
+        Ok(Recovery {
+            state,
+            checkpoint_seq,
+            suffix,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ter_repo::{Record, Schema};
+    use ter_text::Dictionary;
+
+    struct TempDir(PathBuf);
+    impl TempDir {
+        fn new(tag: &str) -> Self {
+            let p =
+                std::env::temp_dir().join(format!("ter_store_dir_{}_{tag}", std::process::id()));
+            let _ = fs::remove_dir_all(&p);
+            fs::create_dir_all(&p).unwrap();
+            Self(p)
+        }
+        fn path(&self) -> &Path {
+            &self.0
+        }
+    }
+    impl Drop for TempDir {
+        fn drop(&mut self) {
+            let _ = fs::remove_dir_all(&self.0);
+        }
+    }
+
+    fn batch(n: usize, start: u64) -> Vec<Arrival> {
+        let schema = Schema::new(vec!["a"]);
+        let mut dict = Dictionary::new();
+        (0..n)
+            .map(|i| {
+                let id = start + i as u64;
+                Arrival {
+                    stream_id: 0,
+                    timestamp: id,
+                    record: Record::from_texts(&schema, id, &[Some("w")], &mut dict),
+                }
+            })
+            .collect()
+    }
+
+    fn state_at(seq: u64) -> EngineState {
+        EngineState {
+            window_capacity: 8,
+            stats: ter_ids::PruneStats {
+                total_pairs: seq,
+                ..Default::default()
+            },
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn full_cycle_checkpoint_plus_suffix() {
+        let dir = TempDir::new("cycle");
+        let (b0, b1, b2) = (batch(2, 0), batch(2, 10), batch(2, 20));
+        {
+            let mut store = TerStore::open(dir.path(), 1).unwrap();
+            store.log_batch(&b0).unwrap();
+            store.log_batch(&b1).unwrap();
+            store.checkpoint(&state_at(2)).unwrap();
+            store.log_batch(&b2).unwrap();
+        }
+        let store = TerStore::open(dir.path(), 1).unwrap();
+        let rec = store.recover().unwrap();
+        assert_eq!(rec.state, Some(state_at(2)));
+        assert_eq!(rec.checkpoint_seq, 2);
+        assert_eq!(rec.suffix, vec![b2]);
+        assert_eq!(rec.resume_seq(), 3);
+    }
+
+    #[test]
+    fn no_manifest_replays_everything() {
+        let dir = TempDir::new("nomani");
+        let (b0, b1) = (batch(1, 0), batch(1, 10));
+        {
+            let mut store = TerStore::open(dir.path(), 1).unwrap();
+            store.log_batch(&b0).unwrap();
+            store.log_batch(&b1).unwrap();
+        }
+        let store = TerStore::open(dir.path(), 1).unwrap();
+        let rec = store.recover().unwrap();
+        assert_eq!(rec.state, None);
+        assert_eq!(rec.checkpoint_seq, 0);
+        assert_eq!(rec.suffix, vec![b0, b1]);
+    }
+
+    #[test]
+    fn empty_manifest_falls_back_to_on_disk_checkpoint() {
+        let dir = TempDir::new("emptymani");
+        let b0 = batch(1, 0);
+        {
+            let mut store = TerStore::open(dir.path(), 1).unwrap();
+            store.log_batch(&b0).unwrap();
+            store.checkpoint(&state_at(1)).unwrap();
+        }
+        fs::write(dir.path().join(MANIFEST_FILE), b"").unwrap();
+        let store = TerStore::open(dir.path(), 1).unwrap();
+        let rec = store.recover().unwrap();
+        // The checkpoint file itself is still discovered and used.
+        assert_eq!(rec.state, Some(state_at(1)));
+        assert_eq!(rec.checkpoint_seq, 1);
+        assert!(rec.suffix.is_empty());
+    }
+
+    #[test]
+    fn corrupt_checkpoint_degrades_to_full_replay() {
+        let dir = TempDir::new("badckpt");
+        let b0 = batch(1, 0);
+        {
+            let mut store = TerStore::open(dir.path(), 1).unwrap();
+            store.log_batch(&b0).unwrap();
+            store.checkpoint(&state_at(1)).unwrap();
+        }
+        let name = checkpoint_file_name(1);
+        let mut bytes = fs::read(dir.path().join(&name)).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        fs::write(dir.path().join(&name), &bytes).unwrap();
+        let store = TerStore::open(dir.path(), 1).unwrap();
+        let rec = store.recover().unwrap();
+        assert_eq!(rec.state, None);
+        assert_eq!(rec.checkpoint_seq, 0);
+        assert_eq!(rec.suffix, vec![b0]);
+    }
+
+    #[test]
+    fn checkpoint_newer_than_wal_stands_alone() {
+        let dir = TempDir::new("newer");
+        {
+            let mut store = TerStore::open(dir.path(), 1).unwrap();
+            store.log_batch(&batch(1, 0)).unwrap();
+            store.log_batch(&batch(1, 10)).unwrap();
+            store.checkpoint(&state_at(2)).unwrap();
+        }
+        // Lose the whole WAL (e.g. tail corruption truncated it to zero).
+        fs::remove_file(dir.path().join(WAL_FILE)).unwrap();
+        let store = TerStore::open(dir.path(), 1).unwrap();
+        // The fresh log is re-based at the durable checkpoint, so the
+        // logical stream position survives the loss.
+        assert_eq!(store.wal_seq(), 2);
+        let rec = store.recover().unwrap();
+        assert_eq!(rec.state, Some(state_at(2)));
+        assert_eq!(rec.checkpoint_seq, 2);
+        assert!(rec.suffix.is_empty(), "no suffix can exist past the WAL");
+        assert_eq!(rec.resume_seq(), 2);
+    }
+
+    /// Sequence numbering must keep counting the logical stream across a
+    /// WAL loss: post-recovery appends and checkpoints continue at the
+    /// checkpoint's offset instead of restarting at 0 (which would make
+    /// `resume_seq` under-count and double-feed the stream).
+    #[test]
+    fn seq_numbering_survives_wal_reset() {
+        let dir = TempDir::new("rebase");
+        {
+            let mut store = TerStore::open(dir.path(), 1).unwrap();
+            store.log_batch(&batch(1, 0)).unwrap();
+            store.log_batch(&batch(1, 10)).unwrap();
+            store.checkpoint(&state_at(2)).unwrap();
+        }
+        // Garbage-corrupt the WAL header: open resets it, then re-bases.
+        fs::write(dir.path().join(WAL_FILE), b"garbage").unwrap();
+        let mut store = TerStore::open(dir.path(), 1).unwrap();
+        assert_eq!(store.wal_seq(), 2);
+        let (b2, b3) = (batch(1, 20), batch(1, 30));
+        assert_eq!(store.log_batch(&b2).unwrap(), 2);
+        store.checkpoint(&state_at(3)).unwrap();
+        assert_eq!(store.log_batch(&b3).unwrap(), 3);
+        drop(store);
+
+        let store = TerStore::open(dir.path(), 1).unwrap();
+        let rec = store.recover().unwrap();
+        assert_eq!(rec.state, Some(state_at(3)));
+        assert_eq!(rec.checkpoint_seq, 3);
+        assert_eq!(rec.suffix, vec![b3]);
+        assert_eq!(rec.resume_seq(), 4);
+    }
+
+    /// If the checkpoint the WAL was re-based on is later destroyed, no
+    /// consistent state covers the gap below the log base — recovery must
+    /// refuse (an error, never a panic, and never a silent skip).
+    #[test]
+    fn unbridgeable_gap_is_refused() {
+        let dir = TempDir::new("gap");
+        {
+            let mut store = TerStore::open(dir.path(), 1).unwrap();
+            store.log_batch(&batch(1, 0)).unwrap();
+            store.log_batch(&batch(1, 10)).unwrap();
+            store.checkpoint(&state_at(2)).unwrap();
+        }
+        fs::remove_file(dir.path().join(WAL_FILE)).unwrap();
+        // Re-bases the WAL at 2 (checkpoint still valid at this point).
+        drop(TerStore::open(dir.path(), 1).unwrap());
+        // Now the checkpoint is destroyed too.
+        fs::remove_file(dir.path().join(checkpoint_file_name(2))).unwrap();
+        let store = TerStore::open(dir.path(), 1).unwrap();
+        assert!(matches!(store.recover(), Err(StoreError::Mismatch(_))));
+    }
+
+    #[test]
+    fn older_checkpoints_are_pruned_only_after_manifest_flip() {
+        let dir = TempDir::new("prune");
+        let mut store = TerStore::open(dir.path(), 1).unwrap();
+        store.log_batch(&batch(1, 0)).unwrap();
+        store.checkpoint(&state_at(1)).unwrap();
+        store.log_batch(&batch(1, 10)).unwrap();
+        store.checkpoint(&state_at(2)).unwrap();
+        let files = store.checkpoint_files().unwrap();
+        assert_eq!(files, vec![checkpoint_file_name(2)]);
+        let rec = store.recover().unwrap();
+        assert_eq!(rec.state, Some(state_at(2)));
+    }
+
+    #[test]
+    fn fingerprint_mismatch_refused_at_open() {
+        let dir = TempDir::new("fpmis");
+        {
+            let mut store = TerStore::open(dir.path(), 1).unwrap();
+            store.log_batch(&batch(1, 0)).unwrap();
+        }
+        assert!(matches!(
+            TerStore::open(dir.path(), 2),
+            Err(StoreError::Mismatch(_))
+        ));
+    }
+
+    #[test]
+    fn foreign_fingerprint_checkpoint_is_ignored() {
+        let dir = TempDir::new("fpckpt");
+        let b0 = batch(1, 0);
+        {
+            let mut store = TerStore::open(dir.path(), 1).unwrap();
+            store.log_batch(&b0).unwrap();
+            store.checkpoint(&state_at(1)).unwrap();
+        }
+        // Same directory opened under another identity: WAL refuses.
+        assert!(TerStore::open(dir.path(), 9).is_err());
+        // Fabricate a store whose WAL matches but whose checkpoint does
+        // not (as if the manifest survived a context change).
+        fs::remove_file(dir.path().join(WAL_FILE)).unwrap();
+        let store = TerStore::open(dir.path(), 9).unwrap();
+        let rec = store.recover().unwrap();
+        assert_eq!(rec.state, None, "foreign checkpoint must not load");
+    }
+}

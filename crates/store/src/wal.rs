@@ -1,0 +1,394 @@
+//! The append-only write-ahead log of arrival batches.
+//!
+//! File layout (`wal.log`):
+//!
+//! ```text
+//! [magic "TERWAL01"; 8 bytes][fingerprint: u64 LE][base_seq: u64 LE][frame]*
+//! ```
+//!
+//! Each frame's payload is `[seq: u64][Vec<Arrival>]` where `seq` starts
+//! at the header's `base_seq` and must increase by exactly 1 per frame —
+//! the WAL is a dense run `[base_seq, next_seq)` of the arrival-batch
+//! sequence. `base_seq` is 0 for a fresh log; it moves forward only when
+//! the store resets a lost/stale log underneath a newer durable
+//! checkpoint ([`Wal::reset_to`]), so sequence numbers — and with them
+//! checkpoint offsets and the resume position — stay monotonic across
+//! resets instead of silently restarting at 0. Appends are buffered
+//! nowhere: [`Wal::append`] writes the frame and `fsync`s before
+//! returning (fsync-on-commit), so a batch handed to the engine is
+//! already durable.
+//!
+//! [`Wal::open`] scans the existing file and **truncates to the newest
+//! consistent prefix**: a torn tail (crash mid-append), a CRC-corrupt
+//! frame, an undecodable payload, or a sequence gap each cut the file at
+//! the last frame that was fully valid. A file with a damaged header is
+//! reset to empty. None of these paths panic — corruption degrades to
+//! replaying less, never to refusing service.
+
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::PathBuf;
+
+use ter_stream::Arrival;
+
+use crate::codec::{decode_exact, Codec, Encoder};
+use crate::frame::{read_frame, write_frame};
+use crate::StoreError;
+
+/// Magic prefix of a WAL file (embeds the format version).
+pub const WAL_MAGIC: &[u8; 8] = b"TERWAL01";
+
+const HEADER_LEN: u64 = 24;
+
+/// One recovered WAL record.
+#[derive(Debug, Clone, PartialEq)]
+struct BatchRecord {
+    seq: u64,
+    arrivals: Vec<Arrival>,
+}
+
+impl Codec for BatchRecord {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.u64(self.seq);
+        self.arrivals.encode(enc);
+    }
+    fn decode(dec: &mut crate::codec::Decoder<'_>) -> Result<Self, crate::codec::CodecError> {
+        Ok(BatchRecord {
+            seq: dec.u64()?,
+            arrivals: Vec::decode(dec)?,
+        })
+    }
+}
+
+/// The open write-ahead log. See the [module docs](self).
+#[derive(Debug)]
+pub struct Wal {
+    file: File,
+    path: PathBuf,
+    fingerprint: u64,
+    /// First sequence number the log covers (0 unless reset forward).
+    base_seq: u64,
+    /// Sequence number the next appended batch will get.
+    next_seq: u64,
+    /// Committed byte length of the file.
+    tail: u64,
+}
+
+impl Wal {
+    /// Opens (creating if absent) the WAL at `path`, validating the
+    /// existing content and truncating any inconsistent tail.
+    ///
+    /// `fingerprint` identifies the (context, params) the log belongs to;
+    /// an existing WAL with a *valid* header but a different fingerprint
+    /// is refused (feeding another context's token ids into an engine
+    /// would silently corrupt results — that is an operator error, not
+    /// recoverable corruption).
+    pub fn open(path: impl Into<PathBuf>, fingerprint: u64) -> Result<Self, StoreError> {
+        let path = path.into();
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(&path)?;
+        let mut bytes = Vec::new();
+        file.read_to_end(&mut bytes)?;
+
+        let header_ok = bytes.len() >= HEADER_LEN as usize && &bytes[..8] == WAL_MAGIC;
+        if !header_ok {
+            // Unrecognizable header: the newest consistent prefix is
+            // empty. Reset rather than refuse. (The store layer moves the
+            // base forward afterwards if a newer checkpoint exists, so
+            // sequence numbers never run backwards.)
+            let mut wal = Self {
+                file,
+                path,
+                fingerprint,
+                base_seq: 0,
+                next_seq: 0,
+                tail: HEADER_LEN,
+            };
+            wal.write_header(0)?;
+            return Ok(wal);
+        }
+        let found = u64::from_le_bytes(bytes[8..16].try_into().unwrap());
+        if found != fingerprint {
+            return Err(StoreError::Mismatch(format!(
+                "WAL fingerprint {found:#x} != expected {fingerprint:#x}"
+            )));
+        }
+        let base_seq = u64::from_le_bytes(bytes[16..24].try_into().unwrap());
+
+        // Scan frames; stop at the first inconsistency.
+        let mut pos = HEADER_LEN as usize;
+        let mut next_seq = base_seq;
+        loop {
+            let mut probe = pos;
+            match read_frame(&bytes, &mut probe) {
+                Ok(payload) => match decode_exact::<BatchRecord>(payload) {
+                    Ok(rec) if rec.seq == next_seq => {
+                        next_seq += 1;
+                        pos = probe;
+                    }
+                    _ => break, // wrong seq or undecodable — cut here
+                },
+                // Clean EOF is indistinguishable from a torn tail here and
+                // needs no distinction: both cut at the last valid frame
+                // (for a clean EOF that is already the end of the file).
+                Err(_) => break,
+            }
+        }
+        if pos as u64 != bytes.len() as u64 {
+            file.set_len(pos as u64)?;
+            file.sync_data()?;
+        }
+        file.seek(SeekFrom::Start(pos as u64))?;
+        Ok(Self {
+            file,
+            path,
+            fingerprint,
+            base_seq,
+            next_seq,
+            tail: pos as u64,
+        })
+    }
+
+    /// Rewrites the 24-byte header (truncating the file) so the empty log
+    /// covers `[base, base)`.
+    fn write_header(&mut self, base: u64) -> Result<(), StoreError> {
+        self.file.set_len(0)?;
+        self.file.seek(SeekFrom::Start(0))?;
+        self.file.write_all(WAL_MAGIC)?;
+        self.file.write_all(&self.fingerprint.to_le_bytes())?;
+        self.file.write_all(&base.to_le_bytes())?;
+        self.file.sync_data()?;
+        self.base_seq = base;
+        self.next_seq = base;
+        self.tail = HEADER_LEN;
+        Ok(())
+    }
+
+    /// Empties the log and moves its sequence base to `base` — used by the
+    /// store when the log fell behind a newer durable checkpoint (lost
+    /// file, corrupt header, truncated tail): the stale frames are covered
+    /// by the checkpoint, and keeping the sequence monotonic means later
+    /// checkpoints and `resume_seq` keep counting the logical stream
+    /// position instead of restarting at 0.
+    pub fn reset_to(&mut self, base: u64) -> Result<(), StoreError> {
+        self.write_header(base)
+    }
+
+    /// First sequence number the log covers.
+    pub fn base_seq(&self) -> u64 {
+        self.base_seq
+    }
+
+    /// The next appended batch's sequence number (== the logical stream
+    /// position in committed batches).
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Committed size in bytes.
+    pub fn len_bytes(&self) -> u64 {
+        self.tail
+    }
+
+    /// Appends one arrival batch and `fsync`s (fsync-on-commit). Returns
+    /// the batch's sequence number.
+    pub fn append(&mut self, arrivals: &[Arrival]) -> Result<u64, StoreError> {
+        let seq = self.next_seq;
+        // Mirrors `BatchRecord::encode` without cloning the batch into a
+        // throwaway record — this is the per-commit ingest path.
+        let mut enc = Encoder::new();
+        enc.u64(seq);
+        enc.usize(arrivals.len());
+        for a in arrivals {
+            a.encode(&mut enc);
+        }
+        let mut framed = Vec::new();
+        write_frame(&mut framed, &enc.into_bytes());
+        self.file.seek(SeekFrom::Start(self.tail))?;
+        self.file.write_all(&framed)?;
+        self.file.sync_data()?;
+        self.tail += framed.len() as u64;
+        self.next_seq += 1;
+        Ok(seq)
+    }
+
+    /// Re-reads the committed batches with sequence `>= from_seq`, in
+    /// order. The committed region was validated at open and every append
+    /// since went through the encoder, so errors here indicate the file
+    /// changed underneath us — reported, never panicked.
+    pub fn read_batches(&self, from_seq: u64) -> Result<Vec<(u64, Vec<Arrival>)>, StoreError> {
+        let mut file = File::open(&self.path)?;
+        let mut bytes = Vec::new();
+        file.read_to_end(&mut bytes)?;
+        bytes.truncate(self.tail as usize);
+        if bytes.len() < HEADER_LEN as usize || &bytes[..8] != WAL_MAGIC {
+            return Err(StoreError::Mismatch("WAL header vanished".into()));
+        }
+        let mut pos = HEADER_LEN as usize;
+        let mut out = Vec::new();
+        let mut expect = self.base_seq;
+        while pos < bytes.len() {
+            let payload = read_frame(&bytes, &mut pos).map_err(StoreError::Frame)?;
+            let rec: BatchRecord = decode_exact(payload)?;
+            if rec.seq != expect {
+                return Err(StoreError::Mismatch(format!(
+                    "WAL sequence jumped to {} (expected {expect})",
+                    rec.seq
+                )));
+            }
+            expect += 1;
+            if rec.seq >= from_seq {
+                out.push((rec.seq, rec.arrivals));
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::fs;
+    use ter_repo::{Record, Schema};
+    use ter_text::Dictionary;
+
+    fn temp_path(tag: &str) -> PathBuf {
+        let p =
+            std::env::temp_dir().join(format!("ter_store_wal_{}_{tag}.log", std::process::id()));
+        let _ = fs::remove_file(&p);
+        p
+    }
+
+    fn arrivals(n: usize, start: u64) -> Vec<Arrival> {
+        let schema = Schema::new(vec!["a", "b"]);
+        let mut dict = Dictionary::new();
+        (0..n)
+            .map(|i| {
+                let id = start + i as u64;
+                let text = format!("tok{id} common");
+                Arrival {
+                    stream_id: i % 2,
+                    timestamp: id,
+                    record: Record::from_texts(
+                        &schema,
+                        id,
+                        &[
+                            Some(text.as_str()),
+                            if i % 3 == 0 { None } else { Some("x") },
+                        ],
+                        &mut dict,
+                    ),
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn append_reopen_replay() {
+        let path = temp_path("replay");
+        let b0 = arrivals(3, 0);
+        let b1 = arrivals(2, 10);
+        {
+            let mut wal = Wal::open(&path, 42).unwrap();
+            assert_eq!(wal.append(&b0).unwrap(), 0);
+            assert_eq!(wal.append(&b1).unwrap(), 1);
+        }
+        let wal = Wal::open(&path, 42).unwrap();
+        assert_eq!(wal.next_seq(), 2);
+        let all = wal.read_batches(0).unwrap();
+        assert_eq!(all, vec![(0, b0), (1, b1.clone())]);
+        let suffix = wal.read_batches(1).unwrap();
+        assert_eq!(suffix, vec![(1, b1)]);
+        assert!(wal.read_batches(2).unwrap().is_empty());
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn torn_tail_truncated_at_every_cut() {
+        let path = temp_path("torn");
+        let b0 = arrivals(2, 0);
+        let b1 = arrivals(2, 10);
+        let (full, after_first): (Vec<u8>, u64) = {
+            let mut wal = Wal::open(&path, 7).unwrap();
+            wal.append(&b0).unwrap();
+            let after_first = wal.len_bytes();
+            wal.append(&b1).unwrap();
+            (fs::read(&path).unwrap(), after_first)
+        };
+        // Cut the file at every byte boundary inside the second frame: the
+        // reopened WAL must come back with exactly the first batch.
+        for cut in after_first..full.len() as u64 {
+            fs::write(&path, &full[..cut as usize]).unwrap();
+            let wal = Wal::open(&path, 7).unwrap();
+            assert_eq!(wal.next_seq(), 1, "cut at {cut}");
+            assert_eq!(wal.len_bytes(), after_first, "cut at {cut}");
+            assert_eq!(wal.read_batches(0).unwrap(), vec![(0, b0.clone())]);
+        }
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn corrupt_frame_truncates_to_prefix() {
+        let path = temp_path("crc");
+        let b0 = arrivals(2, 0);
+        let b1 = arrivals(2, 10);
+        let after_first = {
+            let mut wal = Wal::open(&path, 7).unwrap();
+            wal.append(&b0).unwrap();
+            let a = wal.len_bytes();
+            wal.append(&b1).unwrap();
+            a
+        };
+        let mut bytes = fs::read(&path).unwrap();
+        // Flip one payload byte inside the second frame.
+        let idx = after_first as usize + 12;
+        bytes[idx] ^= 0xFF;
+        fs::write(&path, &bytes).unwrap();
+        let wal = Wal::open(&path, 7).unwrap();
+        assert_eq!(wal.next_seq(), 1);
+        assert_eq!(wal.read_batches(0).unwrap(), vec![(0, b0)]);
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn garbage_header_resets_to_empty() {
+        let path = temp_path("garbage");
+        fs::write(&path, b"not a wal at all").unwrap();
+        let wal = Wal::open(&path, 7).unwrap();
+        assert_eq!(wal.next_seq(), 0);
+        assert!(wal.read_batches(0).unwrap().is_empty());
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn fingerprint_mismatch_is_refused() {
+        let path = temp_path("fp");
+        {
+            let mut wal = Wal::open(&path, 1).unwrap();
+            wal.append(&arrivals(1, 0)).unwrap();
+        }
+        assert!(matches!(Wal::open(&path, 2), Err(StoreError::Mismatch(_))));
+        // The refused open must not have damaged the file.
+        let wal = Wal::open(&path, 1).unwrap();
+        assert_eq!(wal.next_seq(), 1);
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn empty_batch_is_legal() {
+        let path = temp_path("empty");
+        {
+            let mut wal = Wal::open(&path, 1).unwrap();
+            wal.append(&[]).unwrap();
+            wal.append(&arrivals(1, 0)).unwrap();
+        }
+        let wal = Wal::open(&path, 1).unwrap();
+        assert_eq!(wal.next_seq(), 2);
+        assert_eq!(wal.read_batches(0).unwrap()[0].1, vec![]);
+        let _ = fs::remove_file(&path);
+    }
+}

@@ -21,7 +21,7 @@ pub use window::{SlidingWindow, TimeWindow};
 use ter_repo::Record;
 
 /// A tuple tagged with its source stream and arrival timestamp.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Arrival {
     /// Which of the `n` streams produced the tuple.
     pub stream_id: usize,
@@ -102,6 +102,59 @@ impl StreamSet {
             .map(<[Arrival]>::to_vec)
             .collect()
     }
+
+    /// Opens a replayable cursor over the merged arrival order, positioned
+    /// at arrival index `start` and yielding batches of at most `batch`
+    /// arrivals. A recovered service resumes its feed with
+    /// `cursor_at(wal_batches * batch, batch)` — the cursor emits exactly
+    /// the arrivals the crashed run had not yet committed to its WAL.
+    ///
+    /// # Panics
+    /// Panics if `batch == 0`.
+    pub fn cursor_at(&self, start: usize, batch: usize) -> ArrivalCursor {
+        assert!(batch > 0, "batch size must be positive");
+        ArrivalCursor {
+            arrivals: self.arrivals(),
+            pos: start,
+            batch,
+        }
+    }
+}
+
+/// A resumable batch iterator over a [`StreamSet`]'s merged arrival order
+/// (see [`StreamSet::cursor_at`]). Tracks its position so callers can
+/// correlate emitted batches with WAL sequence numbers.
+#[derive(Debug, Clone)]
+pub struct ArrivalCursor {
+    arrivals: Vec<Arrival>,
+    pos: usize,
+    batch: usize,
+}
+
+impl ArrivalCursor {
+    /// Index of the next arrival the cursor will emit.
+    pub fn pos(&self) -> usize {
+        self.pos
+    }
+
+    /// Arrivals not yet emitted.
+    pub fn remaining(&self) -> usize {
+        self.arrivals.len().saturating_sub(self.pos)
+    }
+}
+
+impl Iterator for ArrivalCursor {
+    type Item = Vec<Arrival>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.pos >= self.arrivals.len() {
+            return None;
+        }
+        let end = (self.pos + self.batch).min(self.arrivals.len());
+        let out = self.arrivals[self.pos..end].to_vec();
+        self.pos = end;
+        Some(out)
+    }
 }
 
 #[cfg(test)]
@@ -166,5 +219,39 @@ mod tests {
         let s = StreamSet::new(vec![]);
         assert!(s.arrivals().is_empty());
         assert_eq!(s.stream_count(), 0);
+    }
+
+    #[test]
+    fn cursor_resumes_mid_stream() {
+        let mut d = Dictionary::new();
+        let s = StreamSet::new(vec![
+            vec![
+                rec(&mut d, 1, "x"),
+                rec(&mut d, 3, "y"),
+                rec(&mut d, 5, "z"),
+            ],
+            vec![rec(&mut d, 2, "u"), rec(&mut d, 4, "v")],
+        ]);
+        let flat = s.arrivals();
+        for start in 0..=flat.len() + 1 {
+            let mut cur = s.cursor_at(start, 2);
+            assert_eq!(cur.pos(), start);
+            assert_eq!(cur.remaining(), flat.len().saturating_sub(start));
+            let replayed: Vec<Arrival> = cur.by_ref().flatten().collect();
+            assert_eq!(replayed, flat[start.min(flat.len())..].to_vec());
+            assert_eq!(cur.remaining(), 0);
+            assert!(cur.next().is_none());
+        }
+    }
+
+    #[test]
+    fn cursor_batches_match_arrival_batches() {
+        let mut d = Dictionary::new();
+        let s = StreamSet::new(vec![
+            vec![rec(&mut d, 1, "x"), rec(&mut d, 3, "y")],
+            vec![rec(&mut d, 2, "u")],
+        ]);
+        let batches: Vec<Vec<Arrival>> = s.cursor_at(0, 2).collect();
+        assert_eq!(batches, s.arrival_batches(2));
     }
 }

@@ -19,7 +19,11 @@ use ter_text::{Interval, TokenSet};
 /// Candidate imputed values for one missing attribute, with normalized
 /// existence probabilities (Equation 3 for a single CDD, Equation 4 for
 /// multiple CDDs).
-#[derive(Debug, Clone)]
+///
+/// `PartialEq` is exact (probabilities compared bitwise as `f64`) — the
+/// persistence layer's recovery parity contract is bit-identity, not
+/// approximate equality.
+#[derive(Debug, Clone, PartialEq)]
 pub struct AttrCandidates {
     /// The missing attribute index.
     pub attr: usize,
@@ -62,7 +66,7 @@ impl AttrCandidates {
 }
 
 /// The imputed probabilistic tuple `r^p`.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ProbTuple {
     /// The original (possibly incomplete) tuple `r`.
     pub base: Record,

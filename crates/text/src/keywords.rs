@@ -151,6 +151,28 @@ impl TopicVector {
         self.bits.iter().map(|w| w.count_ones() as usize).sum()
     }
 
+    /// The packed 64-bit words backing the vector (persistence hook:
+    /// round-trips through [`TopicVector::from_words`] bit-exactly).
+    pub fn words(&self) -> &[u64] {
+        &self.bits
+    }
+
+    /// Rebuilds a vector from its packed words (inverse of
+    /// [`TopicVector::words`]).
+    ///
+    /// # Panics
+    /// Panics if `words` is not exactly `len.div_ceil(64)` words long or
+    /// sets bits at positions `>= len` — decoders validate before calling.
+    pub fn from_words(len: usize, words: Vec<u64>) -> Self {
+        assert_eq!(words.len(), len.div_ceil(64), "word count mismatch");
+        if len % 64 != 0 {
+            if let Some(last) = words.last() {
+                assert_eq!(last >> (len % 64), 0, "stray bits beyond len");
+            }
+        }
+        Self { bits: words, len }
+    }
+
     /// ORs `other` into `self` (aggregate merge when a child is added).
     pub fn or_assign(&mut self, other: &TopicVector) {
         assert_eq!(self.len, other.len, "topic vector length mismatch");
