@@ -1,0 +1,171 @@
+//! Figure 20 (beyond the paper): service-layer ingest throughput — what
+//! the daemon costs on top of the durable library loop.
+//!
+//! Two measured configurations over the same EBooks stream:
+//!
+//! * **library+wal** — the in-process durable loop (`log_batch` with
+//!   fsync-per-batch, then `step_batch`), the fastest any durable
+//!   consumer can go;
+//! * **daemon** — the same batches through `ter_serve` over localhost
+//!   TCP: framing + CRC, the bounded ordered queue, WAL-before-ack, and
+//!   the checkpoint cadence all included.
+//!
+//! The daemon run is parity-gated: its per-arrival match lists must be
+//! bit-identical to the library run's before its throughput is accepted.
+//! Results land in `BENCH_serve.json` with a `RunStamp`.
+//!
+//! `TER_FIG20_SCALE` scales the stream for quick local runs.
+
+use std::fs;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+use ter_bench::{header, prepare, RunStamp};
+use ter_datasets::{GenOptions, Preset};
+use ter_exec::{ExecConfig, ShardedTerIdsEngine};
+use ter_ids::{ErProcessor, Params, PruningMode};
+use ter_serve::{Client, ServeOptions, Server};
+use ter_store::{context_fingerprint, TerStore};
+
+const BATCH: usize = 256;
+const CHECKPOINT_EVERY: u64 = 16;
+
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(tag: &str) -> Self {
+        let p = std::env::temp_dir().join(format!("ter_fig20_{}_{tag}", std::process::id()));
+        let _ = fs::remove_dir_all(&p);
+        Self(p)
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = fs::remove_dir_all(&self.0);
+    }
+}
+
+fn main() {
+    let scale: f64 = std::env::var("TER_FIG20_SCALE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1.0);
+    let preset = Preset::EBooks;
+    let params = Params::default();
+    let exec = ExecConfig {
+        shards: 8,
+        threads: std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(4),
+    };
+
+    header(
+        "Figure 20",
+        "service-layer ingest throughput (daemon vs durable library loop)",
+    );
+    println!(
+        "preset={} scale={scale} window={} batch={BATCH} checkpoint_every={CHECKPOINT_EVERY} \
+         shards={} threads={}",
+        preset.name(),
+        params.window,
+        exec.shards,
+        exec.threads
+    );
+
+    let prepared = prepare(
+        preset,
+        GenOptions {
+            scale,
+            ..GenOptions::default()
+        },
+        params,
+    );
+    let arrivals = &prepared.arrivals;
+    let batches: Vec<&[ter_stream::Arrival]> = arrivals.chunks(BATCH).collect();
+
+    // ---- library+wal: the in-process durable loop ----
+    let lib_dir = TempDir::new("lib");
+    let fp = context_fingerprint(&prepared.ctx, &prepared.params);
+    let mut store = TerStore::open(&lib_dir.0, fp).expect("open store");
+    let mut engine =
+        ShardedTerIdsEngine::new(&prepared.ctx, prepared.params, PruningMode::Full, exec);
+    let mut lib_matches: Vec<Vec<(u64, u64)>> = Vec::new();
+    let start = Instant::now();
+    for batch in &batches {
+        let seq = store.log_batch(batch).expect("wal append");
+        lib_matches.extend(engine.step_batch(batch).into_iter().map(|o| o.new_matches));
+        if (seq + 1) % CHECKPOINT_EVERY == 0 {
+            store
+                .checkpoint(&engine.export_state())
+                .expect("checkpoint");
+        }
+    }
+    let lib_secs = start.elapsed().as_secs_f64();
+    let lib_tps = arrivals.len() as f64 / lib_secs;
+    println!("library+wal  {lib_secs:>9.2}s {lib_tps:>12.1} tuples/s");
+
+    // ---- daemon: same batches over localhost TCP ----
+    let serve_dir = TempDir::new("daemon");
+    let server = Server::bind("127.0.0.1:0").expect("bind");
+    let addr = server.addr().expect("addr");
+    let opts = ServeOptions {
+        checkpoint_every: CHECKPOINT_EVERY,
+        exec,
+        ..ServeOptions::default()
+    };
+    let (daemon_secs, daemon_matches) = std::thread::scope(|scope| {
+        let handle = scope.spawn(|| {
+            server
+                .run(&prepared.ctx, prepared.params, &serve_dir.0, &opts)
+                .expect("serve")
+        });
+        let mut client = Client::connect_retry(addr, Duration::from_secs(30)).expect("connect");
+        let mut served: Vec<Vec<(u64, u64)>> = Vec::new();
+        let start = Instant::now();
+        for batch in &batches {
+            served.extend(client.ingest_wait(batch).expect("ingest"));
+        }
+        let secs = start.elapsed().as_secs_f64();
+        client.shutdown().expect("shutdown");
+        let report = handle.join().expect("daemon thread");
+        assert_eq!(report.batches, batches.len() as u64);
+        (secs, served)
+    });
+    // Parity gate: throughput of a wrong answer is meaningless.
+    assert_eq!(
+        daemon_matches, lib_matches,
+        "daemon results diverged from the library engine"
+    );
+    let daemon_tps = arrivals.len() as f64 / daemon_secs;
+    let overhead = lib_tps / daemon_tps;
+    println!("daemon       {daemon_secs:>9.2}s {daemon_tps:>12.1} tuples/s ({overhead:.2}x library+wal time)");
+
+    let host_cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(0);
+    let json = format!(
+        "{{\n  \"bench\": \"fig20_serve\",\n{}\n  \"preset\": \"{}\",\n  \"scale\": {},\n  \
+         \"window\": {},\n  \"batch\": {},\n  \"checkpoint_every\": {},\n  \"shards\": {},\n  \
+         \"threads\": {},\n  \"host_cpus\": {},\n  \"arrivals\": {},\n  \
+         \"library_wal_tuples_per_sec\": {:.1},\n  \"daemon_tuples_per_sec\": {:.1},\n  \
+         \"daemon_overhead_factor\": {:.3}\n}}\n",
+        RunStamp::capture().json_fields(),
+        preset.name(),
+        scale,
+        params.window,
+        BATCH,
+        CHECKPOINT_EVERY,
+        exec.shards,
+        exec.threads,
+        host_cpus,
+        arrivals.len(),
+        lib_tps,
+        daemon_tps,
+        overhead
+    );
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json");
+    fs::write(out, &json).expect("write BENCH_serve.json");
+    println!("wrote {out}");
+}

@@ -191,6 +191,11 @@ impl<'a> TerIdsEngine<'a> {
         self.window.len()
     }
 
+    /// Window capacity `w`.
+    pub fn window_capacity(&self) -> usize {
+        self.params.window
+    }
+
     /// Metadata of a live tuple.
     pub fn meta(&self, id: u64) -> Option<&TupleMeta> {
         self.metas.get(&id)

@@ -415,6 +415,12 @@ impl<'a> ShardedTerIdsEngine<'a> {
         self.window.len()
     }
 
+    /// Window capacity `w` (the service layer reports it alongside the
+    /// occupancy).
+    pub fn window_capacity(&self) -> usize {
+        self.params.window
+    }
+
     /// Metadata (including the imputed probabilistic tuple) of a live
     /// tuple.
     pub fn meta(&self, id: u64) -> Option<&TupleMeta> {

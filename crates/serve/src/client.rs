@@ -1,0 +1,177 @@
+//! The client side of the wire protocol: a thin synchronous
+//! request/reply wrapper over one TCP connection.
+//!
+//! Each call writes one framed request and blocks for its framed reply.
+//! [`Client::ingest`] surfaces [`Reply::Busy`] to the caller;
+//! [`Client::ingest_wait`] retries it with a small backoff — the polite
+//! default for feeders that just want their stream committed.
+
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::{Duration, Instant};
+
+use ter_stream::Arrival;
+
+use crate::wire::{
+    decode_reply, encode_request, read_message, write_message, EntityInfo, Query, Reply, Request,
+    StatsInfo, WindowInfo, WireError,
+};
+
+/// Why a client call failed.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport or framing failure.
+    Wire(WireError),
+    /// The server answered [`Reply::Error`].
+    Server(String),
+    /// The server answered with a reply kind the verb does not produce —
+    /// a protocol bug, not an operational condition.
+    Unexpected(&'static str),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Wire(e) => write!(f, "wire error: {e}"),
+            ClientError::Server(msg) => write!(f, "server error: {msg}"),
+            ClientError::Unexpected(kind) => write!(f, "unexpected {kind} reply"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<WireError> for ClientError {
+    fn from(e: WireError) -> Self {
+        ClientError::Wire(e)
+    }
+}
+
+/// Per-arrival match lists for one ingested batch, in arrival order.
+pub type BatchMatches = Vec<Vec<(u64, u64)>>;
+
+/// One connection to a `ter_serve` daemon.
+#[derive(Debug)]
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    /// Connects to a running daemon.
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        Ok(Self { stream })
+    }
+
+    /// Connects, retrying until `deadline_in` elapses — for harnesses and
+    /// CLIs that race daemon startup (context building takes a moment).
+    pub fn connect_retry(
+        addr: impl ToSocketAddrs + Copy,
+        deadline_in: Duration,
+    ) -> std::io::Result<Self> {
+        let deadline = Instant::now() + deadline_in;
+        loop {
+            match Self::connect(addr) {
+                Ok(c) => return Ok(c),
+                Err(e) if Instant::now() >= deadline => return Err(e),
+                Err(_) => std::thread::sleep(Duration::from_millis(50)),
+            }
+        }
+    }
+
+    /// One request/reply round trip. [`Reply::Busy`] is surfaced as-is —
+    /// the daemon answers it for *any* verb when its bounded queue is
+    /// full.
+    pub fn call(&mut self, req: &Request) -> Result<Reply, ClientError> {
+        write_message(&mut self.stream, &encode_request(req))?;
+        let payload = read_message(&mut self.stream)?;
+        match decode_reply(&payload)? {
+            Reply::Error(msg) => Err(ClientError::Server(msg)),
+            reply => Ok(reply),
+        }
+    }
+
+    /// [`Client::call`], retrying `Busy` with a small backoff — the right
+    /// default for introspection and control verbs, which are idempotent
+    /// and cheap for the engine.
+    fn call_wait(&mut self, req: &Request) -> Result<Reply, ClientError> {
+        loop {
+            match self.call(req)? {
+                Reply::Busy => std::thread::sleep(Duration::from_millis(2)),
+                reply => return Ok(reply),
+            }
+        }
+    }
+
+    /// Ingests one batch. `Ok(Some(per_arrival_matches))` on commit,
+    /// `Ok(None)` when the daemon answered [`Reply::Busy`] — the batch
+    /// was *not* committed and should be resent.
+    pub fn ingest(&mut self, batch: &[Arrival]) -> Result<Option<BatchMatches>, ClientError> {
+        match self.call(&Request::Ingest(batch.to_vec()))? {
+            Reply::Matches(per_arrival) => Ok(Some(per_arrival)),
+            Reply::Busy => Ok(None),
+            _ => Err(ClientError::Unexpected("ingest")),
+        }
+    }
+
+    /// Ingests one batch, retrying `Busy` replies with a small backoff
+    /// until the daemon commits it.
+    pub fn ingest_wait(&mut self, batch: &[Arrival]) -> Result<BatchMatches, ClientError> {
+        loop {
+            if let Some(matches) = self.ingest(batch)? {
+                return Ok(matches);
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+    }
+
+    /// Window occupancy and live ids.
+    pub fn window(&mut self) -> Result<WindowInfo, ClientError> {
+        match self.call_wait(&Request::Query(Query::Window))? {
+            Reply::Window(info) => Ok(info),
+            _ => Err(ClientError::Unexpected("window")),
+        }
+    }
+
+    /// One live tuple's coordinates and match partners.
+    pub fn entity(&mut self, id: u64) -> Result<EntityInfo, ClientError> {
+        match self.call_wait(&Request::Query(Query::Entity(id)))? {
+            Reply::Entity(info) => Ok(info),
+            _ => Err(ClientError::Unexpected("entity")),
+        }
+    }
+
+    /// The live result set, `(min, max)`-normalized and sorted.
+    pub fn results(&mut self) -> Result<Vec<(u64, u64)>, ClientError> {
+        match self.call_wait(&Request::Query(Query::Results))? {
+            Reply::Matches(mut lists) if lists.len() == 1 => Ok(lists.pop().unwrap()),
+            Reply::Matches(_) => Err(ClientError::Unexpected("results")),
+            _ => Err(ClientError::Unexpected("results")),
+        }
+    }
+
+    /// Service counters.
+    pub fn stats(&mut self) -> Result<StatsInfo, ClientError> {
+        match self.call_wait(&Request::Stats)? {
+            Reply::Stats(info) => Ok(info),
+            _ => Err(ClientError::Unexpected("stats")),
+        }
+    }
+
+    /// Forces a checkpoint; returns its byte size.
+    pub fn checkpoint(&mut self) -> Result<u64, ClientError> {
+        match self.call_wait(&Request::Checkpoint)? {
+            Reply::Ack(bytes) => Ok(bytes),
+            _ => Err(ClientError::Unexpected("checkpoint")),
+        }
+    }
+
+    /// Gracefully stops the daemon (checkpoint, then ack); returns the
+    /// batches the daemon served this run.
+    pub fn shutdown(&mut self) -> Result<u64, ClientError> {
+        match self.call_wait(&Request::Shutdown)? {
+            Reply::Ack(batches) => Ok(batches),
+            _ => Err(ClientError::Unexpected("shutdown")),
+        }
+    }
+}

@@ -1,0 +1,469 @@
+//! The daemon: a TCP accept loop, one reader thread per connection, and a
+//! single engine thread owning the `ShardedTerIdsEngine` + `TerStore`.
+//!
+//! ```text
+//!  conn 1 ──reader──┐
+//!  conn 2 ──reader──┤   bounded ordered queue     ┌─ engine thread ──┐
+//!  conn N ──reader──┼───────(sync_channel)───────▶│ WAL append+fsync │
+//!                   │  full → Reply::Busy         │ step_batch       │
+//!                   │                             │ checkpoint cadence│
+//!                   └── per-job reply channel ◀───┴──────────────────┘
+//! ```
+//!
+//! Every verb — ingest and introspection alike — goes through the one
+//! queue, so the engine observes a single total order of operations no
+//! matter how clients interleave: results are **bit-identical** to a
+//! library run feeding the same batches in the same commit order. The
+//! queue is bounded; when it is full the reader replies [`Reply::Busy`]
+//! immediately instead of buffering unboundedly (explicit backpressure).
+//!
+//! Durability: `Ingest` acks only after the batch is WAL-committed
+//! (append + fsync) *and* stepped — a client that saw `Matches` knows a
+//! kill -9 cannot lose that batch. Every `checkpoint_every` batches the
+//! engine state is checkpointed, and the store's retention policy (two
+//! checkpoint generations, WAL compacted beneath the older one) bounds
+//! disk. On startup the daemon recovers via the `ter_store` ladder and
+//! resumes at [`Recovery::resume_seq`](ter_store::Recovery::resume_seq).
+
+use std::io::Read;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc;
+use std::time::Duration;
+
+use ter_exec::{ExecConfig, ShardedTerIdsEngine};
+use ter_ids::{ErProcessor, Params, PruningMode, TerContext};
+use ter_store::{context_fingerprint, CompactionPolicy, StoreError, TerStore};
+
+use crate::wire::{
+    decode_request, encode_reply, write_message, EntityInfo, Query, Reply, Request, StatsInfo,
+    WindowInfo, MAX_WIRE_LEN,
+};
+
+/// How the daemon runs. The defaults suit tests and small deployments;
+/// the CLI exposes every knob.
+#[derive(Debug, Clone, Copy)]
+pub struct ServeOptions {
+    /// Bounded depth of the ordered ingest queue; a full queue answers
+    /// [`Reply::Busy`].
+    pub queue_depth: usize,
+    /// Checkpoint every N ingested batches (0 = only on graceful
+    /// shutdown / explicit `Checkpoint` verbs).
+    pub checkpoint_every: u64,
+    /// Engine parallelism.
+    pub exec: ExecConfig,
+    /// Store retention. Defaults to the bounded-disk two-generation
+    /// policy — the daemon is a long-lived process.
+    pub compaction: CompactionPolicy,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        Self {
+            queue_depth: 16,
+            checkpoint_every: 8,
+            exec: ExecConfig::default(),
+            compaction: CompactionPolicy::two_generation(),
+        }
+    }
+}
+
+/// What a completed (gracefully shut down) serve run did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeReport {
+    /// Batch sequence the daemon resumed at (0 for a fresh directory).
+    pub resumed_at: u64,
+    /// WAL-suffix arrivals replayed during recovery.
+    pub replayed: usize,
+    /// Batches ingested during this run.
+    pub batches: u64,
+    /// Arrivals ingested during this run.
+    pub arrivals: u64,
+    /// Checkpoints written (cadence + explicit + shutdown).
+    pub checkpoints: u64,
+}
+
+/// Everything that can stop the daemon from serving.
+#[derive(Debug)]
+pub enum ServeError {
+    /// Socket-level failure of the listener itself.
+    Io(std::io::Error),
+    /// The persistence layer refused (fingerprint mismatch, unbridgeable
+    /// recovery gap, disk failure).
+    Store(StoreError),
+    /// The recovered state could not be imported into the engine.
+    Recovery(String),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Io(e) => write!(f, "io error: {e}"),
+            ServeError::Store(e) => write!(f, "store error: {e}"),
+            ServeError::Recovery(e) => write!(f, "recovery error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<std::io::Error> for ServeError {
+    fn from(e: std::io::Error) -> Self {
+        ServeError::Io(e)
+    }
+}
+
+impl From<StoreError> for ServeError {
+    fn from(e: StoreError) -> Self {
+        ServeError::Store(e)
+    }
+}
+
+/// One queued operation: the decoded request plus the channel the engine
+/// thread answers on.
+struct Job {
+    request: Request,
+    reply_tx: mpsc::Sender<Reply>,
+}
+
+/// Reader-side poll interval: how often a blocked read re-checks the
+/// shutdown flag.
+const POLL_INTERVAL: Duration = Duration::from_millis(50);
+
+/// A bound TER-iDS service. Binding is split from running so callers can
+/// learn the ephemeral port (`addr()`) before the blocking serve loop
+/// starts — tests and benches bind to `127.0.0.1:0`.
+#[derive(Debug)]
+pub struct Server {
+    listener: TcpListener,
+}
+
+impl Server {
+    /// Binds the service listener.
+    pub fn bind(addr: impl ToSocketAddrs) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        Ok(Self { listener })
+    }
+
+    /// The bound address (resolves `:0` to the actual port).
+    pub fn addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Recovers from `dir`, then serves until a `Shutdown` verb arrives.
+    /// Blocking; run it on a dedicated (scoped) thread when the caller
+    /// needs to keep working. Returns the run's counters after a graceful
+    /// shutdown (a kill -9 by definition returns nothing — that is what
+    /// the WAL is for).
+    pub fn run(
+        self,
+        ctx: &TerContext,
+        params: Params,
+        dir: &Path,
+        opts: &ServeOptions,
+    ) -> Result<ServeReport, ServeError> {
+        let fingerprint = context_fingerprint(ctx, &params);
+        let mut store = TerStore::open(dir, fingerprint)?;
+        store.set_compaction(opts.compaction);
+        let recovery = store.recover()?;
+        let mut engine = ShardedTerIdsEngine::new(ctx, params, PruningMode::Full, opts.exec);
+        if let Some(state) = &recovery.state {
+            engine.import_state(state).map_err(ServeError::Recovery)?;
+        }
+        let replayed = recovery.replay_into(&mut engine);
+        let resumed_at = recovery.resume_seq();
+
+        let shutdown = AtomicBool::new(false);
+        let (job_tx, job_rx) = mpsc::sync_channel::<Job>(opts.queue_depth.max(1));
+        self.listener.set_nonblocking(true)?;
+
+        let mut report = ServeReport {
+            resumed_at,
+            replayed,
+            batches: 0,
+            arrivals: 0,
+            checkpoints: 0,
+        };
+
+        std::thread::scope(|scope| -> Result<(), ServeError> {
+            // ---- accept loop ----
+            let listener = &self.listener;
+            let shutdown_ref = &shutdown;
+            let acceptor_tx = job_tx.clone();
+            scope.spawn(move || {
+                while !shutdown_ref.load(Ordering::Acquire) {
+                    match listener.accept() {
+                        Ok((stream, _peer)) => {
+                            let conn_tx = acceptor_tx.clone();
+                            scope.spawn(move || {
+                                serve_connection(stream, conn_tx, shutdown_ref);
+                            });
+                        }
+                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                            std::thread::sleep(POLL_INTERVAL);
+                        }
+                        Err(_) => break,
+                    }
+                }
+            });
+            // The readers hold their own cloned senders; drop ours so the
+            // engine loop's exit conditions are exactly "Shutdown verb" or
+            // "acceptor and every reader gone".
+            drop(job_tx);
+
+            // ---- engine loop (single total order of operations) ----
+            let mut graceful = false;
+            while let Ok(job) = job_rx.recv() {
+                let is_shutdown = matches!(job.request, Request::Shutdown);
+                let reply = handle_request(job.request, &mut store, &mut engine, opts, &mut report);
+                // The final checkpoint happens *before* the shutdown ack
+                // leaves, so a client that saw the ack can rely on a
+                // checkpoint-only (zero-replay) restart.
+                let _ = job.reply_tx.send(reply);
+                if is_shutdown {
+                    graceful = true;
+                    break;
+                }
+            }
+            if !graceful {
+                // Listener died under us — still leave a fresh checkpoint.
+                let _ = store.checkpoint(&engine.export_state());
+            }
+            // Release the acceptor and readers, then drain the queue:
+            // dropping a pending job drops its reply channel, which wakes
+            // its reader with a clean "shutting down" error instead of
+            // deadlocking the scope join.
+            shutdown.store(true, Ordering::Release);
+            drop(job_rx);
+            Ok(())
+        })?;
+        Ok(report)
+    }
+}
+
+/// Applies one request to the engine + store. Runs on the engine thread —
+/// the single mutator — so every reply reflects a consistent snapshot.
+fn handle_request(
+    request: Request,
+    store: &mut TerStore,
+    engine: &mut ShardedTerIdsEngine<'_>,
+    opts: &ServeOptions,
+    report: &mut ServeReport,
+) -> Reply {
+    match request {
+        Request::Ingest(batch) => {
+            // Write-ahead: the batch is durable before the engine sees it,
+            // and the ack is sent only after both.
+            let seq = match store.log_batch(&batch) {
+                Ok(seq) => seq,
+                Err(e) => return Reply::Error(format!("wal append failed: {e}")),
+            };
+            let outputs = engine.step_batch(&batch);
+            report.batches += 1;
+            report.arrivals += batch.len() as u64;
+            let per_arrival = outputs.into_iter().map(|o| o.new_matches).collect();
+            if opts.checkpoint_every > 0 && (seq + 1) % opts.checkpoint_every == 0 {
+                // A failed cadence checkpoint is not an ingest failure —
+                // the WAL already covers the batch; just log it.
+                match store.checkpoint(&engine.export_state()) {
+                    Ok(_) => report.checkpoints += 1,
+                    Err(e) => eprintln!("ter_serve: checkpoint at batch {seq} failed: {e}"),
+                }
+            }
+            Reply::Matches(per_arrival)
+        }
+        Request::Query(Query::Window) => Reply::Window(WindowInfo {
+            len: engine.window_len(),
+            capacity: engine.window_capacity(),
+            live_ids: engine.live_ids(),
+        }),
+        Request::Query(Query::Entity(id)) => match engine.meta(id) {
+            Some(meta) => {
+                let info = EntityInfo {
+                    found: true,
+                    stream_id: meta.stream_id,
+                    timestamp: meta.timestamp,
+                    possibly_topical: meta.possibly_topical,
+                    partners: Vec::new(),
+                };
+                let mut partners: Vec<u64> = engine
+                    .results()
+                    .iter()
+                    .filter_map(|(a, b)| match (a == id, b == id) {
+                        (true, _) => Some(b),
+                        (_, true) => Some(a),
+                        _ => None,
+                    })
+                    .collect();
+                partners.sort_unstable();
+                Reply::Entity(EntityInfo { partners, ..info })
+            }
+            None => Reply::Entity(EntityInfo::default()),
+        },
+        Request::Query(Query::Results) => {
+            let mut pairs: Vec<(u64, u64)> = engine.results().iter().collect();
+            pairs.sort_unstable();
+            Reply::Matches(vec![pairs])
+        }
+        Request::Stats => Reply::Stats(StatsInfo {
+            next_batch_seq: store.wal_seq(),
+            session_arrivals: report.arrivals + report.replayed as u64,
+            wal_bytes: store.wal_len_bytes(),
+            window_len: engine.window_len(),
+            stats: engine.prune_stats(),
+        }),
+        Request::Checkpoint => match store.checkpoint(&engine.export_state()) {
+            Ok(bytes) => {
+                report.checkpoints += 1;
+                Reply::Ack(bytes)
+            }
+            Err(e) => Reply::Error(format!("checkpoint failed: {e}")),
+        },
+        Request::Shutdown => match store.checkpoint(&engine.export_state()) {
+            Ok(_) => {
+                report.checkpoints += 1;
+                Reply::Ack(report.batches)
+            }
+            Err(e) => Reply::Error(format!("shutdown checkpoint failed: {e}")),
+        },
+    }
+}
+
+/// Outcome of one shutdown-aware exact read.
+enum ReadOutcome {
+    /// The buffer is full.
+    Done,
+    /// The peer closed (or broke) the connection.
+    Disconnected,
+    /// Shutdown was requested while the socket was idle.
+    ShuttingDown,
+}
+
+/// Reads exactly `buf.len()` bytes, retrying read timeouts so that a
+/// frame fragmented across TCP segments is reassembled correctly (a plain
+/// `read_exact` under a read timeout can consume a partial prefix and
+/// then error, desynchronizing the framing). Every timeout re-checks the
+/// shutdown flag — once it is set the engine is gone and no request can
+/// be served, so even a half-read frame is abandoned; a reader stuck on
+/// a silent-but-open connection must never block the scope join in
+/// [`Server::run`].
+fn read_exact_polling(
+    stream: &mut TcpStream,
+    buf: &mut [u8],
+    shutdown: &AtomicBool,
+) -> ReadOutcome {
+    let mut filled = 0;
+    while filled < buf.len() {
+        if shutdown.load(Ordering::Acquire) {
+            return ReadOutcome::ShuttingDown;
+        }
+        match stream.read(&mut buf[filled..]) {
+            Ok(0) => return ReadOutcome::Disconnected,
+            Ok(n) => filled += n,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock
+                        | std::io::ErrorKind::TimedOut
+                        | std::io::ErrorKind::Interrupted
+                ) =>
+            {
+                continue;
+            }
+            Err(_) => return ReadOutcome::Disconnected,
+        }
+    }
+    ReadOutcome::Done
+}
+
+/// One connection's reader loop: frame in, decode, enqueue, frame out.
+/// Frame-level garbage (bad CRC, oversized length) gets an error reply
+/// and closes the connection — a byte stream cannot resynchronize after a
+/// corrupt frame. Payload-level garbage (intact frame, invalid request)
+/// gets an error reply and the connection continues. A full queue gets
+/// [`Reply::Busy`]; a stopped engine gets a final error reply.
+/// How long a reply write may block before the connection is dropped. A
+/// client that stops draining replies must not pin this reader thread —
+/// and with it the scope join in [`Server::run`] — forever.
+const WRITE_TIMEOUT: Duration = Duration::from_secs(10);
+
+fn serve_connection(mut stream: TcpStream, job_tx: mpsc::SyncSender<Job>, shutdown: &AtomicBool) {
+    if stream.set_read_timeout(Some(POLL_INTERVAL)).is_err()
+        || stream.set_write_timeout(Some(WRITE_TIMEOUT)).is_err()
+    {
+        return;
+    }
+    loop {
+        let mut header = [0u8; 8];
+        match read_exact_polling(&mut stream, &mut header, shutdown) {
+            ReadOutcome::Done => {}
+            ReadOutcome::Disconnected | ReadOutcome::ShuttingDown => return,
+        }
+        let len = u32::from_le_bytes(header[0..4].try_into().unwrap()) as usize;
+        let crc = u32::from_le_bytes(header[4..8].try_into().unwrap());
+        if len > MAX_WIRE_LEN {
+            let _ = write_message(
+                &mut stream,
+                &encode_reply(&Reply::Error(format!(
+                    "bad frame: length {len} exceeds the wire cap"
+                ))),
+            );
+            return;
+        }
+        let mut payload = vec![0u8; len];
+        match read_exact_polling(&mut stream, &mut payload, shutdown) {
+            ReadOutcome::Done => {}
+            ReadOutcome::Disconnected | ReadOutcome::ShuttingDown => return,
+        }
+        if ter_store::crc32(&payload) != crc {
+            let _ = write_message(
+                &mut stream,
+                &encode_reply(&Reply::Error("bad frame: CRC mismatch".into())),
+            );
+            return;
+        }
+        let request = match decode_request(&payload) {
+            Ok(r) => r,
+            Err(e) => {
+                // A failed (or timed-out, hence possibly partial) error
+                // write desynchronizes the stream — close instead of
+                // continuing.
+                if write_message(
+                    &mut stream,
+                    &encode_reply(&Reply::Error(format!("bad request: {e}"))),
+                )
+                .is_err()
+                {
+                    return;
+                }
+                continue;
+            }
+        };
+        let (reply_tx, reply_rx) = mpsc::channel();
+        let reply = match job_tx.try_send(Job { request, reply_tx }) {
+            Ok(()) => match reply_rx.recv() {
+                Ok(reply) => reply,
+                // Engine stopped with the job still queued.
+                Err(_) => Reply::Error("service shutting down".into()),
+            },
+            Err(mpsc::TrySendError::Full(_)) => Reply::Busy,
+            Err(mpsc::TrySendError::Disconnected(_)) => {
+                Reply::Error("service shutting down".into())
+            }
+        };
+        // A reply too large for the wire cap degrades to an in-protocol
+        // error — the release-mode cap check in `write_message` would
+        // otherwise close the connection without telling the peer why.
+        let mut encoded = encode_reply(&reply);
+        if encoded.len() > MAX_WIRE_LEN {
+            encoded = encode_reply(&Reply::Error(format!(
+                "reply of {} bytes exceeds the wire cap",
+                encoded.len()
+            )));
+        }
+        if write_message(&mut stream, &encoded).is_err() {
+            return;
+        }
+    }
+}

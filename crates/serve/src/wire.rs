@@ -1,0 +1,555 @@
+//! The versioned wire protocol: every message travelling either direction
+//! is one `ter_store` frame (`[len: u32 LE][crc: u32 LE][payload]`,
+//! `crc = CRC-32/IEEE(payload)`) whose payload is
+//!
+//! ```text
+//! payload := [proto: u8 = 1][tag: u8][body]
+//! ```
+//!
+//! with the body encoded by the same hand-rolled codec the persistence
+//! layer uses, so an `Arrival` travels over the wire bit-identically to
+//! how it lands in the WAL. Decoding is strict: unknown protocol bytes
+//! and tags, truncated bodies, and trailing bytes are all rejected with a
+//! clean [`WireError`] — never a panic (property-tested, mirroring the
+//! `ter_store` codec proptests) — and the frame CRC rejects any bit flip
+//! in transit before the decoder even runs.
+//!
+//! Verbs (client → server): [`Request::Ingest`], [`Request::Query`],
+//! [`Request::Stats`], [`Request::Checkpoint`], [`Request::Shutdown`].
+//! Replies (server → client) carry result data, an error string, or the
+//! explicit [`Reply::Busy`] backpressure signal.
+
+use std::io::{Read, Write};
+
+use ter_ids::PruneStats;
+use ter_store::{crc32, Codec, CodecError, Decoder, Encoder};
+use ter_stream::Arrival;
+
+/// Protocol version carried in every payload.
+pub const PROTO_VERSION: u8 = 1;
+
+/// Hard cap on a wire frame's payload (16 MiB) — a corrupt or hostile
+/// length field must not drive a pathological allocation.
+pub const MAX_WIRE_LEN: usize = 16 << 20;
+
+/// Why a wire message could not be read or decoded.
+#[derive(Debug)]
+pub enum WireError {
+    /// Socket-level failure (includes EOF mid-frame).
+    Io(std::io::Error),
+    /// The frame length field (or a payload to be sent) exceeds
+    /// [`MAX_WIRE_LEN`].
+    Oversized(u64),
+    /// The frame CRC does not match its payload.
+    BadCrc,
+    /// The payload's protocol byte is not [`PROTO_VERSION`].
+    Version(u8),
+    /// The payload's verb/reply tag is unknown.
+    UnknownTag(u8),
+    /// The body failed to decode.
+    Codec(CodecError),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Io(e) => write!(f, "io error: {e}"),
+            WireError::Oversized(n) => write!(f, "frame length {n} exceeds the wire cap"),
+            WireError::BadCrc => write!(f, "frame CRC mismatch"),
+            WireError::Version(v) => write!(f, "unsupported protocol version {v}"),
+            WireError::UnknownTag(t) => write!(f, "unknown message tag {t:#04x}"),
+            WireError::Codec(e) => write!(f, "codec error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<std::io::Error> for WireError {
+    fn from(e: std::io::Error) -> Self {
+        WireError::Io(e)
+    }
+}
+
+impl From<CodecError> for WireError {
+    fn from(e: CodecError) -> Self {
+        WireError::Codec(e)
+    }
+}
+
+/// Reads one framed payload off a *blocking* byte stream. Fails cleanly
+/// on EOF, truncation, oversized lengths, and CRC mismatches. (The
+/// server's reader threads cannot use this — they read under a timeout
+/// and must reassemble across partial reads — so `serve_connection`
+/// carries a shutdown-polling fork of the same frame grammar.)
+pub fn read_message(r: &mut impl Read) -> Result<Vec<u8>, WireError> {
+    let mut header = [0u8; 8];
+    r.read_exact(&mut header)?;
+    let len = u32::from_le_bytes(header[0..4].try_into().unwrap());
+    if len as usize > MAX_WIRE_LEN {
+        return Err(WireError::Oversized(len as u64));
+    }
+    let crc = u32::from_le_bytes(header[4..8].try_into().unwrap());
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload)?;
+    if crc32(&payload) != crc {
+        return Err(WireError::BadCrc);
+    }
+    Ok(payload)
+}
+
+/// Writes one framed payload to a byte stream. A payload above
+/// [`MAX_WIRE_LEN`] is refused *before* anything is written (the peer
+/// would reject the frame anyway, and a length above `u32::MAX` would
+/// silently wrap and desynchronize the stream).
+pub fn write_message(w: &mut impl Write, payload: &[u8]) -> Result<(), WireError> {
+    if payload.len() > MAX_WIRE_LEN {
+        return Err(WireError::Oversized(payload.len() as u64));
+    }
+    let mut framed = Vec::with_capacity(8 + payload.len());
+    framed.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    framed.extend_from_slice(&crc32(payload).to_le_bytes());
+    framed.extend_from_slice(payload);
+    w.write_all(&framed)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// What a [`Request::Query`] asks about.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Query {
+    /// The sliding window: occupancy and live tuple ids.
+    Window,
+    /// One live tuple: arrival coordinates, topicality, match partners.
+    Entity(u64),
+    /// The live result set `ES` (all currently-matched pairs).
+    Results,
+}
+
+/// A client verb.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Append one arrival batch: WAL-commit, step the engine, and return
+    /// the per-arrival match lists.
+    Ingest(Vec<Arrival>),
+    /// Introspect the engine without mutating it.
+    Query(Query),
+    /// Service counters: stream position, WAL size, pruning statistics.
+    Stats,
+    /// Force a checkpoint now (cadence-independent).
+    Checkpoint,
+    /// Checkpoint and stop the daemon gracefully.
+    Shutdown,
+}
+
+const TAG_INGEST: u8 = 0x01;
+const TAG_QUERY: u8 = 0x02;
+const TAG_STATS: u8 = 0x03;
+const TAG_CHECKPOINT: u8 = 0x04;
+const TAG_SHUTDOWN: u8 = 0x05;
+
+const TAG_ERROR: u8 = 0x80;
+const TAG_BUSY: u8 = 0x81;
+const TAG_MATCHES: u8 = 0x82;
+const TAG_WINDOW: u8 = 0x83;
+const TAG_ENTITY: u8 = 0x84;
+const TAG_STATS_REPLY: u8 = 0x85;
+const TAG_ACK: u8 = 0x86;
+
+/// Window introspection reply body.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct WindowInfo {
+    /// Unexpired tuples.
+    pub len: usize,
+    /// Window capacity `w`.
+    pub capacity: usize,
+    /// Ids of the unexpired tuples, ascending.
+    pub live_ids: Vec<u64>,
+}
+
+/// Entity introspection reply body.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct EntityInfo {
+    /// Whether the tuple is live in the window.
+    pub found: bool,
+    /// Source stream.
+    pub stream_id: usize,
+    /// Arrival timestamp.
+    pub timestamp: u64,
+    /// Whether topic-keyword pruning considers it possibly topical.
+    pub possibly_topical: bool,
+    /// Ids currently matched with it (the live result set restricted to
+    /// this tuple), ascending.
+    pub partners: Vec<u64>,
+}
+
+/// Service counters reply body.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct StatsInfo {
+    /// Sequence number the next ingested batch will get — a feeder that
+    /// always sends full fixed-size batches resumes its stream cursor at
+    /// `next_batch_seq * batch_size`.
+    pub next_batch_seq: u64,
+    /// Arrivals folded into the engine since this daemon process started
+    /// (replayed WAL suffix included; checkpointed history is not).
+    pub session_arrivals: u64,
+    /// Committed WAL bytes on disk.
+    pub wal_bytes: u64,
+    /// Window occupancy.
+    pub window_len: usize,
+    /// Cumulative pruning counters (bit-identical to the library engine's).
+    pub stats: PruneStats,
+}
+
+/// A server reply.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Reply {
+    /// The request failed; the service state is unchanged.
+    Error(String),
+    /// The bounded ingest queue is full — retry after draining.
+    Busy,
+    /// Per-arrival match lists for one ingested batch, in arrival order,
+    /// each `(min, max)`-normalized and sorted.
+    Matches(Vec<Vec<(u64, u64)>>),
+    /// Window introspection.
+    Window(WindowInfo),
+    /// Entity introspection.
+    Entity(EntityInfo),
+    /// Service counters.
+    Stats(StatsInfo),
+    /// Verb acknowledged; the payload is verb-specific (checkpoint bytes
+    /// for `Checkpoint`, total batches served for `Shutdown`).
+    Ack(u64),
+}
+
+fn payload_with(tag: u8) -> Encoder {
+    let mut enc = Encoder::new();
+    enc.u8(PROTO_VERSION);
+    enc.u8(tag);
+    enc
+}
+
+/// Splits a received payload into its verb/reply tag and body decoder,
+/// validating the protocol version.
+fn open_payload(payload: &[u8]) -> Result<(u8, Decoder<'_>), WireError> {
+    let mut dec = Decoder::new(payload);
+    let proto = dec.u8()?;
+    if proto != PROTO_VERSION {
+        return Err(WireError::Version(proto));
+    }
+    let tag = dec.u8()?;
+    Ok((tag, dec))
+}
+
+fn finish<T>(dec: &Decoder<'_>, v: T) -> Result<T, WireError> {
+    if !dec.is_exhausted() {
+        return Err(WireError::Codec(CodecError::TrailingBytes));
+    }
+    Ok(v)
+}
+
+/// Encodes a request into a wire payload (version + tag + body).
+pub fn encode_request(req: &Request) -> Vec<u8> {
+    match req {
+        Request::Ingest(batch) => {
+            let mut enc = payload_with(TAG_INGEST);
+            batch.encode(&mut enc);
+            enc.into_bytes()
+        }
+        Request::Query(q) => {
+            let mut enc = payload_with(TAG_QUERY);
+            match q {
+                Query::Window => enc.u8(0),
+                Query::Entity(id) => {
+                    enc.u8(1);
+                    enc.u64(*id);
+                }
+                Query::Results => enc.u8(2),
+            }
+            enc.into_bytes()
+        }
+        Request::Stats => payload_with(TAG_STATS).into_bytes(),
+        Request::Checkpoint => payload_with(TAG_CHECKPOINT).into_bytes(),
+        Request::Shutdown => payload_with(TAG_SHUTDOWN).into_bytes(),
+    }
+}
+
+/// Decodes a request payload. Any malformed input yields `Err`, never a
+/// panic; the body must consume the payload exactly.
+pub fn decode_request(payload: &[u8]) -> Result<Request, WireError> {
+    let (tag, mut dec) = open_payload(payload)?;
+    match tag {
+        TAG_INGEST => {
+            let batch = Vec::<Arrival>::decode(&mut dec)?;
+            finish(&dec, Request::Ingest(batch))
+        }
+        TAG_QUERY => {
+            let q = match dec.u8()? {
+                0 => Query::Window,
+                1 => Query::Entity(dec.u64()?),
+                2 => Query::Results,
+                t => return Err(WireError::UnknownTag(t)),
+            };
+            finish(&dec, Request::Query(q))
+        }
+        TAG_STATS => finish(&dec, Request::Stats),
+        TAG_CHECKPOINT => finish(&dec, Request::Checkpoint),
+        TAG_SHUTDOWN => finish(&dec, Request::Shutdown),
+        t => Err(WireError::UnknownTag(t)),
+    }
+}
+
+impl Codec for WindowInfo {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.usize(self.len);
+        enc.usize(self.capacity);
+        self.live_ids.encode(enc);
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        Ok(WindowInfo {
+            len: dec.usize()?,
+            capacity: dec.usize()?,
+            live_ids: Vec::decode(dec)?,
+        })
+    }
+}
+
+impl Codec for EntityInfo {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.bool(self.found);
+        enc.usize(self.stream_id);
+        enc.u64(self.timestamp);
+        enc.bool(self.possibly_topical);
+        self.partners.encode(enc);
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        Ok(EntityInfo {
+            found: dec.bool()?,
+            stream_id: dec.usize()?,
+            timestamp: dec.u64()?,
+            possibly_topical: dec.bool()?,
+            partners: Vec::decode(dec)?,
+        })
+    }
+}
+
+impl Codec for StatsInfo {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.u64(self.next_batch_seq);
+        enc.u64(self.session_arrivals);
+        enc.u64(self.wal_bytes);
+        enc.usize(self.window_len);
+        self.stats.encode(enc);
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        Ok(StatsInfo {
+            next_batch_seq: dec.u64()?,
+            session_arrivals: dec.u64()?,
+            wal_bytes: dec.u64()?,
+            window_len: dec.usize()?,
+            stats: PruneStats::decode(dec)?,
+        })
+    }
+}
+
+/// Encodes a reply into a wire payload.
+pub fn encode_reply(reply: &Reply) -> Vec<u8> {
+    match reply {
+        Reply::Error(msg) => {
+            let mut enc = payload_with(TAG_ERROR);
+            enc.str(msg);
+            enc.into_bytes()
+        }
+        Reply::Busy => payload_with(TAG_BUSY).into_bytes(),
+        Reply::Matches(per_arrival) => {
+            let mut enc = payload_with(TAG_MATCHES);
+            per_arrival.encode(&mut enc);
+            enc.into_bytes()
+        }
+        Reply::Window(info) => {
+            let mut enc = payload_with(TAG_WINDOW);
+            info.encode(&mut enc);
+            enc.into_bytes()
+        }
+        Reply::Entity(info) => {
+            let mut enc = payload_with(TAG_ENTITY);
+            info.encode(&mut enc);
+            enc.into_bytes()
+        }
+        Reply::Stats(info) => {
+            let mut enc = payload_with(TAG_STATS_REPLY);
+            info.encode(&mut enc);
+            enc.into_bytes()
+        }
+        Reply::Ack(v) => {
+            let mut enc = payload_with(TAG_ACK);
+            enc.u64(*v);
+            enc.into_bytes()
+        }
+    }
+}
+
+/// Decodes a reply payload (strict, panic-free — see [`decode_request`]).
+pub fn decode_reply(payload: &[u8]) -> Result<Reply, WireError> {
+    let (tag, mut dec) = open_payload(payload)?;
+    match tag {
+        TAG_ERROR => {
+            let msg = dec.str()?;
+            finish(&dec, Reply::Error(msg))
+        }
+        TAG_BUSY => finish(&dec, Reply::Busy),
+        TAG_MATCHES => {
+            let per_arrival = Vec::<Vec<(u64, u64)>>::decode(&mut dec)?;
+            finish(&dec, Reply::Matches(per_arrival))
+        }
+        TAG_WINDOW => {
+            let info = WindowInfo::decode(&mut dec)?;
+            finish(&dec, Reply::Window(info))
+        }
+        TAG_ENTITY => {
+            let info = EntityInfo::decode(&mut dec)?;
+            finish(&dec, Reply::Entity(info))
+        }
+        TAG_STATS_REPLY => {
+            let info = StatsInfo::decode(&mut dec)?;
+            finish(&dec, Reply::Stats(info))
+        }
+        TAG_ACK => {
+            let v = dec.u64()?;
+            finish(&dec, Reply::Ack(v))
+        }
+        t => Err(WireError::UnknownTag(t)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+    use ter_repo::{Record, Schema};
+    use ter_text::Dictionary;
+
+    fn sample_batch() -> Vec<Arrival> {
+        let schema = Schema::new(vec!["a", "b"]);
+        let mut dict = Dictionary::new();
+        (0..3)
+            .map(|i| Arrival {
+                stream_id: i % 2,
+                timestamp: i as u64,
+                record: Record::from_texts(
+                    &schema,
+                    i as u64,
+                    &[Some("hello world"), if i == 1 { None } else { Some("x") }],
+                    &mut dict,
+                ),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        let reqs = [
+            Request::Ingest(sample_batch()),
+            Request::Ingest(Vec::new()),
+            Request::Query(Query::Window),
+            Request::Query(Query::Entity(42)),
+            Request::Query(Query::Results),
+            Request::Stats,
+            Request::Checkpoint,
+            Request::Shutdown,
+        ];
+        for req in &reqs {
+            let payload = encode_request(req);
+            assert_eq!(&decode_request(&payload).unwrap(), req, "{req:?}");
+        }
+    }
+
+    #[test]
+    fn replies_round_trip() {
+        let replies = [
+            Reply::Error("boom".into()),
+            Reply::Busy,
+            Reply::Matches(vec![vec![(1, 2), (3, 4)], vec![], vec![(5, 9)]]),
+            Reply::Window(WindowInfo {
+                len: 2,
+                capacity: 400,
+                live_ids: vec![3, 7],
+            }),
+            Reply::Entity(EntityInfo {
+                found: true,
+                stream_id: 1,
+                timestamp: 99,
+                possibly_topical: true,
+                partners: vec![4],
+            }),
+            Reply::Stats(StatsInfo {
+                next_batch_seq: 12,
+                session_arrivals: 1200,
+                wal_bytes: 4096,
+                window_len: 400,
+                stats: PruneStats {
+                    total_pairs: 10,
+                    matches: 2,
+                    ..Default::default()
+                },
+            }),
+            Reply::Ack(77),
+        ];
+        for reply in &replies {
+            let payload = encode_reply(reply);
+            assert_eq!(&decode_reply(&payload).unwrap(), reply, "{reply:?}");
+        }
+    }
+
+    #[test]
+    fn stream_round_trip_and_eof() {
+        let payload = encode_request(&Request::Stats);
+        let mut buf = Vec::new();
+        write_message(&mut buf, &payload).unwrap();
+        write_message(&mut buf, &payload).unwrap();
+        let mut cursor = Cursor::new(&buf);
+        assert_eq!(read_message(&mut cursor).unwrap(), payload);
+        assert_eq!(read_message(&mut cursor).unwrap(), payload);
+        // Clean EOF between frames surfaces as an io error, not a hang.
+        assert!(matches!(read_message(&mut cursor), Err(WireError::Io(_))));
+    }
+
+    #[test]
+    fn wrong_version_and_unknown_tags_rejected() {
+        let mut payload = encode_request(&Request::Stats);
+        payload[0] = 9;
+        assert!(matches!(
+            decode_request(&payload),
+            Err(WireError::Version(9))
+        ));
+        let mut enc = Encoder::new();
+        enc.u8(PROTO_VERSION);
+        enc.u8(0x7F);
+        assert!(matches!(
+            decode_request(&enc.into_bytes()),
+            Err(WireError::UnknownTag(0x7F))
+        ));
+    }
+
+    #[test]
+    fn oversized_frame_rejected_without_allocation() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(u32::MAX).to_le_bytes());
+        buf.extend_from_slice(&[0u8; 4]);
+        let mut cursor = Cursor::new(&buf);
+        assert!(matches!(
+            read_message(&mut cursor),
+            Err(WireError::Oversized(_))
+        ));
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut payload = encode_request(&Request::Shutdown);
+        payload.push(0);
+        assert!(decode_request(&payload).is_err());
+        let mut payload = encode_reply(&Reply::Busy);
+        payload.push(0);
+        assert!(decode_reply(&payload).is_err());
+    }
+}

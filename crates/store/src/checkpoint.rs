@@ -69,6 +69,15 @@ pub fn checkpoint_file_name(wal_seq: u64) -> String {
     format!("ckpt-{wal_seq:020}.bin")
 }
 
+/// Parses the WAL offset back out of a [`checkpoint_file_name`]-shaped
+/// file name (`None` for foreign files).
+pub fn checkpoint_seq_of(name: &str) -> Option<u64> {
+    name.strip_prefix("ckpt-")?
+        .strip_suffix(".bin")?
+        .parse()
+        .ok()
+}
+
 /// Writes `bytes` to `path` atomically (tmp + fsync + rename + dir sync).
 fn write_atomic(path: &Path, bytes: &[u8]) -> Result<(), StoreError> {
     let tmp = path.with_extension("tmp");

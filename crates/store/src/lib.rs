@@ -36,7 +36,7 @@ mod proptests;
 pub use checkpoint::{Checkpoint, Manifest};
 pub use codec::{decode_exact, encode_to_vec, Codec, CodecError, Decoder, Encoder};
 pub use frame::{crc32, FrameError};
-pub use store::{context_fingerprint, Recovery, TerStore};
+pub use store::{context_fingerprint, CompactionPolicy, Recovery, TerStore};
 pub use wal::Wal;
 
 /// Everything that can go wrong in the persistence layer. Recovery

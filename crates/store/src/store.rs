@@ -33,7 +33,7 @@ use ter_stream::Arrival;
 use ter_text::fxhash::FxHasher;
 use ter_text::Token;
 
-use crate::checkpoint::{checkpoint_file_name, Checkpoint, Manifest};
+use crate::checkpoint::{checkpoint_file_name, checkpoint_seq_of, Checkpoint, Manifest};
 use crate::wal::Wal;
 use crate::StoreError;
 
@@ -99,12 +99,53 @@ impl Recovery {
     }
 }
 
+/// How aggressively [`TerStore::checkpoint`] reclaims disk.
+///
+/// The default (`keep_checkpoints: 1`, `truncate_wal: false`) preserves
+/// the original behavior: one checkpoint on disk, the WAL kept whole so a
+/// lost checkpoint can always fall back to a from-zero replay. The
+/// daemon's policy (`two_generation()`) keeps the two newest checkpoint
+/// generations and drops WAL frames *only once two generations have
+/// passed* — i.e. everything below the older surviving checkpoint — so
+/// recovery still succeeds from either generation while the log stops
+/// growing without bound.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CompactionPolicy {
+    /// Newest checkpoint files retained after a successful checkpoint
+    /// (at least 1 — the one the manifest names).
+    pub keep_checkpoints: usize,
+    /// Whether to drop WAL frames already covered by the *oldest
+    /// retained* checkpoint generation.
+    pub truncate_wal: bool,
+}
+
+impl Default for CompactionPolicy {
+    fn default() -> Self {
+        Self {
+            keep_checkpoints: 1,
+            truncate_wal: false,
+        }
+    }
+}
+
+impl CompactionPolicy {
+    /// The bounded-disk policy: two checkpoint generations, WAL truncated
+    /// beneath the older one.
+    pub fn two_generation() -> Self {
+        Self {
+            keep_checkpoints: 2,
+            truncate_wal: true,
+        }
+    }
+}
+
 /// The open store. See the [module docs](self).
 #[derive(Debug)]
 pub struct TerStore {
     dir: PathBuf,
     wal: Wal,
     fingerprint: u64,
+    compaction: CompactionPolicy,
 }
 
 impl TerStore {
@@ -131,7 +172,16 @@ impl TerStore {
             dir,
             wal,
             fingerprint,
+            compaction: CompactionPolicy::default(),
         })
+    }
+
+    /// Sets the checkpoint/WAL retention policy (see [`CompactionPolicy`]).
+    pub fn set_compaction(&mut self, policy: CompactionPolicy) {
+        self.compaction = CompactionPolicy {
+            keep_checkpoints: policy.keep_checkpoints.max(1),
+            ..policy
+        };
     }
 
     /// The store directory.
@@ -157,8 +207,13 @@ impl TerStore {
     }
 
     /// Atomically installs `state` as the checkpoint at the current WAL
-    /// position, flips the manifest, and prunes older checkpoints.
-    /// Returns the checkpoint's byte size.
+    /// position, flips the manifest, and applies the retention policy:
+    /// checkpoints beyond `keep_checkpoints` generations are deleted, and
+    /// (if `truncate_wal`) WAL frames beneath the oldest *retained*
+    /// generation are compacted away — never before a full complement of
+    /// generations exists, so recovery always has a fallback checkpoint
+    /// with its complete replay suffix. Returns the checkpoint's byte
+    /// size.
     pub fn checkpoint(&mut self, state: &EngineState) -> Result<u64, StoreError> {
         let wal_seq = self.wal.next_seq();
         let name = checkpoint_file_name(wal_seq);
@@ -176,9 +231,20 @@ impl TerStore {
         .write(&self.dir.join(MANIFEST_FILE))?;
         // Only after the manifest durably points at the new checkpoint is
         // it safe to drop older ones.
-        for old in self.checkpoint_files()? {
-            if old != name {
+        let keep = self.compaction.keep_checkpoints;
+        let retained: Vec<String> = {
+            let files = self.checkpoint_files()?;
+            for old in files.iter().skip(keep) {
                 let _ = fs::remove_file(self.dir.join(old));
+            }
+            files.into_iter().take(keep).collect()
+        };
+        // Compact the WAL only once `keep` generations have passed: the
+        // oldest retained checkpoint still owns every frame at or above
+        // its seq, so either generation can drive a full recovery.
+        if self.compaction.truncate_wal && retained.len() >= keep {
+            if let Some(oldest_seq) = retained.last().and_then(|n| checkpoint_seq_of(n)) {
+                self.wal.truncate_before(oldest_seq)?;
             }
         }
         Ok(bytes)
@@ -465,6 +531,104 @@ mod tests {
         assert_eq!(files, vec![checkpoint_file_name(2)]);
         let rec = store.recover().unwrap();
         assert_eq!(rec.state, Some(state_at(2)));
+    }
+
+    /// Two-generation compaction bounds the WAL while keeping *both*
+    /// surviving checkpoint generations recoverable: with either one
+    /// destroyed, recovery reconstructs the exact same stream position
+    /// from the other plus the retained WAL frames.
+    #[test]
+    fn compaction_recovers_from_either_surviving_generation() {
+        let batches: Vec<Vec<Arrival>> = (0..8).map(|i| batch(1, i * 10)).collect();
+        // Build: 3 batches, ckpt A (seq 3), 2 batches, ckpt B (seq 5),
+        // 2 more batches logged after B.
+        let build = |dir: &Path| {
+            let mut store = TerStore::open(dir, 1).unwrap();
+            store.set_compaction(CompactionPolicy::two_generation());
+            for b in &batches[..3] {
+                store.log_batch(b).unwrap();
+            }
+            store.checkpoint(&state_at(3)).unwrap();
+            // One generation so far: the WAL must NOT have been compacted
+            // (a damaged ckpt A could still need the full replay).
+            assert_eq!(store.wal.base_seq(), 0);
+            for b in &batches[3..5] {
+                store.log_batch(b).unwrap();
+            }
+            store.checkpoint(&state_at(5)).unwrap();
+            // Two generations passed: frames below A (seq 3) are gone.
+            assert_eq!(store.wal.base_seq(), 3);
+            for b in &batches[5..7] {
+                store.log_batch(b).unwrap();
+            }
+            let mut names = store.checkpoint_files().unwrap();
+            names.sort();
+            assert_eq!(
+                names,
+                vec![checkpoint_file_name(3), checkpoint_file_name(5)],
+                "exactly the two newest generations are retained"
+            );
+        };
+
+        // Newest generation (B) destroyed → recover from A, replaying the
+        // retained frames 3.. (the compacted WAL still covers them).
+        let dir = TempDir::new("gen_b_lost");
+        build(dir.path());
+        fs::remove_file(dir.path().join(checkpoint_file_name(5))).unwrap();
+        let store = TerStore::open(dir.path(), 1).unwrap();
+        let rec = store.recover().unwrap();
+        assert_eq!(rec.state, Some(state_at(3)));
+        assert_eq!(rec.checkpoint_seq, 3);
+        assert_eq!(rec.suffix, batches[3..7].to_vec());
+        assert_eq!(rec.resume_seq(), 7);
+
+        // Older generation (A) corrupted → recover from B.
+        let dir = TempDir::new("gen_a_lost");
+        build(dir.path());
+        let a = dir.path().join(checkpoint_file_name(3));
+        let mut bytes = fs::read(&a).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        fs::write(&a, &bytes).unwrap();
+        let store = TerStore::open(dir.path(), 1).unwrap();
+        let rec = store.recover().unwrap();
+        assert_eq!(rec.state, Some(state_at(5)));
+        assert_eq!(rec.checkpoint_seq, 5);
+        assert_eq!(rec.suffix, batches[5..7].to_vec());
+        assert_eq!(rec.resume_seq(), 7);
+
+        // Both intact → the manifest's generation wins, same position.
+        let dir = TempDir::new("gen_both");
+        build(dir.path());
+        let store = TerStore::open(dir.path(), 1).unwrap();
+        let rec = store.recover().unwrap();
+        assert_eq!(rec.checkpoint_seq, 5);
+        assert_eq!(rec.resume_seq(), 7);
+    }
+
+    /// A third checkpoint under the two-generation policy rolls the
+    /// retention window forward: generation 1 disappears, the WAL base
+    /// advances to generation 2.
+    #[test]
+    fn compaction_rolls_generations_forward() {
+        let dir = TempDir::new("genroll");
+        let mut store = TerStore::open(dir.path(), 1).unwrap();
+        store.set_compaction(CompactionPolicy::two_generation());
+        for i in 0..3 {
+            store.log_batch(&batch(1, i * 10)).unwrap();
+            store.checkpoint(&state_at(i + 1)).unwrap();
+        }
+        let mut names = store.checkpoint_files().unwrap();
+        names.sort();
+        assert_eq!(
+            names,
+            vec![checkpoint_file_name(2), checkpoint_file_name(3)]
+        );
+        assert_eq!(store.wal.base_seq(), 2);
+        assert_eq!(store.wal_seq(), 3);
+        let rec = store.recover().unwrap();
+        assert_eq!(rec.state, Some(state_at(3)));
+        assert!(rec.suffix.is_empty());
     }
 
     #[test]

@@ -216,6 +216,63 @@ impl Wal {
         Ok(seq)
     }
 
+    /// Drops every frame with sequence `< before_seq`, moving the log's
+    /// base forward — WAL compaction. The surviving suffix is rewritten
+    /// atomically (tmp file + fsync + rename + dir sync), so a crash at
+    /// any point leaves either the old log or the compacted one, never a
+    /// torn hybrid. `before_seq` is clamped to `[base_seq, next_seq]`;
+    /// compacting the whole log leaves a valid empty log based at
+    /// `next_seq`. Returns the number of bytes reclaimed.
+    ///
+    /// Callers must only drop frames that a *durable* checkpoint already
+    /// covers — the store layer enforces its two-generation policy before
+    /// calling this.
+    pub fn truncate_before(&mut self, before_seq: u64) -> Result<u64, StoreError> {
+        let before_seq = before_seq.clamp(self.base_seq, self.next_seq);
+        if before_seq == self.base_seq {
+            return Ok(0);
+        }
+        let survivors = self.read_batches(before_seq)?;
+        let mut bytes = Vec::with_capacity(HEADER_LEN as usize);
+        bytes.extend_from_slice(WAL_MAGIC);
+        bytes.extend_from_slice(&self.fingerprint.to_le_bytes());
+        bytes.extend_from_slice(&before_seq.to_le_bytes());
+        for (seq, arrivals) in &survivors {
+            let mut enc = Encoder::new();
+            enc.u64(*seq);
+            arrivals.encode(&mut enc);
+            write_frame(&mut bytes, &enc.into_bytes());
+        }
+        let tmp = self.path.with_extension("compact");
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(&tmp)?;
+        file.write_all(&bytes)?;
+        file.sync_data()?;
+        // Keep the handle across the rename: the fd follows the inode, so
+        // once `tmp` becomes the WAL there is no reopen step that could
+        // fail and silently leave appends going to an unlinked file. If
+        // the rename itself fails, `self` is untouched and still owns the
+        // original log.
+        std::fs::rename(&tmp, &self.path)?;
+        if let Some(dir) = self.path.parent() {
+            // Best-effort dir sync (matches the checkpoint writer): losing
+            // it weakens durability of the rename, not consistency.
+            if let Ok(d) = File::open(dir) {
+                let _ = d.sync_all();
+            }
+        }
+        let reclaimed = self.tail - bytes.len() as u64;
+        file.seek(SeekFrom::End(0))?;
+        self.file = file;
+        self.base_seq = before_seq;
+        self.tail = bytes.len() as u64;
+        Ok(reclaimed)
+    }
+
     /// Re-reads the committed batches with sequence `>= from_seq`, in
     /// order. The committed region was validated at open and every append
     /// since went through the encoder, so errors here indicate the file
@@ -375,6 +432,55 @@ mod tests {
         // The refused open must not have damaged the file.
         let wal = Wal::open(&path, 1).unwrap();
         assert_eq!(wal.next_seq(), 1);
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn truncate_before_drops_prefix_and_keeps_appending() {
+        let path = temp_path("compact");
+        let batches: Vec<Vec<Arrival>> = (0..5).map(|i| arrivals(2, i * 10)).collect();
+        let mut wal = Wal::open(&path, 3).unwrap();
+        for b in &batches {
+            wal.append(b).unwrap();
+        }
+        let before = wal.len_bytes();
+        let reclaimed = wal.truncate_before(3).unwrap();
+        assert!(reclaimed > 0 && wal.len_bytes() == before - reclaimed);
+        assert_eq!(wal.base_seq(), 3);
+        assert_eq!(wal.next_seq(), 5);
+        assert_eq!(
+            wal.read_batches(0).unwrap(),
+            vec![(3, batches[3].clone()), (4, batches[4].clone())]
+        );
+        // Appends continue at the same logical sequence.
+        let b5 = arrivals(1, 90);
+        assert_eq!(wal.append(&b5).unwrap(), 5);
+        drop(wal);
+        // Survives reopen: base comes from the rewritten header.
+        let wal = Wal::open(&path, 3).unwrap();
+        assert_eq!(wal.base_seq(), 3);
+        assert_eq!(wal.next_seq(), 6);
+        assert_eq!(wal.read_batches(5).unwrap(), vec![(5, b5)]);
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn truncate_before_clamps_and_noops() {
+        let path = temp_path("compactclamp");
+        let mut wal = Wal::open(&path, 3).unwrap();
+        wal.append(&arrivals(1, 0)).unwrap();
+        wal.append(&arrivals(1, 10)).unwrap();
+        // Below the base: nothing to do.
+        assert_eq!(wal.truncate_before(0).unwrap(), 0);
+        assert_eq!(wal.base_seq(), 0);
+        // Past the tip: clamped to an empty log based at next_seq.
+        wal.truncate_before(99).unwrap();
+        assert_eq!(wal.base_seq(), 2);
+        assert_eq!(wal.next_seq(), 2);
+        assert!(wal.read_batches(0).unwrap().is_empty());
+        let b = arrivals(1, 20);
+        assert_eq!(wal.append(&b).unwrap(), 2);
+        assert_eq!(wal.read_batches(0).unwrap(), vec![(2, b)]);
         let _ = fs::remove_file(&path);
     }
 

@@ -109,29 +109,79 @@ impl StreamSet {
     /// `cursor_at(wal_batches * batch, batch)` — the cursor emits exactly
     /// the arrivals the crashed run had not yet committed to its WAL.
     ///
+    /// The cursor seeks once (a binary search over round-robin rounds,
+    /// `O(n log L)` for `n` streams of maximum length `L`) and then walks
+    /// the streams in place: arrivals before `start` are never cloned, so
+    /// resuming a long stream at a late position costs nothing proportional
+    /// to the skipped prefix.
+    ///
     /// # Panics
     /// Panics if `batch == 0`.
-    pub fn cursor_at(&self, start: usize, batch: usize) -> ArrivalCursor {
+    pub fn cursor_at(&self, start: usize, batch: usize) -> ArrivalCursor<'_> {
         assert!(batch > 0, "batch size must be positive");
+        let total = self.total_len();
+        // Seek with the clamped position; `pos` itself stays as given so
+        // `pos()` keeps reporting the caller's resume point verbatim.
+        let target = start.min(total);
+        // In the round-robin merge every stream still holding tuples emits
+        // exactly one per round, so the arrival emitted by stream `s` in
+        // round `r` is `self.streams[s][r]`, and the number of arrivals in
+        // rounds `< r` is `Σ_s min(len_s, r)` — monotonic in `r`, hence
+        // binary-searchable for the round containing `pos`.
+        let emitted_before =
+            |r: usize| -> usize { self.streams.iter().map(|s| s.len().min(r)).sum() };
+        let max_round = self.streams.iter().map(Vec::len).max().unwrap_or(0);
+        let (mut lo, mut hi) = (0usize, max_round);
+        while lo < hi {
+            // Find the largest round with `emitted_before(round) <= target`.
+            let mid = lo + (hi - lo).div_ceil(2);
+            if emitted_before(mid) <= target {
+                lo = mid;
+            } else {
+                hi = mid - 1;
+            }
+        }
+        let round = lo;
+        // Walk within the round to the stream owning the target arrival.
+        let mut into_round = target - emitted_before(round);
+        let mut stream = 0;
+        while into_round > 0 {
+            if self.streams[stream].len() > round {
+                into_round -= 1;
+            }
+            stream += 1;
+        }
         ArrivalCursor {
-            arrivals: self.arrivals(),
+            streams: &self.streams,
+            round,
+            stream,
             pos: start,
+            total,
             batch,
+            materialized: 0,
         }
     }
 }
 
 /// A resumable batch iterator over a [`StreamSet`]'s merged arrival order
 /// (see [`StreamSet::cursor_at`]). Tracks its position so callers can
-/// correlate emitted batches with WAL sequence numbers.
+/// correlate emitted batches with WAL sequence numbers. Borrows the
+/// stream set and clones records only as they are emitted.
 #[derive(Debug, Clone)]
-pub struct ArrivalCursor {
-    arrivals: Vec<Arrival>,
+pub struct ArrivalCursor<'a> {
+    streams: &'a [Vec<Record>],
+    /// Round-robin round of the next arrival (its index within a stream).
+    round: usize,
+    /// Next stream id to consider within the current round.
+    stream: usize,
+    /// Global arrival index (== timestamp) of the next arrival.
     pos: usize,
+    total: usize,
     batch: usize,
+    materialized: usize,
 }
 
-impl ArrivalCursor {
+impl ArrivalCursor<'_> {
     /// Index of the next arrival the cursor will emit.
     pub fn pos(&self) -> usize {
         self.pos
@@ -139,20 +189,42 @@ impl ArrivalCursor {
 
     /// Arrivals not yet emitted.
     pub fn remaining(&self) -> usize {
-        self.arrivals.len().saturating_sub(self.pos)
+        self.total.saturating_sub(self.pos)
+    }
+
+    /// How many arrivals this cursor has cloned out of the stream set so
+    /// far. A cursor resumed at a late position starts at 0 — the skipped
+    /// prefix is never re-materialized (regression-tested).
+    pub fn materialized(&self) -> usize {
+        self.materialized
     }
 }
 
-impl Iterator for ArrivalCursor {
+impl Iterator for ArrivalCursor<'_> {
     type Item = Vec<Arrival>;
 
     fn next(&mut self) -> Option<Self::Item> {
-        if self.pos >= self.arrivals.len() {
+        if self.pos >= self.total {
             return None;
         }
-        let end = (self.pos + self.batch).min(self.arrivals.len());
-        let out = self.arrivals[self.pos..end].to_vec();
-        self.pos = end;
+        let mut out = Vec::with_capacity(self.batch.min(self.total - self.pos));
+        while out.len() < self.batch && self.pos < self.total {
+            if self.stream >= self.streams.len() {
+                self.round += 1;
+                self.stream = 0;
+                continue;
+            }
+            if self.streams[self.stream].len() > self.round {
+                out.push(Arrival {
+                    stream_id: self.stream,
+                    timestamp: self.pos as u64,
+                    record: self.streams[self.stream][self.round].clone(),
+                });
+                self.pos += 1;
+                self.materialized += 1;
+            }
+            self.stream += 1;
+        }
         Some(out)
     }
 }
@@ -241,6 +313,45 @@ mod tests {
             assert_eq!(replayed, flat[start.min(flat.len())..].to_vec());
             assert_eq!(cur.remaining(), 0);
             assert!(cur.next().is_none());
+        }
+    }
+
+    /// Resuming at a late position must not re-materialize the skipped
+    /// prefix: the cursor seeks once and clones only what it emits.
+    #[test]
+    fn late_resume_does_not_rematerialize_prefix() {
+        let mut d = Dictionary::new();
+        let streams: Vec<Vec<Record>> = (0..3)
+            .map(|s| {
+                (0..200)
+                    .map(|i| rec(&mut d, 1000 * s + i, "w"))
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        let s = StreamSet::new(streams);
+        let total = s.total_len();
+        let start = total - 5;
+        let mut cur = s.cursor_at(start, 2);
+        assert_eq!(cur.materialized(), 0, "seek alone must clone nothing");
+        let tail: Vec<Arrival> = cur.by_ref().flatten().collect();
+        assert_eq!(cur.materialized(), 5, "only the emitted tail is cloned");
+        assert_eq!(tail, s.arrivals()[start..].to_vec());
+        // Ragged stream lengths exercise rounds where some streams are
+        // exhausted: the seek must still land on the right arrival.
+        let mut d = Dictionary::new();
+        let ragged = StreamSet::new(vec![
+            (0..7).map(|i| rec(&mut d, i, "a")).collect(),
+            (0..1).map(|i| rec(&mut d, 100 + i, "b")).collect(),
+            vec![],
+            (0..23).map(|i| rec(&mut d, 200 + i, "c")).collect(),
+        ]);
+        let flat = ragged.arrivals();
+        for start in 0..=flat.len() {
+            let mut cur = ragged.cursor_at(start, 3);
+            assert_eq!(cur.materialized(), 0);
+            let replayed: Vec<Arrival> = cur.by_ref().flatten().collect();
+            assert_eq!(replayed, flat[start..].to_vec(), "start {start}");
+            assert_eq!(cur.materialized(), flat.len() - start);
         }
     }
 

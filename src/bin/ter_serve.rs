@@ -1,0 +1,351 @@
+//! The `ter_serve` command-line front end: run the daemon, feed it a
+//! preset stream, or query it.
+//!
+//! ```text
+//! ter_serve serve --dir DIR [--addr 127.0.0.1:7341] [--preset ebooks]
+//!                 [--scale 1.0] [--window 400] [--checkpoint-every 8]
+//!                 [--queue-depth 16] [--shards 8] [--threads T]
+//! ter_serve feed  --addr ADDR [--preset ebooks] [--scale 1.0]
+//!                 [--window 400] [--batch 64] [--from auto|N]
+//!                 [--oracle-check] [--quiet]
+//! ter_serve query --addr ADDR [--id ID]
+//! ter_serve shutdown --addr ADDR
+//! ```
+//!
+//! The daemon prints `LISTENING <addr>` once the socket is bound (`:0`
+//! resolves to a real port), so harnesses can scrape the address. Both
+//! `serve` and `feed` build the *same* deterministic generated dataset
+//! from `(--preset, --scale, --window)`; the context fingerprint
+//! guarantees a store directory is never mixed across datasets.
+//!
+//! `feed --from auto` (the default) asks the daemon where its WAL ends
+//! and resumes the stream cursor there — after a `kill -9`, rerunning the
+//! same `feed` command completes the stream without double-feeding.
+//! `--oracle-check` then replays the whole stream through an in-process
+//! engine and insists the daemon's final statistics are bit-identical.
+
+use std::process::ExitCode;
+use std::time::{Duration, Instant};
+
+use ter_datasets::{preset, GenOptions, Preset};
+use ter_exec::ExecConfig;
+use ter_ids::{ErProcessor, Params, PruningMode, TerContext, TerIdsEngine};
+use ter_repo::PivotConfig;
+use ter_rules::DiscoveryConfig;
+use ter_serve::{Client, ServeOptions, Server};
+use ter_stream::StreamSet;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: ter_serve <serve|feed|query|shutdown> [flags]\n\
+         \n\
+         serve    --dir DIR [--addr 127.0.0.1:7341] [--preset ebooks] [--scale 1.0]\n\
+         \x20        [--window 400] [--checkpoint-every 8] [--queue-depth 16]\n\
+         \x20        [--shards 8] [--threads T]\n\
+         feed     --addr ADDR [--preset ebooks] [--scale 1.0] [--window 400]\n\
+         \x20        [--batch 64] [--from auto|N] [--batches N] [--oracle-check] [--quiet]\n\
+         query    --addr ADDR [--id ID]\n\
+         shutdown --addr ADDR"
+    );
+    std::process::exit(2);
+}
+
+/// Flag parser: `--key value` pairs after the subcommand.
+struct Flags(Vec<(String, String)>);
+
+impl Flags {
+    fn parse(args: &[String]) -> Self {
+        let mut out = Vec::new();
+        let mut i = 0;
+        while i < args.len() {
+            let Some(key) = args[i].strip_prefix("--") else {
+                eprintln!("unexpected argument: {}", args[i]);
+                usage();
+            };
+            // Boolean flags take no value.
+            if matches!(key, "oracle-check" | "quiet") {
+                out.push((key.to_string(), "true".to_string()));
+                i += 1;
+                continue;
+            }
+            let Some(value) = args.get(i + 1) else {
+                eprintln!("flag --{key} needs a value");
+                usage();
+            };
+            out.push((key.to_string(), value.clone()));
+            i += 2;
+        }
+        Self(out)
+    }
+
+    fn get(&self, key: &str) -> Option<&str> {
+        self.0
+            .iter()
+            .rev()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    fn parsed<T: std::str::FromStr>(&self, key: &str, default: T) -> T {
+        match self.get(key) {
+            None => default,
+            Some(raw) => raw.parse().unwrap_or_else(|_| {
+                eprintln!("invalid value for --{key}: {raw}");
+                usage();
+            }),
+        }
+    }
+
+    fn required(&self, key: &str) -> &str {
+        self.get(key).unwrap_or_else(|| {
+            eprintln!("missing required flag --{key}");
+            usage();
+        })
+    }
+
+    fn has(&self, key: &str) -> bool {
+        self.get(key).is_some()
+    }
+}
+
+fn parse_preset(name: &str) -> Preset {
+    match name.to_ascii_lowercase().as_str() {
+        "citations" => Preset::Citations,
+        "anime" => Preset::Anime,
+        "bikes" => Preset::Bikes,
+        "ebooks" => Preset::EBooks,
+        "songs" => Preset::Songs,
+        _ => {
+            eprintln!("unknown preset {name} (citations|anime|bikes|ebooks|songs)");
+            usage();
+        }
+    }
+}
+
+/// Builds the deterministic dataset + offline context shared by `serve`,
+/// `feed --from auto`, and the oracle check.
+fn build(flags: &Flags) -> (TerContext, StreamSet, Params) {
+    let p = parse_preset(flags.get("preset").unwrap_or("ebooks"));
+    let scale: f64 = flags.parsed("scale", 1.0);
+    let params = Params {
+        window: flags.parsed("window", Params::default().window),
+        ..Params::default()
+    };
+    let ds = preset(
+        p,
+        &GenOptions {
+            scale,
+            ..GenOptions::default()
+        },
+    );
+    let keywords = ds.keywords();
+    let ctx = TerContext::build(
+        ds.repo.clone(),
+        keywords,
+        &PivotConfig::default(),
+        &DiscoveryConfig::default(),
+        params.fanout,
+    );
+    (ctx, ds.streams, params)
+}
+
+fn cmd_serve(flags: &Flags) -> ExitCode {
+    let dir = flags.required("dir").to_string();
+    let addr = flags.get("addr").unwrap_or("127.0.0.1:7341").to_string();
+    let opts = ServeOptions {
+        queue_depth: flags.parsed("queue-depth", 16),
+        checkpoint_every: flags.parsed("checkpoint-every", 8),
+        exec: ExecConfig {
+            shards: flags.parsed("shards", 8),
+            threads: flags.parsed("threads", ExecConfig::default().threads),
+        },
+        ..ServeOptions::default()
+    };
+    eprintln!(
+        "building context ({})...",
+        flags.get("preset").unwrap_or("ebooks")
+    );
+    let (ctx, _streams, params) = build(flags);
+    let server = match Server::bind(&addr) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("bind {addr}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let bound = server.addr().expect("bound address");
+    // The line harnesses scrape; keep the format stable.
+    println!("LISTENING {bound}");
+    use std::io::Write;
+    std::io::stdout().flush().ok();
+    match server.run(&ctx, params, std::path::Path::new(&dir), &opts) {
+        Ok(report) => {
+            println!(
+                "shutdown: resumed_at={} replayed={} batches={} arrivals={} checkpoints={}",
+                report.resumed_at,
+                report.replayed,
+                report.batches,
+                report.arrivals,
+                report.checkpoints
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("serve failed: {e}");
+            ExitCode::from(1)
+        }
+    }
+}
+
+fn connect(flags: &Flags) -> Client {
+    let addr: std::net::SocketAddr = flags.required("addr").parse().unwrap_or_else(|_| {
+        eprintln!("invalid --addr");
+        usage();
+    });
+    match Client::connect_retry(addr, Duration::from_secs(30)) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("connect {addr}: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn cmd_feed(flags: &Flags) -> ExitCode {
+    let batch: usize = flags.parsed("batch", 64);
+    let quiet = flags.has("quiet");
+    let (ctx, streams, params) = build(flags);
+    let mut client = connect(flags);
+    let from = match flags.get("from").unwrap_or("auto") {
+        "auto" => {
+            let stats = client.stats().expect("stats");
+            // The feeder always sends full `batch`-sized batches (only the
+            // final one may be short), so the committed batch count maps
+            // directly to an arrival offset.
+            (stats.next_batch_seq as usize) * batch
+        }
+        raw => raw.parse().unwrap_or_else(|_| {
+            eprintln!("invalid --from (auto or an arrival index)");
+            usage();
+        }),
+    };
+    // `--batches N` stops after N batches — harnesses use it to leave a
+    // stream half-fed before a kill.
+    let limit: usize = flags.parsed("batches", usize::MAX);
+    let mut cursor = streams.cursor_at(from, batch);
+    let total = cursor.remaining();
+    if !quiet {
+        println!(
+            "feeding {} arrivals (from arrival {}, batch {})",
+            total, from, batch
+        );
+    }
+    let start = Instant::now();
+    let mut matches = 0usize;
+    let mut fed = 0usize;
+    for (i, b) in cursor.by_ref().enumerate() {
+        if i >= limit {
+            break;
+        }
+        let per_arrival = match client.ingest_wait(&b) {
+            Ok(m) => m,
+            Err(e) => {
+                eprintln!("ingest failed at arrival {fed}: {e}");
+                return ExitCode::from(1);
+            }
+        };
+        fed += b.len();
+        matches += per_arrival.iter().map(Vec::len).sum::<usize>();
+    }
+    let secs = start.elapsed().as_secs_f64();
+    println!(
+        "fed {fed} arrivals in {secs:.2}s ({:.0} tuples/s), {matches} matches reported",
+        fed as f64 / secs.max(1e-9)
+    );
+    if flags.has("oracle-check") {
+        let stats = client.stats().expect("stats");
+        let mut oracle = TerIdsEngine::new(&ctx, params, PruningMode::Full);
+        for b in streams.cursor_at(0, batch) {
+            oracle.step_batch(&b);
+        }
+        if stats.stats == oracle.prune_stats() && stats.window_len == oracle.window_len() {
+            println!("PARITY OK: daemon statistics bit-identical to the library engine");
+        } else {
+            eprintln!(
+                "PARITY FAILED:\n  daemon: {:?} (window {})\n  oracle: {:?} (window {})",
+                stats.stats,
+                stats.window_len,
+                oracle.prune_stats(),
+                oracle.window_len()
+            );
+            return ExitCode::from(1);
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_query(flags: &Flags) -> ExitCode {
+    let mut client = connect(flags);
+    if let Some(raw) = flags.get("id") {
+        let id: u64 = raw.parse().unwrap_or_else(|_| {
+            eprintln!("invalid --id");
+            usage();
+        });
+        let info = client.entity(id).expect("entity query");
+        if info.found {
+            println!(
+                "entity {id}: stream={} timestamp={} topical={} partners={:?}",
+                info.stream_id, info.timestamp, info.possibly_topical, info.partners
+            );
+        } else {
+            println!("entity {id}: not live");
+        }
+        return ExitCode::SUCCESS;
+    }
+    let stats = client.stats().expect("stats");
+    let window = client.window().expect("window");
+    let results = client.results().expect("results");
+    println!(
+        "position: batch {} ({} arrivals this session), WAL {} bytes",
+        stats.next_batch_seq, stats.session_arrivals, stats.wal_bytes
+    );
+    println!("window: {}/{} live tuples", window.len, window.capacity);
+    println!(
+        "pruning: {} pairs → topic {} / sim {} / prob {} / instance {} / matches {}",
+        stats.stats.total_pairs,
+        stats.stats.topic,
+        stats.stats.sim,
+        stats.stats.prob,
+        stats.stats.instance,
+        stats.stats.matches
+    );
+    println!("live matches: {results:?}");
+    ExitCode::SUCCESS
+}
+
+fn cmd_shutdown(flags: &Flags) -> ExitCode {
+    let mut client = connect(flags);
+    match client.shutdown() {
+        Ok(batches) => {
+            println!("daemon stopped after {batches} batches this run");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("shutdown failed: {e}");
+            ExitCode::from(1)
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else { usage() };
+    let flags = Flags::parse(&args[1..]);
+    match cmd.as_str() {
+        "serve" => cmd_serve(&flags),
+        "feed" => cmd_feed(&flags),
+        "query" => cmd_query(&flags),
+        "shutdown" => cmd_shutdown(&flags),
+        _ => usage(),
+    }
+}

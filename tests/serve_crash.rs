@@ -1,0 +1,320 @@
+//! End-to-end crash-kill harness for the `ter_serve` daemon — the
+//! acceptance test of the service layer's durability contract, across a
+//! *real* process boundary:
+//!
+//! 1. spawn the release/debug `ter_serve` binary as a child process and
+//!    ingest through its TCP protocol;
+//! 2. `SIGKILL` it mid-stream (`Child::kill` — no destructors, no flush,
+//!    no goodbye: exactly `kill -9`);
+//! 3. restart it on the same directory, verify it resumes at
+//!    `Recovery::resume_seq`, and feed the rest of the stream;
+//! 4. require the **concatenated** per-arrival match lists, final pruning
+//!    statistics, window contents, and live result set to be
+//!    bit-identical to a never-crashed in-process
+//!    `ShardedTerIdsEngine` run over the same preset.
+//!
+//! A second scenario kills the daemon *while requests are in flight* and
+//! checks the WAL-before-ack guarantee: every batch a client saw acked
+//! survives the kill, and the final state still converges to the oracle.
+
+use std::io::{BufRead, BufReader};
+use std::net::SocketAddr;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::sync::mpsc;
+use std::time::Duration;
+
+use ter_datasets::{preset, GenOptions, Preset};
+use ter_exec::{ExecConfig, ShardedTerIdsEngine};
+use ter_ids::{ErProcessor, Params, PruningMode, TerContext};
+use ter_repo::PivotConfig;
+use ter_rules::DiscoveryConfig;
+use ter_serve::Client;
+use ter_stream::{Arrival, StreamSet};
+
+/// Must match the CLI flags below — both processes must derive the same
+/// dataset and engine identity or the store fingerprint refuses.
+const PRESET: &str = "citations";
+const SCALE: f64 = 0.2;
+const WINDOW: usize = 60;
+const BATCH: usize = 8;
+
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(tag: &str) -> Self {
+        let p = std::env::temp_dir().join(format!("ter_serve_crash_{}_{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&p);
+        std::fs::create_dir_all(&p).unwrap();
+        Self(p)
+    }
+    fn path(&self) -> &Path {
+        &self.0
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+/// A running daemon child whose kill/wait is cleaned up even on panic.
+struct Daemon {
+    child: Child,
+    addr: SocketAddr,
+}
+
+impl Daemon {
+    /// Spawns the actual `ter_serve` binary on an ephemeral port and
+    /// scrapes `LISTENING <addr>` from its stdout.
+    fn spawn(dir: &Path) -> Self {
+        let mut child = Command::new(env!("CARGO_BIN_EXE_ter_serve"))
+            .args([
+                "serve",
+                "--dir",
+                dir.to_str().unwrap(),
+                "--addr",
+                "127.0.0.1:0",
+                "--preset",
+                PRESET,
+                "--scale",
+                &SCALE.to_string(),
+                "--window",
+                &WINDOW.to_string(),
+                "--checkpoint-every",
+                "4",
+                "--shards",
+                "4",
+                "--threads",
+                "2",
+            ])
+            .stdout(Stdio::piped())
+            .spawn()
+            .expect("spawn ter_serve");
+        let stdout = child.stdout.take().expect("piped stdout");
+        // Scrape the address on a thread so a wedged daemon fails the test
+        // with a timeout instead of hanging it.
+        let (tx, rx) = mpsc::channel();
+        std::thread::spawn(move || {
+            let mut reader = BufReader::new(stdout);
+            let mut line = String::new();
+            while reader.read_line(&mut line).unwrap_or(0) > 0 {
+                if let Some(addr) = line.trim().strip_prefix("LISTENING ") {
+                    let _ = tx.send(addr.to_string());
+                    break;
+                }
+                line.clear();
+            }
+            // Keep draining so the daemon never blocks on a full pipe.
+            let mut sink = String::new();
+            while reader.read_line(&mut sink).unwrap_or(0) > 0 {
+                sink.clear();
+            }
+        });
+        let addr: SocketAddr = rx
+            .recv_timeout(Duration::from_secs(120))
+            .expect("daemon did not print LISTENING in time")
+            .parse()
+            .expect("parse LISTENING address");
+        Self { child, addr }
+    }
+
+    fn client(&self) -> Client {
+        Client::connect_retry(self.addr, Duration::from_secs(30)).expect("connect to daemon")
+    }
+
+    /// SIGKILL — the point of the exercise.
+    fn kill9(mut self) {
+        self.child.kill().expect("SIGKILL daemon");
+        self.child.wait().expect("reap daemon");
+    }
+
+    /// Waits for a clean exit after a graceful client shutdown.
+    fn wait_graceful(mut self) {
+        let status = self.child.wait().expect("wait daemon");
+        assert!(status.success(), "daemon exited with {status}");
+    }
+}
+
+impl Drop for Daemon {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+/// The same deterministic dataset + context the CLI builds from the same
+/// flags.
+fn build_oracle_inputs() -> (TerContext, StreamSet, Params) {
+    let ds = preset(
+        Preset::Citations,
+        &GenOptions {
+            scale: SCALE,
+            ..GenOptions::default()
+        },
+    );
+    let params = Params {
+        window: WINDOW,
+        ..Params::default()
+    };
+    let keywords = ds.keywords();
+    let ctx = TerContext::build(
+        ds.repo.clone(),
+        keywords,
+        &PivotConfig::default(),
+        &DiscoveryConfig::default(),
+        params.fanout,
+    );
+    (ctx, ds.streams, params)
+}
+
+/// A never-crashed in-process `ShardedTerIdsEngine` run: per-arrival
+/// match lists plus the final engine.
+fn oracle_run<'a>(
+    ctx: &'a TerContext,
+    params: Params,
+    batches: &[Vec<Arrival>],
+) -> (Vec<Vec<(u64, u64)>>, ShardedTerIdsEngine<'a>) {
+    let mut engine = ShardedTerIdsEngine::new(
+        ctx,
+        params,
+        PruningMode::Full,
+        ExecConfig {
+            shards: 4,
+            threads: 2,
+        },
+    );
+    let mut per_arrival = Vec::new();
+    for b in batches {
+        per_arrival.extend(engine.step_batch(b).into_iter().map(|o| o.new_matches));
+    }
+    (per_arrival, engine)
+}
+
+/// Controlled kill between acks: every pre-kill batch was acked, so the
+/// concatenation of (pre-kill acks, post-restart acks) must reproduce the
+/// oracle's per-arrival output stream exactly.
+#[test]
+fn sigkill_between_batches_is_bit_identical_to_oracle() {
+    let (ctx, streams, params) = build_oracle_inputs();
+    let batches = streams.arrival_batches(BATCH);
+    assert!(batches.len() >= 10, "stream too short for the scenario");
+    let cut = batches.len() / 2;
+    let (oracle_matches, oracle) = oracle_run(&ctx, params, &batches);
+
+    let dir = TempDir::new("between");
+    let mut served: Vec<Vec<(u64, u64)>> = Vec::new();
+
+    // ---- phase 1: ingest half the stream, then SIGKILL ----
+    let daemon = Daemon::spawn(dir.path());
+    let mut client = daemon.client();
+    for batch in &batches[..cut] {
+        served.extend(client.ingest_wait(batch).expect("ingest"));
+    }
+    daemon.kill9();
+
+    // ---- phase 2: restart, resume at resume_seq, finish the stream ----
+    let daemon = Daemon::spawn(dir.path());
+    let mut client = daemon.client();
+    let stats = client.stats().expect("stats");
+    assert_eq!(
+        stats.next_batch_seq, cut as u64,
+        "daemon must resume exactly after the last acked batch"
+    );
+    // The stream cursor hand-off the CLI uses: committed batches → arrival
+    // offset (all committed batches are full-size by construction).
+    let mut cursor = streams.cursor_at(stats.next_batch_seq as usize * BATCH, BATCH);
+    let resumed: Vec<Vec<Arrival>> = cursor.by_ref().collect();
+    assert_eq!(resumed, batches[cut..].to_vec(), "cursor hand-off");
+    for batch in &resumed {
+        served.extend(client.ingest_wait(batch).expect("ingest after restart"));
+    }
+
+    // ---- the acceptance gate ----
+    assert_eq!(
+        served, oracle_matches,
+        "concatenated per-arrival results diverged from the uninterrupted run"
+    );
+    let stats = client.stats().expect("final stats");
+    assert_eq!(stats.stats, oracle.prune_stats(), "pruning statistics");
+    assert_eq!(stats.next_batch_seq, batches.len() as u64);
+    let window = client.window().expect("window");
+    assert_eq!(window.len, oracle.window_len());
+    assert_eq!(window.live_ids, oracle.live_ids());
+    let mut oracle_pairs: Vec<(u64, u64)> = oracle.results().iter().collect();
+    oracle_pairs.sort_unstable();
+    assert_eq!(client.results().expect("results"), oracle_pairs);
+
+    client.shutdown().expect("graceful shutdown");
+    daemon.wait_graceful();
+
+    // A graceful restart afterwards resumes instantly from the shutdown
+    // checkpoint with nothing to replay.
+    let daemon = Daemon::spawn(dir.path());
+    let mut client = daemon.client();
+    assert_eq!(
+        client.stats().expect("stats").next_batch_seq,
+        batches.len() as u64
+    );
+    client.shutdown().expect("shutdown");
+    daemon.wait_graceful();
+}
+
+/// Uncontrolled kill with requests in flight: whatever the daemon acked
+/// must survive (WAL-before-ack), the restart position is a batch
+/// boundary at or past the acks, and finishing the stream converges to
+/// the oracle's final state.
+#[test]
+fn sigkill_mid_flight_loses_no_acked_batch() {
+    let (ctx, streams, params) = build_oracle_inputs();
+    let batches = streams.arrival_batches(BATCH);
+    let (_, oracle) = oracle_run(&ctx, params, &batches);
+
+    let dir = TempDir::new("midflight");
+    let daemon = Daemon::spawn(dir.path());
+
+    // Feeder thread: ingest until the connection dies under the kill.
+    let addr = daemon.addr;
+    let feeder_batches = batches.clone();
+    let feeder = std::thread::spawn(move || {
+        let mut client =
+            Client::connect_retry(addr, Duration::from_secs(30)).expect("feeder connect");
+        let mut acked = 0u64;
+        for batch in &feeder_batches {
+            match client.ingest_wait(batch) {
+                Ok(_) => acked += 1,
+                Err(_) => break, // the kill severed the connection
+            }
+        }
+        acked
+    });
+    // Let some batches through, then SIGKILL with the feeder mid-stream.
+    std::thread::sleep(Duration::from_millis(30));
+    daemon.kill9();
+    let acked = feeder.join().expect("feeder");
+
+    let daemon = Daemon::spawn(dir.path());
+    let mut client = daemon.client();
+    let committed = client.stats().expect("stats").next_batch_seq;
+    assert!(
+        committed >= acked,
+        "daemon acked batch {acked} but only {committed} survived the kill \
+         — the WAL-before-ack contract is broken"
+    );
+    assert!(
+        committed <= batches.len() as u64,
+        "more batches committed than were ever sent"
+    );
+    // Finish the stream from the committed position and require full
+    // final-state convergence with the never-crashed oracle.
+    for batch in &batches[committed as usize..] {
+        client.ingest_wait(batch).expect("ingest after restart");
+    }
+    let stats = client.stats().expect("final stats");
+    assert_eq!(stats.stats, oracle.prune_stats(), "pruning statistics");
+    let window = client.window().expect("window");
+    assert_eq!(window.live_ids, oracle.live_ids());
+    client.shutdown().expect("shutdown");
+    daemon.wait_graceful();
+}
