@@ -23,6 +23,9 @@ struct Measured {
     threads: usize,
     secs: f64,
     tuples_per_sec: f64,
+    /// Merge-thread barrier rounds per arrival (2 lock-step, ~1
+    /// overlapped — the pipelined drive's claim, measured).
+    barriers_per_arrival: f64,
     /// The timed run's reported pairs, sorted — parity-checked against the
     /// sequential oracle (timing only the grid-mutation side of the engine
     /// would be pointless if its answers drifted).
@@ -34,12 +37,16 @@ fn run_sharded(prepared: &Prepared, threads: usize, shards: usize, batch: usize)
         &prepared.ctx,
         prepared.params,
         PruningMode::Full,
-        ExecConfig { shards, threads },
+        ExecConfig::new(shards, threads),
     );
+    // One persistent worker-pool session for the whole stream — the
+    // production execution shape (no per-batch thread spawn).
     let start = Instant::now();
-    for chunk in prepared.arrivals.chunks(batch) {
-        engine.step_batch(chunk);
-    }
+    engine.with_pool(|pe| {
+        for chunk in prepared.arrivals.chunks(batch) {
+            pe.step_batch(chunk);
+        }
+    });
     let secs = start.elapsed().as_secs_f64();
     let mut reported: Vec<(u64, u64)> = engine.reported().iter().copied().collect();
     reported.sort_unstable();
@@ -47,6 +54,9 @@ fn run_sharded(prepared: &Prepared, threads: usize, shards: usize, batch: usize)
         threads,
         secs,
         tuples_per_sec: prepared.arrivals.len() as f64 / secs,
+        barriers_per_arrival: engine
+            .stage_metrics()
+            .barriers_per_arrival(prepared.arrivals.len() as u64),
         reported,
     }
 }
@@ -108,8 +118,13 @@ fn main() {
     let mut seq_reported: Vec<(u64, u64)> = seq.reported().iter().copied().collect();
     seq_reported.sort_unstable();
 
+    let swept = [1usize, 2, 4, 8];
+    // Bench honesty: thread counts beyond the visible CPUs time-slice one
+    // core — a "scaling curve" measured that way is noise, so the curve is
+    // flagged and the speedup-claim assertions are skipped.
+    let undersubscribed = swept.iter().copied().max().unwrap_or(1) > host_cpus;
     let mut series = Vec::new();
-    for threads in [1usize, 2, 4, 8] {
+    for threads in swept {
         let m = run_sharded(&prepared, threads, shards, batch);
         // Parity gate: throughput of a wrong answer is not throughput.
         assert_eq!(
@@ -117,10 +132,11 @@ fn main() {
             "sharded engine (T={threads}) diverged from sequential"
         );
         println!(
-            "{:<16} {:>9.2}s {:>12.1} tuples/s",
+            "{:<16} {:>9.2}s {:>12.1} tuples/s  ({:.2} barriers/arrival)",
             format!("threads={}", m.threads),
             m.secs,
-            m.tuples_per_sec
+            m.tuples_per_sec,
+            m.barriers_per_arrival
         );
         series.push(m);
     }
@@ -133,21 +149,24 @@ fn main() {
         .unwrap_or(0.0);
     println!("\nspeedup at 4 threads vs 1 thread: {speedup_at_4:.2}x");
 
-    // JSON trajectory record (repo root, next to the sources).
+    // JSON trajectory record (repo root, next to the sources). Written
+    // *before* the speedup gate below: if the claim fails, the measured
+    // evidence of the failure must survive, not the stale previous run.
     let rows: Vec<String> = series
         .iter()
         .map(|m| {
             format!(
-                "    {{\"threads\": {}, \"secs\": {:.4}, \"tuples_per_sec\": {:.1}, \"speedup_vs_1t\": {:.3}}}",
+                "    {{\"threads\": {}, \"secs\": {:.4}, \"tuples_per_sec\": {:.1}, \"speedup_vs_1t\": {:.3}, \"barriers_per_arrival\": {:.3}}}",
                 m.threads,
                 m.secs,
                 m.tuples_per_sec,
-                m.tuples_per_sec / t1
+                m.tuples_per_sec / t1,
+                m.barriers_per_arrival
             )
         })
         .collect();
     let json = format!(
-        "{{\n  \"bench\": \"fig18_throughput\",\n{}\n  \"preset\": \"{}\",\n  \"scale\": {},\n  \"window\": {},\n  \"shards\": {},\n  \"batch\": {},\n  \"arrivals\": {},\n  \"host_cpus\": {},\n  \"sequential_tuples_per_sec\": {:.1},\n  \"series\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"bench\": \"fig18_throughput\",\n{}\n  \"preset\": \"{}\",\n  \"scale\": {},\n  \"window\": {},\n  \"shards\": {},\n  \"batch\": {},\n  \"arrivals\": {},\n  \"host_cpus\": {},\n  \"undersubscribed\": {},\n  \"sequential_tuples_per_sec\": {:.1},\n  \"series\": [\n{}\n  ]\n}}\n",
         RunStamp::capture().json_fields(),
         preset.name(),
         scale,
@@ -156,10 +175,27 @@ fn main() {
         batch,
         prepared.arrivals.len(),
         host_cpus,
+        undersubscribed,
         seq_tps,
         rows.join(",\n")
     );
     let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_throughput.json");
     std::fs::write(out, &json).expect("write BENCH_throughput.json");
     println!("wrote {out}");
+
+    if undersubscribed {
+        println!(
+            "undersubscribed: sweep max {} threads > {host_cpus} visible CPU(s) — \
+             recording the curve, skipping the speedup-claim assertion",
+            swept.iter().max().unwrap()
+        );
+    } else {
+        // The design target is ≥1.8× at 4 threads; gate conservatively so
+        // shared-runner noise does not flake the bench.
+        assert!(
+            speedup_at_4 >= 1.2,
+            "4-thread speedup {speedup_at_4:.2}x below the 1.2x floor on a \
+             {host_cpus}-CPU host (design target 1.8x)"
+        );
+    }
 }

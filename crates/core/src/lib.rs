@@ -44,7 +44,7 @@ mod proptests;
 pub use baselines::NaiveEngine;
 pub use engine::{PruningMode, StepOutput, TerContext, TerIdsEngine};
 pub use meta::{ErAggregate, TupleMeta};
-pub use metrics::{evaluate, Evaluation, PhaseTiming, PruneStats};
+pub use metrics::{evaluate, Evaluation, PhaseTiming, PruneStats, StageMetrics};
 pub use params::Params;
 pub use refine::{decide_pair, PairContext, PairDecision};
 pub use results::ResultSet;
@@ -84,4 +84,12 @@ pub trait ErProcessor {
 
     /// Cumulative per-phase timing.
     fn timing(&self) -> PhaseTiming;
+
+    /// Execution-shape counters of a staged run ([`StageMetrics`]):
+    /// barrier rounds, fanned refines, overlapped arrivals. Purely
+    /// observational — results must not depend on them. Sequential
+    /// engines and baselines keep the all-zero default.
+    fn stage_metrics(&self) -> StageMetrics {
+        StageMetrics::default()
+    }
 }

@@ -145,6 +145,38 @@ impl PhaseTiming {
     }
 }
 
+/// Execution-shape counters of a staged (pipelined) engine run. Unlike
+/// [`PruneStats`] these describe *how* the work was scheduled, not what
+/// it computed — two runs with different stage metrics must still produce
+/// bit-identical results, which is exactly what the parity suites check.
+/// Sequential engines report all zeros.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StageMetrics {
+    /// Synchronization rounds where the driving (merge) thread blocked on
+    /// worker responses. The lock-step drive pays two per arrival
+    /// (traverse, then fanned refine); the overlapped drive pays one.
+    pub er_barriers: u64,
+    /// Arrivals whose refine stage was fanned out to the worker pool
+    /// (candidate set at or above the fan-out threshold, and non-empty).
+    pub fanned_refines: u64,
+    /// Arrivals processed by the overlapped (software-pipelined) drive.
+    pub overlapped_arrivals: u64,
+    /// Batches executed against an attached worker pool.
+    pub pooled_batches: u64,
+}
+
+impl StageMetrics {
+    /// Barriers the merge thread paid per processed arrival (0 when no
+    /// arrival ever ran pooled).
+    pub fn barriers_per_arrival(&self, arrivals: u64) -> f64 {
+        if arrivals == 0 {
+            0.0
+        } else {
+            self.er_barriers as f64 / arrivals as f64
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -3,64 +3,80 @@
 //! [`ShardedTerIdsEngine`] processes arrivals in batches
 //! ([`ter_ids::ErProcessor::step_batch`]) and produces output
 //! **bit-identical** to the sequential [`ter_ids::TerIdsEngine`] for any
-//! shard count, thread count, and batch size. The per-arrival pipeline is
-//! decomposed into phases by what they may touch:
+//! shard count, thread count, batch size, and drive mode. The
+//! per-arrival pipeline is decomposed into the named stages of
+//! [`stages`](crate::stages) — **impute → traverse → refine → merge** —
+//! and executed by the persistent worker pool of
+//! [`pool`](crate::pool):
 //!
-//! 1. **Batch-parallel imputation** — rule selection, imputation, and
-//!    [`TupleMeta`] derivation read only the static [`TerContext`], so the
-//!    whole batch is imputed concurrently (contiguous chunks across
-//!    workers) with per-arrival results equal to the sequential engine's.
-//! 2. **Shard-parallel candidate retrieval** — the ER-grid is partitioned
-//!    into `S` shards by cell-key hash ([`ShardRouter`]); each worker owns
-//!    a disjoint shard group for the whole batch and traverses it with the
-//!    shared cell-level predicate ([`ter_ids::pruning::cell_survives`]).
-//!    Grid mutations (the previous arrival's insert, this arrival's
-//!    expiry) are applied by the owning worker in arrival order, so every
-//!    cell sees exactly the op sequence the monolithic grid would.
-//! 3. **Candidate-parallel pruning & refinement** — the surfaced union is
-//!    filtered and partitioned; each worker routes its slice through the
-//!    shared cascade ([`ter_ids::decide_pair`]). Small candidate sets are
-//!    refined on the driving thread instead — a synchronization barrier
-//!    is not worth a handful of pairs.
-//! 4. **Sequential merge** — window maintenance, expiry, result-set and
-//!    statistics updates happen on the driving thread in arrival order
-//!    (per-worker tallies merged deterministically, matches ordered by
+//! 1. **Impute** — rule selection, imputation, and [`TupleMeta`]
+//!    derivation read only the static [`TerContext`], so the whole batch
+//!    is imputed concurrently (contiguous chunks across workers) with
+//!    per-arrival results equal to the sequential engine's.
+//! 2. **Traverse** — the ER-grid is partitioned into `S` shards by
+//!    cell-key hash ([`ShardRouter`]); each worker owns a disjoint shard
+//!    group for the batch and applies grid mutations (the previous
+//!    arrival's insert, this arrival's expiry) in arrival order before
+//!    traversing with the shared cell-level predicate, so every cell
+//!    sees exactly the op sequence the monolithic grid would.
+//! 3. **Refine** — the surfaced union is filtered and partitioned; each
+//!    worker routes its slice through the shared cascade
+//!    ([`ter_ids::decide_pair`]). Small candidate sets are refined on the
+//!    driving thread instead — a synchronization barrier is not worth a
+//!    handful of pairs (`refine_fanout_min`).
+//! 4. **Merge** — window maintenance, expiry, result-set and statistics
+//!    updates happen on the driving thread in arrival order (per-worker
+//!    tallies merged deterministically, matches ordered by
 //!    `(arrival_seq, norm_pair)`), so window semantics are unchanged.
 //!
-//! With `threads == 1` the same pipeline runs inline on the driving
+//! # Drive modes
+//!
+//! The lock-step drive pays two barriers per arrival: the merge thread
+//! waits for every worker's traverse, computes the candidate set, fans
+//! the refine out, and waits again. The **overlapped** drive
+//! ([`ExecConfig::overlap`], the default) halves that: after imputation
+//! both arrival `i`'s refine *and* arrival `i+1`'s traverse inputs are
+//! known (the eviction schedule is a pure function of the window and the
+//! arrival order — [`stages::eviction_schedule`](crate::stages)), so the
+//! merge thread queues `Refine(i)` and `Step(i+1)` together and pays one
+//! combined wait. Workers answer in FIFO order, so the interleaving is
+//! deterministic; the op order seen by every grid cell and the merge
+//! order are *identical* to the lock-step drive, which is why the parity
+//! suites can require bit-equality across both modes. The saving is
+//! instrumented: [`StageMetrics::er_barriers`] counts the merge thread's
+//! wait rounds.
+//!
+//! # Pool sessions
+//!
+//! With `threads == 1` the whole pipeline runs inline on the driving
 //! thread — no pool, no channels — so the single-thread configuration is
-//! a fair baseline rather than a message-passing straw man. Workers are
-//! spawned once per batch (scoped threads, no external deps) and
-//! coordinate over mpsc channels; at most two synchronization points per
-//! arrival (traverse, refine).
+//! a fair baseline rather than a message-passing straw man. With more
+//! threads, a plain [`ErProcessor::step_batch`] call spins the pool up
+//! for that one batch; long-lived consumers (the `ter_serve` daemon, the
+//! benches) wrap their feed loop in [`ShardedTerIdsEngine::with_pool`]
+//! so the workers persist across batches and only the shard groups
+//! travel per batch.
 
-use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::Arc;
 use std::time::Instant;
 
 use ter_ids::candidates;
 use ter_ids::meta::TupleMeta;
-use ter_ids::pruning::cell_survives;
-use ter_ids::results::norm_pair;
 use ter_ids::{
-    decide_pair, EngineState, ErAggregate, ErProcessor, PairContext, PairDecision, Params,
-    PhaseTiming, PruneStats, PruningMode, ResultSet, StepOutput, TerContext,
+    EngineState, ErProcessor, Params, PhaseTiming, PruneStats, PruningMode, ResultSet,
+    StageMetrics, StepOutput, TerContext,
 };
 use ter_impute::RuleImputer;
 use ter_index::RegionGrid;
-use ter_stream::{Arrival, ProbTuple, SlidingWindow};
+use ter_stream::{Arrival, SlidingWindow};
 use ter_text::fxhash::{FxHashMap, FxHashSet};
 
-use crate::merge::{merge_outcomes, merge_surfaced, RefineOutcome};
+use crate::merge::{merge_outcomes, RefineOutcome};
+use crate::pool::{pool_channels, worker_loop, Pool};
 use crate::router::ShardRouter;
-
-/// One shard of the partitioned ER-grid.
-type ShardGrid = RegionGrid<u64, ErAggregate>;
-
-/// Candidate sets smaller than this are refined on the driving thread:
-/// the per-arrival fan-out barrier costs more than deciding a few pairs.
-/// Result-invariant — both paths run the same [`decide_pair`] cascade.
-const REFINE_FANOUT_MIN: usize = 16;
+use crate::stages::{
+    apply_insert, eviction_schedule, impute_one, refine_slice, ShardGrid, WorkerCtx,
+};
 
 /// Parallel execution knobs.
 #[derive(Debug, Clone, Copy)]
@@ -72,6 +88,16 @@ pub struct ExecConfig {
     /// Worker threads `T` driving imputation, traversal, and refinement.
     /// Result-invariant; `1` runs the whole pipeline inline.
     pub threads: usize,
+    /// Overlap arrival `i`'s refine with arrival `i+1`'s traverse,
+    /// halving the merge thread's barrier count per arrival.
+    /// Result-invariant (enforced by the parity suites); ignored when
+    /// `threads == 1`.
+    pub overlap: bool,
+    /// Candidate sets smaller than this are refined on the driving
+    /// thread: the per-arrival fan-out barrier costs more than deciding
+    /// a few pairs. Result-invariant — both paths run the same
+    /// [`decide_pair`](ter_ids::decide_pair) cascade.
+    pub refine_fanout_min: usize,
 }
 
 impl Default for ExecConfig {
@@ -79,262 +105,29 @@ impl Default for ExecConfig {
         let threads = std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(4);
-        Self { shards: 8, threads }
-    }
-}
-
-/// Inputs shared by every ER worker for the duration of one batch.
-#[derive(Clone, Copy)]
-struct WorkerCtx<'a> {
-    router: ShardRouter,
-    pair: PairContext<'a>,
-}
-
-/// One per-arrival instruction to an ER worker.
-enum Req {
-    /// Apply the previous arrival's grid insert and this arrival's expiry
-    /// to the owned shards (in that order — exactly the monolithic grid's
-    /// op sequence), then traverse them with cell-level pruning for
-    /// `probe` and report the surfaced candidate ids.
-    Step {
-        insert: Option<Arc<TupleMeta>>,
-        evict: Option<Arc<TupleMeta>>,
-        probe: Arc<TupleMeta>,
-    },
-    /// Run the pair-decision cascade over a slice of examined candidates.
-    Refine {
-        probe: Arc<TupleMeta>,
-        cands: Vec<Arc<TupleMeta>>,
-    },
-    /// End of batch: apply the final pending insert and return the shards.
-    Finish { insert: Option<Arc<TupleMeta>> },
-}
-
-/// A worker's answer to one [`Req`].
-enum Resp {
-    Surfaced(Vec<u64>),
-    Refined(RefineOutcome),
-}
-
-/// Applies one tuple's grid insert to a worker's shard group: the
-/// region's cells are enumerated and routed once, then each shard grid
-/// receives exactly its owned subset.
-fn apply_insert(shards: &mut [(usize, ShardGrid)], router: ShardRouter, meta: &TupleMeta) {
-    let Some((_, first)) = shards.first() else {
-        return;
-    };
-    let region = meta.region();
-    // All shard grids share dimensions, so any of them enumerates the keys.
-    let keys = first.cell_keys_of(&region);
-    let owners: Vec<usize> = keys.iter().map(|k| router.shard_of(k)).collect();
-    let agg = meta.aggregate();
-    for (sid, grid) in shards.iter_mut() {
-        let mut owned = keys
-            .iter()
-            .zip(&owners)
-            .filter(|(_, owner)| **owner == *sid)
-            .map(|(k, _)| k.clone())
-            .peekable();
-        if owned.peek().is_some() {
-            grid.insert_at(owned, &region, meta.id, agg.clone());
+        Self {
+            shards: 8,
+            threads,
+            overlap: true,
+            refine_fanout_min: 16,
         }
     }
 }
 
-/// Evicts one tuple from a worker's shard group. Cells the group does not
-/// own are simply absent and no-op.
-fn apply_evict(shards: &mut [(usize, ShardGrid)], meta: &TupleMeta) {
-    for (_, grid) in shards.iter_mut() {
-        grid.evict(&meta.region(), &meta.id);
-    }
-}
-
-/// Traverses a worker's shard group with cell-level pruning for `probe`.
-fn traverse_shards(
-    shards: &[(usize, ShardGrid)],
-    ctx: &WorkerCtx<'_>,
-    probe: &TupleMeta,
-    surfaced: &mut FxHashSet<u64>,
-) {
-    for (_, grid) in shards.iter() {
-        grid.traverse(
-            |_rect, agg| cell_survives(probe, agg, ctx.pair.gamma, ctx.pair.aux_counts),
-            |entry| {
-                surfaced.insert(entry.payload);
-            },
-        );
-    }
-}
-
-/// Runs the pair-decision cascade over a candidate slice.
-fn refine_slice(ctx: &WorkerCtx<'_>, probe: &TupleMeta, cands: &[Arc<TupleMeta>]) -> RefineOutcome {
-    let mut out = RefineOutcome::default();
-    for other in cands {
-        match decide_pair(probe, other, &ctx.pair) {
-            PairDecision::SimPruned => out.sim += 1,
-            PairDecision::ProbPruned => out.prob += 1,
-            PairDecision::InstancePruned => out.instance += 1,
-            PairDecision::Match => out.matches.push(norm_pair(probe.id, other.id)),
-        }
-    }
-    out
-}
-
-/// An ER worker: owns its shard group for the batch, applies grid
-/// mutations in arrival order, and answers traverse/refine requests.
-fn worker_loop(
-    mut shards: Vec<(usize, ShardGrid)>,
-    ctx: WorkerCtx<'_>,
-    req_rx: Receiver<Req>,
-    resp_tx: Sender<Resp>,
-) -> Vec<(usize, ShardGrid)> {
-    while let Ok(req) = req_rx.recv() {
-        match req {
-            Req::Step {
-                insert,
-                evict,
-                probe,
-            } => {
-                if let Some(meta) = insert {
-                    apply_insert(&mut shards, ctx.router, &meta);
-                }
-                if let Some(meta) = evict {
-                    apply_evict(&mut shards, &meta);
-                }
-                let mut surfaced: FxHashSet<u64> = FxHashSet::default();
-                traverse_shards(&shards, &ctx, &probe, &mut surfaced);
-                let _ = resp_tx.send(Resp::Surfaced(surfaced.into_iter().collect()));
-            }
-            Req::Refine { probe, cands } => {
-                let _ = resp_tx.send(Resp::Refined(refine_slice(&ctx, &probe, &cands)));
-            }
-            Req::Finish { insert } => {
-                if let Some(meta) = insert {
-                    apply_insert(&mut shards, ctx.router, &meta);
-                }
-                break;
-            }
-        }
-    }
-    shards
-}
-
-/// How one batch executes phases 2–3: inline on the driving thread
-/// (`threads == 1`) or against a pool of channel-driven workers. Both
-/// variants apply the same ops in the same order; the driving merge loop
-/// ([`ShardedTerIdsEngine::drive_batch`]) is shared.
-enum BatchWorkers<'env> {
-    Inline {
-        shards: Vec<(usize, ShardGrid)>,
-        ctx: WorkerCtx<'env>,
-    },
-    Pool {
-        req_txs: Vec<Sender<Req>>,
-        resp_rxs: Vec<Receiver<Resp>>,
-        ctx: WorkerCtx<'env>,
-    },
-}
-
-impl BatchWorkers<'_> {
-    /// Phase 2 for one arrival: grid maintenance + shard traversal.
-    fn step(
-        &mut self,
-        insert: Option<&Arc<TupleMeta>>,
-        evict: Option<&Arc<TupleMeta>>,
-        probe: &Arc<TupleMeta>,
-    ) -> FxHashSet<u64> {
-        match self {
-            BatchWorkers::Inline { shards, ctx } => {
-                if let Some(meta) = insert {
-                    apply_insert(shards, ctx.router, meta);
-                }
-                if let Some(meta) = evict {
-                    apply_evict(shards, meta);
-                }
-                let mut surfaced = FxHashSet::default();
-                traverse_shards(shards, ctx, probe, &mut surfaced);
-                surfaced
-            }
-            BatchWorkers::Pool {
-                req_txs, resp_rxs, ..
-            } => {
-                for tx in req_txs.iter() {
-                    tx.send(Req::Step {
-                        insert: insert.cloned(),
-                        evict: evict.cloned(),
-                        probe: Arc::clone(probe),
-                    })
-                    .expect("ER worker hung up");
-                }
-                let mut parts = Vec::with_capacity(resp_rxs.len());
-                for rx in resp_rxs.iter() {
-                    match rx.recv().expect("ER worker hung up") {
-                        Resp::Surfaced(ids) => parts.push(ids),
-                        Resp::Refined(_) => unreachable!("protocol violation"),
-                    }
-                }
-                merge_surfaced(&parts)
-            }
+impl ExecConfig {
+    /// `shards`/`threads` with the default drive knobs (overlap on,
+    /// fan-out threshold 16).
+    pub fn new(shards: usize, threads: usize) -> Self {
+        Self {
+            shards,
+            threads,
+            ..Self::default()
         }
     }
 
-    /// Phase 3 for one arrival: the pair-decision cascade over the
-    /// examined candidates, fanned out when it is worth a barrier.
-    fn refine(&mut self, probe: &Arc<TupleMeta>, cands: &[Arc<TupleMeta>]) -> RefineOutcome {
-        match self {
-            BatchWorkers::Inline { ctx, .. } => merge_outcomes([refine_slice(ctx, probe, cands)]),
-            BatchWorkers::Pool {
-                req_txs,
-                resp_rxs,
-                ctx,
-            } => {
-                if cands.len() < REFINE_FANOUT_MIN {
-                    return merge_outcomes([refine_slice(ctx, probe, cands)]);
-                }
-                let per = cands.len().div_ceil(req_txs.len()).max(1);
-                let mut chunks = cands.chunks(per);
-                let mut sent = 0;
-                for tx in req_txs.iter() {
-                    let Some(slice) = chunks.next() else { break };
-                    tx.send(Req::Refine {
-                        probe: Arc::clone(probe),
-                        cands: slice.to_vec(),
-                    })
-                    .expect("ER worker hung up");
-                    sent += 1;
-                }
-                merge_outcomes(resp_rxs.iter().take(sent).map(|rx| {
-                    match rx.recv().expect("ER worker hung up") {
-                        Resp::Refined(o) => o,
-                        Resp::Surfaced(_) => unreachable!("protocol violation"),
-                    }
-                }))
-            }
-        }
-    }
-
-    /// End of batch: apply the final pending insert. For pool mode the
-    /// shard grids travel back through the workers' join handles.
-    fn finish(self, insert: Option<Arc<TupleMeta>>) -> Option<Vec<(usize, ShardGrid)>> {
-        match self {
-            BatchWorkers::Inline {
-                mut shards, ctx, ..
-            } => {
-                if let Some(meta) = insert {
-                    apply_insert(&mut shards, ctx.router, &meta);
-                }
-                Some(shards)
-            }
-            BatchWorkers::Pool { req_txs, .. } => {
-                for tx in req_txs.iter() {
-                    tx.send(Req::Finish {
-                        insert: insert.clone(),
-                    })
-                    .expect("ER worker hung up");
-                }
-                None
-            }
-        }
+    /// The same configuration with the overlapped drive toggled.
+    pub fn with_overlap(self, overlap: bool) -> Self {
+        Self { overlap, ..self }
     }
 }
 
@@ -348,7 +141,7 @@ pub struct ShardedTerIdsEngine<'a> {
     router: ShardRouter,
     imputer: RuleImputer<'a>,
     /// The partitioned ER-grid; shard `s` holds exactly the cells with
-    /// `router.shard_of(key) == s`. Moved into the workers for the
+    /// `router.shard_of(key) == s`. Handed to the workers for the
     /// duration of a batch and reassembled afterwards.
     shards: Vec<ShardGrid>,
     window: SlidingWindow<u64>,
@@ -359,6 +152,7 @@ pub struct ShardedTerIdsEngine<'a> {
     reported: FxHashSet<(u64, u64)>,
     stats: PruneStats,
     timing: PhaseTiming,
+    metrics: StageMetrics,
     name: &'static str,
 }
 
@@ -388,6 +182,7 @@ impl<'a> ShardedTerIdsEngine<'a> {
             reported: FxHashSet::default(),
             stats: PruneStats::default(),
             timing: PhaseTiming::default(),
+            metrics: StageMetrics::default(),
             name: match mode {
                 PruningMode::Full => "TER-iDS(shard)",
                 PruningMode::GridOnly => "Ij+GER(shard)",
@@ -442,6 +237,67 @@ impl<'a> ShardedTerIdsEngine<'a> {
             .iter()
             .map(ShardGrid::cell_entry_count)
             .collect()
+    }
+
+    /// Runs `f` against this engine with a **persistent** worker pool
+    /// attached: the `threads` workers (each owning its session-long
+    /// CDD-indexed imputer) spawn once, and every
+    /// [`PooledEngine::step_batch`] inside reuses them — only the shard
+    /// groups travel per batch. With `threads == 1` no pool is spawned
+    /// and the handle drives the inline path, so callers can wrap their
+    /// feed loop unconditionally. The pool joins before `with_pool`
+    /// returns.
+    pub fn with_pool<R>(&mut self, f: impl FnOnce(&mut PooledEngine<'_, 'a>) -> R) -> R {
+        if self.exec.threads == 1 {
+            return f(&mut PooledEngine {
+                eng: self,
+                pool: None,
+            });
+        }
+        let ctx: &'a TerContext = self.ctx;
+        let wctx = self.worker_ctx();
+        let impute_cfg = self.params.impute;
+        let threads = self.exec.threads;
+        std::thread::scope(move |scope| {
+            let mut chans = Vec::with_capacity(threads);
+            for _ in 0..threads {
+                let (chan, req_rx, resp_tx) = pool_channels();
+                scope.spawn(move || {
+                    // Each worker owns its imputer for the session; it is
+                    // a cheap view over the context's prebuilt indexes,
+                    // and identical inputs give identical imputations.
+                    let imputer = ctx.indexed_imputer(impute_cfg);
+                    worker_loop(wctx, ctx, &imputer, req_rx, resp_tx);
+                });
+                chans.push(chan);
+            }
+            let mut pe = PooledEngine {
+                eng: self,
+                pool: Some(Pool::new(chans)),
+            };
+            let out = f(&mut pe);
+            // Dropping the handle drops the request senders — the
+            // session-end signal — and the scope joins the workers.
+            drop(pe);
+            out
+        })
+    }
+
+    /// The session-invariant worker inputs, borrowing only from the
+    /// static context (never from `self`), so a live pool and a mutable
+    /// engine coexist.
+    fn worker_ctx(&self) -> WorkerCtx<'a> {
+        let ctx = self.ctx;
+        WorkerCtx {
+            router: self.router,
+            pair: ter_ids::PairContext {
+                keywords: &ctx.keywords,
+                gamma: self.gamma,
+                alpha: self.params.alpha,
+                aux_counts: &ctx.aux_counts,
+                mode: self.mode,
+            },
+        }
     }
 
     /// Snapshots the engine's dynamic state. The representation is the
@@ -536,225 +392,384 @@ impl<'a> ShardedTerIdsEngine<'a> {
         Some(meta)
     }
 
-    /// Imputes the whole batch (phase 1). Pure per arrival, so chunks run
-    /// concurrently; outputs are in arrival order.
-    fn impute_batch(&self, batch: &[Arrival]) -> Vec<(Arc<TupleMeta>, PhaseTiming)> {
-        let imputer = &self.imputer;
-        let ctx = self.ctx;
-        if self.exec.threads == 1 || batch.len() == 1 {
-            return batch.iter().map(|a| impute_one(imputer, ctx, a)).collect();
-        }
-        let chunk = batch.len().div_ceil(self.exec.threads);
-        let mut out = Vec::with_capacity(batch.len());
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = batch
-                .chunks(chunk)
-                .map(|slice| {
-                    scope.spawn(move || {
-                        slice
-                            .iter()
-                            .map(|a| impute_one(imputer, ctx, a))
-                            .collect::<Vec<_>>()
-                    })
-                })
-                .collect();
-            for h in handles {
-                out.extend(h.join().expect("imputation worker panicked"));
-            }
-        });
-        out
-    }
-
-    /// The shared per-arrival merge loop (phase 4), driving phases 2–3
-    /// through `workers`. Identical for inline and pooled execution.
-    fn drive_batch(
+    /// The merge stage for one arrival: fold the refine outcome into the
+    /// statistics, attribute never-examined pairs, publish matches, and
+    /// register the new tuple. Strictly sequential, in arrival order —
+    /// shared verbatim by every drive mode, which is what keeps them
+    /// bit-identical.
+    fn finalize_arrival(
         &mut self,
-        batch: &[Arrival],
-        per_arrival: &[(Arc<TupleMeta>, PhaseTiming)],
-        workers: &mut BatchWorkers<'_>,
-    ) -> (Vec<StepOutput>, Option<Arc<TupleMeta>>) {
-        let mut outputs = Vec::with_capacity(batch.len());
-        // The previous arrival's tuple; inserted into the grid by the
-        // workers at the start of the *next* step, preserving the
-        // sequential op order insert(i) → evict(i+1) → traverse(i+1).
-        let mut pending_insert: Option<Arc<TupleMeta>> = None;
-        for (arrival, (meta, imp_timing)) in batch.iter().zip(per_arrival) {
-            let er_start = Instant::now();
-
-            // ---- expiry (merge phase: window semantics unchanged) ----
-            let evicted = self
-                .window
-                .push(arrival.timestamp, arrival.record.id)
-                .and_then(|(_, old_id)| self.expire(old_id));
-
-            // ---- shard-parallel candidate retrieval ----
-            let surfaced = workers.step(pending_insert.as_ref(), evicted.as_ref(), meta);
-
-            // ---- candidate selection (shared with the sequential
-            // engine: Theorem 4.1 inverted list, ascending-id order so the
-            // slice partition across workers is deterministic) ----
-            let cands: Vec<Arc<TupleMeta>> =
-                candidates::examined_candidates(meta, &surfaced, &self.topical_ids, &self.metas)
-                    .into_iter()
-                    .map(Arc::clone)
-                    .collect();
-            let examined = cands.len() as u64;
-
-            // ---- candidate-parallel pruning + refinement ----
-            let outcome = workers.refine(meta, &cands);
-
-            // ---- sequential merge: stats, results, registration ----
-            self.stats.sim += outcome.sim;
-            self.stats.prob += outcome.prob;
-            self.stats.instance += outcome.instance;
-            self.stats.matches += outcome.matches.len() as u64;
-            candidates::account_pairs(
-                meta,
-                examined,
-                &self.stream_counts,
-                &self.topical_ids,
-                &self.metas,
-                &mut self.stats,
-            );
-            let new_matches = outcome.matches; // sorted by norm_pair
-            for &(a, b) in &new_matches {
-                self.results.insert(a, b);
-                self.reported.insert((a, b));
-            }
-
-            if self.stream_counts.len() <= meta.stream_id {
-                self.stream_counts.resize(meta.stream_id + 1, 0);
-            }
-            self.stream_counts[meta.stream_id] += 1;
-            if meta.possibly_topical {
-                self.topical_ids.insert(meta.id);
-            }
-            let prev = self.metas.insert(meta.id, Arc::clone(meta));
-            assert!(prev.is_none(), "duplicate tuple id {}", meta.id);
-            pending_insert = Some(Arc::clone(meta));
-
-            let mut step_timing = *imp_timing;
-            step_timing.er += er_start.elapsed();
-            self.timing.accumulate(&step_timing);
-            outputs.push(StepOutput {
-                new_matches,
-                timing: step_timing,
-            });
+        meta: &Arc<TupleMeta>,
+        examined: u64,
+        outcome: RefineOutcome,
+    ) -> Vec<(u64, u64)> {
+        self.stats.sim += outcome.sim;
+        self.stats.prob += outcome.prob;
+        self.stats.instance += outcome.instance;
+        self.stats.matches += outcome.matches.len() as u64;
+        candidates::account_pairs(
+            meta,
+            examined,
+            &self.stream_counts,
+            &self.topical_ids,
+            &self.metas,
+            &mut self.stats,
+        );
+        let new_matches = outcome.matches; // sorted by norm_pair
+        for &(a, b) in &new_matches {
+            self.results.insert(a, b);
+            self.reported.insert((a, b));
         }
-        (outputs, pending_insert)
+        if self.stream_counts.len() <= meta.stream_id {
+            self.stream_counts.resize(meta.stream_id + 1, 0);
+        }
+        self.stream_counts[meta.stream_id] += 1;
+        if meta.possibly_topical {
+            self.topical_ids.insert(meta.id);
+        }
+        let prev = self.metas.insert(meta.id, Arc::clone(meta));
+        assert!(prev.is_none(), "duplicate tuple id {}", meta.id);
+        new_matches
+    }
+}
+
+/// How one batch executes the traverse/refine stages: inline on the
+/// driving thread (`threads == 1`) or against the session's worker pool.
+/// Both variants apply the same ops in the same order; the lock-step
+/// merge loop ([`drive_lockstep`]) is shared.
+enum BatchWorkers<'p, 'a> {
+    Inline {
+        shards: Vec<(usize, ShardGrid)>,
+        wctx: WorkerCtx<'a>,
+    },
+    Pool {
+        pool: &'p Pool,
+        wctx: WorkerCtx<'a>,
+    },
+}
+
+impl BatchWorkers<'_, '_> {
+    /// Traverse stage for one arrival: grid maintenance + shard traversal.
+    fn step(
+        &mut self,
+        insert: Option<&Arc<TupleMeta>>,
+        evict: Option<&Arc<TupleMeta>>,
+        probe: &Arc<TupleMeta>,
+        metrics: &mut StageMetrics,
+    ) -> FxHashSet<u64> {
+        match self {
+            BatchWorkers::Inline { shards, wctx } => {
+                if let Some(meta) = insert {
+                    apply_insert(shards, wctx.router, meta);
+                }
+                if let Some(meta) = evict {
+                    crate::stages::apply_evict(shards, meta);
+                }
+                let mut surfaced = FxHashSet::default();
+                crate::stages::traverse_shards(shards, wctx, probe, &mut surfaced);
+                surfaced
+            }
+            BatchWorkers::Pool { pool, .. } => {
+                pool.send_step(insert, evict, probe);
+                metrics.er_barriers += 1;
+                pool.collect_surfaced()
+            }
+        }
     }
 
-    /// Phases 2–4 for one batch: shard workers + sequential merge.
+    /// Refine stage for one arrival: the pair-decision cascade over the
+    /// examined candidates, fanned out when it is worth a barrier.
+    fn refine(
+        &mut self,
+        probe: &Arc<TupleMeta>,
+        cands: &[Arc<TupleMeta>],
+        fanout_min: usize,
+        metrics: &mut StageMetrics,
+    ) -> RefineOutcome {
+        match self {
+            BatchWorkers::Inline { wctx, .. } => merge_outcomes([refine_slice(wctx, probe, cands)]),
+            BatchWorkers::Pool { pool, wctx } => {
+                if cands.len() < fanout_min {
+                    return merge_outcomes([refine_slice(wctx, probe, cands)]);
+                }
+                let sent = pool.send_refine(probe, cands);
+                if sent == 0 {
+                    return RefineOutcome::default();
+                }
+                metrics.er_barriers += 1;
+                metrics.fanned_refines += 1;
+                pool.collect_refined(sent)
+            }
+        }
+    }
+}
+
+/// The lock-step drive: per arrival, wait for the traverse, then wait for
+/// the fanned refine — two barriers. Shared by the inline path (where
+/// the "waits" are plain function calls and cost nothing).
+fn drive_lockstep<'a>(
+    eng: &mut ShardedTerIdsEngine<'a>,
+    batch: &[Arrival],
+    per_arrival: &[(Arc<TupleMeta>, PhaseTiming)],
+    workers: &mut BatchWorkers<'_, 'a>,
+) -> (Vec<StepOutput>, Option<Arc<TupleMeta>>) {
+    let mut outputs = Vec::with_capacity(batch.len());
+    // The previous arrival's tuple; inserted into the grid by the
+    // workers at the start of the *next* step, preserving the
+    // sequential op order insert(i) → evict(i+1) → traverse(i+1).
+    let mut pending_insert: Option<Arc<TupleMeta>> = None;
+    for (arrival, (meta, imp_timing)) in batch.iter().zip(per_arrival) {
+        let er_start = Instant::now();
+
+        // ---- expiry (merge phase: window semantics unchanged) ----
+        let evicted = eng
+            .window
+            .push(arrival.timestamp, arrival.record.id)
+            .and_then(|(_, old_id)| eng.expire(old_id));
+
+        // ---- traverse ----
+        let surfaced = workers.step(
+            pending_insert.as_ref(),
+            evicted.as_ref(),
+            meta,
+            &mut eng.metrics,
+        );
+
+        // ---- candidate selection (shared with the sequential engine:
+        // Theorem 4.1 inverted list, ascending-id order so the slice
+        // partition across workers is deterministic) ----
+        let cands: Vec<Arc<TupleMeta>> =
+            candidates::examined_candidates(meta, &surfaced, &eng.topical_ids, &eng.metas)
+                .into_iter()
+                .map(Arc::clone)
+                .collect();
+        let examined = cands.len() as u64;
+
+        // ---- refine ----
+        let outcome = workers.refine(meta, &cands, eng.exec.refine_fanout_min, &mut eng.metrics);
+
+        // ---- merge ----
+        let new_matches = eng.finalize_arrival(meta, examined, outcome);
+        pending_insert = Some(Arc::clone(meta));
+
+        let mut step_timing = *imp_timing;
+        step_timing.er += er_start.elapsed();
+        eng.timing.accumulate(&step_timing);
+        outputs.push(StepOutput {
+            new_matches,
+            timing: step_timing,
+        });
+    }
+    (outputs, pending_insert)
+}
+
+/// Resolves a scheduled eviction to its metadata: an in-batch arrival
+/// (it may expire before the batch ends) or a prior window resident.
+fn scheduled_evict_meta(
+    scheduled: Option<u64>,
+    idx_of: &FxHashMap<u64, usize>,
+    per_arrival: &[(Arc<TupleMeta>, PhaseTiming)],
+    metas: &FxHashMap<u64, Arc<TupleMeta>>,
+) -> Option<Arc<TupleMeta>> {
+    scheduled.map(|id| match idx_of.get(&id) {
+        Some(&k) => Arc::clone(&per_arrival[k].0),
+        None => Arc::clone(metas.get(&id).expect("scheduled eviction of unknown tuple")),
+    })
+}
+
+/// The overlapped drive: one combined barrier per arrival. Arrival
+/// `i+1`'s traverse (insert `i`, evict per the precomputed schedule,
+/// probe `i+1`) is queued right after arrival `i`'s refine, so the
+/// workers flow from refining `i` straight into traversing `i+1` while
+/// the merge thread finalizes `i`. Grid op order and merge order are
+/// identical to the lock-step drive — only the waiting changes.
+fn drive_overlapped<'a>(
+    eng: &mut ShardedTerIdsEngine<'a>,
+    pool: &Pool,
+    wctx: WorkerCtx<'a>,
+    batch: &[Arrival],
+    per_arrival: &[(Arc<TupleMeta>, PhaseTiming)],
+) -> (Vec<StepOutput>, Option<Arc<TupleMeta>>) {
+    let n = batch.len();
+    let sched = eviction_schedule(&eng.window, batch);
+    let idx_of: FxHashMap<u64, usize> = batch
+        .iter()
+        .enumerate()
+        .map(|(i, a)| (a.record.id, i))
+        .collect();
+
+    // Prologue: arrival 0's traverse has no pending insert (the previous
+    // batch's final insert was applied at its `End`).
+    let ev0 = scheduled_evict_meta(sched[0], &idx_of, per_arrival, &eng.metas);
+    pool.send_step(None, ev0.as_ref(), &per_arrival[0].0);
+    eng.metrics.er_barriers += 1;
+    let mut surfaced = pool.collect_surfaced();
+
+    let mut outputs = Vec::with_capacity(n);
+    for i in 0..n {
+        let (meta, imp_timing) = &per_arrival[i];
+        let er_start = Instant::now();
+
+        // ---- expiry (the real push; the schedule must agree) ----
+        let evicted = eng
+            .window
+            .push(batch[i].timestamp, batch[i].record.id)
+            .and_then(|(_, old_id)| eng.expire(old_id));
+        debug_assert_eq!(
+            evicted.as_ref().map(|m| m.id),
+            sched[i],
+            "eviction schedule diverged from the window"
+        );
+
+        // ---- candidate selection ----
+        let cands: Vec<Arc<TupleMeta>> =
+            candidates::examined_candidates(meta, &surfaced, &eng.topical_ids, &eng.metas)
+                .into_iter()
+                .map(Arc::clone)
+                .collect();
+        let examined = cands.len() as u64;
+
+        // ---- queue refine(i), then traverse(i+1), then wait once ----
+        let fan_sent = if cands.len() >= eng.exec.refine_fanout_min {
+            pool.send_refine(meta, &cands)
+        } else {
+            0
+        };
+        if i + 1 < n {
+            let ev = scheduled_evict_meta(sched[i + 1], &idx_of, per_arrival, &eng.metas);
+            pool.send_step(Some(meta), ev.as_ref(), &per_arrival[i + 1].0);
+        }
+        // A small candidate set refines here, on the driving thread,
+        // overlapping the workers' traverse of i+1.
+        let mut outcome = if fan_sent == 0 {
+            merge_outcomes([refine_slice(&wctx, meta, &cands)])
+        } else {
+            eng.metrics.fanned_refines += 1;
+            RefineOutcome::default()
+        };
+        if fan_sent > 0 || i + 1 < n {
+            eng.metrics.er_barriers += 1;
+        }
+        if fan_sent > 0 {
+            // FIFO per worker: its Refined(i) reply precedes its
+            // Surfaced(i+1) reply, so this drain order is deterministic.
+            outcome = pool.collect_refined(fan_sent);
+        }
+        if i + 1 < n {
+            surfaced = pool.collect_surfaced();
+        }
+
+        // ---- merge ----
+        let new_matches = eng.finalize_arrival(meta, examined, outcome);
+        let mut step_timing = *imp_timing;
+        step_timing.er += er_start.elapsed();
+        eng.timing.accumulate(&step_timing);
+        outputs.push(StepOutput {
+            new_matches,
+            timing: step_timing,
+        });
+    }
+    eng.metrics.overlapped_arrivals += n as u64;
+    (outputs, Some(Arc::clone(&per_arrival[n - 1].0)))
+}
+
+/// An engine with a live pool session attached (see
+/// [`ShardedTerIdsEngine::with_pool`]). Drives batches through the
+/// persistent workers; between batches the full state lives in the
+/// engine, so state export/import and every read accessor work
+/// mid-session.
+pub struct PooledEngine<'s, 'a> {
+    eng: &'s mut ShardedTerIdsEngine<'a>,
+    pool: Option<Pool>,
+}
+
+impl<'a> PooledEngine<'_, 'a> {
+    /// Read access to the underlying engine.
+    pub fn engine(&self) -> &ShardedTerIdsEngine<'a> {
+        self.eng
+    }
+
+    /// Mutable access to the underlying engine (the pool holds no engine
+    /// state between batches, so any engine operation is safe here).
+    pub fn engine_mut(&mut self) -> &mut ShardedTerIdsEngine<'a> {
+        self.eng
+    }
+
+    /// [`ShardedTerIdsEngine::export_state`] pass-through.
+    pub fn export_state(&self) -> EngineState {
+        self.eng.export_state()
+    }
+
+    /// [`ShardedTerIdsEngine::import_state`] pass-through.
+    pub fn import_state(&mut self, state: &EngineState) -> Result<(), String> {
+        self.eng.import_state(state)
+    }
+
+    /// Phases 1–4 for one batch through the session's workers.
     fn step_batch_impl(&mut self, batch: &[Arrival]) -> Vec<StepOutput> {
         if batch.is_empty() {
             return Vec::new();
         }
-        let per_arrival = self.impute_batch(batch);
-
-        let threads = self.exec.threads;
-        let shard_count = self.shards.len();
-        let worker_ctx = WorkerCtx {
-            router: self.router,
-            pair: PairContext {
-                keywords: &self.ctx.keywords,
-                gamma: self.gamma,
-                alpha: self.params.alpha,
-                aux_counts: &self.ctx.aux_counts,
-                mode: self.mode,
-            },
-        };
-        let owned: Vec<(usize, ShardGrid)> = self.shards.drain(..).enumerate().collect();
-
-        if threads == 1 {
-            // Inline fast path: same ops, same order, no pool.
-            let mut workers = BatchWorkers::Inline {
-                shards: owned,
-                ctx: worker_ctx,
-            };
-            let (outputs, pending) = self.drive_batch(batch, &per_arrival, &mut workers);
-            let shards = workers.finish(pending).expect("inline mode returns shards");
-            self.shards = shards.into_iter().map(|(_, g)| g).collect();
-            return outputs;
-        }
-
-        // Workers own disjoint shard groups for the whole batch (shard s →
-        // worker s mod T), so each cell's op sequence is applied by exactly
-        // one worker, in arrival order — identical to the monolithic grid.
-        let mut groups: Vec<Vec<(usize, ShardGrid)>> = (0..threads).map(|_| Vec::new()).collect();
-        for (sid, grid) in owned {
-            groups[sid % threads].push((sid, grid));
-        }
-
-        let mut outputs = Vec::with_capacity(batch.len());
-        std::thread::scope(|scope| {
-            let mut req_txs = Vec::with_capacity(threads);
-            let mut resp_rxs = Vec::with_capacity(threads);
-            let mut handles = Vec::with_capacity(threads);
-            for group in groups.drain(..) {
-                let (req_tx, req_rx) = channel::<Req>();
-                let (resp_tx, resp_rx) = channel::<Resp>();
-                req_txs.push(req_tx);
-                resp_rxs.push(resp_rx);
-                handles.push(scope.spawn(move || worker_loop(group, worker_ctx, req_rx, resp_tx)));
+        let eng = &mut *self.eng;
+        let wctx = eng.worker_ctx();
+        match &self.pool {
+            None => {
+                // Inline fast path: same ops, same order, no pool.
+                let per_arrival: Vec<(Arc<TupleMeta>, PhaseTiming)> = batch
+                    .iter()
+                    .map(|a| impute_one(&eng.imputer, eng.ctx, a))
+                    .collect();
+                let owned: Vec<(usize, ShardGrid)> = eng.shards.drain(..).enumerate().collect();
+                let mut workers = BatchWorkers::Inline {
+                    shards: owned,
+                    wctx,
+                };
+                let (outputs, pending) = drive_lockstep(eng, batch, &per_arrival, &mut workers);
+                let BatchWorkers::Inline { mut shards, .. } = workers else {
+                    unreachable!()
+                };
+                if let Some(meta) = pending {
+                    apply_insert(&mut shards, eng.router, &meta);
+                }
+                eng.shards = shards.into_iter().map(|(_, g)| g).collect();
+                outputs
             }
-            let mut workers = BatchWorkers::Pool {
-                req_txs,
-                resp_rxs,
-                ctx: worker_ctx,
-            };
-            let (outs, pending) = self.drive_batch(batch, &per_arrival, &mut workers);
-            outputs = outs;
-            workers.finish(pending);
-            let mut returned: Vec<(usize, ShardGrid)> = Vec::with_capacity(shard_count);
-            for h in handles {
-                returned.extend(h.join().expect("ER worker panicked"));
+            Some(pool) => {
+                eng.metrics.pooled_batches += 1;
+                // ---- impute stage ----
+                let per_arrival = if batch.len() == 1 {
+                    vec![impute_one(&eng.imputer, eng.ctx, &batch[0])]
+                } else {
+                    pool.impute_batch(batch)
+                };
+                // Workers own disjoint shard groups for the whole batch
+                // (shard s → worker s mod T), so each cell's op sequence
+                // is applied by exactly one worker, in arrival order —
+                // identical to the monolithic grid.
+                let shard_count = eng.shards.len();
+                let threads = pool.len();
+                let mut groups: Vec<Vec<(usize, ShardGrid)>> =
+                    (0..threads).map(|_| Vec::new()).collect();
+                for (sid, grid) in eng.shards.drain(..).enumerate() {
+                    groups[sid % threads].push((sid, grid));
+                }
+                pool.begin(groups);
+                let (outputs, pending) = if eng.exec.overlap {
+                    drive_overlapped(eng, pool, wctx, batch, &per_arrival)
+                } else {
+                    let mut workers = BatchWorkers::Pool { pool, wctx };
+                    drive_lockstep(eng, batch, &per_arrival, &mut workers)
+                };
+                eng.shards = pool.finish(pending, shard_count);
+                outputs
             }
-            returned.sort_by_key(|(sid, _)| *sid);
-            self.shards = returned.into_iter().map(|(_, g)| g).collect();
-        });
-        debug_assert_eq!(self.shards.len(), shard_count);
-        outputs
+        }
     }
 }
 
-/// Phase-1 work for one arrival: imputation + metadata derivation. A pure
-/// function of the static context and the arriving record — mirrors the
-/// sequential engine's imputation block including its phase timings.
-fn impute_one(
-    imputer: &RuleImputer<'_>,
-    ctx: &TerContext,
-    arrival: &Arrival,
-) -> (Arc<TupleMeta>, PhaseTiming) {
-    let mut timing = PhaseTiming {
-        arrivals: 1,
-        ..PhaseTiming::default()
-    };
-    let pt = if arrival.record.is_complete() {
-        ProbTuple::certain(arrival.record.clone())
-    } else {
-        let t = Instant::now();
-        let selected = imputer.select_rules(&arrival.record);
-        timing.rule_selection += t.elapsed();
-        let t = Instant::now();
-        let pt = imputer.impute_with_rules(&arrival.record, &selected);
-        timing.imputation += t.elapsed();
-        pt
-    };
-    let meta = TupleMeta::build(
-        arrival.record.id,
-        arrival.stream_id,
-        arrival.timestamp,
-        pt,
-        &ctx.pivots,
-        &ctx.layout,
-        &ctx.keywords,
-    );
-    (Arc::new(meta), timing)
-}
-
-impl ErProcessor for ShardedTerIdsEngine<'_> {
+impl ErProcessor for PooledEngine<'_, '_> {
     fn name(&self) -> &'static str {
-        self.name
+        self.eng.name
     }
 
     fn process(&mut self, arrival: &Arrival) -> StepOutput {
@@ -765,6 +780,48 @@ impl ErProcessor for ShardedTerIdsEngine<'_> {
 
     fn step_batch(&mut self, batch: &[Arrival]) -> Vec<StepOutput> {
         self.step_batch_impl(batch)
+    }
+
+    fn results(&self) -> &ResultSet {
+        &self.eng.results
+    }
+
+    fn reported(&self) -> &FxHashSet<(u64, u64)> {
+        &self.eng.reported
+    }
+
+    fn prune_stats(&self) -> PruneStats {
+        self.eng.stats
+    }
+
+    fn timing(&self) -> PhaseTiming {
+        self.eng.timing
+    }
+
+    fn stage_metrics(&self) -> StageMetrics {
+        self.eng.metrics
+    }
+}
+
+impl ErProcessor for ShardedTerIdsEngine<'_> {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn process(&mut self, arrival: &Arrival) -> StepOutput {
+        self.step_batch(std::slice::from_ref(arrival))
+            .pop()
+            .expect("one output per arrival")
+    }
+
+    /// One batch through a transient pool session (the pool spins up and
+    /// joins within the call). Long-lived consumers should hold a
+    /// session open via [`ShardedTerIdsEngine::with_pool`] instead.
+    fn step_batch(&mut self, batch: &[Arrival]) -> Vec<StepOutput> {
+        if batch.is_empty() {
+            return Vec::new();
+        }
+        self.with_pool(|pe| pe.step_batch_impl(batch))
     }
 
     fn results(&self) -> &ResultSet {
@@ -781,6 +838,10 @@ impl ErProcessor for ShardedTerIdsEngine<'_> {
 
     fn timing(&self) -> PhaseTiming {
         self.timing
+    }
+
+    fn stage_metrics(&self) -> StageMetrics {
+        self.metrics
     }
 }
 
@@ -859,11 +920,12 @@ mod tests {
     #[test]
     fn finds_the_obvious_match_in_one_batch() {
         let (ctx, streams) = scenario();
-        let exec = ExecConfig {
-            shards: 4,
-            threads: 2,
-        };
-        let mut e = ShardedTerIdsEngine::new(&ctx, Params::default(), PruningMode::Full, exec);
+        let mut e = ShardedTerIdsEngine::new(
+            &ctx,
+            Params::default(),
+            PruningMode::Full,
+            ExecConfig::new(4, 2),
+        );
         let outs = e.step_batch(&streams.arrivals());
         let all: Vec<(u64, u64)> = outs.iter().flat_map(|o| o.new_matches.clone()).collect();
         assert_eq!(all, vec![(1, 2)]);
@@ -883,26 +945,112 @@ mod tests {
         }
         for batch in 1..=5 {
             for threads in [1usize, 2] {
-                let exec = ExecConfig { shards: 3, threads };
-                let mut par =
-                    ShardedTerIdsEngine::new(&ctx, Params::default(), PruningMode::Full, exec);
-                let mut par_steps = Vec::new();
-                for chunk in streams.arrival_batches(batch) {
-                    par_steps.extend(par.step_batch(&chunk).into_iter().map(|o| o.new_matches));
+                for overlap in [false, true] {
+                    let exec = ExecConfig::new(3, threads).with_overlap(overlap);
+                    let mut par =
+                        ShardedTerIdsEngine::new(&ctx, Params::default(), PruningMode::Full, exec);
+                    let mut par_steps = Vec::new();
+                    for chunk in streams.arrival_batches(batch) {
+                        par_steps.extend(par.step_batch(&chunk).into_iter().map(|o| o.new_matches));
+                    }
+                    let tag = format!("batch {batch}, threads {threads}, overlap {overlap}");
+                    assert_eq!(par_steps, seq_steps, "{tag}");
+                    assert_eq!(par.prune_stats(), seq.prune_stats(), "{tag}");
+                    assert_eq!(par.live_ids(), seq.live_ids(), "{tag}");
                 }
-                assert_eq!(par_steps, seq_steps, "batch {batch}, threads {threads}");
-                assert_eq!(
-                    par.prune_stats(),
-                    seq.prune_stats(),
-                    "batch {batch}, threads {threads}"
-                );
-                assert_eq!(
-                    par.live_ids(),
-                    seq.live_ids(),
-                    "batch {batch}, threads {threads}"
-                );
             }
         }
+    }
+
+    /// A persistent pool session across several batches must be
+    /// bit-identical to per-batch transient sessions, and must actually
+    /// run pooled (the metrics say so).
+    #[test]
+    fn persistent_session_agrees_with_transient_batches() {
+        let (ctx, streams) = scenario();
+        let exec = ExecConfig::new(4, 2);
+        let arrivals = streams.arrivals();
+
+        let mut transient =
+            ShardedTerIdsEngine::new(&ctx, Params::default(), PruningMode::Full, exec);
+        let mut t_steps = Vec::new();
+        for chunk in arrivals.chunks(2) {
+            t_steps.extend(
+                transient
+                    .step_batch(chunk)
+                    .into_iter()
+                    .map(|o| o.new_matches),
+            );
+        }
+
+        let mut pooled = ShardedTerIdsEngine::new(&ctx, Params::default(), PruningMode::Full, exec);
+        let p_steps = pooled.with_pool(|pe| {
+            let mut steps = Vec::new();
+            for chunk in arrivals.chunks(2) {
+                steps.extend(pe.step_batch(chunk).into_iter().map(|o| o.new_matches));
+            }
+            // State is fully materialized between batches mid-session.
+            assert_eq!(pe.export_state(), pe.engine().export_state());
+            steps
+        });
+        assert_eq!(p_steps, t_steps);
+        assert_eq!(pooled.prune_stats(), transient.prune_stats());
+        assert_eq!(pooled.export_state(), transient.export_state());
+        assert_eq!(pooled.stage_metrics().pooled_batches, 2);
+        assert!(pooled.stage_metrics().overlapped_arrivals >= 4);
+    }
+
+    /// The instrumented barrier claim: with every refine forced onto the
+    /// pool, the lock-step drive pays exactly two barriers per arrival
+    /// (traverse + refine), the overlapped drive at most one plus one
+    /// prologue per batch.
+    #[test]
+    fn overlap_halves_the_barrier_count() {
+        let (ctx, streams) = scenario();
+        let arrivals = streams.arrivals();
+        let base = ExecConfig {
+            shards: 4,
+            threads: 2,
+            overlap: false,
+            refine_fanout_min: 0, // always fan out (when candidates exist)
+        };
+
+        let mut lockstep =
+            ShardedTerIdsEngine::new(&ctx, Params::default(), PruningMode::Full, base);
+        lockstep.step_batch(&arrivals);
+        let lm = lockstep.stage_metrics();
+        assert_eq!(
+            lm.er_barriers,
+            arrivals.len() as u64 + lm.fanned_refines,
+            "lock-step: one traverse barrier per arrival + one per fanned refine"
+        );
+        assert!(lm.fanned_refines > 0, "scenario exercises fanned refines");
+        assert_eq!(lm.overlapped_arrivals, 0);
+
+        let mut overlapped = ShardedTerIdsEngine::new(
+            &ctx,
+            Params::default(),
+            PruningMode::Full,
+            base.with_overlap(true),
+        );
+        overlapped.step_batch(&arrivals);
+        let om = overlapped.stage_metrics();
+        let batches = 1;
+        assert!(
+            om.er_barriers <= arrivals.len() as u64 + batches,
+            "overlapped: at most one barrier per arrival plus one prologue per batch \
+             (got {} for {} arrivals)",
+            om.er_barriers,
+            arrivals.len()
+        );
+        assert!(
+            om.er_barriers < lm.er_barriers,
+            "overlap must reduce barriers"
+        );
+        assert_eq!(om.overlapped_arrivals, arrivals.len() as u64);
+
+        // And the outputs are still bit-identical.
+        assert_eq!(overlapped.export_state(), lockstep.export_state());
     }
 
     #[test]
@@ -912,11 +1060,8 @@ mod tests {
             window: 2,
             ..Params::default()
         };
-        let exec = ExecConfig {
-            shards: 2,
-            threads: 2,
-        };
-        let mut e = ShardedTerIdsEngine::new(&ctx, params, PruningMode::Full, exec);
+        let mut e =
+            ShardedTerIdsEngine::new(&ctx, params, PruningMode::Full, ExecConfig::new(2, 2));
         let arrivals = streams.arrivals();
         e.step_batch(&arrivals[..2]);
         assert!(e.results().contains(1, 2));
@@ -926,14 +1071,38 @@ mod tests {
         assert_eq!(e.window_len(), 2);
     }
 
+    /// A window smaller than the batch forces in-batch arrivals to expire
+    /// before the batch ends — the eviction schedule must resolve their
+    /// metadata from the batch itself, in both drive modes.
+    #[test]
+    fn in_batch_expiry_is_bit_identical_across_drives() {
+        let (ctx, streams) = scenario();
+        let params = Params {
+            window: 1,
+            ..Params::default()
+        };
+        let arrivals = streams.arrivals();
+        let mut seq = TerIdsEngine::new(&ctx, params, PruningMode::Full);
+        for a in &arrivals {
+            seq.process(a);
+        }
+        for overlap in [false, true] {
+            let exec = ExecConfig::new(3, 2).with_overlap(overlap);
+            let mut par = ShardedTerIdsEngine::new(&ctx, params, PruningMode::Full, exec);
+            par.step_batch(&arrivals);
+            assert_eq!(par.export_state(), seq.export_state(), "overlap {overlap}");
+        }
+    }
+
     #[test]
     fn timing_is_recorded() {
         let (ctx, streams) = scenario();
-        let exec = ExecConfig {
-            shards: 2,
-            threads: 2,
-        };
-        let mut e = ShardedTerIdsEngine::new(&ctx, Params::default(), PruningMode::Full, exec);
+        let mut e = ShardedTerIdsEngine::new(
+            &ctx,
+            Params::default(),
+            PruningMode::Full,
+            ExecConfig::new(2, 2),
+        );
         e.step_batch(&streams.arrivals());
         let t = e.timing();
         assert_eq!(t.arrivals, 4);
@@ -955,25 +1124,15 @@ mod tests {
         for a in &arrivals {
             seq.process(a);
         }
-        let exec = ExecConfig {
-            shards: 4,
-            threads: 2,
-        };
-        let mut par = ShardedTerIdsEngine::new(&ctx, params, PruningMode::Full, exec);
+        let mut par =
+            ShardedTerIdsEngine::new(&ctx, params, PruningMode::Full, ExecConfig::new(4, 2));
         par.step_batch(&arrivals);
         let state = seq.export_state();
         assert_eq!(par.export_state(), state, "export representations differ");
 
         // Sequential checkpoint → sharded engine (different shard count).
-        let mut restored = ShardedTerIdsEngine::new(
-            &ctx,
-            params,
-            PruningMode::Full,
-            ExecConfig {
-                shards: 3,
-                threads: 1,
-            },
-        );
+        let mut restored =
+            ShardedTerIdsEngine::new(&ctx, params, PruningMode::Full, ExecConfig::new(3, 1));
         restored.import_state(&state).unwrap();
         assert_eq!(restored.export_state(), state);
         assert_eq!(restored.live_ids(), seq.live_ids());
@@ -987,10 +1146,7 @@ mod tests {
     #[test]
     fn import_rejects_mismatched_window() {
         let (ctx, streams) = scenario();
-        let exec = ExecConfig {
-            shards: 2,
-            threads: 1,
-        };
+        let exec = ExecConfig::new(2, 1);
         let mut e = ShardedTerIdsEngine::new(&ctx, Params::default(), PruningMode::Full, exec);
         e.step_batch(&streams.arrivals());
         let state = e.export_state();
@@ -1010,11 +1166,12 @@ mod tests {
     #[test]
     fn grid_load_is_spread_across_shards() {
         let (ctx, streams) = scenario();
-        let exec = ExecConfig {
-            shards: 8,
-            threads: 2,
-        };
-        let mut e = ShardedTerIdsEngine::new(&ctx, Params::default(), PruningMode::Full, exec);
+        let mut e = ShardedTerIdsEngine::new(
+            &ctx,
+            Params::default(),
+            PruningMode::Full,
+            ExecConfig::new(8, 2),
+        );
         e.step_batch(&streams.arrivals());
         let counts = e.shard_entry_counts();
         assert_eq!(counts.len(), 8);

@@ -1,19 +1,34 @@
-//! The client side of the wire protocol: a thin synchronous
-//! request/reply wrapper over one TCP connection.
+//! The client side of the wire protocol.
 //!
-//! Each call writes one framed request and blocks for its framed reply.
-//! [`Client::ingest`] surfaces [`Reply::Busy`] to the caller;
-//! [`Client::ingest_wait`] retries it with a small backoff — the polite
-//! default for feeders that just want their stream committed.
+//! [`Client`] is the synchronous request/reply core over one TCP
+//! connection: each call writes one framed request and blocks for its
+//! framed reply. [`Client::ingest`] surfaces [`Reply::Busy`] to the
+//! caller; [`Client::ingest_wait`] retries it with a small backoff — the
+//! polite default for feeders that just want their stream committed.
+//!
+//! [`Client::ingest_pipelined`] is the windowed (v2) driver: it keeps up
+//! to `W` sequence-tagged batches unacked on the wire, hiding the
+//! round-trip and letting the daemon overlap WAL fsync with engine
+//! compute. Backpressure is go-back-N: on any [`Reply::IngestBusy`] the
+//! client drains every outstanding reply, rewinds to its lowest unacked
+//! batch, and resends — the daemon's in-sequence gate guarantees batches
+//! commit in client order or not at all, so the result stream is
+//! bit-identical to a strict request/reply feed.
+//!
+//! [`ResilientClient`] wraps all of that with transparent
+//! re-dial-and-resume: on a connection loss it reconnects with backoff,
+//! asks the daemon's `Stats` where the committed stream ends, and
+//! continues the feed from exactly there — the client-side half of the
+//! crash-recovery story.
 
-use std::net::{TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::time::{Duration, Instant};
 
 use ter_stream::Arrival;
 
 use crate::wire::{
-    decode_reply, encode_request, read_message, write_message, EntityInfo, Query, Reply, Request,
-    StatsInfo, WindowInfo, WireError,
+    decode_reply, encode_ingest_seq, encode_request, read_message, write_message, EntityInfo,
+    Query, Reply, Request, StatsInfo, WindowInfo, WireError,
 };
 
 /// Why a client call failed.
@@ -49,10 +64,26 @@ impl From<WireError> for ClientError {
 /// Per-arrival match lists for one ingested batch, in arrival order.
 pub type BatchMatches = Vec<Vec<(u64, u64)>>;
 
+/// What one [`Client::ingest_pipelined`] run committed.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PipelinedIngest {
+    /// Per-batch match lists, in batch order (each entry is that batch's
+    /// per-arrival lists) — concatenated, bit-identical to a strict
+    /// request/reply feed of the same batches.
+    pub per_batch: Vec<BatchMatches>,
+    /// `IngestBusy` rejections absorbed (backpressure events the go-back-N
+    /// loop retried).
+    pub busy_retries: u64,
+}
+
 /// One connection to a `ter_serve` daemon.
 #[derive(Debug)]
 pub struct Client {
     stream: TcpStream,
+    /// Next pipelined-ingest sequence tag. Per-connection monotonic — the
+    /// daemon's in-sequence gate pins the connection to this counter, so
+    /// it never resets while the connection lives.
+    pipeline_seq: u64,
 }
 
 impl Client {
@@ -60,7 +91,10 @@ impl Client {
     pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Self> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true).ok();
-        Ok(Self { stream })
+        Ok(Self {
+            stream,
+            pipeline_seq: 0,
+        })
     }
 
     /// Connects, retrying until `deadline_in` elapses — for harnesses and
@@ -172,6 +206,240 @@ impl Client {
         match self.call_wait(&Request::Shutdown)? {
             Reply::Ack(batches) => Ok(batches),
             _ => Err(ClientError::Unexpected("shutdown")),
+        }
+    }
+
+    /// One framed reply off the wire, *without* mapping `Error` — the
+    /// pipelined loop needs the raw variant to account replies.
+    fn read_raw_reply(&mut self) -> Result<Reply, ClientError> {
+        let payload = read_message(&mut self.stream)?;
+        Ok(decode_reply(&payload)?)
+    }
+
+    /// Ingests `batches` with up to `window` unacked batches in flight
+    /// (protocol v2). Every batch is committed exactly once, in order:
+    /// the daemon's per-connection gate admits only the in-sequence
+    /// prefix, and on any [`Reply::IngestBusy`] this driver drains all
+    /// outstanding replies, rewinds to its lowest unacked batch, and
+    /// resends (go-back-N) after a small backoff. Blocks until every
+    /// batch is acked; the returned per-batch match lists concatenate to
+    /// exactly what a strict request/reply feed would have seen.
+    ///
+    /// Do not interleave other verbs on this connection while a
+    /// pipelined run is in flight — their replies would race the tagged
+    /// acks.
+    ///
+    /// On *any* error the connection is poisoned (shut down): replies
+    /// for in-flight frames may still be on the wire and the daemon's
+    /// per-connection expected sequence no longer matches this client's,
+    /// so no later call could trust what it reads. Every subsequent
+    /// operation fails fast with a transport error — reconnect (or use
+    /// [`ResilientClient`], which does) instead of retrying on the dead
+    /// connection.
+    pub fn ingest_pipelined(
+        &mut self,
+        batches: &[Vec<Arrival>],
+        window: usize,
+    ) -> Result<PipelinedIngest, ClientError> {
+        match self.ingest_pipelined_inner(batches, window) {
+            Ok(out) => Ok(out),
+            Err(e) => {
+                // Undrained tagged replies + a diverged server-side
+                // sequence gate = an unresynchronizable connection. A
+                // shutdown on an already-broken stream is harmless.
+                let _ = self.stream.shutdown(std::net::Shutdown::Both);
+                Err(e)
+            }
+        }
+    }
+
+    fn ingest_pipelined_inner(
+        &mut self,
+        batches: &[Vec<Arrival>],
+        window: usize,
+    ) -> Result<PipelinedIngest, ClientError> {
+        let w = window.max(1);
+        let n = batches.len();
+        let base = self.pipeline_seq;
+        let mut out = PipelinedIngest {
+            per_batch: Vec::with_capacity(n),
+            busy_retries: 0,
+        };
+        let mut next_send = 0usize; // next batch index to (re)send
+        let mut next_ack = 0usize; // acked prefix length
+        let mut in_flight = 0usize; // frames whose reply is still owed
+        while next_ack < n {
+            while next_send < n && in_flight < w {
+                // Borrow-encoding: no per-frame batch clone, even on
+                // go-back-N retransmits.
+                let payload = encode_ingest_seq(base + next_send as u64, &batches[next_send]);
+                write_message(&mut self.stream, &payload)?;
+                next_send += 1;
+                in_flight += 1;
+            }
+            match self.read_raw_reply()? {
+                Reply::IngestAck { seq, per_arrival } => {
+                    in_flight -= 1;
+                    // The daemon enqueues only the in-sequence prefix and
+                    // acks in commit order, so acks arrive densely.
+                    if seq != base + next_ack as u64 {
+                        return Err(ClientError::Unexpected("pipelined ack order"));
+                    }
+                    out.per_batch.push(per_arrival);
+                    next_ack += 1;
+                }
+                Reply::IngestBusy { .. } => {
+                    in_flight -= 1;
+                    out.busy_retries += 1;
+                    // Go-back-N: drain the reply owed by every other frame
+                    // still on the wire (acks may interleave with the
+                    // rejected tail), then rewind and resend.
+                    while in_flight > 0 {
+                        match self.read_raw_reply()? {
+                            Reply::IngestAck { seq, per_arrival } => {
+                                in_flight -= 1;
+                                if seq != base + next_ack as u64 {
+                                    return Err(ClientError::Unexpected("pipelined ack order"));
+                                }
+                                out.per_batch.push(per_arrival);
+                                next_ack += 1;
+                            }
+                            Reply::IngestBusy { .. } => {
+                                in_flight -= 1;
+                                out.busy_retries += 1;
+                            }
+                            Reply::Error(msg) => return Err(ClientError::Server(msg)),
+                            _ => return Err(ClientError::Unexpected("pipelined ingest")),
+                        }
+                    }
+                    next_send = next_ack;
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+                Reply::Error(msg) => return Err(ClientError::Server(msg)),
+                _ => return Err(ClientError::Unexpected("pipelined ingest")),
+            }
+        }
+        self.pipeline_seq = base + n as u64;
+        Ok(out)
+    }
+}
+
+/// What one [`ResilientClient::feed`] run did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FeedReport {
+    /// Batches the daemon committed over the course of this feed,
+    /// measured as the advance of its committed sequence — so batches
+    /// committed just before a crash (acked or not) are counted, while
+    /// batches committed by a previous incarnation are resumed past, not
+    /// recounted. Assumes this feed is the only ingester.
+    pub batches: u64,
+    /// Arrivals inside those batches.
+    pub arrivals: u64,
+    /// `IngestBusy` backpressure events absorbed (best-effort: events of
+    /// a run cut short by a connection loss are not recovered).
+    pub busy_retries: u64,
+    /// Connections (re-)established after the first.
+    pub reconnects: u64,
+    /// The daemon's committed batch sequence when the feed completed.
+    pub final_seq: u64,
+}
+
+/// A self-healing client: re-dials with backoff on connection loss and
+/// resumes ingest from the daemon's own committed position (`Stats`),
+/// so a feed survives daemon restarts — including `kill -9` — without
+/// double-feeding or skipping a batch.
+#[derive(Debug)]
+pub struct ResilientClient {
+    addr: SocketAddr,
+    /// How long each re-dial keeps retrying before giving up (passed to
+    /// [`Client::connect_retry`] — it backs off internally).
+    redial: Duration,
+    conn: Option<Client>,
+    reconnects: u64,
+}
+
+impl ResilientClient {
+    /// Creates the wrapper; no connection is made until first use.
+    pub fn new(addr: SocketAddr, redial: Duration) -> Self {
+        Self {
+            addr,
+            redial,
+            conn: None,
+            reconnects: 0,
+        }
+    }
+
+    /// Connections (re-)established after the first.
+    pub fn reconnects(&self) -> u64 {
+        self.reconnects
+    }
+
+    fn conn(&mut self) -> Result<&mut Client, ClientError> {
+        if self.conn.is_none() {
+            let fresh = Client::connect_retry(self.addr, self.redial)
+                .map_err(|e| ClientError::Wire(WireError::Io(e)))?;
+            self.conn = Some(fresh);
+        }
+        Ok(self.conn.as_mut().expect("connection just established"))
+    }
+
+    fn drop_conn(&mut self) {
+        self.conn = None;
+        self.reconnects += 1;
+    }
+
+    /// `Stats`, reconnecting on transport failure until the re-dial
+    /// deadline gives up.
+    pub fn stats(&mut self) -> Result<StatsInfo, ClientError> {
+        loop {
+            match self.conn()?.stats() {
+                Ok(s) => return Ok(s),
+                Err(ClientError::Wire(_)) => self.drop_conn(),
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Feeds `batches` — the *whole* stream, batched exactly as every
+    /// previous feed of this store directory — with pipelined ingest at
+    /// `window` batches in flight, transparently surviving connection
+    /// loss: each (re)connection first asks the daemon where its
+    /// committed stream ends and resumes from that batch. Returns once
+    /// the daemon has committed every batch.
+    pub fn feed(
+        &mut self,
+        batches: &[Vec<Arrival>],
+        window: usize,
+    ) -> Result<FeedReport, ClientError> {
+        let mut report = FeedReport::default();
+        let mut initial_seq: Option<usize> = None;
+        loop {
+            let start = self.stats()?.next_batch_seq as usize;
+            // Progress is accounted by the *daemon's* committed-sequence
+            // advance, not by acks seen: a run cut short by a crash may
+            // have committed batches whose acks never arrived, and those
+            // must still count as fed.
+            let initial = *initial_seq.get_or_insert(start.min(batches.len()));
+            if start >= batches.len() {
+                let end = start.min(batches.len()).max(initial);
+                report.batches = (end - initial) as u64;
+                report.arrivals = batches[initial..end]
+                    .iter()
+                    .map(|b| b.len() as u64)
+                    .sum::<u64>();
+                report.reconnects = self.reconnects;
+                report.final_seq = start as u64;
+                return Ok(report);
+            }
+            match self.conn()?.ingest_pipelined(&batches[start..], window) {
+                Ok(r) => {
+                    report.busy_retries += r.busy_retries;
+                    // Loop once more: the next stats call confirms the
+                    // committed position reached the end.
+                }
+                Err(ClientError::Wire(_)) => self.drop_conn(),
+                Err(e) => return Err(e),
+            }
         }
     }
 }

@@ -7,19 +7,28 @@
 //!
 //! * [`wire`] — the versioned, length-prefixed binary protocol
 //!   (CRC-32-framed, reusing the `ter_store` codec, so an `Arrival`
-//!   travels over TCP bit-identically to how it lands in the WAL);
-//! * [`server`] — the daemon: accept loop, reader thread per connection,
-//!   one bounded ordered queue into a single engine thread owning the
-//!   `ShardedTerIdsEngine` + `TerStore` (WAL-before-ack, checkpoint
-//!   cadence, two-generation WAL compaction, `Busy` backpressure);
-//! * [`client`] — the synchronous request/reply client library.
+//!   travels over TCP bit-identically to how it lands in the WAL); v2
+//!   adds windowed, sequence-tagged pipelined ingest, v1 peers keep
+//!   working;
+//! * [`server`] — the daemon: accept loop, reader + writer threads per
+//!   connection, one bounded ordered queue into a two-stage engine
+//!   pipeline (WAL/checkpoint stage overlapping batch `n+1`'s fsync with
+//!   batch `n`'s step on a persistent worker-pool session;
+//!   WAL-before-ack per sequence, checkpoint cadence, two-generation WAL
+//!   compaction, `Busy`/`IngestBusy` backpressure, per-connection
+//!   go-back-N ingest gate);
+//! * [`client`] — the client library: strict request/reply calls, the
+//!   windowed [`Client::ingest_pipelined`] driver, and the
+//!   reconnect-and-resume [`ResilientClient`] wrapper.
 //!
 //! The service contract extends the repo's gold standard across the
-//! process boundary: ingest through the daemon, `kill -9` it mid-stream,
-//! restart it on the same directory, resume the feed at
-//! `Recovery::resume_seq` — and the concatenated per-arrival results are
-//! **bit-identical** to a never-crashed in-process engine run
-//! (`tests/serve_crash.rs` enforces this with a real SIGKILL).
+//! process boundary: ingest through the daemon — request/reply or
+//! pipelined at any window — `kill -9` it mid-stream, restart it on the
+//! same directory, resume the feed at `Recovery::resume_seq` (or let
+//! [`ResilientClient::feed`] do all of that itself) — and the
+//! concatenated per-arrival results are **bit-identical** to a
+//! never-crashed in-process engine run (`tests/serve_crash.rs` enforces
+//! this with a real SIGKILL).
 
 pub mod client;
 pub mod server;
@@ -28,7 +37,7 @@ pub mod wire;
 #[cfg(test)]
 mod proptests;
 
-pub use client::{Client, ClientError};
+pub use client::{BatchMatches, Client, ClientError, FeedReport, PipelinedIngest, ResilientClient};
 pub use server::{ServeError, ServeOptions, ServeReport, Server};
 pub use wire::{Query, Reply, Request, StatsInfo, WindowInfo, WireError};
 
@@ -136,10 +145,7 @@ mod tests {
         ServeOptions {
             queue_depth: 4,
             checkpoint_every: 2,
-            exec: ExecConfig {
-                shards: 2,
-                threads: 2,
-            },
+            exec: ExecConfig::new(2, 2),
             ..ServeOptions::default()
         }
     }
@@ -202,6 +208,105 @@ mod tests {
             assert_eq!(report.batches, batches.len() as u64);
             assert_eq!(report.resumed_at, 0);
             assert_eq!(report.replayed, 0);
+        });
+    }
+
+    /// Pipelined ingest (W > 1) commits every batch exactly once, in
+    /// order, with per-batch matches whose concatenation is bit-identical
+    /// to the strict request/reply feed — and the same connection can go
+    /// back to plain verbs afterwards.
+    #[test]
+    fn pipelined_ingest_matches_request_reply() {
+        let (ctx, streams) = scenario();
+        let params = Params::default();
+        let dir = TempDir::new("pipelined");
+        let batches = streams.arrival_batches(1);
+
+        let mut oracle = TerIdsEngine::new(&ctx, params, PruningMode::Full);
+        let oracle_matches: Vec<Vec<(u64, u64)>> = batches
+            .iter()
+            .flat_map(|b| {
+                oracle
+                    .step_batch(b)
+                    .into_iter()
+                    .map(|o| o.new_matches)
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+
+        let server = Server::bind("127.0.0.1:0").unwrap();
+        let addr = server.addr().unwrap();
+        std::thread::scope(|scope| {
+            let handle = scope.spawn(|| server.run(&ctx, params, dir.path(), &opts()).unwrap());
+            let mut client = Client::connect_retry(addr, Duration::from_secs(5)).unwrap();
+            let run = client.ingest_pipelined(&batches, 4).unwrap();
+            assert_eq!(run.per_batch.len(), batches.len());
+            let served: Vec<Vec<(u64, u64)>> = run.per_batch.into_iter().flatten().collect();
+            assert_eq!(served, oracle_matches, "pipelined feed diverged");
+
+            // Plain verbs on the same connection still work after a run.
+            let stats = client.stats().unwrap();
+            assert_eq!(stats.next_batch_seq, batches.len() as u64);
+            assert_eq!(stats.stats, oracle.prune_stats());
+            let window = client.window().unwrap();
+            assert_eq!(window.live_ids, oracle.live_ids());
+            client.shutdown().unwrap();
+            let report = handle.join().unwrap();
+            assert_eq!(report.batches, batches.len() as u64);
+        });
+    }
+
+    /// Backpressure under pipelined ingest: a depth-1 queue plus an
+    /// artificial step hold forces the window to overrun — the client
+    /// must surface `IngestBusy`, retry via go-back-N, and the final
+    /// state must still be bit-identical to the oracle (nothing lost,
+    /// nothing duplicated, nothing reordered).
+    #[test]
+    fn pipelined_busy_backpressure_retries_to_parity() {
+        let (ctx, streams) = scenario();
+        let params = Params::default();
+        let dir = TempDir::new("pipelined_busy");
+        let batches = streams.arrival_batches(1);
+
+        let mut oracle = TerIdsEngine::new(&ctx, params, PruningMode::Full);
+        for b in &batches {
+            oracle.step_batch(b);
+        }
+
+        let server = Server::bind("127.0.0.1:0").unwrap();
+        let addr = server.addr().unwrap();
+        let busy_opts = ServeOptions {
+            queue_depth: 1,
+            // Long enough that the reader outruns the engine and the
+            // window is guaranteed to overrun the depth-1 queue.
+            ingest_hold: Duration::from_millis(40),
+            ..opts()
+        };
+        std::thread::scope(|scope| {
+            let handle = scope.spawn(|| server.run(&ctx, params, dir.path(), &busy_opts).unwrap());
+            let mut client = Client::connect_retry(addr, Duration::from_secs(5)).unwrap();
+            let run = client.ingest_pipelined(&batches, 4).unwrap();
+            assert!(
+                run.busy_retries > 0,
+                "a depth-1 queue under a 4-deep window must reject at least once"
+            );
+            assert_eq!(run.per_batch.len(), batches.len(), "every batch acked once");
+
+            let stats = client.stats().unwrap();
+            assert_eq!(
+                stats.next_batch_seq,
+                batches.len() as u64,
+                "no loss, no dupes"
+            );
+            assert_eq!(
+                stats.stats,
+                oracle.prune_stats(),
+                "bit-identical statistics"
+            );
+            let window = client.window().unwrap();
+            assert_eq!(window.live_ids, oracle.live_ids());
+            client.shutdown().unwrap();
+            handle.join().unwrap();
         });
     }
 

@@ -48,13 +48,14 @@ fn arb_arrivals() -> impl Strategy<Value = Vec<Arrival>> {
 }
 
 fn arb_request() -> impl Strategy<Value = Request> {
-    (0u8..7, arb_arrivals(), any::<u64>()).prop_map(|(kind, batch, id)| match kind {
+    (0u8..8, arb_arrivals(), any::<u64>()).prop_map(|(kind, batch, id)| match kind {
         0 => Request::Ingest(batch),
         1 => Request::Query(Query::Window),
         2 => Request::Query(Query::Entity(id)),
         3 => Request::Query(Query::Results),
         4 => Request::Stats,
         5 => Request::Checkpoint,
+        6 => Request::IngestSeq { seq: id, batch },
         _ => Request::Shutdown,
     })
 }
@@ -68,7 +69,7 @@ fn arb_pairs() -> impl Strategy<Value = Vec<Vec<(u64, u64)>>> {
 
 fn arb_reply() -> impl Strategy<Value = Reply> {
     (
-        0u8..6,
+        0u8..8,
         arb_pairs(),
         proptest::collection::vec(any::<u64>(), 0..4),
         (any::<u64>(), any::<u64>(), any::<u64>(), any::<u16>()),
@@ -89,6 +90,11 @@ fn arb_reply() -> impl Strategy<Value = Reply> {
                 window_len: d as usize,
                 stats: Default::default(),
             }),
+            5 => Reply::IngestAck {
+                seq: a,
+                per_arrival: pairs,
+            },
+            6 => Reply::IngestBusy { seq: c },
             _ => Reply::Ack(b),
         })
 }

@@ -1,13 +1,15 @@
-//! The daemon: a TCP accept loop, one reader thread per connection, and a
-//! single engine thread owning the `ShardedTerIdsEngine` + `TerStore`.
+//! The daemon: a TCP accept loop, reader + writer threads per
+//! connection, and a two-stage engine pipeline — a WAL/checkpoint stage
+//! and a step stage — fed by one bounded ordered queue.
 //!
 //! ```text
-//!  conn 1 ──reader──┐
-//!  conn 2 ──reader──┤   bounded ordered queue     ┌─ engine thread ──┐
-//!  conn N ──reader──┼───────(sync_channel)───────▶│ WAL append+fsync │
-//!                   │  full → Reply::Busy         │ step_batch       │
-//!                   │                             │ checkpoint cadence│
-//!                   └── per-job reply channel ◀───┴──────────────────┘
+//!  conn 1 ─reader─┐                       ┌────────── engine thread ──────────┐
+//!  conn 2 ─reader─┤  bounded ordered      │ dispatch append(n+1) ──▶ WAL stage │
+//!  conn N ─reader─┼──queue (sync_channel)─▶ step_batch(n)  [overlapped]  fsync │
+//!                 │  full → IngestBusy    │ wait appended(n) ◀── seq ───────── │
+//!                 │         / Busy        │ ack(n) → per-conn writer thread    │
+//!                 └──────────────────────▶│ checkpoint_at cadence              │
+//!                                         └────────────────────────────────────┘
 //! ```
 //!
 //! Every verb — ingest and introspection alike — goes through the one
@@ -15,30 +17,61 @@
 //! matter how clients interleave: results are **bit-identical** to a
 //! library run feeding the same batches in the same commit order. The
 //! queue is bounded; when it is full the reader replies [`Reply::Busy`]
-//! immediately instead of buffering unboundedly (explicit backpressure).
+//! (or the sequence-tagged [`Reply::IngestBusy`]) immediately instead of
+//! buffering unboundedly (explicit backpressure).
 //!
-//! Durability: `Ingest` acks only after the batch is WAL-committed
-//! (append + fsync) *and* stepped — a client that saw `Matches` knows a
-//! kill -9 cannot lose that batch. Every `checkpoint_every` batches the
-//! engine state is checkpointed, and the store's retention policy (two
-//! checkpoint generations, WAL compacted beneath the older one) bounds
-//! disk. On startup the daemon recovers via the `ter_store` ladder and
-//! resumes at [`Recovery::resume_seq`](ter_store::Recovery::resume_seq).
+//! # The ingest pipeline
+//!
+//! The engine thread holds at most one *pending* ingest: when batch
+//! `n+1` arrives it first dispatches `n+1`'s WAL append to the store
+//! stage, then steps the pending batch `n` — so the fsync of `n+1`
+//! overlaps the pure compute of `n`. The ack for `n` leaves only after
+//! (a) the store stage confirmed `n` durable and (b) `step_batch(n)`
+//! produced its matches: the **WAL-before-ack invariant holds per
+//! sequence** exactly as in the strict request/reply protocol. When the
+//! queue runs dry the pending batch is flushed immediately, so a
+//! one-batch-in-flight client sees request/reply latency unchanged.
+//! Checkpoints are stamped with an explicit WAL position
+//! ([`TerStore::checkpoint_at`]) because the log may already run ahead
+//! of the engine state being snapshotted.
+//!
+//! Pipelined ingest ([`Request::IngestSeq`]) adds a per-connection
+//! go-back-N gate in the reader: only the in-sequence prefix enters the
+//! queue, everything behind a rejection answers
+//! [`Reply::IngestBusy`] — so batches are *never* committed out of
+//! client order, which is what keeps a pipelined feed bit-identical to a
+//! sequential one.
+//!
+//! Durability: `Ingest`/`IngestSeq` ack only after the batch is
+//! WAL-committed (append + fsync) *and* stepped — a client that saw the
+//! ack knows a kill -9 cannot lose that batch. Every `checkpoint_every`
+//! batches the engine state is checkpointed, and the store's retention
+//! policy (two checkpoint generations, WAL compacted beneath the older
+//! one) bounds disk. On startup the daemon recovers via the `ter_store`
+//! ladder and resumes at
+//! [`Recovery::resume_seq`](ter_store::Recovery::resume_seq). The engine
+//! itself runs a persistent worker-pool session
+//! ([`ShardedTerIdsEngine::with_pool`]) for the daemon's lifetime —
+//! recovery replay included — so no per-batch thread spawn sits on the
+//! ingest path.
 
+use std::collections::VecDeque;
 use std::io::Read;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::path::Path;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc;
+use std::sync::Arc;
 use std::time::Duration;
 
-use ter_exec::{ExecConfig, ShardedTerIdsEngine};
-use ter_ids::{ErProcessor, Params, PruningMode, TerContext};
+use ter_exec::{ExecConfig, PooledEngine, ShardedTerIdsEngine};
+use ter_ids::{EngineState, ErProcessor, Params, PruningMode, TerContext};
 use ter_store::{context_fingerprint, CompactionPolicy, StoreError, TerStore};
+use ter_stream::Arrival;
 
 use crate::wire::{
-    decode_request, encode_reply, write_message, EntityInfo, Query, Reply, Request, StatsInfo,
-    WindowInfo, MAX_WIRE_LEN,
+    decode_request_versioned, encode_reply, write_message, EntityInfo, Query, Reply, Request,
+    StatsInfo, WindowInfo, MAX_WIRE_LEN, PROTO_V1,
 };
 
 /// How the daemon runs. The defaults suit tests and small deployments;
@@ -46,7 +79,7 @@ use crate::wire::{
 #[derive(Debug, Clone, Copy)]
 pub struct ServeOptions {
     /// Bounded depth of the ordered ingest queue; a full queue answers
-    /// [`Reply::Busy`].
+    /// [`Reply::Busy`] / [`Reply::IngestBusy`].
     pub queue_depth: usize,
     /// Checkpoint every N ingested batches (0 = only on graceful
     /// shutdown / explicit `Checkpoint` verbs).
@@ -56,6 +89,10 @@ pub struct ServeOptions {
     /// Store retention. Defaults to the bounded-disk two-generation
     /// policy — the daemon is a long-lived process.
     pub compaction: CompactionPolicy,
+    /// Test/bench instrumentation: an artificial hold applied before each
+    /// batch's step stage. Lets backpressure tests fill the bounded queue
+    /// deterministically. Zero (the default) for real deployments.
+    pub ingest_hold: Duration,
 }
 
 impl Default for ServeOptions {
@@ -65,6 +102,7 @@ impl Default for ServeOptions {
             checkpoint_every: 8,
             exec: ExecConfig::default(),
             compaction: CompactionPolicy::two_generation(),
+            ingest_hold: Duration::ZERO,
         }
     }
 }
@@ -120,16 +158,83 @@ impl From<StoreError> for ServeError {
     }
 }
 
-/// One queued operation: the decoded request plus the channel the engine
-/// thread answers on.
+/// One queued operation: the decoded request, the protocol version it
+/// arrived in (replies echo it), and the connection's writer channel.
 struct Job {
+    proto: u8,
     request: Request,
-    reply_tx: mpsc::Sender<Reply>,
+    reply_tx: mpsc::Sender<(u8, Reply)>,
+}
+
+/// A request to the WAL/checkpoint stage, issued only by the engine
+/// thread (responses come back FIFO on one channel).
+enum StoreReq {
+    /// Durably append one batch (append + fsync). Shared with the step
+    /// stage's pending slot — both sides only read it.
+    Append(Arc<Vec<Arrival>>),
+    /// Write a checkpoint; `wal_seq: None` stamps the log's current end
+    /// (only correct when no append is outstanding), `Some(seq)` the
+    /// explicit position of a pipelined cadence checkpoint.
+    Checkpoint {
+        wal_seq: Option<u64>,
+        state: Box<EngineState>,
+    },
+    /// The store-side counters for a `Stats` reply.
+    Stats,
+}
+
+enum StoreResp {
+    Appended(Result<u64, String>),
+    Checkpointed(Result<u64, String>),
+    Stats { next_seq: u64, wal_bytes: u64 },
+}
+
+/// The WAL/checkpoint stage: owns the [`TerStore`], serves the engine
+/// thread's requests in order, and exits when the request sender drops.
+/// Running appends here is what lets the engine thread overlap batch
+/// `n`'s step with batch `n+1`'s fsync.
+///
+/// One append failure disables every *later* append until the daemon
+/// restarts. With the pipeline a batch behind the failed one may already
+/// be in this stage's queue; letting it land would give it the failed
+/// batch's sequence number, and a feeder resuming from `Stats` would
+/// then silently skip the failed batch and double-feed its successor.
+/// Refusing keeps the log a strict prefix of what clients saw acked —
+/// the resume contract survives the fault.
+fn store_stage(mut store: TerStore, rx: mpsc::Receiver<StoreReq>, tx: mpsc::Sender<StoreResp>) {
+    let mut append_failed = false;
+    while let Ok(req) = rx.recv() {
+        let resp = match req {
+            StoreReq::Append(batch) => StoreResp::Appended(if append_failed {
+                Err("wal disabled after an earlier append failure (restart the daemon)".into())
+            } else {
+                let r = store.log_batch(&batch).map_err(|e| e.to_string());
+                append_failed = r.is_err();
+                r
+            }),
+            StoreReq::Checkpoint { wal_seq, state } => {
+                let seq = wal_seq.unwrap_or_else(|| store.wal_seq());
+                StoreResp::Checkpointed(store.checkpoint_at(seq, &state).map_err(|e| e.to_string()))
+            }
+            StoreReq::Stats => StoreResp::Stats {
+                next_seq: store.wal_seq(),
+                wal_bytes: store.wal_len_bytes(),
+            },
+        };
+        if tx.send(resp).is_err() {
+            break;
+        }
+    }
 }
 
 /// Reader-side poll interval: how often a blocked read re-checks the
 /// shutdown flag.
 const POLL_INTERVAL: Duration = Duration::from_millis(50);
+
+/// How long a reply write may block before the connection is dropped. A
+/// client that stops draining replies must not pin a writer thread
+/// forever.
+const WRITE_TIMEOUT: Duration = Duration::from_secs(10);
 
 /// A bound TER-iDS service. Binding is split from running so callers can
 /// learn the ephemeral port (`addr()`) before the blocking serve loop
@@ -171,16 +276,17 @@ impl Server {
         if let Some(state) = &recovery.state {
             engine.import_state(state).map_err(ServeError::Recovery)?;
         }
-        let replayed = recovery.replay_into(&mut engine);
         let resumed_at = recovery.resume_seq();
 
         let shutdown = AtomicBool::new(false);
         let (job_tx, job_rx) = mpsc::sync_channel::<Job>(opts.queue_depth.max(1));
+        let (store_tx, store_req_rx) = mpsc::channel::<StoreReq>();
+        let (store_resp_tx, store_rx) = mpsc::channel::<StoreResp>();
         self.listener.set_nonblocking(true)?;
 
         let mut report = ServeReport {
             resumed_at,
-            replayed,
+            replayed: 0,
             batches: 0,
             arrivals: 0,
             checkpoints: 0,
@@ -197,7 +303,7 @@ impl Server {
                         Ok((stream, _peer)) => {
                             let conn_tx = acceptor_tx.clone();
                             scope.spawn(move || {
-                                serve_connection(stream, conn_tx, shutdown_ref);
+                                serve_connection(stream, conn_tx, shutdown_ref, scope);
                             });
                         }
                         Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
@@ -212,27 +318,55 @@ impl Server {
             // "acceptor and every reader gone".
             drop(job_tx);
 
-            // ---- engine loop (single total order of operations) ----
-            let mut graceful = false;
-            while let Ok(job) = job_rx.recv() {
-                let is_shutdown = matches!(job.request, Request::Shutdown);
-                let reply = handle_request(job.request, &mut store, &mut engine, opts, &mut report);
-                // The final checkpoint happens *before* the shutdown ack
-                // leaves, so a client that saw the ack can rely on a
-                // checkpoint-only (zero-replay) restart.
-                let _ = job.reply_tx.send(reply);
-                if is_shutdown {
-                    graceful = true;
-                    break;
+            // ---- WAL/checkpoint stage ----
+            scope.spawn(move || store_stage(store, store_req_rx, store_resp_tx));
+
+            // ---- step stage (single total order of operations), with a
+            // persistent worker-pool session for the daemon's lifetime ----
+            engine.with_pool(|pe| {
+                report.replayed = recovery.replay_into(pe);
+                let mut stage = StepStage {
+                    pe,
+                    store_tx: &store_tx,
+                    store_rx: &store_rx,
+                    buffered_appends: VecDeque::new(),
+                    pending: None,
+                    opts,
+                    report: &mut report,
+                };
+                let mut graceful = false;
+                loop {
+                    // Drain-fast: with nothing queued, flush the pending
+                    // ingest so a one-in-flight client is acked promptly.
+                    let job = match job_rx.try_recv() {
+                        Ok(job) => job,
+                        Err(mpsc::TryRecvError::Empty) => {
+                            stage.flush_pending();
+                            match job_rx.recv() {
+                                Ok(job) => job,
+                                Err(_) => break,
+                            }
+                        }
+                        Err(mpsc::TryRecvError::Disconnected) => break,
+                    };
+                    let is_shutdown = matches!(job.request, Request::Shutdown);
+                    stage.handle(job);
+                    if is_shutdown {
+                        graceful = true;
+                        break;
+                    }
                 }
-            }
-            if !graceful {
-                // Listener died under us — still leave a fresh checkpoint.
-                let _ = store.checkpoint(&engine.export_state());
-            }
+                stage.flush_pending();
+                if !graceful {
+                    // Listener died under us — still leave a fresh
+                    // checkpoint (graceful shutdown already wrote one).
+                    let _ = stage.request_checkpoint(None);
+                }
+            });
+            drop(store_tx);
             // Release the acceptor and readers, then drain the queue:
             // dropping a pending job drops its reply channel, which wakes
-            // its reader with a clean "shutting down" error instead of
+            // its writer with a clean connection close instead of
             // deadlocking the scope join.
             shutdown.store(true, Ordering::Release);
             drop(job_rx);
@@ -242,91 +376,242 @@ impl Server {
     }
 }
 
-/// Applies one request to the engine + store. Runs on the engine thread —
-/// the single mutator — so every reply reflects a consistent snapshot.
-fn handle_request(
-    request: Request,
-    store: &mut TerStore,
-    engine: &mut ShardedTerIdsEngine<'_>,
-    opts: &ServeOptions,
-    report: &mut ServeReport,
-) -> Reply {
-    match request {
-        Request::Ingest(batch) => {
-            // Write-ahead: the batch is durable before the engine sees it,
-            // and the ack is sent only after both.
-            let seq = match store.log_batch(&batch) {
-                Ok(seq) => seq,
-                Err(e) => return Reply::Error(format!("wal append failed: {e}")),
-            };
-            let outputs = engine.step_batch(&batch);
-            report.batches += 1;
-            report.arrivals += batch.len() as u64;
-            let per_arrival = outputs.into_iter().map(|o| o.new_matches).collect();
-            if opts.checkpoint_every > 0 && (seq + 1) % opts.checkpoint_every == 0 {
-                // A failed cadence checkpoint is not an ingest failure —
-                // the WAL already covers the batch; just log it.
-                match store.checkpoint(&engine.export_state()) {
-                    Ok(_) => report.checkpoints += 1,
-                    Err(e) => eprintln!("ter_serve: checkpoint at batch {seq} failed: {e}"),
+/// An ingest whose WAL append is in flight and whose step has not run
+/// yet. The ack is owed after both.
+struct PendingIngest {
+    batch: Arc<Vec<Arrival>>,
+    proto: u8,
+    reply_tx: mpsc::Sender<(u8, Reply)>,
+    /// The client's pipeline sequence tag (`None` for v1 ingest).
+    client_seq: Option<u64>,
+}
+
+/// The engine thread's state: the pooled engine, the channel pair to the
+/// WAL stage, and the one-deep ingest pipeline.
+struct StepStage<'x, 's, 'a> {
+    pe: &'x mut PooledEngine<'s, 'a>,
+    store_tx: &'x mpsc::Sender<StoreReq>,
+    store_rx: &'x mpsc::Receiver<StoreResp>,
+    /// Append confirmations that arrived while waiting for a checkpoint
+    /// or stats response (FIFO, matched to flushes in dispatch order).
+    buffered_appends: VecDeque<Result<u64, String>>,
+    pending: Option<PendingIngest>,
+    opts: &'x ServeOptions,
+    report: &'x mut ServeReport,
+}
+
+impl StepStage<'_, '_, '_> {
+    fn send_store(&self, req: StoreReq) {
+        self.store_tx.send(req).expect("store stage hung up");
+    }
+
+    /// The next append confirmation, in dispatch order.
+    fn wait_appended(&mut self) -> Result<u64, String> {
+        if let Some(r) = self.buffered_appends.pop_front() {
+            return r;
+        }
+        match self.store_rx.recv().expect("store stage hung up") {
+            StoreResp::Appended(r) => r,
+            _ => unreachable!("store protocol violation: expected Appended"),
+        }
+    }
+
+    /// Requests a checkpoint of the *current* engine state and waits for
+    /// it, stashing any append confirmations that arrive first.
+    fn request_checkpoint(&mut self, wal_seq: Option<u64>) -> Result<u64, String> {
+        let state = Box::new(self.pe.export_state());
+        self.send_store(StoreReq::Checkpoint { wal_seq, state });
+        loop {
+            match self.store_rx.recv().expect("store stage hung up") {
+                StoreResp::Checkpointed(r) => return r,
+                StoreResp::Appended(r) => self.buffered_appends.push_back(r),
+                StoreResp::Stats { .. } => {
+                    unreachable!("store protocol violation: unsolicited Stats")
                 }
             }
-            Reply::Matches(per_arrival)
         }
-        Request::Query(Query::Window) => Reply::Window(WindowInfo {
-            len: engine.window_len(),
-            capacity: engine.window_capacity(),
-            live_ids: engine.live_ids(),
-        }),
-        Request::Query(Query::Entity(id)) => match engine.meta(id) {
-            Some(meta) => {
-                let info = EntityInfo {
-                    found: true,
-                    stream_id: meta.stream_id,
-                    timestamp: meta.timestamp,
-                    possibly_topical: meta.possibly_topical,
-                    partners: Vec::new(),
-                };
-                let mut partners: Vec<u64> = engine
-                    .results()
-                    .iter()
-                    .filter_map(|(a, b)| match (a == id, b == id) {
-                        (true, _) => Some(b),
-                        (_, true) => Some(a),
-                        _ => None,
-                    })
-                    .collect();
-                partners.sort_unstable();
-                Reply::Entity(EntityInfo { partners, ..info })
+    }
+
+    /// Store-side counters (call with no ingest pending, so the log end
+    /// reflects every batch the engine has seen).
+    fn store_stats(&mut self) -> (u64, u64) {
+        self.send_store(StoreReq::Stats);
+        loop {
+            match self.store_rx.recv().expect("store stage hung up") {
+                StoreResp::Stats {
+                    next_seq,
+                    wal_bytes,
+                } => return (next_seq, wal_bytes),
+                StoreResp::Appended(r) => self.buffered_appends.push_back(r),
+                StoreResp::Checkpointed(_) => {
+                    unreachable!("store protocol violation: unsolicited Checkpointed")
+                }
             }
-            None => Reply::Entity(EntityInfo::default()),
-        },
-        Request::Query(Query::Results) => {
-            let mut pairs: Vec<(u64, u64)> = engine.results().iter().collect();
-            pairs.sort_unstable();
-            Reply::Matches(vec![pairs])
         }
-        Request::Stats => Reply::Stats(StatsInfo {
-            next_batch_seq: store.wal_seq(),
-            session_arrivals: report.arrivals + report.replayed as u64,
-            wal_bytes: store.wal_len_bytes(),
-            window_len: engine.window_len(),
-            stats: engine.prune_stats(),
-        }),
-        Request::Checkpoint => match store.checkpoint(&engine.export_state()) {
-            Ok(bytes) => {
-                report.checkpoints += 1;
-                Reply::Ack(bytes)
+    }
+
+    /// Completes the pending ingest: confirm its WAL append, step the
+    /// engine, ack, and run the checkpoint cadence. The WAL-before-ack
+    /// invariant lives here.
+    fn flush_pending(&mut self) {
+        let Some(p) = self.pending.take() else { return };
+        let seq = match self.wait_appended() {
+            Ok(seq) => seq,
+            Err(e) => {
+                // A failed append is not a Busy (the client must not
+                // silently retry into a diverged log) — it is an error.
+                let reply = Reply::Error(format!("wal append failed: {e}"));
+                let _ = p.reply_tx.send((p.proto, reply));
+                return;
             }
-            Err(e) => Reply::Error(format!("checkpoint failed: {e}")),
-        },
-        Request::Shutdown => match store.checkpoint(&engine.export_state()) {
-            Ok(_) => {
-                report.checkpoints += 1;
-                Reply::Ack(report.batches)
+        };
+        if !self.opts.ingest_hold.is_zero() {
+            std::thread::sleep(self.opts.ingest_hold);
+        }
+        let outputs = self.pe.step_batch(&p.batch);
+        self.report.batches += 1;
+        self.report.arrivals += p.batch.len() as u64;
+        let per_arrival: Vec<Vec<(u64, u64)>> =
+            outputs.into_iter().map(|o| o.new_matches).collect();
+        let reply = match p.client_seq {
+            Some(client_seq) => Reply::IngestAck {
+                seq: client_seq,
+                per_arrival,
+            },
+            None => Reply::Matches(per_arrival),
+        };
+        let _ = p.reply_tx.send((p.proto, reply));
+        if self.opts.checkpoint_every > 0 && (seq + 1) % self.opts.checkpoint_every == 0 {
+            // The engine state covers batches 0..=seq, so the checkpoint
+            // is stamped seq+1 even if the log already runs ahead. A
+            // failed cadence checkpoint is not an ingest failure — the
+            // WAL already covers the batch; just log it.
+            match self.request_checkpoint(Some(seq + 1)) {
+                Ok(_) => self.report.checkpoints += 1,
+                Err(e) => eprintln!("ter_serve: checkpoint at batch {seq} failed: {e}"),
             }
-            Err(e) => Reply::Error(format!("shutdown checkpoint failed: {e}")),
-        },
+        }
+    }
+
+    /// Admits one ingest into the pipeline: dispatch its WAL append
+    /// first (so the fsync overlaps the step below), then flush the
+    /// previous pending batch, then park this one.
+    fn enqueue_ingest(
+        &mut self,
+        batch: Vec<Arrival>,
+        client_seq: Option<u64>,
+        proto: u8,
+        reply_tx: mpsc::Sender<(u8, Reply)>,
+    ) {
+        // One shared allocation: the store stage appends from it while
+        // the pending slot waits to step it — no per-batch deep copy on
+        // the ingest hot path.
+        let batch = Arc::new(batch);
+        self.send_store(StoreReq::Append(Arc::clone(&batch)));
+        self.flush_pending();
+        self.pending = Some(PendingIngest {
+            batch,
+            proto,
+            reply_tx,
+            client_seq,
+        });
+    }
+
+    /// Applies one request. Non-ingest verbs flush the pipeline first so
+    /// every reply reflects a consistent, fully-stepped snapshot.
+    fn handle(&mut self, job: Job) {
+        let Job {
+            proto,
+            request,
+            reply_tx,
+        } = job;
+        let reply = match request {
+            Request::Ingest(batch) => {
+                self.enqueue_ingest(batch, None, proto, reply_tx);
+                return; // acked on flush
+            }
+            Request::IngestSeq { seq, batch } => {
+                self.enqueue_ingest(batch, Some(seq), proto, reply_tx);
+                return; // acked on flush
+            }
+            Request::Query(Query::Window) => {
+                self.flush_pending();
+                let eng = self.pe.engine();
+                Reply::Window(WindowInfo {
+                    len: eng.window_len(),
+                    capacity: eng.window_capacity(),
+                    live_ids: eng.live_ids(),
+                })
+            }
+            Request::Query(Query::Entity(id)) => {
+                self.flush_pending();
+                let eng = self.pe.engine();
+                match eng.meta(id) {
+                    Some(meta) => {
+                        let mut partners: Vec<u64> = eng
+                            .results()
+                            .iter()
+                            .filter_map(|(a, b)| match (a == id, b == id) {
+                                (true, _) => Some(b),
+                                (_, true) => Some(a),
+                                _ => None,
+                            })
+                            .collect();
+                        partners.sort_unstable();
+                        Reply::Entity(EntityInfo {
+                            found: true,
+                            stream_id: meta.stream_id,
+                            timestamp: meta.timestamp,
+                            possibly_topical: meta.possibly_topical,
+                            partners,
+                        })
+                    }
+                    None => Reply::Entity(EntityInfo::default()),
+                }
+            }
+            Request::Query(Query::Results) => {
+                self.flush_pending();
+                let mut pairs: Vec<(u64, u64)> = self.pe.engine().results().iter().collect();
+                pairs.sort_unstable();
+                Reply::Matches(vec![pairs])
+            }
+            Request::Stats => {
+                self.flush_pending();
+                let (next_seq, wal_bytes) = self.store_stats();
+                let eng = self.pe.engine();
+                Reply::Stats(StatsInfo {
+                    next_batch_seq: next_seq,
+                    session_arrivals: self.report.arrivals + self.report.replayed as u64,
+                    wal_bytes,
+                    window_len: eng.window_len(),
+                    stats: eng.prune_stats(),
+                })
+            }
+            Request::Checkpoint => {
+                self.flush_pending();
+                match self.request_checkpoint(None) {
+                    Ok(bytes) => {
+                        self.report.checkpoints += 1;
+                        Reply::Ack(bytes)
+                    }
+                    Err(e) => Reply::Error(format!("checkpoint failed: {e}")),
+                }
+            }
+            Request::Shutdown => {
+                self.flush_pending();
+                // The final checkpoint happens *before* the shutdown ack
+                // leaves, so a client that saw the ack can rely on a
+                // checkpoint-only (zero-replay) restart.
+                match self.request_checkpoint(None) {
+                    Ok(_) => {
+                        self.report.checkpoints += 1;
+                        Reply::Ack(self.report.batches)
+                    }
+                    Err(e) => Reply::Error(format!("shutdown checkpoint failed: {e}")),
+                }
+            }
+        };
+        let _ = reply_tx.send((proto, reply));
     }
 }
 
@@ -377,23 +662,82 @@ fn read_exact_polling(
     ReadOutcome::Done
 }
 
-/// One connection's reader loop: frame in, decode, enqueue, frame out.
-/// Frame-level garbage (bad CRC, oversized length) gets an error reply
-/// and closes the connection — a byte stream cannot resynchronize after a
-/// corrupt frame. Payload-level garbage (intact frame, invalid request)
-/// gets an error reply and the connection continues. A full queue gets
-/// [`Reply::Busy`]; a stopped engine gets a final error reply.
-/// How long a reply write may block before the connection is dropped. A
-/// client that stops draining replies must not pin this reader thread —
-/// and with it the scope join in [`Server::run`] — forever.
-const WRITE_TIMEOUT: Duration = Duration::from_secs(10);
+/// Drains a connection's reply channel onto the socket in order. A reply
+/// too large for the wire cap degrades to an in-protocol error; a failed
+/// write closes the connection (the reader notices via the shutdown).
+/// Exits — closing the socket — once every reply sender (the reader and
+/// any queued jobs) is gone.
+fn writer_loop(mut stream: TcpStream, reply_rx: mpsc::Receiver<(u8, Reply)>) {
+    while let Ok((proto, reply)) = reply_rx.recv() {
+        let mut encoded = encode_reply(&reply);
+        if encoded.len() > MAX_WIRE_LEN {
+            encoded = encode_reply(&Reply::Error(format!(
+                "reply of {} bytes exceeds the wire cap",
+                encoded.len()
+            )));
+        }
+        // `proto` is the version the request arrived in; replies to v1
+        // requests only ever use v1 tags, so no re-encoding is needed —
+        // the assertion documents the invariant.
+        debug_assert!(
+            proto >= encoded[0],
+            "v{} reply to a v{proto} request",
+            encoded[0]
+        );
+        if write_message(&mut stream, &encoded).is_err() {
+            break;
+        }
+    }
+    let _ = stream.shutdown(std::net::Shutdown::Both);
+}
 
-fn serve_connection(mut stream: TcpStream, job_tx: mpsc::SyncSender<Job>, shutdown: &AtomicBool) {
-    if stream.set_read_timeout(Some(POLL_INTERVAL)).is_err()
-        || stream.set_write_timeout(Some(WRITE_TIMEOUT)).is_err()
+/// One connection's reader loop: frame in, decode, enqueue; replies flow
+/// through a dedicated writer thread so the reader never blocks on a
+/// response — that is what lets a window of pipelined ingests ride one
+/// connection. Frame-level garbage (bad CRC, oversized length) gets an
+/// error reply and closes the connection — a byte stream cannot
+/// resynchronize after a corrupt frame. Payload-level garbage (intact
+/// frame, invalid request) gets an error reply and the connection
+/// continues. A full queue gets [`Reply::Busy`] (v1) or the
+/// sequence-tagged [`Reply::IngestBusy`] (v2); a stopped engine gets a
+/// final error reply.
+///
+/// The go-back-N gate: the first [`Request::IngestSeq`] fixes the
+/// connection's expected sequence; afterwards only `expected` enters the
+/// queue (advancing it), everything else — the tail behind a rejection,
+/// or a stale retransmit — answers `IngestBusy` without touching the
+/// engine. Batches therefore commit in exactly the client's order or not
+/// at all.
+fn serve_connection<'scope, 'env>(
+    stream: TcpStream,
+    job_tx: mpsc::SyncSender<Job>,
+    shutdown: &'env AtomicBool,
+    scope: &'scope std::thread::Scope<'scope, 'env>,
+) {
+    let mut stream = stream;
+    if stream.set_read_timeout(Some(POLL_INTERVAL)).is_err() {
+        return;
+    }
+    let writer_stream = match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    };
+    if writer_stream
+        .set_write_timeout(Some(WRITE_TIMEOUT))
+        .is_err()
     {
         return;
     }
+    let (reply_tx, reply_rx) = mpsc::channel::<(u8, Reply)>();
+    // Scoped, so `Server::run` joins it: the final reply of a connection
+    // — notably the graceful-shutdown Ack — must reach the kernel before
+    // teardown, not race a detached thread's scheduling. It exits once
+    // every reply sender (this reader, queued jobs, the engine's pending
+    // slot) is gone, all of which teardown drops; a client that stops
+    // draining is bounded by WRITE_TIMEOUT.
+    scope.spawn(move || writer_loop(writer_stream, reply_rx));
+
+    let mut expected_seq: Option<u64> = None;
     loop {
         let mut header = [0u8; 8];
         match read_exact_polling(&mut stream, &mut header, shutdown) {
@@ -403,12 +747,10 @@ fn serve_connection(mut stream: TcpStream, job_tx: mpsc::SyncSender<Job>, shutdo
         let len = u32::from_le_bytes(header[0..4].try_into().unwrap()) as usize;
         let crc = u32::from_le_bytes(header[4..8].try_into().unwrap());
         if len > MAX_WIRE_LEN {
-            let _ = write_message(
-                &mut stream,
-                &encode_reply(&Reply::Error(format!(
-                    "bad frame: length {len} exceeds the wire cap"
-                ))),
-            );
+            let _ = reply_tx.send((
+                PROTO_V1,
+                Reply::Error(format!("bad frame: length {len} exceeds the wire cap")),
+            ));
             return;
         }
         let mut payload = vec![0u8; len];
@@ -417,53 +759,53 @@ fn serve_connection(mut stream: TcpStream, job_tx: mpsc::SyncSender<Job>, shutdo
             ReadOutcome::Disconnected | ReadOutcome::ShuttingDown => return,
         }
         if ter_store::crc32(&payload) != crc {
-            let _ = write_message(
-                &mut stream,
-                &encode_reply(&Reply::Error("bad frame: CRC mismatch".into())),
-            );
+            let _ = reply_tx.send((PROTO_V1, Reply::Error("bad frame: CRC mismatch".into())));
             return;
         }
-        let request = match decode_request(&payload) {
+        let (proto, request) = match decode_request_versioned(&payload) {
             Ok(r) => r,
             Err(e) => {
-                // A failed (or timed-out, hence possibly partial) error
-                // write desynchronizes the stream — close instead of
-                // continuing.
-                if write_message(
-                    &mut stream,
-                    &encode_reply(&Reply::Error(format!("bad request: {e}"))),
-                )
-                .is_err()
-                {
-                    return;
-                }
+                let _ = reply_tx.send((PROTO_V1, Reply::Error(format!("bad request: {e}"))));
                 continue;
             }
         };
-        let (reply_tx, reply_rx) = mpsc::channel();
-        let reply = match job_tx.try_send(Job { request, reply_tx }) {
-            Ok(()) => match reply_rx.recv() {
-                Ok(reply) => reply,
-                // Engine stopped with the job still queued.
-                Err(_) => Reply::Error("service shutting down".into()),
-            },
-            Err(mpsc::TrySendError::Full(_)) => Reply::Busy,
-            Err(mpsc::TrySendError::Disconnected(_)) => {
-                Reply::Error("service shutting down".into())
+        // ---- the pipelined-ingest gate ----
+        if let Request::IngestSeq { seq, .. } = &request {
+            let seq = *seq;
+            if expected_seq.is_some_and(|e| seq != e) {
+                let _ = reply_tx.send((proto, Reply::IngestBusy { seq }));
+                continue;
             }
-        };
-        // A reply too large for the wire cap degrades to an in-protocol
-        // error — the release-mode cap check in `write_message` would
-        // otherwise close the connection without telling the peer why.
-        let mut encoded = encode_reply(&reply);
-        if encoded.len() > MAX_WIRE_LEN {
-            encoded = encode_reply(&Reply::Error(format!(
-                "reply of {} bytes exceeds the wire cap",
-                encoded.len()
-            )));
+            match job_tx.try_send(Job {
+                proto,
+                request,
+                reply_tx: reply_tx.clone(),
+            }) {
+                Ok(()) => expected_seq = Some(seq + 1),
+                Err(mpsc::TrySendError::Full(_)) => {
+                    let _ = reply_tx.send((proto, Reply::IngestBusy { seq }));
+                }
+                Err(mpsc::TrySendError::Disconnected(_)) => {
+                    let _ = reply_tx.send((proto, Reply::Error("service shutting down".into())));
+                    return;
+                }
+            }
+            continue;
         }
-        if write_message(&mut stream, &encoded).is_err() {
-            return;
+        // ---- strict request/reply verbs ----
+        match job_tx.try_send(Job {
+            proto,
+            request,
+            reply_tx: reply_tx.clone(),
+        }) {
+            Ok(()) => {}
+            Err(mpsc::TrySendError::Full(_)) => {
+                let _ = reply_tx.send((proto, Reply::Busy));
+            }
+            Err(mpsc::TrySendError::Disconnected(_)) => {
+                let _ = reply_tx.send((proto, Reply::Error("service shutting down".into())));
+                return;
+            }
         }
     }
 }

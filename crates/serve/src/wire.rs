@@ -3,7 +3,7 @@
 //! `crc = CRC-32/IEEE(payload)`) whose payload is
 //!
 //! ```text
-//! payload := [proto: u8 = 1][tag: u8][body]
+//! payload := [proto: u8 = 1 | 2][tag: u8][body]
 //! ```
 //!
 //! with the body encoded by the same hand-rolled codec the persistence
@@ -14,10 +14,26 @@
 //! `ter_store` codec proptests) — and the frame CRC rejects any bit flip
 //! in transit before the decoder even runs.
 //!
-//! Verbs (client → server): [`Request::Ingest`], [`Request::Query`],
-//! [`Request::Stats`], [`Request::Checkpoint`], [`Request::Shutdown`].
-//! Replies (server → client) carry result data, an error string, or the
-//! explicit [`Reply::Busy`] backpressure signal.
+//! # Versions
+//!
+//! * **v1** — strict request/reply: [`Request::Ingest`],
+//!   [`Request::Query`], [`Request::Stats`], [`Request::Checkpoint`],
+//!   [`Request::Shutdown`]; replies carry result data, an error string,
+//!   or the explicit [`Reply::Busy`] backpressure signal. One request in
+//!   flight per connection.
+//! * **v2** — adds *pipelined ingest*: [`Request::IngestSeq`] tags each
+//!   batch with a client-chosen, per-connection-monotonic sequence
+//!   number, and the daemon answers out of band with the sequence-tagged
+//!   [`Reply::IngestAck`] (committed + stepped) or [`Reply::IngestBusy`]
+//!   (queue full *or* out of sequence — the go-back-N signal). A window
+//!   of up to `W` unacked batches rides one connection; acks arrive in
+//!   sequence order because the daemon enqueues only the in-sequence
+//!   prefix.
+//!
+//! Both sides speak the *lowest* version a message needs: v1 verbs and
+//! replies are emitted as v1 payloads (so an old peer interoperates
+//! untouched), the pipelined messages as v2. Decoders accept both
+//! versions; v2-only tags inside a v1 payload are rejected.
 
 use std::io::{Read, Write};
 
@@ -25,8 +41,12 @@ use ter_ids::PruneStats;
 use ter_store::{crc32, Codec, CodecError, Decoder, Encoder};
 use ter_stream::Arrival;
 
-/// Protocol version carried in every payload.
-pub const PROTO_VERSION: u8 = 1;
+/// The original request/reply protocol version.
+pub const PROTO_V1: u8 = 1;
+/// The pipelined-ingest protocol version.
+pub const PROTO_V2: u8 = 2;
+/// Newest protocol version this build speaks.
+pub const PROTO_VERSION: u8 = PROTO_V2;
 
 /// Hard cap on a wire frame's payload (16 MiB) — a corrupt or hostile
 /// length field must not drive a pathological allocation.
@@ -130,8 +150,14 @@ pub enum Query {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Request {
     /// Append one arrival batch: WAL-commit, step the engine, and return
-    /// the per-arrival match lists.
+    /// the per-arrival match lists. Strict request/reply (v1).
     Ingest(Vec<Arrival>),
+    /// Pipelined ingest (v2): like [`Request::Ingest`], but tagged with a
+    /// client-chosen sequence number so up to `W` batches ride the
+    /// connection unacked. The daemon enqueues only the in-sequence
+    /// prefix (per connection) and answers each frame with exactly one
+    /// [`Reply::IngestAck`] or [`Reply::IngestBusy`].
+    IngestSeq { seq: u64, batch: Vec<Arrival> },
     /// Introspect the engine without mutating it.
     Query(Query),
     /// Service counters: stream position, WAL size, pruning statistics.
@@ -147,6 +173,7 @@ const TAG_QUERY: u8 = 0x02;
 const TAG_STATS: u8 = 0x03;
 const TAG_CHECKPOINT: u8 = 0x04;
 const TAG_SHUTDOWN: u8 = 0x05;
+const TAG_INGEST_SEQ: u8 = 0x06;
 
 const TAG_ERROR: u8 = 0x80;
 const TAG_BUSY: u8 = 0x81;
@@ -155,6 +182,17 @@ const TAG_WINDOW: u8 = 0x83;
 const TAG_ENTITY: u8 = 0x84;
 const TAG_STATS_REPLY: u8 = 0x85;
 const TAG_ACK: u8 = 0x86;
+const TAG_INGEST_ACK: u8 = 0x87;
+const TAG_INGEST_BUSY: u8 = 0x88;
+
+/// The lowest protocol version that carries `tag` — both sides emit it,
+/// so v1 peers keep interoperating until a v2 message is actually needed.
+fn tag_version(tag: u8) -> u8 {
+    match tag {
+        TAG_INGEST_SEQ | TAG_INGEST_ACK | TAG_INGEST_BUSY => PROTO_V2,
+        _ => PROTO_V1,
+    }
+}
 
 /// Window introspection reply body.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
@@ -220,25 +258,41 @@ pub enum Reply {
     /// Verb acknowledged; the payload is verb-specific (checkpoint bytes
     /// for `Checkpoint`, total batches served for `Shutdown`).
     Ack(u64),
+    /// Pipelined ingest commit (v2): batch `seq` is WAL-durable and
+    /// stepped; `per_arrival` carries its match lists in arrival order.
+    IngestAck {
+        seq: u64,
+        per_arrival: Vec<Vec<(u64, u64)>>,
+    },
+    /// Pipelined ingest rejection (v2): batch `seq` was *not* committed —
+    /// the queue was full or the frame arrived out of sequence behind an
+    /// earlier rejection. The client rewinds to its lowest unacked batch
+    /// and resends (go-back-N).
+    IngestBusy { seq: u64 },
 }
 
 fn payload_with(tag: u8) -> Encoder {
     let mut enc = Encoder::new();
-    enc.u8(PROTO_VERSION);
+    enc.u8(tag_version(tag));
     enc.u8(tag);
     enc
 }
 
-/// Splits a received payload into its verb/reply tag and body decoder,
-/// validating the protocol version.
-fn open_payload(payload: &[u8]) -> Result<(u8, Decoder<'_>), WireError> {
+/// Splits a received payload into its protocol version, verb/reply tag,
+/// and body decoder. Accepts every version this build speaks and rejects
+/// tags newer than the payload's declared version — a v1 payload cannot
+/// smuggle v2 verbs.
+fn open_payload(payload: &[u8]) -> Result<(u8, u8, Decoder<'_>), WireError> {
     let mut dec = Decoder::new(payload);
     let proto = dec.u8()?;
-    if proto != PROTO_VERSION {
+    if proto == 0 || proto > PROTO_VERSION {
         return Err(WireError::Version(proto));
     }
     let tag = dec.u8()?;
-    Ok((tag, dec))
+    if tag_version(tag) > proto {
+        return Err(WireError::UnknownTag(tag));
+    }
+    Ok((proto, tag, dec))
 }
 
 fn finish<T>(dec: &Decoder<'_>, v: T) -> Result<T, WireError> {
@@ -248,7 +302,8 @@ fn finish<T>(dec: &Decoder<'_>, v: T) -> Result<T, WireError> {
     Ok(v)
 }
 
-/// Encodes a request into a wire payload (version + tag + body).
+/// Encodes a request into a wire payload (version + tag + body). The
+/// version byte is the lowest that carries the verb.
 pub fn encode_request(req: &Request) -> Vec<u8> {
     match req {
         Request::Ingest(batch) => {
@@ -256,6 +311,7 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
             batch.encode(&mut enc);
             enc.into_bytes()
         }
+        Request::IngestSeq { seq, batch } => encode_ingest_seq(*seq, batch),
         Request::Query(q) => {
             let mut enc = payload_with(TAG_QUERY);
             match q {
@@ -274,14 +330,42 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
     }
 }
 
+/// Encodes a [`Request::IngestSeq`] payload from a *borrowed* batch —
+/// byte-identical to `encode_request` on the owned variant, without
+/// cloning the batch into a `Request` first. The pipelined client sends
+/// (and under go-back-N resends) batches it does not own, so this is its
+/// hot path.
+pub fn encode_ingest_seq(seq: u64, batch: &[Arrival]) -> Vec<u8> {
+    let mut enc = payload_with(TAG_INGEST_SEQ);
+    enc.u64(seq);
+    // Same wire shape as `Vec<Arrival>::encode`: length, then elements.
+    enc.usize(batch.len());
+    for arrival in batch {
+        arrival.encode(&mut enc);
+    }
+    enc.into_bytes()
+}
+
 /// Decodes a request payload. Any malformed input yields `Err`, never a
 /// panic; the body must consume the payload exactly.
 pub fn decode_request(payload: &[u8]) -> Result<Request, WireError> {
-    let (tag, mut dec) = open_payload(payload)?;
-    match tag {
+    decode_request_versioned(payload).map(|(_, req)| req)
+}
+
+/// [`decode_request`] that also reports the payload's protocol version,
+/// so the daemon can answer each request in the version it arrived in
+/// (a v1 client never sees a v2 reply).
+pub fn decode_request_versioned(payload: &[u8]) -> Result<(u8, Request), WireError> {
+    let (proto, tag, mut dec) = open_payload(payload)?;
+    let req = match tag {
         TAG_INGEST => {
             let batch = Vec::<Arrival>::decode(&mut dec)?;
             finish(&dec, Request::Ingest(batch))
+        }
+        TAG_INGEST_SEQ => {
+            let seq = dec.u64()?;
+            let batch = Vec::<Arrival>::decode(&mut dec)?;
+            finish(&dec, Request::IngestSeq { seq, batch })
         }
         TAG_QUERY => {
             let q = match dec.u8()? {
@@ -296,7 +380,8 @@ pub fn decode_request(payload: &[u8]) -> Result<Request, WireError> {
         TAG_CHECKPOINT => finish(&dec, Request::Checkpoint),
         TAG_SHUTDOWN => finish(&dec, Request::Shutdown),
         t => Err(WireError::UnknownTag(t)),
-    }
+    }?;
+    Ok((proto, req))
 }
 
 impl Codec for WindowInfo {
@@ -386,12 +471,23 @@ pub fn encode_reply(reply: &Reply) -> Vec<u8> {
             enc.u64(*v);
             enc.into_bytes()
         }
+        Reply::IngestAck { seq, per_arrival } => {
+            let mut enc = payload_with(TAG_INGEST_ACK);
+            enc.u64(*seq);
+            per_arrival.encode(&mut enc);
+            enc.into_bytes()
+        }
+        Reply::IngestBusy { seq } => {
+            let mut enc = payload_with(TAG_INGEST_BUSY);
+            enc.u64(*seq);
+            enc.into_bytes()
+        }
     }
 }
 
 /// Decodes a reply payload (strict, panic-free — see [`decode_request`]).
 pub fn decode_reply(payload: &[u8]) -> Result<Reply, WireError> {
-    let (tag, mut dec) = open_payload(payload)?;
+    let (_proto, tag, mut dec) = open_payload(payload)?;
     match tag {
         TAG_ERROR => {
             let msg = dec.str()?;
@@ -417,6 +513,15 @@ pub fn decode_reply(payload: &[u8]) -> Result<Reply, WireError> {
         TAG_ACK => {
             let v = dec.u64()?;
             finish(&dec, Reply::Ack(v))
+        }
+        TAG_INGEST_ACK => {
+            let seq = dec.u64()?;
+            let per_arrival = Vec::<Vec<(u64, u64)>>::decode(&mut dec)?;
+            finish(&dec, Reply::IngestAck { seq, per_arrival })
+        }
+        TAG_INGEST_BUSY => {
+            let seq = dec.u64()?;
+            finish(&dec, Reply::IngestBusy { seq })
         }
         t => Err(WireError::UnknownTag(t)),
     }
@@ -451,6 +556,10 @@ mod tests {
         let reqs = [
             Request::Ingest(sample_batch()),
             Request::Ingest(Vec::new()),
+            Request::IngestSeq {
+                seq: 7,
+                batch: sample_batch(),
+            },
             Request::Query(Query::Window),
             Request::Query(Query::Entity(42)),
             Request::Query(Query::Results),
@@ -462,6 +571,55 @@ mod tests {
             let payload = encode_request(req);
             assert_eq!(&decode_request(&payload).unwrap(), req, "{req:?}");
         }
+    }
+
+    /// The borrow-based pipelined encoder must be byte-identical to
+    /// encoding the owned request — same frames on the wire, no clone.
+    #[test]
+    fn borrowed_ingest_seq_encoding_is_byte_identical() {
+        let batch = sample_batch();
+        let owned = encode_request(&Request::IngestSeq {
+            seq: 42,
+            batch: batch.clone(),
+        });
+        assert_eq!(encode_ingest_seq(42, &batch), owned);
+        assert_eq!(
+            encode_ingest_seq(7, &[]),
+            encode_request(&Request::IngestSeq {
+                seq: 7,
+                batch: Vec::new()
+            })
+        );
+    }
+
+    /// v1 verbs are emitted as v1 payloads (an old daemon keeps working);
+    /// pipelined messages as v2; and a v1 payload cannot smuggle a v2 tag.
+    #[test]
+    fn versions_are_minimal_and_enforced() {
+        assert_eq!(encode_request(&Request::Stats)[0], PROTO_V1);
+        assert_eq!(encode_request(&Request::Ingest(Vec::new()))[0], PROTO_V1);
+        let seq_payload = encode_request(&Request::IngestSeq {
+            seq: 0,
+            batch: Vec::new(),
+        });
+        assert_eq!(seq_payload[0], PROTO_V2);
+        assert_eq!(encode_reply(&Reply::Busy)[0], PROTO_V1);
+        assert_eq!(encode_reply(&Reply::IngestBusy { seq: 3 })[0], PROTO_V2);
+
+        // Version downgrade on a v2-only tag must be rejected.
+        let mut smuggled = seq_payload.clone();
+        smuggled[0] = PROTO_V1;
+        assert!(matches!(
+            decode_request(&smuggled),
+            Err(WireError::UnknownTag(_))
+        ));
+
+        // The versioned decoder reports what arrived.
+        let (proto, req) = decode_request_versioned(&seq_payload).unwrap();
+        assert_eq!(proto, PROTO_V2);
+        assert!(matches!(req, Request::IngestSeq { seq: 0, .. }));
+        let (proto, _) = decode_request_versioned(&encode_request(&Request::Stats)).unwrap();
+        assert_eq!(proto, PROTO_V1);
     }
 
     #[test]
@@ -494,6 +652,11 @@ mod tests {
                 },
             }),
             Reply::Ack(77),
+            Reply::IngestAck {
+                seq: 9,
+                per_arrival: vec![vec![(1, 2)], vec![]],
+            },
+            Reply::IngestBusy { seq: 10 },
         ];
         for reply in &replies {
             let payload = encode_reply(reply);

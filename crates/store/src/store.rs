@@ -215,7 +215,26 @@ impl TerStore {
     /// with its complete replay suffix. Returns the checkpoint's byte
     /// size.
     pub fn checkpoint(&mut self, state: &EngineState) -> Result<u64, StoreError> {
-        let wal_seq = self.wal.next_seq();
+        self.checkpoint_at(self.wal.next_seq(), state)
+    }
+
+    /// [`TerStore::checkpoint`] at an *explicit* WAL position — the
+    /// append/ack-decoupled form. A pipelined service appends batch `n+1`
+    /// while the engine still steps batch `n`; when the cadence fires
+    /// after step `n`, the exported state covers exactly batches
+    /// `0..=n`, so the checkpoint must be stamped `wal_seq = n+1` even
+    /// though the log has already grown past it. Recovery then replays
+    /// the WAL suffix `wal_seq..` as usual. `wal_seq` must lie within
+    /// the log's committed range `[base_seq, next_seq]` — a stamp the
+    /// log cannot replay from would create an unbridgeable gap.
+    pub fn checkpoint_at(&mut self, wal_seq: u64, state: &EngineState) -> Result<u64, StoreError> {
+        if wal_seq < self.wal.base_seq() || wal_seq > self.wal.next_seq() {
+            return Err(StoreError::Mismatch(format!(
+                "checkpoint stamp {wal_seq} outside the committed WAL range [{}, {}]",
+                self.wal.base_seq(),
+                self.wal.next_seq()
+            )));
+        }
         let name = checkpoint_file_name(wal_seq);
         let bytes = Checkpoint {
             fingerprint: self.fingerprint,
@@ -381,6 +400,36 @@ mod tests {
             store.log_batch(&b1).unwrap();
             store.checkpoint(&state_at(2)).unwrap();
             store.log_batch(&b2).unwrap();
+        }
+        let store = TerStore::open(dir.path(), 1).unwrap();
+        let rec = store.recover().unwrap();
+        assert_eq!(rec.state, Some(state_at(2)));
+        assert_eq!(rec.checkpoint_seq, 2);
+        assert_eq!(rec.suffix, vec![b2]);
+        assert_eq!(rec.resume_seq(), 3);
+    }
+
+    /// Pipelined serving appends ahead of the engine: the WAL already
+    /// holds batch 2 when the state covering batches 0–1 is
+    /// checkpointed. The explicit stamp makes recovery replay exactly
+    /// the un-stepped suffix; stamps outside the committed range are
+    /// refused.
+    #[test]
+    fn checkpoint_at_explicit_seq_replays_the_pipelined_suffix() {
+        let dir = TempDir::new("pipelined_ckpt");
+        let (b0, b1, b2) = (batch(2, 0), batch(2, 10), batch(2, 20));
+        {
+            let mut store = TerStore::open(dir.path(), 1).unwrap();
+            store.log_batch(&b0).unwrap();
+            store.log_batch(&b1).unwrap();
+            // Batch 2 is already appended (WAL runs ahead)...
+            store.log_batch(&b2).unwrap();
+            // ...but the engine has only stepped batches 0–1.
+            store.checkpoint_at(2, &state_at(2)).unwrap();
+            assert!(matches!(
+                store.checkpoint_at(4, &state_at(4)),
+                Err(StoreError::Mismatch(_))
+            ));
         }
         let store = TerStore::open(dir.path(), 1).unwrap();
         let rec = store.recover().unwrap();

@@ -7,6 +7,7 @@
 //!                 [--queue-depth 16] [--shards 8] [--threads T]
 //! ter_serve feed  --addr ADDR [--preset ebooks] [--scale 1.0]
 //!                 [--window 400] [--batch 64] [--from auto|N]
+//!                 [--pipeline W] [--resilient] [--batches N]
 //!                 [--oracle-check] [--quiet]
 //! ter_serve query --addr ADDR [--id ID]
 //! ter_serve shutdown --addr ADDR
@@ -21,8 +22,13 @@
 //! `feed --from auto` (the default) asks the daemon where its WAL ends
 //! and resumes the stream cursor there — after a `kill -9`, rerunning the
 //! same `feed` command completes the stream without double-feeding.
-//! `--oracle-check` then replays the whole stream through an in-process
-//! engine and insists the daemon's final statistics are bit-identical.
+//! `--pipeline W` keeps up to `W` unacked batches on the wire (protocol
+//! v2 windowed ingest — the daemon overlaps each batch's fsync with the
+//! previous batch's compute); `--resilient` additionally survives daemon
+//! restarts mid-feed by re-dialing and resuming from the daemon's own
+//! committed position. `--oracle-check` replays the whole stream through
+//! an in-process engine and insists the daemon's final statistics are
+//! bit-identical.
 
 use std::process::ExitCode;
 use std::time::{Duration, Instant};
@@ -32,7 +38,7 @@ use ter_exec::ExecConfig;
 use ter_ids::{ErProcessor, Params, PruningMode, TerContext, TerIdsEngine};
 use ter_repo::PivotConfig;
 use ter_rules::DiscoveryConfig;
-use ter_serve::{Client, ServeOptions, Server};
+use ter_serve::{Client, ResilientClient, ServeOptions, Server};
 use ter_stream::StreamSet;
 
 fn usage() -> ! {
@@ -43,7 +49,8 @@ fn usage() -> ! {
          \x20        [--window 400] [--checkpoint-every 8] [--queue-depth 16]\n\
          \x20        [--shards 8] [--threads T]\n\
          feed     --addr ADDR [--preset ebooks] [--scale 1.0] [--window 400]\n\
-         \x20        [--batch 64] [--from auto|N] [--batches N] [--oracle-check] [--quiet]\n\
+         \x20        [--batch 64] [--from auto|N] [--batches N] [--pipeline W]\n\
+         \x20        [--resilient] [--oracle-check] [--quiet]\n\
          query    --addr ADDR [--id ID]\n\
          shutdown --addr ADDR"
     );
@@ -63,7 +70,7 @@ impl Flags {
                 usage();
             };
             // Boolean flags take no value.
-            if matches!(key, "oracle-check" | "quiet") {
+            if matches!(key, "oracle-check" | "quiet" | "resilient") {
                 out.push((key.to_string(), "true".to_string()));
                 i += 1;
                 continue;
@@ -155,10 +162,13 @@ fn cmd_serve(flags: &Flags) -> ExitCode {
     let opts = ServeOptions {
         queue_depth: flags.parsed("queue-depth", 16),
         checkpoint_every: flags.parsed("checkpoint-every", 8),
-        exec: ExecConfig {
-            shards: flags.parsed("shards", 8),
-            threads: flags.parsed("threads", ExecConfig::default().threads),
-        },
+        exec: ExecConfig::new(
+            flags.parsed("shards", 8),
+            flags.parsed("threads", ExecConfig::default().threads),
+        ),
+        // Test-harness knob: slows the step stage so crash tests can pin
+        // the daemon mid-stream deterministically. Zero in production.
+        ingest_hold: Duration::from_millis(flags.parsed("ingest-hold-ms", 0)),
         ..ServeOptions::default()
     };
     eprintln!(
@@ -197,11 +207,15 @@ fn cmd_serve(flags: &Flags) -> ExitCode {
     }
 }
 
-fn connect(flags: &Flags) -> Client {
-    let addr: std::net::SocketAddr = flags.required("addr").parse().unwrap_or_else(|_| {
+fn parse_addr(flags: &Flags) -> std::net::SocketAddr {
+    flags.required("addr").parse().unwrap_or_else(|_| {
         eprintln!("invalid --addr");
         usage();
-    });
+    })
+}
+
+fn connect(flags: &Flags) -> Client {
+    let addr = parse_addr(flags);
     match Client::connect_retry(addr, Duration::from_secs(30)) {
         Ok(c) => c,
         Err(e) => {
@@ -211,10 +225,95 @@ fn connect(flags: &Flags) -> Client {
     }
 }
 
+/// Replays the whole stream through an in-process engine and compares the
+/// daemon's final statistics bit-for-bit.
+fn oracle_check(
+    ctx: &TerContext,
+    params: Params,
+    streams: &StreamSet,
+    batch: usize,
+    stats: &ter_serve::StatsInfo,
+) -> bool {
+    let mut oracle = TerIdsEngine::new(ctx, params, PruningMode::Full);
+    for b in streams.cursor_at(0, batch) {
+        oracle.step_batch(&b);
+    }
+    if stats.stats == oracle.prune_stats() && stats.window_len == oracle.window_len() {
+        println!("PARITY OK: daemon statistics bit-identical to the library engine");
+        true
+    } else {
+        eprintln!(
+            "PARITY FAILED:\n  daemon: {:?} (window {})\n  oracle: {:?} (window {})",
+            stats.stats,
+            stats.window_len,
+            oracle.prune_stats(),
+            oracle.window_len()
+        );
+        false
+    }
+}
+
 fn cmd_feed(flags: &Flags) -> ExitCode {
     let batch: usize = flags.parsed("batch", 64);
     let quiet = flags.has("quiet");
+    let pipeline: usize = flags.parsed("pipeline", 1).max(1);
+    // `--batches N` stops after N batches — harnesses use it to leave a
+    // stream half-fed before a kill.
+    let limit: usize = flags.parsed("batches", usize::MAX);
     let (ctx, streams, params) = build(flags);
+
+    // ---- resilient mode: the wrapper owns resume + reconnect ----
+    if flags.has("resilient") {
+        let addr = parse_addr(flags);
+        let mut rc = ResilientClient::new(addr, Duration::from_secs(30));
+        let all: Vec<Vec<ter_stream::Arrival>> = streams.cursor_at(0, batch).collect();
+        let already = match rc.stats() {
+            Ok(s) => s.next_batch_seq as usize,
+            Err(e) => {
+                eprintln!("stats: {e}");
+                return ExitCode::from(1);
+            }
+        };
+        let end = all.len().min(already.saturating_add(limit));
+        if !quiet {
+            println!(
+                "feeding resiliently: {} of {} batches committed, window {}",
+                already,
+                end,
+                pipeline.max(2)
+            );
+        }
+        let start = Instant::now();
+        let report = match rc.feed(&all[..end], pipeline.max(2)) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("resilient feed failed: {e}");
+                return ExitCode::from(1);
+            }
+        };
+        let secs = start.elapsed().as_secs_f64();
+        println!(
+            "fed {} arrivals in {secs:.2}s ({:.0} tuples/s), {} busy retries, {} reconnects",
+            report.arrivals,
+            report.arrivals as f64 / secs.max(1e-9),
+            report.busy_retries,
+            report.reconnects
+        );
+        if flags.has("oracle-check") {
+            let stats = match rc.stats() {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("stats: {e}");
+                    return ExitCode::from(1);
+                }
+            };
+            if !oracle_check(&ctx, params, &streams, batch, &stats) {
+                return ExitCode::from(1);
+            }
+        }
+        return ExitCode::SUCCESS;
+    }
+
     let mut client = connect(flags);
     let from = match flags.get("from").unwrap_or("auto") {
         "auto" => {
@@ -229,33 +328,48 @@ fn cmd_feed(flags: &Flags) -> ExitCode {
             usage();
         }),
     };
-    // `--batches N` stops after N batches — harnesses use it to leave a
-    // stream half-fed before a kill.
-    let limit: usize = flags.parsed("batches", usize::MAX);
     let mut cursor = streams.cursor_at(from, batch);
     let total = cursor.remaining();
     if !quiet {
         println!(
-            "feeding {} arrivals (from arrival {}, batch {})",
-            total, from, batch
+            "feeding {} arrivals (from arrival {}, batch {}, pipeline {})",
+            total, from, batch, pipeline
         );
     }
     let start = Instant::now();
     let mut matches = 0usize;
     let mut fed = 0usize;
-    for (i, b) in cursor.by_ref().enumerate() {
-        if i >= limit {
-            break;
-        }
-        let per_arrival = match client.ingest_wait(&b) {
-            Ok(m) => m,
+    if pipeline > 1 {
+        // ---- windowed (v2) ingest: one go-back-N run over the tail ----
+        let batches: Vec<Vec<ter_stream::Arrival>> = cursor.by_ref().take(limit).collect();
+        fed = batches.iter().map(Vec::len).sum();
+        match client.ingest_pipelined(&batches, pipeline) {
+            Ok(run) => {
+                matches = run.per_batch.iter().flatten().map(Vec::len).sum::<usize>();
+                if !quiet && run.busy_retries > 0 {
+                    println!("absorbed {} busy retries", run.busy_retries);
+                }
+            }
             Err(e) => {
-                eprintln!("ingest failed at arrival {fed}: {e}");
+                eprintln!("pipelined ingest failed: {e}");
                 return ExitCode::from(1);
             }
-        };
-        fed += b.len();
-        matches += per_arrival.iter().map(Vec::len).sum::<usize>();
+        }
+    } else {
+        for (i, b) in cursor.by_ref().enumerate() {
+            if i >= limit {
+                break;
+            }
+            let per_arrival = match client.ingest_wait(&b) {
+                Ok(m) => m,
+                Err(e) => {
+                    eprintln!("ingest failed at arrival {fed}: {e}");
+                    return ExitCode::from(1);
+                }
+            };
+            fed += b.len();
+            matches += per_arrival.iter().map(Vec::len).sum::<usize>();
+        }
     }
     let secs = start.elapsed().as_secs_f64();
     println!(
@@ -264,20 +378,7 @@ fn cmd_feed(flags: &Flags) -> ExitCode {
     );
     if flags.has("oracle-check") {
         let stats = client.stats().expect("stats");
-        let mut oracle = TerIdsEngine::new(&ctx, params, PruningMode::Full);
-        for b in streams.cursor_at(0, batch) {
-            oracle.step_batch(&b);
-        }
-        if stats.stats == oracle.prune_stats() && stats.window_len == oracle.window_len() {
-            println!("PARITY OK: daemon statistics bit-identical to the library engine");
-        } else {
-            eprintln!(
-                "PARITY FAILED:\n  daemon: {:?} (window {})\n  oracle: {:?} (window {})",
-                stats.stats,
-                stats.window_len,
-                oracle.prune_stats(),
-                oracle.window_len()
-            );
+        if !oracle_check(&ctx, params, &streams, batch, &stats) {
             return ExitCode::from(1);
         }
     }

@@ -141,10 +141,7 @@ fn all_attributes_missing_mid_window_is_skipped_with_count_not_fatal() {
         &ctx,
         Params::default(),
         PruningMode::Full,
-        ExecConfig {
-            shards: 2,
-            threads: 2,
-        },
+        ExecConfig::new(2, 2),
     );
     par.step_batch(&arrivals); // must not panic either
     let mut seq_rep: Vec<_> = seq.reported().iter().copied().collect();

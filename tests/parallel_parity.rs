@@ -2,8 +2,12 @@
 //! **bit-identical** to the sequential `TerIdsEngine` — same reported
 //! pairs at the same arrivals, same live result set, same prune-statistic
 //! totals, and same imputed probabilistic tuples — for every
-//! `ter_datasets` preset × shard count {1, 2, 4} × thread count {1, 2, 4},
-//! regardless of batch size.
+//! `ter_datasets` preset × shard count {1, 2, 4} × thread count
+//! {1, 2, 4} × drive mode (lock-step vs overlapped), regardless of batch
+//! size. The overlapped configurations run in a **persistent pool
+//! session** (`with_pool`, the daemon's path), the lock-step ones as
+//! per-batch transient sessions — so both session shapes are enforced
+//! too.
 //!
 //! Exact float equality is intentional: both engines route every pair
 //! through the same `decide_pair` cascade and every cell through the same
@@ -68,12 +72,30 @@ fn trace_sharded(
     params: Params,
     exec: ExecConfig,
     batch: usize,
+    pooled_session: bool,
 ) -> RunTrace {
     let mut e = ShardedTerIdsEngine::new(ctx, params, PruningMode::Full, exec);
     let mut step_matches = Vec::with_capacity(arrivals.len());
-    for chunk in arrivals.chunks(batch) {
-        // Sharded step outputs are already sorted by (arrival_seq, norm_pair).
-        step_matches.extend(e.step_batch(chunk).into_iter().map(|o| o.new_matches));
+    if pooled_session {
+        // One persistent worker-pool session for the whole stream — the
+        // daemon's execution shape.
+        e.with_pool(|pe| {
+            for chunk in arrivals.chunks(batch) {
+                step_matches.extend(pe.step_batch(chunk).into_iter().map(|o| o.new_matches));
+            }
+        });
+    } else {
+        for chunk in arrivals.chunks(batch) {
+            // Sharded step outputs are already sorted by (arrival_seq, norm_pair).
+            step_matches.extend(e.step_batch(chunk).into_iter().map(|o| o.new_matches));
+        }
+    }
+    if exec.overlap && exec.threads > 1 {
+        assert_eq!(
+            e.stage_metrics().overlapped_arrivals,
+            arrivals.len() as u64,
+            "overlapped drive must actually engage"
+        );
     }
     RunTrace {
         step_matches,
@@ -126,31 +148,38 @@ fn assert_parity(p: Preset, scale: f64) {
 
     for shards in [1usize, 2, 4] {
         for threads in [1usize, 2, 4] {
-            // A batch size that is neither 1 nor a divisor of the stream
-            // length, so batch boundaries and a final partial batch are
-            // exercised.
-            let par = trace_sharded(&ctx, &arrivals, params, ExecConfig { shards, threads }, 17);
-            assert_eq!(
-                par,
-                seq,
-                "{}: sharded(S={shards}, T={threads}) diverged from sequential",
-                p.name()
-            );
+            for overlap in [false, true] {
+                // A batch size that is neither 1 nor a divisor of the
+                // stream length, so batch boundaries and a final partial
+                // batch are exercised. The overlapped (pipelined-on)
+                // configurations run in a persistent pool session, the
+                // lock-step ones as transient per-batch sessions.
+                let exec = ExecConfig::new(shards, threads).with_overlap(overlap);
+                let par = trace_sharded(&ctx, &arrivals, params, exec, 17, overlap);
+                assert_eq!(
+                    par,
+                    seq,
+                    "{}: sharded(S={shards}, T={threads}, overlap={overlap}) \
+                     diverged from sequential",
+                    p.name()
+                );
+            }
         }
     }
 
     // Degenerate batching (batch = 1, the `process` path) must agree too.
-    let single = trace_sharded(
-        &ctx,
-        &arrivals,
-        params,
-        ExecConfig {
-            shards: 2,
-            threads: 2,
-        },
-        1,
-    );
+    let single = trace_sharded(&ctx, &arrivals, params, ExecConfig::new(2, 2), 1, false);
     assert_eq!(single, seq, "{}: per-arrival batching diverged", p.name());
+
+    // Every refine forced onto the pool (fan-out threshold 0) — the
+    // overlapped drive's worst case for reply interleaving — must still
+    // be bit-identical, in a pooled session.
+    let forced = ExecConfig {
+        refine_fanout_min: 0,
+        ..ExecConfig::new(4, 3)
+    };
+    let par = trace_sharded(&ctx, &arrivals, params, forced, 17, true);
+    assert_eq!(par, seq, "{}: forced-fanout overlap diverged", p.name());
 }
 
 #[test]
@@ -207,15 +236,8 @@ fn grid_only_mode_parity() {
     for a in &arrivals {
         seq.process(a);
     }
-    let mut par = ShardedTerIdsEngine::new(
-        &ctx,
-        params,
-        PruningMode::GridOnly,
-        ExecConfig {
-            shards: 4,
-            threads: 4,
-        },
-    );
+    let mut par =
+        ShardedTerIdsEngine::new(&ctx, params, PruningMode::GridOnly, ExecConfig::new(4, 4));
     for chunk in arrivals.chunks(23) {
         par.step_batch(chunk);
     }
@@ -224,4 +246,87 @@ fn grid_only_mode_parity() {
         sorted_pairs(seq.reported().iter().copied())
     );
     assert_eq!(par.prune_stats(), seq.prune_stats());
+}
+
+/// The pipelining claim, instrumented at preset scale: with every refine
+/// fanned out to the pool, the lock-step drive pays exactly one traverse
+/// barrier per arrival plus one per fanned refine (≈ 2/arrival), the
+/// overlapped drive at most one per arrival plus one prologue per batch
+/// (≈ 1/arrival) — and the results stay bit-identical.
+#[test]
+fn overlapped_drive_halves_barriers_at_preset_scale() {
+    let ds = preset(
+        Preset::Citations,
+        &GenOptions {
+            scale: 0.12,
+            missing_rate: 0.3,
+            missing_attrs: 1,
+            ..GenOptions::default()
+        },
+    );
+    let ctx = TerContext::build(
+        ds.repo.clone(),
+        ds.keywords(),
+        &PivotConfig::default(),
+        &DiscoveryConfig::default(),
+        16,
+    );
+    let params = Params {
+        window: 60,
+        ..Params::default()
+    };
+    let arrivals = ds.streams.arrivals();
+    let n = arrivals.len() as u64;
+    let batch = 32usize;
+    let batches = arrivals.len().div_ceil(batch) as u64;
+    let base = ExecConfig {
+        refine_fanout_min: 0, // always fan out (when candidates exist)
+        ..ExecConfig::new(4, 2).with_overlap(false)
+    };
+
+    let mut lockstep = ShardedTerIdsEngine::new(&ctx, params, PruningMode::Full, base);
+    for chunk in arrivals.chunks(batch) {
+        lockstep.step_batch(chunk);
+    }
+    let lm = lockstep.stage_metrics();
+    assert_eq!(
+        lm.er_barriers,
+        n + lm.fanned_refines,
+        "lock-step: one traverse barrier per arrival + one per fanned refine"
+    );
+    assert!(
+        lm.fanned_refines * 2 > n,
+        "most arrivals must fan out a refine for the 2-vs-1 claim to bite \
+         ({} of {n})",
+        lm.fanned_refines
+    );
+
+    let mut overlapped =
+        ShardedTerIdsEngine::new(&ctx, params, PruningMode::Full, base.with_overlap(true));
+    overlapped.with_pool(|pe| {
+        for chunk in arrivals.chunks(batch) {
+            pe.step_batch(chunk);
+        }
+    });
+    let om = overlapped.stage_metrics();
+    assert!(
+        om.er_barriers <= n + batches,
+        "overlapped: at most one barrier per arrival plus one prologue per batch \
+         (got {} for {n} arrivals in {batches} batches)",
+        om.er_barriers
+    );
+    assert_eq!(om.overlapped_arrivals, n);
+    let ratio = lm.er_barriers as f64 / om.er_barriers as f64;
+    assert!(
+        ratio > 1.6,
+        "barriers per arrival must drop from ~2 to ~1 (lock-step {}, overlapped {}, ratio {ratio:.2})",
+        lm.er_barriers,
+        om.er_barriers
+    );
+
+    assert_eq!(
+        overlapped.export_state(),
+        lockstep.export_state(),
+        "instrumentation must not change results"
+    );
 }

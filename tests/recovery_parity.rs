@@ -103,10 +103,7 @@ fn make_engine<'a>(
             ctx,
             params,
             PruningMode::Full,
-            ExecConfig {
-                shards: 3,
-                threads: 2,
-            },
+            ExecConfig::new(3, 2),
         )),
     }
 }
@@ -329,15 +326,8 @@ fn cross_engine_recovery() {
 
     let store = TerStore::open(dir.path(), fp).unwrap();
     let rec = store.recover().unwrap();
-    let mut sharded = ShardedTerIdsEngine::new(
-        &ctx,
-        params,
-        PruningMode::Full,
-        ExecConfig {
-            shards: 4,
-            threads: 2,
-        },
-    );
+    let mut sharded =
+        ShardedTerIdsEngine::new(&ctx, params, PruningMode::Full, ExecConfig::new(4, 2));
     sharded
         .import_state(rec.state.as_ref().unwrap())
         .expect("sequential checkpoint into sharded engine");

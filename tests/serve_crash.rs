@@ -29,7 +29,7 @@ use ter_exec::{ExecConfig, ShardedTerIdsEngine};
 use ter_ids::{ErProcessor, Params, PruningMode, TerContext};
 use ter_repo::PivotConfig;
 use ter_rules::DiscoveryConfig;
-use ter_serve::Client;
+use ter_serve::{Client, ResilientClient};
 use ter_stream::{Arrival, StreamSet};
 
 /// Must match the CLI flags below — both processes must derive the same
@@ -67,8 +67,10 @@ struct Daemon {
 
 impl Daemon {
     /// Spawns the actual `ter_serve` binary on an ephemeral port and
-    /// scrapes `LISTENING <addr>` from its stdout.
-    fn spawn(dir: &Path) -> Self {
+    /// scrapes `LISTENING <addr>` from its stdout. `extra` appends
+    /// scenario-specific flags (e.g. the step-stage hold that pins a
+    /// daemon mid-stream for a deterministic kill).
+    fn spawn(dir: &Path, extra: &[&str]) -> Self {
         let mut child = Command::new(env!("CARGO_BIN_EXE_ter_serve"))
             .args([
                 "serve",
@@ -89,6 +91,7 @@ impl Daemon {
                 "--threads",
                 "2",
             ])
+            .args(extra)
             .stdout(Stdio::piped())
             .spawn()
             .expect("spawn ter_serve");
@@ -176,15 +179,8 @@ fn oracle_run<'a>(
     params: Params,
     batches: &[Vec<Arrival>],
 ) -> (Vec<Vec<(u64, u64)>>, ShardedTerIdsEngine<'a>) {
-    let mut engine = ShardedTerIdsEngine::new(
-        ctx,
-        params,
-        PruningMode::Full,
-        ExecConfig {
-            shards: 4,
-            threads: 2,
-        },
-    );
+    let mut engine =
+        ShardedTerIdsEngine::new(ctx, params, PruningMode::Full, ExecConfig::new(4, 2));
     let mut per_arrival = Vec::new();
     for b in batches {
         per_arrival.extend(engine.step_batch(b).into_iter().map(|o| o.new_matches));
@@ -192,30 +188,52 @@ fn oracle_run<'a>(
     (per_arrival, engine)
 }
 
+/// Feeds a batch slice either strictly request/reply (`window == 1`) or
+/// through the pipelined v2 driver, returning the concatenated
+/// per-arrival match lists in batch order.
+fn feed_batches(
+    client: &mut Client,
+    batches: &[Vec<Arrival>],
+    window: usize,
+) -> Vec<Vec<(u64, u64)>> {
+    if window <= 1 {
+        let mut out = Vec::new();
+        for batch in batches {
+            out.extend(client.ingest_wait(batch).expect("ingest"));
+        }
+        out
+    } else {
+        let run = client
+            .ingest_pipelined(batches, window)
+            .expect("pipelined ingest");
+        assert_eq!(run.per_batch.len(), batches.len(), "every batch acked once");
+        run.per_batch.into_iter().flatten().collect()
+    }
+}
+
 /// Controlled kill between acks: every pre-kill batch was acked, so the
 /// concatenation of (pre-kill acks, post-restart acks) must reproduce the
-/// oracle's per-arrival output stream exactly.
-#[test]
-fn sigkill_between_batches_is_bit_identical_to_oracle() {
+/// oracle's per-arrival output stream exactly — with the feed strictly
+/// request/reply (`window == 1`) or pipelined (`window > 1`, the v2
+/// windowed protocol with the WAL/step stages overlapped in the daemon).
+fn sigkill_between_batches(window: usize, tag: &str) {
     let (ctx, streams, params) = build_oracle_inputs();
     let batches = streams.arrival_batches(BATCH);
     assert!(batches.len() >= 10, "stream too short for the scenario");
     let cut = batches.len() / 2;
     let (oracle_matches, oracle) = oracle_run(&ctx, params, &batches);
 
-    let dir = TempDir::new("between");
+    let dir = TempDir::new(tag);
     let mut served: Vec<Vec<(u64, u64)>> = Vec::new();
 
     // ---- phase 1: ingest half the stream, then SIGKILL ----
-    let daemon = Daemon::spawn(dir.path());
+    let daemon = Daemon::spawn(dir.path(), &[]);
     let mut client = daemon.client();
-    for batch in &batches[..cut] {
-        served.extend(client.ingest_wait(batch).expect("ingest"));
-    }
+    served.extend(feed_batches(&mut client, &batches[..cut], window));
     daemon.kill9();
 
     // ---- phase 2: restart, resume at resume_seq, finish the stream ----
-    let daemon = Daemon::spawn(dir.path());
+    let daemon = Daemon::spawn(dir.path(), &[]);
     let mut client = daemon.client();
     let stats = client.stats().expect("stats");
     assert_eq!(
@@ -227,9 +245,7 @@ fn sigkill_between_batches_is_bit_identical_to_oracle() {
     let mut cursor = streams.cursor_at(stats.next_batch_seq as usize * BATCH, BATCH);
     let resumed: Vec<Vec<Arrival>> = cursor.by_ref().collect();
     assert_eq!(resumed, batches[cut..].to_vec(), "cursor hand-off");
-    for batch in &resumed {
-        served.extend(client.ingest_wait(batch).expect("ingest after restart"));
-    }
+    served.extend(feed_batches(&mut client, &resumed, window));
 
     // ---- the acceptance gate ----
     assert_eq!(
@@ -251,12 +267,85 @@ fn sigkill_between_batches_is_bit_identical_to_oracle() {
 
     // A graceful restart afterwards resumes instantly from the shutdown
     // checkpoint with nothing to replay.
-    let daemon = Daemon::spawn(dir.path());
+    let daemon = Daemon::spawn(dir.path(), &[]);
     let mut client = daemon.client();
     assert_eq!(
         client.stats().expect("stats").next_batch_seq,
         batches.len() as u64
     );
+    client.shutdown().expect("shutdown");
+    daemon.wait_graceful();
+}
+
+#[test]
+fn sigkill_between_batches_is_bit_identical_to_oracle() {
+    sigkill_between_batches(1, "between_w1");
+}
+
+#[test]
+fn sigkill_between_batches_pipelined_w4_is_bit_identical_to_oracle() {
+    sigkill_between_batches(4, "between_w4");
+}
+
+/// The reconnect-and-resume wrapper: a `ResilientClient::feed` is started
+/// against the daemon, the daemon is SIGKILLed mid-feed and restarted on
+/// the same directory, and the feeder — without any help — re-dials, asks
+/// the daemon where its committed stream ends, and finishes the feed.
+/// Final state must be bit-identical to the never-crashed oracle.
+#[test]
+fn resilient_feed_survives_sigkill_and_restart() {
+    let (ctx, streams, params) = build_oracle_inputs();
+    let batches = streams.arrival_batches(BATCH);
+    let (_, oracle) = oracle_run(&ctx, params, &batches);
+
+    let dir = TempDir::new("resilient");
+    // Reconnect needs a stable address across the restart, so reserve a
+    // concrete free port instead of letting each daemon pick its own
+    // ephemeral one (the feeder re-dials the address it already has).
+    let port = {
+        let probe = std::net::TcpListener::bind("127.0.0.1:0").expect("probe bind");
+        probe.local_addr().unwrap().port()
+    };
+    let fixed_addr = format!("127.0.0.1:{port}");
+    // A per-batch hold in the step stage pins the first daemon mid-feed
+    // so the SIGKILL below deterministically interrupts the stream.
+    let daemon = Daemon::spawn(
+        dir.path(),
+        &["--addr", &fixed_addr, "--ingest-hold-ms", "15"],
+    );
+    let addr = daemon.addr;
+
+    let feeder_batches = batches.clone();
+    let feeder = std::thread::spawn(move || {
+        let mut rc = ResilientClient::new(addr, Duration::from_secs(60));
+        rc.feed(&feeder_batches, 4).expect("resilient feed")
+    });
+    // Let some batches through, then SIGKILL with the feeder mid-stream.
+    std::thread::sleep(Duration::from_millis(40));
+    daemon.kill9();
+    // Leave the daemon dead long enough that the feeder observes the
+    // outage (its re-dial backs off until the restart below).
+    std::thread::sleep(Duration::from_millis(200));
+    let daemon = Daemon::spawn(dir.path(), &["--addr", &fixed_addr]);
+    let report = feeder.join().expect("feeder thread");
+    assert!(
+        report.reconnects >= 1,
+        "the kill must have forced at least one reconnect"
+    );
+    assert_eq!(
+        report.final_seq,
+        batches.len() as u64,
+        "feed must complete the whole stream"
+    );
+
+    // Final-state parity with the never-crashed oracle.
+    let mut client = daemon.client();
+    let stats = client.stats().expect("stats");
+    assert_eq!(stats.next_batch_seq, batches.len() as u64);
+    assert_eq!(stats.stats, oracle.prune_stats(), "pruning statistics");
+    let window = client.window().expect("window");
+    assert_eq!(window.len, oracle.window_len());
+    assert_eq!(window.live_ids, oracle.live_ids());
     client.shutdown().expect("shutdown");
     daemon.wait_graceful();
 }
@@ -272,7 +361,7 @@ fn sigkill_mid_flight_loses_no_acked_batch() {
     let (_, oracle) = oracle_run(&ctx, params, &batches);
 
     let dir = TempDir::new("midflight");
-    let daemon = Daemon::spawn(dir.path());
+    let daemon = Daemon::spawn(dir.path(), &[]);
 
     // Feeder thread: ingest until the connection dies under the kill.
     let addr = daemon.addr;
@@ -294,7 +383,7 @@ fn sigkill_mid_flight_loses_no_acked_batch() {
     daemon.kill9();
     let acked = feeder.join().expect("feeder");
 
-    let daemon = Daemon::spawn(dir.path());
+    let daemon = Daemon::spawn(dir.path(), &[]);
     let mut client = daemon.client();
     let committed = client.stats().expect("stats").next_batch_seq;
     assert!(
