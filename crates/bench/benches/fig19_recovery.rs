@@ -184,13 +184,19 @@ fn main() {
             )
         })
         .collect();
+    // Single-threaded replay can't oversubscribe, but the schema gate
+    // requires every BENCH_*.json to carry the honesty fields.
+    let host_cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(0);
     let json = format!(
-        "{{\n  \"bench\": \"fig19_recovery\",\n{}\n  \"preset\": \"{}\",\n  \"scale\": {},\n  \"window\": {},\n  \"batch\": {},\n  \"arrivals\": {},\n  \"live_tuples\": {},\n  \"checkpoint_bytes\": {},\n  \"checkpoint_write_mb_per_sec\": {:.1},\n  \"wal_append_tuples_per_sec\": {:.1},\n  \"recovery\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"bench\": \"fig19_recovery\",\n{}\n  \"preset\": \"{}\",\n  \"scale\": {},\n  \"window\": {},\n  \"batch\": {},\n  \"host_cpus\": {},\n  \"undersubscribed\": false,\n  \"arrivals\": {},\n  \"live_tuples\": {},\n  \"checkpoint_bytes\": {},\n  \"checkpoint_write_mb_per_sec\": {:.1},\n  \"wal_append_tuples_per_sec\": {:.1},\n  \"recovery\": [\n{}\n  ]\n}}\n",
         RunStamp::capture().json_fields(),
         preset.name(),
         scale,
         params.window,
         BATCH,
+        host_cpus,
         arrivals.len(),
         state.live_count(),
         ck_bytes,

@@ -15,13 +15,26 @@
 //!   protocol: the round-trip hides behind the window and the daemon
 //!   overlaps batch `n+1`'s WAL fsync with batch `n`'s compute.
 //!
+//! plus two sweeps over the event-driven front end:
+//!
+//! * **group-commit sweep** — the same pipelined feed (depth 8) at
+//!   `flush_window ∈ {1, 8}` with the checkpoint cadence off, counting
+//!   WAL fsyncs via [`ServeReport::fsyncs`]. `W=1` must fsync once per
+//!   batch (the pre-group-commit contract, bit-identical output); `W=8`
+//!   must cover the same batches with at least 4× fewer fsyncs — the
+//!   cross-connection group-commit claim, asserted, not just recorded;
+//! * **connection herd** — the headline pipelined run repeated with
+//!   `TER_FIG20_HERD` idle standing connections (default 256) parked on
+//!   the poll loop, recording what a loaded front end costs the feed.
+//!
 //! Every daemon run is parity-gated: its per-arrival match lists must be
 //! bit-identical to the library run's before its throughput is accepted.
 //! Results land in `BENCH_serve.json` with a `RunStamp`. When the host
 //! has too few CPUs for client + daemon stages to actually run
 //! concurrently the JSON is flagged `"undersubscribed": true` and the
 //! pipelining speedup-claim assertion is skipped — a 1-CPU container
-//! must never record a misleading curve.
+//! must never record a misleading curve. (The fsync-ratio assertion is
+//! *not* CPU-gated: group commit batches fsyncs even time-sliced.)
 //!
 //! `TER_FIG20_SCALE` scales the stream for quick local runs.
 
@@ -33,7 +46,7 @@ use ter_bench::{header, prepare, RunStamp};
 use ter_datasets::{GenOptions, Preset};
 use ter_exec::{ExecConfig, ShardedTerIdsEngine};
 use ter_ids::{ErProcessor, Params, PruningMode};
-use ter_serve::{Client, ServeOptions, Server};
+use ter_serve::{Client, ServeOptions, ServeReport, Server};
 use ter_store::{context_fingerprint, TerStore};
 
 const BATCH: usize = 256;
@@ -117,22 +130,25 @@ fn main() {
     println!("library+wal         {lib_secs:>9.2}s {lib_tps:>12.1} tuples/s");
 
     // One daemon run over a fresh directory; `window == 1` is strict
-    // request/reply, `window > 1` the pipelined v2 driver.
-    let daemon_run = |tag: &str, window: usize| -> (f64, Vec<Vec<(u64, u64)>>) {
+    // request/reply, `window > 1` the pipelined v2 driver. `idle_conns`
+    // standing connections are parked on the poll loop for the duration.
+    let daemon_run = |tag: &str,
+                      window: usize,
+                      opts: ServeOptions,
+                      idle_conns: usize|
+     -> (f64, Vec<Vec<(u64, u64)>>, ServeReport) {
         let serve_dir = TempDir::new(tag);
         let server = Server::bind("127.0.0.1:0").expect("bind");
         let addr = server.addr().expect("addr");
-        let opts = ServeOptions {
-            checkpoint_every: CHECKPOINT_EVERY,
-            exec,
-            ..ServeOptions::default()
-        };
         std::thread::scope(|scope| {
             let handle = scope.spawn(|| {
                 server
                     .run(&prepared.ctx, prepared.params, &serve_dir.0, &opts)
                     .expect("serve")
             });
+            let herd: Vec<std::net::TcpStream> = (0..idle_conns)
+                .map(|_| std::net::TcpStream::connect(addr).expect("herd connect"))
+                .collect();
             let mut client = Client::connect_retry(addr, Duration::from_secs(30)).expect("connect");
             let mut served: Vec<Vec<(u64, u64)>> = Vec::new();
             let start = Instant::now();
@@ -147,15 +163,21 @@ fn main() {
                 served.extend(run.per_batch.into_iter().flatten());
             }
             let secs = start.elapsed().as_secs_f64();
+            drop(herd);
             client.shutdown().expect("shutdown");
             let report = handle.join().expect("daemon thread");
             assert_eq!(report.batches, batches.len() as u64);
-            (secs, served)
+            (secs, served, report)
         })
+    };
+    let base_opts = || ServeOptions {
+        checkpoint_every: CHECKPOINT_EVERY,
+        exec,
+        ..ServeOptions::default()
     };
 
     // ---- daemon, strict request/reply (one batch in flight) ----
-    let (reqrep_secs, reqrep_matches) = daemon_run("reqrep", 1);
+    let (reqrep_secs, reqrep_matches, _) = daemon_run("reqrep", 1, base_opts(), 0);
     // Parity gate: throughput of a wrong answer is meaningless.
     assert_eq!(
         reqrep_matches, lib_matches,
@@ -170,7 +192,7 @@ fn main() {
 
     // ---- daemon, pipelined ingest (W unacked batches) ----
     const PIPELINE_WINDOW: usize = 4;
-    let (piped_secs, piped_matches) = daemon_run("pipelined", PIPELINE_WINDOW);
+    let (piped_secs, piped_matches, _) = daemon_run("pipelined", PIPELINE_WINDOW, base_opts(), 0);
     assert_eq!(
         piped_matches, lib_matches,
         "pipelined daemon results diverged from the library engine"
@@ -180,6 +202,68 @@ fn main() {
     println!(
         "daemon pipelined W{PIPELINE_WINDOW} {piped_secs:>9.2}s {piped_tps:>12.1} tuples/s \
          ({pipe_speedup:.2}x request/reply)"
+    );
+
+    // ---- group-commit sweep: fsyncs vs flush window ----
+    // Checkpoint cadence off so every fsync on the counter is a WAL
+    // commit; a generous flush interval so the pipelined feed (the step
+    // stage is the bottleneck) can actually fill an 8-deep window before
+    // the time bound fires.
+    const GC_WINDOW: usize = 8;
+    let gc_opts = |flush_window: usize| ServeOptions {
+        checkpoint_every: 0,
+        flush_window,
+        flush_interval: Duration::from_secs(2),
+        ..base_opts()
+    };
+    let (gc1_secs, gc1_matches, gc1_report) = daemon_run("gc_w1", GC_WINDOW, gc_opts(1), 0);
+    assert_eq!(
+        gc1_matches, lib_matches,
+        "flush_window=1 daemon results diverged from the library engine"
+    );
+    assert_eq!(
+        gc1_report.fsyncs, gc1_report.batches,
+        "flush_window=1 must degenerate to fsync-per-batch"
+    );
+    let (gc8_secs, gc8_matches, gc8_report) = daemon_run("gc_w8", GC_WINDOW, gc_opts(GC_WINDOW), 0);
+    assert_eq!(
+        gc8_matches, lib_matches,
+        "flush_window=8 daemon results diverged from the library engine"
+    );
+    assert!(
+        gc8_report.fsyncs * 4 <= gc8_report.batches,
+        "group commit at flush_window=8 must cover {} batches with at \
+         least 4x fewer fsyncs (got {})",
+        gc8_report.batches,
+        gc8_report.fsyncs
+    );
+    println!(
+        "group commit W=1    {gc1_secs:>9.2}s  {} fsyncs / {} batches",
+        gc1_report.fsyncs, gc1_report.batches
+    );
+    println!(
+        "group commit W=8    {gc8_secs:>9.2}s  {} fsyncs / {} batches \
+         ({:.1}x fewer)",
+        gc8_report.fsyncs,
+        gc8_report.batches,
+        gc1_report.fsyncs as f64 / gc8_report.fsyncs as f64
+    );
+
+    // ---- connection herd: the headline feed under standing load ----
+    let herd_conns: usize = std::env::var("TER_FIG20_HERD")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(256);
+    let (herd_secs, herd_matches, _) = daemon_run("herd", PIPELINE_WINDOW, base_opts(), herd_conns);
+    assert_eq!(
+        herd_matches, lib_matches,
+        "daemon results under the connection herd diverged from the library engine"
+    );
+    let herd_tps = arrivals.len() as f64 / herd_secs;
+    let herd_cost = piped_tps / herd_tps;
+    println!(
+        "daemon {herd_conns} idle conns {herd_secs:>9.2}s {herd_tps:>12.1} tuples/s \
+         ({herd_cost:.2}x pipelined time)"
     );
 
     let host_cpus = std::thread::available_parallelism()
@@ -199,7 +283,11 @@ fn main() {
          \"arrivals\": {},\n  \
          \"library_wal_tuples_per_sec\": {:.1},\n  \"daemon_tuples_per_sec\": {:.1},\n  \
          \"daemon_overhead_factor\": {:.3},\n  \"pipeline_window\": {},\n  \
-         \"pipelined_tuples_per_sec\": {:.1},\n  \"pipelined_speedup_vs_request_reply\": {:.3}\n}}\n",
+         \"pipelined_tuples_per_sec\": {:.1},\n  \"pipelined_speedup_vs_request_reply\": {:.3},\n  \
+         \"group_commit_batches\": {},\n  \"group_commit_fsyncs_w1\": {},\n  \
+         \"group_commit_fsyncs_w8\": {},\n  \"group_commit_fsync_reduction\": {:.3},\n  \
+         \"idle_conn_herd\": {},\n  \"herd_tuples_per_sec\": {:.1},\n  \
+         \"herd_cost_factor\": {:.3}\n}}\n",
         RunStamp::capture().json_fields(),
         preset.name(),
         scale,
@@ -216,7 +304,14 @@ fn main() {
         overhead,
         PIPELINE_WINDOW,
         piped_tps,
-        pipe_speedup
+        pipe_speedup,
+        gc8_report.batches,
+        gc1_report.fsyncs,
+        gc8_report.fsyncs,
+        gc1_report.fsyncs as f64 / gc8_report.fsyncs as f64,
+        herd_conns,
+        herd_tps,
+        herd_cost
     );
     let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json");
     fs::write(out, &json).expect("write BENCH_serve.json");

@@ -103,8 +103,8 @@ impl EngineState {
         let mut ids: FxHashSet<u64> = FxHashSet::default();
         let mut prev_ts: Option<u64> = None;
         for ((ts, id), meta) in self.window.iter().zip(&self.metas) {
-            if prev_ts.is_some_and(|p| p >= *ts) {
-                return Err(format!("window timestamps not strictly increasing at {ts}"));
+            if prev_ts.is_some_and(|p| p > *ts) {
+                return Err(format!("window timestamps decrease at {ts}"));
             }
             prev_ts = Some(*ts);
             if meta.id != *id || meta.timestamp != *ts {

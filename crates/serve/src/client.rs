@@ -97,6 +97,18 @@ impl Client {
         })
     }
 
+    /// Bounds every socket read and write (`None` restores blocking
+    /// forever, the default). Opt-in: a client talking to a daemon that
+    /// group-commits with a long flush interval, or one that must detect
+    /// a hung daemon, sets this so no call can stall it indefinitely. A
+    /// timeout surfaces as a [`WireError`] on the call; set it well above
+    /// the daemon's `flush_interval` or healthy acks will be cut off
+    /// mid-read.
+    pub fn set_io_timeout(&mut self, timeout: Option<Duration>) -> std::io::Result<()> {
+        self.stream.set_read_timeout(timeout)?;
+        self.stream.set_write_timeout(timeout)
+    }
+
     /// Connects, retrying until `deadline_in` elapses — for harnesses and
     /// CLIs that race daemon startup (context building takes a moment).
     pub fn connect_retry(

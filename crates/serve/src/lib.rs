@@ -530,4 +530,142 @@ mod tests {
             handle.join().unwrap();
         });
     }
+
+    /// `flush_window = 1` is the degenerate group commit: every batch
+    /// buys its own fsync (the report counter says exactly so) and the
+    /// served matches stay bit-identical to the library engine — the
+    /// pre-group-commit daemon's behavior, reproduced.
+    #[test]
+    fn flush_window_one_degenerates_to_fsync_per_batch() {
+        let (ctx, streams) = scenario();
+        let params = Params::default();
+        let dir = TempDir::new("fsync_per_batch");
+        let batches = streams.arrival_batches(1);
+
+        let mut oracle = TerIdsEngine::new(&ctx, params, PruningMode::Full);
+        let oracle_matches: Vec<Vec<(u64, u64)>> = batches
+            .iter()
+            .flat_map(|b| {
+                oracle
+                    .step_batch(b)
+                    .into_iter()
+                    .map(|o| o.new_matches)
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+
+        let server = Server::bind("127.0.0.1:0").unwrap();
+        let addr = server.addr().unwrap();
+        let w1_opts = ServeOptions {
+            // No cadence checkpoints: the counter isolates commit fsyncs.
+            checkpoint_every: 0,
+            flush_window: 1,
+            ..opts()
+        };
+        std::thread::scope(|scope| {
+            let handle = scope.spawn(|| server.run(&ctx, params, dir.path(), &w1_opts).unwrap());
+            let mut client = Client::connect_retry(addr, Duration::from_secs(5)).unwrap();
+            let mut served: Vec<Vec<(u64, u64)>> = Vec::new();
+            for batch in &batches {
+                served.extend(client.ingest_wait(batch).unwrap());
+            }
+            assert_eq!(served, oracle_matches, "W=1 daemon diverged from library");
+            client.shutdown().unwrap();
+            let report = handle.join().unwrap();
+            assert_eq!(report.batches, batches.len() as u64);
+            assert_eq!(
+                report.fsyncs, report.batches,
+                "flush_window=1 must fsync once per batch, no more, no less"
+            );
+        });
+    }
+
+    /// Cross-connection group commit: 8 concurrent feeders against
+    /// `flush_window = 8` share fsyncs — the run completes with at least
+    /// 4× fewer WAL fsyncs than committed batches, every acked batch is
+    /// durable exactly once, and acks are only released after the
+    /// covering sync (the feeders block on their acks, so a lost one
+    /// would hang the test).
+    #[test]
+    fn concurrent_feeders_share_group_commit_fsyncs() {
+        let (ctx, streams) = scenario();
+        let params = Params::default();
+        let dir = TempDir::new("group_commit");
+        // 8 feeders × 12 disjoint copies of the 4-arrival scenario
+        // stream, ids offset so every tuple is unique. All copies share
+        // one timestamp: concurrent feeders interleave in an order the
+        // engine picks, and the count-based window only requires
+        // non-decreasing timestamps — simultaneous arrivals model
+        // exactly this.
+        const FEEDERS: u64 = 8;
+        const COPIES: u64 = 12;
+        let base = streams.arrival_batches(1);
+        let now = base.iter().flatten().map(|a| a.timestamp).max().unwrap();
+        let per_feeder: Vec<Vec<Vec<ter_stream::Arrival>>> = (0..FEEDERS)
+            .map(|f| {
+                (0..COPIES)
+                    .flat_map(|c| {
+                        let offset = 100_000 * (f * COPIES + c + 1);
+                        base.iter().map(move |batch| {
+                            batch
+                                .iter()
+                                .map(|a| {
+                                    let mut a = a.clone();
+                                    a.record.id += offset;
+                                    a.timestamp = now;
+                                    a
+                                })
+                                .collect::<Vec<_>>()
+                        })
+                    })
+                    .collect()
+            })
+            .collect();
+        let total_batches: u64 = per_feeder.iter().map(|b| b.len() as u64).sum();
+
+        let server = Server::bind("127.0.0.1:0").unwrap();
+        let addr = server.addr().unwrap();
+        let gc_opts = ServeOptions {
+            queue_depth: 32,
+            // No cadence checkpoints (each forces a flush, polluting the
+            // fsync count this test is about).
+            checkpoint_every: 0,
+            flush_window: FEEDERS as usize,
+            // Short enough to bound straggler rounds, long enough that a
+            // healthy round fills the window by count, not by clock.
+            flush_interval: Duration::from_millis(20),
+            ..opts()
+        };
+        std::thread::scope(|scope| {
+            let handle = scope.spawn(|| server.run(&ctx, params, dir.path(), &gc_opts).unwrap());
+            std::thread::scope(|inner| {
+                for feed in &per_feeder {
+                    inner.spawn(move || {
+                        let mut client =
+                            Client::connect_retry(addr, Duration::from_secs(5)).unwrap();
+                        for batch in feed {
+                            // Blocks until the ack — which the daemon may
+                            // only release after the covering group fsync.
+                            client.ingest_wait(batch).unwrap();
+                        }
+                    });
+                }
+            });
+            let mut client = Client::connect_retry(addr, Duration::from_secs(5)).unwrap();
+            let stats = client.stats().unwrap();
+            assert_eq!(
+                stats.next_batch_seq, total_batches,
+                "every acked batch committed exactly once"
+            );
+            client.shutdown().unwrap();
+            let report = handle.join().unwrap();
+            assert_eq!(report.batches, total_batches);
+            assert!(
+                report.fsyncs * 4 <= report.batches,
+                "group commit must amortize: {} fsyncs for {} batches",
+                report.fsyncs,
+                report.batches
+            );
+        });
+    }
 }

@@ -1,50 +1,79 @@
-//! The daemon: a TCP accept loop, reader + writer threads per
-//! connection, and a two-stage engine pipeline — a WAL/checkpoint stage
-//! and a step stage — fed by one bounded ordered queue.
+//! The daemon: an event-driven connection front end (a bounded pool of
+//! I/O threads driving a `poll(2)` readiness loop) feeding a two-stage
+//! engine pipeline — a step stage and a group-commit WAL/checkpoint
+//! stage — through one bounded ordered queue.
 //!
 //! ```text
-//!  conn 1 ─reader─┐                       ┌────────── engine thread ──────────┐
-//!  conn 2 ─reader─┤  bounded ordered      │ dispatch append(n+1) ──▶ WAL stage │
-//!  conn N ─reader─┼──queue (sync_channel)─▶ step_batch(n)  [overlapped]  fsync │
-//!                 │  full → IngestBusy    │ wait appended(n) ◀── seq ───────── │
-//!                 │         / Busy        │ ack(n) → per-conn writer thread    │
-//!                 └──────────────────────▶│ checkpoint_at cadence              │
-//!                                         └────────────────────────────────────┘
+//!            ┌────────── I/O thread pool (opts.io_threads) ─────────┐
+//!  conn 1 ──▶│ poll(2) loop: owns every conn's read+write buffer,   │
+//!  conn 2 ──▶│ frames requests, runs the go-back-N gate, writes     │
+//!   ...      │ replies; conns per thread: many, threads: bounded    │
+//!  conn N ──▶│        │ try_send            ▲ replies (chan + waker)│
+//!            └────────┼─────────────────────┼──────────────────────-┘
+//!                     ▼                     │
+//!            bounded ordered queue          │
+//!                     │                     │
+//!            ┌────────▼──────────┐  ┌───────┴───────────────────────┐
+//!            │ engine thread     │  │ group-commit stage            │
+//!            │ step_batch(n)     │─▶│ append(n) [no fsync]          │
+//!            │ (single total     │  │ … window fills or interval    │
+//!            │  order of ops)    │  │ elapses … one fsync covers    │
+//!            │ checkpoint cadence│  │ the window → release its acks │
+//!            └───────────────────┘  └───────────────────────────────┘
 //! ```
 //!
 //! Every verb — ingest and introspection alike — goes through the one
 //! queue, so the engine observes a single total order of operations no
-//! matter how clients interleave: results are **bit-identical** to a
-//! library run feeding the same batches in the same commit order. The
-//! queue is bounded; when it is full the reader replies [`Reply::Busy`]
-//! (or the sequence-tagged [`Reply::IngestBusy`]) immediately instead of
-//! buffering unboundedly (explicit backpressure).
+//! matter how many connections interleave: results are **bit-identical**
+//! to a library run feeding the same batches in the same commit order.
+//! The queue is bounded; when it is full the I/O thread replies
+//! [`Reply::Busy`] (or the sequence-tagged [`Reply::IngestBusy`])
+//! immediately instead of buffering unboundedly (explicit backpressure).
 //!
-//! # The ingest pipeline
+//! # The front end
 //!
-//! The engine thread holds at most one *pending* ingest: when batch
-//! `n+1` arrives it first dispatches `n+1`'s WAL append to the store
-//! stage, then steps the pending batch `n` — so the fsync of `n+1`
-//! overlaps the pure compute of `n`. The ack for `n` leaves only after
-//! (a) the store stage confirmed `n` durable and (b) `step_batch(n)`
-//! produced its matches: the **WAL-before-ack invariant holds per
-//! sequence** exactly as in the strict request/reply protocol. When the
-//! queue runs dry the pending batch is flushed immediately, so a
-//! one-batch-in-flight client sees request/reply latency unchanged.
-//! Checkpoints are stamped with an explicit WAL position
-//! ([`TerStore::checkpoint_at`]) because the log may already run ahead
-//! of the engine state being snapshotted.
+//! Connections do not get threads. The acceptor hands each socket to one
+//! of `opts.io_threads` I/O threads round-robin; each thread multiplexes
+//! its share of connections with a vendored readiness poller
+//! ([`minipoll`]) over non-blocking sockets. The I/O thread owns the
+//! connection's read buffer (frame reassembly, CRC check, request
+//! decode, the pipelined-ingest go-back-N gate) and write buffer
+//! (encoded replies, flushed as the socket accepts them) — so 256 or
+//! 10 000 connections cost file descriptors and buffer bytes, not
+//! threads. Replies travel from the engine back to the owning I/O thread
+//! over a channel paired with a [`minipoll::Waker`]. A connection that
+//! stops draining replies is dropped after [`WRITE_TIMEOUT`] without
+//! progress, and its buffered outbound bytes never exceed [`WBUF_CAP`].
 //!
-//! Pipelined ingest ([`Request::IngestSeq`]) adds a per-connection
-//! go-back-N gate in the reader: only the in-sequence prefix enters the
-//! queue, everything behind a rejection answers
-//! [`Reply::IngestBusy`] — so batches are *never* committed out of
-//! client order, which is what keeps a pipelined feed bit-identical to a
-//! sequential one.
+//! All I/O threads are scoped: [`Server::run`] joins them, and on
+//! shutdown each thread first drains every reply still in flight (the
+//! graceful-shutdown Ack included) and flushes its write buffers before
+//! exiting — a reply a client was promised is written out or provably
+//! undeliverable, never raced against teardown.
 //!
-//! Durability: `Ingest`/`IngestSeq` ack only after the batch is
-//! WAL-committed (append + fsync) *and* stepped — a client that saw the
-//! ack knows a kill -9 cannot lose that batch. Every `checkpoint_every`
+//! # Group commit
+//!
+//! The engine thread steps each batch immediately and hands the batch
+//! *plus its ready-to-send ack* to the group-commit stage. The stage
+//! appends to the WAL without syncing and releases acks only when a
+//! **flush** makes the window durable: one `fsync` covers every append
+//! since the last flush. A flush fires when `opts.flush_window` appends
+//! have accumulated, when the oldest unsynced append turns
+//! `opts.flush_interval` old, or when a verb that must reflect durable
+//! state (stats/checkpoint/shutdown) reaches the stage.
+//! `flush_window = 1` degenerates to fsync-per-batch — bit-identical to
+//! the pre-group-commit daemon, acks and all.
+//!
+//! The WAL-before-ack invariant is unchanged per batch: an acked batch
+//! is always fsynced. A kill -9 mid-window may lose
+//! appended-but-unacked batches — the client re-feeds them from
+//! `Stats.next_batch_seq`, which only ever reports the durable prefix —
+//! but never an acked one. Checkpoints are stamped with an explicit WAL
+//! position ([`TerStore::checkpoint_at`]) and force a flush first, so a
+//! manifest never names state the log could lose.
+//!
+//! Durability: `Ingest`/`IngestSeq` ack only after the batch is stepped,
+//! WAL-appended, and covered by a group fsync. Every `checkpoint_every`
 //! batches the engine state is checkpointed, and the store's retention
 //! policy (two checkpoint generations, WAL compacted beneath the older
 //! one) bounds disk. On startup the daemon recovers via the `ter_store`
@@ -55,15 +84,16 @@
 //! recovery replay included — so no per-batch thread spawn sits on the
 //! ingest path.
 
-use std::collections::VecDeque;
-use std::io::Read;
+use std::collections::HashMap;
+use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::path::Path;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc;
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
+use minipoll::{Event, Interest, Poller, WakeReceiver, Waker};
 use ter_exec::{ExecConfig, PooledEngine, ShardedTerIdsEngine};
 use ter_ids::{EngineState, ErProcessor, Params, PruningMode, TerContext};
 use ter_store::{context_fingerprint, CompactionPolicy, StoreError, TerStore};
@@ -93,6 +123,22 @@ pub struct ServeOptions {
     /// batch's step stage. Lets backpressure tests fill the bounded queue
     /// deterministically. Zero (the default) for real deployments.
     pub ingest_hold: Duration,
+    /// Size of the I/O thread pool serving every connection (≥ 1). The
+    /// thread count never scales with the connection count.
+    pub io_threads: usize,
+    /// Group-commit count bound: a flush (one fsync covering the whole
+    /// window) fires once this many appends are pending. `1` (the
+    /// default) is fsync-per-batch — bit-identical to the
+    /// pre-group-commit daemon.
+    pub flush_window: usize,
+    /// Group-commit time bound: a flush fires once the oldest unsynced
+    /// append is this old, capping ack latency when the window is slow
+    /// to fill.
+    pub flush_interval: Duration,
+    /// Fault-injection shim: artificial latency added to every WAL
+    /// commit fsync (see [`TerStore::set_fsync_delay`]). Zero outside
+    /// fault-injection tests and benches.
+    pub fsync_delay: Duration,
 }
 
 impl Default for ServeOptions {
@@ -103,6 +149,10 @@ impl Default for ServeOptions {
             exec: ExecConfig::default(),
             compaction: CompactionPolicy::two_generation(),
             ingest_hold: Duration::ZERO,
+            io_threads: 2,
+            flush_window: 1,
+            flush_interval: Duration::from_millis(5),
+            fsync_delay: Duration::ZERO,
         }
     }
 }
@@ -120,6 +170,10 @@ pub struct ServeReport {
     pub arrivals: u64,
     /// Checkpoints written (cadence + explicit + shutdown).
     pub checkpoints: u64,
+    /// WAL commit fsyncs this run — group commit's instrumented counter.
+    /// Equals `batches` at `flush_window = 1`; a filled window of W
+    /// batches shares one.
+    pub fsyncs: u64,
 }
 
 /// Everything that can stop the daemon from serving.
@@ -158,83 +212,272 @@ impl From<StoreError> for ServeError {
     }
 }
 
-/// One queued operation: the decoded request, the protocol version it
-/// arrived in (replies echo it), and the connection's writer channel.
-struct Job {
-    proto: u8,
-    request: Request,
-    reply_tx: mpsc::Sender<(u8, Reply)>,
+/// Messages into an I/O thread: new connections from the acceptor,
+/// replies from the engine / group-commit stage. Each send is paired
+/// with a waker kick so a poll-blocked loop picks it up immediately.
+enum IoMsg {
+    /// A freshly accepted connection to adopt.
+    Conn(TcpStream),
+    /// A reply for connection `token` (silently dropped if it is gone).
+    Reply { token: u64, proto: u8, reply: Reply },
 }
 
-/// A request to the WAL/checkpoint stage, issued only by the engine
-/// thread (responses come back FIFO on one channel).
-enum StoreReq {
-    /// Durably append one batch (append + fsync). Shared with the step
-    /// stage's pending slot — both sides only read it.
-    Append(Arc<Vec<Arrival>>),
-    /// Write a checkpoint; `wal_seq: None` stamps the log's current end
-    /// (only correct when no append is outstanding), `Some(seq)` the
-    /// explicit position of a pipelined cadence checkpoint.
-    Checkpoint {
-        wal_seq: Option<u64>,
-        state: Box<EngineState>,
-    },
-    /// The store-side counters for a `Stats` reply.
-    Stats,
+/// The engine's route back to a connection: which I/O thread (the
+/// channel), which connection (the token), and how to interrupt its
+/// poll (the waker). Cloned into every queued job.
+#[derive(Clone)]
+struct ReplyHandle {
+    token: u64,
+    tx: mpsc::Sender<IoMsg>,
+    waker: Arc<Waker>,
 }
 
-enum StoreResp {
-    Appended(Result<u64, String>),
-    Checkpointed(Result<u64, String>),
-    Stats { next_seq: u64, wal_bytes: u64 },
-}
-
-/// The WAL/checkpoint stage: owns the [`TerStore`], serves the engine
-/// thread's requests in order, and exits when the request sender drops.
-/// Running appends here is what lets the engine thread overlap batch
-/// `n`'s step with batch `n+1`'s fsync.
-///
-/// One append failure disables every *later* append until the daemon
-/// restarts. With the pipeline a batch behind the failed one may already
-/// be in this stage's queue; letting it land would give it the failed
-/// batch's sequence number, and a feeder resuming from `Stats` would
-/// then silently skip the failed batch and double-feed its successor.
-/// Refusing keeps the log a strict prefix of what clients saw acked —
-/// the resume contract survives the fault.
-fn store_stage(mut store: TerStore, rx: mpsc::Receiver<StoreReq>, tx: mpsc::Sender<StoreResp>) {
-    let mut append_failed = false;
-    while let Ok(req) = rx.recv() {
-        let resp = match req {
-            StoreReq::Append(batch) => StoreResp::Appended(if append_failed {
-                Err("wal disabled after an earlier append failure (restart the daemon)".into())
-            } else {
-                let r = store.log_batch(&batch).map_err(|e| e.to_string());
-                append_failed = r.is_err();
-                r
-            }),
-            StoreReq::Checkpoint { wal_seq, state } => {
-                let seq = wal_seq.unwrap_or_else(|| store.wal_seq());
-                StoreResp::Checkpointed(store.checkpoint_at(seq, &state).map_err(|e| e.to_string()))
-            }
-            StoreReq::Stats => StoreResp::Stats {
-                next_seq: store.wal_seq(),
-                wal_bytes: store.wal_len_bytes(),
-            },
-        };
-        if tx.send(resp).is_err() {
-            break;
+impl ReplyHandle {
+    fn send(&self, proto: u8, reply: Reply) {
+        if self
+            .tx
+            .send(IoMsg::Reply {
+                token: self.token,
+                proto,
+                reply,
+            })
+            .is_ok()
+        {
+            let _ = self.waker.wake();
         }
     }
 }
 
-/// Reader-side poll interval: how often a blocked read re-checks the
+/// One queued operation: the decoded request, the protocol version it
+/// arrived in (replies echo it), and the route back to the connection.
+struct Job {
+    proto: u8,
+    request: Request,
+    reply: ReplyHandle,
+}
+
+/// A request to the group-commit WAL/checkpoint stage, issued only by
+/// the engine thread. `Commit` is fire-and-forget (its ack is released
+/// by the stage after the covering fsync); the rest get exactly one
+/// response each, in order.
+enum StoreReq {
+    /// Append one stepped batch (no fsync yet) and release `reply` to
+    /// the connection once a flush covers it.
+    Commit {
+        batch: Arc<Vec<Arrival>>,
+        proto: u8,
+        reply: Reply,
+        handle: ReplyHandle,
+    },
+    /// Flush, then write a checkpoint; `wal_seq: None` stamps the log's
+    /// current end, `Some(seq)` the explicit position of a cadence
+    /// checkpoint.
+    Checkpoint {
+        wal_seq: Option<u64>,
+        state: Box<EngineState>,
+    },
+    /// Flush, then report the store-side counters for a `Stats` reply.
+    Stats,
+}
+
+enum StoreResp {
+    Checkpointed(Result<u64, String>),
+    Stats {
+        next_seq: u64,
+        wal_bytes: u64,
+        fsyncs: u64,
+    },
+}
+
+/// An appended-but-unsynced batch's ack, owed to its connection once the
+/// covering group fsync lands.
+struct PendingAck {
+    proto: u8,
+    reply: Reply,
+    handle: ReplyHandle,
+}
+
+/// The group-commit WAL/checkpoint stage: owns the [`TerStore`], batches
+/// appends into flush windows, and exits when the request sender drops
+/// (flushing any open window first so no owed ack is lost).
+///
+/// One append (or sync) failure disables every *later* append — and
+/// every later checkpoint — until the daemon restarts: a failed write
+/// may have torn the file tail, and a batch appended (or a manifest
+/// written) after it could disagree with what recovery finds. Refusing
+/// keeps the durable log a strict prefix of what clients saw acked —
+/// the resume contract survives the fault.
+struct CommitStage {
+    store: TerStore,
+    window: usize,
+    interval: Duration,
+    pending: Vec<PendingAck>,
+    window_opened: Instant,
+    append_failed: bool,
+}
+
+impl CommitStage {
+    /// Closes the open flush window: one fsync covers every pending
+    /// append, then every owed ack is released in append order. On a
+    /// sync failure the owed acks become errors — no client is ever
+    /// acked for a batch the disk did not confirm.
+    fn flush(&mut self) {
+        if self.pending.is_empty() {
+            return;
+        }
+        match self.store.sync_wal() {
+            Ok(()) => {
+                for ack in self.pending.drain(..) {
+                    ack.handle.send(ack.proto, ack.reply);
+                }
+            }
+            Err(e) => {
+                self.append_failed = true;
+                let msg = format!("wal sync failed: {e}");
+                for ack in self.pending.drain(..) {
+                    ack.handle.send(ack.proto, Reply::Error(msg.clone()));
+                }
+            }
+        }
+    }
+
+    fn handle_commit(&mut self, batch: &[Arrival], ack: PendingAck) {
+        if self.append_failed {
+            ack.handle.send(
+                ack.proto,
+                Reply::Error(
+                    "wal disabled after an earlier append failure (restart the daemon)".into(),
+                ),
+            );
+            return;
+        }
+        match self.store.log_batch_nosync(batch) {
+            Ok(_) => {
+                if self.pending.is_empty() {
+                    self.window_opened = Instant::now();
+                }
+                self.pending.push(ack);
+                if self.pending.len() >= self.window {
+                    self.flush();
+                }
+            }
+            Err(e) => {
+                // The failed write may sit mid-file: flush (and ack) the
+                // intact appends before it, then report the failure. A
+                // failed append is not a Busy (the client must not
+                // silently retry into a diverged log) — it is an error.
+                self.flush();
+                self.append_failed = true;
+                ack.handle
+                    .send(ack.proto, Reply::Error(format!("wal append failed: {e}")));
+            }
+        }
+    }
+
+    fn run(mut self, rx: mpsc::Receiver<StoreReq>, tx: mpsc::Sender<StoreResp>) {
+        loop {
+            let req = if self.pending.is_empty() {
+                match rx.recv() {
+                    Ok(req) => req,
+                    Err(_) => break,
+                }
+            } else {
+                // An open window: wait at most until its time bound.
+                let deadline = self.window_opened + self.interval;
+                let budget = deadline.saturating_duration_since(Instant::now());
+                match rx.recv_timeout(budget) {
+                    Ok(req) => req,
+                    Err(mpsc::RecvTimeoutError::Timeout) => {
+                        self.flush();
+                        continue;
+                    }
+                    Err(mpsc::RecvTimeoutError::Disconnected) => break,
+                }
+            };
+            match req {
+                StoreReq::Commit {
+                    batch,
+                    proto,
+                    reply,
+                    handle,
+                } => self.handle_commit(
+                    &batch,
+                    PendingAck {
+                        proto,
+                        reply,
+                        handle,
+                    },
+                ),
+                StoreReq::Checkpoint { wal_seq, state } => {
+                    self.flush();
+                    let r = if self.append_failed {
+                        Err("wal disabled after an earlier append failure".to_string())
+                    } else {
+                        let seq = wal_seq.unwrap_or_else(|| self.store.wal_seq());
+                        self.store
+                            .checkpoint_at(seq, &state)
+                            .map_err(|e| e.to_string())
+                    };
+                    if tx.send(StoreResp::Checkpointed(r)).is_err() {
+                        break;
+                    }
+                }
+                StoreReq::Stats => {
+                    self.flush();
+                    let resp = StoreResp::Stats {
+                        next_seq: self.store.wal_seq(),
+                        wal_bytes: self.store.wal_len_bytes(),
+                        fsyncs: self.store.wal_fsyncs(),
+                    };
+                    if tx.send(resp).is_err() {
+                        break;
+                    }
+                }
+            }
+        }
+        // Teardown: an owed ack must still be released (or errored) —
+        // the I/O threads drain their inboxes before closing sockets.
+        self.flush();
+    }
+}
+
+/// How often a blocked poll loop (or the acceptor) re-checks the
 /// shutdown flag.
 const POLL_INTERVAL: Duration = Duration::from_millis(50);
 
-/// How long a reply write may block before the connection is dropped. A
-/// client that stops draining replies must not pin a writer thread
-/// forever.
+/// How long a connection's pending reply bytes may sit without a single
+/// successful write before the connection is dropped. A client that
+/// stops draining replies must not pin buffer memory forever.
 const WRITE_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// Hard cap on a connection's buffered outbound bytes: one maximal reply
+/// plus headroom for a pipeline of small acks. Exceeding it means the
+/// client is not draining — the connection is dropped.
+const WBUF_CAP: usize = MAX_WIRE_LEN + (MAX_WIRE_LEN >> 1);
+
+/// Per-event read budget: how many inbound bytes one connection may
+/// buffer before yielding back to the poll loop (level-triggered, so the
+/// remainder is re-reported). Keeps one firehose connection from
+/// starving its siblings on the same I/O thread.
+const RBUF_SOFT_CAP: usize = 2 * MAX_WIRE_LEN;
+
+/// How long the drain phase of shutdown may spend flushing write
+/// buffers to slow-but-alive peers before giving up.
+const DRAIN_GRACE: Duration = Duration::from_secs(5);
+
+/// The poller token reserved for the I/O thread's waker pipe.
+const WAKER_TOKEN: u64 = u64::MAX;
+
+#[cfg(unix)]
+fn stream_fd(s: &TcpStream) -> minipoll::RawFd {
+    use std::os::unix::io::AsRawFd;
+    s.as_raw_fd()
+}
+
+#[cfg(not(unix))]
+fn stream_fd(_s: &TcpStream) -> minipoll::RawFd {
+    -1
+}
 
 /// A bound TER-iDS service. Binding is split from running so callers can
 /// learn the ephemeral port (`addr()`) before the blocking serve loop
@@ -271,6 +514,7 @@ impl Server {
         let fingerprint = context_fingerprint(ctx, &params);
         let mut store = TerStore::open(dir, fingerprint)?;
         store.set_compaction(opts.compaction);
+        store.set_fsync_delay(opts.fsync_delay);
         let recovery = store.recover()?;
         let mut engine = ShardedTerIdsEngine::new(ctx, params, PruningMode::Full, opts.exec);
         if let Some(state) = &recovery.state {
@@ -280,9 +524,36 @@ impl Server {
 
         let shutdown = AtomicBool::new(false);
         let (job_tx, job_rx) = mpsc::sync_channel::<Job>(opts.queue_depth.max(1));
-        let (store_tx, store_req_rx) = mpsc::channel::<StoreReq>();
+        // Bounded: the engine may run at most a queue's worth of commits
+        // ahead of the group-commit stage before blocking, instead of
+        // growing an unbounded ack backlog.
+        let (store_tx, store_req_rx) = mpsc::sync_channel::<StoreReq>(opts.queue_depth.max(1));
         let (store_resp_tx, store_rx) = mpsc::channel::<StoreResp>();
         self.listener.set_nonblocking(true)?;
+
+        // One inbox + waker pair per I/O thread; the acceptor deals
+        // connections round-robin.
+        let io_threads = opts.io_threads.max(1);
+        let mut io_txs: Vec<mpsc::Sender<IoMsg>> = Vec::with_capacity(io_threads);
+        let mut io_wakers: Vec<Arc<Waker>> = Vec::with_capacity(io_threads);
+        let mut io_inboxes: Vec<(mpsc::Receiver<IoMsg>, WakeReceiver)> =
+            Vec::with_capacity(io_threads);
+        for _ in 0..io_threads {
+            let (waker, wake_rx) = WakeReceiver::pair()?;
+            let (tx, rx) = mpsc::channel::<IoMsg>();
+            io_txs.push(tx);
+            io_wakers.push(Arc::new(waker));
+            io_inboxes.push((rx, wake_rx));
+        }
+
+        let commit = CommitStage {
+            store,
+            window: opts.flush_window.max(1),
+            interval: opts.flush_interval,
+            pending: Vec::new(),
+            window_opened: Instant::now(),
+            append_failed: false,
+        };
 
         let mut report = ServeReport {
             resumed_at,
@@ -290,21 +561,51 @@ impl Server {
             batches: 0,
             arrivals: 0,
             checkpoints: 0,
+            fsyncs: 0,
         };
 
         std::thread::scope(|scope| -> Result<(), ServeError> {
+            // ---- group-commit stage ----
+            scope.spawn(move || commit.run(store_req_rx, store_resp_tx));
+
+            // ---- I/O thread pool ----
+            let shutdown_ref = &shutdown;
+            for (idx, (rx, wake_rx)) in io_inboxes.into_iter().enumerate() {
+                let thread = IoThread {
+                    poller: Poller::new(),
+                    wake_rx,
+                    rx,
+                    self_tx: Some(io_txs[idx].clone()),
+                    waker: Arc::clone(&io_wakers[idx]),
+                    job_tx: job_tx.clone(),
+                    conns: HashMap::new(),
+                    next_token: 0,
+                };
+                scope.spawn(move || thread.run(shutdown_ref));
+            }
+            // The I/O threads hold their own cloned job senders; drop ours
+            // so the engine loop's exit conditions are exactly "Shutdown
+            // verb" or "every I/O thread gone".
+            drop(job_tx);
+
             // ---- accept loop ----
             let listener = &self.listener;
-            let shutdown_ref = &shutdown;
-            let acceptor_tx = job_tx.clone();
+            let acceptor_wakers: Vec<Arc<Waker>> = io_wakers.iter().map(Arc::clone).collect();
             scope.spawn(move || {
+                // `io_txs` moves in here: when the acceptor exits, the
+                // only remaining inbox senders are the reply handles —
+                // all dropped by teardown — so draining I/O threads see
+                // their inboxes disconnect once every owed reply is out.
+                let io_txs = io_txs;
+                let mut next = 0usize;
                 while !shutdown_ref.load(Ordering::Acquire) {
                     match listener.accept() {
                         Ok((stream, _peer)) => {
-                            let conn_tx = acceptor_tx.clone();
-                            scope.spawn(move || {
-                                serve_connection(stream, conn_tx, shutdown_ref, scope);
-                            });
+                            let t = next % io_txs.len();
+                            next = next.wrapping_add(1);
+                            if io_txs[t].send(IoMsg::Conn(stream)).is_ok() {
+                                let _ = acceptor_wakers[t].wake();
+                            }
                         }
                         Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                             std::thread::sleep(POLL_INTERVAL);
@@ -313,89 +614,76 @@ impl Server {
                     }
                 }
             });
-            // The readers hold their own cloned senders; drop ours so the
-            // engine loop's exit conditions are exactly "Shutdown verb" or
-            // "acceptor and every reader gone".
-            drop(job_tx);
-
-            // ---- WAL/checkpoint stage ----
-            scope.spawn(move || store_stage(store, store_req_rx, store_resp_tx));
 
             // ---- step stage (single total order of operations), with a
             // persistent worker-pool session for the daemon's lifetime ----
-            engine.with_pool(|pe| {
-                report.replayed = recovery.replay_into(pe);
-                let mut stage = StepStage {
-                    pe,
-                    store_tx: &store_tx,
-                    store_rx: &store_rx,
-                    buffered_appends: VecDeque::new(),
-                    pending: None,
-                    opts,
-                    report: &mut report,
-                };
-                let mut graceful = false;
-                loop {
-                    // Drain-fast: with nothing queued, flush the pending
-                    // ingest so a one-in-flight client is acked promptly.
-                    let job = match job_rx.try_recv() {
-                        Ok(job) => job,
-                        Err(mpsc::TryRecvError::Empty) => {
-                            stage.flush_pending();
-                            match job_rx.recv() {
-                                Ok(job) => job,
-                                Err(_) => break,
-                            }
-                        }
-                        Err(mpsc::TryRecvError::Disconnected) => break,
+            // A panicking step must still run the teardown below: the
+            // commit stage, acceptor, and I/O threads only exit once the
+            // store sender drops and the shutdown flag rises, and the
+            // scope joins them before this panic can propagate.
+            let stepped = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                engine.with_pool(|pe| {
+                    report.replayed = recovery.replay_into(pe);
+                    let mut stage = StepStage {
+                        pe,
+                        store_tx: &store_tx,
+                        store_rx: &store_rx,
+                        opts,
+                        report: &mut report,
                     };
-                    let is_shutdown = matches!(job.request, Request::Shutdown);
-                    stage.handle(job);
-                    if is_shutdown {
-                        graceful = true;
-                        break;
+                    let mut graceful = false;
+                    loop {
+                        let job = match job_rx.recv() {
+                            Ok(job) => job,
+                            Err(_) => break,
+                        };
+                        let is_shutdown = matches!(job.request, Request::Shutdown);
+                        stage.handle(job);
+                        if is_shutdown {
+                            graceful = true;
+                            break;
+                        }
                     }
-                }
-                stage.flush_pending();
-                if !graceful {
-                    // Listener died under us — still leave a fresh
-                    // checkpoint (graceful shutdown already wrote one).
-                    let _ = stage.request_checkpoint(None);
-                }
-            });
+                    if !graceful {
+                        // The listener died under us — still leave a fresh
+                        // checkpoint (graceful shutdown already wrote one).
+                        let _ = stage.request_checkpoint(None);
+                    }
+                    // Final store round-trip: flushes any open window (so
+                    // every owed ack is en route before teardown) and folds
+                    // the fsync counter into the report.
+                    let (_, _, fsyncs) = stage.store_stats();
+                    stage.report.fsyncs = fsyncs;
+                });
+            }));
             drop(store_tx);
-            // Release the acceptor and readers, then drain the queue:
-            // dropping a pending job drops its reply channel, which wakes
-            // its writer with a clean connection close instead of
-            // deadlocking the scope join.
+            // Release the acceptor and I/O threads. Each I/O thread
+            // drains its inbox (delivering every reply already released,
+            // the graceful-shutdown Ack included), flushes its write
+            // buffers, and exits; dropping the job queue drops any
+            // still-queued reply handles so the drain can terminate.
             shutdown.store(true, Ordering::Release);
+            for w in &io_wakers {
+                let _ = w.wake();
+            }
             drop(job_rx);
+            if let Err(panic) = stepped {
+                // Every helper thread is released above; re-raise once the
+                // scope has joined them.
+                std::panic::resume_unwind(panic);
+            }
             Ok(())
         })?;
         Ok(report)
     }
 }
 
-/// An ingest whose WAL append is in flight and whose step has not run
-/// yet. The ack is owed after both.
-struct PendingIngest {
-    batch: Arc<Vec<Arrival>>,
-    proto: u8,
-    reply_tx: mpsc::Sender<(u8, Reply)>,
-    /// The client's pipeline sequence tag (`None` for v1 ingest).
-    client_seq: Option<u64>,
-}
-
 /// The engine thread's state: the pooled engine, the channel pair to the
-/// WAL stage, and the one-deep ingest pipeline.
+/// group-commit stage, and the run counters.
 struct StepStage<'x, 's, 'a> {
     pe: &'x mut PooledEngine<'s, 'a>,
-    store_tx: &'x mpsc::Sender<StoreReq>,
+    store_tx: &'x mpsc::SyncSender<StoreReq>,
     store_rx: &'x mpsc::Receiver<StoreResp>,
-    /// Append confirmations that arrived while waiting for a checkpoint
-    /// or stats response (FIFO, matched to flushes in dispatch order).
-    buffered_appends: VecDeque<Result<u64, String>>,
-    pending: Option<PendingIngest>,
     opts: &'x ServeOptions,
     report: &'x mut ServeReport,
 }
@@ -405,87 +693,77 @@ impl StepStage<'_, '_, '_> {
         self.store_tx.send(req).expect("store stage hung up");
     }
 
-    /// The next append confirmation, in dispatch order.
-    fn wait_appended(&mut self) -> Result<u64, String> {
-        if let Some(r) = self.buffered_appends.pop_front() {
-            return r;
-        }
-        match self.store_rx.recv().expect("store stage hung up") {
-            StoreResp::Appended(r) => r,
-            _ => unreachable!("store protocol violation: expected Appended"),
-        }
-    }
-
-    /// Requests a checkpoint of the *current* engine state and waits for
-    /// it, stashing any append confirmations that arrive first.
+    /// Requests a checkpoint of the *current* engine state (flushing the
+    /// open flush window first) and waits for it.
     fn request_checkpoint(&mut self, wal_seq: Option<u64>) -> Result<u64, String> {
         let state = Box::new(self.pe.export_state());
         self.send_store(StoreReq::Checkpoint { wal_seq, state });
-        loop {
-            match self.store_rx.recv().expect("store stage hung up") {
-                StoreResp::Checkpointed(r) => return r,
-                StoreResp::Appended(r) => self.buffered_appends.push_back(r),
-                StoreResp::Stats { .. } => {
-                    unreachable!("store protocol violation: unsolicited Stats")
-                }
+        match self.store_rx.recv().expect("store stage hung up") {
+            StoreResp::Checkpointed(r) => r,
+            StoreResp::Stats { .. } => {
+                unreachable!("store protocol violation: unsolicited Stats")
             }
         }
     }
 
-    /// Store-side counters (call with no ingest pending, so the log end
-    /// reflects every batch the engine has seen).
-    fn store_stats(&mut self) -> (u64, u64) {
+    /// Store-side counters. Forces a flush, so the returned log end — and
+    /// therefore `Stats.next_batch_seq`, the position resuming feeders
+    /// trust — covers only durable batches.
+    fn store_stats(&mut self) -> (u64, u64, u64) {
         self.send_store(StoreReq::Stats);
-        loop {
-            match self.store_rx.recv().expect("store stage hung up") {
-                StoreResp::Stats {
-                    next_seq,
-                    wal_bytes,
-                } => return (next_seq, wal_bytes),
-                StoreResp::Appended(r) => self.buffered_appends.push_back(r),
-                StoreResp::Checkpointed(_) => {
-                    unreachable!("store protocol violation: unsolicited Checkpointed")
-                }
+        match self.store_rx.recv().expect("store stage hung up") {
+            StoreResp::Stats {
+                next_seq,
+                wal_bytes,
+                fsyncs,
+            } => (next_seq, wal_bytes, fsyncs),
+            StoreResp::Checkpointed(_) => {
+                unreachable!("store protocol violation: unsolicited Checkpointed")
             }
         }
     }
 
-    /// Completes the pending ingest: confirm its WAL append, step the
-    /// engine, ack, and run the checkpoint cadence. The WAL-before-ack
-    /// invariant lives here.
-    fn flush_pending(&mut self) {
-        let Some(p) = self.pending.take() else { return };
-        let seq = match self.wait_appended() {
-            Ok(seq) => seq,
-            Err(e) => {
-                // A failed append is not a Busy (the client must not
-                // silently retry into a diverged log) — it is an error.
-                let reply = Reply::Error(format!("wal append failed: {e}"));
-                let _ = p.reply_tx.send((p.proto, reply));
-                return;
-            }
-        };
+    /// One ingest: step the engine, build the ack, and hand batch + ack
+    /// to the group-commit stage, which releases the ack only after the
+    /// covering fsync. The WAL-before-ack invariant lives there; the
+    /// engine never blocks on the disk for an ingest.
+    fn handle_ingest(
+        &mut self,
+        batch: Vec<Arrival>,
+        client_seq: Option<u64>,
+        proto: u8,
+        handle: ReplyHandle,
+    ) {
         if !self.opts.ingest_hold.is_zero() {
             std::thread::sleep(self.opts.ingest_hold);
         }
-        let outputs = self.pe.step_batch(&p.batch);
+        // Commits reach the WAL strictly in step order, so this batch's
+        // log sequence is the resume point plus every batch stepped
+        // before it.
+        let seq = self.report.resumed_at + self.report.batches;
+        let outputs = self.pe.step_batch(&batch);
         self.report.batches += 1;
-        self.report.arrivals += p.batch.len() as u64;
+        self.report.arrivals += batch.len() as u64;
         let per_arrival: Vec<Vec<(u64, u64)>> =
             outputs.into_iter().map(|o| o.new_matches).collect();
-        let reply = match p.client_seq {
+        let reply = match client_seq {
             Some(client_seq) => Reply::IngestAck {
                 seq: client_seq,
                 per_arrival,
             },
             None => Reply::Matches(per_arrival),
         };
-        let _ = p.reply_tx.send((p.proto, reply));
+        self.send_store(StoreReq::Commit {
+            batch: Arc::new(batch),
+            proto,
+            reply,
+            handle,
+        });
         if self.opts.checkpoint_every > 0 && (seq + 1) % self.opts.checkpoint_every == 0 {
             // The engine state covers batches 0..=seq, so the checkpoint
-            // is stamped seq+1 even if the log already runs ahead. A
-            // failed cadence checkpoint is not an ingest failure — the
-            // WAL already covers the batch; just log it.
+            // is stamped seq+1. A failed cadence checkpoint is not an
+            // ingest failure — the WAL already covers the batch; just
+            // log it.
             match self.request_checkpoint(Some(seq + 1)) {
                 Ok(_) => self.report.checkpoints += 1,
                 Err(e) => eprintln!("ter_serve: checkpoint at batch {seq} failed: {e}"),
@@ -493,49 +771,26 @@ impl StepStage<'_, '_, '_> {
         }
     }
 
-    /// Admits one ingest into the pipeline: dispatch its WAL append
-    /// first (so the fsync overlaps the step below), then flush the
-    /// previous pending batch, then park this one.
-    fn enqueue_ingest(
-        &mut self,
-        batch: Vec<Arrival>,
-        client_seq: Option<u64>,
-        proto: u8,
-        reply_tx: mpsc::Sender<(u8, Reply)>,
-    ) {
-        // One shared allocation: the store stage appends from it while
-        // the pending slot waits to step it — no per-batch deep copy on
-        // the ingest hot path.
-        let batch = Arc::new(batch);
-        self.send_store(StoreReq::Append(Arc::clone(&batch)));
-        self.flush_pending();
-        self.pending = Some(PendingIngest {
-            batch,
-            proto,
-            reply_tx,
-            client_seq,
-        });
-    }
-
-    /// Applies one request. Non-ingest verbs flush the pipeline first so
-    /// every reply reflects a consistent, fully-stepped snapshot.
+    /// Applies one request. The engine state is always fully stepped
+    /// (steps are synchronous), so queries answer directly; verbs whose
+    /// replies describe durable positions (stats/checkpoint/shutdown) go
+    /// through the group-commit stage, which flushes first.
     fn handle(&mut self, job: Job) {
         let Job {
             proto,
             request,
-            reply_tx,
+            reply,
         } = job;
-        let reply = match request {
+        let out = match request {
             Request::Ingest(batch) => {
-                self.enqueue_ingest(batch, None, proto, reply_tx);
-                return; // acked on flush
+                self.handle_ingest(batch, None, proto, reply);
+                return; // acked by the group-commit stage after the fsync
             }
             Request::IngestSeq { seq, batch } => {
-                self.enqueue_ingest(batch, Some(seq), proto, reply_tx);
-                return; // acked on flush
+                self.handle_ingest(batch, Some(seq), proto, reply);
+                return; // acked by the group-commit stage after the fsync
             }
             Request::Query(Query::Window) => {
-                self.flush_pending();
                 let eng = self.pe.engine();
                 Reply::Window(WindowInfo {
                     len: eng.window_len(),
@@ -544,7 +799,6 @@ impl StepStage<'_, '_, '_> {
                 })
             }
             Request::Query(Query::Entity(id)) => {
-                self.flush_pending();
                 let eng = self.pe.engine();
                 match eng.meta(id) {
                     Some(meta) => {
@@ -570,14 +824,12 @@ impl StepStage<'_, '_, '_> {
                 }
             }
             Request::Query(Query::Results) => {
-                self.flush_pending();
                 let mut pairs: Vec<(u64, u64)> = self.pe.engine().results().iter().collect();
                 pairs.sort_unstable();
                 Reply::Matches(vec![pairs])
             }
             Request::Stats => {
-                self.flush_pending();
-                let (next_seq, wal_bytes) = self.store_stats();
+                let (next_seq, wal_bytes, _) = self.store_stats();
                 let eng = self.pe.engine();
                 Reply::Stats(StatsInfo {
                     next_batch_seq: next_seq,
@@ -587,20 +839,17 @@ impl StepStage<'_, '_, '_> {
                     stats: eng.prune_stats(),
                 })
             }
-            Request::Checkpoint => {
-                self.flush_pending();
-                match self.request_checkpoint(None) {
-                    Ok(bytes) => {
-                        self.report.checkpoints += 1;
-                        Reply::Ack(bytes)
-                    }
-                    Err(e) => Reply::Error(format!("checkpoint failed: {e}")),
+            Request::Checkpoint => match self.request_checkpoint(None) {
+                Ok(bytes) => {
+                    self.report.checkpoints += 1;
+                    Reply::Ack(bytes)
                 }
-            }
+                Err(e) => Reply::Error(format!("checkpoint failed: {e}")),
+            },
             Request::Shutdown => {
-                self.flush_pending();
                 // The final checkpoint happens *before* the shutdown ack
-                // leaves, so a client that saw the ack can rely on a
+                // leaves — and its flush releases every pending ingest
+                // ack first — so a client that saw the ack can rely on a
                 // checkpoint-only (zero-replay) restart.
                 match self.request_checkpoint(None) {
                     Ok(_) => {
@@ -611,96 +860,266 @@ impl StepStage<'_, '_, '_> {
                 }
             }
         };
-        let _ = reply_tx.send((proto, reply));
+        reply.send(proto, out);
     }
 }
 
-/// Outcome of one shutdown-aware exact read.
-enum ReadOutcome {
-    /// The buffer is full.
-    Done,
-    /// The peer closed (or broke) the connection.
-    Disconnected,
-    /// Shutdown was requested while the socket was idle.
-    ShuttingDown,
+/// What an I/O helper decided about a connection.
+enum Action {
+    Keep,
+    Drop,
 }
 
-/// Reads exactly `buf.len()` bytes, retrying read timeouts so that a
-/// frame fragmented across TCP segments is reassembled correctly (a plain
-/// `read_exact` under a read timeout can consume a partial prefix and
-/// then error, desynchronizing the framing). Every timeout re-checks the
-/// shutdown flag — once it is set the engine is gone and no request can
-/// be served, so even a half-read frame is abandoned; a reader stuck on
-/// a silent-but-open connection must never block the scope join in
-/// [`Server::run`].
-fn read_exact_polling(
-    stream: &mut TcpStream,
-    buf: &mut [u8],
-    shutdown: &AtomicBool,
-) -> ReadOutcome {
-    let mut filled = 0;
-    while filled < buf.len() {
-        if shutdown.load(Ordering::Acquire) {
-            return ReadOutcome::ShuttingDown;
+/// One connection's state, owned entirely by its I/O thread: the
+/// non-blocking socket, the inbound reassembly buffer, the outbound
+/// reply buffer, and the go-back-N gate cursor.
+struct Conn {
+    stream: TcpStream,
+    rbuf: Vec<u8>,
+    wbuf: Vec<u8>,
+    /// How much of `wbuf` has reached the kernel.
+    wpos: usize,
+    /// The pipelined-ingest gate (`None` until the first `IngestSeq`).
+    expected_seq: Option<u64>,
+    /// Flush remaining replies, then close (set on EOF, frame-level
+    /// garbage, or engine disconnect).
+    closing: bool,
+    /// The interest currently registered in the poller.
+    interest: Interest,
+    last_write_progress: Instant,
+}
+
+/// One event-loop thread of the front end: multiplexes its share of
+/// connections over a [`Poller`], parses frames into engine jobs, and
+/// writes replies delivered to its inbox.
+struct IoThread {
+    poller: Poller,
+    wake_rx: WakeReceiver,
+    rx: mpsc::Receiver<IoMsg>,
+    /// Our own inbox sender, cloned into every [`ReplyHandle`] this
+    /// thread mints. Dropped when the drain phase starts so the inbox
+    /// can disconnect once every outstanding handle is gone.
+    self_tx: Option<mpsc::Sender<IoMsg>>,
+    waker: Arc<Waker>,
+    job_tx: mpsc::SyncSender<Job>,
+    conns: HashMap<u64, Conn>,
+    next_token: u64,
+}
+
+impl IoThread {
+    fn run(mut self, shutdown: &AtomicBool) {
+        self.poller
+            .register(self.wake_rx.as_raw_fd(), WAKER_TOKEN, Interest::READABLE);
+        let mut events: Vec<Event> = Vec::new();
+        let mut draining = false;
+        let mut drain_deadline = Instant::now();
+        loop {
+            if !draining && shutdown.load(Ordering::Acquire) {
+                // Drain phase: stop reading requests (the engine is
+                // gone), deliver every reply still in the inbox, flush
+                // write buffers, then exit.
+                draining = true;
+                drain_deadline = Instant::now() + DRAIN_GRACE;
+                self.self_tx = None;
+            }
+            let _ = self.poller.wait(&mut events, Some(POLL_INTERVAL));
+            for ev in std::mem::take(&mut events) {
+                self.handle_event(&ev, draining);
+            }
+            let inbox_open = self.drain_inbox(draining);
+            self.sweep(draining);
+            if draining {
+                let flushed = self.conns.values().all(|c| c.wpos == c.wbuf.len());
+                if (!inbox_open && flushed) || Instant::now() >= drain_deadline {
+                    break;
+                }
+            }
         }
-        match stream.read(&mut buf[filled..]) {
-            Ok(0) => return ReadOutcome::Disconnected,
-            Ok(n) => filled += n,
-            Err(e)
-                if matches!(
-                    e.kind(),
-                    std::io::ErrorKind::WouldBlock
-                        | std::io::ErrorKind::TimedOut
-                        | std::io::ErrorKind::Interrupted
-                ) =>
-            {
+        for (_, conn) in self.conns.drain() {
+            let _ = conn.stream.shutdown(std::net::Shutdown::Both);
+        }
+    }
+
+    /// Consumes every queued inbox message. Returns whether the inbox
+    /// can still produce messages (senders remain).
+    fn drain_inbox(&mut self, draining: bool) -> bool {
+        loop {
+            match self.rx.try_recv() {
+                Ok(IoMsg::Conn(stream)) => {
+                    if draining {
+                        drop(stream); // refused: the engine is gone
+                    } else {
+                        self.admit(stream);
+                    }
+                }
+                Ok(IoMsg::Reply {
+                    token,
+                    proto,
+                    reply,
+                }) => self.queue_reply(token, proto, &reply),
+                Err(mpsc::TryRecvError::Empty) => return true,
+                Err(mpsc::TryRecvError::Disconnected) => return false,
+            }
+        }
+    }
+
+    fn admit(&mut self, stream: TcpStream) {
+        if stream.set_nonblocking(true).is_err() {
+            return;
+        }
+        let token = self.next_token;
+        self.next_token += 1;
+        self.poller
+            .register(stream_fd(&stream), token, Interest::READABLE);
+        self.conns.insert(
+            token,
+            Conn {
+                stream,
+                rbuf: Vec::new(),
+                wbuf: Vec::new(),
+                wpos: 0,
+                expected_seq: None,
+                closing: false,
+                interest: Interest::READABLE,
+                last_write_progress: Instant::now(),
+            },
+        );
+    }
+
+    /// Buffers one reply from the engine side and pushes it toward the
+    /// socket immediately (the common case: an idle, writable peer).
+    fn queue_reply(&mut self, token: u64, proto: u8, reply: &Reply) {
+        let Some(conn) = self.conns.get_mut(&token) else {
+            return; // connection died while its job was in flight
+        };
+        append_reply(conn, proto, reply);
+        let act = flush_writes(conn);
+        if matches!(act, Action::Drop) || conn.wbuf.len() - conn.wpos > WBUF_CAP {
+            self.drop_conn(token);
+        }
+    }
+
+    fn handle_event(&mut self, ev: &Event, draining: bool) {
+        if ev.token == WAKER_TOKEN {
+            self.wake_rx.drain();
+            return;
+        }
+        let Some(conn) = self.conns.get_mut(&ev.token) else {
+            return; // stale event for a dropped connection
+        };
+        let mut act = Action::Keep;
+        if ev.writable && conn.wpos < conn.wbuf.len() {
+            act = flush_writes(conn);
+        }
+        if matches!(act, Action::Keep) && ev.readable && !draining && !conn.closing {
+            if let Some(tx) = self.self_tx.as_ref() {
+                act = read_and_parse(conn, ev.token, &self.job_tx, tx, &self.waker);
+            }
+        }
+        if matches!(act, Action::Keep) && ev.closed {
+            // Peer hangup/error: whatever is still buffered either
+            // flushes right now or never will.
+            conn.closing = true;
+            if conn.wpos == conn.wbuf.len() {
+                act = Action::Drop;
+            }
+        }
+        if matches!(act, Action::Drop) {
+            self.drop_conn(ev.token);
+        }
+    }
+
+    /// Post-event pass over every connection: enforce the write-stall
+    /// timeout, retire drained closing connections, and reconcile each
+    /// connection's poller interest with what it actually needs next.
+    fn sweep(&mut self, draining: bool) {
+        let now = Instant::now();
+        let mut dead: Vec<u64> = Vec::new();
+        for (&token, conn) in self.conns.iter_mut() {
+            let write_pending = conn.wpos < conn.wbuf.len();
+            if write_pending && now.duration_since(conn.last_write_progress) > WRITE_TIMEOUT {
+                dead.push(token);
                 continue;
             }
-            Err(_) => return ReadOutcome::Disconnected,
+            if conn.closing && !write_pending {
+                dead.push(token);
+                continue;
+            }
+            let want = Interest {
+                readable: !conn.closing && !draining,
+                writable: write_pending,
+            };
+            if want != conn.interest {
+                self.poller.modify(token, want);
+                conn.interest = want;
+            }
+        }
+        for token in dead {
+            self.drop_conn(token);
         }
     }
-    ReadOutcome::Done
-}
 
-/// Drains a connection's reply channel onto the socket in order. A reply
-/// too large for the wire cap degrades to an in-protocol error; a failed
-/// write closes the connection (the reader notices via the shutdown).
-/// Exits — closing the socket — once every reply sender (the reader and
-/// any queued jobs) is gone.
-fn writer_loop(mut stream: TcpStream, reply_rx: mpsc::Receiver<(u8, Reply)>) {
-    while let Ok((proto, reply)) = reply_rx.recv() {
-        let mut encoded = encode_reply(&reply);
-        if encoded.len() > MAX_WIRE_LEN {
-            encoded = encode_reply(&Reply::Error(format!(
-                "reply of {} bytes exceeds the wire cap",
-                encoded.len()
-            )));
-        }
-        // `proto` is the version the request arrived in; replies to v1
-        // requests only ever use v1 tags, so no re-encoding is needed —
-        // the assertion documents the invariant.
-        debug_assert!(
-            proto >= encoded[0],
-            "v{} reply to a v{proto} request",
-            encoded[0]
-        );
-        if write_message(&mut stream, &encoded).is_err() {
-            break;
+    fn drop_conn(&mut self, token: u64) {
+        if let Some(conn) = self.conns.remove(&token) {
+            self.poller.deregister(token);
+            let _ = conn.stream.shutdown(std::net::Shutdown::Both);
         }
     }
-    let _ = stream.shutdown(std::net::Shutdown::Both);
 }
 
-/// One connection's reader loop: frame in, decode, enqueue; replies flow
-/// through a dedicated writer thread so the reader never blocks on a
-/// response — that is what lets a window of pipelined ingests ride one
-/// connection. Frame-level garbage (bad CRC, oversized length) gets an
-/// error reply and closes the connection — a byte stream cannot
-/// resynchronize after a corrupt frame. Payload-level garbage (intact
-/// frame, invalid request) gets an error reply and the connection
-/// continues. A full queue gets [`Reply::Busy`] (v1) or the
-/// sequence-tagged [`Reply::IngestBusy`] (v2); a stopped engine gets a
-/// final error reply.
+/// Encodes one reply into the connection's write buffer. A reply too
+/// large for the wire cap degrades to an in-protocol error.
+fn append_reply(conn: &mut Conn, proto: u8, reply: &Reply) {
+    let mut encoded = encode_reply(reply);
+    if encoded.len() > MAX_WIRE_LEN {
+        encoded = encode_reply(&Reply::Error(format!(
+            "reply of {} bytes exceeds the wire cap",
+            encoded.len()
+        )));
+    }
+    // `proto` is the version the request arrived in; replies to v1
+    // requests only ever use v1 tags, so no re-encoding is needed — the
+    // assertion documents the invariant.
+    debug_assert!(
+        proto >= encoded[0],
+        "v{} reply to a v{proto} request",
+        encoded[0]
+    );
+    // Framing into a Vec cannot fail.
+    let _ = write_message(&mut conn.wbuf, &encoded);
+}
+
+/// Pushes buffered reply bytes at the socket until it would block.
+fn flush_writes(conn: &mut Conn) -> Action {
+    while conn.wpos < conn.wbuf.len() {
+        match conn.stream.write(&conn.wbuf[conn.wpos..]) {
+            Ok(0) => return Action::Drop,
+            Ok(n) => {
+                conn.wpos += n;
+                conn.last_write_progress = Instant::now();
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(_) => return Action::Drop,
+        }
+    }
+    if conn.wpos == conn.wbuf.len() {
+        conn.wbuf.clear();
+        conn.wpos = 0;
+    }
+    Action::Keep
+}
+
+/// The readable half of a connection: pull bytes until the socket is
+/// dry, then parse complete frames into engine jobs.
+///
+/// Frame-level garbage (bad CRC, oversized length) gets an error reply
+/// and closes the connection — a byte stream cannot resynchronize after
+/// a corrupt frame. Payload-level garbage (intact frame, invalid
+/// request) gets an error reply and the connection continues. A full
+/// queue gets [`Reply::Busy`] (v1) or the sequence-tagged
+/// [`Reply::IngestBusy`] (v2); a stopped engine gets a final error
+/// reply.
 ///
 /// The go-back-N gate: the first [`Request::IngestSeq`] fixes the
 /// connection's expected sequence; afterwards only `expected` enters the
@@ -708,86 +1127,97 @@ fn writer_loop(mut stream: TcpStream, reply_rx: mpsc::Receiver<(u8, Reply)>) {
 /// or a stale retransmit — answers `IngestBusy` without touching the
 /// engine. Batches therefore commit in exactly the client's order or not
 /// at all.
-fn serve_connection<'scope, 'env>(
-    stream: TcpStream,
-    job_tx: mpsc::SyncSender<Job>,
-    shutdown: &'env AtomicBool,
-    scope: &'scope std::thread::Scope<'scope, 'env>,
-) {
-    let mut stream = stream;
-    if stream.set_read_timeout(Some(POLL_INTERVAL)).is_err() {
-        return;
-    }
-    let writer_stream = match stream.try_clone() {
-        Ok(s) => s,
-        Err(_) => return,
-    };
-    if writer_stream
-        .set_write_timeout(Some(WRITE_TIMEOUT))
-        .is_err()
-    {
-        return;
-    }
-    let (reply_tx, reply_rx) = mpsc::channel::<(u8, Reply)>();
-    // Scoped, so `Server::run` joins it: the final reply of a connection
-    // — notably the graceful-shutdown Ack — must reach the kernel before
-    // teardown, not race a detached thread's scheduling. It exits once
-    // every reply sender (this reader, queued jobs, the engine's pending
-    // slot) is gone, all of which teardown drops; a client that stops
-    // draining is bounded by WRITE_TIMEOUT.
-    scope.spawn(move || writer_loop(writer_stream, reply_rx));
-
-    let mut expected_seq: Option<u64> = None;
-    loop {
-        let mut header = [0u8; 8];
-        match read_exact_polling(&mut stream, &mut header, shutdown) {
-            ReadOutcome::Done => {}
-            ReadOutcome::Disconnected | ReadOutcome::ShuttingDown => return,
+fn read_and_parse(
+    conn: &mut Conn,
+    token: u64,
+    job_tx: &mpsc::SyncSender<Job>,
+    io_tx: &mpsc::Sender<IoMsg>,
+    waker: &Arc<Waker>,
+) -> Action {
+    // ---- read until dry (or over budget; level-triggered re-drive) ----
+    let mut saw_eof = false;
+    let mut chunk = [0u8; 64 * 1024];
+    while conn.rbuf.len() < RBUF_SOFT_CAP {
+        match conn.stream.read(&mut chunk) {
+            Ok(0) => {
+                saw_eof = true;
+                break;
+            }
+            Ok(n) => {
+                conn.rbuf.extend_from_slice(&chunk[..n]);
+                if n < chunk.len() {
+                    break;
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(_) => return Action::Drop,
         }
-        let len = u32::from_le_bytes(header[0..4].try_into().unwrap()) as usize;
-        let crc = u32::from_le_bytes(header[4..8].try_into().unwrap());
+    }
+    // ---- parse complete frames ----
+    let mut pos = 0usize;
+    while !conn.closing {
+        let avail = conn.rbuf.len() - pos;
+        if avail < 8 {
+            break;
+        }
+        let len = u32::from_le_bytes(conn.rbuf[pos..pos + 4].try_into().unwrap()) as usize;
+        let crc = u32::from_le_bytes(conn.rbuf[pos + 4..pos + 8].try_into().unwrap());
         if len > MAX_WIRE_LEN {
-            let _ = reply_tx.send((
+            append_reply(
+                conn,
                 PROTO_V1,
-                Reply::Error(format!("bad frame: length {len} exceeds the wire cap")),
-            ));
-            return;
+                &Reply::Error(format!("bad frame: length {len} exceeds the wire cap")),
+            );
+            conn.closing = true;
+            break;
         }
-        let mut payload = vec![0u8; len];
-        match read_exact_polling(&mut stream, &mut payload, shutdown) {
-            ReadOutcome::Done => {}
-            ReadOutcome::Disconnected | ReadOutcome::ShuttingDown => return,
+        if avail < 8 + len {
+            break;
         }
-        if ter_store::crc32(&payload) != crc {
-            let _ = reply_tx.send((PROTO_V1, Reply::Error("bad frame: CRC mismatch".into())));
-            return;
+        let crc_ok = ter_store::crc32(&conn.rbuf[pos + 8..pos + 8 + len]) == crc;
+        if !crc_ok {
+            append_reply(
+                conn,
+                PROTO_V1,
+                &Reply::Error("bad frame: CRC mismatch".into()),
+            );
+            conn.closing = true;
+            break;
         }
-        let (proto, request) = match decode_request_versioned(&payload) {
+        let decoded = decode_request_versioned(&conn.rbuf[pos + 8..pos + 8 + len]);
+        pos += 8 + len;
+        let (proto, request) = match decoded {
             Ok(r) => r,
             Err(e) => {
-                let _ = reply_tx.send((PROTO_V1, Reply::Error(format!("bad request: {e}"))));
+                append_reply(conn, PROTO_V1, &Reply::Error(format!("bad request: {e}")));
                 continue;
             }
+        };
+        let handle = ReplyHandle {
+            token,
+            tx: io_tx.clone(),
+            waker: Arc::clone(waker),
         };
         // ---- the pipelined-ingest gate ----
         if let Request::IngestSeq { seq, .. } = &request {
             let seq = *seq;
-            if expected_seq.is_some_and(|e| seq != e) {
-                let _ = reply_tx.send((proto, Reply::IngestBusy { seq }));
+            if conn.expected_seq.is_some_and(|e| seq != e) {
+                append_reply(conn, proto, &Reply::IngestBusy { seq });
                 continue;
             }
             match job_tx.try_send(Job {
                 proto,
                 request,
-                reply_tx: reply_tx.clone(),
+                reply: handle,
             }) {
-                Ok(()) => expected_seq = Some(seq + 1),
+                Ok(()) => conn.expected_seq = Some(seq + 1),
                 Err(mpsc::TrySendError::Full(_)) => {
-                    let _ = reply_tx.send((proto, Reply::IngestBusy { seq }));
+                    append_reply(conn, proto, &Reply::IngestBusy { seq });
                 }
                 Err(mpsc::TrySendError::Disconnected(_)) => {
-                    let _ = reply_tx.send((proto, Reply::Error("service shutting down".into())));
-                    return;
+                    append_reply(conn, proto, &Reply::Error("service shutting down".into()));
+                    conn.closing = true;
                 }
             }
             continue;
@@ -796,16 +1226,31 @@ fn serve_connection<'scope, 'env>(
         match job_tx.try_send(Job {
             proto,
             request,
-            reply_tx: reply_tx.clone(),
+            reply: handle,
         }) {
             Ok(()) => {}
             Err(mpsc::TrySendError::Full(_)) => {
-                let _ = reply_tx.send((proto, Reply::Busy));
+                append_reply(conn, proto, &Reply::Busy);
             }
             Err(mpsc::TrySendError::Disconnected(_)) => {
-                let _ = reply_tx.send((proto, Reply::Error("service shutting down".into())));
-                return;
+                append_reply(conn, proto, &Reply::Error("service shutting down".into()));
+                conn.closing = true;
             }
         }
     }
+    if pos > 0 {
+        conn.rbuf.drain(..pos);
+    }
+    if saw_eof {
+        // Frames already received were processed above (they were on the
+        // wire before the close); anything partial is abandoned.
+        conn.closing = true;
+    }
+    // Push any locally generated replies (Busy, gate rejections, errors)
+    // at the socket right away.
+    let act = flush_writes(conn);
+    if conn.wbuf.len() - conn.wpos > WBUF_CAP {
+        return Action::Drop;
+    }
+    act
 }

@@ -267,4 +267,57 @@ proptest! {
             assert!(decode_exact::<EngineState>(&bytes[..cut]).is_err());
         }
     }
+
+    /// Group-commit crash contract, schedule-randomized: under any
+    /// interleaving of `append_nosync` and `sync` (the flush windows), a
+    /// power-loss cut anywhere at or past the synced boundary recovers a
+    /// dense valid prefix containing every synced — hence every ackable —
+    /// batch. The byte-exhaustive single-schedule variant lives in the
+    /// wal unit tests; this one varies the schedule itself.
+    #[test]
+    fn group_commit_schedules_survive_any_cut(
+        ops in proptest::collection::vec(any::<bool>(), 1..24),
+        cut_frac in 0u32..=1000,
+        pt in arb_prob_tuple(),
+        seed in any::<u64>(),
+    ) {
+        let path = std::env::temp_dir().join(format!(
+            "ter_store_prop_gc_{}_{seed:016x}.log",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&path);
+        let mut wal = crate::wal::Wal::open(&path, 11).expect("open");
+        let mut appended = 0u64;
+        for &do_sync in &ops {
+            if do_sync {
+                wal.sync().expect("sync");
+            } else {
+                let arrival = Arrival {
+                    stream_id: (appended % 3) as usize,
+                    timestamp: appended,
+                    record: Record { id: appended, ..pt.base.clone() },
+                };
+                wal.append_nosync(&[arrival]).expect("append");
+                appended += 1;
+            }
+        }
+        let synced_seq = wal.synced_seq();
+        let synced_len = wal.synced_len_bytes();
+        drop(wal);
+        let full = std::fs::read(&path).expect("read wal");
+        // A crash keeps the synced prefix and an arbitrary amount of the
+        // unsynced tail.
+        let span = full.len() as u64 - synced_len;
+        let cut = synced_len + span * u64::from(cut_frac) / 1000;
+        std::fs::write(&path, &full[..cut as usize]).expect("cut");
+        let wal = crate::wal::Wal::open(&path, 11).expect("reopen");
+        prop_assert!(
+            wal.next_seq() >= synced_seq,
+            "cut at {cut} lost a synced batch ({} < {synced_seq})",
+            wal.next_seq()
+        );
+        let batches = wal.read_batches(0).expect("replay");
+        prop_assert_eq!(batches.len() as u64, wal.next_seq());
+        let _ = std::fs::remove_file(&path);
+    }
 }

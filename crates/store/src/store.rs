@@ -206,6 +206,38 @@ impl TerStore {
         self.wal.append(batch)
     }
 
+    /// The group-commit half-step: appends one batch **without** fsync.
+    /// Several appends can then share one [`TerStore::sync_wal`] — the
+    /// flush window — but none of them may be acknowledged before that
+    /// sync returns (acked ⇒ fsynced is the service's durability
+    /// contract).
+    pub fn log_batch_nosync(&mut self, batch: &[Arrival]) -> Result<u64, StoreError> {
+        self.wal.append_nosync(batch)
+    }
+
+    /// One fsync covering every [`TerStore::log_batch_nosync`] since the
+    /// last sync. No-op when nothing is pending.
+    pub fn sync_wal(&mut self) -> Result<(), StoreError> {
+        self.wal.sync()
+    }
+
+    /// Commit-path fsyncs issued so far (see [`Wal::fsyncs`]).
+    pub fn wal_fsyncs(&self) -> u64 {
+        self.wal.fsyncs()
+    }
+
+    /// Sequence the WAL's power-loss-durable prefix reaches (see
+    /// [`Wal::synced_seq`]).
+    pub fn wal_synced_seq(&self) -> u64 {
+        self.wal.synced_seq()
+    }
+
+    /// Fault-injection shim: artificial latency added to every commit
+    /// fsync (see [`Wal::set_sync_delay`]).
+    pub fn set_fsync_delay(&mut self, delay: std::time::Duration) {
+        self.wal.set_sync_delay(delay);
+    }
+
     /// Atomically installs `state` as the checkpoint at the current WAL
     /// position, flips the manifest, and applies the retention policy:
     /// checkpoints beyond `keep_checkpoints` generations are deleted, and
@@ -235,6 +267,9 @@ impl TerStore {
                 self.wal.next_seq()
             )));
         }
+        // A manifest must never name a position the log could lose: close
+        // any open flush window before the checkpoint becomes visible.
+        self.wal.sync()?;
         let name = checkpoint_file_name(wal_seq);
         let bytes = Checkpoint {
             fingerprint: self.fingerprint,

@@ -46,12 +46,16 @@ impl<T> SlidingWindow<T> {
     /// item when the window was full (Algorithm 1 lines 7–9 evict exactly
     /// this tuple from the ER-grid and result set).
     ///
+    /// Simultaneous arrivals (equal timestamps) are legal: eviction is
+    /// count-based, so ties resolve by arrival order, which the single
+    /// ordered step stage makes deterministic.
+    ///
     /// # Panics
-    /// Panics (debug builds) if timestamps are not strictly increasing.
+    /// Panics (debug builds) if timestamps decrease.
     pub fn push(&mut self, timestamp: u64, item: T) -> Option<(u64, T)> {
         debug_assert!(
-            self.buf.back().is_none_or(|(t, _)| *t < timestamp),
-            "timestamps must be strictly increasing"
+            self.buf.back().is_none_or(|(t, _)| *t <= timestamp),
+            "timestamps must be non-decreasing"
         );
         self.buf.push_back((timestamp, item));
         if self.buf.len() > self.w {
@@ -169,6 +173,16 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_capacity_panics() {
         let _: SlidingWindow<u8> = SlidingWindow::new(0);
+    }
+
+    #[test]
+    fn count_window_accepts_simultaneous_arrivals() {
+        let mut w = SlidingWindow::new(2);
+        assert_eq!(w.push(7, "a"), None);
+        assert_eq!(w.push(7, "b"), None);
+        // Ties evict in arrival order.
+        assert_eq!(w.push(7, "c"), Some((7, "a")));
+        assert_eq!(w.oldest(), Some((7, &"b")));
     }
 
     #[test]

@@ -1,0 +1,59 @@
+#!/usr/bin/env bash
+# Gate on the committed bench artifacts: every BENCH_*.json at the repo
+# root must parse as JSON and carry the provenance + honesty fields the
+# benches promise (RunStamp commit/timestamp, host_cpus, and the
+# undersubscribed flag that keeps 1-CPU containers from recording
+# misleading concurrency curves).
+#
+# Pure-bash field checks so the gate runs anywhere; `python3` (when
+# present) additionally validates that each file is well-formed JSON.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+REQUIRED_FIELDS=(bench git_commit generated_at host_cpus undersubscribed)
+
+shopt -s nullglob
+files=(BENCH_*.json)
+if [[ ${#files[@]} -eq 0 ]]; then
+    echo "check_bench_schema: no BENCH_*.json artifacts at repo root" >&2
+    exit 1
+fi
+
+fail=0
+for f in "${files[@]}"; do
+    file_ok=1
+    for field in "${REQUIRED_FIELDS[@]}"; do
+        if ! grep -q "\"${field}\":" "$f"; then
+            echo "${f}: missing required field \"${field}\"" >&2
+            file_ok=0
+        fi
+    done
+    # generated_at must be an ISO-8601 UTC stamp, not a placeholder.
+    if ! grep -Eq '"generated_at": "[0-9]{4}-[0-9]{2}-[0-9]{2}T[0-9]{2}:[0-9]{2}:[0-9]{2}Z"' "$f"; then
+        echo "${f}: generated_at is not an ISO-8601 UTC timestamp" >&2
+        file_ok=0
+    fi
+    # git_commit must be a 40-hex sha, optionally -dirty.
+    if ! grep -Eq '"git_commit": "([0-9a-f]{40}(-dirty)?|unknown)"' "$f"; then
+        echo "${f}: git_commit is not a sha (or 'unknown')" >&2
+        file_ok=0
+    fi
+    if command -v python3 >/dev/null 2>&1; then
+        if ! python3 -c "import json,sys; json.load(open(sys.argv[1]))" "$f" 2>/dev/null; then
+            echo "${f}: not valid JSON" >&2
+            file_ok=0
+        fi
+    fi
+    if [[ $file_ok -eq 1 ]]; then
+        echo "${f}: ok"
+    else
+        fail=1
+    fi
+done
+
+if [[ $fail -ne 0 ]]; then
+    echo "check_bench_schema: FAILED" >&2
+    exit 1
+fi
+echo "check_bench_schema: all ${#files[@]} artifacts conform"

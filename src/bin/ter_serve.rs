@@ -5,6 +5,8 @@
 //! ter_serve serve --dir DIR [--addr 127.0.0.1:7341] [--preset ebooks]
 //!                 [--scale 1.0] [--window 400] [--checkpoint-every 8]
 //!                 [--queue-depth 16] [--shards 8] [--threads T]
+//!                 [--io-threads 2] [--flush-window 1]
+//!                 [--flush-interval-ms 5] [--fsync-delay-ms 0]
 //! ter_serve feed  --addr ADDR [--preset ebooks] [--scale 1.0]
 //!                 [--window 400] [--batch 64] [--from auto|N]
 //!                 [--pipeline W] [--resilient] [--batches N]
@@ -47,7 +49,8 @@ fn usage() -> ! {
          \n\
          serve    --dir DIR [--addr 127.0.0.1:7341] [--preset ebooks] [--scale 1.0]\n\
          \x20        [--window 400] [--checkpoint-every 8] [--queue-depth 16]\n\
-         \x20        [--shards 8] [--threads T]\n\
+         \x20        [--shards 8] [--threads T] [--io-threads 2]\n\
+         \x20        [--flush-window 1] [--flush-interval-ms 5]\n\
          feed     --addr ADDR [--preset ebooks] [--scale 1.0] [--window 400]\n\
          \x20        [--batch 64] [--from auto|N] [--batches N] [--pipeline W]\n\
          \x20        [--resilient] [--oracle-check] [--quiet]\n\
@@ -169,6 +172,16 @@ fn cmd_serve(flags: &Flags) -> ExitCode {
         // Test-harness knob: slows the step stage so crash tests can pin
         // the daemon mid-stream deterministically. Zero in production.
         ingest_hold: Duration::from_millis(flags.parsed("ingest-hold-ms", 0)),
+        io_threads: flags.parsed("io-threads", ServeOptions::default().io_threads),
+        flush_window: flags.parsed("flush-window", ServeOptions::default().flush_window),
+        flush_interval: Duration::from_millis(flags.parsed(
+            "flush-interval-ms",
+            ServeOptions::default().flush_interval.as_millis() as u64,
+        )),
+        // Fault-injection knob: slows every WAL commit fsync so crash
+        // harnesses can reliably land a SIGKILL inside an open flush
+        // window. Zero in production.
+        fsync_delay: Duration::from_millis(flags.parsed("fsync-delay-ms", 0)),
         ..ServeOptions::default()
     };
     eprintln!(
@@ -191,12 +204,13 @@ fn cmd_serve(flags: &Flags) -> ExitCode {
     match server.run(&ctx, params, std::path::Path::new(&dir), &opts) {
         Ok(report) => {
             println!(
-                "shutdown: resumed_at={} replayed={} batches={} arrivals={} checkpoints={}",
+                "shutdown: resumed_at={} replayed={} batches={} arrivals={} checkpoints={} fsyncs={}",
                 report.resumed_at,
                 report.replayed,
                 report.batches,
                 report.arrivals,
-                report.checkpoints
+                report.checkpoints,
+                report.fsyncs
             );
             ExitCode::SUCCESS
         }

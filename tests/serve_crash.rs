@@ -13,180 +13,22 @@
 //!    bit-identical to a never-crashed in-process
 //!    `ShardedTerIdsEngine` run over the same preset.
 //!
-//! A second scenario kills the daemon *while requests are in flight* and
-//! checks the WAL-before-ack guarantee: every batch a client saw acked
-//! survives the kill, and the final state still converges to the oracle.
+//! Further scenarios kill the daemon *while requests are in flight* —
+//! including with group commit holding a multi-batch flush window open —
+//! and check the WAL-before-ack guarantee: every batch a client saw
+//! acked survives the kill, and the final state still converges to the
+//! oracle.
 
-use std::io::{BufRead, BufReader};
-use std::net::SocketAddr;
-use std::path::{Path, PathBuf};
-use std::process::{Child, Command, Stdio};
-use std::sync::mpsc;
+mod harness;
+
+use std::net::TcpStream;
 use std::time::Duration;
 
-use ter_datasets::{preset, GenOptions, Preset};
-use ter_exec::{ExecConfig, ShardedTerIdsEngine};
-use ter_ids::{ErProcessor, Params, PruningMode, TerContext};
-use ter_repo::PivotConfig;
-use ter_rules::DiscoveryConfig;
-use ter_serve::{Client, ResilientClient};
-use ter_stream::{Arrival, StreamSet};
-
-/// Must match the CLI flags below — both processes must derive the same
-/// dataset and engine identity or the store fingerprint refuses.
-const PRESET: &str = "citations";
-const SCALE: f64 = 0.2;
-const WINDOW: usize = 60;
-const BATCH: usize = 8;
-
-struct TempDir(PathBuf);
-
-impl TempDir {
-    fn new(tag: &str) -> Self {
-        let p = std::env::temp_dir().join(format!("ter_serve_crash_{}_{tag}", std::process::id()));
-        let _ = std::fs::remove_dir_all(&p);
-        std::fs::create_dir_all(&p).unwrap();
-        Self(p)
-    }
-    fn path(&self) -> &Path {
-        &self.0
-    }
-}
-
-impl Drop for TempDir {
-    fn drop(&mut self) {
-        let _ = std::fs::remove_dir_all(&self.0);
-    }
-}
-
-/// A running daemon child whose kill/wait is cleaned up even on panic.
-struct Daemon {
-    child: Child,
-    addr: SocketAddr,
-}
-
-impl Daemon {
-    /// Spawns the actual `ter_serve` binary on an ephemeral port and
-    /// scrapes `LISTENING <addr>` from its stdout. `extra` appends
-    /// scenario-specific flags (e.g. the step-stage hold that pins a
-    /// daemon mid-stream for a deterministic kill).
-    fn spawn(dir: &Path, extra: &[&str]) -> Self {
-        let mut child = Command::new(env!("CARGO_BIN_EXE_ter_serve"))
-            .args([
-                "serve",
-                "--dir",
-                dir.to_str().unwrap(),
-                "--addr",
-                "127.0.0.1:0",
-                "--preset",
-                PRESET,
-                "--scale",
-                &SCALE.to_string(),
-                "--window",
-                &WINDOW.to_string(),
-                "--checkpoint-every",
-                "4",
-                "--shards",
-                "4",
-                "--threads",
-                "2",
-            ])
-            .args(extra)
-            .stdout(Stdio::piped())
-            .spawn()
-            .expect("spawn ter_serve");
-        let stdout = child.stdout.take().expect("piped stdout");
-        // Scrape the address on a thread so a wedged daemon fails the test
-        // with a timeout instead of hanging it.
-        let (tx, rx) = mpsc::channel();
-        std::thread::spawn(move || {
-            let mut reader = BufReader::new(stdout);
-            let mut line = String::new();
-            while reader.read_line(&mut line).unwrap_or(0) > 0 {
-                if let Some(addr) = line.trim().strip_prefix("LISTENING ") {
-                    let _ = tx.send(addr.to_string());
-                    break;
-                }
-                line.clear();
-            }
-            // Keep draining so the daemon never blocks on a full pipe.
-            let mut sink = String::new();
-            while reader.read_line(&mut sink).unwrap_or(0) > 0 {
-                sink.clear();
-            }
-        });
-        let addr: SocketAddr = rx
-            .recv_timeout(Duration::from_secs(120))
-            .expect("daemon did not print LISTENING in time")
-            .parse()
-            .expect("parse LISTENING address");
-        Self { child, addr }
-    }
-
-    fn client(&self) -> Client {
-        Client::connect_retry(self.addr, Duration::from_secs(30)).expect("connect to daemon")
-    }
-
-    /// SIGKILL — the point of the exercise.
-    fn kill9(mut self) {
-        self.child.kill().expect("SIGKILL daemon");
-        self.child.wait().expect("reap daemon");
-    }
-
-    /// Waits for a clean exit after a graceful client shutdown.
-    fn wait_graceful(mut self) {
-        let status = self.child.wait().expect("wait daemon");
-        assert!(status.success(), "daemon exited with {status}");
-    }
-}
-
-impl Drop for Daemon {
-    fn drop(&mut self) {
-        let _ = self.child.kill();
-        let _ = self.child.wait();
-    }
-}
-
-/// The same deterministic dataset + context the CLI builds from the same
-/// flags.
-fn build_oracle_inputs() -> (TerContext, StreamSet, Params) {
-    let ds = preset(
-        Preset::Citations,
-        &GenOptions {
-            scale: SCALE,
-            ..GenOptions::default()
-        },
-    );
-    let params = Params {
-        window: WINDOW,
-        ..Params::default()
-    };
-    let keywords = ds.keywords();
-    let ctx = TerContext::build(
-        ds.repo.clone(),
-        keywords,
-        &PivotConfig::default(),
-        &DiscoveryConfig::default(),
-        params.fanout,
-    );
-    (ctx, ds.streams, params)
-}
-
-/// A never-crashed in-process `ShardedTerIdsEngine` run: per-arrival
-/// match lists plus the final engine.
-fn oracle_run<'a>(
-    ctx: &'a TerContext,
-    params: Params,
-    batches: &[Vec<Arrival>],
-) -> (Vec<Vec<(u64, u64)>>, ShardedTerIdsEngine<'a>) {
-    let mut engine =
-        ShardedTerIdsEngine::new(ctx, params, PruningMode::Full, ExecConfig::new(4, 2));
-    let mut per_arrival = Vec::new();
-    for b in batches {
-        per_arrival.extend(engine.step_batch(b).into_iter().map(|o| o.new_matches));
-    }
-    (per_arrival, engine)
-}
+use harness::{build_oracle_inputs, oracle_run, Daemon, TempDir, BATCH};
+use ter_ids::ErProcessor;
+use ter_serve::wire::{encode_ingest_seq, read_message, write_message};
+use ter_serve::{Client, Reply, ResilientClient};
+use ter_stream::Arrival;
 
 /// Feeds a batch slice either strictly request/reply (`window == 1`) or
 /// through the pipelined v2 driver, returning the concatenated
@@ -402,6 +244,111 @@ fn sigkill_mid_flight_loses_no_acked_batch() {
     }
     let stats = client.stats().expect("final stats");
     assert_eq!(stats.stats, oracle.prune_stats(), "pruning statistics");
+    let window = client.window().expect("window");
+    assert_eq!(window.live_ids, oracle.live_ids());
+    client.shutdown().expect("shutdown");
+    daemon.wait_graceful();
+}
+
+/// A hand-rolled go-back-N pipelined feeder that counts *individual*
+/// acks, so a kill can be checked against exactly what the client saw.
+/// Returns the number of in-order `IngestAck`s received before the
+/// connection died (or the full count on success).
+fn counting_pipelined_feed(
+    addr: std::net::SocketAddr,
+    batches: &[Vec<Arrival>],
+    window: usize,
+) -> u64 {
+    let stream = TcpStream::connect(addr).expect("feeder connect");
+    let mut reader = stream.try_clone().expect("clone stream");
+    let mut writer = stream;
+    let mut acked = 0usize;
+    let mut next_send = 0usize;
+    while acked < batches.len() {
+        while next_send < batches.len() && next_send - acked < window {
+            let frame = encode_ingest_seq(next_send as u64, &batches[next_send]);
+            if write_message(&mut writer, &frame).is_err() {
+                return acked as u64;
+            }
+            next_send += 1;
+        }
+        let Ok(payload) = read_message(&mut reader) else {
+            return acked as u64;
+        };
+        match ter_serve::wire::decode_reply(&payload) {
+            Ok(Reply::IngestAck { seq, .. }) if seq == acked as u64 => acked += 1,
+            // Go-back-N: the daemon rejected `seq` (and will reject the
+            // tail behind it); rewind and resend from there.
+            Ok(Reply::IngestBusy { seq }) if seq >= acked as u64 => {
+                next_send = seq as usize;
+            }
+            Ok(Reply::IngestBusy { .. }) => {} // stale rejection of an acked seq
+            _ => return acked as u64,
+        }
+    }
+    acked as u64
+}
+
+/// Uncontrolled kill in the middle of an *open flush window*: group
+/// commit (`--flush-window 8`) holds several appended-but-unsynced
+/// batches while a pipelined feeder keeps the window full, and the
+/// artificial fsync latency widens the vulnerable interval. Whatever the
+/// client saw acked must still be on disk after the kill — group commit
+/// may delay acks, but it must never release one before the covering
+/// fsync. The refeed then converges to the oracle bit-identically.
+#[test]
+fn sigkill_mid_flush_window_never_loses_acked_batch() {
+    let (ctx, streams, params) = build_oracle_inputs();
+    let batches = streams.arrival_batches(BATCH);
+    let (_, oracle) = oracle_run(&ctx, params, &batches);
+
+    let dir = TempDir::new("midwindow");
+    // No cadence checkpoints: each would force a flush and shrink the
+    // open window the kill is aimed at. Recovery replays the WAL alone.
+    let daemon = Daemon::spawn(
+        dir.path(),
+        &[
+            "--checkpoint-every",
+            "0",
+            "--flush-window",
+            "8",
+            "--flush-interval-ms",
+            "50",
+            "--fsync-delay-ms",
+            "10",
+            "--queue-depth",
+            "32",
+        ],
+    );
+
+    let addr = daemon.addr;
+    let feeder_batches = batches.clone();
+    let feeder = std::thread::spawn(move || counting_pipelined_feed(addr, &feeder_batches, 8));
+    // Strike while flush windows are filling and fsyncs are slow.
+    std::thread::sleep(Duration::from_millis(60));
+    daemon.kill9();
+    let acked = feeder.join().expect("feeder");
+
+    let daemon = Daemon::spawn(dir.path(), &[]);
+    let mut client = daemon.client();
+    let committed = client.stats().expect("stats").next_batch_seq;
+    assert!(
+        committed >= acked,
+        "client saw {acked} acks but only {committed} batches survived the kill \
+         — group commit released an ack before its covering fsync"
+    );
+    assert!(
+        committed <= batches.len() as u64,
+        "more batches committed than were ever sent"
+    );
+    // Finish the stream from the committed position; full final-state
+    // convergence with the never-crashed oracle.
+    for batch in &batches[committed as usize..] {
+        client.ingest_wait(batch).expect("ingest after restart");
+    }
+    let stats = client.stats().expect("final stats");
+    assert_eq!(stats.stats, oracle.prune_stats(), "pruning statistics");
+    assert_eq!(stats.next_batch_seq, batches.len() as u64);
     let window = client.window().expect("window");
     assert_eq!(window.live_ids, oracle.live_ids());
     client.shutdown().expect("shutdown");

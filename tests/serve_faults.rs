@@ -1,0 +1,171 @@
+//! Fault injection against the serve store stage, in-process so the
+//! fault shims ([`ServeOptions::fsync_delay`], a poisoned checkpoint
+//! path) can be aimed precisely:
+//!
+//! 1. **Slow fsync** — with artificial latency injected into the WAL
+//!    sync path, an ingest ack must not return before the covering
+//!    fsync's latency has elapsed: group commit never acks an unsynced
+//!    batch, even when syncing is arbitrarily slow.
+//! 2. **Checkpoint write failure** — a directory squatting on the
+//!    checkpoint's temp path makes the atomic write fail like a full or
+//!    broken disk. The verb must fail loudly, the daemon must keep
+//!    serving, and a restart must recover every acked batch from the
+//!    WAL.
+
+mod harness;
+
+use std::time::{Duration, Instant};
+
+use harness::{build_oracle_inputs, oracle_run, TempDir, BATCH};
+use ter_ids::ErProcessor;
+use ter_serve::{Client, ClientError, ServeOptions, Server};
+use ter_store::checkpoint::checkpoint_file_name;
+
+fn opts() -> ServeOptions {
+    ServeOptions {
+        queue_depth: 8,
+        checkpoint_every: 0, // checkpoints only where the scenario says
+        ..ServeOptions::default()
+    }
+}
+
+/// Acks must wait out the fsync, however slow the disk: with a 150 ms
+/// sync shim and `flush_window = 1`, every ingest round trip is bounded
+/// below by the shim. A same-session control run without the shim
+/// confirms the gap is the fsync, not the engine.
+#[test]
+fn slow_fsync_shim_delays_acks_until_durable() {
+    const SHIM: Duration = Duration::from_millis(150);
+    let (ctx, streams, params) = build_oracle_inputs();
+    let batches = streams.arrival_batches(BATCH);
+    let probe = &batches[..3];
+
+    // ---- control: no shim ----
+    let dir = TempDir::new("fault_fsync_ctl");
+    let server = Server::bind("127.0.0.1:0").unwrap();
+    let addr = server.addr().unwrap();
+    let control_opts = opts();
+    let control = std::thread::scope(|scope| {
+        let handle = scope.spawn(|| server.run(&ctx, params, dir.path(), &control_opts).unwrap());
+        let mut client = Client::connect_retry(addr, Duration::from_secs(5)).unwrap();
+        let started = Instant::now();
+        for batch in probe {
+            client.ingest_wait(batch).unwrap();
+        }
+        let elapsed = started.elapsed();
+        client.shutdown().unwrap();
+        handle.join().unwrap();
+        elapsed
+    });
+
+    // ---- shimmed: every commit fsync takes ≥ SHIM ----
+    let dir = TempDir::new("fault_fsync_shim");
+    let server = Server::bind("127.0.0.1:0").unwrap();
+    let addr = server.addr().unwrap();
+    let shim_opts = ServeOptions {
+        fsync_delay: SHIM,
+        ..opts()
+    };
+    std::thread::scope(|scope| {
+        let handle = scope.spawn(|| server.run(&ctx, params, dir.path(), &shim_opts).unwrap());
+        let mut client = Client::connect_retry(addr, Duration::from_secs(5)).unwrap();
+        for (i, batch) in probe.iter().enumerate() {
+            let started = Instant::now();
+            client.ingest_wait(batch).unwrap();
+            let elapsed = started.elapsed();
+            assert!(
+                elapsed >= SHIM,
+                "batch {i} acked after {elapsed:?} — before its {SHIM:?} fsync \
+                 finished: the ack outran durability"
+            );
+        }
+        client.shutdown().unwrap();
+        let report = handle.join().unwrap();
+        assert_eq!(report.batches, probe.len() as u64);
+        assert!(
+            report.fsyncs >= probe.len() as u64,
+            "flush_window=1 must fsync per batch"
+        );
+    });
+    assert!(
+        control < SHIM,
+        "control round trips took {control:?} — too slow to attribute the \
+         shimmed latency to the fsync path"
+    );
+}
+
+/// A checkpoint that cannot be written (its temp path is occupied by a
+/// directory — the same `File::create` failure a full disk produces)
+/// must fail the verb, poison nothing else, and lose no acked batch
+/// across a restart.
+#[test]
+fn checkpoint_write_failure_keeps_serving_and_loses_nothing() {
+    let (ctx, streams, params) = build_oracle_inputs();
+    let batches = streams.arrival_batches(BATCH);
+    assert!(batches.len() >= 6, "stream too short for the scenario");
+    let (_, oracle) = oracle_run(&ctx, params, &batches[..6]);
+    let dir = TempDir::new("fault_ckpt");
+
+    // The explicit checkpoint below will be stamped at wal_seq = 4, so
+    // its atomic write lands on `<name>.tmp` first — squat on that path.
+    let tmp_path = dir
+        .path()
+        .join(checkpoint_file_name(4))
+        .with_extension("tmp");
+    std::fs::create_dir_all(&tmp_path).unwrap();
+
+    let server = Server::bind("127.0.0.1:0").unwrap();
+    let addr = server.addr().unwrap();
+    let run_opts = ServeOptions {
+        flush_window: 2,
+        flush_interval: Duration::from_millis(5),
+        ..opts()
+    };
+    std::thread::scope(|scope| {
+        let handle = scope.spawn(|| server.run(&ctx, params, dir.path(), &run_opts).unwrap());
+        let mut client = Client::connect_retry(addr, Duration::from_secs(5)).unwrap();
+        for batch in &batches[..4] {
+            client.ingest_wait(batch).unwrap();
+        }
+        // The poisoned checkpoint: the verb fails, loudly.
+        match client.checkpoint() {
+            Err(ClientError::Server(msg)) => {
+                assert!(
+                    msg.contains("checkpoint failed"),
+                    "unexpected error shape: {msg}"
+                );
+            }
+            other => panic!("checkpoint over a poisoned path returned {other:?}"),
+        }
+        // The daemon is not poisoned: ingest and queries keep working…
+        for batch in &batches[4..6] {
+            client.ingest_wait(batch).unwrap();
+        }
+        let stats = client.stats().unwrap();
+        assert_eq!(stats.next_batch_seq, 6);
+        // …and the WAL still covers every acked batch. Kill the daemon
+        // the hard way (drop the listener via shutdown with the squatter
+        // still in place — the shutdown checkpoint lands at seq 6 and
+        // must succeed).
+        client.shutdown().unwrap();
+        let report = handle.join().unwrap();
+        assert_eq!(report.batches, 6);
+        assert_eq!(report.checkpoints, 1, "only the shutdown checkpoint");
+    });
+
+    // Restart on the same directory: every acked batch is there.
+    let server = Server::bind("127.0.0.1:0").unwrap();
+    let addr = server.addr().unwrap();
+    let reopen_opts = opts();
+    std::thread::scope(|scope| {
+        let handle = scope.spawn(|| server.run(&ctx, params, dir.path(), &reopen_opts).unwrap());
+        let mut client = Client::connect_retry(addr, Duration::from_secs(5)).unwrap();
+        let stats = client.stats().unwrap();
+        assert_eq!(stats.next_batch_seq, 6, "acked batches lost across restart");
+        assert_eq!(stats.stats, oracle.prune_stats(), "pruning statistics");
+        let window = client.window().unwrap();
+        assert_eq!(window.live_ids, oracle.live_ids());
+        client.shutdown().unwrap();
+        handle.join().unwrap();
+    });
+}

@@ -1,0 +1,145 @@
+//! Connection-scalability soak for the event-driven front end: a herd of
+//! standing connections plus connect/query/disconnect churn, all while a
+//! single ordered feeder drives the full preset stream.
+//!
+//! The gates:
+//!
+//! 1. **Bounded threads** — the daemon serves `TER_SOAK_CONNS`
+//!    connections (default 64; CI's soak leg sets 256) on a fixed I/O
+//!    pool, so its OS thread count (scraped from `/proc/<pid>/status`)
+//!    must stay far below the connection count and never scale with it.
+//! 2. **Stats parity** — after the soak, final pruning statistics and
+//!    window contents are bit-identical to a never-crashed in-process
+//!    oracle run: thousands of interleaved queries and connection churn
+//!    perturbed nothing.
+//!
+//! Ingest stays on ONE ordered connection — the engine's contract is a
+//! single total order of arrivals — while the churn herd exercises the
+//! front end with read-only verbs, exactly the deployment shape the
+//! README documents.
+//!
+//! Linux-only: the thread gate reads `/proc`.
+#![cfg(target_os = "linux")]
+
+mod harness;
+
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+
+use harness::{build_oracle_inputs, oracle_run, Daemon, TempDir, BATCH};
+use ter_ids::ErProcessor;
+
+/// Reads `Threads:` from `/proc/<pid>/status`.
+fn thread_count(pid: u32) -> usize {
+    let status = std::fs::read_to_string(format!("/proc/{pid}/status")).expect("read proc status");
+    status
+        .lines()
+        .find_map(|l| l.strip_prefix("Threads:"))
+        .expect("Threads: line")
+        .trim()
+        .parse()
+        .expect("parse thread count")
+}
+
+fn soak_conns() -> usize {
+    std::env::var("TER_SOAK_CONNS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(64)
+}
+
+/// The front end must serve `TER_SOAK_CONNS` concurrent connections on a
+/// bounded thread pool with zero effect on engine output.
+#[test]
+fn soak_connections_bounded_threads_and_oracle_parity() {
+    let conns = soak_conns();
+    let (ctx, streams, params) = build_oracle_inputs();
+    let batches = streams.arrival_batches(BATCH);
+    let (_, oracle) = oracle_run(&ctx, params, &batches);
+
+    let dir = TempDir::new("soak");
+    let daemon = Daemon::spawn(
+        dir.path(),
+        &[
+            "--io-threads",
+            "2",
+            "--flush-window",
+            "4",
+            "--flush-interval-ms",
+            "5",
+        ],
+    );
+    let addr = daemon.addr;
+    let baseline = thread_count(daemon.pid());
+
+    // ---- the standing herd: idle connections that just sit there ----
+    let idle: Vec<TcpStream> = (0..conns)
+        .map(|_| TcpStream::connect(addr).expect("idle connect"))
+        .collect();
+
+    // ---- churn + queries while the feeder drives the stream ----
+    let stop = AtomicBool::new(false);
+    let (served_stats, peak_threads) = std::thread::scope(|scope| {
+        // Churners: connect, issue read-only verbs, disconnect, repeat —
+        // admission and teardown under load, interleaved with the feed.
+        for _ in 0..4 {
+            scope.spawn(|| {
+                while !stop.load(Ordering::Relaxed) {
+                    let mut c = daemon.client();
+                    let _ = c.window().expect("window query");
+                    let _ = c.stats().expect("stats query");
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+            });
+        }
+        // The single ordered feeder — the engine's ingest contract.
+        let feeder = scope.spawn(|| {
+            let mut c = daemon.client();
+            for batch in &batches {
+                c.ingest_wait(batch).expect("soak ingest");
+            }
+            c.stats().expect("final stats")
+        });
+        // Thread gate while the herd stands and the feed runs.
+        let mut peak = 0usize;
+        while !feeder.is_finished() {
+            peak = peak.max(thread_count(daemon.pid()));
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        peak = peak.max(thread_count(daemon.pid()));
+        let served_stats = feeder.join().expect("feeder");
+        stop.store(true, Ordering::Relaxed);
+        (served_stats, peak)
+    });
+
+    // The pool is fixed: engine + commit + acceptor + 2 I/O + worker
+    // threads. 16 is generous headroom for all of those and still orders
+    // of magnitude below a thread-per-connection front end at 256 conns.
+    assert!(
+        peak_threads <= 16,
+        "daemon used {peak_threads} threads under {conns} connections \
+         (baseline {baseline}) — the front end is scaling threads with connections"
+    );
+    assert!(
+        conns > 16,
+        "soak misconfigured: TER_SOAK_CONNS={conns} cannot distinguish \
+         a bounded pool from thread-per-connection"
+    );
+
+    // ---- oracle parity: the churn perturbed nothing ----
+    assert_eq!(served_stats.next_batch_seq, batches.len() as u64);
+    assert_eq!(
+        served_stats.stats,
+        oracle.prune_stats(),
+        "pruning statistics"
+    );
+    let mut client = daemon.client();
+    let window = client.window().expect("window");
+    assert_eq!(window.len, oracle.window_len());
+    assert_eq!(window.live_ids, oracle.live_ids());
+
+    drop(idle);
+    client.shutdown().expect("graceful shutdown");
+    daemon.wait_graceful();
+}

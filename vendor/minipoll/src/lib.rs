@@ -1,0 +1,507 @@
+//! A minimal readiness poller: `poll(2)` + non-blocking sockets + a
+//! cross-thread waker, with no dependencies.
+//!
+//! This is the offline stand-in for the usual readiness crates (mio,
+//! polling): the workspace vendors exactly the surface its event-driven
+//! connection front end needs.
+//!
+//! * [`Poller`] — register file descriptors under caller-chosen tokens
+//!   with a read/write [`Interest`], then [`Poller::wait`] for
+//!   [`Event`]s. Level-triggered: a readable fd keeps reporting readable
+//!   until drained, so a handler that stops early is re-driven on the
+//!   next wait instead of hanging.
+//! * [`Waker`] / [`WakeReceiver`] — a self-pipe built from a socket
+//!   pair. Any thread holding the (cloneable) `Waker` can interrupt a
+//!   blocked `wait` on the loop that registered the receiver.
+//!
+//! On unix this wraps `poll(2)` directly (one tiny `extern "C"`
+//! declaration — libc is always linked). On other platforms a degraded
+//! busy-poll fallback reports every registered fd as ready after a short
+//! sleep; correct (callers must handle `WouldBlock` anyway, this being a
+//! level-triggered API) but not efficient — the daemon targets unix.
+
+use std::io;
+use std::time::Duration;
+
+/// What to watch a registered fd for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interest {
+    /// Report when a read would not block (includes EOF/hangup).
+    pub readable: bool,
+    /// Report when a write would not block.
+    pub writable: bool,
+}
+
+impl Interest {
+    /// Read-only interest.
+    pub const READABLE: Interest = Interest {
+        readable: true,
+        writable: false,
+    };
+
+    /// Read + write interest.
+    pub const BOTH: Interest = Interest {
+        readable: true,
+        writable: true,
+    };
+}
+
+/// One readiness report from [`Poller::wait`].
+#[derive(Debug, Clone, Copy)]
+pub struct Event {
+    /// The token the fd was registered under.
+    pub token: u64,
+    /// A read would not block.
+    pub readable: bool,
+    /// A write would not block.
+    pub writable: bool,
+    /// The peer hung up or the fd is in an error state; the owner should
+    /// read to EOF (readable is forced on) and drop the connection.
+    pub closed: bool,
+}
+
+/// The raw fd type the poller registers. Aliased so call sites stay
+/// platform-neutral.
+#[cfg(unix)]
+pub type RawFd = std::os::unix::io::RawFd;
+/// Fallback fd type on non-unix hosts (see the module docs).
+#[cfg(not(unix))]
+pub type RawFd = i64;
+
+struct Registration {
+    fd: RawFd,
+    token: u64,
+    interest: Interest,
+}
+
+/// A level-triggered readiness poller over raw fds. Not a reactor: it
+/// owns no sockets and runs no threads; one I/O loop owns one `Poller`
+/// and drives it from its own thread.
+pub struct Poller {
+    regs: Vec<Registration>,
+}
+
+impl Default for Poller {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Poller {
+    /// An empty poller.
+    pub fn new() -> Self {
+        Self { regs: Vec::new() }
+    }
+
+    /// Watches `fd` under `token`. Re-registering a live token replaces
+    /// its fd and interest. The caller keeps ownership of the fd and must
+    /// [`Poller::deregister`] it before closing it.
+    pub fn register(&mut self, fd: RawFd, token: u64, interest: Interest) {
+        if let Some(r) = self.regs.iter_mut().find(|r| r.token == token) {
+            r.fd = fd;
+            r.interest = interest;
+        } else {
+            self.regs.push(Registration {
+                fd,
+                token,
+                interest,
+            });
+        }
+    }
+
+    /// Changes a live token's interest. Returns `false` for an unknown
+    /// token.
+    pub fn modify(&mut self, token: u64, interest: Interest) -> bool {
+        match self.regs.iter_mut().find(|r| r.token == token) {
+            Some(r) => {
+                r.interest = interest;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Stops watching `token`. Returns `false` for an unknown token.
+    pub fn deregister(&mut self, token: u64) -> bool {
+        let before = self.regs.len();
+        self.regs.retain(|r| r.token != token);
+        self.regs.len() != before
+    }
+
+    /// Number of registered fds.
+    pub fn len(&self) -> usize {
+        self.regs.len()
+    }
+
+    /// Whether nothing is registered.
+    pub fn is_empty(&self) -> bool {
+        self.regs.is_empty()
+    }
+
+    /// Blocks until at least one registered fd is ready, the timeout
+    /// elapses (`None` = forever), or a signal interrupts the call.
+    /// Clears and refills `events`; returns the number of events. An
+    /// interrupted or timed-out wait returns `Ok(0)` — callers loop.
+    pub fn wait(
+        &mut self,
+        events: &mut Vec<Event>,
+        timeout: Option<Duration>,
+    ) -> io::Result<usize> {
+        events.clear();
+        sys::wait(&self.regs, events, timeout)?;
+        Ok(events.len())
+    }
+}
+
+pub use sys::{WakeReceiver, Waker};
+
+#[cfg(unix)]
+mod sys {
+    use super::{Event, Registration};
+    use std::io::{self, Read, Write};
+    use std::os::unix::io::AsRawFd;
+    use std::os::unix::net::UnixStream;
+    use std::time::Duration;
+
+    #[repr(C)]
+    struct PollFd {
+        fd: i32,
+        events: i16,
+        revents: i16,
+    }
+
+    const POLLIN: i16 = 0x001;
+    const POLLOUT: i16 = 0x004;
+    const POLLERR: i16 = 0x008;
+    const POLLHUP: i16 = 0x010;
+    const POLLNVAL: i16 = 0x020;
+
+    #[cfg(target_os = "macos")]
+    type Nfds = u32;
+    #[cfg(not(target_os = "macos"))]
+    type Nfds = core::ffi::c_ulong;
+
+    extern "C" {
+        fn poll(fds: *mut PollFd, nfds: Nfds, timeout_ms: i32) -> i32;
+    }
+
+    pub(super) fn wait(
+        regs: &[Registration],
+        events: &mut Vec<Event>,
+        timeout: Option<Duration>,
+    ) -> io::Result<()> {
+        let mut fds: Vec<PollFd> = regs
+            .iter()
+            .map(|r| PollFd {
+                fd: r.fd,
+                events: if r.interest.readable { POLLIN } else { 0 }
+                    | if r.interest.writable { POLLOUT } else { 0 },
+                revents: 0,
+            })
+            .collect();
+        let timeout_ms: i32 = match timeout {
+            // poll(2) takes i32 milliseconds; saturate long waits.
+            Some(t) => t.as_millis().min(i32::MAX as u128) as i32,
+            None => -1,
+        };
+        let rc = unsafe { poll(fds.as_mut_ptr(), fds.len() as Nfds, timeout_ms) };
+        if rc < 0 {
+            let err = io::Error::last_os_error();
+            if err.kind() == io::ErrorKind::Interrupted {
+                return Ok(()); // spurious wakeup; callers loop
+            }
+            return Err(err);
+        }
+        for (reg, fd) in regs.iter().zip(&fds) {
+            let closed = fd.revents & (POLLERR | POLLHUP | POLLNVAL) != 0;
+            let readable = fd.revents & POLLIN != 0 || closed;
+            let writable = fd.revents & POLLOUT != 0;
+            if readable || writable || closed {
+                events.push(Event {
+                    token: reg.token,
+                    readable,
+                    writable,
+                    closed,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// The wake-sending half of a self-pipe: cloneable, sendable, and
+    /// safe to fire from any thread. Waking an already-pending receiver
+    /// is a no-op, so wakes never block or accumulate.
+    #[derive(Debug)]
+    pub struct Waker {
+        tx: UnixStream,
+    }
+
+    impl Waker {
+        /// Interrupts the poll loop that registered the paired receiver.
+        pub fn wake(&self) -> io::Result<()> {
+            // `Write` is implemented for `&UnixStream`, so a shared Waker
+            // (e.g. behind an Arc) can wake without locking.
+            match (&self.tx).write(&[1u8]) {
+                Ok(_) => Ok(()),
+                // Pipe full = a wake is already pending: mission
+                // accomplished.
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => Ok(()),
+                Err(e) => Err(e),
+            }
+        }
+
+        /// An independent handle to the same receiver.
+        pub fn try_clone(&self) -> io::Result<Waker> {
+            Ok(Waker {
+                tx: self.tx.try_clone()?,
+            })
+        }
+    }
+
+    /// The wake-receiving half: register [`WakeReceiver::as_raw_fd`] in
+    /// the poller (readable interest) and [`WakeReceiver::drain`] it when
+    /// its token reports ready.
+    #[derive(Debug)]
+    pub struct WakeReceiver {
+        rx: UnixStream,
+    }
+
+    impl WakeReceiver {
+        /// Builds a connected waker pair.
+        pub fn pair() -> io::Result<(Waker, WakeReceiver)> {
+            let (tx, rx) = UnixStream::pair()?;
+            tx.set_nonblocking(true)?;
+            rx.set_nonblocking(true)?;
+            Ok((Waker { tx }, WakeReceiver { rx }))
+        }
+
+        /// The fd to register in a [`super::Poller`].
+        pub fn as_raw_fd(&self) -> super::RawFd {
+            self.rx.as_raw_fd()
+        }
+
+        /// Consumes every pending wake byte (level-triggered: without the
+        /// drain the poller would spin on the pipe).
+        pub fn drain(&mut self) {
+            let mut buf = [0u8; 64];
+            loop {
+                match self.rx.read(&mut buf) {
+                    Ok(0) => return,
+                    Ok(_) => continue,
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                    Err(_) => return, // WouldBlock: drained
+                }
+            }
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod sys {
+    use super::{Event, Registration};
+    use std::io;
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    /// Degraded fallback: report everything ready after a short sleep.
+    /// Callers already treat readiness as a hint (level-triggered API +
+    /// WouldBlock handling), so this stays correct, just busy.
+    pub(super) fn wait(
+        regs: &[Registration],
+        events: &mut Vec<Event>,
+        timeout: Option<Duration>,
+    ) -> io::Result<()> {
+        let nap = timeout.unwrap_or(Duration::from_millis(10));
+        std::thread::sleep(nap.min(Duration::from_millis(10)));
+        for reg in regs {
+            events.push(Event {
+                token: reg.token,
+                readable: true,
+                writable: true,
+                closed: false,
+            });
+        }
+        Ok(())
+    }
+
+    /// Flag-based waker for the fallback poller (which never blocks long
+    /// enough to need a real pipe).
+    #[derive(Debug)]
+    pub struct Waker {
+        flag: Arc<AtomicBool>,
+    }
+
+    impl Waker {
+        pub fn wake(&self) -> io::Result<()> {
+            self.flag.store(true, Ordering::Release);
+            Ok(())
+        }
+
+        pub fn try_clone(&self) -> io::Result<Waker> {
+            Ok(Waker {
+                flag: Arc::clone(&self.flag),
+            })
+        }
+    }
+
+    #[derive(Debug)]
+    pub struct WakeReceiver {
+        flag: Arc<AtomicBool>,
+    }
+
+    impl WakeReceiver {
+        pub fn pair() -> io::Result<(Waker, WakeReceiver)> {
+            let flag = Arc::new(AtomicBool::new(false));
+            Ok((
+                Waker {
+                    flag: Arc::clone(&flag),
+                },
+                WakeReceiver { flag },
+            ))
+        }
+
+        pub fn as_raw_fd(&self) -> super::RawFd {
+            -1
+        }
+
+        pub fn drain(&mut self) {
+            self.flag.store(false, Ordering::Release);
+        }
+    }
+}
+
+#[cfg(all(test, unix))]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::net::{TcpListener, TcpStream};
+    use std::os::unix::io::AsRawFd;
+    use std::time::Instant;
+
+    fn tcp_pair() -> (TcpStream, TcpStream) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let a = TcpStream::connect(addr).unwrap();
+        let (b, _) = listener.accept().unwrap();
+        (a, b)
+    }
+
+    #[test]
+    fn readable_only_when_data_arrives() {
+        let (mut a, b) = tcp_pair();
+        b.set_nonblocking(true).unwrap();
+        let mut poller = Poller::new();
+        poller.register(b.as_raw_fd(), 7, Interest::READABLE);
+        let mut events = Vec::new();
+
+        let n = poller
+            .wait(&mut events, Some(Duration::from_millis(20)))
+            .unwrap();
+        assert_eq!(n, 0, "idle socket must not report readable");
+
+        a.write_all(b"hi").unwrap();
+        let n = poller
+            .wait(&mut events, Some(Duration::from_secs(2)))
+            .unwrap();
+        assert_eq!(n, 1);
+        assert_eq!(events[0].token, 7);
+        assert!(events[0].readable && !events[0].closed);
+    }
+
+    #[test]
+    fn hangup_reports_closed_and_readable() {
+        let (a, b) = tcp_pair();
+        b.set_nonblocking(true).unwrap();
+        let mut poller = Poller::new();
+        poller.register(b.as_raw_fd(), 1, Interest::READABLE);
+        drop(a);
+        let mut events = Vec::new();
+        poller
+            .wait(&mut events, Some(Duration::from_secs(2)))
+            .unwrap();
+        assert_eq!(events.len(), 1);
+        // A close may surface as POLLIN-with-EOF or POLLHUP depending on
+        // the kernel; either way the owner must be told to read.
+        assert!(events[0].readable);
+        let mut buf = [0u8; 8];
+        assert_eq!((&b).read(&mut buf).unwrap(), 0, "read must see EOF");
+    }
+
+    #[test]
+    fn writable_interest_and_modify() {
+        let (_a, b) = tcp_pair();
+        b.set_nonblocking(true).unwrap();
+        let mut poller = Poller::new();
+        poller.register(b.as_raw_fd(), 3, Interest::BOTH);
+        let mut events = Vec::new();
+        poller
+            .wait(&mut events, Some(Duration::from_secs(2)))
+            .unwrap();
+        assert!(events.iter().any(|e| e.token == 3 && e.writable));
+
+        // Downgrade to read-only: an idle socket then reports nothing.
+        assert!(poller.modify(3, Interest::READABLE));
+        let n = poller
+            .wait(&mut events, Some(Duration::from_millis(20)))
+            .unwrap();
+        assert_eq!(n, 0);
+
+        assert!(poller.deregister(3));
+        assert!(!poller.deregister(3));
+        assert!(poller.is_empty());
+    }
+
+    #[test]
+    fn waker_interrupts_a_blocked_wait() {
+        let (waker, mut wake_rx) = WakeReceiver::pair().unwrap();
+        let mut poller = Poller::new();
+        poller.register(wake_rx.as_raw_fd(), 0, Interest::READABLE);
+
+        // Keep one handle alive across the thread's exit: dropping the
+        // last Waker closes the pipe, which (correctly) leaves the
+        // receiver readable-at-EOF forever.
+        let thread_waker = waker.try_clone().unwrap();
+        let handle = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(50));
+            thread_waker.wake().unwrap();
+        });
+        let start = Instant::now();
+        let mut events = Vec::new();
+        poller
+            .wait(&mut events, Some(Duration::from_secs(10)))
+            .unwrap();
+        assert!(start.elapsed() < Duration::from_secs(5), "wake was missed");
+        assert_eq!(events[0].token, 0);
+        wake_rx.drain();
+        // Drained: the next wait is quiet again.
+        let n = poller
+            .wait(&mut events, Some(Duration::from_millis(20)))
+            .unwrap();
+        assert_eq!(n, 0);
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn repeated_wakes_coalesce() {
+        let (waker, mut wake_rx) = WakeReceiver::pair().unwrap();
+        let clone = waker.try_clone().unwrap();
+        // Far more wakes than the pipe buffers: must never block or fail.
+        for _ in 0..100_000 {
+            waker.wake().unwrap();
+            clone.wake().unwrap();
+        }
+        let mut poller = Poller::new();
+        poller.register(wake_rx.as_raw_fd(), 0, Interest::READABLE);
+        let mut events = Vec::new();
+        poller
+            .wait(&mut events, Some(Duration::from_secs(2)))
+            .unwrap();
+        assert_eq!(events.len(), 1);
+        wake_rx.drain();
+        let n = poller
+            .wait(&mut events, Some(Duration::from_millis(20)))
+            .unwrap();
+        assert_eq!(n, 0);
+    }
+}
