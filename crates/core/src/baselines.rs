@@ -131,9 +131,12 @@ impl ErProcessor for NaiveEngine<'_> {
 
         // ---- expiry ----
         let t = Instant::now();
+        let mut retractions = Vec::new();
+        let mut expired = Vec::new();
         if let Some((_, old_id)) = self.window.push(arrival.timestamp, arrival.record.id) {
+            expired.push(old_id);
             self.metas.remove(&old_id);
-            self.results.remove_involving(old_id);
+            retractions = self.results.remove_involving(old_id);
             if let Some(pos) = self.window_records.iter().position(|r| r.id == old_id) {
                 self.window_records.remove(pos);
             }
@@ -204,6 +207,8 @@ impl ErProcessor for NaiveEngine<'_> {
         self.timing.accumulate(&step);
         StepOutput {
             new_matches,
+            retractions,
+            expired,
             timing: step,
         }
     }

@@ -121,11 +121,25 @@ impl TerContext {
 }
 
 /// Output of processing one arrival.
+///
+/// Together, `new_matches` / `retractions` / `expired` are the step's
+/// **window delta**: folding them over any prior state reproduces the
+/// engine's live result set and window membership exactly. The standing
+/// query layer subscribes to this stream and must stay bit-identical to
+/// a from-scratch evaluation after every step, so all three lists are
+/// deterministic functions of the arrival order — identical across the
+/// sequential and sharded engines.
 #[derive(Debug, Clone, Default)]
 pub struct StepOutput {
     /// Pairs newly reported at this timestamp, `(min, max)`-normalized and
     /// sorted — identical across the sequential and sharded engines.
     pub new_matches: Vec<(u64, u64)>,
+    /// Pairs removed from the live result set by this step's expiry,
+    /// `(min, max)`-normalized and sorted.
+    pub retractions: Vec<(u64, u64)>,
+    /// Tuples the window evicted at this step (at most one under the
+    /// count-based window).
+    pub expired: Vec<u64>,
     /// Phase timing of this step.
     pub timing: PhaseTiming,
 }
@@ -288,14 +302,39 @@ impl<'a> TerIdsEngine<'a> {
         Ok(())
     }
 
-    /// Evicts the expired tuple from grid, metadata, and result set.
-    fn expire(&mut self, old_id: u64) {
+    /// Evicts the expired tuple from grid, metadata, and result set;
+    /// returns the live pairs the eviction dropped, normalized and sorted
+    /// (the step's retraction delta).
+    fn expire(&mut self, old_id: u64) -> Vec<(u64, u64)> {
         if let Some(meta) = self.metas.remove(&old_id) {
             self.grid.evict(&meta.region(), &old_id);
-            self.results.remove_involving(old_id);
+            let removed = self.results.remove_involving(old_id);
             self.stream_counts[meta.stream_id] -= 1;
             self.topical_ids.remove(&old_id);
+            removed
+        } else {
+            Vec::new()
         }
+    }
+
+    /// Cell keys currently holding at least one live tuple, with their
+    /// entry counts — the density statistic the query planner's greedy
+    /// join-order heuristic reads instead of maintaining histograms.
+    pub fn cell_entry_counts(&self) -> Vec<usize> {
+        self.grid
+            .iter_cells()
+            .map(|(_, entries)| entries.len())
+            .collect()
+    }
+
+    /// Live tuple count per stream id.
+    pub fn stream_tuple_counts(&self) -> &[usize] {
+        &self.stream_counts
+    }
+
+    /// Number of live tuples currently flagged possibly-topical.
+    pub fn topical_count(&self) -> usize {
+        self.topical_ids.len()
     }
 }
 
@@ -312,8 +351,11 @@ impl ErProcessor for TerIdsEngine<'_> {
 
         // ---- expiry (Algorithm 2 lines 2–7) ----
         let er_start = Instant::now();
+        let mut retractions = Vec::new();
+        let mut expired = Vec::new();
         if let Some((_, old_id)) = self.window.push(arrival.timestamp, arrival.record.id) {
-            self.expire(old_id);
+            expired.push(old_id);
+            retractions = self.expire(old_id);
         }
         step_timing.er += er_start.elapsed();
 
@@ -414,6 +456,8 @@ impl ErProcessor for TerIdsEngine<'_> {
         self.timing.accumulate(&step_timing);
         StepOutput {
             new_matches,
+            retractions,
+            expired,
             timing: step_timing,
         }
     }

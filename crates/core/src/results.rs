@@ -56,16 +56,18 @@ impl ResultSet {
         self.pairs.is_empty()
     }
 
-    /// Removes every pair involving `id` (tuple expiry); returns how many
-    /// pairs were dropped.
-    pub fn remove_involving(&mut self, id: u64) -> usize {
+    /// Removes every pair involving `id` (tuple expiry); returns the
+    /// dropped pairs, `(min, max)`-normalized and sorted — the retraction
+    /// half of the window-delta stream standing queries fold.
+    pub fn remove_involving(&mut self, id: u64) -> Vec<(u64, u64)> {
         let Some(partners) = self.adj.remove(&id) else {
-            return 0;
+            return Vec::new();
         };
-        let mut removed = 0;
+        let mut removed = Vec::with_capacity(partners.len());
         for p in partners {
-            if self.pairs.remove(&norm_pair(id, p)) {
-                removed += 1;
+            let pair = norm_pair(id, p);
+            if self.pairs.remove(&pair) {
+                removed.push(pair);
             }
             if let Some(back) = self.adj.get_mut(&p) {
                 back.remove(&id);
@@ -74,7 +76,18 @@ impl ResultSet {
                 }
             }
         }
+        removed.sort_unstable();
         removed
+    }
+
+    /// Ids currently matched with `id` (its adjacency row), in
+    /// unspecified order — the index the query layer's match-atom joins
+    /// probe instead of scanning all pairs.
+    pub fn partners(&self, id: u64) -> impl Iterator<Item = u64> + '_ {
+        self.adj
+            .get(&id)
+            .into_iter()
+            .flat_map(|set| set.iter().copied())
     }
 
     /// Iterates over live pairs in unspecified order.
@@ -103,12 +116,26 @@ mod tests {
         es.insert(1, 2);
         es.insert(1, 3);
         es.insert(2, 3);
-        assert_eq!(es.remove_involving(1), 2);
+        // The dropped pairs come back normalized and sorted.
+        assert_eq!(es.remove_involving(1), vec![(1, 2), (1, 3)]);
         assert_eq!(es.len(), 1);
         assert!(es.contains(2, 3));
         assert!(!es.contains(1, 2));
         // Removing again is a no-op.
-        assert_eq!(es.remove_involving(1), 0);
+        assert!(es.remove_involving(1).is_empty());
+    }
+
+    #[test]
+    fn partners_reflect_live_adjacency() {
+        let mut es = ResultSet::new();
+        es.insert(1, 2);
+        es.insert(3, 1);
+        let mut p: Vec<u64> = es.partners(1).collect();
+        p.sort_unstable();
+        assert_eq!(p, vec![2, 3]);
+        assert_eq!(es.partners(9).count(), 0);
+        es.remove_involving(2);
+        assert_eq!(es.partners(1).collect::<Vec<_>>(), vec![3]);
     }
 
     #[test]

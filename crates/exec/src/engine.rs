@@ -239,6 +239,26 @@ impl<'a> ShardedTerIdsEngine<'a> {
             .collect()
     }
 
+    /// Entry counts of every occupied grid cell across all shards — the
+    /// density statistic the query planner's greedy join-order heuristic
+    /// reads instead of maintaining histograms.
+    pub fn cell_entry_counts(&self) -> Vec<usize> {
+        self.shards
+            .iter()
+            .flat_map(|g| g.iter_cells().map(|(_, entries)| entries.len()))
+            .collect()
+    }
+
+    /// Live tuple count per stream id.
+    pub fn stream_tuple_counts(&self) -> &[usize] {
+        &self.stream_counts
+    }
+
+    /// Number of live tuples currently flagged possibly-topical.
+    pub fn topical_count(&self) -> usize {
+        self.topical_ids.len()
+    }
+
     /// Runs `f` against this engine with a **persistent** worker pool
     /// attached: the `threads` workers (each owning its session-long
     /// CDD-indexed imputer) spawn once, and every
@@ -382,14 +402,18 @@ impl<'a> ShardedTerIdsEngine<'a> {
         Ok(())
     }
 
-    /// Removes the expired tuple from the merge-level maps and returns its
-    /// metadata so the workers can evict it from their shards.
-    fn expire(&mut self, old_id: u64) -> Option<Arc<TupleMeta>> {
-        let meta = self.metas.remove(&old_id)?;
-        self.results.remove_involving(old_id);
+    /// Removes the expired tuple from the merge-level maps. Returns its
+    /// metadata so the workers can evict it from their shards, plus the
+    /// live pairs the eviction dropped (normalized and sorted — the
+    /// step's retraction delta).
+    fn expire(&mut self, old_id: u64) -> (Option<Arc<TupleMeta>>, Vec<(u64, u64)>) {
+        let Some(meta) = self.metas.remove(&old_id) else {
+            return (None, Vec::new());
+        };
+        let removed = self.results.remove_involving(old_id);
         self.stream_counts[meta.stream_id] -= 1;
         self.topical_ids.remove(&old_id);
-        Some(meta)
+        (Some(meta), removed)
     }
 
     /// The merge stage for one arrival: fold the refine outcome into the
@@ -522,10 +546,17 @@ fn drive_lockstep<'a>(
         let er_start = Instant::now();
 
         // ---- expiry (merge phase: window semantics unchanged) ----
+        let mut retractions = Vec::new();
+        let mut expired = Vec::new();
         let evicted = eng
             .window
             .push(arrival.timestamp, arrival.record.id)
-            .and_then(|(_, old_id)| eng.expire(old_id));
+            .and_then(|(_, old_id)| {
+                expired.push(old_id);
+                let (meta, removed) = eng.expire(old_id);
+                retractions = removed;
+                meta
+            });
 
         // ---- traverse ----
         let surfaced = workers.step(
@@ -557,6 +588,8 @@ fn drive_lockstep<'a>(
         eng.timing.accumulate(&step_timing);
         outputs.push(StepOutput {
             new_matches,
+            retractions,
+            expired,
             timing: step_timing,
         });
     }
@@ -611,10 +644,17 @@ fn drive_overlapped<'a>(
         let er_start = Instant::now();
 
         // ---- expiry (the real push; the schedule must agree) ----
+        let mut retractions = Vec::new();
+        let mut expired = Vec::new();
         let evicted = eng
             .window
             .push(batch[i].timestamp, batch[i].record.id)
-            .and_then(|(_, old_id)| eng.expire(old_id));
+            .and_then(|(_, old_id)| {
+                expired.push(old_id);
+                let (meta, removed) = eng.expire(old_id);
+                retractions = removed;
+                meta
+            });
         debug_assert_eq!(
             evicted.as_ref().map(|m| m.id),
             sched[i],
@@ -666,6 +706,8 @@ fn drive_overlapped<'a>(
         eng.timing.accumulate(&step_timing);
         outputs.push(StepOutput {
             new_matches,
+            retractions,
+            expired,
             timing: step_timing,
         });
     }

@@ -1,0 +1,222 @@
+//! Pattern evaluation: selections, joins, and projections as composable
+//! streaming iterators over a [`QueryView`].
+//!
+//! Evaluation threads partial bindings (`Vec<Option<u64>>`, one slot per
+//! pattern variable) through the planned atom order. Each atom is a
+//! `flat_map` stage: a fully-bound atom degenerates to a membership
+//! probe, a half-bound `match` walks the result set's adjacency row, and
+//! an unbound atom scans its relation. Predicates are applied the moment
+//! their variable binds, so a selective predicate prunes the stream at
+//! the earliest possible stage. An empty intermediate terminates the
+//! whole pipeline for free — `flat_map` over nothing is nothing.
+
+use crate::pattern::{Atom, Pattern, Pred, VarId};
+use crate::plan::{plan, PlanStats};
+use ter_ids::{ErProcessor, ResultSet, TupleMeta};
+
+/// Read access to the live engine state a query runs against. Both the
+/// sequential and the sharded engine implement this, which is what lets
+/// every differential suite run the same pattern against both sides.
+pub trait QueryView {
+    /// Ids of the unexpired tuples, ascending.
+    fn live_ids(&self) -> Vec<u64>;
+    /// Metadata of a live tuple (`None` once expired).
+    fn meta_of(&self, id: u64) -> Option<&TupleMeta>;
+    /// The live result-pair set.
+    fn result_set(&self) -> &ResultSet;
+    /// Planner counters snapshot.
+    fn plan_stats(&self) -> PlanStats;
+}
+
+impl QueryView for ter_ids::TerIdsEngine<'_> {
+    fn live_ids(&self) -> Vec<u64> {
+        self.live_ids()
+    }
+
+    fn meta_of(&self, id: u64) -> Option<&TupleMeta> {
+        self.meta(id)
+    }
+
+    fn result_set(&self) -> &ResultSet {
+        self.results()
+    }
+
+    fn plan_stats(&self) -> PlanStats {
+        let cells = self.cell_entry_counts();
+        PlanStats {
+            live: self.window_len(),
+            pairs: self.results().len(),
+            stream_counts: self.stream_tuple_counts().to_vec(),
+            topical: self.topical_count(),
+            occupied_cells: cells.len(),
+            max_cell_entries: cells.iter().copied().max().unwrap_or(0),
+            prune: self.prune_stats(),
+        }
+    }
+}
+
+impl QueryView for ter_exec::ShardedTerIdsEngine<'_> {
+    fn live_ids(&self) -> Vec<u64> {
+        self.live_ids()
+    }
+
+    fn meta_of(&self, id: u64) -> Option<&TupleMeta> {
+        self.meta(id)
+    }
+
+    fn result_set(&self) -> &ResultSet {
+        self.results()
+    }
+
+    fn plan_stats(&self) -> PlanStats {
+        let cells = self.cell_entry_counts();
+        PlanStats {
+            live: self.window_len(),
+            pairs: self.results().len(),
+            stream_counts: self.stream_tuple_counts().to_vec(),
+            topical: self.topical_count(),
+            occupied_cells: cells.len(),
+            max_cell_entries: cells.iter().copied().max().unwrap_or(0),
+            prune: self.prune_stats(),
+        }
+    }
+}
+
+/// Whether binding `v := id` satisfies every predicate on `v` (and `id`
+/// is live at all).
+pub(crate) fn var_ok<V: QueryView + ?Sized>(
+    pattern: &Pattern,
+    view: &V,
+    v: VarId,
+    id: u64,
+) -> bool {
+    let Some(meta) = view.meta_of(id) else {
+        return false;
+    };
+    pattern.preds.iter().all(|p| {
+        p.var() != v
+            || match *p {
+                Pred::Stream(_, s) => meta.stream_id == s,
+                Pred::Topical(_) => meta.possibly_topical,
+                Pred::TsGe(_, t) => meta.timestamp >= t,
+                Pred::TsLe(_, t) => meta.timestamp <= t,
+                Pred::IdEq(_, i) => id == i,
+            }
+    })
+}
+
+fn bind(b: &[Option<u64>], v: VarId, id: u64) -> Vec<Option<u64>> {
+    let mut nb = b.to_vec();
+    nb[v] = Some(id);
+    nb
+}
+
+/// One pipeline stage: all extensions of `b` satisfying `atom`.
+/// Invariant: already-bound variables passed every predicate when they
+/// were bound, so only structural membership is re-checked for them.
+fn extend<V: QueryView + ?Sized>(
+    pattern: &Pattern,
+    view: &V,
+    b: &[Option<u64>],
+    atom: Atom,
+) -> Vec<Vec<Option<u64>>> {
+    match atom {
+        Atom::Live(v) => match b[v] {
+            Some(id) => {
+                if view.meta_of(id).is_some() {
+                    vec![b.to_vec()]
+                } else {
+                    Vec::new()
+                }
+            }
+            None => view
+                .live_ids()
+                .into_iter()
+                .filter(|&id| var_ok(pattern, view, v, id))
+                .map(|id| bind(b, v, id))
+                .collect(),
+        },
+        Atom::Match(x, y) => match (b[x], b[y]) {
+            (Some(a), Some(c)) => {
+                if view.result_set().contains(a, c) {
+                    vec![b.to_vec()]
+                } else {
+                    Vec::new()
+                }
+            }
+            (Some(a), None) => view
+                .result_set()
+                .partners(a)
+                .filter(|&c| var_ok(pattern, view, y, c))
+                .map(|c| bind(b, y, c))
+                .collect(),
+            (None, Some(c)) => view
+                .result_set()
+                .partners(c)
+                .filter(|&a| var_ok(pattern, view, x, a))
+                .map(|a| bind(b, x, a))
+                .collect(),
+            (None, None) => view
+                .result_set()
+                .iter()
+                .flat_map(|(lo, hi)| [(lo, hi), (hi, lo)])
+                .filter(|&(a, c)| var_ok(pattern, view, x, a) && var_ok(pattern, view, y, c))
+                .map(|(a, c)| {
+                    let mut nb = b.to_vec();
+                    nb[x] = Some(a);
+                    nb[y] = Some(c);
+                    nb
+                })
+                .collect(),
+        },
+    }
+}
+
+/// Runs the atoms in `order` as a streaming iterator pipeline from the
+/// given seed binding, returning every fully-ground variable assignment.
+/// Seed bindings must already satisfy their variables' predicates.
+pub(crate) fn eval_from<V: QueryView + ?Sized>(
+    pattern: &Pattern,
+    order: &[usize],
+    view: &V,
+    seed: Vec<Option<u64>>,
+) -> Vec<Vec<u64>> {
+    let mut it: Box<dyn Iterator<Item = Vec<Option<u64>>> + '_> = Box::new(std::iter::once(seed));
+    for &ai in order {
+        let atom = pattern.atoms[ai];
+        it = Box::new(it.flat_map(move |b| extend(pattern, view, &b, atom)));
+    }
+    it.map(|b| {
+        b.into_iter()
+            .map(|v| v.expect("every variable appears in an atom"))
+            .collect()
+    })
+    .collect()
+}
+
+/// Every fully-ground assignment of the pattern's variables against the
+/// view (planned order, no projection applied).
+pub(crate) fn full_bindings<V: QueryView + ?Sized>(pattern: &Pattern, view: &V) -> Vec<Vec<u64>> {
+    let plan = plan(pattern, &view.plan_stats());
+    if plan.empty {
+        return Vec::new();
+    }
+    eval_from(pattern, &plan.order, view, vec![None; pattern.vars.len()])
+}
+
+/// Projects one full binding onto the pattern's output columns.
+pub(crate) fn project_one(pattern: &Pattern, b: &[u64]) -> Vec<u64> {
+    pattern.projection.iter().map(|&v| b[v]).collect()
+}
+
+/// One-shot evaluation: the projected result rows, sorted and deduped —
+/// the canonical form every oracle compares bit-for-bit.
+pub fn evaluate<V: QueryView + ?Sized>(pattern: &Pattern, view: &V) -> Vec<Vec<u64>> {
+    let mut rows: Vec<Vec<u64>> = full_bindings(pattern, view)
+        .iter()
+        .map(|b| project_one(pattern, b))
+        .collect();
+    rows.sort_unstable();
+    rows.dedup();
+    rows
+}

@@ -1,0 +1,413 @@
+//! The pattern AST and its parser.
+//!
+//! Grammar (whitespace-insensitive):
+//!
+//! ```text
+//! query := atoms [ "where" preds ] [ "->" vars ]
+//! atoms := atom ("," atom)*
+//! atom  := "match" "(" var "," var ")"   -- a live result pair
+//!        | "live" "(" var ")"            -- an unexpired window tuple
+//! preds := pred ("," pred)*
+//! pred  := "stream" "(" var ")" "=" num
+//!        | "topical" "(" var ")"
+//!        | "ts" "(" var ")" (">=" | "<=") num
+//!        | "id" "(" var ")" "=" num
+//! vars  := var ("," var)*
+//! ```
+//!
+//! Variables are introduced by atoms; predicates and the projection may
+//! only reference variables that appear in at least one atom, which is
+//! exactly the range-restriction every binding needs to come out fully
+//! ground. Omitting `->` projects every variable in first-occurrence
+//! order.
+
+/// Index into [`Pattern::vars`].
+pub type VarId = usize;
+
+/// A relational atom over the engine's live state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Atom {
+    /// `match(x, y)`: `(x, y)` is a currently-live result pair. The two
+    /// variables must be distinct — a tuple never matches itself.
+    Match(VarId, VarId),
+    /// `live(x)`: `x` is an unexpired window tuple.
+    Live(VarId),
+}
+
+impl Atom {
+    /// Variables the atom mentions.
+    pub fn vars(&self) -> Vec<VarId> {
+        match *self {
+            Atom::Match(a, b) => vec![a, b],
+            Atom::Live(v) => vec![v],
+        }
+    }
+}
+
+/// A selection predicate on a single variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Pred {
+    /// `stream(x) = s`
+    Stream(VarId, usize),
+    /// `topical(x)`
+    Topical(VarId),
+    /// `ts(x) >= t`
+    TsGe(VarId, u64),
+    /// `ts(x) <= t`
+    TsLe(VarId, u64),
+    /// `id(x) = i`
+    IdEq(VarId, u64),
+}
+
+impl Pred {
+    /// The variable the predicate constrains.
+    pub fn var(&self) -> VarId {
+        match *self {
+            Pred::Stream(v, _)
+            | Pred::Topical(v)
+            | Pred::TsGe(v, _)
+            | Pred::TsLe(v, _)
+            | Pred::IdEq(v, _) => v,
+        }
+    }
+}
+
+/// A parsed, validated pattern query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Pattern {
+    /// Variable names, indexed by [`VarId`] (first-occurrence order).
+    pub vars: Vec<String>,
+    /// Conjunctive atoms, in source order.
+    pub atoms: Vec<Atom>,
+    /// Selection predicates, in source order.
+    pub preds: Vec<Pred>,
+    /// Output columns, as variable ids.
+    pub projection: Vec<VarId>,
+}
+
+impl Pattern {
+    /// Number of output columns.
+    pub fn arity(&self) -> usize {
+        self.projection.len()
+    }
+
+    /// Parses and validates a pattern query.
+    pub fn parse(input: &str) -> Result<Pattern, String> {
+        Parser::new(lex(input)?).parse()
+    }
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Tok {
+    Ident(String),
+    Num(u64),
+    LParen,
+    RParen,
+    Comma,
+    Eq,
+    Ge,
+    Le,
+    Arrow,
+}
+
+fn lex(input: &str) -> Result<Vec<Tok>, String> {
+    let mut toks = Vec::new();
+    let mut chars = input.chars().peekable();
+    while let Some(&c) = chars.peek() {
+        match c {
+            c if c.is_whitespace() => {
+                chars.next();
+            }
+            '(' => {
+                chars.next();
+                toks.push(Tok::LParen);
+            }
+            ')' => {
+                chars.next();
+                toks.push(Tok::RParen);
+            }
+            ',' => {
+                chars.next();
+                toks.push(Tok::Comma);
+            }
+            '=' => {
+                chars.next();
+                toks.push(Tok::Eq);
+            }
+            '>' | '<' | '-' => {
+                chars.next();
+                match (c, chars.next()) {
+                    ('>', Some('=')) => toks.push(Tok::Ge),
+                    ('<', Some('=')) => toks.push(Tok::Le),
+                    ('-', Some('>')) => toks.push(Tok::Arrow),
+                    (_, got) => {
+                        return Err(format!(
+                            "expected '{c}=' style operator, found '{c}{}'",
+                            got.map(String::from).unwrap_or_default()
+                        ))
+                    }
+                }
+            }
+            '0'..='9' => {
+                let mut n: u64 = 0;
+                while let Some(d) = chars.peek().and_then(|c| c.to_digit(10)) {
+                    n = n
+                        .checked_mul(10)
+                        .and_then(|n| n.checked_add(d as u64))
+                        .ok_or_else(|| "numeric literal overflows u64".to_string())?;
+                    chars.next();
+                }
+                toks.push(Tok::Num(n));
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let mut s = String::new();
+                while let Some(&c) = chars.peek() {
+                    if c.is_ascii_alphanumeric() || c == '_' {
+                        s.push(c);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                toks.push(Tok::Ident(s));
+            }
+            other => return Err(format!("unexpected character '{other}'")),
+        }
+    }
+    Ok(toks)
+}
+
+struct Parser {
+    toks: Vec<Tok>,
+    pos: usize,
+    vars: Vec<String>,
+}
+
+impl Parser {
+    fn new(toks: Vec<Tok>) -> Self {
+        Parser {
+            toks,
+            pos: 0,
+            vars: Vec::new(),
+        }
+    }
+
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect(&mut self, want: Tok, ctx: &str) -> Result<(), String> {
+        match self.next() {
+            Some(t) if t == want => Ok(()),
+            got => Err(format!("expected {want:?} {ctx}, found {got:?}")),
+        }
+    }
+
+    fn ident(&mut self, ctx: &str) -> Result<String, String> {
+        match self.next() {
+            Some(Tok::Ident(s)) => Ok(s),
+            got => Err(format!("expected identifier {ctx}, found {got:?}")),
+        }
+    }
+
+    fn num(&mut self, ctx: &str) -> Result<u64, String> {
+        match self.next() {
+            Some(Tok::Num(n)) => Ok(n),
+            got => Err(format!("expected number {ctx}, found {got:?}")),
+        }
+    }
+
+    /// Resolves a variable name, introducing it if `introduce`.
+    fn var(&mut self, name: String, introduce: bool) -> Result<VarId, String> {
+        if let Some(i) = self.vars.iter().position(|v| *v == name) {
+            return Ok(i);
+        }
+        if !introduce {
+            return Err(format!(
+                "variable '{name}' does not appear in any atom (every predicate \
+                 and projection variable must)"
+            ));
+        }
+        self.vars.push(name);
+        Ok(self.vars.len() - 1)
+    }
+
+    fn atom(&mut self, head: String) -> Result<Atom, String> {
+        self.expect(Tok::LParen, "after atom name")?;
+        match head.as_str() {
+            "match" => {
+                let a = self.ident("as match() argument")?;
+                self.expect(Tok::Comma, "between match() arguments")?;
+                let b = self.ident("as match() argument")?;
+                self.expect(Tok::RParen, "after match() arguments")?;
+                let (a, b) = (self.var(a, true)?, self.var(b, true)?);
+                if a == b {
+                    return Err(
+                        "match(x, x) is always empty: a tuple never matches itself".to_string()
+                    );
+                }
+                Ok(Atom::Match(a, b))
+            }
+            "live" => {
+                let v = self.ident("as live() argument")?;
+                self.expect(Tok::RParen, "after live() argument")?;
+                Ok(Atom::Live(self.var(v, true)?))
+            }
+            other => Err(format!("unknown atom '{other}' (expected match or live)")),
+        }
+    }
+
+    fn pred(&mut self, head: String) -> Result<Pred, String> {
+        self.expect(Tok::LParen, "after predicate name")?;
+        let name = self.ident("as predicate argument")?;
+        self.expect(Tok::RParen, "after predicate argument")?;
+        let v = self.var(name, false)?;
+        match head.as_str() {
+            "stream" => {
+                self.expect(Tok::Eq, "after stream(..)")?;
+                let n = self.num("as stream id")?;
+                Ok(Pred::Stream(v, n as usize))
+            }
+            "topical" => Ok(Pred::Topical(v)),
+            "ts" => match self.next() {
+                Some(Tok::Ge) => Ok(Pred::TsGe(v, self.num("after ts(..) >=")?)),
+                Some(Tok::Le) => Ok(Pred::TsLe(v, self.num("after ts(..) <=")?)),
+                got => Err(format!("expected >= or <= after ts(..), found {got:?}")),
+            },
+            "id" => {
+                self.expect(Tok::Eq, "after id(..)")?;
+                Ok(Pred::IdEq(v, self.num("as tuple id")?))
+            }
+            other => Err(format!(
+                "unknown predicate '{other}' (expected stream, topical, ts, or id)"
+            )),
+        }
+    }
+
+    fn parse(mut self) -> Result<Pattern, String> {
+        let mut atoms = Vec::new();
+        loop {
+            let head = self.ident("as atom name")?;
+            atoms.push(self.atom(head)?);
+            match self.peek() {
+                Some(Tok::Comma) => {
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+
+        let mut preds = Vec::new();
+        if matches!(self.peek(), Some(Tok::Ident(s)) if s == "where") {
+            self.pos += 1;
+            loop {
+                let head = self.ident("as predicate name")?;
+                preds.push(self.pred(head)?);
+                match self.peek() {
+                    Some(Tok::Comma) => {
+                        self.pos += 1;
+                    }
+                    _ => break,
+                }
+            }
+        }
+
+        let projection = if matches!(self.peek(), Some(Tok::Arrow)) {
+            self.pos += 1;
+            let mut proj = Vec::new();
+            loop {
+                let name = self.ident("as projection variable")?;
+                proj.push(self.var(name, false)?);
+                match self.peek() {
+                    Some(Tok::Comma) => {
+                        self.pos += 1;
+                    }
+                    _ => break,
+                }
+            }
+            proj
+        } else {
+            (0..self.vars.len()).collect()
+        };
+
+        if let Some(t) = self.peek() {
+            return Err(format!("trailing input at {t:?}"));
+        }
+        if projection.is_empty() {
+            return Err("projection cannot be empty".to_string());
+        }
+        Ok(Pattern {
+            vars: self.vars,
+            atoms,
+            preds,
+            projection,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_full_grammar() {
+        let p = Pattern::parse(
+            "match(a, b), live(c) where stream(a) = 0, topical(b), ts(c) >= 10, id(a) = 5 -> a, b",
+        )
+        .unwrap();
+        assert_eq!(p.vars, vec!["a", "b", "c"]);
+        assert_eq!(p.atoms, vec![Atom::Match(0, 1), Atom::Live(2)]);
+        assert_eq!(
+            p.preds,
+            vec![
+                Pred::Stream(0, 0),
+                Pred::Topical(1),
+                Pred::TsGe(2, 10),
+                Pred::IdEq(0, 5)
+            ]
+        );
+        assert_eq!(p.projection, vec![0, 1]);
+    }
+
+    #[test]
+    fn default_projection_is_all_vars_in_order() {
+        let p = Pattern::parse("match(x, y), match(y, z)").unwrap();
+        assert_eq!(p.vars, vec!["x", "y", "z"]);
+        assert_eq!(p.projection, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn shared_variables_join() {
+        let p = Pattern::parse("match(a, b), live(a)").unwrap();
+        assert_eq!(p.vars.len(), 2);
+        assert_eq!(p.atoms, vec![Atom::Match(0, 1), Atom::Live(0)]);
+    }
+
+    #[test]
+    fn rejects_self_match() {
+        assert!(Pattern::parse("match(a, a)").is_err());
+    }
+
+    #[test]
+    fn rejects_unbound_predicate_and_projection_vars() {
+        assert!(Pattern::parse("live(a) where topical(b)").is_err());
+        assert!(Pattern::parse("live(a) -> b").is_err());
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(Pattern::parse("").is_err());
+        assert!(Pattern::parse("match(a, b) extra").is_err());
+        assert!(Pattern::parse("frobnicate(a)").is_err());
+        assert!(Pattern::parse("live(a) where ts(a) > 3").is_err());
+        assert!(Pattern::parse("live(a) where ts(a) >= 99999999999999999999").is_err());
+    }
+}

@@ -21,6 +21,7 @@
 //! continues the feed from exactly there — the client-side half of the
 //! crash-recovery story.
 
+use std::collections::{BTreeSet, VecDeque};
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::time::{Duration, Instant};
 
@@ -64,6 +65,84 @@ impl From<WireError> for ClientError {
 /// Per-arrival match lists for one ingested batch, in arrival order.
 pub type BatchMatches = Vec<Vec<(u64, u64)>>;
 
+/// What the daemon acknowledged a subscription with: the engine position
+/// of the snapshot and the full current result rows at that position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SubAckInfo {
+    /// The subscriber-chosen subscription id, echoed back.
+    pub sub_id: u64,
+    /// Engine batch position of the snapshot; the first `Notify` carries
+    /// a strictly later position.
+    pub seq: u64,
+    /// The standing query's complete result at `seq` (sorted rows).
+    pub rows: Vec<Vec<u64>>,
+}
+
+/// One pushed event on a subscriber connection.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SubEvent {
+    /// Net result change of one ingested batch.
+    Notify {
+        sub_id: u64,
+        /// Engine position after the batch.
+        seq: u64,
+        added: Vec<Vec<u64>>,
+        retracted: Vec<Vec<u64>>,
+    },
+    /// The daemon shed this subscription under backpressure; the
+    /// notification stream has a gap. Resubscribe (quoting `resync_seq`)
+    /// for a fresh snapshot.
+    Lagged { sub_id: u64, resync_seq: u64 },
+}
+
+/// Client-side fold of a standing query: snapshot plus every `Notify`
+/// applied in order. The differential-oracle contract makes
+/// [`SubscriptionFold::rows`] bit-identical to a one-shot
+/// [`Client::pattern_query`] at the same engine position.
+#[derive(Debug, Clone, Default)]
+pub struct SubscriptionFold {
+    /// Engine position the fold has caught up to.
+    pub seq: u64,
+    /// `Some(resync_seq)` once a [`SubEvent::Lagged`] arrived — the fold
+    /// is stale from that point and needs a resubscribe.
+    pub lagged: Option<u64>,
+    rows: BTreeSet<Vec<u64>>,
+}
+
+impl SubscriptionFold {
+    /// Starts the fold from a subscription snapshot.
+    pub fn start(ack: &SubAckInfo) -> Self {
+        Self {
+            seq: ack.seq,
+            lagged: None,
+            rows: ack.rows.iter().cloned().collect(),
+        }
+    }
+
+    /// Applies one pushed event. Panics if a notification retracts a row
+    /// the fold never had (or re-adds one it has) — that is a protocol
+    /// contract violation the oracle suites must surface, not mask.
+    pub fn apply(&mut self, ev: &SubEvent) {
+        match ev {
+            SubEvent::Notify {
+                seq,
+                added,
+                retracted,
+                ..
+            } => {
+                ter_query::fold_notification(&mut self.rows, added, retracted);
+                self.seq = *seq;
+            }
+            SubEvent::Lagged { resync_seq, .. } => self.lagged = Some(*resync_seq),
+        }
+    }
+
+    /// The folded result rows, sorted.
+    pub fn rows(&self) -> Vec<Vec<u64>> {
+        self.rows.iter().cloned().collect()
+    }
+}
+
 /// What one [`Client::ingest_pipelined`] run committed.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct PipelinedIngest {
@@ -84,6 +163,10 @@ pub struct Client {
     /// daemon's in-sequence gate pins the connection to this counter, so
     /// it never resets while the connection lives.
     pipeline_seq: u64,
+    /// Pushed subscription events that arrived interleaved with a
+    /// request/reply exchange; [`Client::next_event`] drains these before
+    /// touching the socket.
+    pending: VecDeque<SubEvent>,
 }
 
 impl Client {
@@ -94,6 +177,7 @@ impl Client {
         Ok(Self {
             stream,
             pipeline_seq: 0,
+            pending: VecDeque::new(),
         })
     }
 
@@ -127,13 +211,31 @@ impl Client {
 
     /// One request/reply round trip. [`Reply::Busy`] is surfaced as-is —
     /// the daemon answers it for *any* verb when its bounded queue is
-    /// full.
+    /// full. Pushed subscription events that land between the request
+    /// and its reply are diverted to the [`Client::next_event`] queue,
+    /// so control verbs stay usable on a subscriber connection.
     pub fn call(&mut self, req: &Request) -> Result<Reply, ClientError> {
         write_message(&mut self.stream, &encode_request(req))?;
-        let payload = read_message(&mut self.stream)?;
-        match decode_reply(&payload)? {
-            Reply::Error(msg) => Err(ClientError::Server(msg)),
-            reply => Ok(reply),
+        loop {
+            let payload = read_message(&mut self.stream)?;
+            match decode_reply(&payload)? {
+                Reply::Error(msg) => return Err(ClientError::Server(msg)),
+                Reply::Notify {
+                    sub_id,
+                    seq,
+                    added,
+                    retracted,
+                } => self.pending.push_back(SubEvent::Notify {
+                    sub_id,
+                    seq,
+                    added,
+                    retracted,
+                }),
+                Reply::Lagged { sub_id, resync_seq } => self
+                    .pending
+                    .push_back(SubEvent::Lagged { sub_id, resync_seq }),
+                reply => return Ok(reply),
+            }
         }
     }
 
@@ -193,6 +295,76 @@ impl Client {
             Reply::Matches(mut lists) if lists.len() == 1 => Ok(lists.pop().unwrap()),
             Reply::Matches(_) => Err(ClientError::Unexpected("results")),
             _ => Err(ClientError::Unexpected("results")),
+        }
+    }
+
+    /// One-shot pattern query: parses and evaluates `pattern` against
+    /// the daemon's live state. Returns the engine batch position the
+    /// result describes plus the rows (sorted, deduped).
+    pub fn pattern_query(&mut self, pattern: &str) -> Result<(u64, Vec<Vec<u64>>), ClientError> {
+        match self.call_wait(&Request::PatternQuery(pattern.to_string()))? {
+            Reply::Rows { seq, rows } => Ok((seq, rows)),
+            _ => Err(ClientError::Unexpected("pattern query")),
+        }
+    }
+
+    /// Registers a standing query under the caller-chosen `sub_id`
+    /// (unique per connection). The ack carries a full snapshot of the
+    /// result at subscription time — pass `resync_seq` from a prior
+    /// [`SubEvent::Lagged`] when resyncing (the daemon treats every
+    /// subscribe as snapshot-plus-stream, so any value is safe; 0 for a
+    /// fresh subscription). Notifications then arrive via
+    /// [`Client::next_event`].
+    pub fn subscribe(
+        &mut self,
+        sub_id: u64,
+        resync_seq: u64,
+        pattern: &str,
+    ) -> Result<SubAckInfo, ClientError> {
+        let req = Request::Subscribe {
+            sub_id,
+            resync_seq,
+            pattern: pattern.to_string(),
+        };
+        match self.call_wait(&req)? {
+            Reply::SubAck { sub_id, seq, rows } => Ok(SubAckInfo { sub_id, seq, rows }),
+            _ => Err(ClientError::Unexpected("subscribe")),
+        }
+    }
+
+    /// Deregisters a standing query; returns whether it existed. Events
+    /// already pushed before the daemon processed the unsubscribe are
+    /// delivered through [`Client::next_event`] as usual.
+    pub fn unsubscribe(&mut self, sub_id: u64) -> Result<bool, ClientError> {
+        match self.call_wait(&Request::Unsubscribe { sub_id })? {
+            Reply::Ack(n) => Ok(n == 1),
+            _ => Err(ClientError::Unexpected("unsubscribe")),
+        }
+    }
+
+    /// Blocks for the next pushed subscription event (any queued-up
+    /// event first). Respect [`Client::set_io_timeout`] to bound the
+    /// wait.
+    pub fn next_event(&mut self) -> Result<SubEvent, ClientError> {
+        if let Some(ev) = self.pending.pop_front() {
+            return Ok(ev);
+        }
+        let payload = read_message(&mut self.stream)?;
+        match decode_reply(&payload)? {
+            Reply::Notify {
+                sub_id,
+                seq,
+                added,
+                retracted,
+            } => Ok(SubEvent::Notify {
+                sub_id,
+                seq,
+                added,
+                retracted,
+            }),
+            Reply::Lagged { sub_id, resync_seq } => Ok(SubEvent::Lagged { sub_id, resync_seq }),
+            Reply::Error(msg) => Err(ClientError::Server(msg)),
+            _ => Err(ClientError::Unexpected("subscription event")),
         }
     }
 

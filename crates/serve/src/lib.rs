@@ -21,6 +21,18 @@
 //!   windowed [`Client::ingest_pipelined`] driver, and the
 //!   reconnect-and-resume [`ResilientClient`] wrapper.
 //!
+//! Protocol v3 adds the declarative query layer (`ter_query`) over the
+//! wire: one-shot pattern queries ([`Client::pattern_query`]) and
+//! *standing* queries — [`Client::subscribe`] registers a pattern, the
+//! daemon pushes incremental [`SubEvent::Notify`] match/retraction
+//! events through the same per-connection writer path as every other
+//! reply as the window slides, and a subscriber that stops draining is
+//! shed with [`SubEvent::Lagged`] (bounded buffering, never a stalled
+//! feeder). Folding the snapshot plus every notification
+//! ([`SubscriptionFold`]) is bit-identical to re-running the query
+//! from scratch at every step — the standing-query differential oracle
+//! (`tests/query_oracle.rs`, `tests/serve_crash.rs`).
+//!
 //! The service contract extends the repo's gold standard across the
 //! process boundary: ingest through the daemon — request/reply or
 //! pipelined at any window — `kill -9` it mid-stream, restart it on the
@@ -37,7 +49,10 @@ pub mod wire;
 #[cfg(test)]
 mod proptests;
 
-pub use client::{BatchMatches, Client, ClientError, FeedReport, PipelinedIngest, ResilientClient};
+pub use client::{
+    BatchMatches, Client, ClientError, FeedReport, PipelinedIngest, ResilientClient, SubAckInfo,
+    SubEvent, SubscriptionFold,
+};
 pub use server::{ServeError, ServeOptions, ServeReport, Server};
 pub use wire::{Query, Reply, Request, StatsInfo, WindowInfo, WireError};
 
@@ -527,6 +542,78 @@ mod tests {
                 "every acked batch is committed exactly once"
             );
             client.shutdown().unwrap();
+            handle.join().unwrap();
+        });
+    }
+
+    /// The standing-query round trip against a live daemon: a mid-stream
+    /// subscribe gets the full snapshot, subsequent batches push net
+    /// match/retraction notifications (a window slide retracts), and the
+    /// client-side fold lands bit-identical to a one-shot pattern query
+    /// at the same position. Unsubscribe stops the stream; a bad pattern
+    /// is an in-protocol error.
+    #[test]
+    fn standing_query_notifications_fold_to_one_shot() {
+        let (ctx, streams) = scenario();
+        // window 3 < the 4-arrival stream: the last arrival evicts the
+        // first, retracting the (1, 2) match — the notification stream
+        // must carry that retraction.
+        let params = Params {
+            window: 3,
+            ..Params::default()
+        };
+        let dir = TempDir::new("standing");
+        let batches = streams.arrival_batches(1);
+        let server = Server::bind("127.0.0.1:0").unwrap();
+        let addr = server.addr().unwrap();
+        std::thread::scope(|scope| {
+            let handle = scope.spawn(|| server.run(&ctx, params, dir.path(), &opts()).unwrap());
+            let mut feeder = Client::connect_retry(addr, Duration::from_secs(5)).unwrap();
+            let mut subscriber = Client::connect_retry(addr, Duration::from_secs(5)).unwrap();
+
+            assert!(matches!(
+                subscriber.subscribe(1, 0, "match(a, b where"),
+                Err(crate::client::ClientError::Server(_))
+            ));
+
+            // Two batches in: ids 1 and 2 are live and matched.
+            for batch in &batches[..2] {
+                feeder.ingest_wait(batch).unwrap();
+            }
+            let ack = subscriber.subscribe(7, 0, "match(a, b)").unwrap();
+            assert_eq!(ack.sub_id, 7);
+            assert_eq!(ack.seq, 2, "snapshot position = batches stepped");
+            assert_eq!(ack.rows, vec![vec![1, 2], vec![2, 1]]);
+            let mut fold = crate::client::SubscriptionFold::start(&ack);
+
+            // The rest of the stream slides the window past id 1.
+            for batch in &batches[2..] {
+                feeder.ingest_wait(batch).unwrap();
+            }
+            let (seq, rows) = feeder.pattern_query("match(a, b)").unwrap();
+            assert_eq!(seq, batches.len() as u64);
+            assert!(rows.is_empty(), "the only match expired");
+
+            // Drain pushed events until the socket goes quiet.
+            subscriber
+                .set_io_timeout(Some(Duration::from_millis(500)))
+                .unwrap();
+            loop {
+                match subscriber.next_event() {
+                    Ok(ev) => fold.apply(&ev),
+                    Err(crate::client::ClientError::Wire(_)) => break,
+                    Err(e) => panic!("unexpected subscription failure: {e}"),
+                }
+            }
+            assert_eq!(fold.seq, seq, "the retraction batch was notified");
+            assert_eq!(fold.rows(), rows, "fold ≡ one-shot");
+            assert!(fold.lagged.is_none());
+
+            assert!(subscriber.unsubscribe(7).unwrap());
+            assert!(!subscriber.unsubscribe(7).unwrap(), "already removed");
+
+            let mut control = Client::connect_retry(addr, Duration::from_secs(5)).unwrap();
+            control.shutdown().unwrap();
             handle.join().unwrap();
         });
     }

@@ -84,11 +84,11 @@
 //! recovery replay included — so no per-batch thread spawn sits on the
 //! ingest path.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::path::Path;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::mpsc;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -96,6 +96,7 @@ use std::time::{Duration, Instant};
 use minipoll::{Event, Interest, Poller, WakeReceiver, Waker};
 use ter_exec::{ExecConfig, PooledEngine, ShardedTerIdsEngine};
 use ter_ids::{EngineState, ErProcessor, Params, PruningMode, TerContext};
+use ter_query::{BatchDelta, Pattern, StandingQuery};
 use ter_store::{context_fingerprint, CompactionPolicy, StoreError, TerStore};
 use ter_stream::Arrival;
 
@@ -139,6 +140,12 @@ pub struct ServeOptions {
     /// commit fsync (see [`TerStore::set_fsync_delay`]). Zero outside
     /// fault-injection tests and benches.
     pub fsync_delay: Duration,
+    /// Standing-query backpressure bound: when a subscriber connection's
+    /// un-drained outbound bytes exceed this, the daemon sheds the
+    /// subscription with one final [`Reply::Lagged`] (carrying the
+    /// resync position) instead of buffering notifications without
+    /// bound or stalling ingest. The client resubscribes to resync.
+    pub notify_buffer: usize,
 }
 
 impl Default for ServeOptions {
@@ -153,6 +160,7 @@ impl Default for ServeOptions {
             flush_window: 1,
             flush_interval: Duration::from_millis(5),
             fsync_delay: Duration::ZERO,
+            notify_buffer: 256 * 1024,
         }
     }
 }
@@ -224,12 +232,19 @@ enum IoMsg {
 
 /// The engine's route back to a connection: which I/O thread (the
 /// channel), which connection (the token), and how to interrupt its
-/// poll (the waker). Cloned into every queued job.
+/// poll (the waker). Cloned into every queued job; standing
+/// subscriptions retain one for the connection's lifetime.
+///
+/// `gauge` mirrors the connection's un-drained outbound bytes
+/// (maintained by the owning I/O thread; [`CONN_GONE`] once the
+/// connection is dropped) so the engine thread can shed a lagging
+/// subscriber without a round trip.
 #[derive(Clone)]
 struct ReplyHandle {
     token: u64,
     tx: mpsc::Sender<IoMsg>,
     waker: Arc<Waker>,
+    gauge: Arc<AtomicUsize>,
 }
 
 impl ReplyHandle {
@@ -468,6 +483,11 @@ const DRAIN_GRACE: Duration = Duration::from_secs(5);
 /// The poller token reserved for the I/O thread's waker pipe.
 const WAKER_TOKEN: u64 = u64::MAX;
 
+/// Gauge sentinel: the connection behind this handle is gone. A standing
+/// subscription seeing it is pruned silently (there is no peer left to
+/// tell).
+const CONN_GONE: usize = usize::MAX;
+
 #[cfg(unix)]
 fn stream_fd(s: &TcpStream) -> minipoll::RawFd {
     use std::os::unix::io::AsRawFd;
@@ -579,7 +599,8 @@ impl Server {
                     waker: Arc::clone(&io_wakers[idx]),
                     job_tx: job_tx.clone(),
                     conns: HashMap::new(),
-                    next_token: 0,
+                    next_token: idx as u64,
+                    token_stride: io_threads as u64,
                 };
                 scope.spawn(move || thread.run(shutdown_ref));
             }
@@ -630,6 +651,7 @@ impl Server {
                         store_rx: &store_rx,
                         opts,
                         report: &mut report,
+                        subs: BTreeMap::new(),
                     };
                     let mut graceful = false;
                     loop {
@@ -678,14 +700,28 @@ impl Server {
     }
 }
 
+/// One registered standing query: the incrementally-maintained state,
+/// the route back to its connection, and the protocol version its
+/// notifications are stamped with.
+struct Subscription {
+    standing: StandingQuery,
+    handle: ReplyHandle,
+    proto: u8,
+}
+
 /// The engine thread's state: the pooled engine, the channel pair to the
-/// group-commit stage, and the run counters.
+/// group-commit stage, the standing-query registry, and the run
+/// counters.
 struct StepStage<'x, 's, 'a> {
     pe: &'x mut PooledEngine<'s, 'a>,
     store_tx: &'x mpsc::SyncSender<StoreReq>,
     store_rx: &'x mpsc::Receiver<StoreResp>,
     opts: &'x ServeOptions,
     report: &'x mut ServeReport,
+    /// Standing queries keyed `(connection token, client-chosen sub_id)`
+    /// — tokens are pool-unique, so two connections never alias. BTreeMap
+    /// for a deterministic notification order per batch.
+    subs: BTreeMap<(u64, u64), Subscription>,
 }
 
 impl StepStage<'_, '_, '_> {
@@ -744,6 +780,11 @@ impl StepStage<'_, '_, '_> {
         let outputs = self.pe.step_batch(&batch);
         self.report.batches += 1;
         self.report.arrivals += batch.len() as u64;
+        let delta = if self.subs.is_empty() {
+            None
+        } else {
+            Some(BatchDelta::from_steps(&batch, &outputs))
+        };
         let per_arrival: Vec<Vec<(u64, u64)>> =
             outputs.into_iter().map(|o| o.new_matches).collect();
         let reply = match client_seq {
@@ -759,6 +800,13 @@ impl StepStage<'_, '_, '_> {
             reply,
             handle,
         });
+        // Push standing-query notifications for this batch. They
+        // describe stepped (engine) state, not durable state — exactly
+        // like the query verbs — and ride the same per-connection
+        // minipoll writer path as every other reply.
+        if let Some(delta) = delta {
+            self.notify_subs(&delta, seq + 1);
+        }
         if self.opts.checkpoint_every > 0 && (seq + 1) % self.opts.checkpoint_every == 0 {
             // The engine state covers batches 0..=seq, so the checkpoint
             // is stamped seq+1. A failed cadence checkpoint is not an
@@ -768,6 +816,53 @@ impl StepStage<'_, '_, '_> {
                 Ok(_) => self.report.checkpoints += 1,
                 Err(e) => eprintln!("ter_serve: checkpoint at batch {seq} failed: {e}"),
             }
+        }
+    }
+
+    /// Advances every standing query past one ingested batch and pushes
+    /// the net notifications. `seq` is the engine position *after* the
+    /// batch — the position a resubscribing client resyncs at.
+    ///
+    /// Backpressure: a subscriber whose connection gauge exceeds
+    /// `opts.notify_buffer` is shed with one final [`Reply::Lagged`]
+    /// (tiny and gauge-exempt) instead of stalling ingest or buffering
+    /// without bound; a gauge reading [`CONN_GONE`] means the connection
+    /// itself died, so the subscription is pruned silently.
+    fn notify_subs(&mut self, delta: &BatchDelta, seq: u64) {
+        let eng = self.pe.engine();
+        let mut shed: Vec<(u64, u64)> = Vec::new();
+        for (&key, sub) in self.subs.iter_mut() {
+            let backlog = sub.handle.gauge.load(Ordering::Acquire);
+            if backlog == CONN_GONE {
+                shed.push(key);
+                continue;
+            }
+            if backlog > self.opts.notify_buffer {
+                sub.handle.send(
+                    sub.proto,
+                    Reply::Lagged {
+                        sub_id: key.1,
+                        resync_seq: seq,
+                    },
+                );
+                shed.push(key);
+                continue;
+            }
+            let (added, retracted) = sub.standing.apply_batch(eng, delta);
+            if !added.is_empty() || !retracted.is_empty() {
+                sub.handle.send(
+                    sub.proto,
+                    Reply::Notify {
+                        sub_id: key.1,
+                        seq,
+                        added,
+                        retracted,
+                    },
+                );
+            }
+        }
+        for key in shed {
+            self.subs.remove(&key);
         }
     }
 
@@ -828,6 +923,43 @@ impl StepStage<'_, '_, '_> {
                 pairs.sort_unstable();
                 Reply::Matches(vec![pairs])
             }
+            Request::PatternQuery(src) => match Pattern::parse(&src) {
+                Ok(pattern) => Reply::Rows {
+                    seq: self.report.resumed_at + self.report.batches,
+                    rows: ter_query::evaluate(&pattern, self.pe.engine()),
+                },
+                Err(e) => Reply::Error(format!("bad pattern: {e}")),
+            },
+            Request::Subscribe {
+                sub_id,
+                resync_seq: _,
+                pattern: src,
+            } => match Pattern::parse(&src) {
+                // Always-snapshot semantics: the ack carries the full
+                // current result regardless of `resync_seq` — folding
+                // Notifies on top of it is correct from any position, so
+                // a resync after `Lagged` (or a daemon restart) needs no
+                // server-side replay state.
+                Ok(pattern) => {
+                    let mut standing = StandingQuery::new(pattern);
+                    let rows = standing.seed(self.pe.engine());
+                    let seq = self.report.resumed_at + self.report.batches;
+                    self.subs.insert(
+                        (reply.token, sub_id),
+                        Subscription {
+                            standing,
+                            handle: reply.clone(),
+                            proto,
+                        },
+                    );
+                    Reply::SubAck { sub_id, seq, rows }
+                }
+                Err(e) => Reply::Error(format!("bad pattern: {e}")),
+            },
+            Request::Unsubscribe { sub_id } => {
+                let removed = self.subs.remove(&(reply.token, sub_id)).is_some();
+                Reply::Ack(removed as u64)
+            }
             Request::Stats => {
                 let (next_seq, wal_bytes, _) = self.store_stats();
                 let eng = self.pe.engine();
@@ -887,6 +1019,17 @@ struct Conn {
     /// The interest currently registered in the poller.
     interest: Interest,
     last_write_progress: Instant,
+    /// Un-drained outbound bytes (`wbuf.len() - wpos`), mirrored for the
+    /// engine thread's lag detector; [`CONN_GONE`] after the drop.
+    gauge: Arc<AtomicUsize>,
+}
+
+impl Conn {
+    /// Reconciles the shared gauge after any write-buffer mutation.
+    fn sync_gauge(&self) {
+        self.gauge
+            .store(self.wbuf.len() - self.wpos, Ordering::Release);
+    }
 }
 
 /// One event-loop thread of the front end: multiplexes its share of
@@ -903,7 +1046,12 @@ struct IoThread {
     waker: Arc<Waker>,
     job_tx: mpsc::SyncSender<Job>,
     conns: HashMap<u64, Conn>,
+    /// Next connection token. Seeded with the thread's pool index and
+    /// advanced by the pool size, so tokens are unique across the whole
+    /// pool — standing subscriptions key on `(token, sub_id)` and must
+    /// never alias two connections.
     next_token: u64,
+    token_stride: u64,
 }
 
 impl IoThread {
@@ -968,7 +1116,7 @@ impl IoThread {
             return;
         }
         let token = self.next_token;
-        self.next_token += 1;
+        self.next_token += self.token_stride;
         self.poller
             .register(stream_fd(&stream), token, Interest::READABLE);
         self.conns.insert(
@@ -982,6 +1130,7 @@ impl IoThread {
                 closing: false,
                 interest: Interest::READABLE,
                 last_write_progress: Instant::now(),
+                gauge: Arc::new(AtomicUsize::new(0)),
             },
         );
     }
@@ -1062,6 +1211,9 @@ impl IoThread {
     fn drop_conn(&mut self, token: u64) {
         if let Some(conn) = self.conns.remove(&token) {
             self.poller.deregister(token);
+            // Tell the engine thread's subscription registry the peer is
+            // gone — its standing queries are pruned silently.
+            conn.gauge.store(CONN_GONE, Ordering::Release);
             let _ = conn.stream.shutdown(std::net::Shutdown::Both);
         }
     }
@@ -1087,6 +1239,7 @@ fn append_reply(conn: &mut Conn, proto: u8, reply: &Reply) {
     );
     // Framing into a Vec cannot fail.
     let _ = write_message(&mut conn.wbuf, &encoded);
+    conn.sync_gauge();
 }
 
 /// Pushes buffered reply bytes at the socket until it would block.
@@ -1107,6 +1260,7 @@ fn flush_writes(conn: &mut Conn) -> Action {
         conn.wbuf.clear();
         conn.wpos = 0;
     }
+    conn.sync_gauge();
     Action::Keep
 }
 
@@ -1198,6 +1352,7 @@ fn read_and_parse(
             token,
             tx: io_tx.clone(),
             waker: Arc::clone(waker),
+            gauge: Arc::clone(&conn.gauge),
         };
         // ---- the pipelined-ingest gate ----
         if let Request::IngestSeq { seq, .. } = &request {

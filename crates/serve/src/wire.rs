@@ -29,11 +29,23 @@
 //!   of up to `W` unacked batches rides one connection; acks arrive in
 //!   sequence order because the daemon enqueues only the in-sequence
 //!   prefix.
+//! * **v3** — adds the *declarative query layer*:
+//!   [`Request::PatternQuery`] evaluates a `ter_query` pattern one-shot
+//!   against the live engine ([`Reply::Rows`], stamped with the batch
+//!   position it saw); [`Request::Subscribe`] registers the pattern as a
+//!   *standing* query (the [`Reply::SubAck`] snapshot is the fold's
+//!   starting point) after which the daemon pushes one unsolicited
+//!   [`Reply::Notify`] per arrival batch that net-changed the result.
+//!   A subscriber that cannot drain fast enough is dropped with
+//!   [`Reply::Lagged`] carrying the `resync_seq` to resubscribe from —
+//!   shedding, never stalling ingest. [`Request::Unsubscribe`]
+//!   deregisters explicitly.
 //!
 //! Both sides speak the *lowest* version a message needs: v1 verbs and
 //! replies are emitted as v1 payloads (so an old peer interoperates
-//! untouched), the pipelined messages as v2. Decoders accept both
-//! versions; v2-only tags inside a v1 payload are rejected.
+//! untouched), the pipelined messages as v2, the query-layer messages as
+//! v3. Decoders accept every version; newer tags inside an older payload
+//! are rejected.
 
 use std::io::{Read, Write};
 
@@ -45,8 +57,10 @@ use ter_stream::Arrival;
 pub const PROTO_V1: u8 = 1;
 /// The pipelined-ingest protocol version.
 pub const PROTO_V2: u8 = 2;
+/// The standing-query protocol version.
+pub const PROTO_V3: u8 = 3;
 /// Newest protocol version this build speaks.
-pub const PROTO_VERSION: u8 = PROTO_V2;
+pub const PROTO_VERSION: u8 = PROTO_V3;
 
 /// Hard cap on a wire frame's payload (16 MiB) — a corrupt or hostile
 /// length field must not drive a pathological allocation.
@@ -160,6 +174,24 @@ pub enum Request {
     IngestSeq { seq: u64, batch: Vec<Arrival> },
     /// Introspect the engine without mutating it.
     Query(Query),
+    /// Evaluate a `ter_query` pattern one-shot against the live engine
+    /// (v3). The pattern travels as source text and is parsed (and
+    /// rejected with [`Reply::Error`] on a syntax error) server-side.
+    PatternQuery(String),
+    /// Register the pattern as a standing query under the client-chosen
+    /// `sub_id` (v3). `resync_seq` is 0 on a fresh subscription, or the
+    /// batch position from a [`Reply::Lagged`] / the last folded
+    /// [`Reply::Notify`] when reconciling after a lag or a reconnect —
+    /// the daemon always answers with a full [`Reply::SubAck`] snapshot,
+    /// which restarts the fold from its `seq`.
+    Subscribe {
+        sub_id: u64,
+        resync_seq: u64,
+        pattern: String,
+    },
+    /// Deregister a standing query (v3). Acknowledged with
+    /// [`Reply::Ack`]`(1)` if the subscription existed, `(0)` otherwise.
+    Unsubscribe { sub_id: u64 },
     /// Service counters: stream position, WAL size, pruning statistics.
     Stats,
     /// Force a checkpoint now (cadence-independent).
@@ -174,6 +206,9 @@ const TAG_STATS: u8 = 0x03;
 const TAG_CHECKPOINT: u8 = 0x04;
 const TAG_SHUTDOWN: u8 = 0x05;
 const TAG_INGEST_SEQ: u8 = 0x06;
+const TAG_PATTERN_QUERY: u8 = 0x07;
+const TAG_SUBSCRIBE: u8 = 0x08;
+const TAG_UNSUBSCRIBE: u8 = 0x09;
 
 const TAG_ERROR: u8 = 0x80;
 const TAG_BUSY: u8 = 0x81;
@@ -184,12 +219,18 @@ const TAG_STATS_REPLY: u8 = 0x85;
 const TAG_ACK: u8 = 0x86;
 const TAG_INGEST_ACK: u8 = 0x87;
 const TAG_INGEST_BUSY: u8 = 0x88;
+const TAG_ROWS: u8 = 0x89;
+const TAG_SUB_ACK: u8 = 0x8A;
+const TAG_NOTIFY: u8 = 0x8B;
+const TAG_LAGGED: u8 = 0x8C;
 
 /// The lowest protocol version that carries `tag` — both sides emit it,
-/// so v1 peers keep interoperating until a v2 message is actually needed.
+/// so v1 peers keep interoperating until a v2+ message is actually needed.
 fn tag_version(tag: u8) -> u8 {
     match tag {
         TAG_INGEST_SEQ | TAG_INGEST_ACK | TAG_INGEST_BUSY => PROTO_V2,
+        TAG_PATTERN_QUERY | TAG_SUBSCRIBE | TAG_UNSUBSCRIBE | TAG_ROWS | TAG_SUB_ACK
+        | TAG_NOTIFY | TAG_LAGGED => PROTO_V3,
         _ => PROTO_V1,
     }
 }
@@ -269,6 +310,33 @@ pub enum Reply {
     /// earlier rejection. The client rewinds to its lowest unacked batch
     /// and resends (go-back-N).
     IngestBusy { seq: u64 },
+    /// One-shot pattern result (v3): the projected rows, sorted and
+    /// deduped, plus the batch position of the engine state they were
+    /// evaluated against.
+    Rows { seq: u64, rows: Vec<Vec<u64>> },
+    /// Subscription accepted (v3): the full snapshot of the pattern's
+    /// rows at batch position `seq`. Every later [`Reply::Notify`] for
+    /// this `sub_id` folds on top of it.
+    SubAck {
+        sub_id: u64,
+        seq: u64,
+        rows: Vec<Vec<u64>>,
+    },
+    /// Standing-query push (v3): after the arrival batch ending at
+    /// position `seq`, `added` rows entered the result and `retracted`
+    /// rows left it (both sorted, disjoint). Batches that net-change
+    /// nothing send nothing.
+    Notify {
+        sub_id: u64,
+        seq: u64,
+        added: Vec<Vec<u64>>,
+        retracted: Vec<Vec<u64>>,
+    },
+    /// Subscriber shed (v3): its notification backlog exceeded the
+    /// daemon's buffer bound, so the subscription was dropped rather
+    /// than stalling ingest. Notifications after `resync_seq` were lost;
+    /// resubscribe (with `resync_seq`) for a fresh snapshot.
+    Lagged { sub_id: u64, resync_seq: u64 },
 }
 
 fn payload_with(tag: u8) -> Encoder {
@@ -324,6 +392,27 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
             }
             enc.into_bytes()
         }
+        Request::PatternQuery(pattern) => {
+            let mut enc = payload_with(TAG_PATTERN_QUERY);
+            enc.str(pattern);
+            enc.into_bytes()
+        }
+        Request::Subscribe {
+            sub_id,
+            resync_seq,
+            pattern,
+        } => {
+            let mut enc = payload_with(TAG_SUBSCRIBE);
+            enc.u64(*sub_id);
+            enc.u64(*resync_seq);
+            enc.str(pattern);
+            enc.into_bytes()
+        }
+        Request::Unsubscribe { sub_id } => {
+            let mut enc = payload_with(TAG_UNSUBSCRIBE);
+            enc.u64(*sub_id);
+            enc.into_bytes()
+        }
         Request::Stats => payload_with(TAG_STATS).into_bytes(),
         Request::Checkpoint => payload_with(TAG_CHECKPOINT).into_bytes(),
         Request::Shutdown => payload_with(TAG_SHUTDOWN).into_bytes(),
@@ -375,6 +464,27 @@ pub fn decode_request_versioned(payload: &[u8]) -> Result<(u8, Request), WireErr
                 t => return Err(WireError::UnknownTag(t)),
             };
             finish(&dec, Request::Query(q))
+        }
+        TAG_PATTERN_QUERY => {
+            let pattern = dec.str()?;
+            finish(&dec, Request::PatternQuery(pattern))
+        }
+        TAG_SUBSCRIBE => {
+            let sub_id = dec.u64()?;
+            let resync_seq = dec.u64()?;
+            let pattern = dec.str()?;
+            finish(
+                &dec,
+                Request::Subscribe {
+                    sub_id,
+                    resync_seq,
+                    pattern,
+                },
+            )
+        }
+        TAG_UNSUBSCRIBE => {
+            let sub_id = dec.u64()?;
+            finish(&dec, Request::Unsubscribe { sub_id })
         }
         TAG_STATS => finish(&dec, Request::Stats),
         TAG_CHECKPOINT => finish(&dec, Request::Checkpoint),
@@ -482,6 +592,38 @@ pub fn encode_reply(reply: &Reply) -> Vec<u8> {
             enc.u64(*seq);
             enc.into_bytes()
         }
+        Reply::Rows { seq, rows } => {
+            let mut enc = payload_with(TAG_ROWS);
+            enc.u64(*seq);
+            rows.encode(&mut enc);
+            enc.into_bytes()
+        }
+        Reply::SubAck { sub_id, seq, rows } => {
+            let mut enc = payload_with(TAG_SUB_ACK);
+            enc.u64(*sub_id);
+            enc.u64(*seq);
+            rows.encode(&mut enc);
+            enc.into_bytes()
+        }
+        Reply::Notify {
+            sub_id,
+            seq,
+            added,
+            retracted,
+        } => {
+            let mut enc = payload_with(TAG_NOTIFY);
+            enc.u64(*sub_id);
+            enc.u64(*seq);
+            added.encode(&mut enc);
+            retracted.encode(&mut enc);
+            enc.into_bytes()
+        }
+        Reply::Lagged { sub_id, resync_seq } => {
+            let mut enc = payload_with(TAG_LAGGED);
+            enc.u64(*sub_id);
+            enc.u64(*resync_seq);
+            enc.into_bytes()
+        }
     }
 }
 
@@ -523,6 +665,37 @@ pub fn decode_reply(payload: &[u8]) -> Result<Reply, WireError> {
             let seq = dec.u64()?;
             finish(&dec, Reply::IngestBusy { seq })
         }
+        TAG_ROWS => {
+            let seq = dec.u64()?;
+            let rows = Vec::<Vec<u64>>::decode(&mut dec)?;
+            finish(&dec, Reply::Rows { seq, rows })
+        }
+        TAG_SUB_ACK => {
+            let sub_id = dec.u64()?;
+            let seq = dec.u64()?;
+            let rows = Vec::<Vec<u64>>::decode(&mut dec)?;
+            finish(&dec, Reply::SubAck { sub_id, seq, rows })
+        }
+        TAG_NOTIFY => {
+            let sub_id = dec.u64()?;
+            let seq = dec.u64()?;
+            let added = Vec::<Vec<u64>>::decode(&mut dec)?;
+            let retracted = Vec::<Vec<u64>>::decode(&mut dec)?;
+            finish(
+                &dec,
+                Reply::Notify {
+                    sub_id,
+                    seq,
+                    added,
+                    retracted,
+                },
+            )
+        }
+        TAG_LAGGED => {
+            let sub_id = dec.u64()?;
+            let resync_seq = dec.u64()?;
+            finish(&dec, Reply::Lagged { sub_id, resync_seq })
+        }
         t => Err(WireError::UnknownTag(t)),
     }
 }
@@ -563,6 +736,13 @@ mod tests {
             Request::Query(Query::Window),
             Request::Query(Query::Entity(42)),
             Request::Query(Query::Results),
+            Request::PatternQuery("match(a, b) -> a".into()),
+            Request::Subscribe {
+                sub_id: 3,
+                resync_seq: 17,
+                pattern: "match(a, b), live(c)".into(),
+            },
+            Request::Unsubscribe { sub_id: 3 },
             Request::Stats,
             Request::Checkpoint,
             Request::Shutdown,
@@ -614,6 +794,47 @@ mod tests {
             Err(WireError::UnknownTag(_))
         ));
 
+        // The query-layer messages are v3, and cannot be smuggled into a
+        // v2 (or v1) payload either.
+        let sub_payload = encode_request(&Request::Subscribe {
+            sub_id: 1,
+            resync_seq: 0,
+            pattern: "live(a)".into(),
+        });
+        assert_eq!(sub_payload[0], PROTO_V3);
+        assert_eq!(
+            encode_request(&Request::PatternQuery("live(a)".into()))[0],
+            PROTO_V3
+        );
+        assert_eq!(
+            encode_request(&Request::Unsubscribe { sub_id: 1 })[0],
+            PROTO_V3
+        );
+        assert_eq!(
+            encode_reply(&Reply::Notify {
+                sub_id: 0,
+                seq: 0,
+                added: vec![],
+                retracted: vec![],
+            })[0],
+            PROTO_V3
+        );
+        assert_eq!(
+            encode_reply(&Reply::Lagged {
+                sub_id: 0,
+                resync_seq: 0
+            })[0],
+            PROTO_V3
+        );
+        for downgrade in [PROTO_V1, PROTO_V2] {
+            let mut smuggled = sub_payload.clone();
+            smuggled[0] = downgrade;
+            assert!(matches!(
+                decode_request(&smuggled),
+                Err(WireError::UnknownTag(_))
+            ));
+        }
+
         // The versioned decoder reports what arrived.
         let (proto, req) = decode_request_versioned(&seq_payload).unwrap();
         assert_eq!(proto, PROTO_V2);
@@ -657,6 +878,25 @@ mod tests {
                 per_arrival: vec![vec![(1, 2)], vec![]],
             },
             Reply::IngestBusy { seq: 10 },
+            Reply::Rows {
+                seq: 4,
+                rows: vec![vec![1, 2], vec![9]],
+            },
+            Reply::SubAck {
+                sub_id: 8,
+                seq: 12,
+                rows: vec![vec![3, 4]],
+            },
+            Reply::Notify {
+                sub_id: 8,
+                seq: 13,
+                added: vec![vec![5, 6]],
+                retracted: vec![vec![3, 4], vec![7, 7]],
+            },
+            Reply::Lagged {
+                sub_id: 8,
+                resync_seq: 13,
+            },
         ];
         for reply in &replies {
             let payload = encode_reply(reply);

@@ -11,7 +11,9 @@
 //!                 [--window 400] [--batch 64] [--from auto|N]
 //!                 [--pipeline W] [--resilient] [--batches N]
 //!                 [--oracle-check] [--quiet]
-//! ter_serve query --addr ADDR [--id ID]
+//! ter_serve query --addr ADDR [--id ID] [--pattern 'match(a, b)']
+//! ter_serve subscribe --addr ADDR --pattern 'match(a, b)'
+//!                 [--sub-id 1] [--resync-seq 0] [--events N]
 //! ter_serve shutdown --addr ADDR
 //! ```
 //!
@@ -31,6 +33,13 @@
 //! committed position. `--oracle-check` replays the whole stream through
 //! an in-process engine and insists the daemon's final statistics are
 //! bit-identical.
+//!
+//! `query --pattern` runs a one-shot declarative pattern query (protocol
+//! v3); `subscribe` registers the pattern as a *standing* query and
+//! streams the daemon's incremental match/retraction notifications to
+//! stdout as the window slides — one line per event, `LAGGED` when the
+//! daemon shed the subscription under backpressure (rerun `subscribe`
+//! quoting the printed resync position).
 
 use std::process::ExitCode;
 use std::time::{Duration, Instant};
@@ -51,10 +60,13 @@ fn usage() -> ! {
          \x20        [--window 400] [--checkpoint-every 8] [--queue-depth 16]\n\
          \x20        [--shards 8] [--threads T] [--io-threads 2]\n\
          \x20        [--flush-window 1] [--flush-interval-ms 5]\n\
+         \x20        [--notify-buffer 262144]\n\
          feed     --addr ADDR [--preset ebooks] [--scale 1.0] [--window 400]\n\
          \x20        [--batch 64] [--from auto|N] [--batches N] [--pipeline W]\n\
          \x20        [--resilient] [--oracle-check] [--quiet]\n\
-         query    --addr ADDR [--id ID]\n\
+         query    --addr ADDR [--id ID] [--pattern 'match(a, b)']\n\
+         subscribe --addr ADDR --pattern 'match(a, b)' [--sub-id 1]\n\
+         \x20        [--resync-seq 0] [--events N]\n\
          shutdown --addr ADDR"
     );
     std::process::exit(2);
@@ -182,6 +194,7 @@ fn cmd_serve(flags: &Flags) -> ExitCode {
         // harnesses can reliably land a SIGKILL inside an open flush
         // window. Zero in production.
         fsync_delay: Duration::from_millis(flags.parsed("fsync-delay-ms", 0)),
+        notify_buffer: flags.parsed("notify-buffer", ServeOptions::default().notify_buffer),
         ..ServeOptions::default()
     };
     eprintln!(
@@ -401,6 +414,21 @@ fn cmd_feed(flags: &Flags) -> ExitCode {
 
 fn cmd_query(flags: &Flags) -> ExitCode {
     let mut client = connect(flags);
+    if let Some(pattern) = flags.get("pattern") {
+        match client.pattern_query(pattern) {
+            Ok((seq, rows)) => {
+                println!("position: batch {seq}, {} rows", rows.len());
+                for row in rows {
+                    println!("{row:?}");
+                }
+                return ExitCode::SUCCESS;
+            }
+            Err(e) => {
+                eprintln!("pattern query failed: {e}");
+                return ExitCode::from(1);
+            }
+        }
+    }
     if let Some(raw) = flags.get("id") {
         let id: u64 = raw.parse().unwrap_or_else(|_| {
             eprintln!("invalid --id");
@@ -438,6 +466,60 @@ fn cmd_query(flags: &Flags) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// Registers a standing query and streams its notifications to stdout:
+/// first the snapshot (`SNAPSHOT <seq> <rows>` then one `ROW` line per
+/// row), then one `NOTIFY` line per pushed batch delta. Exits after
+/// `--events N` events, on `LAGGED` (the daemon shed us — rerun with the
+/// printed resync position), or when the daemon goes away.
+fn cmd_subscribe(flags: &Flags) -> ExitCode {
+    let pattern = flags.required("pattern").to_string();
+    let sub_id: u64 = flags.parsed("sub-id", 1);
+    let resync_seq: u64 = flags.parsed("resync-seq", 0);
+    let limit: u64 = flags.parsed("events", u64::MAX);
+    let mut client = connect(flags);
+    let ack = match client.subscribe(sub_id, resync_seq, &pattern) {
+        Ok(ack) => ack,
+        Err(e) => {
+            eprintln!("subscribe failed: {e}");
+            return ExitCode::from(1);
+        }
+    };
+    println!("SNAPSHOT seq={} rows={}", ack.seq, ack.rows.len());
+    for row in &ack.rows {
+        println!("ROW {row:?}");
+    }
+    use std::io::Write;
+    std::io::stdout().flush().ok();
+    let mut seen = 0u64;
+    while seen < limit {
+        match client.next_event() {
+            Ok(ter_serve::SubEvent::Notify {
+                seq,
+                added,
+                retracted,
+                ..
+            }) => {
+                println!("NOTIFY seq={seq} added={added:?} retracted={retracted:?}");
+                std::io::stdout().flush().ok();
+                seen += 1;
+            }
+            Ok(ter_serve::SubEvent::Lagged { resync_seq, .. }) => {
+                println!("LAGGED resync_seq={resync_seq}");
+                eprintln!(
+                    "subscription shed under backpressure; resubscribe with --resync-seq {resync_seq}"
+                );
+                return ExitCode::from(3);
+            }
+            Err(e) => {
+                eprintln!("subscription ended: {e}");
+                return ExitCode::from(1);
+            }
+        }
+    }
+    let _ = client.unsubscribe(sub_id);
+    ExitCode::SUCCESS
+}
+
 fn cmd_shutdown(flags: &Flags) -> ExitCode {
     let mut client = connect(flags);
     match client.shutdown() {
@@ -460,6 +542,7 @@ fn main() -> ExitCode {
         "serve" => cmd_serve(&flags),
         "feed" => cmd_feed(&flags),
         "query" => cmd_query(&flags),
+        "subscribe" => cmd_subscribe(&flags),
         "shutdown" => cmd_shutdown(&flags),
         _ => usage(),
     }

@@ -21,13 +21,16 @@
 
 mod harness;
 
+use std::collections::BTreeSet;
 use std::net::TcpStream;
 use std::time::Duration;
 
 use harness::{build_oracle_inputs, oracle_run, Daemon, TempDir, BATCH};
-use ter_ids::ErProcessor;
+use ter_exec::{ExecConfig, ShardedTerIdsEngine};
+use ter_ids::{ErProcessor, PruningMode};
+use ter_query::{fold_notification, BatchDelta, Pattern, StandingQuery};
 use ter_serve::wire::{encode_ingest_seq, read_message, write_message};
-use ter_serve::{Client, Reply, ResilientClient};
+use ter_serve::{Client, ClientError, Reply, ResilientClient, SubscriptionFold};
 use ter_stream::Arrival;
 
 /// Feeds a batch slice either strictly request/reply (`window == 1`) or
@@ -247,6 +250,115 @@ fn sigkill_mid_flight_loses_no_acked_batch() {
     let window = client.window().expect("window");
     assert_eq!(window.live_ids, oracle.live_ids());
     client.shutdown().expect("shutdown");
+    daemon.wait_graceful();
+}
+
+/// Drains pushed subscription events into the fold until the socket
+/// stays quiet for half a second — long past any in-flight notification
+/// once the feeder's acks are all in.
+fn drain_events(sub: &mut Client, fold: &mut SubscriptionFold) {
+    sub.set_io_timeout(Some(Duration::from_millis(500)))
+        .expect("set timeout");
+    loop {
+        match sub.next_event() {
+            Ok(ev) => fold.apply(&ev),
+            Err(ClientError::Wire(_)) => break, // quiet (or the kill) — done
+            Err(e) => panic!("subscription failed: {e}"),
+        }
+    }
+}
+
+/// The standing-query half of the crash contract: subscribe, SIGKILL the
+/// daemon mid-stream, restart, resubscribe quoting the fold's position —
+/// and the reconciled match set (resync snapshot + post-restart
+/// notifications) must be bit-identical to a subscriber that never saw a
+/// crash, after every phase:
+///
+/// * the resync snapshot equals the never-crashed subscriber's rows at
+///   the cut (WAL replay rebuilt the exact engine state);
+/// * the final fold equals both the never-crashed in-process standing
+///   fold over the whole stream and a one-shot pattern query against the
+///   restarted daemon.
+#[test]
+fn subscriber_survives_sigkill_via_resubscribe_resync() {
+    let (ctx, streams, params) = build_oracle_inputs();
+    let batches = streams.arrival_batches(BATCH);
+    let cut = batches.len() / 2;
+    let pattern_src = "match(a, b)";
+    let pattern = Pattern::parse(pattern_src).expect("pattern");
+
+    // ---- the never-crashed subscriber: in-process standing fold ----
+    let mut oracle_eng =
+        ShardedTerIdsEngine::new(&ctx, params, PruningMode::Full, ExecConfig::new(4, 2));
+    let mut oracle_sq = StandingQuery::new(pattern.clone());
+    let mut oracle_fold: BTreeSet<Vec<u64>> = oracle_sq.seed(&oracle_eng).into_iter().collect();
+    let mut oracle_rows_at_cut: Vec<Vec<u64>> = Vec::new();
+    for (i, b) in batches.iter().enumerate() {
+        let outs = oracle_eng.step_batch(b);
+        let delta = BatchDelta::from_steps(b, &outs);
+        let (added, retracted) = oracle_sq.apply_batch(&oracle_eng, &delta);
+        fold_notification(&mut oracle_fold, &added, &retracted);
+        if i + 1 == cut {
+            oracle_rows_at_cut = oracle_sq.rows();
+        }
+    }
+    let oracle_final: Vec<Vec<u64>> = oracle_fold.iter().cloned().collect();
+
+    // ---- phase 1: subscribe from empty, feed half, SIGKILL ----
+    let dir = TempDir::new("subcrash");
+    let daemon = Daemon::spawn(dir.path(), &[]);
+    let mut sub = daemon.client();
+    let ack = sub.subscribe(1, 0, pattern_src).expect("subscribe");
+    assert_eq!(ack.seq, 0);
+    assert!(ack.rows.is_empty(), "fresh daemon, empty result");
+    let mut fold = SubscriptionFold::start(&ack);
+    let mut feeder = daemon.client();
+    for b in &batches[..cut] {
+        feeder.ingest_wait(b).expect("ingest");
+    }
+    drain_events(&mut sub, &mut fold);
+    assert_eq!(
+        fold.rows(),
+        oracle_rows_at_cut,
+        "pre-crash fold ≡ never-crashed subscriber at the cut"
+    );
+    assert!(fold.lagged.is_none());
+    let resync_from = fold.seq;
+    daemon.kill9();
+
+    // ---- phase 2: restart, resubscribe with the fold's position ----
+    let daemon = Daemon::spawn(dir.path(), &[]);
+    let mut sub = daemon.client();
+    let ack = sub
+        .subscribe(1, resync_from, pattern_src)
+        .expect("resubscribe");
+    assert_eq!(
+        ack.seq, cut as u64,
+        "resync snapshot sits at the resumed batch position"
+    );
+    assert_eq!(
+        ack.rows, oracle_rows_at_cut,
+        "resync snapshot ≡ never-crashed subscriber at the cut"
+    );
+    let mut fold = SubscriptionFold::start(&ack);
+    let mut feeder = daemon.client();
+    for b in &batches[cut..] {
+        feeder.ingest_wait(b).expect("ingest after restart");
+    }
+    drain_events(&mut sub, &mut fold);
+
+    // ---- the acceptance gate ----
+    assert_eq!(
+        fold.rows(),
+        oracle_final,
+        "reconciled fold diverged from the never-crashed subscriber"
+    );
+    let (seq, rows) = feeder.pattern_query(pattern_src).expect("one-shot");
+    assert_eq!(seq, batches.len() as u64);
+    assert_eq!(fold.rows(), rows, "fold ≡ one-shot against the daemon");
+    assert!(sub.unsubscribe(1).expect("unsubscribe"));
+
+    feeder.shutdown().expect("graceful shutdown");
     daemon.wait_graceful();
 }
 

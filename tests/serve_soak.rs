@@ -29,6 +29,7 @@ use std::time::Duration;
 
 use harness::{build_oracle_inputs, oracle_run, Daemon, TempDir, BATCH};
 use ter_ids::ErProcessor;
+use ter_serve::{ClientError, SubEvent, SubscriptionFold};
 
 /// Reads `Threads:` from `/proc/<pid>/status`.
 fn thread_count(pid: u32) -> usize {
@@ -138,6 +139,155 @@ fn soak_connections_bounded_threads_and_oracle_parity() {
     let window = client.window().expect("window");
     assert_eq!(window.len, oracle.window_len());
     assert_eq!(window.live_ids, oracle.live_ids());
+
+    drop(idle);
+    client.shutdown().expect("graceful shutdown");
+    daemon.wait_graceful();
+}
+
+/// One slow subscriber must not be allowed to stall ingest: with a tiny
+/// `--notify-buffer`, a subscriber on a firehose pattern that never
+/// reads its socket is shed to `Lagged{resync_seq}` once its outbound
+/// backlog crosses the bound, while
+///
+/// * the single ordered feeder completes the full stream with exact
+///   pruning-stats and window parity against the in-process oracle,
+/// * a healthy subscriber on the same daemon folds its notification
+///   stream to the one-shot query bit-identically with no `Lagged`, and
+/// * the daemon's thread count stays inside the fixed-pool gate.
+///
+/// Afterwards the shed subscriber resubscribes quoting the advertised
+/// `resync_seq` and is made whole by the snapshot — the documented
+/// recovery contract.
+#[test]
+fn slow_subscriber_sheds_to_lagged_without_stalling_ingest() {
+    let (ctx, streams, params) = build_oracle_inputs();
+    let batches = streams.arrival_batches(BATCH);
+    let (_, oracle) = oracle_run(&ctx, params, &batches);
+
+    let dir = TempDir::new("lag");
+    let daemon = Daemon::spawn(
+        dir.path(),
+        &["--io-threads", "2", "--notify-buffer", "4096"],
+    );
+
+    // A small standing herd so shedding runs under concurrent load.
+    let idle: Vec<TcpStream> = (0..16)
+        .map(|_| TcpStream::connect(daemon.addr).expect("idle connect"))
+        .collect();
+
+    // The slow subscriber: an unselective three-way cross product —
+    // every window slide churns thousands of rows — and then it never
+    // touches its socket again until the feed is over.
+    let mut slow = daemon.client();
+    let slow_pattern = "live(a), live(b), live(c)";
+    let ack = slow.subscribe(1, 0, slow_pattern).expect("subscribe slow");
+    assert!(ack.rows.is_empty(), "fresh daemon, empty snapshot");
+
+    // The healthy subscriber: selective pattern, drained continuously.
+    let mut healthy = daemon.client();
+    let healthy_pattern = "match(a, b) where topical(a)";
+    let ack = healthy
+        .subscribe(1, 0, healthy_pattern)
+        .expect("subscribe healthy");
+    let mut healthy_fold = SubscriptionFold::start(&ack);
+
+    let stop = AtomicBool::new(false);
+    let (served_stats, healthy_fold, peak_threads) = std::thread::scope(|scope| {
+        let feeder = scope.spawn(|| {
+            let mut c = daemon.client();
+            for batch in &batches {
+                c.ingest_wait(batch).expect("soak ingest");
+            }
+            c.stats().expect("final stats")
+        });
+        let drainer = scope.spawn(|| {
+            healthy
+                .set_io_timeout(Some(Duration::from_millis(300)))
+                .expect("set timeout");
+            loop {
+                match healthy.next_event() {
+                    Ok(ev) => healthy_fold.apply(&ev),
+                    // Quiet socket: keep listening until the feed ends.
+                    Err(ClientError::Wire(_)) => {
+                        if stop.load(Ordering::Relaxed) {
+                            break;
+                        }
+                    }
+                    Err(e) => panic!("healthy subscriber: {e}"),
+                }
+            }
+            healthy_fold
+        });
+        let mut peak = 0usize;
+        while !feeder.is_finished() {
+            peak = peak.max(thread_count(daemon.pid()));
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        let served_stats = feeder.join().expect("feeder");
+        stop.store(true, Ordering::Relaxed);
+        let healthy_fold = drainer.join().expect("drainer");
+        (served_stats, healthy_fold, peak)
+    });
+
+    assert!(
+        peak_threads <= 16,
+        "daemon used {peak_threads} threads — a lagging subscriber must \
+         not grow the pool"
+    );
+
+    // ---- ingest was never degraded: exact oracle parity ----
+    assert_eq!(served_stats.next_batch_seq, batches.len() as u64);
+    assert_eq!(
+        served_stats.stats,
+        oracle.prune_stats(),
+        "pruning statistics perturbed by a lagging subscriber"
+    );
+    let mut client = daemon.client();
+    let window = client.window().expect("window");
+    assert_eq!(window.len, oracle.window_len());
+    assert_eq!(window.live_ids, oracle.live_ids());
+
+    // ---- the healthy subscriber never lagged and folds exactly ----
+    assert!(
+        healthy_fold.lagged.is_none(),
+        "healthy subscriber was shed alongside the slow one"
+    );
+    let (_, rows) = client.pattern_query(healthy_pattern).expect("one-shot");
+    assert_eq!(
+        healthy_fold.rows(),
+        rows,
+        "healthy fold ≡ one-shot despite a lagging peer"
+    );
+
+    // ---- the slow subscriber was shed, not stalled over ----
+    slow.set_io_timeout(Some(Duration::from_millis(500)))
+        .expect("set timeout");
+    let mut lagged_at = None;
+    let mut notifies = 0usize;
+    loop {
+        match slow.next_event() {
+            Ok(SubEvent::Notify { .. }) => notifies += 1,
+            Ok(SubEvent::Lagged { sub_id, resync_seq }) => {
+                assert_eq!(sub_id, 1);
+                lagged_at = Some(resync_seq);
+                break;
+            }
+            Err(ClientError::Wire(_)) => break,
+            Err(e) => panic!("slow subscriber: {e}"),
+        }
+    }
+    let resync_seq = lagged_at.unwrap_or_else(|| {
+        panic!("slow subscriber never saw Lagged (drained {notifies} notifies)")
+    });
+    assert!(resync_seq <= batches.len() as u64);
+
+    // ---- and the advertised resync makes it whole ----
+    slow.set_io_timeout(None).expect("clear timeout");
+    let ack = slow.subscribe(2, resync_seq, slow_pattern).expect("resync");
+    assert_eq!(ack.seq, batches.len() as u64);
+    let (_, rows) = client.pattern_query(slow_pattern).expect("one-shot");
+    assert_eq!(ack.rows, rows, "resync snapshot ≡ one-shot after the feed");
 
     drop(idle);
     client.shutdown().expect("graceful shutdown");
