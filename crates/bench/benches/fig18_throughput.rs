@@ -123,6 +123,10 @@ fn main() {
     // core — a "scaling curve" measured that way is noise, so the curve is
     // flagged and the speedup-claim assertions are skipped.
     let undersubscribed = swept.iter().copied().max().unwrap_or(1) > host_cpus;
+    // The sweep's stage histograms (impute/traverse/refine/merge/barrier
+    // per batch) come from the global telemetry registry; reset it so the
+    // recorded summaries describe exactly this sweep.
+    ter_obs::reset();
     let mut series = Vec::new();
     for threads in swept {
         let m = run_sharded(&prepared, threads, shards, batch);
@@ -131,6 +135,18 @@ fn main() {
             m.reported, seq_reported,
             "sharded engine (T={threads}) diverged from sequential"
         );
+        // The overlapped drive's structural claim, asserted where it is
+        // measured: one combined barrier round per arrival (the lockstep
+        // drive needs two). Independent of CPU count — barriers are
+        // counted, not timed — so this gates even undersubscribed runs.
+        if threads > 1 {
+            assert!(
+                m.barriers_per_arrival <= 1.01,
+                "overlapped drive at T={threads} spent {:.3} barriers/arrival \
+                 (claim: ≤ 1 + rounding)",
+                m.barriers_per_arrival
+            );
+        }
         println!(
             "{:<16} {:>9.2}s {:>12.1} tuples/s  ({:.2} barriers/arrival)",
             format!("threads={}", m.threads),
@@ -165,8 +181,35 @@ fn main() {
             )
         })
         .collect();
+    // Per-stage wall-time histograms over the whole sweep, from the
+    // telemetry registry — the observability layer answering the bench's
+    // own question: where does a batch's time actually go?
+    let obs = ter_obs::snapshot();
+    let stage_rows: Vec<String> = [
+        ("impute", "ter_engine_impute_micros"),
+        ("traverse", "ter_engine_traverse_micros"),
+        ("refine", "ter_engine_refine_micros"),
+        ("merge", "ter_engine_merge_micros"),
+        ("barrier_wait", "ter_engine_barrier_wait_micros"),
+    ]
+    .iter()
+    .map(|(stage, metric)| {
+        let row = obs
+            .iter()
+            .find(|r| r.name == *metric)
+            .expect("stage metric registered");
+        format!(
+            "    \"{stage}\": {{\"count\": {}, \"sum\": {}, \"p50\": {}, \"p95\": {}, \"p99\": {}}}",
+            row.value,
+            row.sum,
+            row.quantile(0.50),
+            row.quantile(0.95),
+            row.quantile(0.99)
+        )
+    })
+    .collect();
     let json = format!(
-        "{{\n  \"bench\": \"fig18_throughput\",\n{}\n  \"preset\": \"{}\",\n  \"scale\": {},\n  \"window\": {},\n  \"shards\": {},\n  \"batch\": {},\n  \"arrivals\": {},\n  \"host_cpus\": {},\n  \"undersubscribed\": {},\n  \"sequential_tuples_per_sec\": {:.1},\n  \"series\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"bench\": \"fig18_throughput\",\n{}\n  \"preset\": \"{}\",\n  \"scale\": {},\n  \"window\": {},\n  \"shards\": {},\n  \"batch\": {},\n  \"arrivals\": {},\n  \"host_cpus\": {},\n  \"undersubscribed\": {},\n  \"sequential_tuples_per_sec\": {:.1},\n  \"stage_micros\": {{\n{}\n  }},\n  \"series\": [\n{}\n  ]\n}}\n",
         RunStamp::capture().json_fields(),
         preset.name(),
         scale,
@@ -177,6 +220,7 @@ fn main() {
         host_cpus,
         undersubscribed,
         seq_tps,
+        stage_rows.join(",\n"),
         rows.join(",\n")
     );
     let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_throughput.json");

@@ -528,6 +528,35 @@ impl BatchWorkers<'_, '_> {
     }
 }
 
+/// Records one batch's accumulated per-stage wall-times into the global
+/// observability registry — one histogram observation per stage per
+/// batch, so the hot loop only pays local integer adds. No-op when
+/// observability is disabled ([`ter_obs::timer`] returns `None` then, so
+/// the accumulators stay zero and nothing is recorded).
+fn record_stage_batch(traverse_us: u64, refine_us: u64, merge_us: u64, barrier_us: Option<u64>) {
+    if !ter_obs::enabled() {
+        return;
+    }
+    let seq = ter_obs::OBS.engine_batches.get();
+    ter_obs::OBS.engine_traverse_micros.record(traverse_us);
+    ter_obs::flight(ter_obs::kind::TRAVERSE, seq, 0, 0, traverse_us);
+    ter_obs::OBS.engine_refine_micros.record(refine_us);
+    ter_obs::flight(ter_obs::kind::REFINE, seq, 0, 0, refine_us);
+    ter_obs::OBS.engine_merge_micros.record(merge_us);
+    ter_obs::flight(ter_obs::kind::MERGE, seq, 0, 0, merge_us);
+    if let Some(b) = barrier_us {
+        ter_obs::OBS.engine_barrier_wait_micros.record(b);
+    }
+}
+
+/// Adds the microseconds since an enabled [`ter_obs::timer`] to a local
+/// stage accumulator (free when disabled).
+fn lap(t0: Option<Instant>, acc: &mut u64) {
+    if let Some(t0) = t0 {
+        *acc += t0.elapsed().as_micros() as u64;
+    }
+}
+
 /// The lock-step drive: per arrival, wait for the traverse, then wait for
 /// the fanned refine — two barriers. Shared by the inline path (where
 /// the "waits" are plain function calls and cost nothing).
@@ -538,6 +567,7 @@ fn drive_lockstep<'a>(
     workers: &mut BatchWorkers<'_, 'a>,
 ) -> (Vec<StepOutput>, Option<Arc<TupleMeta>>) {
     let mut outputs = Vec::with_capacity(batch.len());
+    let (mut traverse_us, mut refine_us, mut merge_us) = (0u64, 0u64, 0u64);
     // The previous arrival's tuple; inserted into the grid by the
     // workers at the start of the *next* step, preserving the
     // sequential op order insert(i) → evict(i+1) → traverse(i+1).
@@ -546,6 +576,7 @@ fn drive_lockstep<'a>(
         let er_start = Instant::now();
 
         // ---- expiry (merge phase: window semantics unchanged) ----
+        let mut t0 = ter_obs::timer();
         let mut retractions = Vec::new();
         let mut expired = Vec::new();
         let evicted = eng
@@ -557,18 +588,22 @@ fn drive_lockstep<'a>(
                 retractions = removed;
                 meta
             });
+        lap(t0, &mut merge_us);
 
         // ---- traverse ----
+        t0 = ter_obs::timer();
         let surfaced = workers.step(
             pending_insert.as_ref(),
             evicted.as_ref(),
             meta,
             &mut eng.metrics,
         );
+        lap(t0, &mut traverse_us);
 
         // ---- candidate selection (shared with the sequential engine:
         // Theorem 4.1 inverted list, ascending-id order so the slice
         // partition across workers is deterministic) ----
+        t0 = ter_obs::timer();
         let cands: Vec<Arc<TupleMeta>> =
             candidates::examined_candidates(meta, &surfaced, &eng.topical_ids, &eng.metas)
                 .into_iter()
@@ -578,9 +613,12 @@ fn drive_lockstep<'a>(
 
         // ---- refine ----
         let outcome = workers.refine(meta, &cands, eng.exec.refine_fanout_min, &mut eng.metrics);
+        lap(t0, &mut refine_us);
 
         // ---- merge ----
+        t0 = ter_obs::timer();
         let new_matches = eng.finalize_arrival(meta, examined, outcome);
+        lap(t0, &mut merge_us);
         pending_insert = Some(Arc::clone(meta));
 
         let mut step_timing = *imp_timing;
@@ -593,6 +631,7 @@ fn drive_lockstep<'a>(
             timing: step_timing,
         });
     }
+    record_stage_batch(traverse_us, refine_us, merge_us, None);
     (outputs, pending_insert)
 }
 
@@ -636,7 +675,11 @@ fn drive_overlapped<'a>(
     let ev0 = scheduled_evict_meta(sched[0], &idx_of, per_arrival, &eng.metas);
     pool.send_step(None, ev0.as_ref(), &per_arrival[0].0);
     eng.metrics.er_barriers += 1;
+    let (mut traverse_us, mut refine_us, mut merge_us, mut barrier_us) = (0u64, 0u64, 0u64, 0u64);
+    let mut t0 = ter_obs::timer();
     let mut surfaced = pool.collect_surfaced();
+    lap(t0, &mut traverse_us);
+    lap(t0, &mut barrier_us);
 
     let mut outputs = Vec::with_capacity(n);
     for i in 0..n {
@@ -644,6 +687,7 @@ fn drive_overlapped<'a>(
         let er_start = Instant::now();
 
         // ---- expiry (the real push; the schedule must agree) ----
+        t0 = ter_obs::timer();
         let mut retractions = Vec::new();
         let mut expired = Vec::new();
         let evicted = eng
@@ -660,8 +704,10 @@ fn drive_overlapped<'a>(
             sched[i],
             "eviction schedule diverged from the window"
         );
+        lap(t0, &mut merge_us);
 
         // ---- candidate selection ----
+        t0 = ter_obs::timer();
         let cands: Vec<Arc<TupleMeta>> =
             candidates::examined_candidates(meta, &surfaced, &eng.topical_ids, &eng.metas)
                 .into_iter()
@@ -690,17 +736,26 @@ fn drive_overlapped<'a>(
         if fan_sent > 0 || i + 1 < n {
             eng.metrics.er_barriers += 1;
         }
+        lap(t0, &mut refine_us);
         if fan_sent > 0 {
             // FIFO per worker: its Refined(i) reply precedes its
             // Surfaced(i+1) reply, so this drain order is deterministic.
+            t0 = ter_obs::timer();
             outcome = pool.collect_refined(fan_sent);
+            lap(t0, &mut refine_us);
+            lap(t0, &mut barrier_us);
         }
         if i + 1 < n {
+            t0 = ter_obs::timer();
             surfaced = pool.collect_surfaced();
+            lap(t0, &mut traverse_us);
+            lap(t0, &mut barrier_us);
         }
 
         // ---- merge ----
+        t0 = ter_obs::timer();
         let new_matches = eng.finalize_arrival(meta, examined, outcome);
+        lap(t0, &mut merge_us);
         let mut step_timing = *imp_timing;
         step_timing.er += er_start.elapsed();
         eng.timing.accumulate(&step_timing);
@@ -712,6 +767,7 @@ fn drive_overlapped<'a>(
         });
     }
     eng.metrics.overlapped_arrivals += n as u64;
+    record_stage_batch(traverse_us, refine_us, merge_us, Some(barrier_us));
     (outputs, Some(Arc::clone(&per_arrival[n - 1].0)))
 }
 
@@ -752,15 +808,26 @@ impl<'a> PooledEngine<'_, 'a> {
         if batch.is_empty() {
             return Vec::new();
         }
+        let batch_t0 = ter_obs::timer();
+        ter_obs::OBS.engine_batches.inc();
         let eng = &mut *self.eng;
         let wctx = eng.worker_ctx();
-        match &self.pool {
+        let outputs = match &self.pool {
             None => {
                 // Inline fast path: same ops, same order, no pool.
+                let t0 = ter_obs::timer();
                 let per_arrival: Vec<(Arc<TupleMeta>, PhaseTiming)> = batch
                     .iter()
                     .map(|a| impute_one(&eng.imputer, eng.ctx, a))
                     .collect();
+                let impute_us = ter_obs::OBS.engine_impute_micros.observe_since(t0);
+                ter_obs::flight(
+                    ter_obs::kind::IMPUTE,
+                    ter_obs::OBS.engine_batches.get(),
+                    batch.len() as u64,
+                    0,
+                    impute_us,
+                );
                 let owned: Vec<(usize, ShardGrid)> = eng.shards.drain(..).enumerate().collect();
                 let mut workers = BatchWorkers::Inline {
                     shards: owned,
@@ -779,11 +846,20 @@ impl<'a> PooledEngine<'_, 'a> {
             Some(pool) => {
                 eng.metrics.pooled_batches += 1;
                 // ---- impute stage ----
+                let t0 = ter_obs::timer();
                 let per_arrival = if batch.len() == 1 {
                     vec![impute_one(&eng.imputer, eng.ctx, &batch[0])]
                 } else {
                     pool.impute_batch(batch)
                 };
+                let impute_us = ter_obs::OBS.engine_impute_micros.observe_since(t0);
+                ter_obs::flight(
+                    ter_obs::kind::IMPUTE,
+                    ter_obs::OBS.engine_batches.get(),
+                    batch.len() as u64,
+                    0,
+                    impute_us,
+                );
                 // Workers own disjoint shard groups for the whole batch
                 // (shard s → worker s mod T), so each cell's op sequence
                 // is applied by exactly one worker, in arrival order —
@@ -805,7 +881,15 @@ impl<'a> PooledEngine<'_, 'a> {
                 eng.shards = pool.finish(pending, shard_count);
                 outputs
             }
-        }
+        };
+        ter_obs::flight(
+            ter_obs::kind::BATCH,
+            ter_obs::OBS.engine_batches.get(),
+            batch.len() as u64,
+            0,
+            batch_t0.map_or(0, |t| t.elapsed().as_micros() as u64),
+        );
+        outputs
     }
 }
 

@@ -1,0 +1,1077 @@
+//! `ter_obs`: unified observability for every TER-iDS layer — a
+//! lock-light metric registry plus a bounded flight recorder of
+//! structured trace events.
+//!
+//! # Design constraints
+//!
+//! The engine's parity guarantee (sharded ≡ sequential, bit-for-bit)
+//! means instrumentation must never feed back into computation: every
+//! metric here is write-only from the hot path's point of view.
+//! Counters and gauges are single `AtomicU64`s updated with relaxed
+//! ordering; histograms are 64 fixed log₂ buckets of `AtomicU64` (one
+//! relaxed add per observation, p50/p95/p99 derivable from the buckets
+//! at read time). Nothing on the hot path allocates, locks, or branches
+//! on metric *values*. The only mutex in the crate guards the flight
+//! recorder's ring buffer, and both timing capture ([`timer`]) and event
+//! recording ([`flight`]) collapse to a single relaxed load when the
+//! global enable flag is off — which is how the overhead-guard bench
+//! measures the metrics-off baseline.
+//!
+//! # Surfaces
+//!
+//! * [`snapshot`] — the full registry as owned [`MetricRow`]s (the
+//!   `MetricsDump` wire verb's body);
+//! * [`flight_snapshot`] — the ring's events, oldest → newest;
+//! * [`render`] / [`parse_dump`] — a Prometheus-style text exposition
+//!   (metric lines, histogram `_count`/`_sum`/`_p*`/`_bucket{le=..}`
+//!   lines, flight events as `# flight` comment lines) and its strict
+//!   parser, used by the CLI, the dump files, and the crash tests;
+//! * [`set_dump_path`] + [`dump_now`] — the `--metrics-text` hook: the
+//!   daemon dumps at checkpoint cadence, on shutdown, and on a step
+//!   panic, so a SIGKILL post-mortem always has a recent exposition
+//!   written atomically (tmp + rename — a kill mid-dump leaves the
+//!   previous complete file, never a torn one).
+
+use std::collections::BTreeMap;
+use std::io::Write;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard, OnceLock};
+use std::time::Instant;
+
+/// Flight-recorder ring capacity (events). Old events are overwritten;
+/// the snapshot always holds the newest `FLIGHT_CAPACITY`.
+pub const FLIGHT_CAPACITY: usize = 4096;
+
+/// Histogram bucket count: bucket `i` holds observations whose value has
+/// bit-width `i` (`v = 0` → bucket 0, `v ∈ [2^(i-1), 2^i)` → bucket `i`,
+/// everything at or above `2^62` → bucket 63).
+pub const HIST_BUCKETS: usize = 64;
+
+// ---------------------------------------------------------------------
+// Metric primitives
+// ---------------------------------------------------------------------
+
+/// Metric kind discriminant carried in [`MetricRow::kind`].
+pub const KIND_COUNTER: u8 = 0;
+/// See [`KIND_COUNTER`].
+pub const KIND_GAUGE: u8 = 1;
+/// See [`KIND_COUNTER`].
+pub const KIND_HISTOGRAM: u8 = 2;
+
+/// A monotonic counter: one relaxed add per event.
+#[derive(Debug)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// A zeroed counter (const — registries are `static`).
+    pub const fn new() -> Self {
+        Self(AtomicU64::new(0))
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    fn reset(&self) {
+        self.0.store(0, Ordering::Relaxed);
+    }
+
+    fn row(&self, name: &'static str) -> MetricRow {
+        MetricRow {
+            name: name.to_string(),
+            kind: KIND_COUNTER,
+            value: self.get(),
+            sum: 0,
+            buckets: Vec::new(),
+        }
+    }
+}
+
+impl Default for Counter {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A last-value gauge (plus saturating dec and high-water max).
+#[derive(Debug)]
+pub struct Gauge(AtomicU64);
+
+impl Gauge {
+    /// A zeroed gauge (const — registries are `static`).
+    pub const fn new() -> Self {
+        Self(AtomicU64::new(0))
+    }
+
+    /// Sets the value.
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Subtracts `n`, saturating at zero (concurrent inc/dec pairs may
+    /// transiently interleave; a gauge must never wrap to 2^64).
+    pub fn sub(&self, n: u64) {
+        let mut cur = self.0.load(Ordering::Relaxed);
+        loop {
+            let next = cur.saturating_sub(n);
+            match self
+                .0
+                .compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => return,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Raises the gauge to `v` if `v` is larger — high-water marks.
+    pub fn max(&self, v: u64) {
+        self.0.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    fn reset(&self) {
+        self.0.store(0, Ordering::Relaxed);
+    }
+
+    fn row(&self, name: &'static str) -> MetricRow {
+        MetricRow {
+            name: name.to_string(),
+            kind: KIND_GAUGE,
+            value: self.get(),
+            sum: 0,
+            buckets: Vec::new(),
+        }
+    }
+}
+
+impl Default for Gauge {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A fixed-bucket log₂ latency histogram: 64 buckets by bit-width, plus
+/// a running sum and count. One relaxed add (plus two for sum/count) per
+/// observation; quantiles are derived from the buckets at read time.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; HIST_BUCKETS],
+    sum: AtomicU64,
+    count: AtomicU64,
+}
+
+/// Bucket index of a value: its bit width, clamped to the last bucket.
+fn bucket_of(v: u64) -> usize {
+    ((u64::BITS - v.leading_zeros()) as usize).min(HIST_BUCKETS - 1)
+}
+
+/// Inclusive upper bound of bucket `i` (`u64::MAX` for the last).
+pub fn bucket_bound(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else if i >= HIST_BUCKETS - 1 {
+        u64::MAX
+    } else {
+        (1u64 << i) - 1
+    }
+}
+
+impl Histogram {
+    /// A zeroed histogram (const — registries are `static`).
+    pub const fn new() -> Self {
+        Self {
+            buckets: [const { AtomicU64::new(0) }; HIST_BUCKETS],
+            sum: AtomicU64::new(0),
+            count: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one observation.
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records the microseconds elapsed since an enabled [`timer`] and
+    /// returns them (0 and no record when the timer was disabled).
+    pub fn observe_since(&self, t0: Option<Instant>) -> u64 {
+        match t0 {
+            Some(t0) => {
+                let us = t0.elapsed().as_micros() as u64;
+                self.record(us);
+                us
+            }
+            None => 0,
+        }
+    }
+
+    /// Observations so far.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observed values.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    fn reset(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.sum.store(0, Ordering::Relaxed);
+        self.count.store(0, Ordering::Relaxed);
+    }
+
+    fn row(&self, name: &'static str) -> MetricRow {
+        MetricRow {
+            name: name.to_string(),
+            kind: KIND_HISTOGRAM,
+            value: self.count(),
+            sum: self.sum(),
+            buckets: self
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+        }
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// One registry entry in owned, wire-friendly form. For counters and
+/// gauges `value` is the reading; for histograms `value` is the count,
+/// `sum` the value sum, and `buckets` the per-bucket counts (log₂
+/// buckets, [`bucket_bound`] gives each inclusive upper bound).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MetricRow {
+    /// Registry name (e.g. `ter_store_fsync_micros`).
+    pub name: String,
+    /// [`KIND_COUNTER`] | [`KIND_GAUGE`] | [`KIND_HISTOGRAM`].
+    pub kind: u8,
+    /// Counter/gauge reading, or histogram observation count.
+    pub value: u64,
+    /// Histogram value sum (0 for counters/gauges).
+    pub sum: u64,
+    /// Histogram bucket counts (empty for counters/gauges).
+    pub buckets: Vec<u64>,
+}
+
+impl MetricRow {
+    /// Upper-bound estimate of the `q`-quantile (`0 < q <= 1`) from the
+    /// log₂ buckets: the bound of the first bucket whose cumulative
+    /// count reaches `ceil(q·count)`. Zero when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.kind != KIND_HISTOGRAM || self.value == 0 {
+            return 0;
+        }
+        let target = ((q * self.value as f64).ceil() as u64).clamp(1, self.value);
+        let mut cum = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            cum += c;
+            if cum >= target {
+                return bucket_bound(i);
+            }
+        }
+        bucket_bound(HIST_BUCKETS - 1)
+    }
+
+    /// Mean observed value (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.value == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.value as f64
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Flight recorder
+// ---------------------------------------------------------------------
+
+/// Trace-event kinds. `seq`/`a`/`b` are kind-specific coordinates (batch
+/// sequence, connection token, sub id, byte counts — see each constant).
+pub mod kind {
+    /// One served ingest batch; `seq` = wire batch seq, `a` = arrivals.
+    pub const BATCH: u8 = 1;
+    /// Engine impute stage for one batch; `seq` = engine batch ordinal.
+    pub const IMPUTE: u8 = 2;
+    /// Engine traverse stage (grid maintenance + shard traversal waits).
+    pub const TRAVERSE: u8 = 3;
+    /// Engine refine stage (cascade over examined candidates).
+    pub const REFINE: u8 = 4;
+    /// Engine merge stage (window/result/statistics updates).
+    pub const MERGE: u8 = 5;
+    /// WAL append; `seq` = batch seq, `a` = frame bytes.
+    pub const WAL_APPEND: u8 = 6;
+    /// WAL group-commit fsync; `seq` = durable seq after, `a` = batches
+    /// the sync covered.
+    pub const FSYNC: u8 = 7;
+    /// Checkpoint write; `seq` = stamped WAL position.
+    pub const CHECKPOINT: u8 = 8;
+    /// Connection admitted; `a` = connection token.
+    pub const CONN_OPEN: u8 = 9;
+    /// Connection dropped; `a` = connection token.
+    pub const CONN_CLOSE: u8 = 10;
+    /// Standing-query push; `seq` = batch position, `a` = sub id, `b` =
+    /// added+retracted rows.
+    pub const NOTIFY: u8 = 11;
+    /// Subscriber shed (lag or dead peer); `seq` = resync position,
+    /// `a` = sub id.
+    pub const SHED: u8 = 12;
+    /// Backpressure rejection (Busy/IngestBusy); `a` = connection token.
+    pub const BUSY: u8 = 13;
+    /// One-shot pattern query; `seq` = engine position, `a` = planned
+    /// atoms, `b` = result rows.
+    pub const QUERY: u8 = 14;
+    /// One planned atom of a one-shot query; `seq` = engine position,
+    /// `a` = atom index in plan order, `b` = bindings alive after it.
+    pub const QUERY_ATOM: u8 = 15;
+    /// Step-stage panic (the dump that follows is the post-mortem).
+    pub const PANIC: u8 = 16;
+
+    /// Stable text name of a kind (dump format + CLI).
+    pub fn name(k: u8) -> &'static str {
+        match k {
+            BATCH => "batch",
+            IMPUTE => "impute",
+            TRAVERSE => "traverse",
+            REFINE => "refine",
+            MERGE => "merge",
+            WAL_APPEND => "wal_append",
+            FSYNC => "fsync",
+            CHECKPOINT => "checkpoint",
+            CONN_OPEN => "conn_open",
+            CONN_CLOSE => "conn_close",
+            NOTIFY => "notify",
+            SHED => "shed",
+            BUSY => "busy",
+            QUERY => "query",
+            QUERY_ATOM => "query_atom",
+            PANIC => "panic",
+            _ => "unknown",
+        }
+    }
+
+    /// Inverse of [`name`] (0 for unknown text).
+    pub fn from_name(s: &str) -> u8 {
+        match s {
+            "batch" => BATCH,
+            "impute" => IMPUTE,
+            "traverse" => TRAVERSE,
+            "refine" => REFINE,
+            "merge" => MERGE,
+            "wal_append" => WAL_APPEND,
+            "fsync" => FSYNC,
+            "checkpoint" => CHECKPOINT,
+            "conn_open" => CONN_OPEN,
+            "conn_close" => CONN_CLOSE,
+            "notify" => NOTIFY,
+            "shed" => SHED,
+            "busy" => BUSY,
+            "query" => QUERY,
+            "query_atom" => QUERY_ATOM,
+            "panic" => PANIC,
+            _ => 0,
+        }
+    }
+}
+
+/// One structured trace event in the flight ring.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Microseconds since the process's observability epoch.
+    pub ts_micros: u64,
+    /// A [`kind`] constant.
+    pub kind: u8,
+    /// Kind-specific primary coordinate (usually a batch sequence).
+    pub seq: u64,
+    /// Kind-specific (connection token, sub id, byte count, …).
+    pub a: u64,
+    /// Kind-specific secondary payload.
+    pub b: u64,
+    /// Duration of the traced operation, microseconds (0 for point
+    /// events).
+    pub dur_micros: u64,
+}
+
+/// The bounded ring behind the global flight recorder. Public so tests
+/// (and embedders) can exercise wrap-around on a private instance.
+#[derive(Debug)]
+pub struct FlightRing {
+    buf: Vec<TraceEvent>,
+    capacity: usize,
+    /// Slot the next event lands in once the ring is full.
+    next: usize,
+    /// Events ever recorded (so a snapshot can say how many were lost).
+    total: u64,
+}
+
+impl FlightRing {
+    /// An empty ring holding at most `capacity` events.
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            buf: Vec::new(),
+            capacity: capacity.max(1),
+            next: 0,
+            total: 0,
+        }
+    }
+
+    /// Records one event, overwriting the oldest once full.
+    pub fn push(&mut self, ev: TraceEvent) {
+        if self.buf.len() < self.capacity {
+            self.buf.push(ev);
+        } else {
+            self.buf[self.next] = ev;
+            self.next = (self.next + 1) % self.capacity;
+        }
+        self.total += 1;
+    }
+
+    /// The retained events, oldest → newest.
+    pub fn snapshot(&self) -> Vec<TraceEvent> {
+        let mut out = Vec::with_capacity(self.buf.len());
+        out.extend_from_slice(&self.buf[self.next..]);
+        out.extend_from_slice(&self.buf[..self.next]);
+        out
+    }
+
+    /// Events ever recorded (≥ retained).
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    fn clear(&mut self) {
+        self.buf.clear();
+        self.next = 0;
+        self.total = 0;
+    }
+}
+
+// ---------------------------------------------------------------------
+// The global registry
+// ---------------------------------------------------------------------
+
+macro_rules! registry {
+    ($($(#[$m:meta])* $field:ident : $ty:ident = $name:literal,)*) => {
+        /// Every named metric in the process, one struct field each. All
+        /// fields are const-initialized atomics, so the registry is a
+        /// plain `static` — no lazy init on the hot path.
+        #[derive(Debug, Default)]
+        pub struct Registry {
+            $($(#[$m])* pub $field: $ty,)*
+        }
+
+        impl Registry {
+            /// A zeroed registry (const).
+            pub const fn new() -> Self {
+                Self { $($field: $ty::new(),)* }
+            }
+
+            /// Owned rows for every metric, in declaration order.
+            pub fn snapshot(&self) -> Vec<MetricRow> {
+                vec![ $( self.$field.row($name), )* ]
+            }
+
+            /// Zeroes every metric (tests and `metrics --watch` deltas
+            /// are computed client-side; the daemon never resets).
+            pub fn reset(&self) {
+                $( self.$field.reset(); )*
+            }
+        }
+    };
+}
+
+registry! {
+    /// Batches stepped by the sharded engine (any drive mode).
+    engine_batches: Counter = "ter_engine_batches_total",
+    /// Impute-stage wall time per batch.
+    engine_impute_micros: Histogram = "ter_engine_impute_micros",
+    /// Traverse-stage wall time per batch (grid ops + surfaced waits).
+    engine_traverse_micros: Histogram = "ter_engine_traverse_micros",
+    /// Refine-stage wall time per batch (candidate selection + cascade).
+    engine_refine_micros: Histogram = "ter_engine_refine_micros",
+    /// Merge-stage wall time per batch (sequential finalize loop).
+    engine_merge_micros: Histogram = "ter_engine_merge_micros",
+    /// Merge-thread barrier waits per batch (overlapped drive).
+    engine_barrier_wait_micros: Histogram = "ter_engine_barrier_wait_micros",
+    /// Jobs sitting in the daemon's bounded ordered queue.
+    engine_queue_depth: Gauge = "ter_engine_queue_depth",
+    /// Bytes appended to the WAL (framed size).
+    wal_append_bytes: Counter = "ter_store_wal_append_bytes_total",
+    /// WAL append (no fsync) latency.
+    wal_append_micros: Histogram = "ter_store_wal_append_micros",
+    /// Commit-path fsyncs issued.
+    fsyncs: Counter = "ter_store_fsyncs_total",
+    /// Commit-path fsync latency.
+    fsync_micros: Histogram = "ter_store_fsync_micros",
+    /// Flush-window occupancy (pending appends) at each group commit.
+    flush_window_batches: Histogram = "ter_store_flush_window_batches",
+    /// Checkpoints written.
+    checkpoints: Counter = "ter_store_checkpoints_total",
+    /// Checkpoint write duration.
+    checkpoint_micros: Histogram = "ter_store_checkpoint_micros",
+    /// WAL position stamped by the most recent checkpoint.
+    last_checkpoint_seq: Gauge = "ter_store_last_checkpoint_seq",
+    /// Connections accepted since start.
+    accepts: Counter = "ter_serve_accepts_total",
+    /// Live connections (admit/drop balanced — the soak leak detector).
+    connections: Gauge = "ter_serve_connections",
+    /// Per-poll-event read+frame+parse time on the I/O threads.
+    read_parse_micros: Histogram = "ter_serve_read_parse_micros",
+    /// Per-call socket write-flush time on the I/O threads.
+    write_micros: Histogram = "ter_serve_write_micros",
+    /// Backpressure rejections (Busy + IngestBusy + go-back-N gate).
+    busy: Counter = "ter_serve_busy_total",
+    /// Step-stage wall time per served batch (engine step only).
+    step_micros: Histogram = "ter_serve_step_micros",
+    /// Appended-but-unfsynced ingest acks (the open flush window).
+    unacked_ingests: Gauge = "ter_serve_unacked_ingests",
+    /// Standing-query pushes sent.
+    notify_events: Counter = "ter_query_notify_events_total",
+    /// Rows carried by those pushes (added + retracted).
+    notify_rows: Counter = "ter_query_notify_rows_total",
+    /// Encoded bytes of Notify frames buffered toward subscribers.
+    notify_bytes: Counter = "ter_query_notify_bytes_total",
+    /// Subscribers shed for lagging (dead peers pruned silently count
+    /// too — both leave the registry).
+    shed: Counter = "ter_query_shed_total",
+    /// Largest un-drained outbound backlog seen on any notify path.
+    backlog_high_water: Gauge = "ter_query_backlog_high_water",
+    /// Live standing-query subscriptions.
+    subscribers: Gauge = "ter_query_subscribers",
+    /// One-shot pattern queries served.
+    oneshot_queries: Counter = "ter_query_oneshot_total",
+    /// Result rows returned by one-shot queries.
+    oneshot_rows: Counter = "ter_query_oneshot_rows_total",
+    /// One-shot plan+eval duration.
+    eval_micros: Histogram = "ter_query_eval_micros",
+}
+
+/// The process-global registry.
+pub static OBS: Registry = Registry::new();
+
+static ENABLED: AtomicBool = AtomicBool::new(true);
+static EPOCH: OnceLock<Instant> = OnceLock::new();
+static FLIGHT: Mutex<Option<FlightRing>> = Mutex::new(None);
+static DUMP_PATH: Mutex<Option<PathBuf>> = Mutex::new(None);
+
+/// Whether timing capture and flight recording are on (default: on).
+/// Plain counter/gauge/histogram adds are so cheap they are *not* gated;
+/// the flag removes the `Instant::now` calls and the ring lock, which is
+/// what the metrics-off side of the overhead guard measures.
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Turns timing capture and flight recording on or off.
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+fn epoch() -> Instant {
+    *EPOCH.get_or_init(Instant::now)
+}
+
+/// Microseconds since the process's observability epoch (first use).
+pub fn epoch_micros() -> u64 {
+    epoch().elapsed().as_micros() as u64
+}
+
+/// Starts a stage timer: `Some(now)` when enabled, `None` (free) when
+/// not. Pair with [`Histogram::observe_since`].
+pub fn timer() -> Option<Instant> {
+    if enabled() {
+        Some(Instant::now())
+    } else {
+        None
+    }
+}
+
+fn flight_ring() -> MutexGuard<'static, Option<FlightRing>> {
+    // A panicking holder cannot corrupt a ring of plain integers: take
+    // the poisoned guard and keep recording (the panic dump needs it).
+    FLIGHT
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// Records one flight event (no-op when disabled). Timestamped here.
+pub fn flight(k: u8, seq: u64, a: u64, b: u64, dur_micros: u64) {
+    if !enabled() {
+        return;
+    }
+    let ev = TraceEvent {
+        ts_micros: epoch_micros(),
+        kind: k,
+        seq,
+        a,
+        b,
+        dur_micros,
+    };
+    flight_ring()
+        .get_or_insert_with(|| FlightRing::new(FLIGHT_CAPACITY))
+        .push(ev);
+}
+
+/// The registry as owned rows.
+pub fn snapshot() -> Vec<MetricRow> {
+    OBS.snapshot()
+}
+
+/// The flight ring's retained events, oldest → newest.
+pub fn flight_snapshot() -> Vec<TraceEvent> {
+    flight_ring().as_ref().map_or(Vec::new(), |r| r.snapshot())
+}
+
+/// Zeroes the registry and empties the flight ring (tests only — a live
+/// daemon's counters are cumulative by design).
+pub fn reset() {
+    OBS.reset();
+    if let Some(ring) = flight_ring().as_mut() {
+        ring.clear();
+    }
+}
+
+// ---------------------------------------------------------------------
+// Text exposition
+// ---------------------------------------------------------------------
+
+/// Renders the registry + flight ring as the text exposition format:
+///
+/// ```text
+/// # ter_obs dump v1 reason=<reason> uptime_micros=<n>
+/// <counter_or_gauge_name> <value>
+/// <hist>_count <n>
+/// <hist>_sum <n>
+/// <hist>_p50 <n>          (p95/p99 likewise; bucket upper bounds)
+/// <hist>_bucket{le="<bound>"} <cumulative>   (nonzero buckets + +Inf)
+/// # flight ts=<us> kind=<name> seq=<n> a=<n> b=<n> dur=<us>
+/// ```
+pub fn render(reason: &str) -> String {
+    render_parts(reason, &snapshot(), &flight_snapshot())
+}
+
+/// [`render`] over an explicit snapshot (the CLI renders rows it pulled
+/// over the wire rather than its own process's registry).
+pub fn render_parts(reason: &str, rows: &[MetricRow], flight: &[TraceEvent]) -> String {
+    let mut out = String::with_capacity(4096);
+    out.push_str(&format!(
+        "# ter_obs dump v1 reason={} uptime_micros={}\n",
+        reason.split_whitespace().next().unwrap_or("none"),
+        epoch_micros()
+    ));
+    for row in rows {
+        match row.kind {
+            KIND_HISTOGRAM => {
+                out.push_str(&format!("{}_count {}\n", row.name, row.value));
+                out.push_str(&format!("{}_sum {}\n", row.name, row.sum));
+                for (p, q) in [("p50", 0.50), ("p95", 0.95), ("p99", 0.99)] {
+                    out.push_str(&format!("{}_{} {}\n", row.name, p, row.quantile(q)));
+                }
+                let mut cum = 0u64;
+                for (i, &c) in row.buckets.iter().enumerate() {
+                    cum += c;
+                    if c == 0 {
+                        continue;
+                    }
+                    let le = if i >= HIST_BUCKETS - 1 {
+                        "+Inf".to_string()
+                    } else {
+                        bucket_bound(i).to_string()
+                    };
+                    out.push_str(&format!("{}_bucket{{le=\"{le}\"}} {cum}\n", row.name));
+                }
+            }
+            _ => out.push_str(&format!("{} {}\n", row.name, row.value)),
+        }
+    }
+    for ev in flight {
+        out.push_str(&format!(
+            "# flight ts={} kind={} seq={} a={} b={} dur={}\n",
+            ev.ts_micros,
+            kind::name(ev.kind),
+            ev.seq,
+            ev.a,
+            ev.b,
+            ev.dur_micros
+        ));
+    }
+    out
+}
+
+/// A parsed text exposition (see [`parse_dump`]).
+#[derive(Debug, Clone, Default)]
+pub struct ParsedDump {
+    /// The `reason=` field of the header.
+    pub reason: String,
+    /// The `uptime_micros=` field of the header.
+    pub uptime_micros: u64,
+    /// Every `name value` sample line, bucket lines included (keyed by
+    /// the full `name_bucket{le="…"}` text).
+    pub values: BTreeMap<String, u64>,
+    /// The `# flight` comment lines, in file order.
+    pub flight: Vec<TraceEvent>,
+}
+
+impl ParsedDump {
+    /// A sample by exact name.
+    pub fn value(&self, name: &str) -> Option<u64> {
+        self.values.get(name).copied()
+    }
+}
+
+fn parse_kv(tok: &str, key: &str) -> Option<String> {
+    tok.strip_prefix(key)
+        .and_then(|r| r.strip_prefix('='))
+        .map(str::to_string)
+}
+
+/// Parses a text exposition produced by [`render`]. Strict: a malformed
+/// sample or flight line is an error (the crash tests use this to prove
+/// a pre-kill dump is complete), but unknown comment lines are skipped.
+pub fn parse_dump(text: &str) -> Result<ParsedDump, String> {
+    let mut dump = ParsedDump::default();
+    let mut saw_header = false;
+    for (ln, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# ter_obs dump v1 ") {
+            saw_header = true;
+            for tok in rest.split_whitespace() {
+                if let Some(v) = parse_kv(tok, "reason") {
+                    dump.reason = v;
+                } else if let Some(v) = parse_kv(tok, "uptime_micros") {
+                    dump.uptime_micros = v
+                        .parse()
+                        .map_err(|_| format!("line {}: bad uptime", ln + 1))?;
+                }
+            }
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# flight ") {
+            let mut ev = TraceEvent {
+                ts_micros: 0,
+                kind: 0,
+                seq: 0,
+                a: 0,
+                b: 0,
+                dur_micros: 0,
+            };
+            for tok in rest.split_whitespace() {
+                let (key, val) = tok
+                    .split_once('=')
+                    .ok_or_else(|| format!("line {}: bad flight field {tok:?}", ln + 1))?;
+                let num = || {
+                    val.parse::<u64>()
+                        .map_err(|_| format!("line {}: bad flight value {val:?}", ln + 1))
+                };
+                match key {
+                    "ts" => ev.ts_micros = num()?,
+                    "kind" => ev.kind = kind::from_name(val),
+                    "seq" => ev.seq = num()?,
+                    "a" => ev.a = num()?,
+                    "b" => ev.b = num()?,
+                    "dur" => ev.dur_micros = num()?,
+                    _ => return Err(format!("line {}: unknown flight field {key:?}", ln + 1)),
+                }
+            }
+            dump.flight.push(ev);
+            continue;
+        }
+        if line.starts_with('#') {
+            continue;
+        }
+        let (name, value) = line
+            .rsplit_once(' ')
+            .ok_or_else(|| format!("line {}: not a sample: {line:?}", ln + 1))?;
+        let value: u64 = value
+            .trim()
+            .parse()
+            .map_err(|_| format!("line {}: bad sample value: {line:?}", ln + 1))?;
+        dump.values.insert(name.trim().to_string(), value);
+    }
+    if !saw_header {
+        return Err("missing '# ter_obs dump v1' header".into());
+    }
+    Ok(dump)
+}
+
+// ---------------------------------------------------------------------
+// Dump-to-file hook
+// ---------------------------------------------------------------------
+
+/// Configures where [`dump_now`] writes: a file path, `-` for stdout, or
+/// `None` to disable. Set once by the CLI from `--metrics-text`.
+pub fn set_dump_path(path: Option<PathBuf>) {
+    *DUMP_PATH
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner()) = path;
+}
+
+/// Writes the current exposition to the configured dump path (no-op
+/// without one). File writes are atomic — tmp then rename — so a
+/// SIGKILL mid-dump leaves the previous complete dump, never a torn
+/// file. Returns whether a dump was written.
+pub fn dump_now(reason: &str) -> bool {
+    let path = DUMP_PATH
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+        .clone();
+    let Some(path) = path else {
+        return false;
+    };
+    let text = render(reason);
+    if path.as_os_str() == "-" {
+        let mut stdout = std::io::stdout().lock();
+        let _ = stdout.write_all(text.as_bytes());
+        let _ = stdout.flush();
+        return true;
+    }
+    let tmp = path.with_extension("obs_tmp");
+    let write = || -> std::io::Result<()> {
+        std::fs::write(&tmp, text.as_bytes())?;
+        std::fs::rename(&tmp, &path)
+    };
+    match write() {
+        Ok(()) => true,
+        Err(e) => {
+            eprintln!("ter_obs: metrics dump to {} failed: {e}", path.display());
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_basics() {
+        let c = Counter::new();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        let g = Gauge::new();
+        g.set(7);
+        g.add(3);
+        g.sub(4);
+        assert_eq!(g.get(), 6);
+        g.sub(100);
+        assert_eq!(g.get(), 0, "gauge dec saturates, never wraps");
+        g.max(9);
+        g.max(2);
+        assert_eq!(g.get(), 9, "high-water keeps the max");
+    }
+
+    #[test]
+    fn histogram_buckets_are_log2_by_bit_width() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(1023), 10);
+        assert_eq!(bucket_of(1024), 11);
+        assert_eq!(bucket_of(u64::MAX), HIST_BUCKETS - 1);
+        assert_eq!(bucket_bound(0), 0);
+        assert_eq!(bucket_bound(1), 1);
+        assert_eq!(bucket_bound(10), 1023);
+        assert_eq!(bucket_bound(HIST_BUCKETS - 1), u64::MAX);
+    }
+
+    #[test]
+    fn histogram_quantiles_from_buckets() {
+        let h = Histogram::new();
+        // 90 fast observations, 10 slow: p50 in the fast bucket, p99 in
+        // the slow one.
+        for _ in 0..90 {
+            h.record(100); // bucket 7, bound 127
+        }
+        for _ in 0..10 {
+            h.record(5000); // bucket 13, bound 8191
+        }
+        let row = h.row("t");
+        assert_eq!(row.value, 100);
+        assert_eq!(row.sum, 90 * 100 + 10 * 5000);
+        assert_eq!(row.quantile(0.50), 127);
+        assert_eq!(row.quantile(0.90), 127);
+        assert_eq!(row.quantile(0.95), 8191);
+        assert_eq!(row.quantile(0.99), 8191);
+        assert!((row.mean() - 590.0).abs() < 1e-9);
+        let empty = Histogram::new().row("e");
+        assert_eq!(empty.quantile(0.99), 0);
+    }
+
+    /// Satellite: ring wrap-around keeps the newest events.
+    #[test]
+    fn flight_ring_wraparound_keeps_newest() {
+        let mut ring = FlightRing::new(4);
+        for i in 0..10u64 {
+            ring.push(TraceEvent {
+                ts_micros: i,
+                kind: kind::BATCH,
+                seq: i,
+                a: 0,
+                b: 0,
+                dur_micros: 0,
+            });
+        }
+        assert_eq!(ring.total(), 10);
+        let seqs: Vec<u64> = ring.snapshot().iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![6, 7, 8, 9], "oldest→newest, newest retained");
+        // Under capacity: insertion order, nothing lost.
+        let mut small = FlightRing::new(8);
+        for i in 0..3u64 {
+            small.push(TraceEvent {
+                ts_micros: i,
+                kind: kind::FSYNC,
+                seq: i,
+                a: 0,
+                b: 0,
+                dur_micros: 0,
+            });
+        }
+        assert_eq!(small.snapshot().len(), 3);
+        assert_eq!(small.total(), 3);
+    }
+
+    #[test]
+    fn render_parse_round_trip() {
+        let rows = vec![
+            MetricRow {
+                name: "ter_x_total".into(),
+                kind: KIND_COUNTER,
+                value: 12,
+                sum: 0,
+                buckets: Vec::new(),
+            },
+            MetricRow {
+                name: "ter_y".into(),
+                kind: KIND_GAUGE,
+                value: 3,
+                sum: 0,
+                buckets: Vec::new(),
+            },
+            {
+                let h = Histogram::new();
+                h.record(100);
+                h.record(100);
+                h.record(9000);
+                h.row("ter_z_micros")
+            },
+        ];
+        let flight = vec![TraceEvent {
+            ts_micros: 55,
+            kind: kind::FSYNC,
+            seq: 8,
+            a: 4,
+            b: 0,
+            dur_micros: 130,
+        }];
+        let text = render_parts("checkpoint", &rows, &flight);
+        let dump = parse_dump(&text).unwrap();
+        assert_eq!(dump.reason, "checkpoint");
+        assert_eq!(dump.value("ter_x_total"), Some(12));
+        assert_eq!(dump.value("ter_y"), Some(3));
+        assert_eq!(dump.value("ter_z_micros_count"), Some(3));
+        assert_eq!(dump.value("ter_z_micros_sum"), Some(9200));
+        assert_eq!(dump.value("ter_z_micros_p50"), Some(127));
+        assert_eq!(dump.value("ter_z_micros_p99"), Some(16383));
+        assert_eq!(dump.value("ter_z_micros_bucket{le=\"127\"}"), Some(2));
+        assert_eq!(dump.flight, flight);
+
+        assert!(parse_dump("no header here\n").is_err());
+        let mut bad = text.clone();
+        bad.push_str("torn line without value_\n");
+        assert!(parse_dump(&bad).is_err(), "malformed samples are rejected");
+    }
+
+    #[test]
+    fn global_registry_snapshot_and_flight() {
+        // The global registry is shared across in-process tests; assert
+        // on deltas and structure, not absolutes.
+        let before = OBS.fsyncs.get();
+        OBS.fsyncs.inc();
+        OBS.fsync_micros.record(250);
+        flight(kind::FSYNC, 1, 1, 0, 250);
+        assert_eq!(OBS.fsyncs.get(), before + 1);
+        let rows = snapshot();
+        let fsync_row = rows.iter().find(|r| r.name == "ter_store_fsyncs_total");
+        assert!(fsync_row.is_some_and(|r| r.kind == KIND_COUNTER && r.value >= 1));
+        let hist_row = rows.iter().find(|r| r.name == "ter_store_fsync_micros");
+        assert!(hist_row.is_some_and(|r| r.kind == KIND_HISTOGRAM && r.value >= 1));
+        assert!(flight_snapshot()
+            .iter()
+            .any(|e| e.kind == kind::FSYNC && e.dur_micros == 250));
+        // Render of the live registry parses.
+        let dump = parse_dump(&render("test")).unwrap();
+        assert!(dump.value("ter_store_fsyncs_total").unwrap() >= 1);
+    }
+
+    #[test]
+    fn disabled_mode_skips_timers_and_flight() {
+        set_enabled(false);
+        assert!(timer().is_none());
+        let before = flight_snapshot().len();
+        flight(kind::BATCH, 99, 0, 0, 0);
+        assert_eq!(flight_snapshot().len(), before, "flight gated off");
+        let h = Histogram::new();
+        assert_eq!(h.observe_since(timer()), 0);
+        assert_eq!(h.count(), 0);
+        set_enabled(true);
+        assert!(timer().is_some());
+    }
+
+    #[test]
+    fn dump_now_writes_atomically() {
+        let dir = std::env::temp_dir().join(format!("ter_obs_dump_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("metrics.txt");
+        assert!(!dump_now("none"), "no-op without a configured path");
+        set_dump_path(Some(path.clone()));
+        OBS.checkpoints.inc();
+        assert!(dump_now("checkpoint"));
+        let dump = parse_dump(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        assert_eq!(dump.reason, "checkpoint");
+        assert!(dump.value("ter_store_checkpoints_total").unwrap() >= 1);
+        assert!(
+            !path.with_extension("obs_tmp").exists(),
+            "tmp file renamed away"
+        );
+        set_dump_path(None);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -220,3 +220,66 @@ pub fn evaluate<V: QueryView + ?Sized>(pattern: &Pattern, view: &V) -> Vec<Vec<u
     rows.dedup();
     rows
 }
+
+/// What [`evaluate_traced`] observed: the greedy plan plus the number of
+/// partial bindings alive after each planned atom — a poor-man's EXPLAIN
+/// for the join order. `atom_rows[k]` is the intermediate cardinality
+/// after executing `order[k]`; a spike there is the atom the planner
+/// should have ordered later.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EvalTrace {
+    /// Atom indices in execution order (the plan).
+    pub order: Vec<usize>,
+    /// The planner's cost estimate for each atom at selection time,
+    /// parallel to `order`.
+    pub costs: Vec<f64>,
+    /// Partial bindings alive after each atom, parallel to `order`.
+    pub atom_rows: Vec<u64>,
+    /// Final projected/sorted/deduped row count.
+    pub rows: u64,
+}
+
+/// [`evaluate`] with per-atom cardinality tracing. Returns exactly the
+/// same rows (per-stage materialization instead of one fused iterator —
+/// the atom order, the work done, and the output are identical), plus
+/// the trace the observability layer turns into `query_atom` flight
+/// events.
+pub fn evaluate_traced<V: QueryView + ?Sized>(
+    pattern: &Pattern,
+    view: &V,
+) -> (Vec<Vec<u64>>, EvalTrace) {
+    let plan = plan(pattern, &view.plan_stats());
+    let mut trace = EvalTrace {
+        order: plan.order.clone(),
+        costs: plan.costs.clone(),
+        atom_rows: Vec::with_capacity(plan.order.len()),
+        rows: 0,
+    };
+    if plan.empty {
+        trace.atom_rows = vec![0; plan.order.len()];
+        return (Vec::new(), trace);
+    }
+    let mut frontier: Vec<Vec<Option<u64>>> = vec![vec![None; pattern.vars.len()]];
+    for &ai in &plan.order {
+        let atom = pattern.atoms[ai];
+        frontier = frontier
+            .iter()
+            .flat_map(|b| extend(pattern, view, b, atom))
+            .collect();
+        trace.atom_rows.push(frontier.len() as u64);
+    }
+    let mut rows: Vec<Vec<u64>> = frontier
+        .iter()
+        .map(|b| {
+            let full: Vec<u64> = b
+                .iter()
+                .map(|v| v.expect("every variable appears in an atom"))
+                .collect();
+            project_one(pattern, &full)
+        })
+        .collect();
+    rows.sort_unstable();
+    rows.dedup();
+    trace.rows = rows.len() as u64;
+    (rows, trace)
+}

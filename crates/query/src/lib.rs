@@ -27,7 +27,7 @@ pub mod pattern;
 pub mod plan;
 pub mod standing;
 
-pub use eval::{evaluate, QueryView};
+pub use eval::{evaluate, evaluate_traced, EvalTrace, QueryView};
 pub use pattern::{Atom, Pattern, Pred, VarId};
 pub use plan::{plan, Plan, PlanStats};
 pub use standing::{fold_notification, BatchDelta, StandingQuery};
@@ -183,6 +183,34 @@ mod tests {
         for p in fixed_patterns() {
             assert!(plan(&p, &eng.plan_stats()).empty);
             assert!(evaluate(&p, &eng).is_empty());
+        }
+    }
+
+    #[test]
+    fn traced_evaluation_is_bit_identical_and_counts_every_atom() {
+        let (ctx, streams, params) = fixture();
+        let mut eng = TerIdsEngine::new(&ctx, params, PruningMode::Full);
+        let patterns = fixed_patterns();
+        for (i, chunk) in streams.arrival_batches(7).into_iter().enumerate() {
+            eng.step_batch(&chunk);
+            if i % 3 != 0 {
+                continue;
+            }
+            for p in &patterns {
+                let plain = evaluate(p, &eng);
+                let (traced, trace) = evaluate_traced(p, &eng);
+                assert_eq!(traced, plain, "traced ≡ plain, batch {i}");
+                assert_eq!(trace.rows as usize, plain.len());
+                assert_eq!(trace.atom_rows.len(), trace.order.len());
+                assert_eq!(trace.costs.len(), trace.order.len());
+                let q = plan(p, &eng.plan_stats());
+                assert_eq!(trace.order, q.order, "trace reports the real plan");
+                if !q.empty {
+                    // The last intermediate is the unprojected binding
+                    // count, an upper bound on the deduped rows.
+                    assert!(trace.atom_rows.last().copied().unwrap_or(0) >= trace.rows);
+                }
+            }
         }
     }
 

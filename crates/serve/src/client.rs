@@ -27,9 +27,11 @@ use std::time::{Duration, Instant};
 
 use ter_stream::Arrival;
 
+use ter_obs::{MetricRow, TraceEvent};
+
 use crate::wire::{
-    decode_reply, encode_ingest_seq, encode_request, read_message, write_message, EntityInfo,
-    Query, Reply, Request, StatsInfo, WindowInfo, WireError,
+    decode_reply, encode_ingest_seq, encode_request, encode_stats_v3, read_message, write_message,
+    EntityInfo, Query, Reply, Request, StatsExInfo, StatsInfo, WindowInfo, WireError,
 };
 
 /// Why a client call failed.
@@ -373,6 +375,52 @@ impl Client {
         match self.call_wait(&Request::Stats)? {
             Reply::Stats(info) => Ok(info),
             _ => Err(ClientError::Unexpected("stats")),
+        }
+    }
+
+    /// Extended service counters (protocol v3): the classic
+    /// [`StatsInfo`] plus daemon uptime, live connection and subscriber
+    /// counts, and the cumulative fsync count. Requires a v3 daemon —
+    /// older daemons reject the payload version.
+    pub fn stats_ex(&mut self) -> Result<StatsExInfo, ClientError> {
+        loop {
+            write_message(&mut self.stream, &encode_stats_v3())?;
+            loop {
+                let payload = read_message(&mut self.stream)?;
+                match decode_reply(&payload)? {
+                    Reply::Error(msg) => return Err(ClientError::Server(msg)),
+                    Reply::Busy => {
+                        std::thread::sleep(Duration::from_millis(2));
+                        break; // re-send the request
+                    }
+                    Reply::Notify {
+                        sub_id,
+                        seq,
+                        added,
+                        retracted,
+                    } => self.pending.push_back(SubEvent::Notify {
+                        sub_id,
+                        seq,
+                        added,
+                        retracted,
+                    }),
+                    Reply::Lagged { sub_id, resync_seq } => self
+                        .pending
+                        .push_back(SubEvent::Lagged { sub_id, resync_seq }),
+                    Reply::StatsEx(info) => return Ok(info),
+                    _ => return Err(ClientError::Unexpected("stats_ex")),
+                }
+            }
+        }
+    }
+
+    /// Scrapes the daemon's metric registry and flight-recorder ring
+    /// (protocol v3): every counter/gauge/histogram as wire rows, plus
+    /// the most recent trace events, oldest first.
+    pub fn metrics_dump(&mut self) -> Result<(Vec<MetricRow>, Vec<TraceEvent>), ClientError> {
+        match self.call_wait(&Request::MetricsDump)? {
+            Reply::Metrics { rows, flight } => Ok((rows, flight)),
+            _ => Err(ClientError::Unexpected("metrics dump")),
         }
     }
 

@@ -54,7 +54,7 @@ pub use client::{
     SubEvent, SubscriptionFold,
 };
 pub use server::{ServeError, ServeOptions, ServeReport, Server};
-pub use wire::{Query, Reply, Request, StatsInfo, WindowInfo, WireError};
+pub use wire::{Query, Reply, Request, StatsExInfo, StatsInfo, WindowInfo, WireError};
 
 #[cfg(test)]
 mod tests {

@@ -102,7 +102,7 @@ use ter_stream::Arrival;
 
 use crate::wire::{
     decode_request_versioned, encode_reply, write_message, EntityInfo, Query, Reply, Request,
-    StatsInfo, WindowInfo, MAX_WIRE_LEN, PROTO_V1,
+    StatsExInfo, StatsInfo, WindowInfo, MAX_WIRE_LEN, PROTO_V1, PROTO_V3,
 };
 
 /// How the daemon runs. The defaults suit tests and small deployments;
@@ -146,6 +146,10 @@ pub struct ServeOptions {
     /// resync position) instead of buffering notifications without
     /// bound or stalling ingest. The client resubscribes to resync.
     pub notify_buffer: usize,
+    /// Fault-injection shim: panic on the step stage right before this
+    /// batch sequence is stepped, exercising the panic-path flight dump.
+    /// `None` (the default) outside crash tests.
+    pub panic_on_batch: Option<u64>,
 }
 
 impl Default for ServeOptions {
@@ -161,6 +165,7 @@ impl Default for ServeOptions {
             flush_interval: Duration::from_millis(5),
             fsync_delay: Duration::ZERO,
             notify_buffer: 256 * 1024,
+            panic_on_batch: None,
         }
     }
 }
@@ -354,6 +359,7 @@ impl CommitStage {
                 }
             }
         }
+        ter_obs::OBS.unacked_ingests.set(0);
     }
 
     fn handle_commit(&mut self, batch: &[Arrival], ack: PendingAck) {
@@ -372,6 +378,7 @@ impl CommitStage {
                     self.window_opened = Instant::now();
                 }
                 self.pending.push(ack);
+                ter_obs::OBS.unacked_ingests.set(self.pending.len() as u64);
                 if self.pending.len() >= self.window {
                     self.flush();
                 }
@@ -676,6 +683,7 @@ impl Server {
                     // the fsync counter into the report.
                     let (_, _, fsyncs) = stage.store_stats();
                     stage.report.fsyncs = fsyncs;
+                    ter_obs::dump_now("shutdown");
                 });
             }));
             drop(store_tx);
@@ -691,7 +699,11 @@ impl Server {
             drop(job_rx);
             if let Err(panic) = stepped {
                 // Every helper thread is released above; re-raise once the
-                // scope has joined them.
+                // scope has joined them. The flight recorder's last act is
+                // the post-mortem dump — the in-memory ring would die with
+                // the process otherwise.
+                ter_obs::flight(ter_obs::kind::PANIC, 0, 0, 0, 0);
+                ter_obs::dump_now("panic");
                 std::panic::resume_unwind(panic);
             }
             Ok(())
@@ -777,7 +789,12 @@ impl StepStage<'_, '_, '_> {
         // log sequence is the resume point plus every batch stepped
         // before it.
         let seq = self.report.resumed_at + self.report.batches;
+        if self.opts.panic_on_batch == Some(seq) {
+            panic!("injected panic before stepping batch {seq}");
+        }
+        let step_t0 = ter_obs::timer();
         let outputs = self.pe.step_batch(&batch);
+        ter_obs::OBS.step_micros.observe_since(step_t0);
         self.report.batches += 1;
         self.report.arrivals += batch.len() as u64;
         let delta = if self.subs.is_empty() {
@@ -813,7 +830,14 @@ impl StepStage<'_, '_, '_> {
             // ingest failure — the WAL already covers the batch; just
             // log it.
             match self.request_checkpoint(Some(seq + 1)) {
-                Ok(_) => self.report.checkpoints += 1,
+                Ok(_) => {
+                    self.report.checkpoints += 1;
+                    // Text exposition rides the checkpoint cadence: one
+                    // atomic rewrite of the --metrics-text target per
+                    // checkpoint, so a scraper (or a post-SIGKILL
+                    // autopsy) always finds a consistent dump.
+                    ter_obs::dump_now("checkpoint");
+                }
                 Err(e) => eprintln!("ter_serve: checkpoint at batch {seq} failed: {e}"),
             }
         }
@@ -834,9 +858,12 @@ impl StepStage<'_, '_, '_> {
         for (&key, sub) in self.subs.iter_mut() {
             let backlog = sub.handle.gauge.load(Ordering::Acquire);
             if backlog == CONN_GONE {
+                ter_obs::OBS.shed.inc();
+                ter_obs::flight(ter_obs::kind::SHED, seq, key.1, 0, 0);
                 shed.push(key);
                 continue;
             }
+            ter_obs::OBS.backlog_high_water.max(backlog as u64);
             if backlog > self.opts.notify_buffer {
                 sub.handle.send(
                     sub.proto,
@@ -845,11 +872,17 @@ impl StepStage<'_, '_, '_> {
                         resync_seq: seq,
                     },
                 );
+                ter_obs::OBS.shed.inc();
+                ter_obs::flight(ter_obs::kind::SHED, seq, key.1, backlog as u64, 0);
                 shed.push(key);
                 continue;
             }
             let (added, retracted) = sub.standing.apply_batch(eng, delta);
             if !added.is_empty() || !retracted.is_empty() {
+                let rows = (added.len() + retracted.len()) as u64;
+                ter_obs::OBS.notify_events.inc();
+                ter_obs::OBS.notify_rows.add(rows);
+                ter_obs::flight(ter_obs::kind::NOTIFY, seq, key.1, rows, 0);
                 sub.handle.send(
                     sub.proto,
                     Reply::Notify {
@@ -864,6 +897,7 @@ impl StepStage<'_, '_, '_> {
         for key in shed {
             self.subs.remove(&key);
         }
+        ter_obs::OBS.subscribers.set(self.subs.len() as u64);
     }
 
     /// Applies one request. The engine state is always fully stepped
@@ -876,6 +910,8 @@ impl StepStage<'_, '_, '_> {
             request,
             reply,
         } = job;
+        // Mirrors the `add(1)` at the I/O threads' successful try_send.
+        ter_obs::OBS.engine_queue_depth.sub(1);
         let out = match request {
             Request::Ingest(batch) => {
                 self.handle_ingest(batch, None, proto, reply);
@@ -924,10 +960,33 @@ impl StepStage<'_, '_, '_> {
                 Reply::Matches(vec![pairs])
             }
             Request::PatternQuery(src) => match Pattern::parse(&src) {
-                Ok(pattern) => Reply::Rows {
-                    seq: self.report.resumed_at + self.report.batches,
-                    rows: ter_query::evaluate(&pattern, self.pe.engine()),
-                },
+                Ok(pattern) => {
+                    let seq = self.report.resumed_at + self.report.batches;
+                    let t0 = ter_obs::timer();
+                    let (rows, trace) = ter_query::evaluate_traced(&pattern, self.pe.engine());
+                    let us = ter_obs::OBS.eval_micros.observe_since(t0);
+                    ter_obs::OBS.oneshot_queries.inc();
+                    ter_obs::OBS.oneshot_rows.add(trace.rows);
+                    ter_obs::flight(
+                        ter_obs::kind::QUERY,
+                        seq,
+                        trace.order.len() as u64,
+                        trace.rows,
+                        us,
+                    );
+                    // Poor-man's EXPLAIN: one flight event per planned
+                    // atom, carrying the intermediate cardinality.
+                    for (k, &ai) in trace.order.iter().enumerate() {
+                        ter_obs::flight(
+                            ter_obs::kind::QUERY_ATOM,
+                            seq,
+                            ai as u64,
+                            trace.atom_rows[k],
+                            0,
+                        );
+                    }
+                    Reply::Rows { seq, rows }
+                }
                 Err(e) => Reply::Error(format!("bad pattern: {e}")),
             },
             Request::Subscribe {
@@ -952,25 +1011,44 @@ impl StepStage<'_, '_, '_> {
                             proto,
                         },
                     );
+                    ter_obs::OBS.subscribers.set(self.subs.len() as u64);
                     Reply::SubAck { sub_id, seq, rows }
                 }
                 Err(e) => Reply::Error(format!("bad pattern: {e}")),
             },
             Request::Unsubscribe { sub_id } => {
                 let removed = self.subs.remove(&(reply.token, sub_id)).is_some();
+                ter_obs::OBS.subscribers.set(self.subs.len() as u64);
                 Reply::Ack(removed as u64)
             }
             Request::Stats => {
-                let (next_seq, wal_bytes, _) = self.store_stats();
+                let (next_seq, wal_bytes, fsyncs) = self.store_stats();
                 let eng = self.pe.engine();
-                Reply::Stats(StatsInfo {
+                let base = StatsInfo {
                     next_batch_seq: next_seq,
                     session_arrivals: self.report.arrivals + self.report.replayed as u64,
                     wal_bytes,
                     window_len: eng.window_len(),
                     stats: eng.prune_stats(),
-                })
+                };
+                if proto >= PROTO_V3 {
+                    // A v3 Stats payload opts into the extended reply;
+                    // v1/v2 callers keep the exact bytes they always got.
+                    Reply::StatsEx(StatsExInfo {
+                        base,
+                        uptime_micros: ter_obs::epoch_micros(),
+                        connections: ter_obs::OBS.connections.get(),
+                        subscribers: self.subs.len() as u64,
+                        fsyncs,
+                    })
+                } else {
+                    Reply::Stats(base)
+                }
             }
+            Request::MetricsDump => Reply::Metrics {
+                rows: ter_obs::snapshot(),
+                flight: ter_obs::flight_snapshot(),
+            },
             Request::Checkpoint => match self.request_checkpoint(None) {
                 Ok(bytes) => {
                     self.report.checkpoints += 1;
@@ -1133,6 +1211,9 @@ impl IoThread {
                 gauge: Arc::new(AtomicUsize::new(0)),
             },
         );
+        ter_obs::OBS.accepts.inc();
+        ter_obs::OBS.connections.add(1);
+        ter_obs::flight(ter_obs::kind::CONN_OPEN, 0, token, 0, 0);
     }
 
     /// Buffers one reply from the engine side and pushes it toward the
@@ -1215,6 +1296,8 @@ impl IoThread {
             // gone — its standing queries are pruned silently.
             conn.gauge.store(CONN_GONE, Ordering::Release);
             let _ = conn.stream.shutdown(std::net::Shutdown::Both);
+            ter_obs::OBS.connections.sub(1);
+            ter_obs::flight(ter_obs::kind::CONN_CLOSE, 0, token, 0, 0);
         }
     }
 }
@@ -1237,6 +1320,9 @@ fn append_reply(conn: &mut Conn, proto: u8, reply: &Reply) {
         "v{} reply to a v{proto} request",
         encoded[0]
     );
+    if matches!(reply, Reply::Notify { .. }) {
+        ter_obs::OBS.notify_bytes.add(encoded.len() as u64);
+    }
     // Framing into a Vec cannot fail.
     let _ = write_message(&mut conn.wbuf, &encoded);
     conn.sync_gauge();
@@ -1244,6 +1330,11 @@ fn append_reply(conn: &mut Conn, proto: u8, reply: &Reply) {
 
 /// Pushes buffered reply bytes at the socket until it would block.
 fn flush_writes(conn: &mut Conn) -> Action {
+    let t0 = if conn.wpos < conn.wbuf.len() {
+        ter_obs::timer()
+    } else {
+        None
+    };
     while conn.wpos < conn.wbuf.len() {
         match conn.stream.write(&conn.wbuf[conn.wpos..]) {
             Ok(0) => return Action::Drop,
@@ -1261,6 +1352,7 @@ fn flush_writes(conn: &mut Conn) -> Action {
         conn.wpos = 0;
     }
     conn.sync_gauge();
+    ter_obs::OBS.write_micros.observe_since(t0);
     Action::Keep
 }
 
@@ -1288,6 +1380,7 @@ fn read_and_parse(
     io_tx: &mpsc::Sender<IoMsg>,
     waker: &Arc<Waker>,
 ) -> Action {
+    let t0 = ter_obs::timer();
     // ---- read until dry (or over budget; level-triggered re-drive) ----
     let mut saw_eof = false;
     let mut chunk = [0u8; 64 * 1024];
@@ -1358,6 +1451,8 @@ fn read_and_parse(
         if let Request::IngestSeq { seq, .. } = &request {
             let seq = *seq;
             if conn.expected_seq.is_some_and(|e| seq != e) {
+                ter_obs::OBS.busy.inc();
+                ter_obs::flight(ter_obs::kind::BUSY, seq, token, 0, 0);
                 append_reply(conn, proto, &Reply::IngestBusy { seq });
                 continue;
             }
@@ -1366,8 +1461,13 @@ fn read_and_parse(
                 request,
                 reply: handle,
             }) {
-                Ok(()) => conn.expected_seq = Some(seq + 1),
+                Ok(()) => {
+                    conn.expected_seq = Some(seq + 1);
+                    ter_obs::OBS.engine_queue_depth.add(1);
+                }
                 Err(mpsc::TrySendError::Full(_)) => {
+                    ter_obs::OBS.busy.inc();
+                    ter_obs::flight(ter_obs::kind::BUSY, seq, token, 0, 0);
                     append_reply(conn, proto, &Reply::IngestBusy { seq });
                 }
                 Err(mpsc::TrySendError::Disconnected(_)) => {
@@ -1383,8 +1483,10 @@ fn read_and_parse(
             request,
             reply: handle,
         }) {
-            Ok(()) => {}
+            Ok(()) => ter_obs::OBS.engine_queue_depth.add(1),
             Err(mpsc::TrySendError::Full(_)) => {
+                ter_obs::OBS.busy.inc();
+                ter_obs::flight(ter_obs::kind::BUSY, 0, token, 0, 0);
                 append_reply(conn, proto, &Reply::Busy);
             }
             Err(mpsc::TrySendError::Disconnected(_)) => {
@@ -1396,6 +1498,7 @@ fn read_and_parse(
     if pos > 0 {
         conn.rbuf.drain(..pos);
     }
+    ter_obs::OBS.read_parse_micros.observe_since(t0);
     if saw_eof {
         // Frames already received were processed above (they were on the
         // wire before the close); anything partial is abandoned.

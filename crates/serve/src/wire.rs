@@ -40,16 +40,25 @@
 //!   [`Reply::Lagged`] carrying the `resync_seq` to resubscribe from —
 //!   shedding, never stalling ingest. [`Request::Unsubscribe`]
 //!   deregisters explicitly.
+//!   v3 also carries the *observability* surface:
+//!   [`Request::MetricsDump`] returns the daemon's full `ter_obs`
+//!   registry plus its flight-recorder ring as [`Reply::Metrics`], and a
+//!   `Stats` verb sent inside a v3 payload is answered with the enriched
+//!   [`Reply::StatsEx`] (uptime, live connections, subscribers,
+//!   cumulative fsyncs) instead of the v1 [`Reply::Stats`].
 //!
 //! Both sides speak the *lowest* version a message needs: v1 verbs and
 //! replies are emitted as v1 payloads (so an old peer interoperates
 //! untouched), the pipelined messages as v2, the query-layer messages as
 //! v3. Decoders accept every version; newer tags inside an older payload
-//! are rejected.
+//! are rejected. (The converse — an *older* tag inside a newer payload —
+//! is accepted, which is how [`encode_stats_v3`] asks for the enriched
+//! stats reply without a new verb.)
 
 use std::io::{Read, Write};
 
 use ter_ids::PruneStats;
+use ter_obs::{MetricRow, TraceEvent};
 use ter_store::{crc32, Codec, CodecError, Decoder, Encoder};
 use ter_stream::Arrival;
 
@@ -193,7 +202,16 @@ pub enum Request {
     /// [`Reply::Ack`]`(1)` if the subscription existed, `(0)` otherwise.
     Unsubscribe { sub_id: u64 },
     /// Service counters: stream position, WAL size, pruning statistics.
+    /// Sent inside a v3 payload (see [`encode_stats_v3`]) the daemon
+    /// answers with the enriched [`Reply::StatsEx`]; inside a v1/v2
+    /// payload it answers [`Reply::Stats`], so old clients are
+    /// unaffected.
     Stats,
+    /// The full observability registry + flight-recorder snapshot (v3),
+    /// answered with [`Reply::Metrics`]. Read-only and engine-thread
+    /// serialized like every introspection verb, so the snapshot is
+    /// consistent with a batch boundary.
+    MetricsDump,
     /// Force a checkpoint now (cadence-independent).
     Checkpoint,
     /// Checkpoint and stop the daemon gracefully.
@@ -209,6 +227,7 @@ const TAG_INGEST_SEQ: u8 = 0x06;
 const TAG_PATTERN_QUERY: u8 = 0x07;
 const TAG_SUBSCRIBE: u8 = 0x08;
 const TAG_UNSUBSCRIBE: u8 = 0x09;
+const TAG_METRICS_DUMP: u8 = 0x0A;
 
 const TAG_ERROR: u8 = 0x80;
 const TAG_BUSY: u8 = 0x81;
@@ -223,6 +242,8 @@ const TAG_ROWS: u8 = 0x89;
 const TAG_SUB_ACK: u8 = 0x8A;
 const TAG_NOTIFY: u8 = 0x8B;
 const TAG_LAGGED: u8 = 0x8C;
+const TAG_METRICS: u8 = 0x8D;
+const TAG_STATS_EX: u8 = 0x8E;
 
 /// The lowest protocol version that carries `tag` — both sides emit it,
 /// so v1 peers keep interoperating until a v2+ message is actually needed.
@@ -230,7 +251,7 @@ fn tag_version(tag: u8) -> u8 {
     match tag {
         TAG_INGEST_SEQ | TAG_INGEST_ACK | TAG_INGEST_BUSY => PROTO_V2,
         TAG_PATTERN_QUERY | TAG_SUBSCRIBE | TAG_UNSUBSCRIBE | TAG_ROWS | TAG_SUB_ACK
-        | TAG_NOTIFY | TAG_LAGGED => PROTO_V3,
+        | TAG_NOTIFY | TAG_LAGGED | TAG_METRICS_DUMP | TAG_METRICS | TAG_STATS_EX => PROTO_V3,
         _ => PROTO_V1,
     }
 }
@@ -278,6 +299,42 @@ pub struct StatsInfo {
     pub window_len: usize,
     /// Cumulative pruning counters (bit-identical to the library engine's).
     pub stats: PruneStats,
+}
+
+/// Enriched service counters (v3): everything in [`StatsInfo`] plus the
+/// liveness numbers a v1/v2 client could previously only scrape from the
+/// daemon's stdout.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct StatsExInfo {
+    /// The v1 counters, unchanged.
+    pub base: StatsInfo,
+    /// Microseconds since the daemon process started observing.
+    pub uptime_micros: u64,
+    /// Connections currently admitted to the I/O pool.
+    pub connections: u64,
+    /// Live standing-query subscriptions.
+    pub subscribers: u64,
+    /// Commit-path fsyncs issued since start (replay included).
+    pub fsyncs: u64,
+}
+
+impl Codec for StatsExInfo {
+    fn encode(&self, enc: &mut Encoder) {
+        self.base.encode(enc);
+        enc.u64(self.uptime_micros);
+        enc.u64(self.connections);
+        enc.u64(self.subscribers);
+        enc.u64(self.fsyncs);
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        Ok(StatsExInfo {
+            base: StatsInfo::decode(dec)?,
+            uptime_micros: dec.u64()?,
+            connections: dec.u64()?,
+            subscribers: dec.u64()?,
+            fsyncs: dec.u64()?,
+        })
+    }
 }
 
 /// A server reply.
@@ -337,6 +394,59 @@ pub enum Reply {
     /// than stalling ingest. Notifications after `resync_seq` were lost;
     /// resubscribe (with `resync_seq`) for a fresh snapshot.
     Lagged { sub_id: u64, resync_seq: u64 },
+    /// Enriched service counters (v3) — the answer to a `Stats` verb
+    /// that arrived inside a v3 payload.
+    StatsEx(StatsExInfo),
+    /// The observability registry + flight recorder (v3) — the answer to
+    /// [`Request::MetricsDump`].
+    Metrics {
+        /// Every registry metric, in declaration order.
+        rows: Vec<MetricRow>,
+        /// The flight ring's retained events, oldest → newest.
+        flight: Vec<TraceEvent>,
+    },
+}
+
+// `MetricRow`/`TraceEvent` live in the dependency-free `ter_obs` leaf
+// crate and `Codec` in `ter_store`, so the orphan rule forbids a `Codec`
+// impl here; standalone helpers carry them over the wire instead.
+
+fn encode_metric_row(row: &MetricRow, enc: &mut Encoder) {
+    enc.str(&row.name);
+    enc.u8(row.kind);
+    enc.u64(row.value);
+    enc.u64(row.sum);
+    row.buckets.encode(enc);
+}
+
+fn decode_metric_row(dec: &mut Decoder<'_>) -> Result<MetricRow, CodecError> {
+    Ok(MetricRow {
+        name: dec.str()?,
+        kind: dec.u8()?,
+        value: dec.u64()?,
+        sum: dec.u64()?,
+        buckets: Vec::decode(dec)?,
+    })
+}
+
+fn encode_trace_event(ev: &TraceEvent, enc: &mut Encoder) {
+    enc.u64(ev.ts_micros);
+    enc.u8(ev.kind);
+    enc.u64(ev.seq);
+    enc.u64(ev.a);
+    enc.u64(ev.b);
+    enc.u64(ev.dur_micros);
+}
+
+fn decode_trace_event(dec: &mut Decoder<'_>) -> Result<TraceEvent, CodecError> {
+    Ok(TraceEvent {
+        ts_micros: dec.u64()?,
+        kind: dec.u8()?,
+        seq: dec.u64()?,
+        a: dec.u64()?,
+        b: dec.u64()?,
+        dur_micros: dec.u64()?,
+    })
 }
 
 fn payload_with(tag: u8) -> Encoder {
@@ -414,9 +524,20 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
             enc.into_bytes()
         }
         Request::Stats => payload_with(TAG_STATS).into_bytes(),
+        Request::MetricsDump => payload_with(TAG_METRICS_DUMP).into_bytes(),
         Request::Checkpoint => payload_with(TAG_CHECKPOINT).into_bytes(),
         Request::Shutdown => payload_with(TAG_SHUTDOWN).into_bytes(),
     }
+}
+
+/// Encodes a [`Request::Stats`] stamped [`PROTO_V3`] instead of its
+/// minimal v1 — the opt-in for the enriched [`Reply::StatsEx`]. Decoders
+/// accept old tags in new payloads, so an old daemon still answers (with
+/// plain [`Reply::Stats`]).
+pub fn encode_stats_v3() -> Vec<u8> {
+    let mut payload = encode_request(&Request::Stats);
+    payload[0] = PROTO_V3;
+    payload
 }
 
 /// Encodes a [`Request::IngestSeq`] payload from a *borrowed* batch —
@@ -487,6 +608,7 @@ pub fn decode_request_versioned(payload: &[u8]) -> Result<(u8, Request), WireErr
             finish(&dec, Request::Unsubscribe { sub_id })
         }
         TAG_STATS => finish(&dec, Request::Stats),
+        TAG_METRICS_DUMP => finish(&dec, Request::MetricsDump),
         TAG_CHECKPOINT => finish(&dec, Request::Checkpoint),
         TAG_SHUTDOWN => finish(&dec, Request::Shutdown),
         t => Err(WireError::UnknownTag(t)),
@@ -624,6 +746,23 @@ pub fn encode_reply(reply: &Reply) -> Vec<u8> {
             enc.u64(*resync_seq);
             enc.into_bytes()
         }
+        Reply::StatsEx(info) => {
+            let mut enc = payload_with(TAG_STATS_EX);
+            info.encode(&mut enc);
+            enc.into_bytes()
+        }
+        Reply::Metrics { rows, flight } => {
+            let mut enc = payload_with(TAG_METRICS);
+            enc.usize(rows.len());
+            for row in rows {
+                encode_metric_row(row, &mut enc);
+            }
+            enc.usize(flight.len());
+            for ev in flight {
+                encode_trace_event(ev, &mut enc);
+            }
+            enc.into_bytes()
+        }
     }
 }
 
@@ -696,6 +835,23 @@ pub fn decode_reply(payload: &[u8]) -> Result<Reply, WireError> {
             let resync_seq = dec.u64()?;
             finish(&dec, Reply::Lagged { sub_id, resync_seq })
         }
+        TAG_STATS_EX => {
+            let info = StatsExInfo::decode(&mut dec)?;
+            finish(&dec, Reply::StatsEx(info))
+        }
+        TAG_METRICS => {
+            let n = dec.usize()?;
+            let mut rows = Vec::with_capacity(n.min(4096));
+            for _ in 0..n {
+                rows.push(decode_metric_row(&mut dec)?);
+            }
+            let n = dec.usize()?;
+            let mut flight = Vec::with_capacity(n.min(4096));
+            for _ in 0..n {
+                flight.push(decode_trace_event(&mut dec)?);
+            }
+            finish(&dec, Reply::Metrics { rows, flight })
+        }
         t => Err(WireError::UnknownTag(t)),
     }
 }
@@ -744,6 +900,7 @@ mod tests {
             },
             Request::Unsubscribe { sub_id: 3 },
             Request::Stats,
+            Request::MetricsDump,
             Request::Checkpoint,
             Request::Shutdown,
         ];
@@ -835,6 +992,37 @@ mod tests {
             ));
         }
 
+        // The observability surface is v3 on both directions, and its
+        // tags cannot be smuggled into older payloads either.
+        let metrics_payload = encode_request(&Request::MetricsDump);
+        assert_eq!(metrics_payload[0], PROTO_V3);
+        assert_eq!(
+            encode_reply(&Reply::Metrics {
+                rows: vec![],
+                flight: vec![]
+            })[0],
+            PROTO_V3
+        );
+        assert_eq!(
+            encode_reply(&Reply::StatsEx(StatsExInfo::default()))[0],
+            PROTO_V3
+        );
+        for downgrade in [PROTO_V1, PROTO_V2] {
+            let mut smuggled = metrics_payload.clone();
+            smuggled[0] = downgrade;
+            assert!(matches!(
+                decode_request(&smuggled),
+                Err(WireError::UnknownTag(_))
+            ));
+        }
+        // A Stats verb re-stamped v3 is legal (old tag, new payload) and
+        // decodes to the same verb — the StatsEx opt-in.
+        let v3_stats = encode_stats_v3();
+        assert_eq!(v3_stats[0], PROTO_V3);
+        let (proto, req) = decode_request_versioned(&v3_stats).unwrap();
+        assert_eq!(proto, PROTO_V3);
+        assert!(matches!(req, Request::Stats));
+
         // The versioned decoder reports what arrived.
         let (proto, req) = decode_request_versioned(&seq_payload).unwrap();
         assert_eq!(proto, PROTO_V2);
@@ -896,6 +1084,45 @@ mod tests {
             Reply::Lagged {
                 sub_id: 8,
                 resync_seq: 13,
+            },
+            Reply::StatsEx(StatsExInfo {
+                base: StatsInfo {
+                    next_batch_seq: 12,
+                    session_arrivals: 1200,
+                    wal_bytes: 4096,
+                    window_len: 400,
+                    stats: PruneStats::default(),
+                },
+                uptime_micros: 55_000,
+                connections: 3,
+                subscribers: 2,
+                fsyncs: 40,
+            }),
+            Reply::Metrics {
+                rows: vec![
+                    MetricRow {
+                        name: "ter_store_fsyncs_total".into(),
+                        kind: ter_obs::KIND_COUNTER,
+                        value: 9,
+                        sum: 0,
+                        buckets: vec![],
+                    },
+                    MetricRow {
+                        name: "ter_store_fsync_micros".into(),
+                        kind: ter_obs::KIND_HISTOGRAM,
+                        value: 9,
+                        sum: 1200,
+                        buckets: vec![0, 3, 6],
+                    },
+                ],
+                flight: vec![TraceEvent {
+                    ts_micros: 17,
+                    kind: ter_obs::kind::FSYNC,
+                    seq: 4,
+                    a: 2,
+                    b: 0,
+                    dur_micros: 130,
+                }],
             },
         ];
         for reply in &replies {

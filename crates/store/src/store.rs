@@ -260,6 +260,7 @@ impl TerStore {
     /// the log's committed range `[base_seq, next_seq]` — a stamp the
     /// log cannot replay from would create an unbridgeable gap.
     pub fn checkpoint_at(&mut self, wal_seq: u64, state: &EngineState) -> Result<u64, StoreError> {
+        let t0 = ter_obs::timer();
         if wal_seq < self.wal.base_seq() || wal_seq > self.wal.next_seq() {
             return Err(StoreError::Mismatch(format!(
                 "checkpoint stamp {wal_seq} outside the committed WAL range [{}, {}]",
@@ -301,6 +302,10 @@ impl TerStore {
                 self.wal.truncate_before(oldest_seq)?;
             }
         }
+        ter_obs::OBS.checkpoints.inc();
+        ter_obs::OBS.last_checkpoint_seq.set(wal_seq);
+        let us = ter_obs::OBS.checkpoint_micros.observe_since(t0);
+        ter_obs::flight(ter_obs::kind::CHECKPOINT, wal_seq, bytes, 0, us);
         Ok(bytes)
     }
 

@@ -260,6 +260,7 @@ impl Wal {
     /// [`Wal::sync`] covers it. A caller must therefore not acknowledge
     /// the batch to anyone before that sync returns.
     pub fn append_nosync(&mut self, arrivals: &[Arrival]) -> Result<u64, StoreError> {
+        let t0 = ter_obs::timer();
         let seq = self.next_seq;
         // Mirrors `BatchRecord::encode` without cloning the batch into a
         // throwaway record — this is the per-commit ingest path.
@@ -275,6 +276,9 @@ impl Wal {
         self.file.write_all(&framed)?;
         self.tail += framed.len() as u64;
         self.next_seq += 1;
+        ter_obs::OBS.wal_append_bytes.add(framed.len() as u64);
+        let us = ter_obs::OBS.wal_append_micros.observe_since(t0);
+        ter_obs::flight(ter_obs::kind::WAL_APPEND, seq, framed.len() as u64, 0, us);
         Ok(seq)
     }
 
@@ -285,6 +289,8 @@ impl Wal {
         if self.synced_tail == self.tail {
             return Ok(());
         }
+        let t0 = ter_obs::timer();
+        let covered = self.next_seq - self.synced_seq;
         if !self.sync_delay.is_zero() {
             std::thread::sleep(self.sync_delay);
         }
@@ -292,6 +298,10 @@ impl Wal {
         self.fsyncs += 1;
         self.synced_tail = self.tail;
         self.synced_seq = self.next_seq;
+        ter_obs::OBS.fsyncs.inc();
+        ter_obs::OBS.flush_window_batches.record(covered);
+        let us = ter_obs::OBS.fsync_micros.observe_since(t0);
+        ter_obs::flight(ter_obs::kind::FSYNC, self.synced_seq, covered, 0, us);
         Ok(())
     }
 

@@ -39,6 +39,21 @@ for f in "${files[@]}"; do
         echo "${f}: git_commit is not a sha (or 'unknown')" >&2
         file_ok=0
     fi
+    # The throughput bench additionally records per-stage wall-time
+    # histogram summaries from the telemetry registry; each stage row
+    # must carry the full {count, sum, p50, p95, p99} summary.
+    if grep -q '"bench": "fig18_throughput"' "$f"; then
+        if ! grep -q '"stage_micros":' "$f"; then
+            echo "${f}: missing required field \"stage_micros\"" >&2
+            file_ok=0
+        fi
+        for stage in impute traverse refine merge barrier_wait; do
+            if ! grep -Eq "\"${stage}\": \\{\"count\": [0-9]+, \"sum\": [0-9]+, \"p50\": [0-9]+, \"p95\": [0-9]+, \"p99\": [0-9]+\\}" "$f"; then
+                echo "${f}: stage_micros.${stage} missing or malformed (need count/sum/p50/p95/p99)" >&2
+                file_ok=0
+            fi
+        done
+    fi
     if command -v python3 >/dev/null 2>&1; then
         if ! python3 -c "import json,sys; json.load(open(sys.argv[1]))" "$f" 2>/dev/null; then
             echo "${f}: not valid JSON" >&2

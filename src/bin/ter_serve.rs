@@ -14,6 +14,7 @@
 //! ter_serve query --addr ADDR [--id ID] [--pattern 'match(a, b)']
 //! ter_serve subscribe --addr ADDR --pattern 'match(a, b)'
 //!                 [--sub-id 1] [--resync-seq 0] [--events N]
+//! ter_serve metrics --addr ADDR [--watch N]
 //! ter_serve shutdown --addr ADDR
 //! ```
 //!
@@ -40,6 +41,15 @@
 //! stdout as the window slides — one line per event, `LAGGED` when the
 //! daemon shed the subscription under backpressure (rerun `subscribe`
 //! quoting the printed resync position).
+//!
+//! `metrics` scrapes the daemon's telemetry registry over the wire
+//! (protocol v3 `MetricsDump`) and prints it in the `ter_obs` text
+//! exposition format; `--watch N` re-scrapes every N seconds and renders
+//! counter/histogram *deltas* instead — a poor-man's `top` for the
+//! daemon. `serve --metrics-text <path|->` additionally makes the daemon
+//! itself write the same exposition to a file (atomically, on every
+//! cadence checkpoint, at shutdown, and on a step-stage panic) — the
+//! flight-recorder dump a post-mortem reads after a `kill -9`.
 
 use std::process::ExitCode;
 use std::time::{Duration, Instant};
@@ -60,13 +70,14 @@ fn usage() -> ! {
          \x20        [--window 400] [--checkpoint-every 8] [--queue-depth 16]\n\
          \x20        [--shards 8] [--threads T] [--io-threads 2]\n\
          \x20        [--flush-window 1] [--flush-interval-ms 5]\n\
-         \x20        [--notify-buffer 262144]\n\
+         \x20        [--notify-buffer 262144] [--metrics-text PATH|-]\n\
          feed     --addr ADDR [--preset ebooks] [--scale 1.0] [--window 400]\n\
          \x20        [--batch 64] [--from auto|N] [--batches N] [--pipeline W]\n\
          \x20        [--resilient] [--oracle-check] [--quiet]\n\
          query    --addr ADDR [--id ID] [--pattern 'match(a, b)']\n\
          subscribe --addr ADDR --pattern 'match(a, b)' [--sub-id 1]\n\
          \x20        [--resync-seq 0] [--events N]\n\
+         metrics  --addr ADDR [--watch N]\n\
          shutdown --addr ADDR"
     );
     std::process::exit(2);
@@ -195,8 +206,20 @@ fn cmd_serve(flags: &Flags) -> ExitCode {
         // window. Zero in production.
         fsync_delay: Duration::from_millis(flags.parsed("fsync-delay-ms", 0)),
         notify_buffer: flags.parsed("notify-buffer", ServeOptions::default().notify_buffer),
+        // Fault-injection knob: panic the step stage right before this
+        // batch sequence — crash harnesses assert the panic-path flight
+        // dump. Absent in production.
+        panic_on_batch: flags.get("panic-on-batch").map(|raw| {
+            raw.parse().unwrap_or_else(|_| {
+                eprintln!("invalid --panic-on-batch");
+                usage();
+            })
+        }),
         ..ServeOptions::default()
     };
+    if let Some(target) = flags.get("metrics-text") {
+        ter_obs::set_dump_path(Some(std::path::PathBuf::from(target)));
+    }
     eprintln!(
         "building context ({})...",
         flags.get("preset").unwrap_or("ebooks")
@@ -520,6 +543,69 @@ fn cmd_subscribe(flags: &Flags) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// Scrapes the daemon's metric registry + flight ring over the wire.
+/// One-shot: prints the full `ter_obs` text exposition. `--watch N`:
+/// re-scrapes every N seconds and prints only what moved — counter and
+/// histogram deltas per interval, gauge current values, histogram
+/// quantiles over the cumulative distribution.
+fn cmd_metrics(flags: &Flags) -> ExitCode {
+    let watch: u64 = flags.parsed("watch", 0);
+    let mut client = connect(flags);
+    let (rows, flight) = match client.metrics_dump() {
+        Ok(x) => x,
+        Err(e) => {
+            eprintln!("metrics dump failed: {e}");
+            return ExitCode::from(1);
+        }
+    };
+    if watch == 0 {
+        print!("{}", ter_obs::render_parts("scrape", &rows, &flight));
+        return ExitCode::SUCCESS;
+    }
+    use std::io::Write;
+    let mut prev = rows;
+    loop {
+        std::thread::sleep(Duration::from_secs(watch.max(1)));
+        let (rows, _) = match client.metrics_dump() {
+            Ok(x) => x,
+            Err(e) => {
+                eprintln!("metrics watch ended: {e}");
+                return ExitCode::from(1);
+            }
+        };
+        println!("--- delta over {}s ---", watch.max(1));
+        for (p, n) in prev.iter().zip(rows.iter()) {
+            match n.kind {
+                ter_obs::KIND_COUNTER => {
+                    let d = n.value.saturating_sub(p.value);
+                    if d > 0 {
+                        println!("{} +{d}", n.name);
+                    }
+                }
+                ter_obs::KIND_GAUGE => {
+                    if n.value != 0 || p.value != 0 {
+                        println!("{} {}", n.name, n.value);
+                    }
+                }
+                _ => {
+                    let d = n.value.saturating_sub(p.value);
+                    if d > 0 {
+                        println!(
+                            "{} +{d} p50<={} p95<={} p99<={}",
+                            n.name,
+                            n.quantile(0.50),
+                            n.quantile(0.95),
+                            n.quantile(0.99)
+                        );
+                    }
+                }
+            }
+        }
+        std::io::stdout().flush().ok();
+        prev = rows;
+    }
+}
+
 fn cmd_shutdown(flags: &Flags) -> ExitCode {
     let mut client = connect(flags);
     match client.shutdown() {
@@ -543,6 +629,7 @@ fn main() -> ExitCode {
         "feed" => cmd_feed(&flags),
         "query" => cmd_query(&flags),
         "subscribe" => cmd_subscribe(&flags),
+        "metrics" => cmd_metrics(&flags),
         "shutdown" => cmd_shutdown(&flags),
         _ => usage(),
     }

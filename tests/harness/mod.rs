@@ -135,6 +135,12 @@ impl Daemon {
         let status = self.child.wait().expect("wait daemon");
         assert!(status.success(), "daemon exited with {status}");
     }
+
+    /// Waits for the child to exit on its own — fault-injection scenarios
+    /// (an injected step-stage panic) assert on the returned status.
+    pub fn wait_exit(mut self) -> std::process::ExitStatus {
+        self.child.wait().expect("wait daemon")
+    }
 }
 
 impl Drop for Daemon {

@@ -140,7 +140,30 @@ fn soak_connections_bounded_threads_and_oracle_parity() {
     assert_eq!(window.len, oracle.window_len());
     assert_eq!(window.live_ids, oracle.live_ids());
 
+    // ---- the connection gauge deflates with the herd ----
+    // While the herd stood, the gauge counted it; once the idle
+    // connections drop, the daemon must notice every EOF and walk the
+    // gauge back to (about) this one surviving control connection — a
+    // leak here means dead Conn entries pinned in the poll loop.
+    let inflated = client.stats_ex().expect("stats_ex").connections;
+    assert!(
+        inflated as usize > conns,
+        "gauge {inflated} never counted the {conns}-connection herd"
+    );
     drop(idle);
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    let settled = loop {
+        let now = client.stats_ex().expect("stats_ex").connections;
+        if now <= 2 {
+            break now;
+        }
+        if std::time::Instant::now() >= deadline {
+            panic!("connection gauge stuck at {now} 10s after the herd disconnected");
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    };
+    assert!(settled >= 1, "the control connection itself still counts");
+
     client.shutdown().expect("graceful shutdown");
     daemon.wait_graceful();
 }
