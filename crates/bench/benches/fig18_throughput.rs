@@ -14,7 +14,7 @@
 
 use std::time::Instant;
 
-use ter_bench::{header, prepare, Prepared, RunStamp};
+use ter_bench::{critical_path_json, header, prepare, Prepared, RunStamp};
 use ter_datasets::{GenOptions, Preset};
 use ter_exec::{ExecConfig, ShardedTerIdsEngine};
 use ter_ids::{ErProcessor, Params, PruningMode, TerIdsEngine};
@@ -30,6 +30,13 @@ struct Measured {
     /// sequential oracle (timing only the grid-mutation side of the engine
     /// would be pointless if its answers drifted).
     reported: Vec<(u64, u64)>,
+    /// Summed per-batch wall time, measured at the call site — the
+    /// external truth the trace attribution must account for.
+    stepped_us: u64,
+    /// This run's critical-path attribution (trace-table delta across
+    /// the run): in library mode each batch self-roots its trace, so
+    /// the table partitions `stepped_us` into compute/barrier/other.
+    critical_path: ter_obs::trace::CriticalPath,
 }
 
 fn run_sharded(prepared: &Prepared, threads: usize, shards: usize, batch: usize) -> Measured {
@@ -39,15 +46,20 @@ fn run_sharded(prepared: &Prepared, threads: usize, shards: usize, batch: usize)
         PruningMode::Full,
         ExecConfig::new(shards, threads),
     );
+    let (cp0, _) = ter_obs::trace::snapshot();
     // One persistent worker-pool session for the whole stream — the
     // production execution shape (no per-batch thread spawn).
     let start = Instant::now();
+    let mut stepped_us = 0u64;
     engine.with_pool(|pe| {
         for chunk in prepared.arrivals.chunks(batch) {
+            let t0 = Instant::now();
             pe.step_batch(chunk);
+            stepped_us += t0.elapsed().as_micros() as u64;
         }
     });
     let secs = start.elapsed().as_secs_f64();
+    let (cp1, _) = ter_obs::trace::snapshot();
     let mut reported: Vec<(u64, u64)> = engine.reported().iter().copied().collect();
     reported.sort_unstable();
     Measured {
@@ -58,6 +70,8 @@ fn run_sharded(prepared: &Prepared, threads: usize, shards: usize, batch: usize)
             .stage_metrics()
             .barriers_per_arrival(prepared.arrivals.len() as u64),
         reported,
+        stepped_us,
+        critical_path: cp1.delta(&cp0),
     }
 }
 
@@ -147,12 +161,31 @@ fn main() {
                 m.barriers_per_arrival
             );
         }
+        // Causal-trace honesty gate: the critical-path analyzer's
+        // segments must account for the latency the bench measured from
+        // the outside — within 5% plus per-batch rounding (each span
+        // truncates to whole microseconds).
+        let attributed = m.critical_path.total_micros;
+        assert_eq!(
+            m.critical_path.segment_sum(),
+            attributed,
+            "attribution table does not partition its own total"
+        );
+        let tol = m.stepped_us / 20 + 2 * m.critical_path.traces + 100;
+        assert!(
+            m.stepped_us.abs_diff(attributed) <= tol,
+            "trace attribution at T={threads} accounts for {attributed}us \
+             of {}us measured (tolerance {tol}us)",
+            m.stepped_us
+        );
         println!(
-            "{:<16} {:>9.2}s {:>12.1} tuples/s  ({:.2} barriers/arrival)",
+            "{:<16} {:>9.2}s {:>12.1} tuples/s  ({:.2} barriers/arrival, \
+             {attributed}us attributed / {}us measured)",
             format!("threads={}", m.threads),
             m.secs,
             m.tuples_per_sec,
-            m.barriers_per_arrival
+            m.barriers_per_arrival,
+            m.stepped_us
         );
         series.push(m);
     }
@@ -208,8 +241,11 @@ fn main() {
         )
     })
     .collect();
+    // The whole sweep's attribution table (the registry was reset just
+    // before the sweep, so the cumulative table covers exactly it).
+    let (sweep_cp, _) = ter_obs::trace::snapshot();
     let json = format!(
-        "{{\n  \"bench\": \"fig18_throughput\",\n{}\n  \"preset\": \"{}\",\n  \"scale\": {},\n  \"window\": {},\n  \"shards\": {},\n  \"batch\": {},\n  \"arrivals\": {},\n  \"host_cpus\": {},\n  \"undersubscribed\": {},\n  \"sequential_tuples_per_sec\": {:.1},\n  \"stage_micros\": {{\n{}\n  }},\n  \"series\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"bench\": \"fig18_throughput\",\n{}\n  \"preset\": \"{}\",\n  \"scale\": {},\n  \"window\": {},\n  \"shards\": {},\n  \"batch\": {},\n  \"arrivals\": {},\n  \"host_cpus\": {},\n  \"undersubscribed\": {},\n  \"sequential_tuples_per_sec\": {:.1},\n  \"stage_micros\": {{\n{}\n  }},\n  \"critical_path\": {},\n  \"series\": [\n{}\n  ]\n}}\n",
         RunStamp::capture().json_fields(),
         preset.name(),
         scale,
@@ -221,6 +257,7 @@ fn main() {
         undersubscribed,
         seq_tps,
         stage_rows.join(",\n"),
+        critical_path_json(&sweep_cp),
         rows.join(",\n")
     );
     let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_throughput.json");

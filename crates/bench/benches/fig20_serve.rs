@@ -42,10 +42,11 @@ use std::fs;
 use std::path::PathBuf;
 use std::time::{Duration, Instant};
 
-use ter_bench::{header, prepare, RunStamp};
+use ter_bench::{critical_path_json, header, prepare, RunStamp};
 use ter_datasets::{GenOptions, Preset};
 use ter_exec::{ExecConfig, ShardedTerIdsEngine};
 use ter_ids::{ErProcessor, Params, PruningMode};
+use ter_obs::trace::CriticalPath;
 use ter_serve::{Client, ServeOptions, ServeReport, Server};
 use ter_store::{context_fingerprint, TerStore};
 
@@ -132,44 +133,49 @@ fn main() {
     // One daemon run over a fresh directory; `window == 1` is strict
     // request/reply, `window > 1` the pipelined v2 driver. `idle_conns`
     // standing connections are parked on the poll loop for the duration.
-    let daemon_run = |tag: &str,
-                      window: usize,
-                      opts: ServeOptions,
-                      idle_conns: usize|
-     -> (f64, Vec<Vec<(u64, u64)>>, ServeReport) {
-        let serve_dir = TempDir::new(tag);
-        let server = Server::bind("127.0.0.1:0").expect("bind");
-        let addr = server.addr().expect("addr");
-        std::thread::scope(|scope| {
-            let handle = scope.spawn(|| {
-                server
-                    .run(&prepared.ctx, prepared.params, &serve_dir.0, &opts)
-                    .expect("serve")
-            });
-            let herd: Vec<std::net::TcpStream> = (0..idle_conns)
-                .map(|_| std::net::TcpStream::connect(addr).expect("herd connect"))
-                .collect();
-            let mut client = Client::connect_retry(addr, Duration::from_secs(30)).expect("connect");
-            let mut served: Vec<Vec<(u64, u64)>> = Vec::new();
-            let start = Instant::now();
-            if window <= 1 {
-                for batch in &batches {
-                    served.extend(client.ingest_wait(batch).expect("ingest"));
+    // The daemon runs in-process (a scoped thread), so the returned
+    // critical-path table is the trace registry's delta across the run:
+    // the attribution of exactly this feed's acked batches.
+    // (wall secs, per-batch served matches, report, trace-table delta)
+    type DaemonRun = (f64, Vec<Vec<(u64, u64)>>, ServeReport, CriticalPath);
+    let daemon_run =
+        |tag: &str, window: usize, opts: ServeOptions, idle_conns: usize| -> DaemonRun {
+            let serve_dir = TempDir::new(tag);
+            let server = Server::bind("127.0.0.1:0").expect("bind");
+            let addr = server.addr().expect("addr");
+            let (cp0, _) = ter_obs::trace::snapshot();
+            std::thread::scope(|scope| {
+                let handle = scope.spawn(|| {
+                    server
+                        .run(&prepared.ctx, prepared.params, &serve_dir.0, &opts)
+                        .expect("serve")
+                });
+                let herd: Vec<std::net::TcpStream> = (0..idle_conns)
+                    .map(|_| std::net::TcpStream::connect(addr).expect("herd connect"))
+                    .collect();
+                let mut client =
+                    Client::connect_retry(addr, Duration::from_secs(30)).expect("connect");
+                let mut served: Vec<Vec<(u64, u64)>> = Vec::new();
+                let start = Instant::now();
+                if window <= 1 {
+                    for batch in &batches {
+                        served.extend(client.ingest_wait(batch).expect("ingest"));
+                    }
+                } else {
+                    let run = client
+                        .ingest_pipelined(&owned_batches, window)
+                        .expect("pipelined ingest");
+                    served.extend(run.per_batch.into_iter().flatten());
                 }
-            } else {
-                let run = client
-                    .ingest_pipelined(&owned_batches, window)
-                    .expect("pipelined ingest");
-                served.extend(run.per_batch.into_iter().flatten());
-            }
-            let secs = start.elapsed().as_secs_f64();
-            drop(herd);
-            client.shutdown().expect("shutdown");
-            let report = handle.join().expect("daemon thread");
-            assert_eq!(report.batches, batches.len() as u64);
-            (secs, served, report)
-        })
-    };
+                let secs = start.elapsed().as_secs_f64();
+                drop(herd);
+                client.shutdown().expect("shutdown");
+                let report = handle.join().expect("daemon thread");
+                assert_eq!(report.batches, batches.len() as u64);
+                let (cp1, _) = ter_obs::trace::snapshot();
+                (secs, served, report, cp1.delta(&cp0))
+            })
+        };
     let base_opts = || ServeOptions {
         checkpoint_every: CHECKPOINT_EVERY,
         exec,
@@ -177,7 +183,7 @@ fn main() {
     };
 
     // ---- daemon, strict request/reply (one batch in flight) ----
-    let (reqrep_secs, reqrep_matches, _) = daemon_run("reqrep", 1, base_opts(), 0);
+    let (reqrep_secs, reqrep_matches, _, _) = daemon_run("reqrep", 1, base_opts(), 0);
     // Parity gate: throughput of a wrong answer is meaningless.
     assert_eq!(
         reqrep_matches, lib_matches,
@@ -192,7 +198,8 @@ fn main() {
 
     // ---- daemon, pipelined ingest (W unacked batches) ----
     const PIPELINE_WINDOW: usize = 4;
-    let (piped_secs, piped_matches, _) = daemon_run("pipelined", PIPELINE_WINDOW, base_opts(), 0);
+    let (piped_secs, piped_matches, _, piped_cp) =
+        daemon_run("pipelined", PIPELINE_WINDOW, base_opts(), 0);
     assert_eq!(
         piped_matches, lib_matches,
         "pipelined daemon results diverged from the library engine"
@@ -216,7 +223,7 @@ fn main() {
         flush_interval: Duration::from_secs(2),
         ..base_opts()
     };
-    let (gc1_secs, gc1_matches, gc1_report) = daemon_run("gc_w1", GC_WINDOW, gc_opts(1), 0);
+    let (gc1_secs, gc1_matches, gc1_report, gc1_cp) = daemon_run("gc_w1", GC_WINDOW, gc_opts(1), 0);
     assert_eq!(
         gc1_matches, lib_matches,
         "flush_window=1 daemon results diverged from the library engine"
@@ -225,7 +232,8 @@ fn main() {
         gc1_report.fsyncs, gc1_report.batches,
         "flush_window=1 must degenerate to fsync-per-batch"
     );
-    let (gc8_secs, gc8_matches, gc8_report) = daemon_run("gc_w8", GC_WINDOW, gc_opts(GC_WINDOW), 0);
+    let (gc8_secs, gc8_matches, gc8_report, gc8_cp) =
+        daemon_run("gc_w8", GC_WINDOW, gc_opts(GC_WINDOW), 0);
     assert_eq!(
         gc8_matches, lib_matches,
         "flush_window=8 daemon results diverged from the library engine"
@@ -248,13 +256,26 @@ fn main() {
         gc8_report.batches,
         gc1_report.fsyncs as f64 / gc8_report.fsyncs as f64
     );
+    // The causal traces answer the open perf question behind the sweep:
+    // how much fsync time an acked batch actually *waits for* (a shared
+    // fsync's duration is charged to each covered batch at 1/covered).
+    // At W=1 every batch eats a whole fsync; at W=8 the covering fsync
+    // amortizes 8 ways, so the per-batch exposure must drop.
+    let w1_exposed = gc1_cp.fsync_exposed_micros / gc1_cp.traces.max(1);
+    let w8_exposed = gc8_cp.fsync_exposed_micros / gc8_cp.traces.max(1);
+    println!(
+        "fsync exposed/batch W=1 {w1_exposed}us  W=8 {w8_exposed}us  \
+         ({} traces / {} traces)",
+        gc1_cp.traces, gc8_cp.traces
+    );
 
     // ---- connection herd: the headline feed under standing load ----
     let herd_conns: usize = std::env::var("TER_FIG20_HERD")
         .ok()
         .and_then(|v| v.parse().ok())
         .unwrap_or(256);
-    let (herd_secs, herd_matches, _) = daemon_run("herd", PIPELINE_WINDOW, base_opts(), herd_conns);
+    let (herd_secs, herd_matches, _, _) =
+        daemon_run("herd", PIPELINE_WINDOW, base_opts(), herd_conns);
     assert_eq!(
         herd_matches, lib_matches,
         "daemon results under the connection herd diverged from the library engine"
@@ -275,6 +296,22 @@ fn main() {
     // written *before* the gate below so a failed claim leaves its
     // measured evidence behind instead of the stale previous run.
     let undersubscribed = host_cpus < 2;
+    // The per-batch fsync-exposure claim needs real concurrency too: on
+    // one time-sliced CPU the W=1 run's fsyncs can look artificially
+    // cheap (nothing else contends for the disk's dispatch window), so
+    // the ratio is recorded but only asserted with ≥2 CPUs visible.
+    if !undersubscribed {
+        assert!(
+            gc1_cp.traces > 0 && gc8_cp.traces > 0,
+            "group-commit runs completed no traces — tracing disabled?"
+        );
+        assert!(
+            (w8_exposed as f64) < (w1_exposed as f64) * 0.6,
+            "group commit at flush_window=8 must measurably shrink the \
+             per-batch fsync-exposed time: W=1 {w1_exposed}us vs W=8 \
+             {w8_exposed}us (claim: < 0.6x)"
+        );
+    }
 
     let json = format!(
         "{{\n  \"bench\": \"fig20_serve\",\n{}\n  \"preset\": \"{}\",\n  \"scale\": {},\n  \
@@ -286,8 +323,10 @@ fn main() {
          \"pipelined_tuples_per_sec\": {:.1},\n  \"pipelined_speedup_vs_request_reply\": {:.3},\n  \
          \"group_commit_batches\": {},\n  \"group_commit_fsyncs_w1\": {},\n  \
          \"group_commit_fsyncs_w8\": {},\n  \"group_commit_fsync_reduction\": {:.3},\n  \
+         \"fsync_exposed_per_batch_w1_micros\": {},\n  \
+         \"fsync_exposed_per_batch_w8_micros\": {},\n  \
          \"idle_conn_herd\": {},\n  \"herd_tuples_per_sec\": {:.1},\n  \
-         \"herd_cost_factor\": {:.3}\n}}\n",
+         \"herd_cost_factor\": {:.3},\n  \"critical_path\": {}\n}}\n",
         RunStamp::capture().json_fields(),
         preset.name(),
         scale,
@@ -309,9 +348,12 @@ fn main() {
         gc1_report.fsyncs,
         gc8_report.fsyncs,
         gc1_report.fsyncs as f64 / gc8_report.fsyncs as f64,
+        w1_exposed,
+        w8_exposed,
         herd_conns,
         herd_tps,
-        herd_cost
+        herd_cost,
+        critical_path_json(&piped_cp)
     );
     let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json");
     fs::write(out, &json).expect("write BENCH_serve.json");

@@ -356,6 +356,24 @@ pub fn sweep<V: Copy + std::fmt::Display>(
     }
 }
 
+/// Renders a critical-path attribution table as one JSON object — the
+/// `critical_path` field the bench artifacts (`BENCH_throughput.json`,
+/// `BENCH_serve.json`) record, keyed exactly like
+/// [`ter_obs::trace::SEGMENTS`] with a `_micros` suffix.
+pub fn critical_path_json(cp: &ter_obs::trace::CriticalPath) -> String {
+    let segs: Vec<String> = cp
+        .segments()
+        .iter()
+        .map(|(name, us)| format!("\"{name}_micros\": {us}"))
+        .collect();
+    format!(
+        "{{\"traces\": {}, \"total_micros\": {}, {}}}",
+        cp.traces,
+        cp.total_micros,
+        segs.join(", ")
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -403,6 +421,26 @@ mod tests {
         assert_eq!(&s.generated_at[10..11], "T");
         assert!(s.json_fields().contains("\"git_commit\""));
         assert!(s.json_fields().contains("\"generated_at\""));
+    }
+
+    #[test]
+    fn critical_path_json_shape() {
+        let cp = ter_obs::trace::CriticalPath {
+            traces: 2,
+            total_micros: 100,
+            compute_micros: 60,
+            other_micros: 40,
+            ..ter_obs::trace::CriticalPath::ZERO
+        };
+        let j = critical_path_json(&cp);
+        assert!(j.starts_with('{') && j.ends_with('}'));
+        assert!(j.contains("\"traces\": 2"));
+        assert!(j.contains("\"total_micros\": 100"));
+        assert!(j.contains("\"compute_micros\": 60"));
+        // Every segment appears, zero or not — schema checkers rely on it.
+        for (name, _) in cp.segments() {
+            assert!(j.contains(&format!("\"{name}_micros\"")), "{name}");
+        }
     }
 
     #[test]

@@ -540,12 +540,16 @@ fn record_stage_batch(traverse_us: u64, refine_us: u64, merge_us: u64, barrier_u
     let seq = ter_obs::OBS.engine_batches.get();
     ter_obs::OBS.engine_traverse_micros.record(traverse_us);
     ter_obs::flight(ter_obs::kind::TRAVERSE, seq, 0, 0, traverse_us);
+    ter_obs::trace::add_current_elapsed(ter_obs::trace::kind::TRAVERSE, traverse_us);
     ter_obs::OBS.engine_refine_micros.record(refine_us);
     ter_obs::flight(ter_obs::kind::REFINE, seq, 0, 0, refine_us);
+    ter_obs::trace::add_current_elapsed(ter_obs::trace::kind::REFINE, refine_us);
     ter_obs::OBS.engine_merge_micros.record(merge_us);
     ter_obs::flight(ter_obs::kind::MERGE, seq, 0, 0, merge_us);
+    ter_obs::trace::add_current_elapsed(ter_obs::trace::kind::MERGE, merge_us);
     if let Some(b) = barrier_us {
         ter_obs::OBS.engine_barrier_wait_micros.record(b);
+        ter_obs::trace::add_current_elapsed(ter_obs::trace::kind::BARRIER, b);
     }
 }
 
@@ -810,6 +814,11 @@ impl<'a> PooledEngine<'_, 'a> {
         }
         let batch_t0 = ter_obs::timer();
         ter_obs::OBS.engine_batches.inc();
+        // Library mode: no outer driver owns a causal trace for this
+        // batch, so it roots its own (keyed by the engine batch ordinal).
+        // In daemon mode the serve step stage owns the trace and this is
+        // a no-op.
+        let self_rooted = ter_obs::trace::root_if_unattached(ter_obs::OBS.engine_batches.get());
         let eng = &mut *self.eng;
         let wctx = eng.worker_ctx();
         let outputs = match &self.pool {
@@ -828,6 +837,7 @@ impl<'a> PooledEngine<'_, 'a> {
                     0,
                     impute_us,
                 );
+                ter_obs::trace::add_current_elapsed(ter_obs::trace::kind::IMPUTE, impute_us);
                 let owned: Vec<(usize, ShardGrid)> = eng.shards.drain(..).enumerate().collect();
                 let mut workers = BatchWorkers::Inline {
                     shards: owned,
@@ -860,6 +870,7 @@ impl<'a> PooledEngine<'_, 'a> {
                     0,
                     impute_us,
                 );
+                ter_obs::trace::add_current_elapsed(ter_obs::trace::kind::IMPUTE, impute_us);
                 // Workers own disjoint shard groups for the whole batch
                 // (shard s → worker s mod T), so each cell's op sequence
                 // is applied by exactly one worker, in arrival order —
@@ -882,13 +893,18 @@ impl<'a> PooledEngine<'_, 'a> {
                 outputs
             }
         };
+        let batch_us = batch_t0.map_or(0, |t| t.elapsed().as_micros() as u64);
         ter_obs::flight(
             ter_obs::kind::BATCH,
             ter_obs::OBS.engine_batches.get(),
             batch.len() as u64,
             0,
-            batch_t0.map_or(0, |t| t.elapsed().as_micros() as u64),
+            batch_us,
         );
+        if self_rooted {
+            ter_obs::trace::add_current_elapsed(ter_obs::trace::kind::STEP, batch_us);
+            ter_obs::trace::end_current();
+        }
         outputs
     }
 }

@@ -39,6 +39,8 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Mutex, MutexGuard, OnceLock};
 use std::time::Instant;
 
+pub mod trace;
+
 /// Flight-recorder ring capacity (events). Old events are overwritten;
 /// the snapshot always holds the newest `FLIGHT_CAPACITY`.
 pub const FLIGHT_CAPACITY: usize = 4096;
@@ -310,6 +312,34 @@ impl MetricRow {
             0.0
         } else {
             self.sum as f64 / self.value as f64
+        }
+    }
+
+    /// The per-interval row between two snapshots of the same cumulative
+    /// metric: counter values, histogram counts/sums, and every bucket
+    /// are subtracted element-wise (saturating, so a registry reset
+    /// between snapshots yields zeros, not wraparound); gauges keep the
+    /// newer reading — a gauge *is* an instantaneous value. Quantiles of
+    /// the returned row describe only the interval, which is what a
+    /// `--watch` display must show.
+    pub fn delta(&self, prev: &MetricRow) -> MetricRow {
+        let value = if self.kind == KIND_GAUGE {
+            self.value
+        } else {
+            self.value.saturating_sub(prev.value)
+        };
+        let buckets = self
+            .buckets
+            .iter()
+            .enumerate()
+            .map(|(i, &b)| b.saturating_sub(prev.buckets.get(i).copied().unwrap_or(0)))
+            .collect();
+        MetricRow {
+            name: self.name.clone(),
+            kind: self.kind,
+            value,
+            sum: self.sum.saturating_sub(prev.sum),
+            buckets,
         }
     }
 }
@@ -631,6 +661,11 @@ pub fn flight(k: u8, seq: u64, a: u64, b: u64, dur_micros: u64) {
     if !enabled() {
         return;
     }
+    // Anomalous events mark the moment for the tail sampler: any trace
+    // whose lifetime overlaps it is retained unconditionally.
+    if matches!(k, kind::PANIC | kind::BUSY | kind::SHED) {
+        trace::note_anomaly();
+    }
     let ev = TraceEvent {
         ts_micros: epoch_micros(),
         kind: k,
@@ -661,6 +696,7 @@ pub fn reset() {
     if let Some(ring) = flight_ring().as_mut() {
         ring.clear();
     }
+    trace::reset();
 }
 
 // ---------------------------------------------------------------------
@@ -677,9 +713,52 @@ pub fn reset() {
 /// <hist>_p50 <n>          (p95/p99 likewise; bucket upper bounds)
 /// <hist>_bucket{le="<bound>"} <cumulative>   (nonzero buckets + +Inf)
 /// # flight ts=<us> kind=<name> seq=<n> a=<n> b=<n> dur=<us>
+/// # critical_path traces=<n> total=<us> frontend=<us> … other=<us>
+/// # trace seq=<n> start=<us> dur=<us> covered=<n> anomaly=<0|1>
+/// # span seq=<n> kind=<name> parent=<name> start=<us> dur=<us>
 /// ```
+///
+/// The trace lines cover the process's own retained traces and
+/// cumulative attribution table; [`render_parts`] (remote rows) omits
+/// them.
 pub fn render(reason: &str) -> String {
-    render_parts(reason, &snapshot(), &flight_snapshot())
+    let mut out = render_parts(reason, &snapshot(), &flight_snapshot());
+    let (cp, traces) = trace::snapshot();
+    render_traces_into(&mut out, &cp, &traces);
+    out
+}
+
+/// Appends the `# critical_path` / `# trace` / `# span` lines of a
+/// trace snapshot to a text exposition (no-op when there is nothing to
+/// report).
+pub fn render_traces_into(out: &mut String, cp: &trace::CriticalPath, traces: &[trace::Trace]) {
+    if cp.traces == 0 && traces.is_empty() {
+        return;
+    }
+    out.push_str(&format!(
+        "# critical_path traces={} total={}",
+        cp.traces, cp.total_micros
+    ));
+    for (label, micros) in cp.segments() {
+        out.push_str(&format!(" {label}={micros}"));
+    }
+    out.push('\n');
+    for t in traces {
+        out.push_str(&format!(
+            "# trace seq={} start={} dur={} covered={} anomaly={}\n",
+            t.batch_seq, t.start, t.dur, t.covered, t.anomaly as u8
+        ));
+        for s in &t.spans {
+            out.push_str(&format!(
+                "# span seq={} kind={} parent={} start={} dur={}\n",
+                s.batch_seq,
+                trace::kind::name(s.kind),
+                trace::kind::name(s.parent),
+                s.start,
+                s.dur
+            ));
+        }
+    }
 }
 
 /// [`render`] over an explicit snapshot (the CLI renders rows it pulled
@@ -742,6 +821,10 @@ pub struct ParsedDump {
     pub values: BTreeMap<String, u64>,
     /// The `# flight` comment lines, in file order.
     pub flight: Vec<TraceEvent>,
+    /// The `# critical_path` attribution table, when the dump had one.
+    pub critical_path: Option<trace::CriticalPath>,
+    /// The `# trace` lines with their `# span` children, in file order.
+    pub traces: Vec<trace::Trace>,
 }
 
 impl ParsedDump {
@@ -809,6 +892,115 @@ pub fn parse_dump(text: &str) -> Result<ParsedDump, String> {
                 }
             }
             dump.flight.push(ev);
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# critical_path ") {
+            let mut cp = trace::CriticalPath::default();
+            for tok in rest.split_whitespace() {
+                let (key, val) = tok
+                    .split_once('=')
+                    .ok_or_else(|| format!("line {}: bad critical_path field {tok:?}", ln + 1))?;
+                let num: u64 = val
+                    .parse()
+                    .map_err(|_| format!("line {}: bad critical_path value {val:?}", ln + 1))?;
+                match key {
+                    "traces" => cp.traces = num,
+                    "total" => cp.total_micros = num,
+                    "frontend" => cp.frontend_micros = num,
+                    "gate" => cp.gate_micros = num,
+                    "queue_wait" => cp.queue_wait_micros = num,
+                    "compute" => cp.compute_micros = num,
+                    "barrier" => cp.barrier_micros = num,
+                    "wal" => cp.wal_micros = num,
+                    "fsync_exposed" => cp.fsync_exposed_micros = num,
+                    "notify" => cp.notify_micros = num,
+                    "write_back" => cp.write_back_micros = num,
+                    "other" => cp.other_micros = num,
+                    _ => {
+                        return Err(format!(
+                            "line {}: unknown critical_path field {key:?}",
+                            ln + 1
+                        ))
+                    }
+                }
+            }
+            dump.critical_path = Some(cp);
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# trace ") {
+            let mut t = trace::Trace {
+                batch_seq: 0,
+                start: 0,
+                dur: 0,
+                covered: 0,
+                anomaly: false,
+                spans: Vec::new(),
+            };
+            for tok in rest.split_whitespace() {
+                let (key, val) = tok
+                    .split_once('=')
+                    .ok_or_else(|| format!("line {}: bad trace field {tok:?}", ln + 1))?;
+                let num = || {
+                    val.parse::<u64>()
+                        .map_err(|_| format!("line {}: bad trace value {val:?}", ln + 1))
+                };
+                match key {
+                    "seq" => t.batch_seq = num()?,
+                    "start" => t.start = num()?,
+                    "dur" => t.dur = num()?,
+                    "covered" => t.covered = num()?,
+                    "anomaly" => t.anomaly = num()? != 0,
+                    _ => return Err(format!("line {}: unknown trace field {key:?}", ln + 1)),
+                }
+            }
+            dump.traces.push(t);
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# span ") {
+            let mut s = trace::Span {
+                batch_seq: 0,
+                kind: 0,
+                parent: 0,
+                start: 0,
+                dur: 0,
+            };
+            for tok in rest.split_whitespace() {
+                let (key, val) = tok
+                    .split_once('=')
+                    .ok_or_else(|| format!("line {}: bad span field {tok:?}", ln + 1))?;
+                let num = || {
+                    val.parse::<u64>()
+                        .map_err(|_| format!("line {}: bad span value {val:?}", ln + 1))
+                };
+                match key {
+                    "seq" => s.batch_seq = num()?,
+                    "kind" => {
+                        s.kind = trace::kind::from_name(val)
+                            .ok_or_else(|| format!("line {}: unknown span kind {val:?}", ln + 1))?
+                    }
+                    "parent" => {
+                        s.parent = trace::kind::from_name(val).ok_or_else(|| {
+                            format!("line {}: unknown span parent {val:?}", ln + 1)
+                        })?
+                    }
+                    "start" => s.start = num()?,
+                    "dur" => s.dur = num()?,
+                    _ => return Err(format!("line {}: unknown span field {key:?}", ln + 1)),
+                }
+            }
+            let owner = dump
+                .traces
+                .iter_mut()
+                .rev()
+                .find(|t| t.batch_seq == s.batch_seq)
+                .ok_or_else(|| {
+                    format!(
+                        "line {}: span for seq {} without its trace",
+                        ln + 1,
+                        s.batch_seq
+                    )
+                })?;
+            owner.spans.push(s);
             continue;
         }
         if line.starts_with('#') {
@@ -1073,5 +1265,193 @@ mod tests {
         );
         set_dump_path(None);
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// The `--watch` delta math: quantiles of a delta row must describe
+    /// the interval alone, not the cumulative history.
+    #[test]
+    fn metric_row_delta_gives_interval_quantiles() {
+        let h = Histogram::new();
+        for _ in 0..90 {
+            h.record(100);
+        }
+        let first = h.row("x_micros");
+        for _ in 0..10 {
+            h.record(5000);
+        }
+        let second = h.row("x_micros");
+        // Cumulative quantiles are dominated by the 90 old fast samples…
+        assert_eq!(second.quantile(0.50), bucket_bound(bucket_of(100)));
+        // …but the interval's delta row sees only the 10 slow ones.
+        let d = second.delta(&first);
+        assert_eq!(d.value, 10);
+        assert_eq!(d.sum, 10 * 5000);
+        assert_eq!(d.quantile(0.50), bucket_bound(bucket_of(5000)));
+        assert_eq!(d.quantile(0.99), bucket_bound(bucket_of(5000)));
+        // Sanity on the counter/gauge arms.
+        let c0 = MetricRow {
+            name: "c".into(),
+            kind: KIND_COUNTER,
+            value: 7,
+            sum: 0,
+            buckets: vec![],
+        };
+        let c1 = MetricRow {
+            value: 12,
+            ..c0.clone()
+        };
+        assert_eq!(c1.delta(&c0).value, 5);
+        let g = MetricRow {
+            name: "g".into(),
+            kind: KIND_GAUGE,
+            value: 3,
+            sum: 0,
+            buckets: vec![],
+        };
+        assert_eq!(
+            g.delta(&g).value,
+            3,
+            "gauges keep the instantaneous reading"
+        );
+    }
+
+    /// The span layer end to end: begin/add/fsync-share/end, the
+    /// critical-path partition property, tail retention, and the text
+    /// round trip. One test (not several) because the pending table and
+    /// sampler are process-global.
+    #[test]
+    fn trace_lifecycle_sampler_and_attribution() {
+        set_enabled(true);
+        trace::reset();
+        use trace::kind as tk;
+
+        // --- one fully-populated trace, exact math ---
+        let base = 1_000;
+        trace::begin(5_000, base);
+        trace::add(5_000, tk::FRONTEND, base, 10);
+        trace::add(5_000, tk::GATE, base + 10, 0);
+        trace::add(5_000, tk::QUEUE_WAIT, base + 10, 40);
+        trace::set_current(5_000);
+        trace::add_current(tk::IMPUTE, base + 50, 100);
+        trace::add_current(tk::TRAVERSE, base + 150, 300);
+        // Two barrier laps accumulate.
+        trace::add_current(tk::BARRIER, base + 200, 30);
+        trace::add_current(tk::BARRIER, base + 300, 20);
+        trace::add_current(tk::REFINE, base + 450, 200);
+        trace::add_current(tk::MERGE, base + 650, 100);
+        trace::add(5_000, tk::STEP, base + 50, 700);
+        trace::clear_current();
+        trace::add(5_000, tk::WAL, base + 750, 50);
+        trace::fsync_covering(4_997, 4, 400); // shared by 4 batches
+        trace::add(5_000, tk::NOTIFY, base + 800, 25);
+        trace::add(5_000, tk::WRITE_BACK, base + 1_000, 0); // open marker
+        trace::end(5_000, base + 1_100);
+
+        let (cp, traces) = trace::snapshot();
+        let t = traces
+            .iter()
+            .find(|t| t.batch_seq == 5_000)
+            .expect("completed trace retained");
+        assert_eq!(t.dur, 1_100);
+        assert_eq!(t.covered, 4);
+        assert_eq!(t.span_dur(tk::BARRIER), 50, "barrier laps accumulate");
+        assert_eq!(
+            t.span_dur(tk::WRITE_BACK),
+            100,
+            "open write-back closed at end"
+        );
+        assert_eq!(t.span_dur(tk::FSYNC), 400);
+        assert_eq!(t.spans[0].kind, tk::ROOT);
+        assert!(t.spans.iter().all(|s| s.batch_seq == 5_000));
+        assert!(
+            t.spans
+                .iter()
+                .all(|s| s.parent == tk::PARENT[s.kind as usize]),
+            "span tree parents follow the static table"
+        );
+
+        let one = trace::CriticalPath::of(t);
+        assert_eq!(one.frontend_micros, 10);
+        assert_eq!(one.queue_wait_micros, 40);
+        assert_eq!(one.compute_micros, 100 + 300 + 200 + 100 - 50);
+        assert_eq!(one.barrier_micros, 50);
+        assert_eq!(one.wal_micros, 50);
+        assert_eq!(
+            one.fsync_exposed_micros,
+            400 / 4,
+            "fsync amortized over cover"
+        );
+        assert_eq!(one.notify_micros, 25);
+        assert_eq!(one.write_back_micros, 100);
+        assert_eq!(
+            one.segment_sum(),
+            one.total_micros,
+            "attribution is a partition of the end-to-end time"
+        );
+        assert_eq!(cp.delta(&trace::CriticalPath::default()).traces, cp.traces);
+
+        // --- uncovered batches no-op cleanly ---
+        trace::add(9_999, tk::WAL, 5, 5); // no begin: ignored
+        trace::abandon(5_000); // already ended: ignored
+
+        // --- tail sampling: a full window keeps the K slowest ---
+        trace::reset();
+        for i in 0..64u64 {
+            let start = 10_000 + i * 100;
+            trace::begin(i, start);
+            // Batches 10 and 42 are the slow tail.
+            let dur = if i == 10 || i == 42 { 90 } else { 5 };
+            trace::add(i, tk::STEP, start, dur);
+            trace::end(i, start + dur);
+        }
+        let (cp, traces) = trace::snapshot();
+        assert_eq!(cp.traces, 64, "every completion folds into the table");
+        assert!(traces.len() < 64, "steady-state traffic is sampled out");
+        for slow in [10, 42] {
+            assert!(
+                traces.iter().any(|t| t.batch_seq == slow),
+                "slowest traces survive the window"
+            );
+        }
+        assert_eq!(cp.segment_sum(), cp.total_micros);
+
+        // --- anomaly overlap forces retention even for a fast trace ---
+        trace::begin(70, trace::now());
+        flight(kind::BUSY, 0, 1, 0, 0);
+        trace::end(70, trace::now());
+        let (_, traces) = trace::snapshot();
+        assert!(
+            traces.iter().any(|t| t.batch_seq == 70 && t.anomaly),
+            "anomaly-overlapping trace retained from the partial window"
+        );
+
+        // --- text exposition round trip ---
+        let text = render("trace_test");
+        let parsed = parse_dump(&text).expect("trace dump parses");
+        let cp_parsed = parsed.critical_path.expect("critical_path line present");
+        let (cp_now, traces_now) = trace::snapshot();
+        assert_eq!(cp_parsed, cp_now);
+        assert_eq!(parsed.traces.len(), traces_now.len());
+        let t70 = parsed
+            .traces
+            .iter()
+            .find(|t| t.batch_seq == 70)
+            .expect("trace 70 in dump");
+        assert!(t70.anomaly);
+        assert!(!t70.spans.is_empty());
+
+        // --- kill switch: everything no-ops, bit-parity preserved ---
+        set_enabled(false);
+        assert_eq!(trace::now(), 0);
+        trace::begin(500, 123);
+        trace::add(500, tk::STEP, 123, 10);
+        trace::end(500, 223);
+        set_enabled(true);
+        let (_, traces) = trace::snapshot();
+        assert!(
+            traces.iter().all(|t| t.batch_seq != 500),
+            "disabled-mode spans must not record"
+        );
+        trace::reset();
     }
 }

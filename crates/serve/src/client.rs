@@ -424,6 +424,21 @@ impl Client {
         }
     }
 
+    /// Scrapes the daemon's causal trace surface (protocol v3): the
+    /// cumulative critical-path attribution table plus the tail
+    /// sampler's retained traces, oldest first.
+    pub fn trace_dump(
+        &mut self,
+    ) -> Result<(ter_obs::trace::CriticalPath, Vec<ter_obs::trace::Trace>), ClientError> {
+        match self.call_wait(&Request::TraceDump)? {
+            Reply::Traces {
+                critical_path,
+                traces,
+            } => Ok((critical_path, traces)),
+            _ => Err(ClientError::Unexpected("trace dump")),
+        }
+    }
+
     /// Forces a checkpoint; returns its byte size.
     pub fn checkpoint(&mut self) -> Result<u64, ClientError> {
         match self.call_wait(&Request::Checkpoint)? {

@@ -48,7 +48,7 @@ fn arb_arrivals() -> impl Strategy<Value = Vec<Arrival>> {
 }
 
 fn arb_request() -> impl Strategy<Value = Request> {
-    (0u8..8, arb_arrivals(), any::<u64>()).prop_map(|(kind, batch, id)| match kind {
+    (0u8..10, arb_arrivals(), any::<u64>()).prop_map(|(kind, batch, id)| match kind {
         0 => Request::Ingest(batch),
         1 => Request::Query(Query::Window),
         2 => Request::Query(Query::Entity(id)),
@@ -56,6 +56,8 @@ fn arb_request() -> impl Strategy<Value = Request> {
         4 => Request::Stats,
         5 => Request::Checkpoint,
         6 => Request::IngestSeq { seq: id, batch },
+        7 => Request::MetricsDump,
+        8 => Request::TraceDump,
         _ => Request::Shutdown,
     })
 }
@@ -67,14 +69,60 @@ fn arb_pairs() -> impl Strategy<Value = Vec<Vec<(u64, u64)>>> {
     )
 }
 
+/// Retained traces as the daemon would ship them: every span's
+/// `batch_seq` equals its trace's (the wire carries it once, on the
+/// trace — the decoder stamps the spans from it).
+fn arb_traces() -> impl Strategy<Value = Vec<ter_obs::trace::Trace>> {
+    proptest::collection::vec(
+        (
+            (any::<u64>(), any::<u64>(), any::<u64>()),
+            0u64..10,
+            any::<bool>(),
+            proptest::collection::vec(
+                (
+                    0u8..ter_obs::trace::kind::NKINDS as u8,
+                    any::<u64>(),
+                    any::<u64>(),
+                ),
+                0..6,
+            ),
+        ),
+        0..3,
+    )
+    .prop_map(|ts| {
+        ts.into_iter()
+            .map(
+                |((seq, start, dur), covered, anomaly, spans)| ter_obs::trace::Trace {
+                    batch_seq: seq,
+                    start,
+                    dur,
+                    covered,
+                    anomaly,
+                    spans: spans
+                        .into_iter()
+                        .map(|(kind, s, d)| ter_obs::trace::Span {
+                            batch_seq: seq,
+                            kind,
+                            parent: ter_obs::trace::kind::PARENT[kind as usize],
+                            start: s,
+                            dur: d,
+                        })
+                        .collect(),
+                },
+            )
+            .collect()
+    })
+}
+
 fn arb_reply() -> impl Strategy<Value = Reply> {
     (
-        0u8..8,
+        0u8..9,
         arb_pairs(),
         proptest::collection::vec(any::<u64>(), 0..4),
         (any::<u64>(), any::<u64>(), any::<u64>(), any::<u16>()),
+        arb_traces(),
     )
-        .prop_map(|(kind, pairs, ids, (a, b, c, d))| match kind {
+        .prop_map(|(kind, pairs, ids, (a, b, c, d), traces)| match kind {
             0 => Reply::Error(format!("error {a}")),
             1 => Reply::Busy,
             2 => Reply::Matches(pairs),
@@ -95,6 +143,16 @@ fn arb_reply() -> impl Strategy<Value = Reply> {
                 per_arrival: pairs,
             },
             6 => Reply::IngestBusy { seq: c },
+            7 => Reply::Traces {
+                critical_path: ter_obs::trace::CriticalPath {
+                    traces: a,
+                    total_micros: b,
+                    queue_wait_micros: c,
+                    compute_micros: d as u64,
+                    ..ter_obs::trace::CriticalPath::ZERO
+                },
+                traces,
+            },
             _ => Reply::Ack(b),
         })
 }

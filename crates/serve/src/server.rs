@@ -232,7 +232,15 @@ enum IoMsg {
     /// A freshly accepted connection to adopt.
     Conn(TcpStream),
     /// A reply for connection `token` (silently dropped if it is gone).
-    Reply { token: u64, proto: u8, reply: Reply },
+    /// `trace_seq` is the owning batch's trace sequence plus one (zero:
+    /// untraced); the I/O thread closes that trace once the reply is in
+    /// the connection's write buffer — the write-back instant.
+    Reply {
+        token: u64,
+        proto: u8,
+        reply: Reply,
+        trace_seq: u64,
+    },
 }
 
 /// The engine's route back to a connection: which I/O thread (the
@@ -254,16 +262,33 @@ struct ReplyHandle {
 
 impl ReplyHandle {
     fn send(&self, proto: u8, reply: Reply) {
+        self.send_with_trace(proto, reply, 0);
+    }
+
+    /// Like [`send`], but tags the reply with its batch's causal trace
+    /// so the I/O thread can close the trace (and its open write-back
+    /// span) when the reply reaches the connection's write buffer.
+    ///
+    /// [`send`]: ReplyHandle::send
+    fn send_traced(&self, proto: u8, reply: Reply, seq: u64) {
+        self.send_with_trace(proto, reply, seq + 1);
+    }
+
+    fn send_with_trace(&self, proto: u8, reply: Reply, trace_seq: u64) {
         if self
             .tx
             .send(IoMsg::Reply {
                 token: self.token,
                 proto,
                 reply,
+                trace_seq,
             })
             .is_ok()
         {
             let _ = self.waker.wake();
+        } else if trace_seq > 0 {
+            // The I/O thread is gone; nobody is left to close the trace.
+            ter_obs::trace::abandon(trace_seq - 1);
         }
     }
 }
@@ -274,6 +299,13 @@ struct Job {
     proto: u8,
     request: Request,
     reply: ReplyHandle,
+    /// Trace stamps, zero when tracing is off: when the I/O thread
+    /// entered the read/parse pass that surfaced this request, and when
+    /// the job cleared the gate into the engine queue. The engine thread
+    /// turns them into the frontend and queue-wait spans of an ingest
+    /// batch's causal trace; other verbs ignore them.
+    t_recv: u64,
+    t_enqueue: u64,
 }
 
 /// A request to the group-commit WAL/checkpoint stage, issued only by
@@ -282,8 +314,10 @@ struct Job {
 /// response each, in order.
 enum StoreReq {
     /// Append one stepped batch (no fsync yet) and release `reply` to
-    /// the connection once a flush covers it.
+    /// the connection once a flush covers it. `seq` is the batch's log
+    /// sequence — the key of its causal trace.
     Commit {
+        seq: u64,
         batch: Arc<Vec<Arrival>>,
         proto: u8,
         reply: Reply,
@@ -312,6 +346,7 @@ enum StoreResp {
 /// An appended-but-unsynced batch's ack, owed to its connection once the
 /// covering group fsync lands.
 struct PendingAck {
+    seq: u64,
     proto: u8,
     reply: Reply,
     handle: ReplyHandle,
@@ -347,14 +382,21 @@ impl CommitStage {
         }
         match self.store.sync_wal() {
             Ok(()) => {
+                let now = ter_obs::trace::now();
                 for ack in self.pending.drain(..) {
-                    ack.handle.send(ack.proto, ack.reply);
+                    // Open the write-back span here (zero duration so
+                    // far); the I/O thread closes it — and the trace —
+                    // when the ack reaches the connection's write
+                    // buffer.
+                    ter_obs::trace::add(ack.seq, ter_obs::trace::kind::WRITE_BACK, now, 0);
+                    ack.handle.send_traced(ack.proto, ack.reply, ack.seq);
                 }
             }
             Err(e) => {
                 self.append_failed = true;
                 let msg = format!("wal sync failed: {e}");
                 for ack in self.pending.drain(..) {
+                    ter_obs::trace::abandon(ack.seq);
                     ack.handle.send(ack.proto, Reply::Error(msg.clone()));
                 }
             }
@@ -364,6 +406,7 @@ impl CommitStage {
 
     fn handle_commit(&mut self, batch: &[Arrival], ack: PendingAck) {
         if self.append_failed {
+            ter_obs::trace::abandon(ack.seq);
             ack.handle.send(
                 ack.proto,
                 Reply::Error(
@@ -373,7 +416,8 @@ impl CommitStage {
             return;
         }
         match self.store.log_batch_nosync(batch) {
-            Ok(_) => {
+            Ok(wal_seq) => {
+                debug_assert_eq!(wal_seq, ack.seq, "engine and WAL sequences in lockstep");
                 if self.pending.is_empty() {
                     self.window_opened = Instant::now();
                 }
@@ -390,6 +434,7 @@ impl CommitStage {
                 // silently retry into a diverged log) — it is an error.
                 self.flush();
                 self.append_failed = true;
+                ter_obs::trace::abandon(ack.seq);
                 ack.handle
                     .send(ack.proto, Reply::Error(format!("wal append failed: {e}")));
             }
@@ -418,6 +463,7 @@ impl CommitStage {
             };
             match req {
                 StoreReq::Commit {
+                    seq,
                     batch,
                     proto,
                     reply,
@@ -425,6 +471,7 @@ impl CommitStage {
                 } => self.handle_commit(
                     &batch,
                     PendingAck {
+                        seq,
                         proto,
                         reply,
                         handle,
@@ -781,6 +828,8 @@ impl StepStage<'_, '_, '_> {
         client_seq: Option<u64>,
         proto: u8,
         handle: ReplyHandle,
+        t_recv: u64,
+        t_enqueue: u64,
     ) {
         if !self.opts.ingest_hold.is_zero() {
             std::thread::sleep(self.opts.ingest_hold);
@@ -792,9 +841,33 @@ impl StepStage<'_, '_, '_> {
         if self.opts.panic_on_batch == Some(seq) {
             panic!("injected panic before stepping batch {seq}");
         }
+        // ---- causal trace: root this batch at its frontend receipt ----
+        let t_now = ter_obs::trace::now();
+        if t_now > 0 {
+            use ter_obs::trace::kind;
+            // Stamps may be zero if tracing was off when the I/O thread
+            // parsed the frame; fall back to "now" so the trace is still
+            // well-formed (with empty frontend/queue-wait spans).
+            let t_recv = if t_recv > 0 { t_recv } else { t_now };
+            let t_enq = t_enqueue.clamp(t_recv, t_now);
+            ter_obs::trace::begin(seq, t_recv);
+            // Frontend: socket read + frame decode, up to the gate.
+            ter_obs::trace::add(seq, kind::FRONTEND, t_recv, t_enq - t_recv);
+            // The go-back-N gate admitted the batch at enqueue time; a
+            // zero-duration marker keeps the admission visible.
+            ter_obs::trace::add(seq, kind::GATE, t_enq, 0);
+            // Queue wait: gate admission to engine pickup.
+            ter_obs::trace::add(seq, kind::QUEUE_WAIT, t_enq, t_now - t_enq);
+            // Stage spans (impute/traverse/refine/merge/barrier) and the
+            // notify fan-out attach themselves to the current register.
+            ter_obs::trace::set_current(seq);
+        }
         let step_t0 = ter_obs::timer();
         let outputs = self.pe.step_batch(&batch);
-        ter_obs::OBS.step_micros.observe_since(step_t0);
+        let step_us = ter_obs::OBS.step_micros.observe_since(step_t0);
+        if t_now > 0 {
+            ter_obs::trace::add_current_elapsed(ter_obs::trace::kind::STEP, step_us);
+        }
         self.report.batches += 1;
         self.report.arrivals += batch.len() as u64;
         let delta = if self.subs.is_empty() {
@@ -812,6 +885,7 @@ impl StepStage<'_, '_, '_> {
             None => Reply::Matches(per_arrival),
         };
         self.send_store(StoreReq::Commit {
+            seq,
             batch: Arc::new(batch),
             proto,
             reply,
@@ -820,10 +894,13 @@ impl StepStage<'_, '_, '_> {
         // Push standing-query notifications for this batch. They
         // describe stepped (engine) state, not durable state — exactly
         // like the query verbs — and ride the same per-connection
-        // minipoll writer path as every other reply.
+        // minipoll writer path as every other reply. The notify compute
+        // still charges to this batch's trace (the current register
+        // stays set through the fan-out).
         if let Some(delta) = delta {
             self.notify_subs(&delta, seq + 1);
         }
+        ter_obs::trace::clear_current();
         if self.opts.checkpoint_every > 0 && (seq + 1) % self.opts.checkpoint_every == 0 {
             // The engine state covers batches 0..=seq, so the checkpoint
             // is stamped seq+1. A failed cadence checkpoint is not an
@@ -909,16 +986,18 @@ impl StepStage<'_, '_, '_> {
             proto,
             request,
             reply,
+            t_recv,
+            t_enqueue,
         } = job;
         // Mirrors the `add(1)` at the I/O threads' successful try_send.
         ter_obs::OBS.engine_queue_depth.sub(1);
         let out = match request {
             Request::Ingest(batch) => {
-                self.handle_ingest(batch, None, proto, reply);
+                self.handle_ingest(batch, None, proto, reply, t_recv, t_enqueue);
                 return; // acked by the group-commit stage after the fsync
             }
             Request::IngestSeq { seq, batch } => {
-                self.handle_ingest(batch, Some(seq), proto, reply);
+                self.handle_ingest(batch, Some(seq), proto, reply, t_recv, t_enqueue);
                 return; // acked by the group-commit stage after the fsync
             }
             Request::Query(Query::Window) => {
@@ -1049,6 +1128,13 @@ impl StepStage<'_, '_, '_> {
                 rows: ter_obs::snapshot(),
                 flight: ter_obs::flight_snapshot(),
             },
+            Request::TraceDump => {
+                let (critical_path, traces) = ter_obs::trace::snapshot();
+                Reply::Traces {
+                    critical_path,
+                    traces,
+                }
+            }
             Request::Checkpoint => match self.request_checkpoint(None) {
                 Ok(bytes) => {
                     self.report.checkpoints += 1;
@@ -1182,7 +1268,8 @@ impl IoThread {
                     token,
                     proto,
                     reply,
-                }) => self.queue_reply(token, proto, &reply),
+                    trace_seq,
+                }) => self.queue_reply(token, proto, &reply, trace_seq),
                 Err(mpsc::TryRecvError::Empty) => return true,
                 Err(mpsc::TryRecvError::Disconnected) => return false,
             }
@@ -1218,11 +1305,21 @@ impl IoThread {
 
     /// Buffers one reply from the engine side and pushes it toward the
     /// socket immediately (the common case: an idle, writable peer).
-    fn queue_reply(&mut self, token: u64, proto: u8, reply: &Reply) {
+    fn queue_reply(&mut self, token: u64, proto: u8, reply: &Reply, trace_seq: u64) {
         let Some(conn) = self.conns.get_mut(&token) else {
+            if trace_seq > 0 {
+                // The connection died before its ack could be written
+                // back — the trace never completes.
+                ter_obs::trace::abandon(trace_seq - 1);
+            }
             return; // connection died while its job was in flight
         };
         append_reply(conn, proto, reply);
+        if trace_seq > 0 {
+            // The ack is in the connection's write buffer: the batch's
+            // causal chain ends here, closing the open write-back span.
+            ter_obs::trace::end(trace_seq - 1, ter_obs::trace::now());
+        }
         let act = flush_writes(conn);
         if matches!(act, Action::Drop) || conn.wbuf.len() - conn.wpos > WBUF_CAP {
             self.drop_conn(token);
@@ -1381,6 +1478,9 @@ fn read_and_parse(
     waker: &Arc<Waker>,
 ) -> Action {
     let t0 = ter_obs::timer();
+    // Frontend trace stamp: every batch parsed in this pass roots its
+    // causal trace at the instant the socket read began.
+    let t_recv = ter_obs::trace::now();
     // ---- read until dry (or over budget; level-triggered re-drive) ----
     let mut saw_eof = false;
     let mut chunk = [0u8; 64 * 1024];
@@ -1460,6 +1560,8 @@ fn read_and_parse(
                 proto,
                 request,
                 reply: handle,
+                t_recv,
+                t_enqueue: ter_obs::trace::now(),
             }) {
                 Ok(()) => {
                     conn.expected_seq = Some(seq + 1);
@@ -1482,6 +1584,8 @@ fn read_and_parse(
             proto,
             request,
             reply: handle,
+            t_recv,
+            t_enqueue: ter_obs::trace::now(),
         }) {
             Ok(()) => ter_obs::OBS.engine_queue_depth.add(1),
             Err(mpsc::TrySendError::Full(_)) => {

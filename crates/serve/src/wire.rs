@@ -46,6 +46,9 @@
 //!   `Stats` verb sent inside a v3 payload is answered with the enriched
 //!   [`Reply::StatsEx`] (uptime, live connections, subscribers,
 //!   cumulative fsyncs) instead of the v1 [`Reply::Stats`].
+//!   [`Request::TraceDump`] returns the causal per-batch trace surface —
+//!   the critical-path attribution table plus the tail-sampled retained
+//!   traces — as [`Reply::Traces`].
 //!
 //! Both sides speak the *lowest* version a message needs: v1 verbs and
 //! replies are emitted as v1 payloads (so an old peer interoperates
@@ -58,6 +61,7 @@
 use std::io::{Read, Write};
 
 use ter_ids::PruneStats;
+use ter_obs::trace::{CriticalPath, Span, Trace};
 use ter_obs::{MetricRow, TraceEvent};
 use ter_store::{crc32, Codec, CodecError, Decoder, Encoder};
 use ter_stream::Arrival;
@@ -212,6 +216,11 @@ pub enum Request {
     /// serialized like every introspection verb, so the snapshot is
     /// consistent with a batch boundary.
     MetricsDump,
+    /// The causal per-batch trace surface (v3): the cumulative
+    /// critical-path attribution table plus the tail sampler's retained
+    /// traces, answered with [`Reply::Traces`]. Read-only and
+    /// engine-thread serialized like [`Request::MetricsDump`].
+    TraceDump,
     /// Force a checkpoint now (cadence-independent).
     Checkpoint,
     /// Checkpoint and stop the daemon gracefully.
@@ -228,6 +237,7 @@ const TAG_PATTERN_QUERY: u8 = 0x07;
 const TAG_SUBSCRIBE: u8 = 0x08;
 const TAG_UNSUBSCRIBE: u8 = 0x09;
 const TAG_METRICS_DUMP: u8 = 0x0A;
+const TAG_TRACE_DUMP: u8 = 0x0B;
 
 const TAG_ERROR: u8 = 0x80;
 const TAG_BUSY: u8 = 0x81;
@@ -244,6 +254,7 @@ const TAG_NOTIFY: u8 = 0x8B;
 const TAG_LAGGED: u8 = 0x8C;
 const TAG_METRICS: u8 = 0x8D;
 const TAG_STATS_EX: u8 = 0x8E;
+const TAG_TRACES: u8 = 0x8F;
 
 /// The lowest protocol version that carries `tag` — both sides emit it,
 /// so v1 peers keep interoperating until a v2+ message is actually needed.
@@ -251,7 +262,8 @@ fn tag_version(tag: u8) -> u8 {
     match tag {
         TAG_INGEST_SEQ | TAG_INGEST_ACK | TAG_INGEST_BUSY => PROTO_V2,
         TAG_PATTERN_QUERY | TAG_SUBSCRIBE | TAG_UNSUBSCRIBE | TAG_ROWS | TAG_SUB_ACK
-        | TAG_NOTIFY | TAG_LAGGED | TAG_METRICS_DUMP | TAG_METRICS | TAG_STATS_EX => PROTO_V3,
+        | TAG_NOTIFY | TAG_LAGGED | TAG_METRICS_DUMP | TAG_METRICS | TAG_STATS_EX
+        | TAG_TRACE_DUMP | TAG_TRACES => PROTO_V3,
         _ => PROTO_V1,
     }
 }
@@ -405,6 +417,16 @@ pub enum Reply {
         /// The flight ring's retained events, oldest → newest.
         flight: Vec<TraceEvent>,
     },
+    /// The causal per-batch trace surface (v3) — the answer to
+    /// [`Request::TraceDump`].
+    Traces {
+        /// Cumulative critical-path attribution over every completed
+        /// trace since startup (not just the retained ones).
+        critical_path: CriticalPath,
+        /// The tail sampler's retained traces, oldest → newest: the K
+        /// slowest per window plus every anomaly-overlapping trace.
+        traces: Vec<Trace>,
+    },
 }
 
 // `MetricRow`/`TraceEvent` live in the dependency-free `ter_obs` leaf
@@ -446,6 +468,81 @@ fn decode_trace_event(dec: &mut Decoder<'_>) -> Result<TraceEvent, CodecError> {
         a: dec.u64()?,
         b: dec.u64()?,
         dur_micros: dec.u64()?,
+    })
+}
+
+fn encode_critical_path(cp: &CriticalPath, enc: &mut Encoder) {
+    enc.u64(cp.traces);
+    enc.u64(cp.total_micros);
+    enc.u64(cp.frontend_micros);
+    enc.u64(cp.gate_micros);
+    enc.u64(cp.queue_wait_micros);
+    enc.u64(cp.compute_micros);
+    enc.u64(cp.barrier_micros);
+    enc.u64(cp.wal_micros);
+    enc.u64(cp.fsync_exposed_micros);
+    enc.u64(cp.notify_micros);
+    enc.u64(cp.write_back_micros);
+    enc.u64(cp.other_micros);
+}
+
+fn decode_critical_path(dec: &mut Decoder<'_>) -> Result<CriticalPath, CodecError> {
+    Ok(CriticalPath {
+        traces: dec.u64()?,
+        total_micros: dec.u64()?,
+        frontend_micros: dec.u64()?,
+        gate_micros: dec.u64()?,
+        queue_wait_micros: dec.u64()?,
+        compute_micros: dec.u64()?,
+        barrier_micros: dec.u64()?,
+        wal_micros: dec.u64()?,
+        fsync_exposed_micros: dec.u64()?,
+        notify_micros: dec.u64()?,
+        write_back_micros: dec.u64()?,
+        other_micros: dec.u64()?,
+    })
+}
+
+fn encode_trace(t: &Trace, enc: &mut Encoder) {
+    enc.u64(t.batch_seq);
+    enc.u64(t.start);
+    enc.u64(t.dur);
+    enc.u64(t.covered);
+    enc.bool(t.anomaly);
+    enc.usize(t.spans.len());
+    for s in &t.spans {
+        // `batch_seq` is the trace's — not re-encoded per span.
+        enc.u8(s.kind);
+        enc.u8(s.parent);
+        enc.u64(s.start);
+        enc.u64(s.dur);
+    }
+}
+
+fn decode_trace(dec: &mut Decoder<'_>) -> Result<Trace, CodecError> {
+    let batch_seq = dec.u64()?;
+    let start = dec.u64()?;
+    let dur = dec.u64()?;
+    let covered = dec.u64()?;
+    let anomaly = dec.bool()?;
+    let n = dec.usize()?;
+    let mut spans = Vec::with_capacity(n.min(4096));
+    for _ in 0..n {
+        spans.push(Span {
+            batch_seq,
+            kind: dec.u8()?,
+            parent: dec.u8()?,
+            start: dec.u64()?,
+            dur: dec.u64()?,
+        });
+    }
+    Ok(Trace {
+        batch_seq,
+        start,
+        dur,
+        covered,
+        anomaly,
+        spans,
     })
 }
 
@@ -525,6 +622,7 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
         }
         Request::Stats => payload_with(TAG_STATS).into_bytes(),
         Request::MetricsDump => payload_with(TAG_METRICS_DUMP).into_bytes(),
+        Request::TraceDump => payload_with(TAG_TRACE_DUMP).into_bytes(),
         Request::Checkpoint => payload_with(TAG_CHECKPOINT).into_bytes(),
         Request::Shutdown => payload_with(TAG_SHUTDOWN).into_bytes(),
     }
@@ -609,6 +707,7 @@ pub fn decode_request_versioned(payload: &[u8]) -> Result<(u8, Request), WireErr
         }
         TAG_STATS => finish(&dec, Request::Stats),
         TAG_METRICS_DUMP => finish(&dec, Request::MetricsDump),
+        TAG_TRACE_DUMP => finish(&dec, Request::TraceDump),
         TAG_CHECKPOINT => finish(&dec, Request::Checkpoint),
         TAG_SHUTDOWN => finish(&dec, Request::Shutdown),
         t => Err(WireError::UnknownTag(t)),
@@ -763,6 +862,18 @@ pub fn encode_reply(reply: &Reply) -> Vec<u8> {
             }
             enc.into_bytes()
         }
+        Reply::Traces {
+            critical_path,
+            traces,
+        } => {
+            let mut enc = payload_with(TAG_TRACES);
+            encode_critical_path(critical_path, &mut enc);
+            enc.usize(traces.len());
+            for t in traces {
+                encode_trace(t, &mut enc);
+            }
+            enc.into_bytes()
+        }
     }
 }
 
@@ -852,6 +963,21 @@ pub fn decode_reply(payload: &[u8]) -> Result<Reply, WireError> {
             }
             finish(&dec, Reply::Metrics { rows, flight })
         }
+        TAG_TRACES => {
+            let critical_path = decode_critical_path(&mut dec)?;
+            let n = dec.usize()?;
+            let mut traces = Vec::with_capacity(n.min(4096));
+            for _ in 0..n {
+                traces.push(decode_trace(&mut dec)?);
+            }
+            finish(
+                &dec,
+                Reply::Traces {
+                    critical_path,
+                    traces,
+                },
+            )
+        }
         t => Err(WireError::UnknownTag(t)),
     }
 }
@@ -901,6 +1027,7 @@ mod tests {
             Request::Unsubscribe { sub_id: 3 },
             Request::Stats,
             Request::MetricsDump,
+            Request::TraceDump,
             Request::Checkpoint,
             Request::Shutdown,
         ];
@@ -1015,6 +1142,24 @@ mod tests {
                 Err(WireError::UnknownTag(_))
             ));
         }
+        // The tracing surface rides v3 too, both directions.
+        let trace_payload = encode_request(&Request::TraceDump);
+        assert_eq!(trace_payload[0], PROTO_V3);
+        assert_eq!(
+            encode_reply(&Reply::Traces {
+                critical_path: CriticalPath::ZERO,
+                traces: vec![]
+            })[0],
+            PROTO_V3
+        );
+        for downgrade in [PROTO_V1, PROTO_V2] {
+            let mut smuggled = trace_payload.clone();
+            smuggled[0] = downgrade;
+            assert!(matches!(
+                decode_request(&smuggled),
+                Err(WireError::UnknownTag(_))
+            ));
+        }
         // A Stats verb re-stamped v3 is legal (old tag, new payload) and
         // decodes to the same verb — the StatsEx opt-in.
         let v3_stats = encode_stats_v3();
@@ -1122,6 +1267,45 @@ mod tests {
                     a: 2,
                     b: 0,
                     dur_micros: 130,
+                }],
+            },
+            Reply::Traces {
+                critical_path: CriticalPath {
+                    traces: 3,
+                    total_micros: 9000,
+                    frontend_micros: 100,
+                    gate_micros: 0,
+                    queue_wait_micros: 700,
+                    compute_micros: 5000,
+                    barrier_micros: 300,
+                    wal_micros: 400,
+                    fsync_exposed_micros: 1500,
+                    notify_micros: 200,
+                    write_back_micros: 500,
+                    other_micros: 300,
+                },
+                traces: vec![Trace {
+                    batch_seq: 42,
+                    start: 1_000_000,
+                    dur: 3_000,
+                    covered: 4,
+                    anomaly: true,
+                    spans: vec![
+                        Span {
+                            batch_seq: 42,
+                            kind: ter_obs::trace::kind::ROOT,
+                            parent: ter_obs::trace::kind::ROOT,
+                            start: 1_000_000,
+                            dur: 3_000,
+                        },
+                        Span {
+                            batch_seq: 42,
+                            kind: ter_obs::trace::kind::FSYNC,
+                            parent: ter_obs::trace::kind::ROOT,
+                            start: 1_002_000,
+                            dur: 600,
+                        },
+                    ],
                 }],
             },
         ];

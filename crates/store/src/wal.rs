@@ -279,6 +279,10 @@ impl Wal {
         ter_obs::OBS.wal_append_bytes.add(framed.len() as u64);
         let us = ter_obs::OBS.wal_append_micros.observe_since(t0);
         ter_obs::flight(ter_obs::kind::WAL_APPEND, seq, framed.len() as u64, 0, us);
+        // No-op unless a causal trace is open for this batch sequence
+        // (the daemon's commit stage; library callers with a different
+        // sequence base cost one relaxed load).
+        ter_obs::trace::add_elapsed(seq, ter_obs::trace::kind::WAL, us);
         Ok(seq)
     }
 
@@ -302,6 +306,9 @@ impl Wal {
         ter_obs::OBS.flush_window_batches.record(covered);
         let us = ter_obs::OBS.fsync_micros.observe_since(t0);
         ter_obs::flight(ter_obs::kind::FSYNC, self.synced_seq, covered, 0, us);
+        // The group commit's shared span: the same fsync is linked from
+        // every batch it just made durable.
+        ter_obs::trace::fsync_covering(self.synced_seq - covered, covered, us);
         Ok(())
     }
 

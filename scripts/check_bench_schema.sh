@@ -54,6 +54,38 @@ for f in "${files[@]}"; do
             fi
         done
     fi
+    # The two end-to-end benches (fig18 library drive, fig20 daemon
+    # drive) record the causal-trace critical-path table: a complete
+    # attribution object whose segment keys mirror
+    # ter_obs::trace::SEGMENTS, so regressions in where latency goes are
+    # diffable from the committed artifacts alone.
+    if grep -Eq '"bench": "(fig18_throughput|fig20_serve)"' "$f"; then
+        cp_line=$(grep '"critical_path":' "$f" || true)
+        if [[ -z "$cp_line" ]]; then
+            echo "${f}: missing required field \"critical_path\"" >&2
+            file_ok=0
+        else
+            for key in traces total_micros frontend_micros gate_micros \
+                queue_wait_micros compute_micros barrier_micros wal_micros \
+                fsync_exposed_micros notify_micros write_back_micros \
+                other_micros; do
+                if ! grep -Eq "\"critical_path\": \\{.*\"${key}\": [0-9]+" "$f"; then
+                    echo "${f}: critical_path.${key} missing or malformed" >&2
+                    file_ok=0
+                fi
+            done
+        fi
+    fi
+    # The serve bench additionally distills the headline answer: fsync
+    # time left exposed on the ack path per batch, W=1 vs W=8.
+    if grep -q '"bench": "fig20_serve"' "$f"; then
+        for key in fsync_exposed_per_batch_w1_micros fsync_exposed_per_batch_w8_micros; do
+            if ! grep -Eq "\"${key}\": [0-9]+" "$f"; then
+                echo "${f}: missing required field \"${key}\"" >&2
+                file_ok=0
+            fi
+        done
+    fi
     if command -v python3 >/dev/null 2>&1; then
         if ! python3 -c "import json,sys; json.load(open(sys.argv[1]))" "$f" 2>/dev/null; then
             echo "${f}: not valid JSON" >&2

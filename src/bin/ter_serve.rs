@@ -15,6 +15,7 @@
 //! ter_serve subscribe --addr ADDR --pattern 'match(a, b)'
 //!                 [--sub-id 1] [--resync-seq 0] [--events N]
 //! ter_serve metrics --addr ADDR [--watch N]
+//! ter_serve trace --addr ADDR [--slowest N] [--follow]
 //! ter_serve shutdown --addr ADDR
 //! ```
 //!
@@ -50,6 +51,13 @@
 //! itself write the same exposition to a file (atomically, on every
 //! cadence checkpoint, at shutdown, and on a step-stage panic) — the
 //! flight-recorder dump a post-mortem reads after a `kill -9`.
+//!
+//! `trace` scrapes the daemon's causal per-batch traces (protocol v3
+//! `TraceDump`): first the cumulative critical-path attribution table —
+//! where each acked batch's end-to-end latency went, segment by segment
+//! — then the slowest retained traces rendered as span trees.
+//! `--slowest N` bounds the tree count; `--follow` keeps re-scraping and
+//! prints traces it has not shown before.
 
 use std::process::ExitCode;
 use std::time::{Duration, Instant};
@@ -78,6 +86,7 @@ fn usage() -> ! {
          subscribe --addr ADDR --pattern 'match(a, b)' [--sub-id 1]\n\
          \x20        [--resync-seq 0] [--events N]\n\
          metrics  --addr ADDR [--watch N]\n\
+         trace    --addr ADDR [--slowest N] [--follow]\n\
          shutdown --addr ADDR"
     );
     std::process::exit(2);
@@ -96,7 +105,7 @@ impl Flags {
                 usage();
             };
             // Boolean flags take no value.
-            if matches!(key, "oracle-check" | "quiet" | "resilient") {
+            if matches!(key, "oracle-check" | "quiet" | "resilient" | "follow") {
                 out.push((key.to_string(), "true".to_string()));
                 i += 1;
                 continue;
@@ -547,7 +556,7 @@ fn cmd_subscribe(flags: &Flags) -> ExitCode {
 /// One-shot: prints the full `ter_obs` text exposition. `--watch N`:
 /// re-scrapes every N seconds and prints only what moved — counter and
 /// histogram deltas per interval, gauge current values, histogram
-/// quantiles over the cumulative distribution.
+/// quantiles over the interval's own samples.
 fn cmd_metrics(flags: &Flags) -> ExitCode {
     let watch: u64 = flags.parsed("watch", 0);
     let mut client = connect(flags);
@@ -559,7 +568,15 @@ fn cmd_metrics(flags: &Flags) -> ExitCode {
         }
     };
     if watch == 0 {
-        print!("{}", ter_obs::render_parts("scrape", &rows, &flight));
+        let mut text = ter_obs::render_parts("scrape", &rows, &flight);
+        // The daemon's retained traces + attribution table ride along
+        // (same lines a local `--metrics-text` dump carries), so piping
+        // the scrape into trace2folded.sh works on a remote daemon too.
+        match client.trace_dump() {
+            Ok((cp, traces)) => ter_obs::render_traces_into(&mut text, &cp, &traces),
+            Err(e) => eprintln!("trace dump failed (metrics rendered without traces): {e}"),
+        }
+        print!("{text}");
         return ExitCode::SUCCESS;
     }
     use std::io::Write;
@@ -588,14 +605,19 @@ fn cmd_metrics(flags: &Flags) -> ExitCode {
                     }
                 }
                 _ => {
-                    let d = n.value.saturating_sub(p.value);
-                    if d > 0 {
+                    // Per-interval quantiles: the delta of the two
+                    // cumulative bucket vectors is the interval's own
+                    // distribution — quantiles of the *recent* samples,
+                    // not of everything since daemon start.
+                    let d = n.delta(p);
+                    if d.value > 0 {
                         println!(
-                            "{} +{d} p50<={} p95<={} p99<={}",
+                            "{} +{} p50<={} p95<={} p99<={}",
                             n.name,
-                            n.quantile(0.50),
-                            n.quantile(0.95),
-                            n.quantile(0.99)
+                            d.value,
+                            d.quantile(0.50),
+                            d.quantile(0.95),
+                            d.quantile(0.99)
                         );
                     }
                 }
@@ -603,6 +625,92 @@ fn cmd_metrics(flags: &Flags) -> ExitCode {
         }
         std::io::stdout().flush().ok();
         prev = rows;
+    }
+}
+
+/// Renders the cumulative critical-path attribution table: where the
+/// mean acked batch's end-to-end latency went, segment by segment.
+fn print_attribution(cp: &ter_obs::trace::CriticalPath) {
+    if cp.traces == 0 {
+        println!("no completed traces yet (tracing disabled, or no ingest acked)");
+        return;
+    }
+    println!(
+        "critical path over {} traces, mean end-to-end {}us:",
+        cp.traces,
+        cp.total_micros / cp.traces
+    );
+    for (name, us) in cp.segments() {
+        let pct = 100.0 * us as f64 / cp.total_micros.max(1) as f64;
+        println!("  {name:<14} {us:>12}us  {pct:>5.1}%");
+    }
+}
+
+/// Renders one retained trace as an indented span tree. Spans arrive in
+/// kind order with explicit parents: engine stages nest under the step
+/// span, everything else under the batch root (the header line).
+fn print_trace(t: &ter_obs::trace::Trace) {
+    let anomaly = if t.anomaly { "  [anomaly]" } else { "" };
+    println!(
+        "batch seq={} dur={}us covered={}{anomaly}",
+        t.batch_seq, t.dur, t.covered
+    );
+    for s in &t.spans {
+        if s.kind == ter_obs::trace::kind::ROOT {
+            continue; // the header line above is the root span
+        }
+        let depth = if s.parent == ter_obs::trace::kind::ROOT {
+            1
+        } else {
+            2
+        };
+        println!(
+            "{:indent$}{} +{}us dur={}us",
+            "",
+            ter_obs::trace::kind::name(s.kind),
+            s.start.saturating_sub(t.start),
+            s.dur,
+            indent = depth * 2
+        );
+    }
+}
+
+/// Scrapes the daemon's causal trace surface (protocol v3 `TraceDump`):
+/// attribution table first, then the `--slowest N` retained traces as
+/// span trees. `--follow` re-scrapes every 2 seconds and prints traces
+/// not shown before.
+fn cmd_trace(flags: &Flags) -> ExitCode {
+    use std::io::Write;
+    let slowest: usize = flags.parsed("slowest", 5);
+    let follow = flags.get("follow").is_some();
+    let mut client = connect(flags);
+    let mut seen = std::collections::HashSet::new();
+    loop {
+        let (cp, traces) = match client.trace_dump() {
+            Ok(x) => x,
+            Err(e) => {
+                eprintln!("trace dump failed: {e}");
+                return ExitCode::from(1);
+            }
+        };
+        print_attribution(&cp);
+        let mut fresh: Vec<&ter_obs::trace::Trace> = traces
+            .iter()
+            .filter(|t| !seen.contains(&t.batch_seq))
+            .collect();
+        fresh.sort_by_key(|t| std::cmp::Reverse(t.dur));
+        fresh.truncate(slowest);
+        for t in &fresh {
+            print_trace(t);
+        }
+        for t in &traces {
+            seen.insert(t.batch_seq);
+        }
+        if !follow {
+            return ExitCode::SUCCESS;
+        }
+        std::io::stdout().flush().ok();
+        std::thread::sleep(Duration::from_secs(2));
     }
 }
 
@@ -630,6 +738,7 @@ fn main() -> ExitCode {
         "query" => cmd_query(&flags),
         "subscribe" => cmd_subscribe(&flags),
         "metrics" => cmd_metrics(&flags),
+        "trace" => cmd_trace(&flags),
         "shutdown" => cmd_shutdown(&flags),
         _ => usage(),
     }

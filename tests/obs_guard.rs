@@ -11,6 +11,12 @@
 //!    path adds a handful of relaxed atomic adds per *batch* (not per
 //!    pair), so the true cost is well under a percent; the loose bound
 //!    only exists to survive CI-container scheduling jitter.
+//!
+//! The causal tracing layer (`ter_obs::trace`) rides the same kill
+//! switch and the same obligations: the off-arm of this guard is also
+//! the tracing-off arm (spans share `set_enabled`), and the on-arm must
+//! show traces were actually completed and retained — the guard must
+//! not pass because tracing silently no-opped.
 
 use std::time::{Duration, Instant};
 use ter_datasets::{preset, GenOptions, Preset};
@@ -120,5 +126,33 @@ fn metrics_overhead_is_within_noise_and_outputs_bit_identical() {
     assert!(
         batches_total >= (runs * batches.len()) as u64,
         "instrumented runs must have counted their batches"
+    );
+
+    // Tracing arm: the causal-trace layer shares the kill switch, so the
+    // off-runs above are also the tracing-off bit-parity arm. The on-runs
+    // must have actually completed traces (library mode self-roots one
+    // per batch) and the tail sampler must have retained at least one.
+    let (cp, retained) = ter_obs::trace::snapshot();
+    assert!(
+        cp.traces >= (runs * batches.len()) as u64,
+        "tracing-on runs must have completed one trace per batch \
+         (got {} traces for {} batches)",
+        cp.traces,
+        runs * batches.len()
+    );
+    assert_eq!(
+        cp.segment_sum(),
+        cp.total_micros,
+        "attribution table must partition its own total"
+    );
+    assert!(
+        !retained.is_empty(),
+        "tail sampler retained no traces from the instrumented runs"
+    );
+    assert!(
+        retained
+            .iter()
+            .all(|t| t.spans.iter().any(|s| s.kind == ter_obs::trace::kind::STEP)),
+        "every retained library-mode trace carries its STEP span"
     );
 }

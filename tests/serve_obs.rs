@@ -2,7 +2,10 @@
 //! exposes must be scrapeable three ways (the `MetricsDump` wire verb,
 //! the `--metrics-text` exposition file, the `ter_serve metrics` CLI)
 //! and must survive the deaths the flight recorder exists for — an
-//! injected step-stage panic and a bare SIGKILL.
+//! injected step-stage panic and a bare SIGKILL. The causal-trace
+//! layer rides along: the `TraceDump` verb and the `ter_serve trace`
+//! CLI must expose one completed end-to-end trace per acked batch,
+//! and the trace table must survive in post-mortem dumps.
 
 mod harness;
 
@@ -132,6 +135,50 @@ fn metrics_dump_reports_every_layer_of_a_live_daemon() {
     // Flight timestamps arrive oldest→newest.
     assert!(flight.windows(2).all(|w| w[0].ts_micros <= w[1].ts_micros));
 
+    // ---- causal traces: one end-to-end trace per acked batch ----
+    // Every ingest above was acked before this scrape, and a trace ends
+    // strictly before its ack is buffered, so the table must account for
+    // all n batches — and must partition its own total exactly.
+    let (cp, traces) = feeder.trace_dump().unwrap();
+    assert_eq!(cp.traces, n, "one completed trace per acked batch");
+    assert!(cp.total_micros > 0, "end-to-end latency accumulated");
+    assert_eq!(
+        cp.segment_sum(),
+        cp.total_micros,
+        "attribution segments must partition the measured total"
+    );
+    assert!(!traces.is_empty(), "tail sampler retained traces");
+    for t in &traces {
+        assert!(t.covered >= 1, "every fsync covers at least its own batch");
+        assert!(t.dur > 0, "retained trace has a measured duration");
+    }
+    // The full daemon path shows up as spans somewhere in the retained
+    // set: frontend read → gate → queue wait → step (+ its stages) →
+    // WAL append → covering fsync → notify fan-out → ack write-back.
+    {
+        use ter_obs::trace::kind;
+        for k in [
+            kind::FRONTEND,
+            kind::GATE,
+            kind::QUEUE_WAIT,
+            kind::STEP,
+            kind::IMPUTE,
+            kind::TRAVERSE,
+            kind::REFINE,
+            kind::MERGE,
+            kind::WAL,
+            kind::FSYNC,
+            kind::NOTIFY,
+            kind::WRITE_BACK,
+        ] {
+            assert!(
+                traces.iter().any(|t| t.spans.iter().any(|s| s.kind == k)),
+                "no {} span in any retained trace",
+                kind::name(k)
+            );
+        }
+    }
+
     // ---- the CLI scrape renders the same registry as parseable text ----
     let out = Command::new(env!("CARGO_BIN_EXE_ter_serve"))
         .args(["metrics", "--addr", &daemon.addr.to_string()])
@@ -146,6 +193,26 @@ fn metrics_dump_reports_every_layer_of_a_live_daemon() {
     assert!(parsed.values["ter_store_fsync_micros_count"] >= 1);
     assert!(parsed.values["ter_query_notify_events_total"] >= 1);
     assert!(!parsed.flight.is_empty());
+    // The scrape carries the trace lines too (the flamegraph-recipe
+    // contract: `ter_serve metrics | trace2folded.sh` works remotely).
+    assert_eq!(parsed.critical_path.expect("scrape has table").traces, n);
+    assert!(!parsed.traces.is_empty(), "scrape carries retained traces");
+
+    // ---- and the trace CLI renders the same trace table ----
+    let out = Command::new(env!("CARGO_BIN_EXE_ter_serve"))
+        .args(["trace", "--addr", &daemon.addr.to_string()])
+        .output()
+        .expect("run ter_serve trace");
+    assert!(out.status.success(), "trace CLI failed: {out:?}");
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(
+        text.contains("critical path over"),
+        "trace CLI prints the attribution table:\n{text}"
+    );
+    assert!(
+        text.contains("batch seq="),
+        "trace CLI prints retained slow traces:\n{text}"
+    );
 
     let mut control = daemon.client();
     control.shutdown().unwrap();
@@ -226,6 +293,18 @@ fn sigkill_leaves_a_parseable_dump_covering_the_last_checkpoint() {
     let ckpt_seq = parsed.values["ter_store_last_checkpoint_seq"];
     assert!(ckpt_seq > 0, "at least one cadence checkpoint dumped");
     assert_eq!(ckpt_seq % 4, 0, "checkpoints land on the cadence");
+    // The post-mortem carries the causal-trace table too: the pre-kill
+    // snapshot must show completed traces, and the sampler's retained
+    // traces must round-trip through the text exposition.
+    let cp = parsed
+        .critical_path
+        .expect("cadence dump carries the critical-path table");
+    assert!(cp.traces > 0, "traces completed before the kill");
+    assert_eq!(cp.segment_sum(), cp.total_micros);
+    assert!(
+        !parsed.traces.is_empty(),
+        "retained traces survive in the pre-kill dump"
+    );
 
     // The restarted daemon must resume at (at least) the position the
     // dump claims is checkpointed — the dump never overstates dura-
