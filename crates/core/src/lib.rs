@@ -48,7 +48,7 @@ pub use metrics::{evaluate, Evaluation, PhaseTiming, PruneStats, StageMetrics};
 pub use params::Params;
 pub use refine::{decide_pair, PairContext, PairDecision};
 pub use results::ResultSet;
-pub use state::EngineState;
+pub use state::{delta_between, EngineState, StateDelta};
 
 use ter_stream::Arrival;
 

@@ -16,7 +16,7 @@ pub mod generator;
 pub mod presets;
 
 pub use generator::{generate, AttrKind, AttrSpec, Dataset, DatasetSpec, GenOptions};
-pub use presets::{preset, Preset};
+pub use presets::{preset, Preset, ScaleProfile, ScaleShape};
 
 use ter_text::fxhash::FxHashSet;
 

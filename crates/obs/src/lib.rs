@@ -388,6 +388,9 @@ pub mod kind {
     pub const QUERY_ATOM: u8 = 15;
     /// Step-stage panic (the dump that follows is the post-mortem).
     pub const PANIC: u8 = 16;
+    /// Delta-checkpoint write; `seq` = stamped WAL position, `a` = file
+    /// bytes, `b` = chain length after the write.
+    pub const DELTA: u8 = 17;
 
     /// Stable text name of a kind (dump format + CLI).
     pub fn name(k: u8) -> &'static str {
@@ -408,6 +411,7 @@ pub mod kind {
             QUERY => "query",
             QUERY_ATOM => "query_atom",
             PANIC => "panic",
+            DELTA => "delta",
             _ => "unknown",
         }
     }
@@ -431,6 +435,7 @@ pub mod kind {
             "query" => QUERY,
             "query_atom" => QUERY_ATOM,
             "panic" => PANIC,
+            "delta" => DELTA,
             _ => 0,
         }
     }
@@ -573,6 +578,14 @@ registry! {
     checkpoint_micros: Histogram = "ter_store_checkpoint_micros",
     /// WAL position stamped by the most recent checkpoint.
     last_checkpoint_seq: Gauge = "ter_store_last_checkpoint_seq",
+    /// Incremental delta checkpoints written.
+    delta_checkpoints: Counter = "ter_store_delta_checkpoints_total",
+    /// Bytes written as delta-checkpoint files.
+    delta_bytes: Counter = "ter_store_delta_bytes_total",
+    /// Links on the current delta chain (0 right after a full
+    /// checkpoint — recovery replays the whole chain, so this gauge is
+    /// the recovery-time exposure).
+    delta_chain_length: Gauge = "ter_store_delta_chain_length",
     /// Connections accepted since start.
     accepts: Counter = "ter_serve_accepts_total",
     /// Live connections (admit/drop balanced — the soak leak detector).

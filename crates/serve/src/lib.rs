@@ -53,7 +53,7 @@ pub use client::{
     BatchMatches, Client, ClientError, FeedReport, PipelinedIngest, ResilientClient, SubAckInfo,
     SubEvent, SubscriptionFold,
 };
-pub use server::{ServeError, ServeOptions, ServeReport, Server};
+pub use server::{CkptMode, ServeError, ServeOptions, ServeReport, Server};
 pub use wire::{Query, Reply, Request, StatsExInfo, StatsInfo, WindowInfo, WireError};
 
 #[cfg(test)]
@@ -663,6 +663,133 @@ mod tests {
             assert_eq!(
                 report.fsyncs, report.batches,
                 "flush_window=1 must fsync once per batch, no more, no less"
+            );
+        });
+    }
+
+    /// Delta checkpoint cadence end to end: a `ckpt_mode = delta` daemon
+    /// writes one full base then chains delta stamps, a `kill`-style
+    /// restart (checkpoint files intact, engine gone) recovers through
+    /// base + delta chain + WAL suffix, and the resumed run's matches
+    /// are bit-identical to an uninterrupted library engine.
+    #[test]
+    fn delta_mode_daemon_recovers_bit_identical() {
+        let (ctx, streams) = scenario();
+        let params = Params {
+            window: 3,
+            ..Params::default()
+        };
+        let dir = TempDir::new("delta_mode");
+        let batches = streams.arrival_batches(1);
+        let cut = 3;
+
+        let mut oracle = TerIdsEngine::new(&ctx, params, PruningMode::Full);
+        let oracle_matches: Vec<Vec<(u64, u64)>> = batches
+            .iter()
+            .flat_map(|b| {
+                oracle
+                    .step_batch(b)
+                    .into_iter()
+                    .map(|o| o.new_matches)
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+
+        let delta_opts = ServeOptions {
+            checkpoint_every: 1,
+            ckpt_mode: crate::server::CkptMode::Delta,
+            ..opts()
+        };
+        let mut served: Vec<Vec<(u64, u64)>> = Vec::new();
+        {
+            let server = Server::bind("127.0.0.1:0").unwrap();
+            let addr = server.addr().unwrap();
+            std::thread::scope(|scope| {
+                let handle = scope.spawn(|| server.run(&ctx, params, dir.path(), &delta_opts));
+                let mut client = Client::connect_retry(addr, Duration::from_secs(5)).unwrap();
+                for batch in &batches[..cut] {
+                    served.extend(client.ingest_wait(batch).unwrap());
+                }
+                client.shutdown().unwrap();
+                let report = handle.join().unwrap().unwrap();
+                // Cadence 1: batch 1 writes the full base, batches 2..=cut
+                // chain deltas onto it. The shutdown stamp lands at the
+                // same position as the last cadence stamp — it does not
+                // advance past the base, so it rebases to a full snapshot
+                // (a graceful shutdown always leaves a chain-free base).
+                assert_eq!(report.checkpoints, cut as u64 + 1);
+                assert_eq!(
+                    report.delta_checkpoints,
+                    cut as u64 - 1,
+                    "all but base + rebase"
+                );
+            });
+            let deltas = fs::read_dir(dir.path())
+                .unwrap()
+                .filter(|e| {
+                    e.as_ref()
+                        .unwrap()
+                        .file_name()
+                        .to_string_lossy()
+                        .starts_with("delt-")
+                })
+                .count();
+            assert!(deltas > 0, "delta mode must leave delta frames on disk");
+        }
+
+        // Restart on the same directory: recovery walks base + chain (+
+        // empty WAL suffix — every stamp was at the log end).
+        let server = Server::bind("127.0.0.1:0").unwrap();
+        let addr = server.addr().unwrap();
+        std::thread::scope(|scope| {
+            let handle = scope.spawn(|| server.run(&ctx, params, dir.path(), &delta_opts).unwrap());
+            let mut client = Client::connect_retry(addr, Duration::from_secs(5)).unwrap();
+            let stats = client.stats().unwrap();
+            assert_eq!(stats.next_batch_seq, cut as u64, "resume position");
+            for batch in &batches[cut..] {
+                served.extend(client.ingest_wait(batch).unwrap());
+            }
+            client.shutdown().unwrap();
+            let report = handle.join().unwrap();
+            assert_eq!(report.resumed_at, cut as u64);
+            assert_eq!(report.replayed, 0, "chain tip covered the whole log");
+        });
+        assert_eq!(served, oracle_matches, "delta-mode run diverged");
+    }
+
+    /// Byte-based cadence: with count cadence off and a tiny
+    /// `checkpoint_bytes`, every batch's WAL growth crosses the threshold
+    /// and the next ingest checkpoints — the report proves the byte
+    /// trigger fired.
+    #[test]
+    fn checkpoint_bytes_cadence_fires() {
+        let (ctx, streams) = scenario();
+        let params = Params::default();
+        let dir = TempDir::new("ckpt_bytes");
+        let batches = streams.arrival_batches(1);
+        let server = Server::bind("127.0.0.1:0").unwrap();
+        let addr = server.addr().unwrap();
+        let byte_opts = ServeOptions {
+            checkpoint_every: 0,
+            checkpoint_bytes: 1,
+            ..opts()
+        };
+        std::thread::scope(|scope| {
+            let handle = scope.spawn(|| server.run(&ctx, params, dir.path(), &byte_opts).unwrap());
+            let mut client = Client::connect_retry(addr, Duration::from_secs(5)).unwrap();
+            for batch in &batches {
+                client.ingest_wait(batch).unwrap();
+            }
+            client.shutdown().unwrap();
+            let report = handle.join().unwrap();
+            // Each batch crosses the 1-byte threshold; the *next* ingest
+            // consumes the flag, so every batch after the first
+            // checkpoints — plus the shutdown stamp.
+            assert!(
+                report.checkpoints >= batches.len() as u64 - 1,
+                "byte cadence must fire: {} checkpoints for {} batches",
+                report.checkpoints,
+                report.batches
             );
         });
     }

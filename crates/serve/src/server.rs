@@ -105,6 +105,22 @@ use crate::wire::{
     StatsExInfo, StatsInfo, WindowInfo, MAX_WIRE_LEN, PROTO_V1, PROTO_V3,
 };
 
+/// What the checkpoint cadence writes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CkptMode {
+    /// Every checkpoint is a full [`EngineState`] snapshot (the
+    /// historical behavior, and the default).
+    #[default]
+    Full,
+    /// Cadence checkpoints are incremental deltas chained to the last
+    /// full snapshot ([`TerStore::checkpoint_delta_at`]); a full rebase
+    /// is written whenever the chain outgrows the
+    /// [`CompactionPolicy`] bounds (or no base exists yet). At
+    /// production window sizes a delta costs bytes proportional to the
+    /// *churn* since the last stamp, not to the window.
+    Delta,
+}
+
 /// How the daemon runs. The defaults suit tests and small deployments;
 /// the CLI exposes every knob.
 #[derive(Debug, Clone, Copy)]
@@ -115,6 +131,13 @@ pub struct ServeOptions {
     /// Checkpoint every N ingested batches (0 = only on graceful
     /// shutdown / explicit `Checkpoint` verbs).
     pub checkpoint_every: u64,
+    /// Full-snapshot vs incremental-delta checkpoint cadence.
+    pub ckpt_mode: CkptMode,
+    /// Byte-based cadence: additionally checkpoint once this many WAL
+    /// bytes have been appended since the last checkpoint (0 = count
+    /// cadence only). Bounds replay *work* directly — batch counts are a
+    /// poor proxy when batch sizes vary, e.g. under bursty arrivals.
+    pub checkpoint_bytes: u64,
     /// Engine parallelism.
     pub exec: ExecConfig,
     /// Store retention. Defaults to the bounded-disk two-generation
@@ -157,6 +180,8 @@ impl Default for ServeOptions {
         Self {
             queue_depth: 16,
             checkpoint_every: 8,
+            ckpt_mode: CkptMode::Full,
+            checkpoint_bytes: 0,
             exec: ExecConfig::default(),
             compaction: CompactionPolicy::two_generation(),
             ingest_hold: Duration::ZERO,
@@ -183,6 +208,9 @@ pub struct ServeReport {
     pub arrivals: u64,
     /// Checkpoints written (cadence + explicit + shutdown).
     pub checkpoints: u64,
+    /// Of those, how many were incremental delta stamps
+    /// (`ckpt_mode = delta`; the rest were full snapshots / rebases).
+    pub delta_checkpoints: u64,
     /// WAL commit fsyncs this run — group commit's instrumented counter.
     /// Equals `batches` at `flush_window = 1`; a filled window of W
     /// batches shares one.
@@ -335,7 +363,12 @@ enum StoreReq {
 }
 
 enum StoreResp {
-    Checkpointed(Result<u64, String>),
+    Checkpointed {
+        result: Result<u64, String>,
+        /// Whether the stamp was an incremental delta (vs a full
+        /// snapshot / rebase) — folded into the run report.
+        delta: bool,
+    },
     Stats {
         next_seq: u64,
         wal_bytes: u64,
@@ -369,6 +402,20 @@ struct CommitStage {
     pending: Vec<PendingAck>,
     window_opened: Instant,
     append_failed: bool,
+    mode: CkptMode,
+    /// Delta mode's in-memory base: the state and stamp of the last
+    /// successful checkpoint, the `prev` side of the next
+    /// `delta_between`. `None` until the first full snapshot of the run
+    /// (so the first cadence stamp is always a full base).
+    last_state: Option<(u64, EngineState)>,
+    /// Byte-based cadence threshold (0 = disabled) and the WAL bytes
+    /// appended since the last successful checkpoint.
+    ckpt_bytes: u64,
+    appended_since_ckpt: u64,
+    /// Raised towards the step stage when `appended_since_ckpt` crosses
+    /// the threshold; the step stage consumes it after the next ingest
+    /// and requests a checkpoint at that position.
+    ckpt_due: Arc<AtomicBool>,
 }
 
 impl CommitStage {
@@ -415,9 +462,17 @@ impl CommitStage {
             );
             return;
         }
+        let len_before = self.store.wal_len_bytes();
         match self.store.log_batch_nosync(batch) {
             Ok(wal_seq) => {
                 debug_assert_eq!(wal_seq, ack.seq, "engine and WAL sequences in lockstep");
+                if self.ckpt_bytes > 0 {
+                    self.appended_since_ckpt +=
+                        self.store.wal_len_bytes().saturating_sub(len_before);
+                    if self.appended_since_ckpt >= self.ckpt_bytes {
+                        self.ckpt_due.store(true, Ordering::Release);
+                    }
+                }
                 if self.pending.is_empty() {
                     self.window_opened = Instant::now();
                 }
@@ -439,6 +494,38 @@ impl CommitStage {
                     .send(ack.proto, Reply::Error(format!("wal append failed: {e}")));
             }
         }
+    }
+
+    /// Writes the checkpoint for `state` at WAL position `seq`. In delta
+    /// mode, when a base exists at the store's chain tip, the stamp
+    /// advances past it, and the chain is within its bounds, the stamp is
+    /// an incremental delta (`delta_between(base, state)`); otherwise —
+    /// first checkpoint of the run, chain bound exceeded (rebase), or a
+    /// non-advancing stamp — it is a full snapshot. A failed delta write
+    /// errors loudly and leaves the base and chain tip untouched: the
+    /// durable ladder still recovers to the old tip, and the next cadence
+    /// retries. Returns `(result, was_delta)`.
+    fn write_checkpoint(&mut self, seq: u64, state: &EngineState) -> (Result<u64, String>, bool) {
+        if self.mode == CkptMode::Delta && !self.store.needs_rebase() {
+            if let Some((base_seq, base_state)) = &self.last_state {
+                if self.store.tip_seq() == Some(*base_seq) && seq > *base_seq {
+                    if let Ok(d) = ter_ids::delta_between(base_state, state) {
+                        let r = self.store.checkpoint_delta_at(*base_seq, seq, &d);
+                        if r.is_ok() {
+                            self.last_state = Some((seq, state.clone()));
+                        }
+                        return (r.map_err(|e| e.to_string()), true);
+                    }
+                }
+            }
+        }
+        let r = self.store.checkpoint_at(seq, state);
+        if r.is_ok() && self.mode == CkptMode::Delta {
+            // Keep the base only in delta mode — a full-mode daemon never
+            // pays the resident snapshot copy.
+            self.last_state = Some((seq, state.clone()));
+        }
+        (r.map_err(|e| e.to_string()), false)
     }
 
     fn run(mut self, rx: mpsc::Receiver<StoreReq>, tx: mpsc::Sender<StoreResp>) {
@@ -479,15 +566,20 @@ impl CommitStage {
                 ),
                 StoreReq::Checkpoint { wal_seq, state } => {
                     self.flush();
-                    let r = if self.append_failed {
-                        Err("wal disabled after an earlier append failure".to_string())
+                    let (result, delta) = if self.append_failed {
+                        (
+                            Err("wal disabled after an earlier append failure".to_string()),
+                            false,
+                        )
                     } else {
                         let seq = wal_seq.unwrap_or_else(|| self.store.wal_seq());
-                        self.store
-                            .checkpoint_at(seq, &state)
-                            .map_err(|e| e.to_string())
+                        self.write_checkpoint(seq, &state)
                     };
-                    if tx.send(StoreResp::Checkpointed(r)).is_err() {
+                    if result.is_ok() {
+                        self.appended_since_ckpt = 0;
+                        self.ckpt_due.store(false, Ordering::Release);
+                    }
+                    if tx.send(StoreResp::Checkpointed { result, delta }).is_err() {
                         break;
                     }
                 }
@@ -620,6 +712,7 @@ impl Server {
             io_inboxes.push((rx, wake_rx));
         }
 
+        let ckpt_due = Arc::new(AtomicBool::new(false));
         let commit = CommitStage {
             store,
             window: opts.flush_window.max(1),
@@ -627,6 +720,11 @@ impl Server {
             pending: Vec::new(),
             window_opened: Instant::now(),
             append_failed: false,
+            mode: opts.ckpt_mode,
+            last_state: None,
+            ckpt_bytes: opts.checkpoint_bytes,
+            appended_since_ckpt: 0,
+            ckpt_due: Arc::clone(&ckpt_due),
         };
 
         let mut report = ServeReport {
@@ -635,6 +733,7 @@ impl Server {
             batches: 0,
             arrivals: 0,
             checkpoints: 0,
+            delta_checkpoints: 0,
             fsyncs: 0,
         };
 
@@ -705,6 +804,7 @@ impl Server {
                         store_rx: &store_rx,
                         opts,
                         report: &mut report,
+                        ckpt_due: &ckpt_due,
                         subs: BTreeMap::new(),
                     };
                     let mut graceful = false;
@@ -777,6 +877,10 @@ struct StepStage<'x, 's, 'a> {
     store_rx: &'x mpsc::Receiver<StoreResp>,
     opts: &'x ServeOptions,
     report: &'x mut ServeReport,
+    /// Byte-cadence trigger, raised by the commit stage once
+    /// `opts.checkpoint_bytes` of WAL have accumulated; consumed here
+    /// after the next ingest.
+    ckpt_due: &'x AtomicBool,
     /// Standing queries keyed `(connection token, client-chosen sub_id)`
     /// — tokens are pool-unique, so two connections never alias. BTreeMap
     /// for a deterministic notification order per batch.
@@ -789,12 +893,13 @@ impl StepStage<'_, '_, '_> {
     }
 
     /// Requests a checkpoint of the *current* engine state (flushing the
-    /// open flush window first) and waits for it.
-    fn request_checkpoint(&mut self, wal_seq: Option<u64>) -> Result<u64, String> {
+    /// open flush window first) and waits for it. Returns the stamp's
+    /// byte size and whether it was an incremental delta.
+    fn request_checkpoint(&mut self, wal_seq: Option<u64>) -> Result<(u64, bool), String> {
         let state = Box::new(self.pe.export_state());
         self.send_store(StoreReq::Checkpoint { wal_seq, state });
         match self.store_rx.recv().expect("store stage hung up") {
-            StoreResp::Checkpointed(r) => r,
+            StoreResp::Checkpointed { result, delta } => result.map(|bytes| (bytes, delta)),
             StoreResp::Stats { .. } => {
                 unreachable!("store protocol violation: unsolicited Stats")
             }
@@ -812,7 +917,7 @@ impl StepStage<'_, '_, '_> {
                 wal_bytes,
                 fsyncs,
             } => (next_seq, wal_bytes, fsyncs),
-            StoreResp::Checkpointed(_) => {
+            StoreResp::Checkpointed { .. } => {
                 unreachable!("store protocol violation: unsolicited Checkpointed")
             }
         }
@@ -901,14 +1006,24 @@ impl StepStage<'_, '_, '_> {
             self.notify_subs(&delta, seq + 1);
         }
         ter_obs::trace::clear_current();
-        if self.opts.checkpoint_every > 0 && (seq + 1) % self.opts.checkpoint_every == 0 {
+        let count_due =
+            self.opts.checkpoint_every > 0 && (seq + 1) % self.opts.checkpoint_every == 0;
+        // The byte cadence fires on the first ingest after the commit
+        // stage reports `checkpoint_bytes` of WAL growth. Consumed with a
+        // swap so one crossing yields one checkpoint.
+        let bytes_due =
+            self.opts.checkpoint_bytes > 0 && self.ckpt_due.swap(false, Ordering::AcqRel);
+        if count_due || bytes_due {
             // The engine state covers batches 0..=seq, so the checkpoint
             // is stamped seq+1. A failed cadence checkpoint is not an
             // ingest failure — the WAL already covers the batch; just
             // log it.
             match self.request_checkpoint(Some(seq + 1)) {
-                Ok(_) => {
+                Ok((_, was_delta)) => {
                     self.report.checkpoints += 1;
+                    if was_delta {
+                        self.report.delta_checkpoints += 1;
+                    }
                     // Text exposition rides the checkpoint cadence: one
                     // atomic rewrite of the --metrics-text target per
                     // checkpoint, so a scraper (or a post-SIGKILL
@@ -1136,8 +1251,11 @@ impl StepStage<'_, '_, '_> {
                 }
             }
             Request::Checkpoint => match self.request_checkpoint(None) {
-                Ok(bytes) => {
+                Ok((bytes, was_delta)) => {
                     self.report.checkpoints += 1;
+                    if was_delta {
+                        self.report.delta_checkpoints += 1;
+                    }
                     Reply::Ack(bytes)
                 }
                 Err(e) => Reply::Error(format!("checkpoint failed: {e}")),
@@ -1148,8 +1266,11 @@ impl StepStage<'_, '_, '_> {
                 // ack first — so a client that saw the ack can rely on a
                 // checkpoint-only (zero-replay) restart.
                 match self.request_checkpoint(None) {
-                    Ok(_) => {
+                    Ok((_, was_delta)) => {
                         self.report.checkpoints += 1;
+                        if was_delta {
+                            self.report.delta_checkpoints += 1;
+                        }
                         Reply::Ack(self.report.batches)
                     }
                     Err(e) => Reply::Error(format!("shutdown checkpoint failed: {e}")),

@@ -79,7 +79,7 @@ pub fn checkpoint_seq_of(name: &str) -> Option<u64> {
 }
 
 /// Writes `bytes` to `path` atomically (tmp + fsync + rename + dir sync).
-fn write_atomic(path: &Path, bytes: &[u8]) -> Result<(), StoreError> {
+pub(crate) fn write_atomic(path: &Path, bytes: &[u8]) -> Result<(), StoreError> {
     let tmp = path.with_extension("tmp");
     {
         let mut f = File::create(&tmp)?;

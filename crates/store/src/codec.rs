@@ -20,7 +20,7 @@
 //!   input bytes (property-tested in `proptests.rs`).
 
 use ter_ids::meta::TupleMeta;
-use ter_ids::{EngineState, PruneStats};
+use ter_ids::{EngineState, PruneStats, StateDelta};
 use ter_index::CellKey;
 use ter_repo::Record;
 use ter_stream::{Arrival, AttrCandidates, ProbTuple};
@@ -539,6 +539,37 @@ impl Codec for EngineState {
             reported: Vec::decode(dec)?,
             stats: PruneStats::decode(dec)?,
             cells: Vec::decode(dec)?,
+        })
+    }
+}
+
+impl Codec for StateDelta {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.usize(self.window_capacity);
+        enc.u16(self.grid_cells);
+        self.evicted.encode(enc);
+        self.arrivals.encode(enc);
+        self.arrival_metas.encode(enc);
+        self.stream_counts.encode(enc);
+        self.results_added.encode(enc);
+        self.results_removed.encode(enc);
+        self.reported_added.encode(enc);
+        self.stats.encode(enc);
+        self.cells_changed.encode(enc);
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        Ok(StateDelta {
+            window_capacity: dec.usize()?,
+            grid_cells: dec.u16()?,
+            evicted: Vec::decode(dec)?,
+            arrivals: Vec::decode(dec)?,
+            arrival_metas: Vec::decode(dec)?,
+            stream_counts: Vec::decode(dec)?,
+            results_added: Vec::decode(dec)?,
+            results_removed: Vec::decode(dec)?,
+            reported_added: Vec::decode(dec)?,
+            stats: PruneStats::decode(dec)?,
+            cells_changed: Vec::decode(dec)?,
         })
     }
 }

@@ -26,6 +26,7 @@
 
 pub mod checkpoint;
 pub mod codec;
+pub mod delta;
 pub mod frame;
 pub mod store;
 pub mod wal;
@@ -35,6 +36,7 @@ mod proptests;
 
 pub use checkpoint::{Checkpoint, Manifest};
 pub use codec::{decode_exact, encode_to_vec, Codec, CodecError, Decoder, Encoder};
+pub use delta::DeltaFile;
 pub use frame::{crc32, FrameError};
 pub use store::{context_fingerprint, CompactionPolicy, Recovery, TerStore};
 pub use wal::Wal;

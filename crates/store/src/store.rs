@@ -28,12 +28,13 @@ use std::fs;
 use std::hash::Hasher;
 use std::path::{Path, PathBuf};
 
-use ter_ids::{EngineState, ErProcessor, Params, TerContext};
+use ter_ids::{EngineState, ErProcessor, Params, StateDelta, TerContext};
 use ter_stream::Arrival;
 use ter_text::fxhash::FxHasher;
 use ter_text::Token;
 
 use crate::checkpoint::{checkpoint_file_name, checkpoint_seq_of, Checkpoint, Manifest};
+use crate::delta::{delta_file_name, delta_seqs_of, DeltaFile};
 use crate::wal::Wal;
 use crate::StoreError;
 
@@ -67,13 +68,59 @@ pub fn context_fingerprint(ctx: &TerContext, params: &Params) -> u64 {
     h.finish()
 }
 
+/// `delt-*.bin` files present in `dir` as `(base_seq, wal_seq, name)`,
+/// sorted ascending. Errors (unreadable directory) degrade to "no
+/// deltas" — the ladder below never needs them to exist.
+fn delta_files_in(dir: &Path) -> Vec<(u64, u64, String)> {
+    let mut files: Vec<(u64, u64, String)> = match fs::read_dir(dir) {
+        Ok(rd) => rd
+            .filter_map(|e| e.ok())
+            .filter_map(|e| e.file_name().into_string().ok())
+            .filter_map(|n| delta_seqs_of(&n).map(|(b, t)| (b, t, n)))
+            .collect(),
+        Err(_) => Vec::new(),
+    };
+    files.sort();
+    files
+}
+
+/// Walks the longest valid delta chain rooted at stamp `base` and
+/// returns `(tip stamp, links, cumulative file bytes)`. Only files that
+/// load and validate count; the first damaged link ends the chain.
+fn scan_chain(dir: &Path, fingerprint: u64, base: u64) -> (u64, usize, u64) {
+    let files = delta_files_in(dir);
+    let mut tip = base;
+    let mut len = 0usize;
+    let mut bytes = 0u64;
+    loop {
+        // Furthest-reaching valid link from the current tip wins.
+        let next = files.iter().rev().find_map(|(b, t, name)| {
+            (*b == tip && *t > tip && DeltaFile::load(&dir.join(name), fingerprint).is_ok())
+                .then_some((*t, name))
+        });
+        match next {
+            Some((t, name)) => {
+                bytes += fs::metadata(dir.join(name)).map(|m| m.len()).unwrap_or(0);
+                tip = t;
+                len += 1;
+            }
+            None => return (tip, len, bytes),
+        }
+    }
+}
+
 /// What [`TerStore::recover`] reconstructed.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Recovery {
-    /// The newest consistent checkpoint state, if any survived.
+    /// The newest consistent state — a full checkpoint plus however much
+    /// of its delta chain was valid — if any survived.
     pub state: Option<EngineState>,
-    /// WAL batches already folded into `state` (0 without a checkpoint).
+    /// WAL batches already folded into `state` (0 without a checkpoint):
+    /// the stamp of the base checkpoint plus every applied delta.
     pub checkpoint_seq: u64,
+    /// Deltas applied on top of the base checkpoint to reach `state` (0
+    /// for a plain full-checkpoint recovery).
+    pub chain_applied: usize,
     /// WAL batches after the checkpoint, in sequence order — replay these
     /// through `step_batch` to reach the newest consistent stream position.
     pub suffix: Vec<Vec<Arrival>>,
@@ -117,6 +164,14 @@ pub struct CompactionPolicy {
     /// Whether to drop WAL frames already covered by the *oldest
     /// retained* checkpoint generation.
     pub truncate_wal: bool,
+    /// Deltas allowed on one chain before [`TerStore::needs_rebase`]
+    /// demands a fresh full checkpoint (0 = unbounded). Recovery replays
+    /// the whole chain, so this bounds recovery time.
+    pub max_chain_len: usize,
+    /// Cumulative delta bytes allowed on one chain before a rebase is
+    /// demanded (0 = unbounded). Once the chain has cost as much disk and
+    /// recovery I/O as a full snapshot, incrementality has paid out.
+    pub max_chain_bytes: u64,
 }
 
 impl Default for CompactionPolicy {
@@ -124,18 +179,28 @@ impl Default for CompactionPolicy {
         Self {
             keep_checkpoints: 1,
             truncate_wal: false,
+            max_chain_len: 16,
+            max_chain_bytes: 0,
         }
     }
 }
 
 impl CompactionPolicy {
     /// The bounded-disk policy: two checkpoint generations, WAL truncated
-    /// beneath the older one.
+    /// beneath the older one, delta chains rebased after 16 links.
     pub fn two_generation() -> Self {
         Self {
             keep_checkpoints: 2,
             truncate_wal: true,
+            ..Self::default()
         }
+    }
+
+    /// Whether a chain of `len` deltas totalling `bytes` has exceeded
+    /// either bound and must be closed by a full checkpoint.
+    pub fn chain_exceeded(&self, len: usize, bytes: u64) -> bool {
+        (self.max_chain_len > 0 && len >= self.max_chain_len)
+            || (self.max_chain_bytes > 0 && bytes >= self.max_chain_bytes)
     }
 }
 
@@ -146,6 +211,14 @@ pub struct TerStore {
     wal: Wal,
     fingerprint: u64,
     compaction: CompactionPolicy,
+    /// Stamp of the newest durable state on disk — the last full
+    /// checkpoint or the tip of its valid delta chain. `None` before the
+    /// first checkpoint. Delta stamps must chain onto exactly this.
+    tip_seq: Option<u64>,
+    /// Deltas on the current chain (0 right after a full checkpoint).
+    chain_len: usize,
+    /// Cumulative bytes of the current chain's delta files.
+    chain_bytes: u64,
 }
 
 impl TerStore {
@@ -161,11 +234,22 @@ impl TerStore {
         let dir = dir.into();
         fs::create_dir_all(&dir)?;
         let mut wal = Wal::open(dir.join(WAL_FILE), fingerprint)?;
+        let mut tip_seq = None;
+        let mut chain_len = 0;
+        let mut chain_bytes = 0;
         if let Ok(m) = Manifest::load(&dir.join(MANIFEST_FILE), fingerprint) {
-            if m.wal_seq > wal.next_seq()
-                && Checkpoint::load(&dir.join(&m.checkpoint), fingerprint).is_ok()
-            {
-                wal.reset_to(m.wal_seq)?;
+            if Checkpoint::load(&dir.join(&m.checkpoint), fingerprint).is_ok() {
+                // Walk the durable delta chain off the manifest's
+                // checkpoint so new deltas keep chaining where the last
+                // run stopped, and so a lost WAL re-bases at the *chain
+                // tip*, not just the full checkpoint beneath it.
+                let (tip, len, bytes) = scan_chain(&dir, fingerprint, m.wal_seq);
+                tip_seq = Some(tip);
+                chain_len = len;
+                chain_bytes = bytes;
+                if tip > wal.next_seq() {
+                    wal.reset_to(tip)?;
+                }
             }
         }
         Ok(Self {
@@ -173,6 +257,9 @@ impl TerStore {
             wal,
             fingerprint,
             compaction: CompactionPolicy::default(),
+            tip_seq,
+            chain_len,
+            chain_bytes,
         })
     }
 
@@ -302,11 +389,114 @@ impl TerStore {
                 self.wal.truncate_before(oldest_seq)?;
             }
         }
+        // A full checkpoint closes the delta chain. Deltas reaching at
+        // most the *oldest retained* generation's stamp are useless now —
+        // every surviving recovery base is a full checkpoint at or past
+        // them — while newer ones may still extend a retained fallback
+        // generation, so they stay.
+        let oldest_retained = retained
+            .last()
+            .and_then(|n| checkpoint_seq_of(n))
+            .unwrap_or(wal_seq);
+        for (_, to, name) in delta_files_in(&self.dir) {
+            if to <= oldest_retained {
+                let _ = fs::remove_file(self.dir.join(&name));
+            }
+        }
+        self.tip_seq = Some(wal_seq);
+        self.chain_len = 0;
+        self.chain_bytes = 0;
         ter_obs::OBS.checkpoints.inc();
         ter_obs::OBS.last_checkpoint_seq.set(wal_seq);
+        ter_obs::OBS.delta_chain_length.set(0);
         let us = ter_obs::OBS.checkpoint_micros.observe_since(t0);
         ter_obs::flight(ter_obs::kind::CHECKPOINT, wal_seq, bytes, 0, us);
         Ok(bytes)
+    }
+
+    /// Writes an incremental **delta checkpoint**: `delta` carries the
+    /// state change from the durable chain tip `base_seq` to `wal_seq`
+    /// (see [`crate::delta`]). The manifest is *not* flipped — recovery
+    /// discovers deltas by directory scan and chains them off the
+    /// manifest's full checkpoint — so a damaged delta costs only the
+    /// chain suffix above it, never the base. Stamps must chain exactly
+    /// onto the current tip and lie in the committed WAL range. Returns
+    /// the delta file's byte size.
+    pub fn checkpoint_delta_at(
+        &mut self,
+        base_seq: u64,
+        wal_seq: u64,
+        delta: &StateDelta,
+    ) -> Result<u64, StoreError> {
+        let t0 = ter_obs::timer();
+        if self.tip_seq != Some(base_seq) {
+            return Err(StoreError::Mismatch(format!(
+                "delta base {base_seq} does not chain onto the durable tip {:?}",
+                self.tip_seq
+            )));
+        }
+        if wal_seq <= base_seq {
+            return Err(StoreError::Mismatch(format!(
+                "delta stamps do not advance ({base_seq} -> {wal_seq})"
+            )));
+        }
+        if wal_seq < self.wal.base_seq() || wal_seq > self.wal.next_seq() {
+            return Err(StoreError::Mismatch(format!(
+                "delta stamp {wal_seq} outside the committed WAL range [{}, {}]",
+                self.wal.base_seq(),
+                self.wal.next_seq()
+            )));
+        }
+        // Same rule as full checkpoints: a durable stamp must never name
+        // a position the log could lose.
+        self.wal.sync()?;
+        let name = delta_file_name(base_seq, wal_seq);
+        let bytes = DeltaFile {
+            fingerprint: self.fingerprint,
+            base_seq,
+            wal_seq,
+            delta: delta.clone(),
+        }
+        .write(&self.dir.join(&name))?;
+        self.tip_seq = Some(wal_seq);
+        self.chain_len += 1;
+        self.chain_bytes += bytes;
+        ter_obs::OBS.delta_checkpoints.inc();
+        ter_obs::OBS.delta_bytes.add(bytes);
+        ter_obs::OBS.delta_chain_length.set(self.chain_len as u64);
+        ter_obs::OBS.last_checkpoint_seq.set(wal_seq);
+        let us = ter_obs::OBS.checkpoint_micros.observe_since(t0);
+        ter_obs::flight(
+            ter_obs::kind::DELTA,
+            wal_seq,
+            bytes,
+            self.chain_len as u64,
+            us,
+        );
+        Ok(bytes)
+    }
+
+    /// Stamp of the newest durable state on disk (`None` before the
+    /// first full checkpoint) — what the next delta must chain onto.
+    pub fn tip_seq(&self) -> Option<u64> {
+        self.tip_seq
+    }
+
+    /// Deltas on the current chain (0 right after a full checkpoint).
+    pub fn chain_len(&self) -> usize {
+        self.chain_len
+    }
+
+    /// Cumulative bytes of the current chain's delta files.
+    pub fn chain_bytes(&self) -> u64 {
+        self.chain_bytes
+    }
+
+    /// Whether the chain has outgrown the [`CompactionPolicy`] bounds and
+    /// the next checkpoint must be a full rebase.
+    pub fn needs_rebase(&self) -> bool {
+        self.compaction
+            .chain_exceeded(self.chain_len, self.chain_bytes)
     }
 
     /// `ckpt-*.bin` files present in the directory, newest (highest seq)
@@ -347,11 +537,42 @@ impl TerStore {
                 break;
             }
         }
+        // Extend the base along its delta chain: each link must load,
+        // validate, and apply cleanly onto the state reached so far. The
+        // first damaged link ends the chain — recovery degrades to the
+        // older consistent prefix (base + surviving links) and lets the
+        // WAL suffix bridge the rest. Never a panic, never a skip.
+        let mut chain_applied = 0;
+        if let Some(base_state) = state.take() {
+            let files = delta_files_in(&self.dir);
+            let mut cur = base_state;
+            loop {
+                let applied = files.iter().rev().find_map(|(b, t, name)| {
+                    if *b != checkpoint_seq || *t <= checkpoint_seq {
+                        return None;
+                    }
+                    let df = DeltaFile::load(&self.dir.join(name), self.fingerprint).ok()?;
+                    df.delta.apply(&cur).ok().map(|next| (*t, next))
+                });
+                match applied {
+                    Some((t, next)) => {
+                        cur = next;
+                        checkpoint_seq = t;
+                        chain_applied += 1;
+                    }
+                    None => break,
+                }
+            }
+            state = Some(cur);
+        }
         // The log covers `[base_seq, next_seq)`. A newest-consistent
-        // checkpoint older than the base means the store lost both the
-        // checkpoint the base was advanced for *and* the frames that led
-        // up to it — there is no consistent way to bridge the gap, and
-        // pretending otherwise would silently skip batches. Refuse.
+        // state (checkpoint + chain) older than the base means the store
+        // lost both the state the base was advanced for *and* the frames
+        // that led up to it — there is no consistent way to bridge the
+        // gap, and pretending otherwise would silently skip batches.
+        // Refuse. (WAL truncation only ever drops frames beneath the
+        // oldest retained *full* checkpoint, so a chain degrading to its
+        // base still lands at or above the log base.)
         if checkpoint_seq < self.wal.base_seq() {
             return Err(StoreError::Mismatch(format!(
                 "newest consistent checkpoint is at batch {checkpoint_seq} but the WAL \
@@ -374,6 +595,7 @@ impl TerStore {
         Ok(Recovery {
             state,
             checkpoint_seq,
+            chain_applied,
             suffix,
         })
     }
@@ -717,6 +939,139 @@ mod tests {
         assert_eq!(store.wal_seq(), 3);
         let rec = store.recover().unwrap();
         assert_eq!(rec.state, Some(state_at(3)));
+        assert!(rec.suffix.is_empty());
+    }
+
+    fn delta(from: u64, to: u64) -> StateDelta {
+        ter_ids::delta_between(&state_at(from), &state_at(to)).unwrap()
+    }
+
+    #[test]
+    fn delta_chain_recovers_to_tip() {
+        let dir = TempDir::new("chain");
+        let (b0, b1, b2, b3) = (batch(1, 0), batch(1, 10), batch(1, 20), batch(1, 30));
+        {
+            let mut store = TerStore::open(dir.path(), 1).unwrap();
+            store.log_batch(&b0).unwrap();
+            store.checkpoint(&state_at(1)).unwrap();
+            assert_eq!(store.tip_seq(), Some(1));
+            store.log_batch(&b1).unwrap();
+            store.checkpoint_delta_at(1, 2, &delta(1, 2)).unwrap();
+            store.log_batch(&b2).unwrap();
+            store.checkpoint_delta_at(2, 3, &delta(2, 3)).unwrap();
+            assert_eq!((store.chain_len(), store.tip_seq()), (2, Some(3)));
+            assert!(store.chain_bytes() > 0);
+            store.log_batch(&b3).unwrap();
+        }
+        let store = TerStore::open(dir.path(), 1).unwrap();
+        assert_eq!((store.chain_len(), store.tip_seq()), (2, Some(3)));
+        let rec = store.recover().unwrap();
+        assert_eq!(rec.state, Some(state_at(3)));
+        assert_eq!(rec.checkpoint_seq, 3);
+        assert_eq!(rec.chain_applied, 2);
+        assert_eq!(rec.suffix, vec![b3]);
+        assert_eq!(rec.resume_seq(), 4);
+    }
+
+    /// A damaged mid-chain delta ends the chain there: recovery restores
+    /// the base plus the surviving prefix and replays the rest from the
+    /// WAL — the same stream position, reached the slower way.
+    #[test]
+    fn damaged_delta_degrades_to_older_prefix() {
+        let dir = TempDir::new("chainbad");
+        let (b0, b1, b2) = (batch(1, 0), batch(1, 10), batch(1, 20));
+        {
+            let mut store = TerStore::open(dir.path(), 1).unwrap();
+            store.log_batch(&b0).unwrap();
+            store.checkpoint(&state_at(1)).unwrap();
+            store.log_batch(&b1).unwrap();
+            store.checkpoint_delta_at(1, 2, &delta(1, 2)).unwrap();
+            store.log_batch(&b2).unwrap();
+            store.checkpoint_delta_at(2, 3, &delta(2, 3)).unwrap();
+        }
+        let second = dir.path().join(delta_file_name(2, 3));
+        let mut bytes = fs::read(&second).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        fs::write(&second, &bytes).unwrap();
+        let store = TerStore::open(dir.path(), 1).unwrap();
+        let rec = store.recover().unwrap();
+        assert_eq!(rec.state, Some(state_at(2)));
+        assert_eq!(rec.checkpoint_seq, 2);
+        assert_eq!(rec.chain_applied, 1);
+        assert_eq!(rec.suffix, vec![b2]);
+        assert_eq!(rec.resume_seq(), 3, "same position, reached via WAL");
+    }
+
+    #[test]
+    fn delta_stamps_must_chain_onto_the_tip() {
+        let dir = TempDir::new("chaintip");
+        let mut store = TerStore::open(dir.path(), 1).unwrap();
+        store.log_batch(&batch(1, 0)).unwrap();
+        // No full checkpoint yet: nothing to chain onto.
+        assert!(store.checkpoint_delta_at(0, 1, &delta(0, 1)).is_err());
+        store.checkpoint(&state_at(1)).unwrap();
+        store.log_batch(&batch(1, 10)).unwrap();
+        // Wrong base, non-advancing stamp, stamp past the log: refused.
+        assert!(store.checkpoint_delta_at(0, 2, &delta(0, 2)).is_err());
+        assert!(store.checkpoint_delta_at(1, 1, &delta(1, 1)).is_err());
+        assert!(store.checkpoint_delta_at(1, 9, &delta(1, 9)).is_err());
+        store.checkpoint_delta_at(1, 2, &delta(1, 2)).unwrap();
+        // The old tip is spent — the next delta chains onto 2, not 1.
+        store.log_batch(&batch(1, 20)).unwrap();
+        assert!(store.checkpoint_delta_at(1, 3, &delta(1, 3)).is_err());
+        store.checkpoint_delta_at(2, 3, &delta(2, 3)).unwrap();
+    }
+
+    /// A full checkpoint closes the chain and (under the default policy,
+    /// `keep_checkpoints: 1`) prunes every delta the retained generation
+    /// covers; the chain counters restart at zero.
+    #[test]
+    fn full_checkpoint_resets_chain_and_prunes_spent_deltas() {
+        let dir = TempDir::new("chainreset");
+        let mut store = TerStore::open(dir.path(), 1).unwrap();
+        store.set_compaction(CompactionPolicy {
+            max_chain_len: 2,
+            ..CompactionPolicy::default()
+        });
+        store.log_batch(&batch(1, 0)).unwrap();
+        store.checkpoint(&state_at(1)).unwrap();
+        store.log_batch(&batch(1, 10)).unwrap();
+        store.checkpoint_delta_at(1, 2, &delta(1, 2)).unwrap();
+        assert!(!store.needs_rebase());
+        store.log_batch(&batch(1, 20)).unwrap();
+        store.checkpoint_delta_at(2, 3, &delta(2, 3)).unwrap();
+        assert!(store.needs_rebase(), "chain bound reached");
+        store.checkpoint(&state_at(3)).unwrap();
+        assert_eq!((store.chain_len(), store.chain_bytes()), (0, 0));
+        assert_eq!(store.tip_seq(), Some(3));
+        assert!(!store.needs_rebase());
+        assert_eq!(delta_files_in(dir.path()), vec![], "spent deltas pruned");
+        let rec = store.recover().unwrap();
+        assert_eq!(rec.state, Some(state_at(3)));
+        assert_eq!(rec.chain_applied, 0);
+    }
+
+    /// Losing the WAL must re-base the fresh log at the *chain tip*, not
+    /// merely the full checkpoint beneath it — otherwise post-recovery
+    /// sequence numbers would collide with the surviving deltas.
+    #[test]
+    fn wal_reset_rebases_at_the_chain_tip() {
+        let dir = TempDir::new("chainrebase");
+        {
+            let mut store = TerStore::open(dir.path(), 1).unwrap();
+            store.log_batch(&batch(1, 0)).unwrap();
+            store.checkpoint(&state_at(1)).unwrap();
+            store.log_batch(&batch(1, 10)).unwrap();
+            store.checkpoint_delta_at(1, 2, &delta(1, 2)).unwrap();
+        }
+        fs::remove_file(dir.path().join(WAL_FILE)).unwrap();
+        let store = TerStore::open(dir.path(), 1).unwrap();
+        assert_eq!(store.wal_seq(), 2, "log re-based at the chain tip");
+        let rec = store.recover().unwrap();
+        assert_eq!(rec.state, Some(state_at(2)));
+        assert_eq!(rec.checkpoint_seq, 2);
+        assert_eq!(rec.chain_applied, 1);
         assert!(rec.suffix.is_empty());
     }
 

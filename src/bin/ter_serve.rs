@@ -67,7 +67,8 @@ use ter_exec::ExecConfig;
 use ter_ids::{ErProcessor, Params, PruningMode, TerContext, TerIdsEngine};
 use ter_repo::PivotConfig;
 use ter_rules::DiscoveryConfig;
-use ter_serve::{Client, ResilientClient, ServeOptions, Server};
+use ter_serve::{CkptMode, Client, ResilientClient, ServeOptions, Server};
+use ter_store::CompactionPolicy;
 use ter_stream::StreamSet;
 
 fn usage() -> ! {
@@ -76,6 +77,8 @@ fn usage() -> ! {
          \n\
          serve    --dir DIR [--addr 127.0.0.1:7341] [--preset ebooks] [--scale 1.0]\n\
          \x20        [--window 400] [--checkpoint-every 8] [--queue-depth 16]\n\
+         \x20        [--ckpt-mode full|delta] [--checkpoint-bytes N]\n\
+         \x20        [--max-chain-len 16] [--max-chain-bytes 0]\n\
          \x20        [--shards 8] [--threads T] [--io-threads 2]\n\
          \x20        [--flush-window 1] [--flush-interval-ms 5]\n\
          \x20        [--notify-buffer 262144] [--metrics-text PATH|-]\n\
@@ -197,6 +200,28 @@ fn cmd_serve(flags: &Flags) -> ExitCode {
     let opts = ServeOptions {
         queue_depth: flags.parsed("queue-depth", 16),
         checkpoint_every: flags.parsed("checkpoint-every", 8),
+        ckpt_mode: match flags.get("ckpt-mode").unwrap_or("full") {
+            "full" => CkptMode::Full,
+            "delta" => CkptMode::Delta,
+            other => {
+                eprintln!("invalid --ckpt-mode {other} (full|delta)");
+                usage();
+            }
+        },
+        // Byte-based cadence on top of the count cadence (0 = off):
+        // bounds replay work directly when batch sizes vary.
+        checkpoint_bytes: flags.parsed("checkpoint-bytes", 0),
+        compaction: CompactionPolicy {
+            max_chain_len: flags.parsed(
+                "max-chain-len",
+                CompactionPolicy::two_generation().max_chain_len,
+            ),
+            max_chain_bytes: flags.parsed(
+                "max-chain-bytes",
+                CompactionPolicy::two_generation().max_chain_bytes,
+            ),
+            ..CompactionPolicy::two_generation()
+        },
         exec: ExecConfig::new(
             flags.parsed("shards", 8),
             flags.parsed("threads", ExecConfig::default().threads),
@@ -224,7 +249,6 @@ fn cmd_serve(flags: &Flags) -> ExitCode {
                 usage();
             })
         }),
-        ..ServeOptions::default()
     };
     if let Some(target) = flags.get("metrics-text") {
         ter_obs::set_dump_path(Some(std::path::PathBuf::from(target)));
@@ -249,12 +273,13 @@ fn cmd_serve(flags: &Flags) -> ExitCode {
     match server.run(&ctx, params, std::path::Path::new(&dir), &opts) {
         Ok(report) => {
             println!(
-                "shutdown: resumed_at={} replayed={} batches={} arrivals={} checkpoints={} fsyncs={}",
+                "shutdown: resumed_at={} replayed={} batches={} arrivals={} checkpoints={} delta_checkpoints={} fsyncs={}",
                 report.resumed_at,
                 report.replayed,
                 report.batches,
                 report.arrivals,
                 report.checkpoints,
+                report.delta_checkpoints,
                 report.fsyncs
             );
             ExitCode::SUCCESS

@@ -466,3 +466,81 @@ fn sigkill_mid_flush_window_never_loses_acked_batch() {
     client.shutdown().expect("shutdown");
     daemon.wait_graceful();
 }
+
+/// SIGKILL under bursty arrivals with incremental delta checkpoints: the
+/// daemon runs `--ckpt-mode delta` with both cadences armed (every 2
+/// batches *and* every 64 KiB of WAL — the byte cadence exists exactly
+/// because batch counts are a poor replay bound when an 8× burst lands),
+/// is killed right after a burst batch, and must restart through the
+/// (base + delta chain + WAL suffix) ladder with the concatenated
+/// per-arrival results bit-identical to a never-crashed oracle.
+#[test]
+fn sigkill_under_burst_with_delta_checkpoints_is_bit_identical() {
+    let (ctx, streams, params) = build_oracle_inputs();
+    let arrivals = streams.arrivals();
+    // Bursty schedule: an 8× burst every 4th batch, a trickle between.
+    let sizes = [24usize, 2, 2, 2];
+    let mut batches: Vec<Vec<Arrival>> = Vec::new();
+    let mut off = 0;
+    while off < arrivals.len() {
+        let n = sizes[batches.len() % sizes.len()].min(arrivals.len() - off);
+        batches.push(arrivals[off..off + n].to_vec());
+        off += n;
+    }
+    assert!(batches.len() >= 12, "stream too short for the scenario");
+    let cut = 9; // lands right after the third burst batch (index 8)
+    let (oracle_matches, oracle) = oracle_run(&ctx, params, &batches);
+
+    let dir = TempDir::new("burst_delta");
+    let flags = [
+        "--ckpt-mode",
+        "delta",
+        "--checkpoint-every",
+        "2",
+        "--checkpoint-bytes",
+        "65536",
+    ];
+    let mut served: Vec<Vec<(u64, u64)>> = Vec::new();
+
+    let daemon = Daemon::spawn(dir.path(), &flags);
+    let mut client = daemon.client();
+    served.extend(feed_batches(&mut client, &batches[..cut], 1));
+    daemon.kill9();
+
+    // The cadence must have left a real chain behind for the restart to
+    // walk (base at seq 2, deltas at 4, 6, 8 — plus any byte-cadence
+    // stamps the bursts forced).
+    let deltas = std::fs::read_dir(dir.path())
+        .expect("read store dir")
+        .filter(|e| {
+            e.as_ref()
+                .unwrap()
+                .file_name()
+                .to_string_lossy()
+                .starts_with("delt-")
+        })
+        .count();
+    assert!(deltas >= 1, "no delta frames on disk after {cut} batches");
+
+    let daemon = Daemon::spawn(dir.path(), &flags);
+    let mut client = daemon.client();
+    let committed = client.stats().expect("stats").next_batch_seq;
+    assert_eq!(
+        committed, cut as u64,
+        "daemon must resume exactly after the last acked batch"
+    );
+    served.extend(feed_batches(&mut client, &batches[cut..], 1));
+
+    assert_eq!(
+        served, oracle_matches,
+        "concatenated per-arrival results diverged from the uninterrupted run"
+    );
+    let stats = client.stats().expect("final stats");
+    assert_eq!(stats.stats, oracle.prune_stats(), "pruning statistics");
+    assert_eq!(stats.next_batch_seq, batches.len() as u64);
+    let window = client.window().expect("window");
+    assert_eq!(window.len, oracle.window_len());
+    assert_eq!(window.live_ids, oracle.live_ids());
+    client.shutdown().expect("graceful shutdown");
+    daemon.wait_graceful();
+}

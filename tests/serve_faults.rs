@@ -11,6 +11,15 @@
 //!    broken disk. The verb must fail loudly, the daemon must keep
 //!    serving, and a restart must recover every acked batch from the
 //!    WAL.
+//! 3. **Delta-stamp write failure** — the same full-disk shim aimed at
+//!    an incremental delta frame (`ckpt_mode = delta`): the failed stamp
+//!    errors loudly, the chain tip and in-memory base stay untouched,
+//!    and the *next* stamp chains past the gap.
+//! 4. **Rebase write failure** — the full snapshot a chain-bound rebase
+//!    demands fails: loud error, nothing poisoned, nothing lost.
+//! 5. **Slow fsync at a production window** — delta cadence under a
+//!    100 000-tuple window with fsync latency injected: acks still wait
+//!    out durability and the delta chain stays recoverable.
 
 mod harness;
 
@@ -18,8 +27,10 @@ use std::time::{Duration, Instant};
 
 use harness::{build_oracle_inputs, oracle_run, TempDir, BATCH};
 use ter_ids::ErProcessor;
-use ter_serve::{Client, ClientError, ServeOptions, Server};
+use ter_serve::{CkptMode, Client, ClientError, ServeOptions, Server};
 use ter_store::checkpoint::checkpoint_file_name;
+use ter_store::delta::delta_file_name;
+use ter_store::CompactionPolicy;
 
 fn opts() -> ServeOptions {
     ServeOptions {
@@ -162,6 +173,238 @@ fn checkpoint_write_failure_keeps_serving_and_loses_nothing() {
         let mut client = Client::connect_retry(addr, Duration::from_secs(5)).unwrap();
         let stats = client.stats().unwrap();
         assert_eq!(stats.next_batch_seq, 6, "acked batches lost across restart");
+        assert_eq!(stats.stats, oracle.prune_stats(), "pruning statistics");
+        let window = client.window().unwrap();
+        assert_eq!(window.live_ids, oracle.live_ids());
+        client.shutdown().unwrap();
+        handle.join().unwrap();
+    });
+}
+
+/// A delta stamp that cannot be written (its temp path squatted, the
+/// `File::create` failure a full disk produces) must fail the verb
+/// loudly, leave the chain tip and in-memory base untouched, and let the
+/// *next* stamp chain past the gap — nothing poisoned, nothing lost.
+#[test]
+fn delta_stamp_write_failure_keeps_chain_and_loses_nothing() {
+    let (ctx, streams, params) = build_oracle_inputs();
+    let batches = streams.arrival_batches(BATCH);
+    assert!(batches.len() >= 6, "stream too short for the scenario");
+    let (_, oracle) = oracle_run(&ctx, params, &batches[..6]);
+    let dir = TempDir::new("fault_delta");
+
+    // The failed stamp: base at seq 2, so the seq-4 checkpoint writes
+    // `delt-2-4` — squat on its temp path.
+    let tmp_path = dir.path().join(delta_file_name(2, 4)).with_extension("tmp");
+    std::fs::create_dir_all(&tmp_path).unwrap();
+
+    let server = Server::bind("127.0.0.1:0").unwrap();
+    let addr = server.addr().unwrap();
+    let run_opts = ServeOptions {
+        ckpt_mode: CkptMode::Delta,
+        ..opts()
+    };
+    std::thread::scope(|scope| {
+        let handle = scope.spawn(|| server.run(&ctx, params, dir.path(), &run_opts).unwrap());
+        let mut client = Client::connect_retry(addr, Duration::from_secs(5)).unwrap();
+        for batch in &batches[..2] {
+            client.ingest_wait(batch).unwrap();
+        }
+        // First checkpoint of the run: the full base, stamped at seq 2.
+        assert!(client.checkpoint().unwrap() > 0);
+        for batch in &batches[2..4] {
+            client.ingest_wait(batch).unwrap();
+        }
+        // The poisoned delta stamp: loud error, nothing else.
+        match client.checkpoint() {
+            Err(ClientError::Server(msg)) => {
+                assert!(
+                    msg.contains("checkpoint failed"),
+                    "unexpected error shape: {msg}"
+                );
+            }
+            other => panic!("delta stamp over a poisoned path returned {other:?}"),
+        }
+        // Serving continues; the next stamp chains base 2 → seq 6,
+        // skipping the squatted 2 → 4 name entirely.
+        for batch in &batches[4..6] {
+            client.ingest_wait(batch).unwrap();
+        }
+        assert!(client.checkpoint().unwrap() > 0);
+        assert!(
+            dir.path().join(delta_file_name(2, 6)).exists(),
+            "the recovered cadence must have chained past the failed stamp"
+        );
+        client.shutdown().unwrap();
+        let report = handle.join().unwrap();
+        assert_eq!(report.batches, 6);
+        assert_eq!(report.delta_checkpoints, 1, "exactly the 2→6 stamp");
+    });
+
+    // Restart: base + delta chain + WAL suffix recover every acked batch.
+    let server = Server::bind("127.0.0.1:0").unwrap();
+    let addr = server.addr().unwrap();
+    let reopen_opts = opts();
+    std::thread::scope(|scope| {
+        let handle = scope.spawn(|| server.run(&ctx, params, dir.path(), &reopen_opts).unwrap());
+        let mut client = Client::connect_retry(addr, Duration::from_secs(5)).unwrap();
+        let stats = client.stats().unwrap();
+        assert_eq!(stats.next_batch_seq, 6, "acked batches lost across restart");
+        assert_eq!(stats.stats, oracle.prune_stats(), "pruning statistics");
+        let window = client.window().unwrap();
+        assert_eq!(window.live_ids, oracle.live_ids());
+        client.shutdown().unwrap();
+        handle.join().unwrap();
+    });
+}
+
+/// A chain-bound rebase whose full snapshot cannot be written: the verb
+/// fails loudly, the daemon keeps serving on the intact (bounded) chain,
+/// and a later rebase at a clean path succeeds — nothing lost.
+#[test]
+fn rebase_write_failure_keeps_serving_and_loses_nothing() {
+    let (ctx, streams, params) = build_oracle_inputs();
+    let batches = streams.arrival_batches(BATCH);
+    assert!(batches.len() >= 8, "stream too short for the scenario");
+    let (_, oracle) = oracle_run(&ctx, params, &batches[..8]);
+    let dir = TempDir::new("fault_rebase");
+
+    // Chain bound 1: base at 2, delta at 4, then the seq-6 stamp demands
+    // a rebase (full snapshot `ckpt-6`) — squat on its temp path.
+    let tmp_path = dir
+        .path()
+        .join(checkpoint_file_name(6))
+        .with_extension("tmp");
+    std::fs::create_dir_all(&tmp_path).unwrap();
+
+    let server = Server::bind("127.0.0.1:0").unwrap();
+    let addr = server.addr().unwrap();
+    let run_opts = ServeOptions {
+        ckpt_mode: CkptMode::Delta,
+        compaction: CompactionPolicy {
+            max_chain_len: 1,
+            ..CompactionPolicy::two_generation()
+        },
+        ..opts()
+    };
+    std::thread::scope(|scope| {
+        let handle = scope.spawn(|| server.run(&ctx, params, dir.path(), &run_opts).unwrap());
+        let mut client = Client::connect_retry(addr, Duration::from_secs(5)).unwrap();
+        for batch in &batches[..2] {
+            client.ingest_wait(batch).unwrap();
+        }
+        assert!(client.checkpoint().unwrap() > 0, "full base at seq 2");
+        for batch in &batches[2..4] {
+            client.ingest_wait(batch).unwrap();
+        }
+        assert!(
+            client.checkpoint().unwrap() > 0,
+            "delta 2→4 fills the bound"
+        );
+        for batch in &batches[4..6] {
+            client.ingest_wait(batch).unwrap();
+        }
+        // The poisoned rebase: loud error, chain and WAL untouched.
+        match client.checkpoint() {
+            Err(ClientError::Server(msg)) => {
+                assert!(
+                    msg.contains("checkpoint failed"),
+                    "unexpected error shape: {msg}"
+                );
+            }
+            other => panic!("rebase over a poisoned path returned {other:?}"),
+        }
+        // Serving continues; the rebase retries at the next stamp's clean
+        // path and succeeds.
+        for batch in &batches[6..8] {
+            client.ingest_wait(batch).unwrap();
+        }
+        assert!(client.checkpoint().unwrap() > 0, "rebase at seq 8");
+        assert!(
+            dir.path().join(checkpoint_file_name(8)).exists(),
+            "the retried rebase must be a full snapshot"
+        );
+        client.shutdown().unwrap();
+        let report = handle.join().unwrap();
+        assert_eq!(report.batches, 8);
+        assert_eq!(report.delta_checkpoints, 1, "only the 2→4 stamp chained");
+    });
+
+    // Restart: every acked batch survives the failed rebase.
+    let server = Server::bind("127.0.0.1:0").unwrap();
+    let addr = server.addr().unwrap();
+    let reopen_opts = opts();
+    std::thread::scope(|scope| {
+        let handle = scope.spawn(|| server.run(&ctx, params, dir.path(), &reopen_opts).unwrap());
+        let mut client = Client::connect_retry(addr, Duration::from_secs(5)).unwrap();
+        let stats = client.stats().unwrap();
+        assert_eq!(stats.next_batch_seq, 8, "acked batches lost across restart");
+        assert_eq!(stats.stats, oracle.prune_stats(), "pruning statistics");
+        let window = client.window().unwrap();
+        assert_eq!(window.live_ids, oracle.live_ids());
+        client.shutdown().unwrap();
+        handle.join().unwrap();
+    });
+}
+
+/// Delta cadence under a production-scale window (10⁵ capacity) with
+/// fsync latency injected: every ack still waits out its covering fsync,
+/// the cadence emits real delta stamps, and a restart recovers the chain
+/// — the large-window configuration changes costs, never contracts.
+#[test]
+fn slow_fsync_at_production_window_keeps_delta_cadence_durable() {
+    const SHIM: Duration = Duration::from_millis(50);
+    let (ctx, streams, base_params) = build_oracle_inputs();
+    let params = ter_ids::Params {
+        window: 100_000,
+        ..base_params
+    };
+    let batches = streams.arrival_batches(BATCH);
+    let probe = &batches[..6];
+    let (_, oracle) = oracle_run(&ctx, params, probe);
+
+    let dir = TempDir::new("fault_big_window");
+    let server = Server::bind("127.0.0.1:0").unwrap();
+    let addr = server.addr().unwrap();
+    let run_opts = ServeOptions {
+        ckpt_mode: CkptMode::Delta,
+        checkpoint_every: 2,
+        fsync_delay: SHIM,
+        ..opts()
+    };
+    std::thread::scope(|scope| {
+        let handle = scope.spawn(|| server.run(&ctx, params, dir.path(), &run_opts).unwrap());
+        let mut client = Client::connect_retry(addr, Duration::from_secs(5)).unwrap();
+        for (i, batch) in probe.iter().enumerate() {
+            let started = Instant::now();
+            client.ingest_wait(batch).unwrap();
+            let elapsed = started.elapsed();
+            assert!(
+                elapsed >= SHIM,
+                "batch {i} acked after {elapsed:?} — before its {SHIM:?} fsync"
+            );
+        }
+        client.shutdown().unwrap();
+        let report = handle.join().unwrap();
+        assert_eq!(report.batches, probe.len() as u64);
+        assert!(
+            report.delta_checkpoints >= 1,
+            "the cadence must have chained at least one delta: {report:?}"
+        );
+    });
+
+    // Restart recovers through the chain at the big window.
+    let server = Server::bind("127.0.0.1:0").unwrap();
+    let addr = server.addr().unwrap();
+    let reopen_opts = ServeOptions {
+        ckpt_mode: CkptMode::Delta,
+        ..opts()
+    };
+    std::thread::scope(|scope| {
+        let handle = scope.spawn(|| server.run(&ctx, params, dir.path(), &reopen_opts).unwrap());
+        let mut client = Client::connect_retry(addr, Duration::from_secs(5)).unwrap();
+        let stats = client.stats().unwrap();
+        assert_eq!(stats.next_batch_seq, probe.len() as u64);
         assert_eq!(stats.stats, oracle.prune_stats(), "pruning statistics");
         let window = client.window().unwrap();
         assert_eq!(window.live_ids, oracle.live_ids());
